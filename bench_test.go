@@ -1,0 +1,301 @@
+// Benchmarks regenerating the paper's evaluation (§7): one benchmark pair
+// per table/figure, plus ablations for the design choices DESIGN.md calls
+// out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// cmd/benchfig prints the same experiments as paper-style rows with
+// paper-vs-measured columns.
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dionea/internal/bench"
+	"dionea/internal/client"
+	"dionea/internal/compiler"
+	"dionea/internal/corpus"
+	dbg "dionea/internal/dionea"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+	"dionea/internal/value"
+	"dionea/internal/wordcount"
+)
+
+// benchWorkers is the worker-process count of the §7 MapReduce runs (the
+// paper's box had 4 cores; Figure 8 shows 8 workers on 8 cores).
+const benchWorkers = 4
+
+func runWordFreq(b *testing.B, preset corpus.Preset, debug bool) {
+	b.Helper()
+	lines := corpus.Generate(preset, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := wordcount.Run(lines, benchWorkers, debug)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.ExitCode != 0 {
+			b.Fatalf("exit %d", r.ExitCode)
+		}
+	}
+}
+
+// Figure 9: word frequency over the Dionea-source-scale corpus, bare vs
+// under a Dionea server with a connected client and no breakpoints.
+// Paper: 2.31 s → 2.58 s (+11.7%).
+func BenchmarkFig9DioneaSourceNormal(b *testing.B)    { runWordFreq(b, corpus.Dionea, false) }
+func BenchmarkFig9DioneaSourceDebugging(b *testing.B) { runWordFreq(b, corpus.Dionea, true) }
+
+// §7 text: the Rust-source-scale corpus. Paper: 3'49" → 4'36" (+20.5%).
+func BenchmarkRustSourceNormal(b *testing.B)    { runWordFreq(b, corpus.Rust, false) }
+func BenchmarkRustSourceDebugging(b *testing.B) { runWordFreq(b, corpus.Rust, true) }
+
+// Figure 10: the Linux-source-scale corpus. Paper: 1601 s → 1933 s (+20.7%).
+func BenchmarkFig10LinuxSourceNormal(b *testing.B)    { runWordFreq(b, corpus.Linux, false) }
+func BenchmarkFig10LinuxSourceDebugging(b *testing.B) { runWordFreq(b, corpus.Linux, true) }
+
+// Table 1 has no timing; TestTable1Report prints the environment rows so
+// the benchmark log carries the host description next to the paper's box.
+func TestTable1Report(t *testing.T) {
+	for _, row := range bench.Table1() {
+		t.Logf("%-18s %s", row.Key+":", row.Value)
+	}
+}
+
+// ---- ablations ----
+
+// spinProgram is a pure-compute pint loop used by the interpreter-level
+// ablations.
+const spinProgram = `total = 0
+for i in range(40000) {
+    total += i
+}
+print(total)
+`
+
+func runSpin(b *testing.B, checkEvery int, attach bool) {
+	b.Helper()
+	proto, err := compiler.CompileSource(spinProgram, "spin.pint")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := kernel.New()
+		setup := []func(*kernel.Process){ipc.Install}
+		if attach {
+			setup = append(setup, func(p *kernel.Process) {
+				if _, aerr := dbg.Attach(k, p, dbg.Options{
+					SessionID: fmt.Sprintf("abl-%d", i),
+					Sources:   map[string]string{"spin.pint": spinProgram},
+				}); aerr != nil {
+					b.Error(aerr)
+				}
+			})
+		}
+		p := k.StartProgram(proto, kernel.Options{CheckEvery: checkEvery, Setup: setup})
+		k.WaitAll()
+		if p.ExitCode() != 0 {
+			b.Fatalf("exit %d: %s", p.ExitCode(), p.Output())
+		}
+	}
+}
+
+// BenchmarkAblationCheckInterval sweeps the GIL checkinterval: smaller
+// values yield the GIL more often (fairer threads, more lock churn) —
+// CPython's sys.setcheckinterval trade-off.
+func BenchmarkAblationCheckInterval(b *testing.B) {
+	for _, ci := range []int{10, 100, 1000, 10000} {
+		b.Run(fmt.Sprintf("check=%d", ci), func(b *testing.B) {
+			runSpin(b, ci, false)
+		})
+	}
+}
+
+// BenchmarkAblationTraceHook isolates the cost of the installed trace
+// callback with no client work: attach a server (trace active, no
+// breakpoints, no connected client) vs bare.
+func BenchmarkAblationTraceHook(b *testing.B) {
+	b.Run("off", func(b *testing.B) { runSpin(b, 0, false) })
+	b.Run("on", func(b *testing.B) { runSpin(b, 0, true) })
+}
+
+// BenchmarkAblationSyncPeriod sweeps the source-view refresh period — the
+// dominant knob behind the §7 overhead (a connected client receives the
+// position pushes).
+func BenchmarkAblationSyncPeriod(b *testing.B) {
+	lines := corpus.Generate(corpus.Dionea, 1)
+	old := dbg.SyncPeriod
+	defer func() { dbg.SyncPeriod = old }()
+	for _, period := range []int64{32, 128, 512, 1 << 30} {
+		name := fmt.Sprintf("period=%d", period)
+		if period == 1<<30 {
+			name = "period=off"
+		}
+		b.Run(name, func(b *testing.B) {
+			dbg.SyncPeriod = period
+			for i := 0; i < b.N; i++ {
+				if _, err := wordcount.Run(lines, benchWorkers, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPickle measures the queue payload codec (§6.3: values
+// cross process boundaries "encoded using pickle").
+func BenchmarkAblationPickle(b *testing.B) {
+	small := value.Str("hello world")
+	nested := value.NewList(
+		value.Int(1),
+		value.NewList(value.Str("a"), value.Str("b")),
+		func() value.Value {
+			d := value.NewDict()
+			for i := 0; i < 16; i++ {
+				k, _ := value.KeyOf(value.Str(fmt.Sprintf("key%d", i)))
+				d.Set(k, value.Int(int64(i)))
+			}
+			return d
+		}(),
+	)
+	large := func() value.Value {
+		l := value.NewList()
+		for i := 0; i < 1000; i++ {
+			l.Elems = append(l.Elems, value.Str(fmt.Sprintf("token-%d", i)))
+		}
+		return l
+	}()
+	for _, tc := range []struct {
+		name string
+		v    value.Value
+	}{{"small", small}, {"nested", nested}, {"large", large}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				data, err := ipc.Pickle(tc.v)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ipc.Unpickle(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// forkProgram forks a chain of children; with Dionea attached, every fork
+// runs handlers A/B/C (sync-object ownership, trace toggling, child
+// server + listener + port handoff).
+const forkProgram = `m = mutex_new()
+q = queue_new()
+for i in range(8) {
+    pid = fork do
+        x = 1
+    end
+    waitpid(pid)
+}
+print("done")
+`
+
+// BenchmarkAblationForkHandlers quantifies what Dionea's fork handlers add
+// to a fork-heavy program.
+func BenchmarkAblationForkHandlers(b *testing.B) {
+	proto, err := compiler.CompileSource(forkProgram, "forks.pint")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, attach bool) {
+		for i := 0; i < b.N; i++ {
+			k := kernel.New()
+			setup := []func(*kernel.Process){ipc.Install}
+			if attach {
+				setup = append(setup, func(p *kernel.Process) {
+					if _, aerr := dbg.Attach(k, p, dbg.Options{
+						SessionID: fmt.Sprintf("fork-abl-%d", i),
+						Sources:   map[string]string{"forks.pint": forkProgram},
+					}); aerr != nil {
+						b.Error(aerr)
+					}
+				})
+			}
+			p := k.StartProgram(proto, kernel.Options{Setup: setup})
+			k.WaitAll()
+			if p.ExitCode() != 0 {
+				b.Fatalf("exit %d: %s", p.ExitCode(), p.Output())
+			}
+		}
+	}
+	b.Run("bare-fork", func(b *testing.B) { run(b, false) })
+	b.Run("dionea-handlers", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkAblationLowIntrusive demonstrates the point of low-intrusive
+// debugging: a sibling UE parked at a breakpoint costs the running thread
+// nothing (vs no sibling at all).
+func BenchmarkAblationLowIntrusive(b *testing.B) {
+	const prog = `parked = spawn do
+    marker_line_for_breakpoint = 1
+    print(marker_line_for_breakpoint)
+end
+total = 0
+for i in range(20000) {
+    total += i
+}
+print(total)
+exit(0)
+`
+	proto, err := compiler.CompileSource(prog, "li.pint")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, withParkedSibling bool) {
+		for i := 0; i < b.N; i++ {
+			k := kernel.New()
+			var srv *dbg.Server
+			sid := fmt.Sprintf("li-%d-%v", i, withParkedSibling)
+			p := k.StartProgram(proto, kernel.Options{Setup: []func(*kernel.Process){
+				ipc.Install,
+				func(proc *kernel.Process) {
+					var aerr error
+					srv, aerr = dbg.Attach(k, proc, dbg.Options{
+						SessionID:     sid,
+						Sources:       map[string]string{"li.pint": prog},
+						WaitForClient: true,
+					})
+					if aerr != nil {
+						b.Error(aerr)
+					}
+				},
+			}})
+			_ = srv
+			c := client.New(k, sid)
+			if _, err := c.ConnectRoot(p.PID, 5*time.Second); err != nil {
+				b.Fatal(err)
+			}
+			var tid int64
+			for tid == 0 {
+				infos, _ := c.Threads(p.PID)
+				for _, ti := range infos {
+					if ti.Main {
+						tid = ti.TID
+					}
+				}
+			}
+			if withParkedSibling {
+				if err := c.SetBreak(p.PID, "li.pint", 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := c.Continue(p.PID, tid); err != nil {
+				b.Fatal(err)
+			}
+			<-p.ExitChan()
+		}
+	}
+	b.Run("sibling-parked-at-breakpoint", func(b *testing.B) { run(b, true) })
+	b.Run("sibling-free", func(b *testing.B) { run(b, false) })
+}

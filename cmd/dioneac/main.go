@@ -1,0 +1,359 @@
+// Command dioneac is the Dionea client: a command-line stand-in for the
+// paper's Qt GUI (Figure 2). It maintains one session per debuggee
+// process, adopts forked children automatically, and presents debug views
+// (an active UE whose source, stack and variables are shown).
+//
+// Usage:
+//
+//	dioneac [-session dev] [-portdir /tmp] [-pid 1]
+//
+// Commands (type `help` at the prompt):
+//
+//	sessions                      list debuggee processes
+//	threads [pid]                 processes-and-threads view
+//	view PID TID                  activate the debug view of a UE
+//	show                          render the active view (Figure 2 layout)
+//	break LINE [FILE] [if C]      set a (conditional) breakpoint
+//	clear LINE [FILE]             clear a breakpoint
+//	continue | step | next        control the active UE
+//	finish                        run until the current frame returns
+//	suspend | resume              low-intrusive control of the active UE
+//	suspendall | resumeall        whole-process operation (§4)
+//	stopworld | resumeworld       every UE of every session
+//	stack | vars                  inspect the active (suspended) UE
+//	eval NAME                     inspect one variable
+//	list                          show source around the active UE's line
+//	input TEXT                    feed the active process's stdin (Input window)
+//	disturb on|off                toggle disturb mode (active session)
+//	kill [pid]                    terminate a debuggee
+//	detach [pid]                  detach from a debuggee
+//	quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"dionea/internal/client"
+	"dionea/internal/protocol"
+)
+
+type ui struct {
+	c        *client.Client
+	file     string // default breakpoint file of the active session
+	out      *bufio.Writer
+	sourceOf map[int64]string
+}
+
+func main() {
+	session := flag.String("session", "default", "debug session id")
+	portDir := flag.String("portdir", os.TempDir(), "directory with port-handoff files")
+	rootPID := flag.Int64("pid", 1, "pid of the root debuggee")
+	flag.Parse()
+
+	c := client.New(client.DirResolver{Dir: *portDir}, *session)
+	if _, err := c.ConnectRoot(*rootPID, 10*time.Second); err != nil {
+		fmt.Fprintf(os.Stderr, "dioneac: %v\n", err)
+		os.Exit(1)
+	}
+	u := &ui{c: c, out: bufio.NewWriter(os.Stdout), sourceOf: map[int64]string{}}
+	c.SetActiveView(*rootPID, 0)
+
+	// Event pump: output, stops, forks, exits print asynchronously, the
+	// way the GUI's panes update.
+	go func() {
+		for e := range c.Events() {
+			u.printEvent(e)
+		}
+	}()
+
+	fmt.Println("dioneac: connected; type 'help' for commands")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("(dionea) ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		u.exec(line)
+	}
+}
+
+func (u *ui) printEvent(e client.Event) {
+	m := e.Msg
+	switch m.Cmd {
+	case protocol.EventOutput:
+		fmt.Printf("[pid %d out] %s", m.PID, m.Text)
+	case protocol.EventStopped:
+		fmt.Printf("[pid %d] thread %d stopped (%s) at %s:%d\n", m.PID, m.TID, m.Reason, m.File, m.Line)
+	case protocol.EventForked:
+		fmt.Printf("[pid %d] forked child %d\n", m.PID, m.Child)
+	case "session_opened":
+		fmt.Printf("[pid %d] new debug session opened\n", m.PID)
+	case protocol.EventProcessExited:
+		fmt.Printf("[pid %d] exited with code %d\n", m.PID, m.Code)
+	case protocol.EventDeadlock:
+		fmt.Printf("[pid %d] DEADLOCK in thread %d at %s:%d\n%s\n", m.PID, m.TID, m.File, m.Line, m.Text)
+	case protocol.EventFatal:
+		fmt.Printf("[pid %d] fatal: %s\n", m.PID, m.Text)
+	}
+}
+
+func (u *ui) exec(line string) {
+	args := strings.Fields(line)
+	cmd := args[0]
+	pid, tid := u.c.ActiveView()
+
+	atoi := func(s string) int64 {
+		n, _ := strconv.ParseInt(s, 10, 64)
+		return n
+	}
+
+	switch cmd {
+	case "help":
+		fmt.Println("sessions | threads [pid] | view PID TID | break LINE [FILE] [if NAME OP LIT] | clear LINE [FILE]")
+		fmt.Println("continue | step | next | finish | suspend | resume | suspendall | resumeall | stopworld | resumeworld")
+		fmt.Println("stack | vars | eval NAME | list | show | input TEXT | disturb on|off | kill [pid] | detach [pid] | quit")
+
+	case "sessions":
+		for _, s := range u.c.Sessions() {
+			fmt.Printf("  pid %d\n", s)
+		}
+
+	case "threads":
+		p := pid
+		if len(args) > 1 {
+			p = atoi(args[1])
+		}
+		infos, err := u.c.Threads(p)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		for _, ti := range infos {
+			mark := " "
+			if ti.TID == tid {
+				mark = "*"
+			}
+			main := ""
+			if ti.Main {
+				main = " (main)"
+			}
+			fmt.Printf(" %s tid %d%s  %s %s  line %d\n", mark, ti.TID, main, ti.State, ti.Reason, ti.Line)
+		}
+
+	case "view":
+		if len(args) != 3 {
+			fmt.Println("usage: view PID TID")
+			return
+		}
+		u.c.SetActiveView(atoi(args[1]), atoi(args[2]))
+		fmt.Printf("active view: pid %s tid %s\n", args[1], args[2])
+
+	case "break", "clear":
+		if len(args) < 2 {
+			fmt.Println("usage:", cmd, "LINE [FILE] [if NAME OP LITERAL]")
+			return
+		}
+		// Split off a trailing `if ...` condition.
+		cond := ""
+		rest := args[2:]
+		for i, a := range rest {
+			if a == "if" {
+				cond = strings.Join(rest[i+1:], " ")
+				rest = rest[:i]
+				break
+			}
+		}
+		file := u.file
+		if len(rest) > 0 {
+			file = rest[0]
+		}
+		if file == "" {
+			file = u.guessFile(pid)
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil {
+			fmt.Println("bad line number")
+			return
+		}
+		if cmd == "break" {
+			err = u.c.SetBreakIf(pid, file, n, cond)
+		} else {
+			err = u.c.ClearBreak(pid, file, n)
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+		}
+
+	case "continue", "c":
+		u.report(u.c.Continue(pid, tid))
+	case "step", "s":
+		u.report(u.c.Step(pid, tid))
+	case "next", "n":
+		u.report(u.c.Next(pid, tid))
+	case "finish", "f":
+		u.report(u.c.Finish(pid, tid))
+	case "suspend":
+		u.report(u.c.Suspend(pid, tid))
+	case "resume":
+		u.report(u.c.Continue(pid, tid))
+	case "suspendall":
+		u.report(u.c.SuspendAll(pid))
+	case "resumeall":
+		u.report(u.c.ResumeAll(pid))
+	case "stopworld":
+		u.report(u.c.StopWorld())
+	case "resumeworld":
+		u.report(u.c.ResumeWorld())
+
+	case "stack":
+		frames, err := u.c.Stack(pid, tid)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		for i := len(frames) - 1; i >= 0; i-- {
+			f := frames[i]
+			fmt.Printf("  #%d %s at %s:%d\n", len(frames)-1-i, f.Func, f.File, f.Line)
+		}
+
+	case "vars":
+		vars, err := u.c.Vars(pid, tid)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		for _, v := range vars {
+			fmt.Printf("  %-16s %-8s %s\n", v.Name, v.Type, v.Value)
+		}
+
+	case "eval":
+		if len(args) != 2 {
+			fmt.Println("usage: eval NAME")
+			return
+		}
+		v, err := u.c.Eval(pid, tid, args[1])
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Println(" ", v)
+
+	case "list":
+		u.list(pid, tid)
+
+	case "show":
+		// The full Figure 2 layout: source view, processes-and-threads,
+		// variables, output window.
+		vs, err := u.c.View()
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Print(vs.Render())
+
+	case "input":
+		if len(args) < 2 {
+			fmt.Println("usage: input TEXT...")
+			return
+		}
+		u.report(u.c.SendInput(pid, strings.Join(args[1:], " ")))
+
+	case "disturb":
+		on := len(args) > 1 && args[1] == "on"
+		u.report(u.c.Disturb(pid, on))
+
+	case "kill":
+		p := pid
+		if len(args) > 1 {
+			p = atoi(args[1])
+		}
+		u.report(u.c.Kill(p))
+
+	case "detach":
+		p := pid
+		if len(args) > 1 {
+			p = atoi(args[1])
+		}
+		u.report(u.c.Detach(p))
+
+	default:
+		fmt.Printf("unknown command %q; try help\n", cmd)
+	}
+}
+
+func (u *ui) report(err error) {
+	if err != nil {
+		fmt.Println("error:", err)
+	}
+}
+
+// guessFile finds the file of the active UE via the threads view.
+func (u *ui) guessFile(pid int64) string {
+	infos, err := u.c.Threads(pid)
+	if err != nil || len(infos) == 0 {
+		return ""
+	}
+	// The source view of the first thread's frame; the server's source
+	// table is keyed by compile-time file name.
+	return "program.pint"
+}
+
+// list prints source around the active UE's current line — the Source
+// code view of Figure 2.
+func (u *ui) list(pid, tid int64) {
+	infos, err := u.c.Threads(pid)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	var cur int
+	for _, ti := range infos {
+		if ti.TID == tid {
+			cur = ti.Line
+		}
+	}
+	src, ok := u.sourceOf[pid]
+	if !ok {
+		for _, f := range []string{u.file, "program.pint"} {
+			if f == "" {
+				continue
+			}
+			if text, err := u.c.Source(pid, f); err == nil {
+				src = text
+				u.sourceOf[pid] = text
+				break
+			}
+		}
+	}
+	if src == "" {
+		fmt.Println("no source available")
+		return
+	}
+	lines := strings.Split(src, "\n")
+	lo, hi := cur-5, cur+5
+	for i, l := range lines {
+		n := i + 1
+		if n < lo || n > hi {
+			continue
+		}
+		mark := "  "
+		if n == cur {
+			mark = "=>"
+		}
+		fmt.Printf("%s %4d  %s\n", mark, n, l)
+	}
+	_ = u.out
+}

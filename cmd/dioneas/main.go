@@ -1,0 +1,95 @@
+// Command dioneas starts a pint program under a Dionea debug server — the
+// paper's §6.1 entry point ("we start Dionea server issuing
+// `ruby bin/dioneas.rb path/to/debuggee/program.rb`"). The server waits
+// for a client (cmd/dioneac) to connect before the program runs.
+//
+// The debug protocol runs over real loopback TCP; the port-handoff files
+// that let the client find each debuggee's server are mirrored into
+// -portdir so the client can live in another OS process.
+//
+// Usage:
+//
+//	dioneas -session dev -portdir /tmp path/to/program.pint
+//	dioneac -session dev -portdir /tmp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dionea/internal/bytecode"
+	"dionea/internal/compiler"
+	"dionea/internal/dionea"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+	"dionea/internal/mp"
+	"dionea/internal/parallelgem"
+)
+
+func main() {
+	session := flag.String("session", "default", "debug session id (namespaces the port files)")
+	portDir := flag.String("portdir", os.TempDir(), "directory for port-handoff files")
+	nowait := flag.Bool("nowait", false, "start the program immediately instead of waiting for a client")
+	disturb := flag.Bool("disturb", false, "start with disturb mode on: every new process/thread stops")
+	check := flag.Int("check", 0, "GIL checkinterval (0 = default)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dioneas [flags] program.pint\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dioneas: %v\n", err)
+		os.Exit(1)
+	}
+	name := filepath.Base(file)
+	proto, err := compiler.CompileSource(string(src), name)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dioneas: %v\n", err)
+		os.Exit(1)
+	}
+
+	k := kernel.New()
+	var srv *dionea.Server
+	p := k.StartProgram(proto, kernel.Options{
+		Out:        os.Stdout,
+		CheckEvery: *check,
+		Setup: []func(*kernel.Process){
+			ipc.Install,
+			func(proc *kernel.Process) {
+				var aerr error
+				srv, aerr = dionea.Attach(k, proc, dionea.Options{
+					SessionID:     *session,
+					Sources:       map[string]string{name: string(src)},
+					WaitForClient: !*nowait,
+					Disturb:       *disturb,
+					PortDir:       *portDir,
+				})
+				if aerr != nil {
+					fmt.Fprintf(os.Stderr, "dioneas: %v\n", aerr)
+					os.Exit(1)
+				}
+			},
+		},
+		Preludes: []*bytecode.FuncProto{
+			mp.MustPrelude(),
+			parallelgem.MustPreludeBuggy(),
+			parallelgem.MustPreludeFixed(),
+		},
+	})
+	fmt.Fprintf(os.Stderr, "dioneas: session %q, debuggee pid %d, server on 127.0.0.1:%d\n",
+		*session, p.PID, srv.Port())
+	if !*nowait {
+		fmt.Fprintf(os.Stderr, "dioneas: waiting for client (dioneac -session %s -portdir %s)\n",
+			*session, *portDir)
+	}
+	k.WaitAll()
+	os.Exit(p.ExitCode())
+}

@@ -1,0 +1,76 @@
+// Command pint runs a pint program on the simulated platform without
+// debugging: the GIL-serialized interpreter, fork-based processes, pipes
+// and queues are all available, exactly as under the debugger.
+//
+// Usage:
+//
+//	pint [-check N] [-trace] program.pint
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dionea/internal/bytecode"
+	"dionea/internal/compiler"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+	"dionea/internal/mp"
+	"dionea/internal/parallelgem"
+)
+
+func main() {
+	check := flag.Int("check", 0, "GIL checkinterval in VM instructions (0 = default 100)")
+	disasm := flag.Bool("disasm", false, "print the compiled bytecode and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pint [flags] program.pint\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pint: %v\n", err)
+		os.Exit(1)
+	}
+	proto, err := compiler.CompileSource(string(src), filepath.Base(file))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pint: %v\n", err)
+		os.Exit(1)
+	}
+	if *disasm {
+		fmt.Print(proto.Disassemble())
+		return
+	}
+
+	k := kernel.New()
+	p := k.StartProgram(proto, kernel.Options{
+		Out:        os.Stdout,
+		CheckEvery: *check,
+		Setup:      []func(*kernel.Process){ipc.Install},
+		Preludes: []*bytecode.FuncProto{
+			mp.MustPrelude(),
+			parallelgem.MustPreludeBuggy(),
+			parallelgem.MustPreludeFixed(),
+		},
+	})
+	// Route the host's stdin to the root process, line by line, so
+	// programs using input() work interactively (each forked child has
+	// its own, initially empty input stream).
+	go func() {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			p.WriteStdin(sc.Text())
+		}
+		p.CloseStdin()
+	}()
+	k.WaitAll()
+	os.Exit(p.ExitCode())
+}

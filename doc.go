@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of "Debugging parallel
+// programs using fork handlers" (Javier Alcázar Zapién, PMAM '15,
+// co-located with PPoPP 2015): the Dionea debugger for fork-based
+// multi-process programs, together with the entire substrate it needs —
+// a GIL-serialized bytecode interpreter (the pint language), a simulated
+// kernel with fork/pipes/semaphores/wait, fork-handler registries
+// (pthread_atfork plus the MRI/YARV interpreter handlers), the
+// multiprocessing and parallel-gem analog libraries, a three-socket TCP
+// debug protocol, and the client.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// The root-level bench_test.go regenerates every table and figure of the
+// paper's evaluation.
+package repro

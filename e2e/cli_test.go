@@ -1,0 +1,255 @@
+// Package e2e drives the built command-line binaries as separate OS
+// processes, exercising the real cross-process path: dioneas (server +
+// debuggee) in one process, dioneac (client) in another, talking over
+// loopback TCP with the port handoff through real files.
+package e2e
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+// binaries builds the CLIs once per test run.
+func binaries(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "dionea-bin")
+		if buildErr != nil {
+			return
+		}
+		for _, cmd := range []string{"pint", "dioneas", "dioneac", "benchfig"} {
+			out, err := exec.Command("go", "build", "-o", filepath.Join(binDir, cmd), "dionea/cmd/"+cmd).CombinedOutput()
+			if err != nil {
+				buildErr = err
+				t.Logf("build %s: %s", cmd, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("build: %v", buildErr)
+	}
+	return binDir
+}
+
+func repoPath(t *testing.T, rel string) string {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("..", rel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return abs
+}
+
+func TestPintRunsPrograms(t *testing.T) {
+	bin := binaries(t)
+	out, err := exec.Command(filepath.Join(bin, "pint"), repoPath(t, "testdata/hello.pint")).CombinedOutput()
+	if err != nil {
+		t.Fatalf("pint: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "hello from child") ||
+		!strings.Contains(string(out), "hello from parent") {
+		t.Fatalf("output = %s", out)
+	}
+}
+
+func TestPintMapReduce(t *testing.T) {
+	bin := binaries(t)
+	out, err := exec.Command(filepath.Join(bin, "pint"), repoPath(t, "testdata/mapreduce.pint")).CombinedOutput()
+	if err != nil {
+		t.Fatalf("pint: %v\n%s", err, out)
+	}
+	for _, want := range []string{"the 3", "fox 2", "dog 2"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestPintDisassemble(t *testing.T) {
+	bin := binaries(t)
+	out, err := exec.Command(filepath.Join(bin, "pint"), "-disasm", repoPath(t, "testdata/hello.pint")).CombinedOutput()
+	if err != nil {
+		t.Fatalf("pint -disasm: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "LINE") || !strings.Contains(string(out), "CALL") {
+		t.Fatalf("disassembly = %s", out)
+	}
+}
+
+func TestPintExitCodePropagates(t *testing.T) {
+	bin := binaries(t)
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "exit3.pint")
+	if err := os.WriteFile(prog, []byte("exit(3)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := exec.Command(filepath.Join(bin, "pint"), prog).Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 3 {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestServerClientAcrossOSProcesses is the full §6.1 workflow: dioneas
+// starts a debuggee and waits; dioneac (another OS process) connects,
+// sets a breakpoint, inspects, continues.
+func TestServerClientAcrossOSProcesses(t *testing.T) {
+	bin := binaries(t)
+	portDir := t.TempDir()
+
+	srv := exec.Command(filepath.Join(bin, "dioneas"),
+		"-session", "e2e", "-portdir", portDir,
+		repoPath(t, "testdata/hello.pint"))
+	var srvOut bytes.Buffer
+	srv.Stdout = &srvOut
+	srv.Stderr = &srvOut
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Process.Kill() }()
+
+	// Wait for the server's port file.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		entries, _ := os.ReadDir(portDir)
+		if len(entries) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no port file; server output:\n%s", srvOut.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Scripted client session. TID 0 = main thread of the active view.
+	cli := exec.Command(filepath.Join(bin, "dioneac"),
+		"-session", "e2e", "-portdir", portDir, "-pid", "1")
+	cli.Stdin = strings.NewReader(strings.Join([]string{
+		"threads",
+		"break 4 hello.pint", // inside the fork block
+		"continue",
+		"", // give the breakpoint a beat via an empty command
+		"quit",
+	}, "\n") + "\n")
+	cliOut, err := cli.CombinedOutput()
+	if err != nil {
+		t.Fatalf("dioneac: %v\n%s", err, cliOut)
+	}
+	if !strings.Contains(string(cliOut), "(main)") {
+		t.Fatalf("threads view missing from client output:\n%s", cliOut)
+	}
+
+	// After `quit` the client's sessions drop; the breakpoint in the
+	// child stays set but nobody will resume it — kill the server (the
+	// point of this test is the cross-process protocol, which has now
+	// exercised threads/break/continue).
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case <-done:
+		// Server exited: the child hit no breakpoint before the fork
+		// block, or completed; either way the handshake worked.
+	case <-time.After(5 * time.Second):
+		_ = srv.Process.Kill()
+		<-done
+	}
+}
+
+// TestServerClientBreakpointStop drives a full stop-inspect-resume cycle
+// across OS processes and asserts the debuggee completes.
+func TestServerClientBreakpointStop(t *testing.T) {
+	bin := binaries(t)
+	portDir := t.TempDir()
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "count.pint")
+	src := `total = 0
+for i in range(5) {
+    total += i
+}
+print("total", total)
+`
+	if err := os.WriteFile(prog, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := exec.Command(filepath.Join(bin, "dioneas"),
+		"-session", "e2e2", "-portdir", portDir, prog)
+	var srvOut bytes.Buffer
+	srv.Stdout = &srvOut
+	srv.Stderr = &srvOut
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Process.Kill() }()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		entries, _ := os.ReadDir(portDir)
+		if len(entries) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no port file; server output:\n%s", srvOut.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The client: conditional breakpoint, continue to it, inspect,
+	// continue to completion.
+	in := strings.Join([]string{
+		"break 3 count.pint if i == 3",
+		"continue",
+		"eval total", // 0+1+2 = 3 at the stop
+		"continue",
+		"quit",
+	}, "\n") + "\n"
+	cli := exec.Command(filepath.Join(bin, "dioneac"),
+		"-session", "e2e2", "-portdir", portDir, "-pid", "1")
+	cli.Stdin = strings.NewReader(in)
+	cliOut, err := cli.CombinedOutput()
+	if err != nil {
+		t.Fatalf("dioneac: %v\n%s", err, cliOut)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		_ = srv.Process.Kill()
+		t.Fatalf("debuggee did not finish.\nclient:\n%s\nserver:\n%s", cliOut, srvOut.String())
+	}
+	if !strings.Contains(srvOut.String(), "total 10") {
+		t.Fatalf("program output missing:\nserver:\n%s\nclient:\n%s", srvOut.String(), cliOut)
+	}
+	if !strings.Contains(string(cliOut), "stopped (breakpoint)") {
+		t.Fatalf("client never saw the stop:\n%s", cliOut)
+	}
+	if !strings.Contains(string(cliOut), "3") {
+		t.Fatalf("eval missing:\n%s", cliOut)
+	}
+}
+
+func TestBenchfigTable1(t *testing.T) {
+	bin := binaries(t)
+	out, err := exec.Command(filepath.Join(bin, "benchfig"), "-table1").CombinedOutput()
+	if err != nil {
+		t.Fatalf("benchfig: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "Table 1") || !strings.Contains(string(out), "CPU (paper)") {
+		t.Fatalf("output = %s", out)
+	}
+}

@@ -1,0 +1,148 @@
+// Deadlock example — the paper's §6.2 / Listing 5 scenario: a Queue is
+// inter-thread, not inter-process, so the child forked below blocks
+// forever popping a queue whose pusher thread only exists in the parent.
+//
+// Run bare, the interpreter prints Listing 6's opaque stack trace. Run
+// under Dionea, the client is told the exact line where the deadlock
+// occurred (Figure 7) and can inspect the wedged UE.
+//
+//	go run ./examples/deadlock
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dionea/internal/client"
+	"dionea/internal/compiler"
+	"dionea/internal/dionea"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+	"dionea/internal/protocol"
+)
+
+// Listing 5, transcribed to pint. Line 9 is the fatal pop.
+const program = `queue = queue_new()
+
+spawn do
+    puts("Inside thread -- PARENT")
+    sleep(0.3)
+    queue.push(true)
+end
+
+fork do
+    queue.pop()
+    puts("In -- CHILD")
+end
+
+sleep(0.6)
+exit(0)
+`
+
+func main() {
+	fmt.Println("=== 1. Without Dionea: the bare interpreter message (Listing 6) ===")
+	runBare()
+	fmt.Println()
+	fmt.Println("=== 2. With Dionea: the exact deadlock line (Figure 7) ===")
+	runDebugged()
+}
+
+func runBare() {
+	proto, err := compiler.CompileSource(program, "deadlock.pint")
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := kernel.New()
+	p := k.StartProgram(proto, kernel.Options{
+		Setup: []func(*kernel.Process){ipc.Install},
+	})
+	k.WaitAll()
+	for _, proc := range k.Processes() {
+		if out := proc.Output(); out != "" {
+			fmt.Printf("[pid %d] %s", proc.PID, out)
+		}
+	}
+	_ = p
+}
+
+func runDebugged() {
+	proto, err := compiler.CompileSource(program, "deadlock.pint")
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := kernel.New()
+	p := k.StartProgram(proto, kernel.Options{
+		Setup: []func(*kernel.Process){
+			ipc.Install,
+			func(proc *kernel.Process) {
+				if _, aerr := dionea.Attach(k, proc, dionea.Options{
+					SessionID:     "deadlock",
+					Sources:       map[string]string{"deadlock.pint": program},
+					WaitForClient: true,
+				}); aerr != nil {
+					log.Fatal(aerr)
+				}
+			},
+		},
+	})
+	c := client.New(k, "deadlock")
+	if _, err := c.ConnectRoot(p.PID, 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	var tid int64
+	for tid == 0 {
+		infos, _ := c.Threads(p.PID)
+		for _, ti := range infos {
+			if ti.Main {
+				tid = ti.TID
+			}
+		}
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		log.Fatal(err)
+	}
+
+	ev, err := c.WaitEvent(func(e client.Event) bool {
+		return e.Msg.Cmd == protocol.EventDeadlock
+	}, 15*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Dionea: DEADLOCK in pid %d, thread %d, at %s line %d (%s)\n",
+		ev.Msg.PID, ev.Msg.TID, ev.Msg.File, ev.Msg.Line, ev.Msg.Reason)
+
+	// The wedged UE is parked: show its source line and stack, the way
+	// Figure 7's source view highlights the pop.
+	src, err := c.Source(ev.Msg.PID, ev.Msg.File)
+	if err == nil {
+		lines := splitLines(src)
+		if ev.Msg.Line-1 < len(lines) {
+			fmt.Printf("  => %d: %s\n", ev.Msg.Line, lines[ev.Msg.Line-1])
+		}
+	}
+	if frames, err := c.Stack(ev.Msg.PID, ev.Msg.TID); err == nil {
+		for _, f := range frames {
+			fmt.Printf("     in %s at %s:%d\n", f.Func, f.File, f.Line)
+		}
+	}
+
+	// Let the interpreter abort, as it would have without the debugger.
+	_ = c.Continue(ev.Msg.PID, ev.Msg.TID)
+	k.WaitAll()
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+// MapReduce example — the paper's §6.3 / Figure 8 scenario: a word-count
+// program over the multiprocessing analog (fork-based pool; queues built
+// from a semaphore and a pipe; tasks pickled across). Dionea debugs over
+// the whole process tree: we stop one worker at a breakpoint and watch the
+// available workers take over the jobs, then release the stopped worker.
+//
+//	go run ./examples/mapreduce
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dionea/internal/bytecode"
+	"dionea/internal/client"
+	"dionea/internal/compiler"
+	"dionea/internal/corpus"
+	"dionea/internal/dionea"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+	"dionea/internal/mp"
+	"dionea/internal/protocol"
+	"dionea/internal/value"
+	"dionea/internal/vm"
+)
+
+const workers = 8 // Figure 8: "8 cores and 8 worker processes"
+
+const program = `func count_words(chunk) {
+    counts = {}
+    for line in chunk {
+        for raw in line.split() {
+            w = raw.lower()
+            if w.isalpha() {
+                counts[w] = counts.get(w, 0) + 1
+            }
+        }
+    }
+    return counts
+}
+
+lines = input_lines()
+nchunks = 32
+chunks = []
+for i in range(nchunks) {
+    chunks.push([])
+}
+i = 0
+for line in lines {
+    chunks[i % nchunks].push(line)
+    i += 1
+}
+
+pool = mp_pool(8)
+parts = mp_pool_map(pool, "count_words", chunks)
+mp_pool_close(pool)
+
+total = {}
+for part in parts {
+    for k in part.keys() {
+        total[k] = total.get(k, 0) + part[k]
+    }
+}
+print("distinct words:", len(total))
+`
+
+func main() {
+	proto, err := compiler.CompileSource(program, "mapreduce.pint")
+	if err != nil {
+		log.Fatal(err)
+	}
+	lines := corpus.Generate(corpus.Dionea, 1)
+
+	k := kernel.New()
+	p := k.StartProgram(proto, kernel.Options{
+		Preludes: []*bytecode.FuncProto{mp.MustPrelude()},
+		Setup: []func(*kernel.Process){
+			ipc.Install,
+			func(proc *kernel.Process) {
+				lineVals := make([]value.Value, len(lines))
+				for i, l := range lines {
+					lineVals[i] = value.Str(l)
+				}
+				proc.Globals.Define("input_lines", &vm.Builtin{
+					Name: "input_lines",
+					Fn: func(_ *vm.Thread, _ []value.Value, _ *value.Closure) (value.Value, error) {
+						return value.NewList(lineVals...), nil
+					},
+				})
+				if _, aerr := dionea.Attach(k, proc, dionea.Options{
+					SessionID:     "mapreduce",
+					Sources:       map[string]string{"mapreduce.pint": program},
+					WaitForClient: true,
+				}); aerr != nil {
+					log.Fatal(aerr)
+				}
+			},
+		},
+	})
+
+	c := client.New(k, "mapreduce")
+	if _, err := c.ConnectRoot(p.PID, 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	var tid int64
+	for tid == 0 {
+		infos, _ := c.Threads(p.PID)
+		for _, ti := range infos {
+			if ti.Main {
+				tid = ti.TID
+			}
+		}
+	}
+
+	// Breakpoint inside count_words: the FIRST worker to pick up a task
+	// stops; the paper's observation is that "an available child process
+	// takes over the jobs" while it is held.
+	if err := c.SetBreak(p.PID, "mapreduce.pint", 2); err != nil {
+		log.Fatal(err)
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		log.Fatal(err)
+	}
+
+	ev, err := c.WaitEvent(func(e client.Event) bool {
+		return e.Msg.Cmd == protocol.EventStopped && e.Msg.Reason == protocol.StopBreakpoint
+	}, 20*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	heldPID, heldTID := ev.Msg.PID, ev.Msg.TID
+	fmt.Printf("worker pid %d stopped at the breakpoint (line %d); holding it while the pool keeps working...\n",
+		heldPID, ev.Msg.Line)
+	// Clear the inherited breakpoint everywhere so no other worker stops,
+	// and release any worker that already parked on it — only the first
+	// one stays held. This is the low-intrusive mode of §6.1: one UE
+	// suspended, everything else running.
+	release := func() {
+		for _, pid := range c.Sessions() {
+			_ = c.ClearBreak(pid, "mapreduce.pint", 2)
+		}
+		for _, pid := range c.Sessions() {
+			infos, err := c.Threads(pid)
+			if err != nil {
+				continue
+			}
+			for _, ti := range infos {
+				if ti.State == "suspended" && !(pid == heldPID && ti.TID == heldTID) {
+					_ = c.Continue(pid, ti.TID)
+				}
+			}
+		}
+	}
+	release()
+
+	// While the worker is held, the available workers take over the jobs
+	// (Figure 8). The parent's pool map cannot finish (the held worker
+	// never returns its chunk), but every other chunk gets processed.
+	time.Sleep(500 * time.Millisecond)
+	release() // sweep stragglers that parked before the clear landed
+	busy := 0
+	for _, pid := range c.Sessions() {
+		if pid == p.PID || pid == heldPID {
+			continue
+		}
+		if infos, err := c.Threads(pid); err == nil {
+			for _, ti := range infos {
+				if ti.Main && ti.State != "suspended" {
+					busy++
+				}
+			}
+		}
+	}
+	fmt.Printf("while pid %d is held: %d other workers kept taking jobs\n", heldPID, busy)
+
+	fmt.Printf("releasing worker pid %d\n", heldPID)
+	if err := c.Continue(heldPID, heldTID); err != nil {
+		log.Fatal(err)
+	}
+
+	k.WaitAll()
+	fmt.Print("--- program output ---\n" + p.Output())
+	fmt.Printf("(processes in the tree: %d; workers: %d)\n", len(k.Processes()), workers)
+}

@@ -1,0 +1,135 @@
+// Pipe-leak example — the paper's §6.4 scenario: the parallel gem at
+// version 0.5.9 forks its worker children from the threads that interact
+// with them, interleaved with sibling pipe creation, so children inherit
+// copies of sibling pipes they never close. The child's task pipe then
+// never reaches EOF and the workers deadlock. "Setting disturb mode in
+// Dionea, which will cause to stop the execution of every newly created
+// process or thread, and then interleaving the execution of the threads"
+// makes the race reproducible at will; 0.5.11 fixes it by forking
+// sequentially from the main thread and closing the copied-but-unused
+// sibling pipes.
+//
+//	go run ./examples/pipeleak
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dionea/internal/bytecode"
+	"dionea/internal/compiler"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+	"dionea/internal/parallelgem"
+	"dionea/internal/vm"
+)
+
+const programBuggy = `func work(x) {
+    return x * 10
+}
+out = parallel_map_buggy("work", [1, 2, 3, 4, 5, 6], 3)
+print("buggy version finished:", out)
+`
+
+const programFixed = `func work(x) {
+    return x * 10
+}
+out = parallel_map_fixed("work", [1, 2, 3, 4, 5, 6], 3)
+print("fixed version finished:", out)
+`
+
+func main() {
+	fmt.Println("=== parallel gem 0.5.9 (buggy) under disturb-style lockstep ===")
+	hung := runWithLockstep(programBuggy, parallelgem.MustPreludeBuggy())
+	if hung {
+		fmt.Println("RESULT: deadlocked — children wedged in pipe-read, task pipes held open by leaked sibling write ends")
+	} else {
+		fmt.Println("RESULT: completed (the race needs the forced interleaving; try again)")
+	}
+	fmt.Println()
+	fmt.Println("=== parallel gem 0.5.11 (fixed) under the same lockstep ===")
+	hung = runWithLockstep(programFixed, parallelgem.MustPreludeFixed())
+	if hung {
+		fmt.Println("RESULT: unexpected hang — the fix should be immune")
+	} else {
+		fmt.Println("RESULT: completed — sequential forks + closing sibling pipes make EOF reliable")
+	}
+}
+
+// runWithLockstep executes the program while stepping every worker thread
+// line-by-line (the disturb-mode interleaving); reports whether the
+// program hung.
+func runWithLockstep(src string, prelude *bytecode.FuncProto) bool {
+	proto, err := compiler.CompileSource(src, "pipeleak.pint")
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := kernel.New()
+	p := k.StartProgram(proto, kernel.Options{
+		Preludes: []*bytecode.FuncProto{prelude},
+		Setup: []func(*kernel.Process){
+			ipc.Install,
+			func(proc *kernel.Process) {
+				proc.OnThreadStart = func(tc *kernel.TCtx) {
+					if tc.Main {
+						return
+					}
+					tc.VM.Trace = func(th *vm.Thread, ev vm.Event, line int) error {
+						if ev == vm.EventLine {
+							return tc.Park("step")
+						}
+						return nil
+					}
+					_ = tc.Park("disturb")
+				}
+			},
+		},
+	})
+
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, tc := range p.Threads() {
+				if !tc.Main && tc.Suspended() {
+					tc.Resume()
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		k.WaitAll()
+		close(done)
+	}()
+	select {
+	case <-done:
+		fmt.Print(p.Output())
+		return false
+	case <-time.After(4 * time.Second):
+		for _, proc := range k.Processes() {
+			if proc.Exited() || proc.PID == p.PID {
+				continue
+			}
+			for _, tc := range proc.Threads() {
+				st, reason := tc.State()
+				fmt.Printf("  child pid %d thread %d: %s (%s) at line %d\n",
+					proc.PID, tc.TID, st, reason, tc.VM.CurrentLine())
+			}
+		}
+		for _, proc := range k.Processes() {
+			if !proc.Exited() {
+				proc.Terminate(137)
+			}
+		}
+		return true
+	}
+}

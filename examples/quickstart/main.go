@@ -1,0 +1,120 @@
+// Quickstart: attach Dionea to a small multi-process pint program, set a
+// breakpoint, adopt the forked child, step, inspect variables, continue.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dionea/internal/client"
+	"dionea/internal/compiler"
+	"dionea/internal/dionea"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+	"dionea/internal/protocol"
+)
+
+const program = `total = 0
+for i in range(5) {
+    total += i
+}
+pid = fork do
+    child_sum = total * 2
+    print("child computed", child_sum)
+end
+waitpid(pid)
+print("parent total", total)
+`
+
+func main() {
+	proto, err := compiler.CompileSource(program, "quickstart.pint")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	k := kernel.New()
+	p := k.StartProgram(proto, kernel.Options{
+		Setup: []func(*kernel.Process){
+			ipc.Install,
+			func(proc *kernel.Process) {
+				// The debug server rides inside the debuggee process and
+				// waits for the client before the program runs (§6.1).
+				_, aerr := dionea.Attach(k, proc, dionea.Options{
+					SessionID:     "quickstart",
+					Sources:       map[string]string{"quickstart.pint": program},
+					WaitForClient: true,
+				})
+				if aerr != nil {
+					log.Fatal(aerr)
+				}
+			},
+		},
+	})
+
+	c := client.New(k, "quickstart")
+	if _, err := c.ConnectRoot(p.PID, 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("connected to debug server of pid", p.PID)
+
+	// Find the parked main thread.
+	var tid int64
+	for tid == 0 {
+		infos, err := c.Threads(p.PID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, ti := range infos {
+			if ti.Main {
+				tid = ti.TID
+			}
+		}
+	}
+
+	// Breakpoint inside the fork block: it will fire in the CHILD, whose
+	// own debug server (created by fork handler C) reports it.
+	must(c.SetBreak(p.PID, "quickstart.pint", 6))
+	fmt.Println("breakpoint set at quickstart.pint:6 (inside the fork block)")
+	must(c.Continue(p.PID, tid))
+
+	ev, err := c.WaitEvent(func(e client.Event) bool {
+		return e.Msg.Cmd == protocol.EventStopped && e.Msg.Reason == protocol.StopBreakpoint
+	}, 10*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stopped in pid %d (a forked child), thread %d, line %d\n",
+		ev.Msg.PID, ev.Msg.TID, ev.Msg.Line)
+
+	v, err := c.Eval(ev.Msg.PID, ev.Msg.TID, "total")
+	must(err)
+	fmt.Println("child's inherited copy of total =", v)
+
+	// Step one line: child_sum gets assigned.
+	must(c.Step(ev.Msg.PID, ev.Msg.TID))
+	_, err = c.WaitEvent(func(e client.Event) bool {
+		return e.Msg.Cmd == protocol.EventStopped && e.Msg.Reason == protocol.StopStep
+	}, 10*time.Second)
+	must(err)
+	v, err = c.Eval(ev.Msg.PID, ev.Msg.TID, "child_sum")
+	must(err)
+	fmt.Println("after one step, child_sum =", v)
+
+	must(c.Continue(ev.Msg.PID, ev.Msg.TID))
+	k.WaitAll()
+	fmt.Print("--- program output ---\n" + p.Output())
+	for _, proc := range k.Processes() {
+		if proc.PID != p.PID {
+			fmt.Print(proc.Output())
+		}
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

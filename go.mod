@@ -1,0 +1,3 @@
+module dionea
+
+go 1.22

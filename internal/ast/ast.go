@@ -1,0 +1,358 @@
+// Package ast defines the syntax tree for pint programs.
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"dionea/internal/token"
+)
+
+// Node is any syntax-tree node. Pos returns the 1-based source line, which
+// the compiler records into the bytecode line table — the debugger's
+// breakpoints and deadlock reports are expressed in these lines.
+type Node interface {
+	Pos() int
+	String() string
+}
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Program is the root of a parsed file.
+type Program struct {
+	Stmts []Stmt
+}
+
+// Pos returns the line of the first statement (1 when empty).
+func (p *Program) Pos() int {
+	if len(p.Stmts) == 0 {
+		return 1
+	}
+	return p.Stmts[0].Pos()
+}
+
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, s := range p.Stmts {
+		b.WriteString(s.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ---- statements ----
+
+// ExprStmt is an expression evaluated for side effects.
+type ExprStmt struct {
+	X Expr
+}
+
+func (s *ExprStmt) Pos() int       { return s.X.Pos() }
+func (s *ExprStmt) String() string { return s.X.String() }
+func (s *ExprStmt) stmtNode()      {}
+
+// AssignStmt assigns to an identifier, index expression, or attribute.
+// Op is token.ASSIGN, token.PLUSEQ or token.MINUSEQ.
+type AssignStmt struct {
+	Line   int
+	Target Expr // *Ident or *Index
+	Op     token.Type
+	Value  Expr
+}
+
+func (s *AssignStmt) Pos() int { return s.Line }
+func (s *AssignStmt) String() string {
+	return fmt.Sprintf("%s %s %s", s.Target, s.Op, s.Value)
+}
+func (s *AssignStmt) stmtNode() {}
+
+// ReturnStmt returns from the enclosing function. Value may be nil.
+type ReturnStmt struct {
+	Line  int
+	Value Expr
+}
+
+func (s *ReturnStmt) Pos() int { return s.Line }
+func (s *ReturnStmt) String() string {
+	if s.Value == nil {
+		return "return"
+	}
+	return "return " + s.Value.String()
+}
+func (s *ReturnStmt) stmtNode() {}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+func (s *BreakStmt) Pos() int       { return s.Line }
+func (s *BreakStmt) String() string { return "break" }
+func (s *BreakStmt) stmtNode()      {}
+
+// ContinueStmt jumps to the next iteration of the innermost loop.
+type ContinueStmt struct{ Line int }
+
+func (s *ContinueStmt) Pos() int       { return s.Line }
+func (s *ContinueStmt) String() string { return "continue" }
+func (s *ContinueStmt) stmtNode()      {}
+
+// Block is a brace- or do/end-delimited statement list.
+type Block struct {
+	Line  int
+	Stmts []Stmt
+}
+
+func (b *Block) Pos() int { return b.Line }
+func (b *Block) String() string {
+	var sb strings.Builder
+	sb.WriteString("{ ")
+	for i, s := range b.Stmts {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		sb.WriteString(s.String())
+	}
+	sb.WriteString(" }")
+	return sb.String()
+}
+func (b *Block) stmtNode() {}
+
+// IfStmt is if/elif/else. Elifs are desugared by the parser into nested
+// IfStmts hanging off Else.
+type IfStmt struct {
+	Line int
+	Cond Expr
+	Then *Block
+	Else Stmt // *Block, *IfStmt, or nil
+}
+
+func (s *IfStmt) Pos() int { return s.Line }
+func (s *IfStmt) String() string {
+	out := fmt.Sprintf("if %s %s", s.Cond, s.Then)
+	if s.Else != nil {
+		out += " else " + s.Else.String()
+	}
+	return out
+}
+func (s *IfStmt) stmtNode() {}
+
+// WhileStmt loops while Cond is truthy.
+type WhileStmt struct {
+	Line int
+	Cond Expr
+	Body *Block
+}
+
+func (s *WhileStmt) Pos() int       { return s.Line }
+func (s *WhileStmt) String() string { return fmt.Sprintf("while %s %s", s.Cond, s.Body) }
+func (s *WhileStmt) stmtNode()      {}
+
+// ForStmt iterates Var over the elements of Iter (list, dict keys, string
+// runes, or range object).
+type ForStmt struct {
+	Line int
+	Var  string
+	Iter Expr
+	Body *Block
+}
+
+func (s *ForStmt) Pos() int       { return s.Line }
+func (s *ForStmt) String() string { return fmt.Sprintf("for %s in %s %s", s.Var, s.Iter, s.Body) }
+func (s *ForStmt) stmtNode()      {}
+
+// FuncStmt is a named function definition.
+type FuncStmt struct {
+	Line   int
+	Name   string
+	Params []string
+	Body   *Block
+}
+
+func (s *FuncStmt) Pos() int { return s.Line }
+func (s *FuncStmt) String() string {
+	return fmt.Sprintf("func %s(%s) %s", s.Name, strings.Join(s.Params, ", "), s.Body)
+}
+func (s *FuncStmt) stmtNode() {}
+
+// ---- expressions ----
+
+// Ident is a variable reference.
+type Ident struct {
+	Line int
+	Name string
+}
+
+func (e *Ident) Pos() int       { return e.Line }
+func (e *Ident) String() string { return e.Name }
+func (e *Ident) exprNode()      {}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	Line  int
+	Value int64
+}
+
+func (e *IntLit) Pos() int       { return e.Line }
+func (e *IntLit) String() string { return fmt.Sprintf("%d", e.Value) }
+func (e *IntLit) exprNode()      {}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	Line  int
+	Value float64
+}
+
+func (e *FloatLit) Pos() int       { return e.Line }
+func (e *FloatLit) String() string { return fmt.Sprintf("%g", e.Value) }
+func (e *FloatLit) exprNode()      {}
+
+// StringLit is a string literal (escapes already decoded).
+type StringLit struct {
+	Line  int
+	Value string
+}
+
+func (e *StringLit) Pos() int       { return e.Line }
+func (e *StringLit) String() string { return fmt.Sprintf("%q", e.Value) }
+func (e *StringLit) exprNode()      {}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	Line  int
+	Value bool
+}
+
+func (e *BoolLit) Pos() int       { return e.Line }
+func (e *BoolLit) String() string { return fmt.Sprintf("%t", e.Value) }
+func (e *BoolLit) exprNode()      {}
+
+// NilLit is the nil literal.
+type NilLit struct{ Line int }
+
+func (e *NilLit) Pos() int       { return e.Line }
+func (e *NilLit) String() string { return "nil" }
+func (e *NilLit) exprNode()      {}
+
+// ListLit is [a, b, c].
+type ListLit struct {
+	Line  int
+	Elems []Expr
+}
+
+func (e *ListLit) Pos() int { return e.Line }
+func (e *ListLit) String() string {
+	parts := make([]string, len(e.Elems))
+	for i, el := range e.Elems {
+		parts[i] = el.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+func (e *ListLit) exprNode() {}
+
+// DictLit is {k: v, ...}.
+type DictLit struct {
+	Line   int
+	Keys   []Expr
+	Values []Expr
+}
+
+func (e *DictLit) Pos() int { return e.Line }
+func (e *DictLit) String() string {
+	parts := make([]string, len(e.Keys))
+	for i := range e.Keys {
+		parts[i] = e.Keys[i].String() + ": " + e.Values[i].String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+func (e *DictLit) exprNode() {}
+
+// Binary is a binary operation.
+type Binary struct {
+	Line int
+	Op   token.Type
+	L, R Expr
+}
+
+func (e *Binary) Pos() int       { return e.Line }
+func (e *Binary) String() string { return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R) }
+func (e *Binary) exprNode()      {}
+
+// Unary is -x, !x or not x.
+type Unary struct {
+	Line int
+	Op   token.Type
+	X    Expr
+}
+
+func (e *Unary) Pos() int       { return e.Line }
+func (e *Unary) String() string { return fmt.Sprintf("(%s%s)", e.Op, e.X) }
+func (e *Unary) exprNode()      {}
+
+// Call invokes a callee. Block, when non-nil, is a Ruby-style trailing
+// `do |params| ... end` closure passed as an extra final argument — this is
+// how pint spells `fork do ... end` (paper Listing 3/5).
+type Call struct {
+	Line   int
+	Callee Expr
+	Args   []Expr
+	Block  *FuncLit
+}
+
+func (e *Call) Pos() int { return e.Line }
+func (e *Call) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	out := fmt.Sprintf("%s(%s)", e.Callee, strings.Join(parts, ", "))
+	if e.Block != nil {
+		out += " do " + e.Block.Body.String() + " end"
+	}
+	return out
+}
+func (e *Call) exprNode() {}
+
+// Index is x[i].
+type Index struct {
+	Line int
+	X    Expr
+	Idx  Expr
+}
+
+func (e *Index) Pos() int       { return e.Line }
+func (e *Index) String() string { return fmt.Sprintf("%s[%s]", e.X, e.Idx) }
+func (e *Index) exprNode()      {}
+
+// Attr is x.name; evaluating it yields a bound method on the receiver.
+type Attr struct {
+	Line int
+	X    Expr
+	Name string
+}
+
+func (e *Attr) Pos() int       { return e.Line }
+func (e *Attr) String() string { return fmt.Sprintf("%s.%s", e.X, e.Name) }
+func (e *Attr) exprNode()      {}
+
+// FuncLit is an anonymous function, either `func(a, b) { ... }` or a
+// trailing do-block `do |a, b| ... end`.
+type FuncLit struct {
+	Line   int
+	Params []string
+	Body   *Block
+}
+
+func (e *FuncLit) Pos() int { return e.Line }
+func (e *FuncLit) String() string {
+	return fmt.Sprintf("func(%s) %s", strings.Join(e.Params, ", "), e.Body)
+}
+func (e *FuncLit) exprNode() {}

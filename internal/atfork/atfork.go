@@ -1,0 +1,141 @@
+// Package atfork implements the fork-handler registry of the paper's §5.2:
+// functions hooked to the fork call, in the style of pthread_atfork(3).
+//
+// Registration order matters and follows POSIX: prepare handlers run in
+// reverse registration order (last registered runs first, so the most
+// recently layered subsystem — the debugger — prepares before the
+// substrate it sits on), while parent and child handlers run in
+// registration order.
+//
+// Two kinds of handlers coexist in the registry, exactly as in the paper:
+// interpreter-level handlers (the analogs of MRI's rb_thread_atfork and
+// YARV's rb_thread_atfork_internal, Listings 1–2) and Dionea's own
+// handlers A/B/C (§5.4). "When designing and implementing fork handlers,
+// it should be noted that other hooked fork handlers will be called along
+// with our fork handlers."
+package atfork
+
+import "sync"
+
+// Ctx is the opaque per-thread context handlers receive. The kernel
+// passes its thread context (*kernel.TCtx); handlers registered by other
+// packages type-assert it back.
+type Ctx interface{}
+
+// Handler is one registered fork-handler triple. Any of the three hooks
+// may be nil.
+type Handler struct {
+	// Name identifies the handler in diagnostics and tests ("mri",
+	// "yarv", "dionea", ...).
+	Name string
+	// Prepare runs in the parent before the fork, GIL held by the forking
+	// thread. An error aborts the fork (it is reported to the caller and
+	// no child is created) after the already-run prepare handlers are
+	// rolled back by calling their Parent hooks.
+	Prepare func(parent Ctx) error
+	// Parent runs in the parent after the fork, GIL still held.
+	Parent func(parent Ctx)
+	// Child runs in the child's surviving thread before user code
+	// resumes, child GIL held.
+	Child func(child Ctx)
+}
+
+// Registry is a process's ordered set of fork handlers. It is part of the
+// process image: Clone is called at fork so the child inherits it.
+type Registry struct {
+	mu       sync.Mutex
+	handlers []Handler
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register appends a handler (POSIX pthread_atfork semantics).
+func (r *Registry) Register(h Handler) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.handlers = append(r.handlers, h)
+}
+
+// Unregister removes all handlers with the given name. POSIX has no
+// unregister, but Dionea detaching from a process needs one.
+func (r *Registry) Unregister(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.handlers[:0]
+	for _, h := range r.handlers {
+		if h.Name != name {
+			out = append(out, h)
+		}
+	}
+	r.handlers = out
+}
+
+// Names returns the registered handler names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.handlers))
+	for i, h := range r.handlers {
+		out[i] = h.Name
+	}
+	return out
+}
+
+// Clone copies the registry for a forked child.
+func (r *Registry) Clone() *Registry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := &Registry{handlers: make([]Handler, len(r.handlers))}
+	copy(n.handlers, r.handlers)
+	return n
+}
+
+// snapshot returns a copy of the handler list for iteration outside the
+// lock (handlers themselves may take long-held locks).
+func (r *Registry) snapshot() []Handler {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Handler, len(r.handlers))
+	copy(out, r.handlers)
+	return out
+}
+
+// RunPrepare runs prepare handlers in reverse registration order. On
+// error, the Parent hooks of the handlers whose Prepare already ran are
+// invoked (in registration order) to roll back, and the error is returned.
+func (r *Registry) RunPrepare(parent Ctx) error {
+	hs := r.snapshot()
+	for i := len(hs) - 1; i >= 0; i-- {
+		if hs[i].Prepare == nil {
+			continue
+		}
+		if err := hs[i].Prepare(parent); err != nil {
+			for j := i + 1; j < len(hs); j++ {
+				if hs[j].Parent != nil {
+					hs[j].Parent(parent)
+				}
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// RunParent runs parent handlers in registration order.
+func (r *Registry) RunParent(parent Ctx) {
+	for _, h := range r.snapshot() {
+		if h.Parent != nil {
+			h.Parent(parent)
+		}
+	}
+}
+
+// RunChild runs child handlers in registration order.
+func (r *Registry) RunChild(child Ctx) {
+	for _, h := range r.snapshot() {
+		if h.Child != nil {
+			h.Child(child)
+		}
+	}
+}

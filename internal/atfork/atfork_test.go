@@ -1,0 +1,115 @@
+package atfork_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"dionea/internal/atfork"
+)
+
+// recorder builds a handler that logs its invocations.
+func recorder(name string, log *[]string, prepErr error) atfork.Handler {
+	return atfork.Handler{
+		Name: name,
+		Prepare: func(atfork.Ctx) error {
+			*log = append(*log, "prepare:"+name)
+			return prepErr
+		},
+		Parent: func(atfork.Ctx) { *log = append(*log, "parent:"+name) },
+		Child:  func(atfork.Ctx) { *log = append(*log, "child:"+name) },
+	}
+}
+
+func TestPOSIXOrdering(t *testing.T) {
+	// POSIX: prepare runs in REVERSE registration order; parent and child
+	// in registration order. This is what makes Dionea (registered after
+	// the interpreter handlers) prepare FIRST and fix the child LAST.
+	var log []string
+	r := atfork.NewRegistry()
+	r.Register(recorder("interp", &log, nil))
+	r.Register(recorder("dionea", &log, nil))
+
+	if err := r.RunPrepare(nil); err != nil {
+		t.Fatal(err)
+	}
+	r.RunParent(nil)
+	r.RunChild(nil)
+
+	want := []string{
+		"prepare:dionea", "prepare:interp",
+		"parent:interp", "parent:dionea",
+		"child:interp", "child:dionea",
+	}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("order = %v", log)
+	}
+}
+
+func TestPrepareFailureRollsBack(t *testing.T) {
+	var log []string
+	boom := errors.New("boom")
+	r := atfork.NewRegistry()
+	r.Register(recorder("a", &log, boom)) // prepare runs second, fails
+	r.Register(recorder("b", &log, nil))  // prepare runs first, must roll back
+
+	err := r.RunPrepare(nil)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	want := []string{"prepare:b", "prepare:a", "parent:b"}
+	if !reflect.DeepEqual(log, want) {
+		t.Fatalf("rollback = %v", log)
+	}
+}
+
+func TestNilHooksSkipped(t *testing.T) {
+	r := atfork.NewRegistry()
+	r.Register(atfork.Handler{Name: "empty"})
+	if err := r.RunPrepare(nil); err != nil {
+		t.Fatal(err)
+	}
+	r.RunParent(nil)
+	r.RunChild(nil)
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	var log []string
+	r := atfork.NewRegistry()
+	r.Register(recorder("x", &log, nil))
+	c := r.Clone()
+	c.Register(recorder("y", &log, nil))
+	if got := r.Names(); len(got) != 1 {
+		t.Fatalf("original grew: %v", got)
+	}
+	if got := c.Names(); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Fatalf("clone = %v", got)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	var log []string
+	r := atfork.NewRegistry()
+	r.Register(recorder("keep", &log, nil))
+	r.Register(recorder("drop", &log, nil))
+	r.Register(recorder("drop", &log, nil))
+	r.Unregister("drop")
+	if got := r.Names(); !reflect.DeepEqual(got, []string{"keep"}) {
+		t.Fatalf("names = %v", got)
+	}
+}
+
+func TestCtxPassedThrough(t *testing.T) {
+	type myCtx struct{ v int }
+	var got interface{}
+	r := atfork.NewRegistry()
+	r.Register(atfork.Handler{
+		Name:  "ctx",
+		Child: func(c atfork.Ctx) { got = c },
+	})
+	want := &myCtx{v: 7}
+	r.RunChild(want)
+	if got != want {
+		t.Fatalf("ctx = %v", got)
+	}
+}

@@ -1,0 +1,173 @@
+// Package bench contains the shared measurement code behind the paper's
+// evaluation (§7): the word-frequency MapReduce runs of Figure 9 (Dionea
+// source), Figure 10 (Linux source), the Rust-source run described in the
+// text, and the Table 1 environment report. Both the root bench_test.go
+// and cmd/benchfig drive it.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"dionea/internal/corpus"
+	"dionea/internal/wordcount"
+)
+
+// Experiment describes one §7 measurement.
+type Experiment struct {
+	ID     string // "Figure 9", "Rust run", "Figure 10"
+	Preset corpus.Preset
+	// PaperNormal/PaperDebug are the wall times the paper reports.
+	PaperNormal time.Duration
+	PaperDebug  time.Duration
+	// PaperLabel names the original corpus.
+	PaperLabel string
+}
+
+// Experiments lists the paper's three overhead measurements.
+func Experiments() []Experiment {
+	return []Experiment{
+		{
+			ID: "Figure 9", Preset: corpus.Dionea,
+			PaperNormal: 2310 * time.Millisecond,
+			PaperDebug:  2580 * time.Millisecond,
+			PaperLabel:  "Dionea source code (trunk r656)",
+		},
+		{
+			ID: "Rust run (§7)", Preset: corpus.Rust,
+			PaperNormal: 3*time.Minute + 49*time.Second,
+			PaperDebug:  4*time.Minute + 36*time.Second,
+			PaperLabel:  "Rust source code (master 7613b15)",
+		},
+		{
+			ID: "Figure 10", Preset: corpus.Linux,
+			PaperNormal: 1601 * time.Second,
+			PaperDebug:  1933 * time.Second,
+			PaperLabel:  "Linux 3.18.1",
+		},
+	}
+}
+
+// Result is one measured experiment.
+type Result struct {
+	Experiment Experiment
+	Normal     time.Duration
+	Debug      time.Duration
+	Reps       int
+	Workers    int
+	Scale      int
+	// Raw samples, for spread reporting.
+	NormalRuns []float64
+	DebugRuns  []float64
+}
+
+// OverheadPct returns the measured debugging overhead in percent.
+func (r Result) OverheadPct() float64 {
+	if r.Normal <= 0 {
+		return 0
+	}
+	return (r.Debug.Seconds()/r.Normal.Seconds() - 1) * 100
+}
+
+// PaperOverheadPct returns the paper's overhead in percent.
+func (r Result) PaperOverheadPct() float64 {
+	e := r.Experiment
+	if e.PaperNormal <= 0 {
+		return 0
+	}
+	return (e.PaperDebug.Seconds()/e.PaperNormal.Seconds() - 1) * 100
+}
+
+// Measure runs one experiment: reps repetitions of the workload in each
+// configuration, reporting the MINIMUM of each — the standard estimator
+// for true cost on a noisy shared host, where every disturbance only adds
+// time. Runs are interleaved so slow host phases hit both configurations.
+func Measure(e Experiment, scale, workers, reps int) (Result, error) {
+	if reps <= 0 {
+		reps = 5
+	}
+	if workers <= 0 {
+		workers = 4
+	}
+	lines := corpus.Generate(e.Preset, scale)
+	var normals, debugs []float64
+	for i := 0; i < reps; i++ {
+		rn, err := wordcount.Run(lines, workers, false)
+		if err != nil {
+			return Result{}, fmt.Errorf("%s normal: %w", e.ID, err)
+		}
+		rd, err := wordcount.Run(lines, workers, true)
+		if err != nil {
+			return Result{}, fmt.Errorf("%s debug: %w", e.ID, err)
+		}
+		normals = append(normals, rn.Elapsed.Seconds())
+		debugs = append(debugs, rd.Elapsed.Seconds())
+	}
+	return Result{
+		Experiment: e,
+		Normal:     time.Duration(minOf(normals) * float64(time.Second)),
+		Debug:      time.Duration(minOf(debugs) * float64(time.Second)),
+		Reps:       reps,
+		Workers:    workers,
+		Scale:      scale,
+		NormalRuns: normals,
+		DebugRuns:  debugs,
+	}, nil
+}
+
+func minOf(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 0 {
+		return 0
+	}
+	return s[0]
+}
+
+// Table1Row is one row of the environment table (the paper's Table 1
+// lists the machine the measurements ran on).
+type Table1Row struct{ Key, Value string }
+
+// Table1 reports this host next to the paper's box.
+func Table1() []Table1Row {
+	return []Table1Row{
+		{"CPU (paper)", "Intel(R) Core(TM) i5 CPU, 4 cores"},
+		{"CPU (here)", fmt.Sprintf("%s/%s, %d logical CPUs (GOMAXPROCS %d)",
+			runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), runtime.GOMAXPROCS(0))},
+		{"Platform (paper)", "Ubuntu 13.04 (3.8.0-27 SMP x86 64), Python 2.5.2, SSD, 6GB DDR3"},
+		{"Platform (here)", fmt.Sprintf("Go %s, simulated interpreter (pint), simulated kernel", runtime.Version())},
+	}
+}
+
+// FormatResult renders a paper-vs-measured comparison block.
+func FormatResult(r Result) string {
+	e := r.Experiment
+	return fmt.Sprintf(
+		"%s — word frequency over %s\n"+
+			"  paper:    Normal %8s   Debugging %8s   (+%.1f%%)\n"+
+			"  measured: Normal %8s   Debugging %8s   (+%.1f%%)   [min of %d, %d workers, corpus scale %dx]\n",
+		e.ID, e.PaperLabel,
+		fmtDur(e.PaperNormal), fmtDur(e.PaperDebug), r.PaperOverheadPct(),
+		fmtDur(r.Normal), fmtDur(r.Debug), r.OverheadPct(),
+		r.Reps, r.Workers, maxInt(r.Scale, 1))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return fmt.Sprintf("%dm%02ds", int(d.Minutes()), int(d.Seconds())%60)
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	default:
+		return fmt.Sprintf("%dms", d.Milliseconds())
+	}
+}

@@ -1,0 +1,102 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dionea/internal/bench"
+	"dionea/internal/corpus"
+)
+
+func TestExperimentsCoverTheEvaluation(t *testing.T) {
+	exps := bench.Experiments()
+	if len(exps) != 3 {
+		t.Fatalf("experiments = %d", len(exps))
+	}
+	wantIDs := map[string]corpus.Preset{
+		"Figure 9":      corpus.Dionea,
+		"Rust run (§7)": corpus.Rust,
+		"Figure 10":     corpus.Linux,
+	}
+	for _, e := range exps {
+		if wantIDs[e.ID] != e.Preset {
+			t.Fatalf("experiment %q has preset %q", e.ID, e.Preset)
+		}
+		if e.PaperDebug <= e.PaperNormal {
+			t.Fatalf("%s: paper debug %v <= normal %v", e.ID, e.PaperDebug, e.PaperNormal)
+		}
+	}
+}
+
+func TestPaperOverheadsMatchPaper(t *testing.T) {
+	// Sanity-check the transcription of the paper's numbers.
+	for _, c := range []struct {
+		id   string
+		want float64
+	}{
+		{"Figure 9", 11.7},
+		{"Rust run (§7)", 20.5},
+		{"Figure 10", 20.7},
+	} {
+		for _, e := range bench.Experiments() {
+			if e.ID != c.id {
+				continue
+			}
+			r := bench.Result{Experiment: e}
+			got := r.PaperOverheadPct()
+			if got < c.want-0.5 || got > c.want+0.5 {
+				t.Fatalf("%s: paper overhead = %.1f%%, expected ~%.1f%%", c.id, got, c.want)
+			}
+		}
+	}
+}
+
+func TestMeasureSmoke(t *testing.T) {
+	// One tiny repetition of the smallest experiment: Measure must produce
+	// positive times and a sane report.
+	e := bench.Experiments()[0]
+	r, err := bench.Measure(e, 1, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Normal <= 0 || r.Debug <= 0 {
+		t.Fatalf("times: %v %v", r.Normal, r.Debug)
+	}
+	if len(r.NormalRuns) != 1 || len(r.DebugRuns) != 1 {
+		t.Fatalf("samples: %v %v", r.NormalRuns, r.DebugRuns)
+	}
+	out := bench.FormatResult(r)
+	for _, want := range []string{"Figure 9", "paper:", "measured:", "Dionea source"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable1HasBothMachines(t *testing.T) {
+	rows := bench.Table1()
+	if len(rows) < 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	joined := ""
+	for _, r := range rows {
+		joined += r.Key + " " + r.Value + "\n"
+	}
+	for _, want := range []string{"Core(TM) i5", "GOMAXPROCS", "Python 2.5.2", "Go go"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("Table 1 missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestOverheadPctArithmetic(t *testing.T) {
+	r := bench.Result{Normal: time.Second, Debug: 1200 * time.Millisecond}
+	if pct := r.OverheadPct(); pct < 19.9 || pct > 20.1 {
+		t.Fatalf("pct = %f", pct)
+	}
+	zero := bench.Result{}
+	if zero.OverheadPct() != 0 {
+		t.Fatalf("zero-division not guarded")
+	}
+}

@@ -1,0 +1,191 @@
+// Package bytecode defines the instruction set and compiled-function
+// representation executed by the pint virtual machine.
+//
+// Code is immutable once compiled, so it is shared (not copied) across
+// fork: a forked child holds pointers to the same FuncProtos as its
+// parent, just as a real fork shares the interpreter's code objects via
+// copy-on-write pages.
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is a VM opcode.
+type Op byte
+
+// Opcodes. Arg meanings are noted per opcode.
+const (
+	// OpLine marks the start of a statement on source line Arg. It drives
+	// the debugger's line-event trace hook (the sys.settrace /
+	// set_trace_func analog) and the GIL checkinterval accounting.
+	OpLine     Op = iota
+	OpConst       // push Consts[Arg]
+	OpNil         // push nil
+	OpTrue        // push true
+	OpFalse       // push false
+	OpPop         // discard top of stack
+	OpLoadName    // push value of Names[Arg], resolved through the env chain
+	OpStoreName
+	OpDefineName // bind Names[Arg] in the innermost env (function params)
+	OpBinary     // Arg is a BinOp; pops b, a; pushes a op b
+	OpUnary      // Arg is a UnOp; pops a; pushes op a
+	OpJump       // ip = Arg
+	OpJumpIfFalse
+	OpJumpIfTrue
+	// OpJumpIfFalsePeek / Peek variants do not pop when jumping; used by
+	// `and` / `or` shortcut evaluation.
+	OpJumpIfFalsePeek
+	OpJumpIfTruePeek
+	OpCall        // Arg = number of positional args; block flag in Arg2
+	OpReturn      // pop return value, pop frame
+	OpMakeClosure // push closure of Consts[Arg] (*FuncProto) over current env
+	OpMakeList    // pop Arg elems, push list
+	OpMakeDict    // pop Arg (k,v) pairs, push dict
+	OpIndex       // pops idx, x; pushes x[idx]
+	OpSetIndex    // pops v, idx, x; performs x[idx] = v
+	OpAttr        // pops x; pushes bound method x.Names[Arg]
+	OpIterNew     // pops x; pushes iterator over x
+	OpIterNext    // if iterator exhausted jump Arg, else push next element
+)
+
+var opNames = [...]string{
+	OpLine:            "LINE",
+	OpConst:           "CONST",
+	OpNil:             "NIL",
+	OpTrue:            "TRUE",
+	OpFalse:           "FALSE",
+	OpPop:             "POP",
+	OpLoadName:        "LOAD",
+	OpStoreName:       "STORE",
+	OpDefineName:      "DEFINE",
+	OpBinary:          "BINARY",
+	OpUnary:           "UNARY",
+	OpJump:            "JUMP",
+	OpJumpIfFalse:     "JFALSE",
+	OpJumpIfTrue:      "JTRUE",
+	OpJumpIfFalsePeek: "JFALSEP",
+	OpJumpIfTruePeek:  "JTRUEP",
+	OpCall:            "CALL",
+	OpReturn:          "RETURN",
+	OpMakeClosure:     "CLOSURE",
+	OpMakeList:        "MKLIST",
+	OpMakeDict:        "MKDICT",
+	OpIndex:           "INDEX",
+	OpSetIndex:        "SETINDEX",
+	OpAttr:            "ATTR",
+	OpIterNew:         "ITERNEW",
+	OpIterNext:        "ITERNEXT",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", byte(o))
+}
+
+// BinOp identifies a binary operator for OpBinary.
+type BinOp int
+
+// Binary operators.
+const (
+	BinAdd BinOp = iota
+	BinSub
+	BinMul
+	BinDiv
+	BinMod
+	BinEq
+	BinNeq
+	BinLt
+	BinGt
+	BinLe
+	BinGe
+)
+
+var binNames = [...]string{"+", "-", "*", "/", "%", "==", "!=", "<", ">", "<=", ">="}
+
+func (b BinOp) String() string {
+	if int(b) < len(binNames) {
+		return binNames[b]
+	}
+	return fmt.Sprintf("BinOp(%d)", int(b))
+}
+
+// UnOp identifies a unary operator for OpUnary.
+type UnOp int
+
+// Unary operators.
+const (
+	UnNeg UnOp = iota // -x
+	UnNot             // not x
+)
+
+// Instr is one VM instruction. Line is the source line the instruction
+// was compiled from (for error reporting; trace events use OpLine).
+type Instr struct {
+	Op   Op
+	Arg  int
+	Arg2 int // OpCall: 1 if a trailing do-block closure sits atop the args
+	Line int
+}
+
+func (in Instr) String() string {
+	return fmt.Sprintf("%-9s %d", in.Op, in.Arg)
+}
+
+// Const is a compile-time constant: int64, float64, string, bool or
+// *FuncProto.
+type Const interface{}
+
+// FuncProto is a compiled function body.
+type FuncProto struct {
+	Name   string // "<main>" for the top level
+	Params []string
+	Code   []Instr
+	Consts []Const
+	Names  []string // identifier table for Load/Store/Define/Attr
+	File   string   // source file name, for the debugger's source view
+	// Lines is the ascending set of source lines that carry an OpLine —
+	// i.e. the breakpointable lines of this function.
+	Lines []int
+}
+
+// Disassemble renders the code for tests and tooling.
+func (f *FuncProto) Disassemble() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s(%s):\n", f.Name, strings.Join(f.Params, ", "))
+	for i, in := range f.Code {
+		fmt.Fprintf(&b, "%4d  %-9s %d", i, in.Op, in.Arg)
+		switch in.Op {
+		case OpConst, OpMakeClosure:
+			fmt.Fprintf(&b, "   ; %v", f.Consts[in.Arg])
+		case OpLoadName, OpStoreName, OpDefineName, OpAttr:
+			fmt.Fprintf(&b, "   ; %s", f.Names[in.Arg])
+		case OpBinary:
+			fmt.Fprintf(&b, "   ; %s", BinOp(in.Arg))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Pos returns the first breakpointable line of the function (its body
+// start), or 0 for an empty body.
+func (f *FuncProto) Pos() int {
+	if len(f.Lines) == 0 {
+		return 0
+	}
+	return f.Lines[0]
+}
+
+// HasLine reports whether source line n is breakpointable in this proto.
+func (f *FuncProto) HasLine(n int) bool {
+	for _, l := range f.Lines {
+		if l == n {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,591 @@
+// Package client implements the Dionea client (§4): the single debugger
+// front end that maintains one debug session per debuggee process
+// (1 client : N servers) and multiplexes debug views over them (§4.2).
+//
+// The paper's client is a Qt GUI; this client is programmatic (and drives
+// the CLI in cmd/dioneac). It reproduces the GUI's model: a
+// processes-and-threads tree, one active debug view (a (process, thread)
+// pair whose source and variables are shown), per-UE output, and the
+// adoption of forked children through the port-handoff temp file.
+package client
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dionea/internal/protocol"
+)
+
+// PortResolver resolves port-handoff temp files. *kernel.Kernel satisfies
+// it for in-process debugging; DirResolver reads real files written by a
+// server in another OS process (dionea.Options.PortDir).
+type PortResolver interface {
+	TempRead(name string) ([]byte, bool)
+}
+
+// DirResolver resolves port files from a real directory.
+type DirResolver struct{ Dir string }
+
+// TempRead implements PortResolver.
+func (d DirResolver) TempRead(name string) ([]byte, bool) {
+	b, err := os.ReadFile(filepath.Join(d.Dir, name))
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// Event is a tagged server event delivered to the client's event stream.
+type Event struct {
+	PID int64
+	Msg *protocol.Msg
+}
+
+// Session is the client side of one server connection pair (§4.1: "a
+// debug server is tied to a single client").
+type Session struct {
+	PID int64
+
+	cmd *protocol.Conn
+	src *protocol.Conn
+
+	mu      sync.Mutex
+	pending map[int64]chan *protocol.Msg
+	nextID  atomic.Int64
+	closed  bool
+}
+
+// Client is the debugger front end.
+type Client struct {
+	K         PortResolver
+	sessionID string
+
+	mu       sync.Mutex
+	sessions map[int64]*Session
+	events   chan Event
+
+	// The active debug view (§4.2): there is only one active view at a
+	// time; selecting a UE switches the source/variables shown.
+	viewPID int64
+	viewTID int64
+
+	// Per-UE last-seen source file (from stop/source-sync events) and
+	// per-process output tails, feeding the Figure 2 view panes.
+	lastFile map[viewKey]string
+	outTail  *outputTail
+}
+
+// New creates a client for one debug session ID. k resolves port-handoff
+// files: pass the kernel for in-process debugging, or a DirResolver for a
+// server running in another OS process.
+func New(k PortResolver, sessionID string) *Client {
+	return &Client{
+		K:         k,
+		sessionID: sessionID,
+		sessions:  make(map[int64]*Session),
+		events:    make(chan Event, 1024),
+		lastFile:  make(map[viewKey]string),
+		outTail:   newOutputTail(),
+	}
+}
+
+// Events exposes the merged event stream of every session.
+func (c *Client) Events() <-chan Event { return c.events }
+
+// Sessions returns the PIDs with open sessions, ascending.
+func (c *Client) Sessions() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]int64, 0, len(c.sessions))
+	for pid := range c.sessions {
+		out = append(out, pid)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Connect opens a session to the debug server of pid, resolving its port
+// through the handoff temp file. It retries until timeout, because a
+// freshly forked child writes the file from its handler C asynchronously.
+func (c *Client) Connect(pid int64, timeout time.Duration) (*Session, error) {
+	deadline := time.Now().Add(timeout)
+	var port string
+	for {
+		if b, ok := c.K.TempRead(protocol.PortFileName(c.sessionID, pid)); ok {
+			port = string(b)
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("client: no port file for pid %d", pid)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	dial := func(channel string) (*protocol.Conn, error) {
+		nc, err := net.Dial("tcp", "127.0.0.1:"+port)
+		if err != nil {
+			return nil, err
+		}
+		conn := protocol.NewConn(nc)
+		if err := conn.Send(&protocol.Msg{Kind: "req", Cmd: protocol.EventHello, Channel: channel}); err != nil {
+			_ = conn.Close()
+			return nil, err
+		}
+		hello, err := conn.Recv()
+		if err != nil {
+			_ = conn.Close()
+			return nil, err
+		}
+		if hello.Err != "" {
+			_ = conn.Close()
+			return nil, fmt.Errorf("client: server rejected %s channel: %s", channel, hello.Err)
+		}
+		return conn, nil
+	}
+
+	src, err := dial(protocol.ChannelSource)
+	if err != nil {
+		return nil, err
+	}
+	cmd, err := dial(protocol.ChannelCommand)
+	if err != nil {
+		_ = src.Close()
+		return nil, err
+	}
+
+	s := &Session{PID: pid, cmd: cmd, src: src, pending: make(map[int64]chan *protocol.Msg)}
+	c.mu.Lock()
+	c.sessions[pid] = s
+	c.mu.Unlock()
+
+	go c.eventLoop(s)
+	go s.respLoop()
+	return s, nil
+}
+
+// ConnectRoot connects to the root debuggee and starts auto-adopting
+// forked children: on every EventForked the client connects to the new
+// debuggee's server (Figure 1: one client controlling N debuggees).
+func (c *Client) ConnectRoot(rootPID int64, timeout time.Duration) (*Session, error) {
+	return c.Connect(rootPID, timeout)
+}
+
+// eventLoop pumps one session's source channel into the merged stream,
+// adopting forked children as they are announced.
+func (c *Client) eventLoop(s *Session) {
+	for {
+		m, err := s.src.Recv()
+		if err != nil {
+			c.mu.Lock()
+			delete(c.sessions, s.PID)
+			c.mu.Unlock()
+			// Close only the source side here: command responses already
+			// on the wire must still reach their waiters; respLoop closes
+			// the command side (and any pending waiters) when it drains
+			// to EOF.
+			_ = s.src.Close()
+			c.emit(Event{PID: s.PID, Msg: &protocol.Msg{Kind: "event", Cmd: "session_closed", PID: s.PID}})
+			return
+		}
+		switch m.Cmd {
+		case protocol.EventStopped, protocol.EventSourceSync, protocol.EventDeadlock:
+			c.noteFile(m.PID, m.TID, m.File)
+		case protocol.EventOutput:
+			c.outTail.add(m.PID, m.Text)
+		}
+		if m.Cmd == protocol.EventForked && m.Child != 0 {
+			child := m.Child
+			go func() {
+				if _, err := c.Connect(child, 5*time.Second); err == nil {
+					c.emit(Event{PID: child, Msg: &protocol.Msg{Kind: "event", Cmd: "session_opened", PID: child}})
+				}
+			}()
+		}
+		c.emit(Event{PID: s.PID, Msg: m})
+	}
+}
+
+func (c *Client) emit(e Event) {
+	select {
+	case c.events <- e:
+	default:
+		// Event buffer full: drop oldest to keep the stream moving.
+		select {
+		case <-c.events:
+		default:
+		}
+		select {
+		case c.events <- e:
+		default:
+		}
+	}
+}
+
+// respLoop routes command responses to their waiters.
+func (s *Session) respLoop() {
+	for {
+		m, err := s.cmd.Recv()
+		if err != nil {
+			s.close()
+			return
+		}
+		s.mu.Lock()
+		ch, ok := s.pending[m.ID]
+		if ok {
+			delete(s.pending, m.ID)
+		}
+		s.mu.Unlock()
+		if ok {
+			ch <- m
+		}
+	}
+}
+
+func (s *Session) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	pending := s.pending
+	s.pending = make(map[int64]chan *protocol.Msg)
+	s.mu.Unlock()
+	_ = s.cmd.Close()
+	_ = s.src.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
+}
+
+// ErrSessionClosed is returned for requests on a dead session.
+var ErrSessionClosed = fmt.Errorf("client: session closed")
+
+// Request sends a command and waits for its response.
+func (s *Session) Request(m *protocol.Msg, timeout time.Duration) (*protocol.Msg, error) {
+	m.Kind = "req"
+	m.ID = s.nextID.Add(1)
+	ch := make(chan *protocol.Msg, 1)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrSessionClosed
+	}
+	s.pending[m.ID] = ch
+	s.mu.Unlock()
+	if err := s.cmd.Send(m); err != nil {
+		return nil, err
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, ErrSessionClosed
+		}
+		if resp.Err != "" {
+			return resp, fmt.Errorf("server: %s", resp.Err)
+		}
+		return resp, nil
+	case <-time.After(timeout):
+		s.mu.Lock()
+		delete(s.pending, m.ID)
+		s.mu.Unlock()
+		return nil, fmt.Errorf("client: request %s timed out", m.Cmd)
+	}
+}
+
+const defaultTimeout = 10 * time.Second
+
+func (c *Client) session(pid int64) (*Session, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.sessions[pid]
+	if !ok {
+		return nil, fmt.Errorf("client: no session for pid %d", pid)
+	}
+	return s, nil
+}
+
+// ---- command API ----
+
+// Raw sends an arbitrary request on a session's command channel and
+// returns the response. Intended for tooling and robustness tests; the
+// typed methods below are the normal API.
+func (c *Client) Raw(pid int64, m *protocol.Msg, timeout time.Duration) (*protocol.Msg, error) {
+	s, err := c.session(pid)
+	if err != nil {
+		return nil, err
+	}
+	return s.Request(m, timeout)
+}
+
+// SetBreak sets a breakpoint.
+func (c *Client) SetBreak(pid int64, file string, line int) error {
+	return c.SetBreakIf(pid, file, line, "")
+}
+
+// SetBreakIf sets a conditional breakpoint; cond is "NAME OP LITERAL"
+// (e.g. `i == 3`, `w == "fork"`), empty for unconditional.
+func (c *Client) SetBreakIf(pid int64, file string, line int, cond string) error {
+	s, err := c.session(pid)
+	if err != nil {
+		return err
+	}
+	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdSetBreak, File: file, Line: line, Cond: cond}, defaultTimeout)
+	return err
+}
+
+// ClearBreak removes a breakpoint.
+func (c *Client) ClearBreak(pid int64, file string, line int) error {
+	s, err := c.session(pid)
+	if err != nil {
+		return err
+	}
+	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdClearBreak, File: file, Line: line}, defaultTimeout)
+	return err
+}
+
+// Continue resumes a suspended UE.
+func (c *Client) Continue(pid, tid int64) error {
+	s, err := c.session(pid)
+	if err != nil {
+		return err
+	}
+	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdContinue, TID: tid}, defaultTimeout)
+	return err
+}
+
+// Step resumes a suspended UE until the next line (stepping into calls).
+func (c *Client) Step(pid, tid int64) error {
+	s, err := c.session(pid)
+	if err != nil {
+		return err
+	}
+	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdStep, TID: tid}, defaultTimeout)
+	return err
+}
+
+// Next resumes a suspended UE until the next line in the same (or a
+// shallower) frame.
+func (c *Client) Next(pid, tid int64) error {
+	s, err := c.session(pid)
+	if err != nil {
+		return err
+	}
+	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdNext, TID: tid}, defaultTimeout)
+	return err
+}
+
+// Finish resumes a suspended UE until its current frame returns (step
+// out).
+func (c *Client) Finish(pid, tid int64) error {
+	s, err := c.session(pid)
+	if err != nil {
+		return err
+	}
+	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdFinish, TID: tid}, defaultTimeout)
+	return err
+}
+
+// SuspendAll parks every UE of one process at its next line event — the
+// whole-program operation of §4.
+func (c *Client) SuspendAll(pid int64) error {
+	s, err := c.session(pid)
+	if err != nil {
+		return err
+	}
+	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdSuspendAll}, defaultTimeout)
+	return err
+}
+
+// ResumeAll releases every suspended UE of one process.
+func (c *Client) ResumeAll(pid int64) error {
+	s, err := c.session(pid)
+	if err != nil {
+		return err
+	}
+	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdResumeAll}, defaultTimeout)
+	return err
+}
+
+// StopWorld suspends every UE of every session — the broadest form of
+// "operating over the whole program".
+func (c *Client) StopWorld() error {
+	for _, pid := range c.Sessions() {
+		if err := c.SuspendAll(pid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ResumeWorld undoes StopWorld.
+func (c *Client) ResumeWorld() error {
+	for _, pid := range c.Sessions() {
+		if err := c.ResumeAll(pid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Suspend asks a running UE to park at its next line event.
+func (c *Client) Suspend(pid, tid int64) error {
+	s, err := c.session(pid)
+	if err != nil {
+		return err
+	}
+	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdSuspend, TID: tid}, defaultTimeout)
+	return err
+}
+
+// Threads lists the UEs of a process.
+func (c *Client) Threads(pid int64) ([]protocol.ThreadInfo, error) {
+	s, err := c.session(pid)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.Request(&protocol.Msg{Cmd: protocol.CmdThreads}, defaultTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Threads, nil
+}
+
+// Stack returns a suspended UE's frames.
+func (c *Client) Stack(pid, tid int64) ([]protocol.FrameInfo, error) {
+	s, err := c.session(pid)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.Request(&protocol.Msg{Cmd: protocol.CmdStack, TID: tid}, defaultTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Frames, nil
+}
+
+// Vars returns the variables view of a suspended UE.
+func (c *Client) Vars(pid, tid int64) ([]protocol.VarInfo, error) {
+	s, err := c.session(pid)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.Request(&protocol.Msg{Cmd: protocol.CmdVars, TID: tid}, defaultTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Vars, nil
+}
+
+// Eval inspects a variable by name in a suspended UE.
+func (c *Client) Eval(pid, tid int64, name string) (string, error) {
+	s, err := c.session(pid)
+	if err != nil {
+		return "", err
+	}
+	resp, err := s.Request(&protocol.Msg{Cmd: protocol.CmdEval, TID: tid, Text: name}, defaultTimeout)
+	if err != nil {
+		return "", err
+	}
+	return resp.Text, nil
+}
+
+// Source fetches source text from the server (the source-sync channel's
+// request side).
+func (c *Client) Source(pid int64, file string) (string, error) {
+	s, err := c.session(pid)
+	if err != nil {
+		return "", err
+	}
+	resp, err := s.Request(&protocol.Msg{Cmd: protocol.CmdSource, File: file}, defaultTimeout)
+	if err != nil {
+		return "", err
+	}
+	return resp.Text, nil
+}
+
+// SendInput feeds one line into a debuggee's standard input — Figure 2's
+// Input window ("if the program requires input from the user, this is the
+// place to enter data").
+func (c *Client) SendInput(pid int64, line string) error {
+	s, err := c.session(pid)
+	if err != nil {
+		return err
+	}
+	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdStdin, Text: line}, defaultTimeout)
+	return err
+}
+
+// Disturb toggles disturb mode on a process (§6.4).
+func (c *Client) Disturb(pid int64, on bool) error {
+	s, err := c.session(pid)
+	if err != nil {
+		return err
+	}
+	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdDisturb, On: on}, defaultTimeout)
+	return err
+}
+
+// Detach disables the debug server for a process: traces become no-ops
+// and parked threads are released.
+func (c *Client) Detach(pid int64) error {
+	s, err := c.session(pid)
+	if err != nil {
+		return err
+	}
+	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdDetach}, defaultTimeout)
+	return err
+}
+
+// Kill terminates a debuggee process.
+func (c *Client) Kill(pid int64) error {
+	s, err := c.session(pid)
+	if err != nil {
+		return err
+	}
+	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdKill}, defaultTimeout)
+	return err
+}
+
+// ---- debug views (§4.2) ----
+
+// SetActiveView activates the debug view of one UE: the previously active
+// view is hidden and the selected UE's source becomes current — the
+// multiplexing of Figure 3.
+func (c *Client) SetActiveView(pid, tid int64) {
+	c.mu.Lock()
+	c.viewPID, c.viewTID = pid, tid
+	c.mu.Unlock()
+}
+
+// ActiveView returns the active (process, thread) pair.
+func (c *Client) ActiveView() (int64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.viewPID, c.viewTID
+}
+
+// WaitEvent blocks until an event matching pred arrives (other events are
+// still delivered to observers via the returned slice of skipped events).
+func (c *Client) WaitEvent(pred func(Event) bool, timeout time.Duration) (Event, error) {
+	deadline := time.After(timeout)
+	for {
+		select {
+		case e := <-c.events:
+			if pred(e) {
+				return e, nil
+			}
+		case <-deadline:
+			return Event{}, fmt.Errorf("client: timed out waiting for event")
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// The debug-view model of §4.2 and Figure 2, rendered as text: the
+// client's GUI had a Source code view (with the active UE's line), a
+// Processes and threads view, a Variables pane and per-UE Output windows.
+// ViewState gathers those panes for the active view; Render lays them out
+// the way the paper's Figure 2 describes.
+
+package client
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"dionea/internal/protocol"
+)
+
+// ViewState is one snapshot of the active debug view's panes.
+type ViewState struct {
+	PID, TID int64
+	// Source is the source text of the active UE's file; Line its
+	// current line (0 when unknown).
+	File   string
+	Source string
+	Line   int
+	// Threads is the processes-and-threads pane for the active process.
+	Threads []protocol.ThreadInfo
+	// Vars is the variables pane (only populated when the UE is
+	// suspended; inspecting a running UE's frame is not meaningful).
+	Vars []protocol.VarInfo
+	// Output is the tail of the process's output window.
+	Output string
+}
+
+// outputTail accumulates per-process output for the Output window pane.
+type outputTail struct {
+	mu  sync.Mutex
+	buf map[int64][]byte
+}
+
+const outputTailMax = 4 << 10
+
+func newOutputTail() *outputTail { return &outputTail{buf: make(map[int64][]byte)} }
+
+func (o *outputTail) add(pid int64, text string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	b := append(o.buf[pid], text...)
+	if len(b) > outputTailMax {
+		b = b[len(b)-outputTailMax:]
+	}
+	o.buf[pid] = b
+}
+
+func (o *outputTail) get(pid int64) string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return string(o.buf[pid])
+}
+
+// View gathers the panes of the active debug view (§4.2: "There is only
+// one debuggee view active at a time").
+func (c *Client) View() (*ViewState, error) {
+	pid, tid := c.ActiveView()
+	vs := &ViewState{PID: pid, TID: tid}
+
+	infos, err := c.Threads(pid)
+	if err != nil {
+		return nil, err
+	}
+	vs.Threads = infos
+	for _, ti := range infos {
+		if ti.TID == tid || (tid == 0 && ti.Main) {
+			vs.Line = ti.Line
+			if ti.State == "suspended" {
+				if vars, err := c.Vars(pid, ti.TID); err == nil {
+					vs.Vars = vars
+				}
+			}
+		}
+	}
+	// Source pane: the active UE's file (fall back to any known file).
+	vs.File = c.fileOf(pid, tid)
+	if vs.File != "" {
+		if src, err := c.Source(pid, vs.File); err == nil {
+			vs.Source = src
+		}
+	}
+	vs.Output = c.outTail.get(pid)
+	return vs, nil
+}
+
+// fileOf resolves the active UE's source file from the last stop event or
+// source-sync update; empty if never seen.
+func (c *Client) fileOf(pid, tid int64) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if f, ok := c.lastFile[viewKey{pid, tid}]; ok {
+		return f
+	}
+	// Any file seen for the process.
+	for k, f := range c.lastFile {
+		if k.pid == pid {
+			return f
+		}
+	}
+	return ""
+}
+
+type viewKey struct{ pid, tid int64 }
+
+// noteFile records where a UE was last seen (driven by eventLoop).
+func (c *Client) noteFile(pid, tid int64, file string) {
+	if file == "" {
+		return
+	}
+	c.mu.Lock()
+	c.lastFile[viewKey{pid, tid}] = file
+	c.mu.Unlock()
+}
+
+// Render lays the view out as text, echoing Figure 2's arrangement:
+// source code view with the current line marked, the processes-and-
+// threads view, variables, and the output window.
+func (vs *ViewState) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== Debug view: pid %d tid %d ===\n", vs.PID, vs.TID)
+
+	b.WriteString("--- Source code view ---\n")
+	if vs.Source == "" {
+		b.WriteString("(no source)\n")
+	} else {
+		lines := strings.Split(vs.Source, "\n")
+		lo, hi := vs.Line-4, vs.Line+4
+		for i, l := range lines {
+			n := i + 1
+			if vs.Line > 0 && (n < lo || n > hi) {
+				continue
+			}
+			mark := "  "
+			if n == vs.Line {
+				mark = "=>"
+			}
+			fmt.Fprintf(&b, "%s %4d  %s\n", mark, n, l)
+		}
+	}
+
+	b.WriteString("--- Processes and threads ---\n")
+	for _, ti := range vs.Threads {
+		mark := " "
+		if ti.TID == vs.TID {
+			mark = "*"
+		}
+		main := ""
+		if ti.Main {
+			main = " (main)"
+		}
+		fmt.Fprintf(&b, "%s tid %d%s  %s", mark, ti.TID, main, ti.State)
+		if ti.Reason != "" {
+			fmt.Fprintf(&b, " (%s)", ti.Reason)
+		}
+		fmt.Fprintf(&b, "  line %d\n", ti.Line)
+	}
+
+	if len(vs.Vars) > 0 {
+		b.WriteString("--- Variables ---\n")
+		for _, v := range vs.Vars {
+			fmt.Fprintf(&b, "%-16s %-8s %s\n", v.Name, v.Type, v.Value)
+		}
+	}
+
+	b.WriteString("--- Output window ---\n")
+	if vs.Output == "" {
+		b.WriteString("(no output yet)\n")
+	} else {
+		b.WriteString(vs.Output)
+		if !strings.HasSuffix(vs.Output, "\n") {
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

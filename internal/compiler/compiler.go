@@ -1,0 +1,470 @@
+// Package compiler translates pint ASTs into bytecode.FuncProtos.
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"dionea/internal/ast"
+	"dionea/internal/bytecode"
+	"dionea/internal/parser"
+	"dionea/internal/token"
+)
+
+// Compile compiles a parsed program into the entry function proto.
+// file is recorded for the debugger's source view.
+func Compile(prog *ast.Program, file string) (*bytecode.FuncProto, error) {
+	fc := newFuncCompiler("<main>", nil, file)
+	for _, s := range prog.Stmts {
+		if err := fc.stmt(s); err != nil {
+			return nil, err
+		}
+	}
+	fc.emit(bytecode.OpNil, 0, 0)
+	fc.emit(bytecode.OpReturn, 0, 0)
+	return fc.finish(), nil
+}
+
+// CompileSource parses and compiles source text in one call.
+func CompileSource(src, file string) (*bytecode.FuncProto, error) {
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(prog, file)
+}
+
+type loopCtx struct {
+	isFor     bool // for-loops keep their iterator on the operand stack
+	breaks    []int
+	continues []int
+	start     int
+}
+
+type funcCompiler struct {
+	proto *bytecode.FuncProto
+	names map[string]int
+	loops []*loopCtx
+	lines map[int]bool
+}
+
+func newFuncCompiler(name string, params []string, file string) *funcCompiler {
+	return &funcCompiler{
+		proto: &bytecode.FuncProto{Name: name, Params: params, File: file},
+		names: make(map[string]int),
+		lines: make(map[int]bool),
+	}
+}
+
+func (fc *funcCompiler) finish() *bytecode.FuncProto {
+	lines := make([]int, 0, len(fc.lines))
+	for l := range fc.lines {
+		lines = append(lines, l)
+	}
+	sort.Ints(lines)
+	fc.proto.Lines = lines
+	return fc.proto
+}
+
+func (fc *funcCompiler) emit(op bytecode.Op, arg, line int) int {
+	fc.proto.Code = append(fc.proto.Code, bytecode.Instr{Op: op, Arg: arg, Line: line})
+	return len(fc.proto.Code) - 1
+}
+
+func (fc *funcCompiler) emitCall(nargs int, hasBlock bool, line int) {
+	b := 0
+	if hasBlock {
+		b = 1
+	}
+	fc.proto.Code = append(fc.proto.Code,
+		bytecode.Instr{Op: bytecode.OpCall, Arg: nargs, Arg2: b, Line: line})
+}
+
+func (fc *funcCompiler) patch(at int) { fc.proto.Code[at].Arg = len(fc.proto.Code) }
+
+func (fc *funcCompiler) here() int { return len(fc.proto.Code) }
+
+func (fc *funcCompiler) nameIdx(name string) int {
+	if i, ok := fc.names[name]; ok {
+		return i
+	}
+	i := len(fc.proto.Names)
+	fc.proto.Names = append(fc.proto.Names, name)
+	fc.names[name] = i
+	return i
+}
+
+func (fc *funcCompiler) constIdx(c bytecode.Const) int {
+	// Dedup primitives; protos are always distinct.
+	switch c.(type) {
+	case int64, float64, string, bool:
+		for i, e := range fc.proto.Consts {
+			if e == c {
+				return i
+			}
+		}
+	}
+	fc.proto.Consts = append(fc.proto.Consts, c)
+	return len(fc.proto.Consts) - 1
+}
+
+// line emits the statement-boundary trace marker.
+func (fc *funcCompiler) line(n int) {
+	fc.lines[n] = true
+	fc.emit(bytecode.OpLine, n, n)
+}
+
+func (fc *funcCompiler) stmt(s ast.Stmt) error {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		fc.line(st.Pos())
+		if err := fc.expr(st.X); err != nil {
+			return err
+		}
+		fc.emit(bytecode.OpPop, 0, st.Pos())
+		return nil
+
+	case *ast.AssignStmt:
+		fc.line(st.Line)
+		return fc.assign(st)
+
+	case *ast.ReturnStmt:
+		fc.line(st.Line)
+		if st.Value != nil {
+			if err := fc.expr(st.Value); err != nil {
+				return err
+			}
+		} else {
+			fc.emit(bytecode.OpNil, 0, st.Line)
+		}
+		fc.emit(bytecode.OpReturn, 0, st.Line)
+		return nil
+
+	case *ast.BreakStmt:
+		if len(fc.loops) == 0 {
+			return fmt.Errorf("line %d: break outside loop", st.Line)
+		}
+		fc.line(st.Line)
+		lc := fc.loops[len(fc.loops)-1]
+		if lc.isFor {
+			fc.emit(bytecode.OpPop, 0, st.Line) // discard the loop iterator
+		}
+		lc.breaks = append(lc.breaks, fc.emit(bytecode.OpJump, 0, st.Line))
+		return nil
+
+	case *ast.ContinueStmt:
+		if len(fc.loops) == 0 {
+			return fmt.Errorf("line %d: continue outside loop", st.Line)
+		}
+		fc.line(st.Line)
+		lc := fc.loops[len(fc.loops)-1]
+		lc.continues = append(lc.continues, fc.emit(bytecode.OpJump, 0, st.Line))
+		return nil
+
+	case *ast.Block:
+		for _, sub := range st.Stmts {
+			if err := fc.stmt(sub); err != nil {
+				return err
+			}
+		}
+		return nil
+
+	case *ast.IfStmt:
+		fc.line(st.Line)
+		if err := fc.expr(st.Cond); err != nil {
+			return err
+		}
+		jElse := fc.emit(bytecode.OpJumpIfFalse, 0, st.Line)
+		if err := fc.stmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else == nil {
+			fc.patch(jElse)
+			return nil
+		}
+		jEnd := fc.emit(bytecode.OpJump, 0, st.Line)
+		fc.patch(jElse)
+		if err := fc.stmt(st.Else); err != nil {
+			return err
+		}
+		fc.patch(jEnd)
+		return nil
+
+	case *ast.WhileStmt:
+		lc := &loopCtx{start: fc.here()}
+		fc.loops = append(fc.loops, lc)
+		fc.line(st.Line)
+		if err := fc.expr(st.Cond); err != nil {
+			return err
+		}
+		jEnd := fc.emit(bytecode.OpJumpIfFalse, 0, st.Line)
+		if err := fc.stmt(st.Body); err != nil {
+			return err
+		}
+		fc.emit(bytecode.OpJump, lc.start, st.Line)
+		fc.patch(jEnd)
+		for _, at := range lc.breaks {
+			fc.patch(at)
+		}
+		for _, at := range lc.continues {
+			fc.proto.Code[at].Arg = lc.start
+		}
+		fc.loops = fc.loops[:len(fc.loops)-1]
+		return nil
+
+	case *ast.ForStmt:
+		fc.line(st.Line)
+		if err := fc.expr(st.Iter); err != nil {
+			return err
+		}
+		fc.emit(bytecode.OpIterNew, 0, st.Line)
+		lc := &loopCtx{isFor: true, start: fc.here()}
+		fc.loops = append(fc.loops, lc)
+		jDone := fc.emit(bytecode.OpIterNext, 0, st.Line)
+		fc.emit(bytecode.OpStoreName, fc.nameIdx(st.Var), st.Line)
+		if err := fc.stmt(st.Body); err != nil {
+			return err
+		}
+		fc.emit(bytecode.OpJump, lc.start, st.Line)
+		fc.patch(jDone)
+		for _, at := range lc.breaks {
+			fc.patch(at)
+		}
+		for _, at := range lc.continues {
+			fc.proto.Code[at].Arg = lc.start
+		}
+		fc.loops = fc.loops[:len(fc.loops)-1]
+		return nil
+
+	case *ast.FuncStmt:
+		fc.line(st.Line)
+		sub, err := fc.function(st.Name, st.Params, st.Body)
+		if err != nil {
+			return err
+		}
+		fc.emit(bytecode.OpMakeClosure, fc.constIdx(sub), st.Line)
+		fc.emit(bytecode.OpStoreName, fc.nameIdx(st.Name), st.Line)
+		return nil
+
+	default:
+		return fmt.Errorf("line %d: unknown statement %T", s.Pos(), s)
+	}
+}
+
+func (fc *funcCompiler) assign(st *ast.AssignStmt) error {
+	switch target := st.Target.(type) {
+	case *ast.Ident:
+		if st.Op != token.ASSIGN {
+			fc.emit(bytecode.OpLoadName, fc.nameIdx(target.Name), st.Line)
+		}
+		if err := fc.expr(st.Value); err != nil {
+			return err
+		}
+		if st.Op == token.PLUSEQ {
+			fc.emit(bytecode.OpBinary, int(bytecode.BinAdd), st.Line)
+		} else if st.Op == token.MINUSEQ {
+			fc.emit(bytecode.OpBinary, int(bytecode.BinSub), st.Line)
+		}
+		fc.emit(bytecode.OpStoreName, fc.nameIdx(target.Name), st.Line)
+		return nil
+
+	case *ast.Index:
+		// Stack layout for OpSetIndex: x, idx, v.
+		if err := fc.expr(target.X); err != nil {
+			return err
+		}
+		if err := fc.expr(target.Idx); err != nil {
+			return err
+		}
+		if st.Op != token.ASSIGN {
+			// Augmented: recompute x[idx] (x and idx evaluated twice by
+			// design; side-effecting index expressions in augmented
+			// assignment are undefined behaviour, as documented).
+			if err := fc.expr(target.X); err != nil {
+				return err
+			}
+			if err := fc.expr(target.Idx); err != nil {
+				return err
+			}
+			fc.emit(bytecode.OpIndex, 0, st.Line)
+		}
+		if err := fc.expr(st.Value); err != nil {
+			return err
+		}
+		if st.Op == token.PLUSEQ {
+			fc.emit(bytecode.OpBinary, int(bytecode.BinAdd), st.Line)
+		} else if st.Op == token.MINUSEQ {
+			fc.emit(bytecode.OpBinary, int(bytecode.BinSub), st.Line)
+		}
+		fc.emit(bytecode.OpSetIndex, 0, st.Line)
+		return nil
+
+	default:
+		return fmt.Errorf("line %d: cannot assign to %T", st.Line, st.Target)
+	}
+}
+
+func (fc *funcCompiler) function(name string, params []string, body *ast.Block) (*bytecode.FuncProto, error) {
+	sub := newFuncCompiler(name, params, fc.proto.File)
+	for _, s := range body.Stmts {
+		if err := sub.stmt(s); err != nil {
+			return nil, err
+		}
+	}
+	sub.emit(bytecode.OpNil, 0, 0)
+	sub.emit(bytecode.OpReturn, 0, 0)
+	return sub.finish(), nil
+}
+
+func (fc *funcCompiler) expr(e ast.Expr) error {
+	switch x := e.(type) {
+	case *ast.IntLit:
+		fc.emit(bytecode.OpConst, fc.constIdx(x.Value), x.Line)
+	case *ast.FloatLit:
+		fc.emit(bytecode.OpConst, fc.constIdx(x.Value), x.Line)
+	case *ast.StringLit:
+		fc.emit(bytecode.OpConst, fc.constIdx(x.Value), x.Line)
+	case *ast.BoolLit:
+		if x.Value {
+			fc.emit(bytecode.OpTrue, 0, x.Line)
+		} else {
+			fc.emit(bytecode.OpFalse, 0, x.Line)
+		}
+	case *ast.NilLit:
+		fc.emit(bytecode.OpNil, 0, x.Line)
+	case *ast.Ident:
+		fc.emit(bytecode.OpLoadName, fc.nameIdx(x.Name), x.Line)
+	case *ast.ListLit:
+		for _, el := range x.Elems {
+			if err := fc.expr(el); err != nil {
+				return err
+			}
+		}
+		fc.emit(bytecode.OpMakeList, len(x.Elems), x.Line)
+	case *ast.DictLit:
+		for i := range x.Keys {
+			if err := fc.expr(x.Keys[i]); err != nil {
+				return err
+			}
+			if err := fc.expr(x.Values[i]); err != nil {
+				return err
+			}
+		}
+		fc.emit(bytecode.OpMakeDict, len(x.Keys), x.Line)
+	case *ast.Unary:
+		if err := fc.expr(x.X); err != nil {
+			return err
+		}
+		switch x.Op {
+		case token.MINUS:
+			fc.emit(bytecode.OpUnary, int(bytecode.UnNeg), x.Line)
+		case token.NOT, token.BANG:
+			fc.emit(bytecode.OpUnary, int(bytecode.UnNot), x.Line)
+		default:
+			return fmt.Errorf("line %d: bad unary op %s", x.Line, x.Op)
+		}
+	case *ast.Binary:
+		return fc.binary(x)
+	case *ast.Call:
+		if err := fc.expr(x.Callee); err != nil {
+			return err
+		}
+		for _, a := range x.Args {
+			if err := fc.expr(a); err != nil {
+				return err
+			}
+		}
+		if x.Block != nil {
+			sub, err := fc.function("<block>", x.Block.Params, x.Block.Body)
+			if err != nil {
+				return err
+			}
+			fc.emit(bytecode.OpMakeClosure, fc.constIdx(sub), x.Line)
+		}
+		fc.emitCall(len(x.Args), x.Block != nil, x.Line)
+	case *ast.Index:
+		if err := fc.expr(x.X); err != nil {
+			return err
+		}
+		if err := fc.expr(x.Idx); err != nil {
+			return err
+		}
+		fc.emit(bytecode.OpIndex, 0, x.Line)
+	case *ast.Attr:
+		if err := fc.expr(x.X); err != nil {
+			return err
+		}
+		fc.emit(bytecode.OpAttr, fc.nameIdx(x.Name), x.Line)
+	case *ast.FuncLit:
+		sub, err := fc.function("<lambda>", x.Params, x.Body)
+		if err != nil {
+			return err
+		}
+		fc.emit(bytecode.OpMakeClosure, fc.constIdx(sub), x.Line)
+	default:
+		return fmt.Errorf("line %d: unknown expression %T", e.Pos(), e)
+	}
+	return nil
+}
+
+func (fc *funcCompiler) binary(x *ast.Binary) error {
+	switch x.Op {
+	case token.AND:
+		if err := fc.expr(x.L); err != nil {
+			return err
+		}
+		j := fc.emit(bytecode.OpJumpIfFalsePeek, 0, x.Line)
+		fc.emit(bytecode.OpPop, 0, x.Line)
+		if err := fc.expr(x.R); err != nil {
+			return err
+		}
+		fc.patch(j)
+		return nil
+	case token.OR:
+		if err := fc.expr(x.L); err != nil {
+			return err
+		}
+		j := fc.emit(bytecode.OpJumpIfTruePeek, 0, x.Line)
+		fc.emit(bytecode.OpPop, 0, x.Line)
+		if err := fc.expr(x.R); err != nil {
+			return err
+		}
+		fc.patch(j)
+		return nil
+	}
+	if err := fc.expr(x.L); err != nil {
+		return err
+	}
+	if err := fc.expr(x.R); err != nil {
+		return err
+	}
+	var op bytecode.BinOp
+	switch x.Op {
+	case token.PLUS:
+		op = bytecode.BinAdd
+	case token.MINUS:
+		op = bytecode.BinSub
+	case token.STAR:
+		op = bytecode.BinMul
+	case token.SLASH:
+		op = bytecode.BinDiv
+	case token.PERCENT:
+		op = bytecode.BinMod
+	case token.EQ:
+		op = bytecode.BinEq
+	case token.NEQ:
+		op = bytecode.BinNeq
+	case token.LT:
+		op = bytecode.BinLt
+	case token.GT:
+		op = bytecode.BinGt
+	case token.LE:
+		op = bytecode.BinLe
+	case token.GE:
+		op = bytecode.BinGe
+	default:
+		return fmt.Errorf("line %d: bad binary op %s", x.Line, x.Op)
+	}
+	fc.emit(bytecode.OpBinary, int(op), x.Line)
+	return nil
+}

@@ -1,0 +1,189 @@
+package compiler_test
+
+import (
+	"strings"
+	"testing"
+
+	"dionea/internal/bytecode"
+	"dionea/internal/compiler"
+)
+
+func compile(t *testing.T, src string) *bytecode.FuncProto {
+	t.Helper()
+	p, err := compiler.CompileSource(src, "t.pint")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return p
+}
+
+func TestLineTableMarksStatements(t *testing.T) {
+	p := compile(t, "x = 1\ny = 2\n\nif x { z = 3 }")
+	want := []int{1, 2, 4}
+	if len(p.Lines) != 3 {
+		t.Fatalf("lines = %v", p.Lines)
+	}
+	for i, l := range want {
+		if p.Lines[i] != l {
+			t.Fatalf("lines = %v, want %v", p.Lines, want)
+		}
+	}
+	// Block body line is in the same proto.
+	if !p.HasLine(4) || p.HasLine(3) {
+		t.Fatalf("HasLine wrong: %v", p.Lines)
+	}
+}
+
+func TestFunctionsGetOwnProtos(t *testing.T) {
+	p := compile(t, `func f(a) {
+    return a + 1
+}
+f(1)`)
+	var sub *bytecode.FuncProto
+	for _, c := range p.Consts {
+		if fp, ok := c.(*bytecode.FuncProto); ok {
+			sub = fp
+		}
+	}
+	if sub == nil || sub.Name != "f" || len(sub.Params) != 1 {
+		t.Fatalf("sub proto: %+v", sub)
+	}
+	if !sub.HasLine(2) {
+		t.Fatalf("sub lines: %v", sub.Lines)
+	}
+	if sub.Pos() != 2 {
+		t.Fatalf("sub pos: %d", sub.Pos())
+	}
+}
+
+func TestBreakOutsideLoopFails(t *testing.T) {
+	if _, err := compiler.CompileSource("break", "t.pint"); err == nil {
+		t.Fatalf("break outside loop compiled")
+	}
+	if _, err := compiler.CompileSource("continue", "t.pint"); err == nil {
+		t.Fatalf("continue outside loop compiled")
+	}
+	if _, err := compiler.CompileSource("func f() { break }\n", "t.pint"); err == nil {
+		t.Fatalf("break inside function but outside loop compiled")
+	}
+}
+
+func TestConstDedup(t *testing.T) {
+	p := compile(t, `a = 42
+b = 42
+c = "hi"
+d = "hi"`)
+	ints, strs := 0, 0
+	for _, c := range p.Consts {
+		switch c.(type) {
+		case int64:
+			ints++
+		case string:
+			strs++
+		}
+	}
+	if ints != 1 || strs != 1 {
+		t.Fatalf("consts not deduped: %v", p.Consts)
+	}
+}
+
+func TestJumpTargetsInBounds(t *testing.T) {
+	p := compile(t, `i = 0
+while i < 10 {
+    if i % 2 == 0 {
+        i += 3
+        continue
+    }
+    if i > 7 {
+        break
+    }
+    i += 1
+}
+for x in [1, 2, 3] {
+    if x == 2 {
+        break
+    }
+}`)
+	checkJumps(t, p)
+}
+
+func checkJumps(t *testing.T, p *bytecode.FuncProto) {
+	t.Helper()
+	for i, in := range p.Code {
+		switch in.Op {
+		case bytecode.OpJump, bytecode.OpJumpIfFalse, bytecode.OpJumpIfTrue,
+			bytecode.OpJumpIfFalsePeek, bytecode.OpJumpIfTruePeek, bytecode.OpIterNext:
+			if in.Arg < 0 || in.Arg > len(p.Code) {
+				t.Fatalf("instr %d: jump to %d out of [0,%d]", i, in.Arg, len(p.Code))
+			}
+		}
+	}
+	for _, c := range p.Consts {
+		if fp, ok := c.(*bytecode.FuncProto); ok {
+			checkJumps(t, fp)
+		}
+	}
+}
+
+func TestEveryFunctionEndsWithReturn(t *testing.T) {
+	p := compile(t, `func f() { x = 1 }
+func g() { return 2 }
+y = 1`)
+	var protos []*bytecode.FuncProto
+	protos = append(protos, p)
+	for _, c := range p.Consts {
+		if fp, ok := c.(*bytecode.FuncProto); ok {
+			protos = append(protos, fp)
+		}
+	}
+	if len(protos) != 3 {
+		t.Fatalf("protos = %d", len(protos))
+	}
+	for _, fp := range protos {
+		last := fp.Code[len(fp.Code)-1]
+		if last.Op != bytecode.OpReturn {
+			t.Fatalf("%s ends with %s", fp.Name, last.Op)
+		}
+	}
+}
+
+func TestDoBlockCompilesToClosureWithBlockFlag(t *testing.T) {
+	p := compile(t, "fork do\n    x = 1\nend")
+	foundCall := false
+	for _, in := range p.Code {
+		if in.Op == bytecode.OpCall && in.Arg2 == 1 {
+			foundCall = true
+		}
+	}
+	if !foundCall {
+		t.Fatalf("no block-flagged call:\n%s", p.Disassemble())
+	}
+}
+
+func TestDisassembleIsReadable(t *testing.T) {
+	p := compile(t, "x = 1 + 2")
+	d := p.Disassemble()
+	for _, want := range []string{"LINE", "CONST", "BINARY", "STORE", "RETURN"} {
+		if !strings.Contains(d, want) {
+			t.Fatalf("disassembly missing %s:\n%s", want, d)
+		}
+	}
+}
+
+func TestAugmentedAssignDesugars(t *testing.T) {
+	p := compile(t, "x = 1\nx += 2\nl = [1]\nl[0] -= 1")
+	adds, subs := 0, 0
+	for _, in := range p.Code {
+		if in.Op == bytecode.OpBinary {
+			switch bytecode.BinOp(in.Arg) {
+			case bytecode.BinAdd:
+				adds++
+			case bytecode.BinSub:
+				subs++
+			}
+		}
+	}
+	if adds != 1 || subs != 1 {
+		t.Fatalf("adds=%d subs=%d", adds, subs)
+	}
+}

@@ -1,0 +1,135 @@
+// Package corpus generates deterministic, synthetic source-code corpora
+// for the §7 overhead experiments. The paper counted word frequencies over
+// three real code bases — Dionea's own source (trunk r656, Figure 9), the
+// Rust compiler source (master 7613b15, §7) and Linux 3.18.1 (Figure 10).
+// Those trees are not shippable here, so we synthesize text with the same
+// relevant statistics: source-code-like lines mixing identifiers, reserved
+// words, punctuation-laden tokens and comments, at three scales whose
+// ratios track the original trees. What §7 measures is *relative* tracing
+// overhead, which depends on the interpreter work per line, not on which
+// identifiers appear.
+package corpus
+
+import "strings"
+
+// Preset identifies one of the paper's three corpora.
+type Preset string
+
+// Presets. Word counts are scaled so the full suite runs on a laptop; the
+// ratios between them mirror small codebase : compiler : kernel.
+const (
+	// Dionea is the Figure 9 corpus (Dionea source, trunk r656).
+	Dionea Preset = "dionea"
+	// Rust is the §7 mid-size corpus (Rust source, master 7613b15).
+	Rust Preset = "rust"
+	// Linux is the Figure 10 corpus (Linux 3.18.1).
+	Linux Preset = "linux"
+)
+
+// Words returns the approximate word budget of a preset. scale multiplies
+// the default (1 for tests/benches, larger for paper-scale runs).
+func Words(p Preset, scale int) int {
+	if scale <= 0 {
+		scale = 1
+	}
+	base := map[Preset]int{
+		Dionea: 40_000,
+		Rust:   120_000,
+		Linux:  400_000,
+	}[p]
+	if base == 0 {
+		base = 40_000
+	}
+	return base * scale
+}
+
+// identRoots and identSuffixes combine into plausible identifiers.
+var identRoots = []string{
+	"buffer", "thread", "process", "queue", "socket", "server", "client",
+	"session", "handler", "trace", "debug", "fork", "pipe", "mutex",
+	"signal", "event", "frame", "stack", "parse", "token", "value",
+	"index", "count", "total", "line", "file", "port", "data", "state",
+	"lock", "wait", "send", "recv", "read", "write", "init", "free",
+}
+
+var identSuffixes = []string{
+	"", "s", "er", "ed", "ing", "id", "ptr", "len", "cap", "ref",
+}
+
+// reservedish are words that look like keywords of common languages; a
+// fraction of them collide with pint's reserved words on purpose, since
+// the workload must *filter* reserved words (§7: "words that contain only
+// letters and are not reserved words").
+var reservedish = []string{
+	"if", "else", "while", "for", "return", "break", "continue", "func",
+	"end", "do", "not", "and", "or", "true", "false", "nil", "in",
+	"def", "class", "import", "static", "void", "const", "struct",
+}
+
+var punctTokens = []string{
+	"()", "{}", "x)", "42", "0x1f", "==", "+=", "->", "i++", "a[i]",
+	"*p", "&x", "#include", "//", "/*", "*/", ";;", "::", "...",
+}
+
+// rng is a small deterministic linear congruential generator, so corpora
+// are identical across runs and platforms.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 17
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Generate produces the preset corpus as lines of text.
+func Generate(p Preset, scale int) []string {
+	return GenerateWords(Words(p, scale), seedFor(p))
+}
+
+func seedFor(p Preset) uint64 {
+	var s uint64 = 0x9e3779b97f4a7c15
+	for _, c := range string(p) {
+		s = s*31 + uint64(c)
+	}
+	return s
+}
+
+// GenerateWords produces roughly nWords of source-like text, 8–14 words
+// per line.
+func GenerateWords(nWords int, seed uint64) []string {
+	r := &rng{s: seed}
+	var lines []string
+	var b strings.Builder
+	words := 0
+	for words < nWords {
+		b.Reset()
+		perLine := 8 + r.intn(7)
+		for i := 0; i < perLine; i++ {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			switch r.intn(10) {
+			case 0, 1: // keyword-like
+				b.WriteString(reservedish[r.intn(len(reservedish))])
+			case 2, 3: // punctuation-laden token (filtered by isalpha)
+				b.WriteString(punctTokens[r.intn(len(punctTokens))])
+			default: // identifier
+				b.WriteString(identRoots[r.intn(len(identRoots))])
+				b.WriteString(identSuffixes[r.intn(len(identSuffixes))])
+			}
+		}
+		words += perLine
+		lines = append(lines, b.String())
+	}
+	return lines
+}
+
+// CountWords is a helper for sizing assertions in tests.
+func CountWords(lines []string) int {
+	n := 0
+	for _, l := range lines {
+		n += len(strings.Fields(l))
+	}
+	return n
+}

@@ -1,0 +1,167 @@
+// Breakpoints: per-(file,line) entries with optional conditions and hit
+// counting.
+
+package dionea
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dionea/internal/value"
+	"dionea/internal/vm"
+)
+
+// breakpoint is one user breakpoint.
+type breakpoint struct {
+	cond *condition
+	hits int64
+}
+
+// condition is a parsed "NAME OP LITERAL" breakpoint condition.
+type condition struct {
+	name string
+	op   string // == != < <= > >=
+	lit  value.Value
+}
+
+// parseCondition parses "NAME OP LITERAL" where LITERAL is an int, float,
+// quoted string, true/false or nil. Empty input means no condition.
+func parseCondition(s string) (*condition, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	fields := splitCondition(s)
+	if len(fields) != 3 {
+		return nil, fmt.Errorf("condition must be NAME OP LITERAL, got %q", s)
+	}
+	name, op, lit := fields[0], fields[1], fields[2]
+	switch op {
+	case "==", "!=", "<", "<=", ">", ">=":
+	default:
+		return nil, fmt.Errorf("bad condition operator %q", op)
+	}
+	v, err := parseLiteral(lit)
+	if err != nil {
+		return nil, err
+	}
+	return &condition{name: name, op: op, lit: v}, nil
+}
+
+// splitCondition splits on whitespace but keeps quoted strings intact.
+func splitCondition(s string) []string {
+	var out []string
+	var cur strings.Builder
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"':
+			inStr = !inStr
+			cur.WriteByte(c)
+		case (c == ' ' || c == '\t') && !inStr:
+			if cur.Len() > 0 {
+				out = append(out, cur.String())
+				cur.Reset()
+			}
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if cur.Len() > 0 {
+		out = append(out, cur.String())
+	}
+	return out
+}
+
+func parseLiteral(s string) (value.Value, error) {
+	switch {
+	case s == "nil":
+		return value.NilV, nil
+	case s == "true":
+		return value.Bool(true), nil
+	case s == "false":
+		return value.Bool(false), nil
+	case len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"':
+		return value.Str(s[1 : len(s)-1]), nil
+	}
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return value.Int(n), nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return value.Float(f), nil
+	}
+	return nil, fmt.Errorf("bad condition literal %q", s)
+}
+
+// holds evaluates the condition in the thread's innermost scope. A
+// missing name or uncomparable pair means the condition does not hold
+// (the breakpoint stays quiet rather than crashing the debuggee).
+func (c *condition) holds(th *vm.Thread) bool {
+	f := th.CurrentFrame()
+	if f == nil {
+		return false
+	}
+	v, ok := f.Env.Get(c.name)
+	if !ok {
+		return false
+	}
+	switch c.op {
+	case "==":
+		return value.Equal(v, c.lit)
+	case "!=":
+		return !value.Equal(v, c.lit)
+	}
+	cmp, ok := compare(v, c.lit)
+	if !ok {
+		return false
+	}
+	switch c.op {
+	case "<":
+		return cmp < 0
+	case "<=":
+		return cmp <= 0
+	case ">":
+		return cmp > 0
+	case ">=":
+		return cmp >= 0
+	}
+	return false
+}
+
+// compare orders two scalars of compatible types.
+func compare(a, b value.Value) (int, bool) {
+	switch x := a.(type) {
+	case value.Int:
+		switch y := b.(type) {
+		case value.Int:
+			return cmpF(float64(x), float64(y)), true
+		case value.Float:
+			return cmpF(float64(x), float64(y)), true
+		}
+	case value.Float:
+		switch y := b.(type) {
+		case value.Int:
+			return cmpF(float64(x), float64(y)), true
+		case value.Float:
+			return cmpF(float64(x), float64(y)), true
+		}
+	case value.Str:
+		if y, ok := b.(value.Str); ok {
+			return strings.Compare(string(x), string(y)), true
+		}
+	}
+	return 0, false
+}
+
+func cmpF(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}

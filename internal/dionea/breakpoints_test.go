@@ -1,0 +1,113 @@
+package dionea
+
+import (
+	"testing"
+
+	"dionea/internal/value"
+	"dionea/internal/vm"
+)
+
+func TestParseConditionOK(t *testing.T) {
+	cases := []struct {
+		in       string
+		name, op string
+		lit      value.Value
+	}{
+		{"i == 3", "i", "==", value.Int(3)},
+		{"x != 2.5", "x", "!=", value.Float(2.5)},
+		{`w == "fork"`, "w", "==", value.Str("fork")},
+		{`w == "two words"`, "w", "==", value.Str("two words")},
+		{"f >= -1", "f", ">=", value.Int(-1)},
+		{"b == true", "b", "==", value.Bool(true)},
+		{"n == nil", "n", "==", value.NilV},
+		{"count < 100", "count", "<", value.Int(100)},
+	}
+	for _, c := range cases {
+		cond, err := parseCondition(c.in)
+		if err != nil {
+			t.Fatalf("%q: %v", c.in, err)
+		}
+		if cond.name != c.name || cond.op != c.op || !value.Equal(cond.lit, c.lit) {
+			t.Fatalf("%q parsed as %+v", c.in, cond)
+		}
+	}
+}
+
+func TestParseConditionEmpty(t *testing.T) {
+	cond, err := parseCondition("   ")
+	if err != nil || cond != nil {
+		t.Fatalf("blank condition: %v %v", cond, err)
+	}
+}
+
+func TestParseConditionErrors(t *testing.T) {
+	for _, in := range []string{
+		"i ==", "i", "i ~= 3", "i == [1]", "i == unquoted", "a b c d",
+	} {
+		if _, err := parseCondition(in); err == nil {
+			t.Fatalf("%q accepted", in)
+		}
+	}
+}
+
+// condThread builds a thread whose innermost frame binds the given vars.
+func condThread(vars map[string]value.Value) *vm.Thread {
+	th := vm.NewThread(1, "t", nopHost{})
+	env := value.NewEnv(nil)
+	for k, v := range vars {
+		env.Define(k, v)
+	}
+	// A minimal frame so CurrentFrame works.
+	th.RestoreFrames([]*vm.Frame{{Env: env}})
+	return th
+}
+
+type nopHost struct{}
+
+func (nopHost) Tick(*vm.Thread) error    { return nil }
+func (nopHost) Print(*vm.Thread, string) {}
+
+func TestConditionHolds(t *testing.T) {
+	th := condThread(map[string]value.Value{
+		"i": value.Int(7),
+		"w": value.Str("fork"),
+		"f": value.Float(1.5),
+	})
+	cases := []struct {
+		cond string
+		want bool
+	}{
+		{"i == 7", true},
+		{"i == 8", false},
+		{"i != 8", true},
+		{"i > 6", true},
+		{"i >= 7", true},
+		{"i < 7", false},
+		{`w == "fork"`, true},
+		{`w != "fork"`, false},
+		{`w < "gork"`, true},
+		{"f > 1", true},
+		{"f <= 1.5", true},
+		// Missing names or type mismatches stay quiet, never crash.
+		{"missing == 1", false},
+		{`i == "seven"`, false},
+		{`i < "seven"`, false},
+	}
+	for _, c := range cases {
+		cond, err := parseCondition(c.cond)
+		if err != nil {
+			t.Fatalf("%q: %v", c.cond, err)
+		}
+		if got := cond.holds(th); got != c.want {
+			t.Fatalf("%q = %v, want %v", c.cond, got, c.want)
+		}
+	}
+}
+
+func TestConditionOnEmptyStack(t *testing.T) {
+	th := vm.NewThread(1, "t", nopHost{})
+	cond, _ := parseCondition("i == 1")
+	if cond.holds(th) {
+		t.Fatalf("condition held with no frame")
+	}
+}

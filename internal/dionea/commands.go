@@ -1,0 +1,298 @@
+// Command dispatch for the debug server's listener thread.
+
+package dionea
+
+import (
+	"fmt"
+	"sort"
+
+	"dionea/internal/kernel"
+	"dionea/internal/protocol"
+	"dionea/internal/value"
+)
+
+func fail(format string, args ...interface{}) *protocol.Msg {
+	return &protocol.Msg{Err: fmt.Sprintf(format, args...)}
+}
+
+func (s *Server) thread(tid int64) (*kernel.TCtx, *protocol.Msg) {
+	// TID 0 addresses the process's main thread — the common case for a
+	// single-threaded debuggee.
+	if tid == 0 {
+		if mt := s.P.MainThread(); mt != nil {
+			return mt, nil
+		}
+		return nil, fail("process %d has no main thread", s.P.PID)
+	}
+	for _, tc := range s.P.Threads() {
+		if tc.TID == tid {
+			return tc, nil
+		}
+	}
+	return nil, fail("no thread %d in process %d", tid, s.P.PID)
+}
+
+// dispatch handles one request. The returned post hook (possibly nil)
+// runs after the response has been written: resume-style commands must
+// not unpark the debuggee before the client has its acknowledgment,
+// because the resumed program may exit and tear down the connection
+// mid-response.
+func (s *Server) dispatch(req *protocol.Msg) (*protocol.Msg, func()) {
+	switch req.Cmd {
+	case protocol.CmdPing:
+		return &protocol.Msg{Cmd: protocol.CmdPing, OK: true}, nil
+
+	case protocol.CmdSetBreak:
+		if req.File == "" || req.Line <= 0 {
+			return fail("set_break needs file and line"), nil
+		}
+		cond, err := parseCondition(req.Cond)
+		if err != nil {
+			return fail("%v", err), nil
+		}
+		s.mu.Lock()
+		if s.breaks[req.File] == nil {
+			s.breaks[req.File] = make(map[int]*breakpoint)
+		}
+		s.breaks[req.File][req.Line] = &breakpoint{cond: cond}
+		s.mu.Unlock()
+		return &protocol.Msg{OK: true}, nil
+
+	case protocol.CmdClearBreak:
+		s.mu.Lock()
+		if lines, ok := s.breaks[req.File]; ok {
+			delete(lines, req.Line)
+		}
+		s.mu.Unlock()
+		return &protocol.Msg{OK: true}, nil
+
+	case protocol.CmdBreaks:
+		s.mu.Lock()
+		var lines []int
+		for l := range s.breaks[req.File] {
+			lines = append(lines, l)
+		}
+		s.mu.Unlock()
+		sort.Ints(lines)
+		return &protocol.Msg{OK: true, File: req.File, Lines: lines}, nil
+
+	case protocol.CmdContinue, protocol.CmdResume:
+		tc, errm := s.thread(req.TID)
+		if errm != nil {
+			return errm, nil
+		}
+		s.mu.Lock()
+		delete(s.steps, req.TID)
+		s.mu.Unlock()
+		return &protocol.Msg{OK: true}, tc.Resume
+
+	case protocol.CmdStep:
+		tc, errm := s.thread(req.TID)
+		if errm != nil {
+			return errm, nil
+		}
+		s.mu.Lock()
+		s.steps[req.TID] = &stepState{mode: stepInto}
+		s.mu.Unlock()
+		return &protocol.Msg{OK: true}, tc.Resume
+
+	case protocol.CmdNext:
+		tc, errm := s.thread(req.TID)
+		if errm != nil {
+			return errm, nil
+		}
+		s.mu.Lock()
+		s.steps[req.TID] = &stepState{mode: stepOver, startDepth: tc.VM.Depth()}
+		s.mu.Unlock()
+		return &protocol.Msg{OK: true}, tc.Resume
+
+	case protocol.CmdFinish:
+		tc, errm := s.thread(req.TID)
+		if errm != nil {
+			return errm, nil
+		}
+		s.mu.Lock()
+		s.steps[req.TID] = &stepState{mode: stepOut, startDepth: tc.VM.Depth()}
+		s.mu.Unlock()
+		return &protocol.Msg{OK: true}, tc.Resume
+
+	case protocol.CmdSuspend:
+		// Trace-based suspension: the thread parks at its next line event
+		// (Dionea suspends through the interpreter trace facility, not by
+		// preempting the thread).
+		if _, errm := s.thread(req.TID); errm != nil {
+			return errm, nil
+		}
+		s.mu.Lock()
+		s.steps[req.TID] = &stepState{mode: stepSuspend}
+		s.mu.Unlock()
+		return &protocol.Msg{OK: true}, nil
+
+	case protocol.CmdSuspendAll:
+		// Whole-program operation (§4): every running UE parks at its
+		// next line event.
+		s.mu.Lock()
+		for _, tc := range s.P.Threads() {
+			if st, _ := tc.State(); st == kernel.StateRunning || st == kernel.StateBlockedLocal || st == kernel.StateBlockedExternal {
+				s.steps[tc.TID] = &stepState{mode: stepSuspend}
+			}
+		}
+		s.mu.Unlock()
+		return &protocol.Msg{OK: true}, nil
+
+	case protocol.CmdResumeAll:
+		s.mu.Lock()
+		s.steps = make(map[int64]*stepState)
+		s.mu.Unlock()
+		return &protocol.Msg{OK: true}, s.resumeAllSuspended
+
+	case protocol.CmdThreads:
+		// Inspecting interpreter state of running threads requires the
+		// GIL, exactly as a trace-based debugger would take it.
+		var infos []protocol.ThreadInfo
+		s.withGIL(func() {
+			for _, tc := range s.P.Threads() {
+				st, reason := tc.State()
+				infos = append(infos, protocol.ThreadInfo{
+					TID: tc.TID, Name: tc.Name, Main: tc.Main,
+					State: st.String(), Reason: reason,
+					Line: tc.VM.CurrentLine(),
+				})
+			}
+		})
+		return &protocol.Msg{OK: true, Threads: infos}, nil
+
+	case protocol.CmdStack:
+		tc, errm := s.thread(req.TID)
+		if errm != nil {
+			return errm, nil
+		}
+		if !tc.Suspended() {
+			return fail("thread %d is not suspended", req.TID), nil
+		}
+		var frames []protocol.FrameInfo
+		s.withGIL(func() {
+			for _, f := range tc.VM.StackTrace() {
+				frames = append(frames, protocol.FrameInfo{Func: f.Func, File: f.File, Line: f.Line})
+			}
+		})
+		return &protocol.Msg{OK: true, Frames: frames}, nil
+
+	case protocol.CmdVars:
+		tc, errm := s.thread(req.TID)
+		if errm != nil {
+			return errm, nil
+		}
+		if !tc.Suspended() {
+			return fail("thread %d is not suspended", req.TID), nil
+		}
+		var vars []protocol.VarInfo
+		s.withGIL(func() {
+			f := tc.VM.CurrentFrame()
+			if f == nil {
+				return
+			}
+			snap := f.Env.Snapshot()
+			names := make([]string, 0, len(snap))
+			for n := range snap {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				v := snap[n]
+				if v == nil {
+					continue
+				}
+				// Builtins clutter the variables view; the client wants
+				// user state.
+				if v.TypeName() == "builtin" {
+					continue
+				}
+				vars = append(vars, protocol.VarInfo{Name: n, Type: v.TypeName(), Value: value.Repr(v)})
+			}
+		})
+		return &protocol.Msg{OK: true, Vars: vars}, nil
+
+	case protocol.CmdEval:
+		// Inspect a single variable by name in the suspended thread's
+		// innermost scope.
+		tc, errm := s.thread(req.TID)
+		if errm != nil {
+			return errm, nil
+		}
+		if !tc.Suspended() {
+			return fail("thread %d is not suspended", req.TID), nil
+		}
+		var resp *protocol.Msg
+		s.withGIL(func() {
+			f := tc.VM.CurrentFrame()
+			if f == nil {
+				resp = fail("no frame")
+				return
+			}
+			v, ok := f.Env.Get(req.Text)
+			if !ok {
+				resp = fail("undefined name %q", req.Text)
+				return
+			}
+			resp = &protocol.Msg{OK: true, Text: value.Repr(v)}
+		})
+		if resp == nil {
+			resp = fail("process is gone")
+		}
+		return resp, nil
+
+	case protocol.CmdSource:
+		src, ok := s.sources[req.File]
+		if !ok {
+			return fail("no source for %q", req.File), nil
+		}
+		return &protocol.Msg{OK: true, File: req.File, Text: src}, nil
+
+	case protocol.CmdStdin:
+		// Figure 2's Input window: the client feeds the active view's
+		// process standard input.
+		s.P.WriteStdin(req.Text)
+		return &protocol.Msg{OK: true}, nil
+
+	case protocol.CmdDisturb:
+		s.mu.Lock()
+		s.disturb = req.On
+		s.mu.Unlock()
+		return &protocol.Msg{OK: true, On: req.On}, nil
+
+	case protocol.CmdKill:
+		go s.P.Terminate(137)
+		return &protocol.Msg{OK: true}, nil
+
+	case protocol.CmdDetach:
+		s.mu.Lock()
+		s.detached = true
+		s.steps = make(map[int64]*stepState)
+		s.mu.Unlock()
+		s.P.Atfork.Unregister("dionea")
+		return &protocol.Msg{OK: true}, s.resumeAllSuspended
+
+	default:
+		return fail("unknown command %q", req.Cmd), nil
+	}
+}
+
+// Detach disables the server: traces become no-ops, fork handlers are
+// removed, and every suspended thread is released.
+func (s *Server) Detach() {
+	s.mu.Lock()
+	s.detached = true
+	s.steps = make(map[int64]*stepState)
+	s.mu.Unlock()
+	s.P.Atfork.Unregister("dionea")
+	s.resumeAllSuspended()
+}
+
+func (s *Server) resumeAllSuspended() {
+	for _, tc := range s.P.Threads() {
+		if tc.Suspended() {
+			tc.Resume()
+		}
+	}
+}

@@ -1,0 +1,551 @@
+package dionea_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dionea/internal/client"
+	"dionea/internal/compiler"
+	"dionea/internal/dionea"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+	"dionea/internal/protocol"
+)
+
+// debugged starts src under a Dionea debug server with a connected client.
+// The root main thread starts parked (WaitForClient); tests resume it when
+// ready. Cleanup terminates any leftover processes.
+func debugged(t *testing.T, src string, opts dionea.Options) (*kernel.Kernel, *kernel.Process, *client.Client) {
+	t.Helper()
+	proto, err := compiler.CompileSource(src, "program.pint")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	k := kernel.New()
+	if opts.SessionID == "" {
+		opts.SessionID = "testsess"
+	}
+	if opts.Sources == nil {
+		opts.Sources = map[string]string{"program.pint": src}
+	}
+	opts.WaitForClient = true
+	p := k.StartProgram(proto, kernel.Options{
+		Setup: []func(*kernel.Process){
+			ipc.Install,
+			func(proc *kernel.Process) {
+				if _, err := dionea.Attach(k, proc, opts); err != nil {
+					t.Errorf("attach: %v", err)
+				}
+			},
+		},
+	})
+	c := client.New(k, opts.SessionID)
+	if _, err := c.ConnectRoot(p.PID, 5*time.Second); err != nil {
+		t.Fatalf("connect root: %v", err)
+	}
+	t.Cleanup(func() {
+		for _, proc := range k.Processes() {
+			if !proc.Exited() {
+				proc.Terminate(137)
+			}
+		}
+	})
+	return k, p, c
+}
+
+// mainTID finds the parked main thread of a process via the client.
+func mainTID(t *testing.T, c *client.Client, pid int64) int64 {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		infos, err := c.Threads(pid)
+		if err == nil {
+			for _, ti := range infos {
+				if ti.Main {
+					return ti.TID
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no main thread for pid %d", pid)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// waitSuspended polls until the given UE is suspended and returns its line.
+func waitSuspended(t *testing.T, c *client.Client, pid, tid int64) int {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		infos, err := c.Threads(pid)
+		if err == nil {
+			for _, ti := range infos {
+				if ti.TID == tid && ti.State == "suspended" {
+					return ti.Line
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("thread %d/%d never suspended", pid, tid)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func waitExit(t *testing.T, p *kernel.Process, d time.Duration) {
+	t.Helper()
+	select {
+	case <-p.ExitChan():
+	case <-time.After(d):
+		t.Fatalf("process %d did not exit; output: %q", p.PID, p.Output())
+	}
+}
+
+func TestBreakpointHitReportsLine(t *testing.T) {
+	_, p, c := debugged(t, `x = 1
+y = 2
+z = x + y
+print(z)
+`, dionea.Options{})
+	tid := mainTID(t, c, p.PID)
+	if err := c.SetBreak(p.PID, "program.pint", 3); err != nil {
+		t.Fatalf("set break: %v", err)
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatalf("continue: %v", err)
+	}
+	line := waitSuspended(t, c, p.PID, tid)
+	if line != 3 {
+		t.Fatalf("stopped at line %d, want 3", line)
+	}
+	// Variables view: x and y assigned, z not yet.
+	vars, err := c.Vars(p.PID, tid)
+	if err != nil {
+		t.Fatalf("vars: %v", err)
+	}
+	got := map[string]string{}
+	for _, v := range vars {
+		got[v.Name] = v.Value
+	}
+	if got["x"] != "1" || got["y"] != "2" {
+		t.Fatalf("vars = %v", got)
+	}
+	if _, ok := got["z"]; ok {
+		t.Fatalf("z should not exist before line 3 runs: %v", got)
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatalf("continue: %v", err)
+	}
+	waitExit(t, p, 5*time.Second)
+	if !strings.Contains(p.Output(), "3\n") {
+		t.Fatalf("output = %q", p.Output())
+	}
+}
+
+func TestStepAndNext(t *testing.T) {
+	_, p, c := debugged(t, `func add(a, b) {
+    s = a + b
+    return s
+}
+r = add(1, 2)
+t = add(r, 10)
+print(t)
+`, dionea.Options{})
+	tid := mainTID(t, c, p.PID)
+	if err := c.SetBreak(p.PID, "program.pint", 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	if line := waitSuspended(t, c, p.PID, tid); line != 5 {
+		t.Fatalf("stopped at %d, want 5", line)
+	}
+	// step goes INTO add: next stop is line 2.
+	if err := c.Step(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	if line := waitSuspended(t, c, p.PID, tid); line != 2 {
+		t.Fatalf("step landed at %d, want 2", line)
+	}
+	// next from inside add stops at line 3 (same frame).
+	if err := c.Next(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	if line := waitSuspended(t, c, p.PID, tid); line != 3 {
+		t.Fatalf("next landed at %d, want 3", line)
+	}
+	// next runs the return and stops back in main at line 6.
+	if err := c.Next(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	if line := waitSuspended(t, c, p.PID, tid); line != 6 {
+		t.Fatalf("next landed at %d, want 6", line)
+	}
+	// Stack shows only main now; eval r.
+	frames, err := c.Stack(p.PID, tid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1 || frames[0].Func != "<main>" {
+		t.Fatalf("frames = %+v", frames)
+	}
+	if v, err := c.Eval(p.PID, tid, "r"); err != nil || v != "3" {
+		t.Fatalf("eval r = %q, %v", v, err)
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, p, 5*time.Second)
+	if !strings.Contains(p.Output(), "13\n") {
+		t.Fatalf("output = %q", p.Output())
+	}
+}
+
+func TestLowIntrusiveOnlyOneThreadStops(t *testing.T) {
+	// One thread hits a breakpoint and parks; its sibling keeps running
+	// freely (§1 footnote 1, §6.1).
+	_, p, c := debugged(t, `counter = [0]
+func spin() {
+    while counter[0] < 100000 {
+        counter[0] += 1
+    }
+}
+func slowpoke() {
+    x = 1
+    print("slowpoke done", x)
+}
+a = spawn(spin)
+b = spawn(slowpoke)
+a.join()
+b.join()
+print("joined", counter[0])
+`, dionea.Options{})
+	tid := mainTID(t, c, p.PID)
+	if err := c.SetBreak(p.PID, "program.pint", 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for slowpoke's thread to hit the breakpoint.
+	var stopped int64
+	deadline := time.Now().Add(5 * time.Second)
+	for stopped == 0 {
+		infos, _ := c.Threads(p.PID)
+		for _, ti := range infos {
+			if ti.State == "suspended" && ti.Line == 9 {
+				stopped = ti.TID
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("breakpoint never hit")
+		}
+	}
+	// While it is parked, the spinner thread must make progress.
+	v1, err := c.Eval(p.PID, stopped, "counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	v2, err := c.Eval(p.PID, stopped, "counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 == v2 && v2 != "[100000]" {
+		t.Fatalf("spinner made no progress while sibling was parked: %s == %s", v1, v2)
+	}
+	if err := c.Continue(p.PID, stopped); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, p, 10*time.Second)
+	if !strings.Contains(p.Output(), "joined 100000") {
+		t.Fatalf("output = %q", p.Output())
+	}
+}
+
+func TestArchitectureOneClientNServers(t *testing.T) {
+	// Figure 1: one client, several debuggees (root + 2 children), each
+	// with its own debug server and session.
+	_, p, c := debugged(t, `for i in range(2) {
+    fork do
+        sleep(0.3)
+    end
+}
+wait()
+wait()
+print("children reaped")
+`, dionea.Options{})
+	tid := mainTID(t, c, p.PID)
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(c.Sessions()) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sessions = %v, want 3", c.Sessions())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sess := c.Sessions()
+	if sess[0] != p.PID || len(sess) != 3 {
+		t.Fatalf("sessions = %v", sess)
+	}
+	// Each session answers commands independently.
+	for _, pid := range sess {
+		if _, err := c.Threads(pid); err != nil {
+			t.Fatalf("threads(%d): %v", pid, err)
+		}
+	}
+	waitExit(t, p, 10*time.Second)
+}
+
+func TestPortHandoffTempFile(t *testing.T) {
+	// Figures 5/6: the child's handler C writes its own port into the
+	// session temp file store; parent and child ports differ.
+	k, p, c := debugged(t, `pid = fork do
+    sleep(0.3)
+end
+waitpid(pid)
+`, dionea.Options{SessionID: "handoff"})
+	tid := mainTID(t, c, p.PID)
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var childPort string
+	for {
+		if b, ok := k.TempRead(protocol.PortFileName("handoff", p.PID+1)); ok {
+			childPort = string(b)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("child port file never appeared")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rootPort, ok := k.TempRead(protocol.PortFileName("handoff", p.PID))
+	if !ok {
+		t.Fatalf("root port file missing")
+	}
+	if string(rootPort) == childPort {
+		t.Fatalf("child inherited the parent's socket: both on port %s", childPort)
+	}
+	waitExit(t, p, 10*time.Second)
+}
+
+func TestForkInheritsThenRebuildsMetadata(t *testing.T) {
+	// Figure 4: the child inherits the parent's debug metadata
+	// (breakpoints) and its handler C rebuilds the rest with child info —
+	// a breakpoint set before the fork fires inside the child, handled by
+	// the child's own server.
+	_, p, c := debugged(t, `x = 10
+pid = fork do
+    y = x + 1
+    print("child y", y)
+end
+waitpid(pid)
+print("parent done")
+`, dionea.Options{})
+	tid := mainTID(t, c, p.PID)
+	if err := c.SetBreak(p.PID, "program.pint", 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	// The stop event must come from the CHILD's session.
+	ev, err := c.WaitEvent(func(e client.Event) bool {
+		return e.Msg.Cmd == protocol.EventStopped && e.Msg.Reason == protocol.StopBreakpoint
+	}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Msg.PID != p.PID+1 {
+		t.Fatalf("breakpoint reported by pid %d, want child %d", ev.Msg.PID, p.PID+1)
+	}
+	if ev.Msg.Line != 4 {
+		t.Fatalf("stopped at line %d, want 4", ev.Msg.Line)
+	}
+	// Inspect the child's state, then continue it.
+	if v, err := c.Eval(ev.Msg.PID, ev.Msg.TID, "y"); err != nil || v != "11" {
+		t.Fatalf("child y = %q, %v", v, err)
+	}
+	if err := c.Continue(ev.Msg.PID, ev.Msg.TID); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, p, 10*time.Second)
+	if !strings.Contains(p.Output(), "parent done") {
+		t.Fatalf("parent output = %q", p.Output())
+	}
+}
+
+func TestListing5DeadlockLine(t *testing.T) {
+	// Figure 7 / Listings 5–6: Dionea shows the exact line of the
+	// deadlock. Line 9 below is `queue.pop()` inside the fork block.
+	_, p, c := debugged(t, `queue = queue_new()
+spawn do
+    puts("Inside thread -- PARENT")
+    sleep(0.2)
+    queue.push(true)
+end
+
+fork do
+    queue.pop()
+    puts("In -- CHILD")
+end
+
+sleep(0.5)
+exit(0)
+`, dionea.Options{})
+	tid := mainTID(t, c, p.PID)
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := c.WaitEvent(func(e client.Event) bool {
+		return e.Msg.Cmd == protocol.EventDeadlock
+	}, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Msg.PID != p.PID+1 {
+		t.Fatalf("deadlock in pid %d, want child %d", ev.Msg.PID, p.PID+1)
+	}
+	if ev.Msg.Line != 9 {
+		t.Fatalf("deadlock at line %d, want 9 (queue.pop)", ev.Msg.Line)
+	}
+	if !strings.Contains(ev.Msg.Text, "deadlock detected (fatal)") {
+		t.Fatalf("deadlock text = %q", ev.Msg.Text)
+	}
+	// The deadlocked UE is parked for inspection (Figure 7); the paper's
+	// workflow looks at it, then lets the interpreter abort.
+	if line := waitSuspended(t, c, ev.Msg.PID, ev.Msg.TID); line != 9 {
+		t.Fatalf("deadlocked thread parked at %d", line)
+	}
+	if err := c.Continue(ev.Msg.PID, ev.Msg.TID); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, p, 10*time.Second)
+}
+
+func TestDebugViewMultiplexing(t *testing.T) {
+	// Figures 2/3: sessions are per process, views per UE; only one view
+	// is active and switching views switches the presented source/state.
+	_, p, c := debugged(t, `q = queue_new()
+t1 = spawn do
+    v = q.pop()
+    print("t1", v)
+end
+t2 = spawn do
+    v = q.pop()
+    print("t2", v)
+end
+q.push(1)
+q.push(2)
+t1.join()
+t2.join()
+`, dionea.Options{})
+	tid := mainTID(t, c, p.PID)
+	c.SetActiveView(p.PID, tid)
+	if vp, vt := c.ActiveView(); vp != p.PID || vt != tid {
+		t.Fatalf("active view = %d/%d", vp, vt)
+	}
+	// Fetch source through the session of the active view.
+	src, err := c.Source(p.PID, "program.pint")
+	if err != nil || !strings.Contains(src, "q = queue_new()") {
+		t.Fatalf("source sync failed: %v", err)
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, p, 10*time.Second)
+}
+
+func TestDisturbModeStopsNewUEs(t *testing.T) {
+	// §6.4: disturb mode stops every newly created process or thread.
+	_, p, c := debugged(t, `t = spawn do
+    print("thread ran")
+end
+pid = fork do
+    print("child ran")
+end
+t.join()
+waitpid(pid)
+print("all done")
+`, dionea.Options{Disturb: true})
+	tid := mainTID(t, c, p.PID)
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	// The spawned thread parks with reason "disturb".
+	ev, err := c.WaitEvent(func(e client.Event) bool {
+		return e.Msg.Cmd == protocol.EventStopped && e.Msg.Reason == protocol.StopDisturb && e.PID == p.PID
+	}, 5*time.Second)
+	if err != nil {
+		t.Fatalf("thread never disturbed: %v", err)
+	}
+	if strings.Contains(p.Output(), "thread ran") {
+		t.Fatalf("thread ran before being released")
+	}
+	if err := c.Continue(p.PID, ev.Msg.TID); err != nil {
+		t.Fatal(err)
+	}
+	// The forked child parks with reason "disturb" too (in its own
+	// process, reported by its own server).
+	ev2, err := c.WaitEvent(func(e client.Event) bool {
+		return e.Msg.Cmd == protocol.EventStopped && e.Msg.Reason == protocol.StopDisturb && e.Msg.PID == p.PID+1
+	}, 5*time.Second)
+	if err != nil {
+		t.Fatalf("child never disturbed: %v", err)
+	}
+	if err := c.Continue(ev2.Msg.PID, ev2.Msg.TID); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, p, 10*time.Second)
+	if !strings.Contains(p.Output(), "all done") {
+		t.Fatalf("output = %q", p.Output())
+	}
+}
+
+func TestDetachLeavesProgramRunning(t *testing.T) {
+	_, p, c := debugged(t, `total = 0
+for i in range(100) {
+    total += i
+}
+print("total", total)
+`, dionea.Options{})
+	tid := mainTID(t, c, p.PID)
+	if err := c.SetBreak(p.PID, "program.pint", 3); err != nil {
+		t.Fatal(err)
+	}
+	// Detach releases the parked main thread and disables the breakpoint
+	// machinery: the program runs to completion without stopping.
+	s, err := c.Connect(p.PID, time.Second)
+	if err == nil && s != nil {
+		// second connect attempt must be rejected (1 server : 1 client)
+		t.Fatalf("server accepted a second client")
+	}
+	sess := c.Sessions()
+	if len(sess) != 1 {
+		t.Fatalf("sessions = %v", sess)
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	// It will stop at the breakpoint once; then detach.
+	waitSuspended(t, c, p.PID, tid)
+	if err := detach(c, p.PID); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, p, 10*time.Second)
+	if !strings.Contains(p.Output(), "total 4950") {
+		t.Fatalf("output = %q", p.Output())
+	}
+}
+
+func detach(c *client.Client, pid int64) error {
+	// Issue the detach command through the public request path.
+	return c.Detach(pid)
+}

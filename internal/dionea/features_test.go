@@ -1,0 +1,307 @@
+package dionea_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dionea/internal/dionea"
+)
+
+func TestConditionalBreakpoint(t *testing.T) {
+	_, p, c := debugged(t, `total = 0
+for i in range(10) {
+    total += i
+}
+print(total)
+`, dionea.Options{})
+	tid := mainTID(t, c, p.PID)
+	if err := c.SetBreakIf(p.PID, "program.pint", 3, "i == 7"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	if line := waitSuspended(t, c, p.PID, tid); line != 3 {
+		t.Fatalf("stopped at %d", line)
+	}
+	if v, err := c.Eval(p.PID, tid, "i"); err != nil || v != "7" {
+		t.Fatalf("i = %q (%v), want 7", v, err)
+	}
+	// total at this point is 0+1+...+6 = 21.
+	if v, _ := c.Eval(p.PID, tid, "total"); v != "21" {
+		t.Fatalf("total = %q", v)
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, p, 5*time.Second)
+	if !strings.Contains(p.Output(), "45") {
+		t.Fatalf("output = %q", p.Output())
+	}
+}
+
+func TestConditionalBreakpointStringAndRejects(t *testing.T) {
+	_, p, c := debugged(t, `for w in ["alpha", "fork", "beta"] {
+    x = w
+}
+print("done")
+`, dionea.Options{})
+	tid := mainTID(t, c, p.PID)
+	// Bad conditions are rejected at set time.
+	if err := c.SetBreakIf(p.PID, "program.pint", 2, "w ~= 3"); err == nil {
+		t.Fatalf("bad operator accepted")
+	}
+	if err := c.SetBreakIf(p.PID, "program.pint", 2, "w =="); err == nil {
+		t.Fatalf("truncated condition accepted")
+	}
+	if err := c.SetBreakIf(p.PID, "program.pint", 2, `w == "fork"`); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	waitSuspended(t, c, p.PID, tid)
+	if v, _ := c.Eval(p.PID, tid, "w"); v != `"fork"` {
+		t.Fatalf("w = %q", v)
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, p, 5*time.Second)
+}
+
+func TestFinishStepsOut(t *testing.T) {
+	_, p, c := debugged(t, `func inner() {
+    a = 1
+    b = 2
+    return a + b
+}
+r = inner()
+print(r)
+`, dionea.Options{})
+	tid := mainTID(t, c, p.PID)
+	if err := c.SetBreak(p.PID, "program.pint", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	if line := waitSuspended(t, c, p.PID, tid); line != 2 {
+		t.Fatalf("stopped at %d", line)
+	}
+	if err := c.Finish(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	// finish runs the rest of inner and stops at the next LINE EVENT in
+	// the caller — line 7, after the assignment on line 6 completed (a
+	// trace-based debugger has no "just returned" event; the call's own
+	// line event fired before the call).
+	if line := waitSuspended(t, c, p.PID, tid); line != 7 {
+		t.Fatalf("finish landed at %d, want 7", line)
+	}
+	frames, err := c.Stack(p.PID, tid)
+	if err != nil || len(frames) != 1 {
+		t.Fatalf("frames = %v (%v)", frames, err)
+	}
+	// The call's result is already bound.
+	if v, _ := c.Eval(p.PID, tid, "r"); v != "3" {
+		t.Fatalf("r = %q", v)
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, p, 5*time.Second)
+}
+
+func TestSuspendAllAndResumeAll(t *testing.T) {
+	_, p, c := debugged(t, `running = [true]
+func spin(tag) {
+    n = 0
+    while running[0] {
+        n += 1
+    }
+    print(tag, "done")
+}
+t1 = spawn("one") do |tag| spin(tag) end
+t2 = spawn("two") do |tag| spin(tag) end
+sleep(2)
+running[0] = false
+t1.join()
+t2.join()
+print("all done")
+`, dionea.Options{})
+	tid := mainTID(t, c, p.PID)
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	// Give the spinners a moment to exist, then stop the world.
+	time.Sleep(100 * time.Millisecond)
+	if err := c.SuspendAll(p.PID); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		infos, err := c.Threads(p.PID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		suspended := 0
+		for _, ti := range infos {
+			if ti.State == "suspended" {
+				suspended++
+			}
+		}
+		// The two spinners park at line events; main is blocked in
+		// sleep (it parks at its next line once sleep returns, but the
+		// spinners must be parked well before that).
+		if suspended >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("threads not suspended: %+v", infos)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := c.ResumeAll(p.PID); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, p, 15*time.Second)
+	out := p.Output()
+	if !strings.Contains(out, "all done") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestGrandchildAdoption(t *testing.T) {
+	// Nested forks: handler C replaces the atfork registration with the
+	// child server's own handlers, so a grandchild is adopted by the
+	// chain parent -> child -> grandchild, each with its own session.
+	_, p, c := debugged(t, `pid = fork do
+    pid2 = fork do
+        print("grandchild", getpid())
+        sleep(0.2)
+    end
+    waitpid(pid2)
+end
+waitpid(pid)
+print("root done")
+`, dionea.Options{})
+	tid := mainTID(t, c, p.PID)
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for len(c.Sessions()) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sessions = %v, want 3 (root, child, grandchild)", c.Sessions())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The grandchild's session answers commands.
+	gc := c.Sessions()[2]
+	if _, err := c.Threads(gc); err != nil {
+		t.Fatalf("grandchild threads: %v", err)
+	}
+	waitExit(t, p, 10*time.Second)
+	if !strings.Contains(p.Output(), "root done") {
+		t.Fatalf("output = %q", p.Output())
+	}
+}
+
+func TestForkDuringActiveForLoop(t *testing.T) {
+	// The forking thread is mid-iteration: the loop iterator lives on the
+	// operand stack and must be deep-copied so the child resumes the loop
+	// independently (frames-snapshot fidelity).
+	_, p, c := debugged(t, `total = 0
+child = 0
+for i in range(6) {
+    total += i
+    if i == 2 {
+        child = fork()
+    }
+}
+if child == 0 {
+    print("child total", total)
+    exit(0)
+}
+waitpid(child)
+print("parent total", total)
+`, dionea.Options{})
+	tid := mainTID(t, c, p.PID)
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, p, 10*time.Second)
+	if !strings.Contains(p.Output(), "parent total 15") {
+		t.Fatalf("parent output = %q", p.Output())
+	}
+}
+
+func TestBreakpointHitAcrossManyIterations(t *testing.T) {
+	// A breakpoint inside a hot loop fires every iteration; stepping
+	// through several stops must be stable.
+	_, p, c := debugged(t, `n = 0
+while n < 3 {
+    n += 1
+}
+print(n)
+`, dionea.Options{})
+	tid := mainTID(t, c, p.PID)
+	if err := c.SetBreak(p.PID, "program.pint", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	for want := 0; want < 3; want++ {
+		waitSuspended(t, c, p.PID, tid)
+		v, err := c.Eval(p.PID, tid, "n")
+		if err != nil || v != itoa(want) {
+			t.Fatalf("iteration %d: n = %q (%v)", want, v, err)
+		}
+		if err := c.Continue(p.PID, tid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitExit(t, p, 5*time.Second)
+	if !strings.Contains(p.Output(), "3") {
+		t.Fatalf("output = %q", p.Output())
+	}
+}
+
+func TestSourceCommandUnknownFile(t *testing.T) {
+	_, p, c := debugged(t, `print(1)`, dionea.Options{})
+	tid := mainTID(t, c, p.PID)
+	if _, err := c.Source(p.PID, "nope.pint"); err == nil {
+		t.Fatalf("unknown source served")
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, p, 5*time.Second)
+}
+
+func TestStepTargetsMissingThread(t *testing.T) {
+	_, p, c := debugged(t, `print(1)`, dionea.Options{})
+	tid := mainTID(t, c, p.PID)
+	if err := c.Step(p.PID, 9999); err == nil {
+		t.Fatalf("step on missing thread succeeded")
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, p, 5*time.Second)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

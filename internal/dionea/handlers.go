@@ -1,0 +1,165 @@
+// Dionea's fork handlers A, B and C (§5.4) — the paper's core mechanism.
+//
+//	A  Prepare fork.  Acquire control over synchronization objects.
+//	   Disable the tracing until the listener thread is restarted (so it
+//	   is not possible to step inside the augmented fork).
+//	B  Handle parent at fork.  Immediately after the fork, release
+//	   control of synchronization objects, and re-enable tracing.
+//	C  Handle child at fork.  Initialize the synchronization objects,
+//	   close the inherited sockets, initialize the data structures,
+//	   create a listener thread, register the thread that called fork as
+//	   the main thread, inform the client about the creation of a new
+//	   debuggee, and finally re-enable the tracing that was disabled in A.
+
+package dionea
+
+import (
+	"dionea/internal/atfork"
+	"dionea/internal/kernel"
+	"dionea/internal/protocol"
+)
+
+// registerForkHandlers hooks A/B/C into the process's atfork registry.
+// They are registered after the interpreter-level handlers (MRI/YARV
+// analogs), so POSIX ordering runs Dionea's prepare FIRST (reverse
+// registration order) and Dionea's child handler LAST — the layering §5.2
+// warns implementers to account for.
+func (s *Server) registerForkHandlers() {
+	s.P.Atfork.Register(atfork.Handler{
+		Name:    "dionea",
+		Prepare: func(ctx atfork.Ctx) error { return s.prepareFork(ctx.(*kernel.TCtx)) },
+		Parent:  func(ctx atfork.Ctx) { s.handleParentAtFork(ctx.(*kernel.TCtx)) },
+		Child:   func(ctx atfork.Ctx) { s.handleChildAtFork(ctx.(*kernel.TCtx)) },
+	})
+}
+
+// prepareFork is handler A.
+func (s *Server) prepareFork(t *kernel.TCtx) error {
+	objs := s.P.SyncObjects()
+	var acquired []kernel.SyncObject
+	for _, o := range objs {
+		if err := o.AtforkAcquire(t); err != nil {
+			// Roll back partial acquisition; the fork is aborted.
+			for i := len(acquired) - 1; i >= 0; i-- {
+				acquired[i].AtforkRelease(t)
+			}
+			return err
+		}
+		acquired = append(acquired, o)
+	}
+	s.mu.Lock()
+	s.pendingAtfork = acquired
+	s.mu.Unlock()
+	// "Disable the tracing until the listener thread is restarted, to
+	// avoid a deadlock in the child process, therefore is not possible to
+	// step inside of the augmented fork."
+	t.VM.TraceSuppressed = true
+	return nil
+}
+
+// handleParentAtFork is handler B.
+func (s *Server) handleParentAtFork(t *kernel.TCtx) {
+	s.mu.Lock()
+	acquired := s.pendingAtfork
+	s.pendingAtfork = nil
+	s.mu.Unlock()
+	for i := len(acquired) - 1; i >= 0; i-- {
+		acquired[i].AtforkRelease(t)
+	}
+	t.VM.TraceSuppressed = false
+}
+
+// onForked is the post-fork bookkeeping of the augmented fork (Listing 3:
+// "Dionea.processes << pid"): tell the client a new debuggee exists. The
+// client completes the adoption by reading the child's port from the
+// handoff temp file once handler C has written it.
+func (s *Server) onForked(t *kernel.TCtx, child *kernel.Process) {
+	s.mu.Lock()
+	s.children = append(s.children, child.PID)
+	s.mu.Unlock()
+	s.event(&protocol.Msg{
+		Kind: "event", Cmd: protocol.EventForked,
+		PID: s.P.PID, Child: child.PID,
+	})
+}
+
+// handleChildAtFork is handler C. It runs on the child's surviving thread
+// (child GIL held) after the interpreter-level handlers.
+func (s *Server) handleChildAtFork(t *kernel.TCtx) {
+	child := t.P
+
+	// "Initialize the synchronization objects": the child's copies were
+	// acquired (via the parent's handler A, with ownership translated to
+	// this thread by the fork copy); release them so user code can lock
+	// them normally. This is exactly why A took ownership — the surviving
+	// thread owns every sync object and can release it (§5.3 problem 1).
+	for _, o := range child.SyncObjects() {
+		o.AtforkRelease(t)
+	}
+
+	// "Close the inherited sockets; initialize the data structures;
+	// create a listener thread": the child gets a fresh Server with its
+	// own listener and its own sockets. The debug metadata (breakpoints,
+	// disturb flag, sources) is inherited from the parent image and then
+	// updated with child information.
+	childServer := &Server{
+		K:         s.K,
+		P:         child,
+		sessionID: s.sessionID,
+		sources:   s.sources,
+		portDir:   s.portDir,
+		breaks:    s.cloneBreaks(),
+		steps:     make(map[int64]*stepState),
+		positions: make(map[int64]position),
+		disturb:   s.disturbed(),
+	}
+	ln, err := listenLoopback()
+	if err != nil {
+		// Without sockets the child runs undebugged (trace stays off),
+		// mirroring a real handler that must not crash the debuggee.
+		return
+	}
+	childServer.ln = ln
+	childServer.port = portOf(ln)
+
+	// The inherited registry still contains the *parent* server's
+	// handlers; replace them with the child server's so grandchildren
+	// are adopted by the right server.
+	child.Atfork.Unregister("dionea")
+	childServer.registerForkHandlers()
+	childServer.installHooks(false)
+	childServer.spawnListener()
+
+	// "Inform the client about the creation of a new debuggee": write
+	// the port of the most recently created process to the temp file
+	// (Figures 5/6); the client saw EventForked from the parent and is
+	// polling for this file.
+	childServer.writePortFile()
+
+	// "Register the thread that called fork as the main thread" was done
+	// by the interpreter-level handlers; re-enable the tracing that was
+	// disabled in A, now pointing at the child server.
+	t.VM.Trace = childServer.traceFunc(t)
+	t.VM.TraceSuppressed = false
+
+	// Disturb mode stops every newly created process (§6.4).
+	if childServer.disturbed() {
+		_ = childServer.parkAndNotify(t, protocol.StopDisturb, t.VM.CurrentLine())
+	}
+}
+
+func (s *Server) cloneBreaks() map[string]map[int]*breakpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]map[int]*breakpoint, len(s.breaks))
+	for f, lines := range s.breaks {
+		nl := make(map[int]*breakpoint, len(lines))
+		for l, bp := range lines {
+			// Hit counts are per process; conditions are shared (they
+			// are immutable once parsed).
+			nl[l] = &breakpoint{cond: bp.cond}
+		}
+		out[f] = nl
+	}
+	return out
+}

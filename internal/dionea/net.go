@@ -1,0 +1,13 @@
+// Small networking helpers shared by root and child servers.
+
+package dionea
+
+import "net"
+
+func listenLoopback() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}
+
+func portOf(ln net.Listener) int {
+	return ln.Addr().(*net.TCPAddr).Port
+}

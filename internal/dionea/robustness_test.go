@@ -1,0 +1,105 @@
+package dionea_test
+
+import (
+	"math/rand"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dionea/internal/dionea"
+	"dionea/internal/protocol"
+)
+
+// TestServerSurvivesHostileClient throws malformed and nonsensical traffic
+// at the listener: the server must answer errors (or drop the connection)
+// without crashing or wedging the debuggee.
+func TestServerSurvivesHostileClient(t *testing.T) {
+	k, p, c := debugged(t, `total = 0
+for i in range(50) {
+    total += i
+}
+print("total", total)
+`, dionea.Options{SessionID: "hostile"})
+	tid := mainTID(t, c, p.PID)
+
+	portB, ok := k.TempRead(protocol.PortFileName("hostile", p.PID))
+	if !ok {
+		t.Fatalf("no port file")
+	}
+	addr := "127.0.0.1:" + string(portB)
+
+	// 1. Raw garbage on a fresh connection.
+	if conn, err := net.Dial("tcp", addr); err == nil {
+		_, _ = conn.Write([]byte("GET / HTTP/1.1\r\n\r\n\x00\xff garbage\n"))
+		_ = conn.Close()
+	}
+
+	// 2. A hello followed by junk JSON and unknown commands. The server
+	// already has a command client (ours), so this channel is rejected —
+	// which is itself the 1server:1client rule under attack.
+	if conn, err := net.Dial("tcp", addr); err == nil {
+		pc := protocol.NewConn(conn)
+		_ = pc.Send(&protocol.Msg{Kind: "req", Cmd: protocol.EventHello, Channel: protocol.ChannelCommand})
+		_, _ = pc.Recv() // busy rejection
+		_ = pc.Close()
+	}
+
+	// 3. Unknown/malformed commands through the legitimate session.
+	s, err := c.Connect(p.PID, time.Second)
+	if err == nil && s != nil {
+		t.Fatalf("second session accepted")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		msg := &protocol.Msg{
+			Cmd:  randCmd(rng),
+			TID:  rng.Int63n(10) - 2,
+			File: randStr(rng),
+			Line: int(rng.Int63n(100)) - 10,
+			Text: randStr(rng),
+			Cond: randStr(rng),
+		}
+		// Every request must get SOME response: errors are fine, hangs
+		// and crashes are not. Resume-style commands get a guaranteed-
+		// missing TID so the debuggee stays parked for the final
+		// assertion (TID 0 addresses the main thread).
+		switch msg.Cmd {
+		case protocol.CmdContinue, protocol.CmdStep, protocol.CmdNext,
+			protocol.CmdFinish, "continue ":
+			msg.TID = 99999
+		}
+		if _, err := c.Raw(p.PID, msg, 5*time.Second); err != nil &&
+			strings.Contains(err.Error(), "timed out") {
+			t.Fatalf("server wedged on %+v", msg)
+		}
+	}
+
+	// The debuggee still debugs: resume and finish normally.
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatalf("legit continue after hostile traffic: %v", err)
+	}
+	waitExit(t, p, 10*time.Second)
+	if !strings.Contains(p.Output(), "total 1225") {
+		t.Fatalf("output = %q", p.Output())
+	}
+}
+
+func randCmd(r *rand.Rand) string {
+	cmds := []string{
+		protocol.CmdSetBreak, protocol.CmdClearBreak, protocol.CmdContinue,
+		protocol.CmdStep, protocol.CmdNext, protocol.CmdFinish,
+		protocol.CmdStack, protocol.CmdVars, protocol.CmdEval,
+		protocol.CmdSource, "bogus", "", "BREAK", "continue ",
+	}
+	return cmds[r.Intn(len(cmds))]
+}
+
+func randStr(r *rand.Rand) string {
+	n := r.Intn(8)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(32 + r.Intn(95))
+	}
+	return string(b)
+}

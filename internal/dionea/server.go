@@ -1,0 +1,478 @@
+// Package dionea implements the paper's contribution: a debug server that
+// rides inside each debuggee process and a set of fork handlers that keep
+// debugging working across fork (§5.3–5.4).
+//
+// Each debuggee process carries one Server (its "debug server", §4): a
+// shim that traces execution through the interpreter's trace hooks and a
+// dedicated listener thread — here a kernel native thread — that receives
+// client requests over TCP and dispatches them, Reactor-style. When the
+// debuggee forks, the registered fork handlers A/B/C take care of parent
+// and child: sync-object ownership, trace disabling/re-enabling, fresh
+// sockets and a fresh listener for the child, and the temp-file port
+// handoff that lets the single client adopt the new debuggee.
+package dionea
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"dionea/internal/kernel"
+	"dionea/internal/protocol"
+	"dionea/internal/vm"
+)
+
+// Options configures Attach.
+type Options struct {
+	// SessionID namespaces the port-handoff temp files of one debug
+	// session (one client, N servers).
+	SessionID string
+	// Sources maps file name → source text for the client's source view.
+	Sources map[string]string
+	// WaitForClient parks the main thread at startup until a client
+	// connects and resumes it — "once Dionea server has been started it
+	// waits until the client connects" (§6.1).
+	WaitForClient bool
+	// Disturb starts disturb mode enabled (§6.4).
+	Disturb bool
+	// PortDir, when non-empty, mirrors the port-handoff temp files into a
+	// real directory so a client in another OS process (cmd/dioneac) can
+	// find the servers. The simulated kernel's temp store is still
+	// written; this is an additional mirror.
+	PortDir string
+}
+
+type stepMode int
+
+const (
+	stepNone    stepMode = iota
+	stepInto             // stop at the next line event, wherever it is
+	stepOver             // stop at the next line event at depth <= startDepth
+	stepOut              // stop at the next line event at depth < startDepth
+	stepSuspend          // stop at the very next line event (suspend request)
+)
+
+type stepState struct {
+	mode       stepMode
+	startDepth int
+}
+
+// position is one UE's current source location plus event counters.
+type position struct {
+	file  string
+	line  int
+	depth int
+	// events counts trace events observed for this UE; the client's
+	// status line shows it as a liveness indicator.
+	events int64
+}
+
+// Server is the per-process debug server.
+type Server struct {
+	K *kernel.Kernel
+	P *kernel.Process
+
+	sessionID string
+	sources   map[string]string
+	portDir   string
+	ln        net.Listener
+	port      int
+
+	mu      sync.Mutex
+	cmdConn *protocol.Conn
+	srcConn *protocol.Conn
+	breaks  map[string]map[int]*breakpoint
+	steps   map[int64]*stepState
+	// positions is the per-UE source position the trace callback keeps
+	// for the client's source-sync view (Figure 2): every line event
+	// updates it, which is the steady-state cost a debugger with no
+	// breakpoints still pays (§7).
+	positions map[int64]position
+	disturb   bool
+	detached  bool
+	// lastDeadlock is kept for replay: a child can deadlock before the
+	// client has adopted it.
+	lastDeadlock *protocol.Msg
+	// children records forked child PIDs (Listing 3's Dionea.processes)
+	// for replay: a freshly adopted debuggee may have forked before the
+	// client attached.
+	children []int64
+	// pendingAtfork is the sync-object set acquired by handler A, to be
+	// released by exactly B (or rolled back on prepare failure).
+	pendingAtfork []kernel.SyncObject
+}
+
+// Attach creates a debug server for p. Call during kernel.Options.Setup,
+// before the process's main thread exists.
+func Attach(k *kernel.Kernel, p *kernel.Process, opt Options) (*Server, error) {
+	s := &Server{
+		K:         k,
+		P:         p,
+		sessionID: opt.SessionID,
+		sources:   opt.Sources,
+		portDir:   opt.PortDir,
+		breaks:    make(map[string]map[int]*breakpoint),
+		steps:     make(map[int64]*stepState),
+		positions: make(map[int64]position),
+		disturb:   opt.Disturb,
+	}
+	if s.sources == nil {
+		s.sources = map[string]string{}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("dionea: listen: %w", err)
+	}
+	s.ln = ln
+	s.port = ln.Addr().(*net.TCPAddr).Port
+
+	s.installHooks(opt.WaitForClient)
+	s.registerForkHandlers()
+	s.spawnListener()
+
+	// Port handoff: the client finds this server through the temp file.
+	s.writePortFile()
+	return s, nil
+}
+
+func (s *Server) writePortFile() {
+	name := protocol.PortFileName(s.sessionID, s.P.PID)
+	data := []byte(fmt.Sprintf("%d", s.port))
+	s.K.TempWrite(name, data)
+	if s.portDir != "" {
+		_ = os.WriteFile(filepath.Join(s.portDir, name), data, 0o644)
+	}
+}
+
+func (s *Server) removePortFile() {
+	name := protocol.PortFileName(s.sessionID, s.P.PID)
+	s.K.TempRemove(name)
+	if s.portDir != "" {
+		_ = os.Remove(filepath.Join(s.portDir, name))
+	}
+}
+
+// Port returns the TCP port the server listens on.
+func (s *Server) Port() int { return s.port }
+
+// installHooks wires the server into the process.
+func (s *Server) installHooks(waitForClient bool) {
+	p := s.P
+	p.OnThreadStart = func(tc *kernel.TCtx) { s.onThreadStart(tc, waitForClient) }
+	p.OnDeadlock = s.onDeadlock
+	p.OnForked = s.onForked
+	p.OnFatal = func(msg string) {
+		s.event(&protocol.Msg{Kind: "event", Cmd: protocol.EventFatal, PID: p.PID, Text: msg})
+	}
+	p.TapOutput(func(text string) {
+		s.event(&protocol.Msg{Kind: "event", Cmd: protocol.EventOutput, PID: p.PID, Text: text})
+	})
+	p.OnExit(func(code int) {
+		s.event(&protocol.Msg{Kind: "event", Cmd: protocol.EventProcessExited, PID: p.PID, Code: code})
+		s.removePortFile()
+		s.closeConns()
+		_ = s.ln.Close()
+	})
+}
+
+// onThreadStart runs on each new pint thread before user code: install the
+// trace callback and honor attach-wait / disturb mode.
+func (s *Server) onThreadStart(tc *kernel.TCtx, waitForClient bool) {
+	tc.VM.Trace = s.traceFunc(tc)
+	s.event(&protocol.Msg{
+		Kind: "event", Cmd: protocol.EventThreadStarted,
+		PID: s.P.PID, TID: tc.TID,
+	})
+	if tc.Main && waitForClient {
+		_ = s.parkAndNotify(tc, protocol.StopSuspend, 0)
+		return
+	}
+	if s.disturbed() {
+		_ = s.parkAndNotify(tc, protocol.StopDisturb, 0)
+	}
+}
+
+func (s *Server) disturbed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.disturb
+}
+
+// parkAndNotify reports a stop to the client and parks the thread. It
+// returns when the client resumes the thread (low-intrusive: only this
+// thread stops; Tick in other threads continues freely).
+func (s *Server) parkAndNotify(tc *kernel.TCtx, reason string, line int) error {
+	s.event(&protocol.Msg{
+		Kind: "event", Cmd: protocol.EventStopped,
+		PID: s.P.PID, TID: tc.TID, Reason: reason, Line: line,
+		File: currentFile(tc),
+	})
+	err := tc.Park(reason)
+	s.event(&protocol.Msg{
+		Kind: "event", Cmd: protocol.EventResumed,
+		PID: s.P.PID, TID: tc.TID,
+	})
+	return err
+}
+
+func currentFile(tc *kernel.TCtx) string {
+	if f := tc.VM.CurrentFrame(); f != nil {
+		return f.Proto.File
+	}
+	return ""
+}
+
+// traceFunc builds the per-thread trace callback — the debug server's use
+// of the interpreter trace facility (Kernel#set_trace_func / sys.settrace).
+func (s *Server) traceFunc(tc *kernel.TCtx) vm.TraceFunc {
+	return func(th *vm.Thread, ev vm.Event, line int) error {
+		s.mu.Lock()
+		if s.detached {
+			s.mu.Unlock()
+			return nil
+		}
+		// Source-view bookkeeping runs for every event — this is the
+		// always-on work behind the §7 "debugger attached, no
+		// breakpoints" overhead.
+		pos := s.positions[tc.TID]
+		pos.events++
+		switch ev {
+		case vm.EventCall:
+			pos.depth++
+		case vm.EventReturn:
+			pos.depth--
+		case vm.EventLine:
+			pos.file = currentFile(tc)
+			pos.line = line
+		}
+		s.positions[tc.TID] = pos
+		// Periodically push the UE's position to the client so its
+		// processes-and-threads view stays live (Figure 2). The period
+		// trades view freshness against tracing overhead.
+		var sync *protocol.Conn
+		if pos.events%SyncPeriod == 0 {
+			sync = s.srcConn
+		}
+		if ev != vm.EventLine {
+			s.mu.Unlock()
+			return nil
+		}
+		reason := ""
+		if st, ok := s.steps[tc.TID]; ok {
+			switch st.mode {
+			case stepInto:
+				reason = protocol.StopStep
+			case stepSuspend:
+				reason = protocol.StopSuspend
+			case stepOver:
+				if th.Depth() <= st.startDepth {
+					reason = protocol.StopStep
+				}
+			case stepOut:
+				if th.Depth() < st.startDepth {
+					reason = protocol.StopStep
+				}
+			}
+			if reason != "" {
+				delete(s.steps, tc.TID)
+			}
+		}
+		var bp *breakpoint
+		if reason == "" {
+			if lines, ok := s.breaks[pos.file]; ok {
+				bp = lines[line]
+			}
+		}
+		s.mu.Unlock()
+		if bp != nil && (bp.cond == nil || bp.cond.holds(th)) {
+			s.mu.Lock()
+			bp.hits++
+			s.mu.Unlock()
+			reason = protocol.StopBreakpoint
+		}
+		if sync != nil {
+			_ = sync.Send(&protocol.Msg{
+				Kind: "event", Cmd: protocol.EventSourceSync,
+				PID: s.P.PID, TID: tc.TID, File: pos.file, Line: line,
+			})
+		}
+		if reason == "" {
+			return nil
+		}
+		return s.parkAndNotify(tc, reason, line)
+	}
+}
+
+// SyncPeriod is the source-view refresh period in trace events: every
+// SyncPeriod-th event of a UE pushes its position to the client so the
+// processes-and-threads view stays live (Figure 2). Smaller is fresher
+// and costlier; 128 keeps views near-live while the §7 no-breakpoint
+// overhead stays in the measured band (see EXPERIMENTS.md and
+// BenchmarkAblationSyncPeriod, which sweeps it).
+var SyncPeriod int64 = 128
+
+// onDeadlock reports a fatal deadlock with its exact line (Figure 7) and
+// parks the thread so the user can inspect before the interpreter aborts.
+func (s *Server) onDeadlock(tc *kernel.TCtx, d *kernel.DeadlockError) {
+	m := &protocol.Msg{
+		Kind: "event", Cmd: protocol.EventDeadlock,
+		PID: s.P.PID, TID: tc.TID, Line: d.Line,
+		File: currentFile(tc), Reason: d.Reason, Text: d.Error(),
+	}
+	s.mu.Lock()
+	s.lastDeadlock = m
+	s.mu.Unlock()
+	s.event(m)
+	_ = s.parkAndNotify(tc, protocol.StopDeadlock, d.Line)
+}
+
+// event sends an asynchronous event on the source channel, if a client is
+// connected; events before the client attaches are dropped (the client
+// re-queries state after connecting).
+func (s *Server) event(m *protocol.Msg) {
+	s.mu.Lock()
+	conn := s.srcConn
+	s.mu.Unlock()
+	if conn != nil {
+		_ = conn.Send(m)
+	}
+}
+
+// withGIL runs fn while holding the debuggee's GIL, so the listener can
+// read interpreter state (frames, environments, containers) that running
+// threads mutate. Suspended and blocked threads never hold the GIL, so
+// acquisition is prompt.
+func (s *Server) withGIL(fn func()) {
+	g := s.P.GIL()
+	if err := g.Acquire(-1, nil); err != nil {
+		return
+	}
+	defer g.Release()
+	fn()
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	cmd, src := s.cmdConn, s.srcConn
+	s.cmdConn, s.srcConn = nil, nil
+	s.mu.Unlock()
+	if cmd != nil {
+		_ = cmd.Close()
+	}
+	if src != nil {
+		_ = src.Close()
+	}
+}
+
+// spawnListener starts the dedicated listener thread (§4): a native
+// thread of the debuggee process running an accept/dispatch loop.
+func (s *Server) spawnListener() {
+	s.P.SpawnNative("dionea-listener", func(n *kernel.Native) {
+		go func() {
+			<-n.StopCh()
+			_ = s.ln.Close()
+			s.closeConns()
+		}()
+		for {
+			c, err := s.ln.Accept()
+			if err != nil {
+				return
+			}
+			conn := protocol.NewConn(c)
+			hello, err := conn.Recv()
+			if err != nil || hello.Cmd != protocol.EventHello {
+				_ = conn.Close()
+				continue
+			}
+			switch hello.Channel {
+			case protocol.ChannelSource:
+				s.mu.Lock()
+				dup := s.srcConn != nil
+				if !dup {
+					s.srcConn = conn
+				}
+				s.mu.Unlock()
+				if dup {
+					// 1 server : 1 client (§4.1).
+					_ = conn.Send(&protocol.Msg{Kind: "event", Cmd: protocol.EventHello, PID: s.P.PID, Err: "busy"})
+					_ = conn.Close()
+					continue
+				}
+				_ = conn.Send(&protocol.Msg{Kind: "event", Cmd: protocol.EventHello, PID: s.P.PID, OK: true})
+				// Replay current stop state: a freshly adopted child may
+				// already be parked (disturb mode, an inherited
+				// breakpoint, a deadlock) from before the client attached.
+				s.mu.Lock()
+				dl := s.lastDeadlock
+				kids := append([]int64(nil), s.children...)
+				s.mu.Unlock()
+				if dl != nil {
+					_ = conn.Send(dl)
+				}
+				for _, kid := range kids {
+					_ = conn.Send(&protocol.Msg{
+						Kind: "event", Cmd: protocol.EventForked,
+						PID: s.P.PID, Child: kid,
+					})
+				}
+				for _, tc := range s.P.Threads() {
+					if st, reason := tc.State(); st == kernel.StateSuspended {
+						_ = conn.Send(&protocol.Msg{
+							Kind: "event", Cmd: protocol.EventStopped,
+							PID: s.P.PID, TID: tc.TID, Reason: reason,
+							Line: tc.VM.CurrentLine(), File: currentFile(tc),
+						})
+					}
+				}
+			case protocol.ChannelCommand:
+				s.mu.Lock()
+				dup := s.cmdConn != nil
+				if !dup {
+					s.cmdConn = conn
+				}
+				s.mu.Unlock()
+				if dup {
+					_ = conn.Send(&protocol.Msg{Kind: "resp", Cmd: protocol.EventHello, Err: "busy"})
+					_ = conn.Close()
+					continue
+				}
+				_ = conn.Send(&protocol.Msg{Kind: "resp", Cmd: protocol.EventHello, PID: s.P.PID, OK: true})
+				go s.commandLoop(conn)
+			default:
+				_ = conn.Close()
+			}
+		}
+	})
+}
+
+// commandLoop dispatches requests on the command channel, one at a time —
+// the Reactor-style event loop of the listener thread.
+func (s *Server) commandLoop(conn *protocol.Conn) {
+	for {
+		req, err := conn.Recv()
+		if err != nil {
+			s.mu.Lock()
+			if s.cmdConn == conn {
+				s.cmdConn = nil
+			}
+			s.mu.Unlock()
+			return
+		}
+		resp, post := s.dispatch(req)
+		resp.Kind = "resp"
+		resp.ID = req.ID
+		resp.PID = s.P.PID
+		err = conn.Send(resp)
+		if post != nil {
+			// Side effects that unpark the debuggee run only after the
+			// response is on the wire: the resumed program may finish and
+			// close this connection.
+			post()
+		}
+		if err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package dionea_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dionea/internal/dionea"
+)
+
+// TestInputWindowFeedsDebuggee reproduces Figure 2's Input window: the
+// program blocks on input(); the client supplies a line through its
+// session; the program consumes it.
+func TestInputWindowFeedsDebuggee(t *testing.T) {
+	_, p, c := debugged(t, `name = input()
+print("hello,", name)
+n = input()
+if n == nil {
+    print("eof seen")
+}
+`, dionea.Options{})
+	tid := mainTID(t, c, p.PID)
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	// The debuggee is now blocked reading stdin. Feed it.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		infos, _ := c.Threads(p.PID)
+		blocked := false
+		for _, ti := range infos {
+			if ti.Reason == "stdin" {
+				blocked = true
+			}
+		}
+		if blocked {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("program never blocked on input()")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := c.SendInput(p.PID, "world"); err != nil {
+		t.Fatal(err)
+	}
+	// Second read: signal EOF by closing stdin directly (the CLI client
+	// has no close command; programs treat nil as end-of-input).
+	deadline = time.Now().Add(5 * time.Second)
+	for !strings.Contains(p.Output(), "hello, world") {
+		if time.Now().After(deadline) {
+			t.Fatalf("input not consumed; output=%q", p.Output())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	p.CloseStdin()
+	waitExit(t, p, 5*time.Second)
+	if !strings.Contains(p.Output(), "eof seen") {
+		t.Fatalf("output = %q", p.Output())
+	}
+}
+
+// TestInputPerProcess: each forked child has its own input stream — the
+// client feeds the debuggee selected in the Input window, not a shared
+// terminal.
+func TestInputPerProcess(t *testing.T) {
+	_, p, c := debugged(t, `pid = fork do
+    v = input()
+    print("child got", v)
+end
+v = input()
+print("parent got", v)
+waitpid(pid)
+`, dionea.Options{})
+	tid := mainTID(t, c, p.PID)
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the child session, then feed parent and child different
+	// lines through their own sessions.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(c.Sessions()) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("child not adopted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	childPID := c.Sessions()[1]
+	if err := c.SendInput(p.PID, "for-parent"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendInput(childPID, "for-child"); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, p, 10*time.Second)
+	if !strings.Contains(p.Output(), "parent got for-parent") {
+		t.Fatalf("parent output = %q", p.Output())
+	}
+}
+
+// TestInputFastPath covers input() when a line is already buffered.
+func TestInputFastPath(t *testing.T) {
+	_, p, c := debugged(t, `a = input()
+b = input()
+print(a, b)
+`, dionea.Options{})
+	tid := mainTID(t, c, p.PID)
+	// Buffer both lines BEFORE the program runs.
+	if err := c.SendInput(p.PID, "one"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SendInput(p.PID, "two"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, p, 5*time.Second)
+	if !strings.Contains(p.Output(), "one two") {
+		t.Fatalf("output = %q", p.Output())
+	}
+}

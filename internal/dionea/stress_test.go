@@ -1,0 +1,156 @@
+package dionea_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dionea/internal/client"
+	"dionea/internal/dionea"
+	"dionea/internal/protocol"
+)
+
+// TestStressForkTreeUnderDebugger runs a fork tree (depth 2, fanout 3 = 13
+// processes) with threads, queues and breakpoints, all under one client —
+// the 1 client : N servers architecture at a size beyond the paper's
+// demos.
+func TestStressForkTreeUnderDebugger(t *testing.T) {
+	_, p, c := debugged(t, `func work(depth) {
+    q = queue_new()
+    spawn do
+        q.push(depth)
+    end
+    v = q.pop()
+    if depth == 2 {
+        sleep(0.5)
+    }
+    if depth < 2 {
+        kids = []
+        for i in range(3) {
+            kids.push(fork do
+                work(depth + 1)
+            end)
+        }
+        for kid in kids {
+            waitpid(kid)
+        }
+    }
+    return v
+}
+work(0)
+print("tree done", getpid())
+`, dionea.Options{})
+	tid := mainTID(t, c, p.PID)
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	// All 13 processes get adopted while the leaves sleep. Adoption is
+	// cumulative: count distinct session_opened events plus the root.
+	adopted := map[int64]bool{p.PID: true}
+	deadline := time.After(30 * time.Second)
+	for len(adopted) < 13 {
+		select {
+		case e := <-c.Events():
+			if e.Msg.Cmd == "session_opened" {
+				adopted[e.Msg.PID] = true
+			}
+		case <-deadline:
+			t.Fatalf("adopted %d of 13 debuggees", len(adopted))
+		}
+	}
+	waitExit(t, p, 30*time.Second)
+	if !strings.Contains(p.Output(), "tree done") {
+		t.Fatalf("output = %q", p.Output())
+	}
+}
+
+// TestStressBreakpointsAcrossForkTree inherits a breakpoint through two
+// fork generations; every descendant hits it once and is resumed.
+func TestStressBreakpointsAcrossForkTree(t *testing.T) {
+	_, p, c := debugged(t, `pid1 = fork do
+    pid2 = fork do
+        marker = getpid()
+        print("leaf", marker)
+    end
+    marker = getpid()
+    print("mid", marker)
+    waitpid(pid2)
+end
+marker = getpid()
+print("root", marker)
+waitpid(pid1)
+`, dionea.Options{})
+	tid := mainTID(t, c, p.PID)
+	// Lines 3, 6 and 10 are the three marker assignments (one per fork
+	// generation); break on all of them.
+	for _, line := range []int{3, 6, 10} {
+		if err := c.SetBreak(p.PID, "program.pint", line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	stops := map[int64]bool{}
+	deadline := time.After(30 * time.Second)
+	for len(stops) < 3 {
+		select {
+		case e := <-c.Events():
+			if e.Msg.Cmd == protocol.EventStopped && e.Msg.Reason == protocol.StopBreakpoint {
+				stops[e.Msg.PID] = true
+				if err := c.Continue(e.Msg.PID, e.Msg.TID); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case <-deadline:
+			t.Fatalf("stops seen: %v", stops)
+		}
+	}
+	waitExit(t, p, 30*time.Second)
+	if !strings.Contains(p.Output(), "root") {
+		t.Fatalf("root output = %q", p.Output())
+	}
+}
+
+// TestStressManyThreadsOneBreak runs 12 threads through a shared hot
+// function with a conditional breakpoint that fires for exactly one of
+// them.
+func TestStressManyThreadsOneBreak(t *testing.T) {
+	_, p, c := debugged(t, `done = queue_new()
+func hot(id) {
+    x = id * 10
+    done.push(id)
+}
+ts = []
+for i in range(12) {
+    ts.push(spawn(i) do |id| hot(id) end)
+}
+for th in ts {
+    th.join()
+}
+print("joined", done.len())
+`, dionea.Options{})
+	tid := mainTID(t, c, p.PID)
+	if err := c.SetBreakIf(p.PID, "program.pint", 3, "id == 7"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	ev, err := c.WaitEvent(func(e client.Event) bool {
+		return e.Msg.Cmd == protocol.EventStopped && e.Msg.Reason == protocol.StopBreakpoint
+	}, 15*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := c.Eval(p.PID, ev.Msg.TID, "id"); v != "7" {
+		t.Fatalf("wrong thread stopped: id=%q", v)
+	}
+	if err := c.Continue(p.PID, ev.Msg.TID); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, p, 15*time.Second)
+	if !strings.Contains(p.Output(), "joined 12") {
+		t.Fatalf("output = %q", p.Output())
+	}
+}

@@ -1,0 +1,109 @@
+// Package gil implements the Global Interpreter Lock of a simulated
+// interpreter process, plus the broadcast primitive the kernel's blocking
+// objects are built on.
+//
+// One GIL exists per simulated process. A pint thread must hold its
+// process's GIL to execute bytecode; it releases it every checkinterval
+// instructions (vm.Thread.CheckEvery) and around blocking operations.
+// Threads of *different* processes hold different GILs and therefore run
+// in true parallel on the host — reproducing the paper's premise that
+// processes, not threads, are the unit of parallelism on CPython/CRuby.
+package gil
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInterrupted is returned by Acquire when the interrupt channel fires
+// before the lock is obtained (thread kill, process teardown).
+var ErrInterrupted = errors.New("gil: acquire interrupted")
+
+// GIL is a token lock with interruptible acquire.
+type GIL struct {
+	ch     chan struct{}
+	holder atomic.Int64 // thread id of current holder, 0 when free
+}
+
+// New returns an unlocked GIL.
+func New() *GIL {
+	return &GIL{ch: make(chan struct{}, 1)}
+}
+
+// Acquire blocks until the lock is held or interrupt fires. A nil
+// interrupt channel never fires.
+func (g *GIL) Acquire(tid int64, interrupt <-chan struct{}) error {
+	select {
+	case g.ch <- struct{}{}:
+		g.holder.Store(tid)
+		return nil
+	default:
+	}
+	select {
+	case g.ch <- struct{}{}:
+		g.holder.Store(tid)
+		return nil
+	case <-interrupt:
+		return ErrInterrupted
+	}
+}
+
+// TryAcquire attempts the lock without blocking.
+func (g *GIL) TryAcquire(tid int64) bool {
+	select {
+	case g.ch <- struct{}{}:
+		g.holder.Store(tid)
+		return true
+	default:
+		return false
+	}
+}
+
+// Release frees the lock. The caller must hold it.
+func (g *GIL) Release() {
+	g.holder.Store(0)
+	<-g.ch
+}
+
+// Holder returns the thread id of the current holder (0 when free). It is
+// advisory: the answer may be stale by the time it is observed.
+func (g *GIL) Holder() int64 { return g.holder.Load() }
+
+// Reinit reinitializes the lock in a forked child, the analog of YARV's
+// native_mutex_reinitialize_atfork(&vm->global_vm_lock) (paper Listing 2):
+// whatever state the parent's waiters left behind is discarded and the
+// calling thread becomes the sole holder.
+func (g *GIL) Reinit(tid int64) {
+	g.ch = make(chan struct{}, 1)
+	g.ch <- struct{}{}
+	g.holder.Store(tid)
+}
+
+// Broadcast is a channel-based condition variable: waiters grab the
+// current generation channel and select on it alongside their interrupt
+// channel; Wake closes the generation, releasing every waiter. Unlike
+// sync.Cond it composes with select, which the kernel needs so blocked
+// threads stay killable.
+type Broadcast struct {
+	ch atomic.Pointer[chan struct{}]
+}
+
+// NewBroadcast returns a ready Broadcast.
+func NewBroadcast() *Broadcast {
+	b := &Broadcast{}
+	ch := make(chan struct{})
+	b.ch.Store(&ch)
+	return b
+}
+
+// WaitChan returns the channel to select on; it is closed at the next Wake.
+// Callers must re-check their predicate after the channel fires and must
+// have read WaitChan *before* releasing the lock protecting the predicate.
+func (b *Broadcast) WaitChan() <-chan struct{} { return *b.ch.Load() }
+
+// Wake releases all current waiters.
+func (b *Broadcast) Wake() {
+	next := make(chan struct{})
+	old := b.ch.Swap(&next)
+	close(*old)
+}

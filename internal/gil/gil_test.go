@@ -1,0 +1,173 @@
+package gil_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dionea/internal/gil"
+)
+
+func TestMutualExclusion(t *testing.T) {
+	g := gil.New()
+	var counter int64
+	var inside atomic.Int64
+	var wg sync.WaitGroup
+	fail := atomic.Bool{}
+	for tid := int64(1); tid <= 8; tid++ {
+		wg.Add(1)
+		go func(tid int64) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if err := g.Acquire(tid, nil); err != nil {
+					fail.Store(true)
+					return
+				}
+				if inside.Add(1) != 1 {
+					fail.Store(true)
+				}
+				counter++
+				inside.Add(-1)
+				g.Release()
+			}
+		}(tid)
+	}
+	wg.Wait()
+	if fail.Load() {
+		t.Fatalf("mutual exclusion violated")
+	}
+	if counter != 8*500 {
+		t.Fatalf("counter = %d", counter)
+	}
+}
+
+func TestAcquireInterruptible(t *testing.T) {
+	g := gil.New()
+	if err := g.Acquire(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	interrupt := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- g.Acquire(2, interrupt)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	close(interrupt)
+	select {
+	case err := <-done:
+		if err != gil.ErrInterrupted {
+			t.Fatalf("err = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatalf("interrupted acquire did not return")
+	}
+	g.Release()
+}
+
+func TestTryAcquire(t *testing.T) {
+	g := gil.New()
+	if !g.TryAcquire(1) {
+		t.Fatalf("try on free lock failed")
+	}
+	if g.TryAcquire(2) {
+		t.Fatalf("try on held lock succeeded")
+	}
+	if g.Holder() != 1 {
+		t.Fatalf("holder = %d", g.Holder())
+	}
+	g.Release()
+	if g.Holder() != 0 {
+		t.Fatalf("holder after release = %d", g.Holder())
+	}
+}
+
+func TestReinit(t *testing.T) {
+	g := gil.New()
+	// Simulate a fork: parent holds the lock with waiters; the child's
+	// copy is reinitialized with the surviving thread as holder.
+	if err := g.Acquire(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	g.Reinit(42)
+	if g.Holder() != 42 {
+		t.Fatalf("holder = %d", g.Holder())
+	}
+	g.Release()
+	if !g.TryAcquire(7) {
+		t.Fatalf("lock unusable after reinit")
+	}
+	g.Release()
+}
+
+func TestBroadcastWakesAllWaiters(t *testing.T) {
+	b := gil.NewBroadcast()
+	const n = 20
+	var woke atomic.Int64
+	var wg sync.WaitGroup
+	ch := b.WaitChan()
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-ch
+			woke.Add(1)
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	b.Wake()
+	wg.Wait()
+	if woke.Load() != n {
+		t.Fatalf("woke = %d", woke.Load())
+	}
+}
+
+func TestBroadcastGenerations(t *testing.T) {
+	b := gil.NewBroadcast()
+	ch1 := b.WaitChan()
+	b.Wake()
+	select {
+	case <-ch1:
+	default:
+		t.Fatalf("old generation not closed")
+	}
+	ch2 := b.WaitChan()
+	select {
+	case <-ch2:
+		t.Fatalf("new generation already closed")
+	default:
+	}
+}
+
+// Property: any interleaving of acquire/release with random hold times
+// keeps the holder consistent.
+func TestHolderConsistencyProperty(t *testing.T) {
+	f := func(seed uint8) bool {
+		g := gil.New()
+		var wg sync.WaitGroup
+		ok := atomic.Bool{}
+		ok.Store(true)
+		for tid := int64(1); tid <= 4; tid++ {
+			wg.Add(1)
+			go func(tid int64) {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					if err := g.Acquire(tid, nil); err != nil {
+						ok.Store(false)
+						return
+					}
+					if g.Holder() != tid {
+						ok.Store(false)
+					}
+					g.Release()
+				}
+			}(tid)
+		}
+		wg.Wait()
+		return ok.Load()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Builtin constructors for the IPC types.
+
+package ipc
+
+import (
+	"fmt"
+
+	"dionea/internal/kernel"
+	"dionea/internal/value"
+	"dionea/internal/vm"
+)
+
+// Install defines the IPC builtins in the process globals:
+//
+//	mutex_new()        in-process mutex
+//	queue_new()        inter-thread queue (Listing 5's Queue)
+//	mp_queue()         cross-process queue (semaphore + pipe + pickle)
+//	pipe_new()         [read_end, write_end] (IO.pipe)
+//	semaphore_new(n)   cross-process semaphore
+//	pickle_dumps(v)    pickled bytes as a string
+//	pickle_loads(s)    inverse
+func Install(p *kernel.Process) {
+	env := p.Globals
+	def := func(name string, fn vm.BuiltinFn) {
+		env.Define(name, &vm.Builtin{Name: name, Fn: fn})
+	}
+
+	def("mutex_new", func(th *vm.Thread, _ []value.Value, _ *value.Closure) (value.Value, error) {
+		return NewMutex(kernel.Ctx(th).P), nil
+	})
+
+	def("queue_new", func(th *vm.Thread, _ []value.Value, _ *value.Closure) (value.Value, error) {
+		return NewTQueue(kernel.Ctx(th).P), nil
+	})
+
+	def("mp_queue", func(th *vm.Thread, _ []value.Value, _ *value.Closure) (value.Value, error) {
+		return NewMPQueue(kernel.Ctx(th).P), nil
+	})
+
+	def("pipe_new", func(th *vm.Thread, _ []value.Value, _ *value.Closure) (value.Value, error) {
+		r, w := NewPipePair(kernel.Ctx(th).P)
+		return value.NewList(r, w), nil
+	})
+
+	def("semaphore_new", func(th *vm.Thread, args []value.Value, _ *value.Closure) (value.Value, error) {
+		n := int64(0)
+		if len(args) == 1 {
+			i, ok := args[0].(value.Int)
+			if !ok || i < 0 {
+				return nil, fmt.Errorf("semaphore_new expects a non-negative int")
+			}
+			n = int64(i)
+		}
+		return &SemVal{S: kernel.NewSemaphore(n)}, nil
+	})
+
+	def("pickle_dumps", func(_ *vm.Thread, args []value.Value, _ *value.Closure) (value.Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("pickle_dumps expects 1 argument")
+		}
+		b, err := Pickle(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return value.Str(b), nil
+	})
+
+	def("pickle_loads", func(_ *vm.Thread, args []value.Value, _ *value.Closure) (value.Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("pickle_loads expects 1 argument")
+		}
+		s, ok := args[0].(value.Str)
+		if !ok {
+			return nil, fmt.Errorf("pickle_loads expects a string")
+		}
+		return Unpickle([]byte(s))
+	})
+}

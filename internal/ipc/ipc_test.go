@@ -1,0 +1,370 @@
+package ipc_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dionea/internal/ipc"
+	"dionea/internal/pinttest"
+	"dionea/internal/value"
+)
+
+// ---- pickle ----
+
+func TestPickleScalars(t *testing.T) {
+	vals := []value.Value{
+		value.NilV, value.Bool(true), value.Bool(false),
+		value.Int(0), value.Int(-5), value.Int(1 << 40),
+		value.Float(3.25), value.Float(-0.5),
+		value.Str(""), value.Str("héllo \x00 world"),
+	}
+	for _, v := range vals {
+		b, err := ipc.Pickle(v)
+		if err != nil {
+			t.Fatalf("pickle %v: %v", v, err)
+		}
+		got, err := ipc.Unpickle(b)
+		if err != nil {
+			t.Fatalf("unpickle %v: %v", v, err)
+		}
+		if !value.Equal(v, got) {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestPickleContainersPreserveOrder(t *testing.T) {
+	d := value.NewDict()
+	for _, k := range []string{"z", "a", "m"} {
+		key, _ := value.KeyOf(value.Str(k))
+		d.Set(key, value.Str(k))
+	}
+	b, err := ipc.Pickle(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ipc.Unpickle(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := got.(*value.Dict).Keys()
+	if keys[0].S != "z" || keys[1].S != "a" || keys[2].S != "m" {
+		t.Fatalf("order lost: %v", keys)
+	}
+}
+
+func TestPicklePreservesAliasingAndCycles(t *testing.T) {
+	shared := value.NewList(value.Int(1))
+	outer := value.NewList(shared, shared)
+	b, err := ipc.Pickle(outer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := ipc.Unpickle(b)
+	l := got.(*value.List)
+	if l.Elems[0] != l.Elems[1] {
+		t.Fatalf("aliasing lost")
+	}
+
+	cyc := value.NewList()
+	cyc.Elems = append(cyc.Elems, cyc)
+	b, err = ipc.Pickle(cyc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = ipc.Unpickle(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(*value.List).Elems[0] != got {
+		t.Fatalf("cycle lost")
+	}
+}
+
+func TestPickleRejectsFunctionsAndHandles(t *testing.T) {
+	_, err := ipc.Pickle(&value.Closure{})
+	if err == nil {
+		t.Fatalf("pickled a function object")
+	}
+	if !strings.Contains(err.Error(), "can't pickle") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUnpickleRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{
+		{}, {0xff}, {'S', 0, 0, 0, 9}, {'L', 0xff, 0xff, 0xff, 0xff},
+		append([]byte{'I'}, 1, 2, 3), // truncated int
+		{'R', 0, 0, 0, 5},            // bad ref
+		{'N', 'N'},                   // trailing bytes
+	} {
+		if _, err := ipc.Unpickle(b); err == nil {
+			t.Fatalf("garbage %v unpickled", b)
+		}
+	}
+}
+
+func randomPickleable(r *rand.Rand, depth int) value.Value {
+	if depth <= 0 {
+		switch r.Intn(5) {
+		case 0:
+			return value.Int(r.Int63() - r.Int63())
+		case 1:
+			return value.Float(r.NormFloat64())
+		case 2:
+			return value.Str(randString(r))
+		case 3:
+			return value.Bool(r.Intn(2) == 0)
+		default:
+			return value.NilV
+		}
+	}
+	switch r.Intn(2) {
+	case 0:
+		l := value.NewList()
+		for i := 0; i < r.Intn(5); i++ {
+			l.Elems = append(l.Elems, randomPickleable(r, depth-1))
+		}
+		return l
+	default:
+		d := value.NewDict()
+		for i := 0; i < r.Intn(5); i++ {
+			k, _ := value.KeyOf(value.Str(randString(r)))
+			d.Set(k, randomPickleable(r, depth-1))
+		}
+		return d
+	}
+}
+
+func randString(r *rand.Rand) string {
+	n := r.Intn(12)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(r.Intn(256))
+	}
+	return string(b)
+}
+
+// Property: pickle/unpickle round-trips arbitrary value trees.
+func TestPickleRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomPickleable(r, 4)
+		b, err := ipc.Pickle(v)
+		if err != nil {
+			return false
+		}
+		got, err := ipc.Unpickle(b)
+		if err != nil {
+			return false
+		}
+		return value.Equal(v, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ---- mutex / queue / semaphore semantics, driven from pint ----
+
+func TestMutexErrors(t *testing.T) {
+	r := pinttest.Run(t, `
+m = mutex_new()
+m.lock()
+print("locked", m.locked())
+m.unlock()
+print("unlocked", m.locked())
+print("try", m.try_lock())
+m.unlock()
+v = m.synchronize(func() { return 5 })
+print("sync", v, m.locked())
+`, pinttest.Options{})
+	want := "locked true\nunlocked false\ntry true\nsync 5 false\n"
+	if r.Proc.Output() != want {
+		t.Fatalf("out = %q", r.Proc.Output())
+	}
+}
+
+func TestMutexUnlockByNonOwnerRaises(t *testing.T) {
+	r := pinttest.Run(t, `
+m = mutex_new()
+m.lock()
+th = spawn do
+    m.unlock()
+end
+th.join()
+print("still locked", m.locked())
+`, pinttest.Options{})
+	out := r.Proc.Output()
+	if !strings.Contains(out, "ThreadError") || !strings.Contains(out, "still locked true") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestMutexRecursiveLockRaises(t *testing.T) {
+	r := pinttest.Run(t, `
+m = mutex_new()
+m.lock()
+m.lock()
+`, pinttest.Options{})
+	if !strings.Contains(r.Proc.Output(), "recursive locking") {
+		t.Fatalf("out = %q", r.Proc.Output())
+	}
+	if r.Proc.ExitCode() != 1 {
+		t.Fatalf("exit = %d", r.Proc.ExitCode())
+	}
+}
+
+func TestMutexContention(t *testing.T) {
+	r := pinttest.Run(t, `
+m = mutex_new()
+shared = [0]
+func bump() {
+    for i in range(200) {
+        m.lock()
+        shared[0] += 1
+        m.unlock()
+    }
+}
+ts = []
+for i in range(4) {
+    ts.push(spawn(bump))
+}
+for th in ts {
+    th.join()
+}
+print(shared[0])
+`, pinttest.Options{CheckEvery: 7})
+	if !strings.Contains(r.Proc.Output(), "800") {
+		t.Fatalf("out = %q", r.Proc.Output())
+	}
+}
+
+func TestTQueueFIFO(t *testing.T) {
+	r := pinttest.Run(t, `
+q = queue_new()
+for i in range(5) {
+    q.push(i)
+}
+out = []
+while not q.empty() {
+    out.push(q.pop())
+}
+print(out, q.len())
+`, pinttest.Options{})
+	if !strings.Contains(r.Proc.Output(), "[0, 1, 2, 3, 4] 0") {
+		t.Fatalf("out = %q", r.Proc.Output())
+	}
+}
+
+func TestTQueueBlocksUntilPush(t *testing.T) {
+	r := pinttest.Run(t, `
+q = queue_new()
+t0 = clock_ms()
+spawn do
+    sleep(0.15)
+    q.push("late")
+end
+v = q.pop()
+dt = clock_ms() - t0
+if dt >= 100 {
+    print("blocked then got", v)
+} else {
+    print("did not block:", dt)
+}
+`, pinttest.Options{})
+	if !strings.Contains(r.Proc.Output(), "blocked then got late") {
+		t.Fatalf("out = %q", r.Proc.Output())
+	}
+}
+
+func TestSemaphorePV(t *testing.T) {
+	r := pinttest.Run(t, `
+s = semaphore_new(2)
+print(s.value())
+s.acquire()
+s.acquire()
+print(s.try_acquire())
+s.release()
+print(s.try_acquire())
+print(s.value())
+`, pinttest.Options{})
+	if r.Proc.Output() != "2\nfalse\ntrue\n0\n" {
+		t.Fatalf("out = %q", r.Proc.Output())
+	}
+}
+
+func TestPipeRawAndEOF(t *testing.T) {
+	r := pinttest.Run(t, `
+ends = pipe_new()
+r = ends[0]
+w = ends[1]
+w.write_raw("hello")
+print(r.read_raw(5))
+w.close()
+print(r.read_raw())
+`, pinttest.Options{})
+	if r.Proc.Output() != "hello\nnil\n" {
+		t.Fatalf("out = %q", r.Proc.Output())
+	}
+}
+
+func TestPipeEPIPE(t *testing.T) {
+	r := pinttest.Run(t, `
+ends = pipe_new()
+ends[0].close()
+ends[1].write("doomed")
+`, pinttest.Options{})
+	if !strings.Contains(r.Proc.Output(), "EPIPE") {
+		t.Fatalf("out = %q", r.Proc.Output())
+	}
+}
+
+func TestPipeWrongDirection(t *testing.T) {
+	r := pinttest.Run(t, `
+ends = pipe_new()
+ends[0].write("nope")
+`, pinttest.Options{})
+	if !strings.Contains(r.Proc.Output(), "read end") {
+		t.Fatalf("out = %q", r.Proc.Output())
+	}
+}
+
+func TestMPQueueFIFOAndTryGet(t *testing.T) {
+	r := pinttest.Run(t, `
+q = mp_queue()
+print(q.try_get())
+q.put([1, "a"])
+q.put([2, "b"])
+print(q.size())
+print(q.get(), q.get())
+print(q.empty())
+`, pinttest.Options{})
+	want := "nil\n2\n[1, \"a\"] [2, \"b\"]\ntrue\n"
+	if r.Proc.Output() != want {
+		t.Fatalf("out = %q", r.Proc.Output())
+	}
+}
+
+func TestMPQueueManyItemsNoDeadlock(t *testing.T) {
+	// Regression: the data pipe is unbounded (mp.Queue semantics); a
+	// producer enqueueing far more than a pipe buffer before anyone
+	// drains must not wedge.
+	r := pinttest.Run(t, `
+q = mp_queue()
+for i in range(500) {
+    q.put("payload-payload-payload-payload-payload-payload" + i)
+}
+n = 0
+while not q.empty() {
+    q.get()
+    n += 1
+}
+print("drained", n)
+`, pinttest.Options{})
+	if !strings.Contains(r.Proc.Output(), "drained 500") {
+		t.Fatalf("out = %q", r.Proc.Output())
+	}
+}

@@ -1,0 +1,207 @@
+// MPQueue: the multiprocessing.Queue analog, built exactly the way §6.3
+// describes the original: "The queue is implemented using a semaphore and
+// a pipe. Functions or methods to be executed by the child process are
+// passed from parent to child via queues encoded using pickle."
+//
+// The item-count semaphore and the reader/writer serialization locks are
+// kernel objects shared across fork; the data travels through a kernel
+// pipe whose descriptors the child inherits.
+
+package ipc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dionea/internal/kernel"
+	"dionea/internal/value"
+	"dionea/internal/vm"
+)
+
+// MPQueue is the pint handle for a cross-process queue. The handle itself
+// is plain data (descriptor numbers and shared kernel pointers), so it is
+// not a value.Copier: a forked child's copy refers to the same kernel
+// objects through its inherited descriptor table.
+type MPQueue struct {
+	Items *kernel.Semaphore // counts queued frames
+	RLock *kernel.Semaphore // serializes readers (binary)
+	WLock *kernel.Semaphore // serializes writers (binary)
+	RFD   int64
+	WFD   int64
+}
+
+// NewMPQueue creates a cross-process queue in process p. The data pipe is
+// unbounded, as in Python's multiprocessing.Queue (its feeder thread makes
+// put() non-blocking); without this, a producer that enqueues faster than
+// consumers drain would wedge against the pipe buffer.
+func NewMPQueue(p *kernel.Process) *MPQueue {
+	pipe := kernel.NewPipeCap(0)
+	rfd := p.FDs.Alloc(&kernel.FDEntry{Kind: kernel.FDPipeRead, Pipe: pipe})
+	wfd := p.FDs.Alloc(&kernel.FDEntry{Kind: kernel.FDPipeWrite, Pipe: pipe})
+	return &MPQueue{
+		Items: kernel.NewSemaphore(0),
+		RLock: kernel.NewSemaphore(1),
+		WLock: kernel.NewSemaphore(1),
+		RFD:   rfd,
+		WFD:   wfd,
+	}
+}
+
+// TypeName implements value.Value.
+func (*MPQueue) TypeName() string { return "mp_queue" }
+
+// Truthy implements value.Value.
+func (*MPQueue) Truthy() bool { return true }
+
+func (q *MPQueue) String() string {
+	return fmt.Sprintf("<mp_queue items=%d>", q.Items.Value())
+}
+
+func (q *MPQueue) pipeFor(t *kernel.TCtx, fd int64, write bool) (*kernel.Pipe, error) {
+	e, ok := t.P.FDs.Get(fd)
+	if !ok {
+		return nil, kernel.ErrBadFD
+	}
+	want := kernel.FDPipeRead
+	if write {
+		want = kernel.FDPipeWrite
+	}
+	if e.Kind != want {
+		return nil, fmt.Errorf("mp_queue: fd %d has wrong direction", fd)
+	}
+	return e.Pipe, nil
+}
+
+// Put pickles v and appends it to the queue.
+func (q *MPQueue) Put(t *kernel.TCtx, v value.Value) error {
+	data, err := Pickle(v)
+	if err != nil {
+		return err
+	}
+	pipe, err := q.pipeFor(t, q.WFD, true)
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(frame, uint32(len(data)))
+	copy(frame[4:], data)
+	return t.Block(kernel.StateBlockedExternal, "mpq-put", nil, func(cancel <-chan struct{}) error {
+		if err := q.WLock.P(cancel); err != nil {
+			return err
+		}
+		_, werr := pipe.Write(frame, cancel)
+		q.WLock.V()
+		if werr != nil {
+			return werr
+		}
+		q.Items.V()
+		return nil
+	})
+}
+
+// Get blocks until an item is available and returns it. The wait is on a
+// kernel semaphore — another *process* can satisfy it — so it does not
+// participate in in-process deadlock detection.
+func (q *MPQueue) Get(t *kernel.TCtx) (value.Value, error) {
+	pipe, err := q.pipeFor(t, q.RFD, false)
+	if err != nil {
+		return nil, err
+	}
+	var payload []byte
+	err = t.Block(kernel.StateBlockedExternal, "mpq-get", nil, func(cancel <-chan struct{}) error {
+		if err := q.Items.P(cancel); err != nil {
+			return err
+		}
+		if err := q.RLock.P(cancel); err != nil {
+			q.Items.V()
+			return err
+		}
+		defer q.RLock.V()
+		hdr, rerr := pipe.ReadFull(4, cancel)
+		if rerr != nil {
+			return rerr
+		}
+		n := binary.BigEndian.Uint32(hdr)
+		payload, rerr = pipe.ReadFull(int(n), cancel)
+		return rerr
+	})
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return nil, fmt.Errorf("mp_queue: pipe closed (EOFError)")
+	}
+	if err != nil {
+		return nil, err
+	}
+	return Unpickle(payload)
+}
+
+// TryGet returns (item, true) if one is immediately available.
+func (q *MPQueue) TryGet(t *kernel.TCtx) (value.Value, bool, error) {
+	if !q.Items.TryP() {
+		return nil, false, nil
+	}
+	pipe, err := q.pipeFor(t, q.RFD, false)
+	if err != nil {
+		q.Items.V()
+		return nil, false, err
+	}
+	var payload []byte
+	err = t.Block(kernel.StateBlockedExternal, "mpq-get", nil, func(cancel <-chan struct{}) error {
+		if err := q.RLock.P(cancel); err != nil {
+			return err
+		}
+		defer q.RLock.V()
+		hdr, rerr := pipe.ReadFull(4, cancel)
+		if rerr != nil {
+			return rerr
+		}
+		n := binary.BigEndian.Uint32(hdr)
+		payload, rerr = pipe.ReadFull(int(n), cancel)
+		return rerr
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	v, err := Unpickle(payload)
+	return v, err == nil, err
+}
+
+// Size returns the number of queued items.
+func (q *MPQueue) Size() int64 { return q.Items.Value() }
+
+// CallMethod implements vm.MethodCaller: put/get/try_get/size/empty/close.
+func (q *MPQueue) CallMethod(th *vm.Thread, name string, args []value.Value, _ *value.Closure) (value.Value, error) {
+	t := kernel.Ctx(th)
+	switch name {
+	case "put", "push":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("put expects 1 argument")
+		}
+		return value.NilV, q.Put(t, args[0])
+	case "get", "pop":
+		return q.Get(t)
+	case "try_get":
+		v, ok, err := q.TryGet(t)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return value.NilV, nil
+		}
+		return v, nil
+	case "size", "len":
+		return value.Int(q.Size()), nil
+	case "empty":
+		return value.Bool(q.Size() == 0), nil
+	case "close":
+		// Close this process's descriptors for the underlying pipe.
+		err1 := t.P.FDs.Close(q.RFD)
+		err2 := t.P.FDs.Close(q.WFD)
+		if err1 != nil && err2 != nil {
+			return nil, kernel.ErrBadFD
+		}
+		return value.NilV, nil
+	default:
+		return nil, fmt.Errorf("mp_queue has no method %q", name)
+	}
+}

@@ -1,0 +1,193 @@
+// In-process mutex — the synchronization object Dionea's fork handler A
+// takes ownership of before forking (§5.3 problem 1).
+
+package ipc
+
+import (
+	"fmt"
+	"sync"
+
+	"dionea/internal/gil"
+	"dionea/internal/kernel"
+	"dionea/internal/value"
+	"dionea/internal/vm"
+)
+
+// Mutex is a pint-visible, in-process mutual-exclusion lock with Ruby
+// Mutex semantics: ownership is per thread, unlocking a mutex you don't
+// own raises, and relocking by the owner raises (non-recursive).
+//
+// On fork the mutex is deep-copied into the child with its lock state. If
+// the parent-side owner was the forking thread, ownership translates to
+// the child's surviving thread; any other owner does not exist in the
+// child, leaving the copy permanently locked — the deadlock Dionea's
+// prepare handler exists to prevent.
+type Mutex struct {
+	mu    sync.Mutex
+	owner int64 // TID, 0 when unlocked
+	bc    *gil.Broadcast
+}
+
+// NewMutex creates a mutex registered with the process's atfork set.
+func NewMutex(p *kernel.Process) *Mutex {
+	m := &Mutex{bc: gil.NewBroadcast()}
+	p.RegisterSyncObject(m)
+	return m
+}
+
+// TypeName implements value.Value.
+func (*Mutex) TypeName() string { return "mutex" }
+
+// Truthy implements value.Value.
+func (*Mutex) Truthy() bool { return true }
+
+func (m *Mutex) String() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.owner == 0 {
+		return "<mutex unlocked>"
+	}
+	return fmt.Sprintf("<mutex locked by %d>", m.owner)
+}
+
+// Owner returns the owning TID (0 when unlocked).
+func (m *Mutex) Owner() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.owner
+}
+
+// Lock blocks until the calling thread owns the mutex. The wait is
+// in-process-only, so it participates in deadlock detection.
+func (m *Mutex) Lock(t *kernel.TCtx) error {
+	// Fast path without scheduler accounting.
+	m.mu.Lock()
+	if m.owner == t.TID {
+		m.mu.Unlock()
+		return fmt.Errorf("deadlock; recursive locking (ThreadError)")
+	}
+	if m.owner == 0 {
+		m.owner = t.TID
+		m.mu.Unlock()
+		return nil
+	}
+	m.mu.Unlock()
+
+	free := func() bool {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return m.owner == 0
+	}
+	return t.Block(kernel.StateBlockedLocal, "lock", free, func(cancel <-chan struct{}) error {
+		for {
+			m.mu.Lock()
+			if m.owner == 0 {
+				m.owner = t.TID
+				m.mu.Unlock()
+				return nil
+			}
+			ch := m.bc.WaitChan()
+			m.mu.Unlock()
+			select {
+			case <-ch:
+			case <-cancel:
+				return kernel.ErrKilled
+			}
+		}
+	})
+}
+
+// TryLock acquires without blocking.
+func (m *Mutex) TryLock(t *kernel.TCtx) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.owner == 0 {
+		m.owner = t.TID
+		return true
+	}
+	return false
+}
+
+// Unlock releases the mutex; only the owner may unlock.
+func (m *Mutex) Unlock(t *kernel.TCtx) error {
+	m.mu.Lock()
+	if m.owner != t.TID {
+		owner := m.owner
+		m.mu.Unlock()
+		if owner == 0 {
+			return fmt.Errorf("unlock of unlocked mutex (ThreadError)")
+		}
+		return fmt.Errorf("mutex owned by thread %d, not %d (ThreadError)", owner, t.TID)
+	}
+	m.owner = 0
+	m.mu.Unlock()
+	m.bc.Wake()
+	return nil
+}
+
+// Locked reports the lock state.
+func (m *Mutex) Locked() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.owner != 0
+}
+
+// AtforkAcquire implements kernel.SyncObject (Dionea handler A).
+func (m *Mutex) AtforkAcquire(t *kernel.TCtx) error { return m.Lock(t) }
+
+// AtforkRelease implements kernel.SyncObject (Dionea handlers B and C).
+func (m *Mutex) AtforkRelease(t *kernel.TCtx) { _ = m.Unlock(t) }
+
+// DeepCopy implements value.Copier (fork).
+func (m *Mutex) DeepCopy(memo value.Memo) value.Value {
+	if c, ok := memo[m]; ok {
+		return c
+	}
+	m.mu.Lock()
+	owner := m.owner
+	m.mu.Unlock()
+	nm := &Mutex{owner: kernel.TranslateTID(memo, owner), bc: gil.NewBroadcast()}
+	memo[m] = nm
+	if child := kernel.ChildFromMemo(memo); child != nil {
+		child.RegisterSyncObject(nm)
+	}
+	return nm
+}
+
+// CallMethod implements vm.MethodCaller: lock, unlock, try_lock, locked,
+// synchronize (with a do-block).
+func (m *Mutex) CallMethod(th *vm.Thread, name string, args []value.Value, block *value.Closure) (value.Value, error) {
+	t := kernel.Ctx(th)
+	switch name {
+	case "lock":
+		return value.NilV, m.Lock(t)
+	case "unlock":
+		return value.NilV, m.Unlock(t)
+	case "try_lock":
+		return value.Bool(m.TryLock(t)), nil
+	case "locked":
+		return value.Bool(m.Locked()), nil
+	case "synchronize":
+		fn := block
+		if fn == nil {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("synchronize needs a block or function")
+			}
+			cl, ok := args[0].(*value.Closure)
+			if !ok {
+				return nil, fmt.Errorf("synchronize needs a function")
+			}
+			fn = cl
+		}
+		if err := m.Lock(t); err != nil {
+			return nil, err
+		}
+		v, err := th.RunClosure(fn, nil)
+		if uerr := m.Unlock(t); uerr != nil && err == nil {
+			err = uerr
+		}
+		return v, err
+	default:
+		return nil, fmt.Errorf("mutex has no method %q", name)
+	}
+}

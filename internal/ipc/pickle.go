@@ -1,0 +1,256 @@
+// Package ipc provides the inter-process and inter-thread communication
+// layer of the simulated platform: the pickle-like value codec, in-process
+// mutexes and queues (the Listing 5 "Queue is inter-thread, not
+// inter-process"), user-facing pipe ends, kernel semaphores, and the
+// multiprocessing-style queue built from "a semaphore and a pipe" with
+// values "encoded using pickle" (§6.3).
+package ipc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dionea/internal/value"
+)
+
+// Pickle tags.
+const (
+	tagNil   = 'N'
+	tagTrue  = 'T'
+	tagFalse = 'F'
+	tagInt   = 'I'
+	tagFloat = 'D'
+	tagStr   = 'S'
+	tagList  = 'L'
+	tagDict  = 'M'
+	tagRef   = 'R' // back-reference to an already-encoded container
+)
+
+// ErrUnpicklable is returned for values with no serialized form. Like
+// Python's pickle, function objects and resource handles cannot be
+// pickled — multiprocessing-style libraries send function *names* instead.
+type ErrUnpicklable struct{ Type string }
+
+func (e *ErrUnpicklable) Error() string {
+	return fmt.Sprintf("pickle: can't pickle %s objects", e.Type)
+}
+
+type encoder struct {
+	buf  []byte
+	memo map[interface{}]uint32 // container identity -> ref id
+}
+
+func (e *encoder) u32(n uint32) {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], n)
+	e.buf = append(e.buf, b[:]...)
+}
+
+func (e *encoder) u64(n uint64) {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], n)
+	e.buf = append(e.buf, b[:]...)
+}
+
+func (e *encoder) encode(v value.Value) error {
+	switch x := v.(type) {
+	case nil, value.Nil:
+		e.buf = append(e.buf, tagNil)
+	case value.Bool:
+		if x {
+			e.buf = append(e.buf, tagTrue)
+		} else {
+			e.buf = append(e.buf, tagFalse)
+		}
+	case value.Int:
+		e.buf = append(e.buf, tagInt)
+		e.u64(uint64(int64(x)))
+	case value.Float:
+		e.buf = append(e.buf, tagFloat)
+		e.u64(math.Float64bits(float64(x)))
+	case value.Str:
+		e.buf = append(e.buf, tagStr)
+		e.u32(uint32(len(x)))
+		e.buf = append(e.buf, string(x)...)
+	case *value.List:
+		if id, ok := e.memo[x]; ok {
+			e.buf = append(e.buf, tagRef)
+			e.u32(id)
+			return nil
+		}
+		e.memo[x] = uint32(len(e.memo))
+		e.buf = append(e.buf, tagList)
+		e.u32(uint32(len(x.Elems)))
+		for _, el := range x.Elems {
+			if err := e.encode(el); err != nil {
+				return err
+			}
+		}
+	case *value.Dict:
+		if id, ok := e.memo[x]; ok {
+			e.buf = append(e.buf, tagRef)
+			e.u32(id)
+			return nil
+		}
+		e.memo[x] = uint32(len(e.memo))
+		e.buf = append(e.buf, tagDict)
+		keys := x.Keys()
+		e.u32(uint32(len(keys)))
+		for _, k := range keys {
+			if err := e.encode(k.Value()); err != nil {
+				return err
+			}
+			val, _ := x.Get(k)
+			if err := e.encode(val); err != nil {
+				return err
+			}
+		}
+	default:
+		return &ErrUnpicklable{Type: v.TypeName()}
+	}
+	return nil
+}
+
+// Pickle serializes a pint value. Aliasing among containers (including
+// cycles) is preserved through a memo, as in Python's pickle.
+func Pickle(v value.Value) ([]byte, error) {
+	e := &encoder{memo: make(map[interface{}]uint32)}
+	if err := e.encode(v); err != nil {
+		return nil, err
+	}
+	return e.buf, nil
+}
+
+type decoder struct {
+	buf  []byte
+	pos  int
+	memo []value.Value // ref id -> container
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.pos >= len(d.buf) {
+		return 0, fmt.Errorf("pickle: truncated data")
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.pos+4 > len(d.buf) {
+		return 0, fmt.Errorf("pickle: truncated data")
+	}
+	n := binary.BigEndian.Uint32(d.buf[d.pos:])
+	d.pos += 4
+	return n, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if d.pos+8 > len(d.buf) {
+		return 0, fmt.Errorf("pickle: truncated data")
+	}
+	n := binary.BigEndian.Uint64(d.buf[d.pos:])
+	d.pos += 8
+	return n, nil
+}
+
+func (d *decoder) decode() (value.Value, error) {
+	tag, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	switch tag {
+	case tagNil:
+		return value.NilV, nil
+	case tagTrue:
+		return value.Bool(true), nil
+	case tagFalse:
+		return value.Bool(false), nil
+	case tagInt:
+		n, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		return value.Int(int64(n)), nil
+	case tagFloat:
+		n, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		return value.Float(math.Float64frombits(n)), nil
+	case tagStr:
+		n, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		if d.pos+int(n) > len(d.buf) {
+			return nil, fmt.Errorf("pickle: truncated string")
+		}
+		s := string(d.buf[d.pos : d.pos+int(n)])
+		d.pos += int(n)
+		return value.Str(s), nil
+	case tagList:
+		n, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		l := value.NewList()
+		d.memo = append(d.memo, l)
+		for i := uint32(0); i < n; i++ {
+			el, err := d.decode()
+			if err != nil {
+				return nil, err
+			}
+			l.Elems = append(l.Elems, el)
+		}
+		return l, nil
+	case tagDict:
+		n, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		m := value.NewDict()
+		d.memo = append(d.memo, m)
+		for i := uint32(0); i < n; i++ {
+			kv, err := d.decode()
+			if err != nil {
+				return nil, err
+			}
+			k, err := value.KeyOf(kv)
+			if err != nil {
+				return nil, err
+			}
+			vv, err := d.decode()
+			if err != nil {
+				return nil, err
+			}
+			m.Set(k, vv)
+		}
+		return m, nil
+	case tagRef:
+		id, err := d.u32()
+		if err != nil {
+			return nil, err
+		}
+		if int(id) >= len(d.memo) {
+			return nil, fmt.Errorf("pickle: bad back-reference %d", id)
+		}
+		return d.memo[id], nil
+	default:
+		return nil, fmt.Errorf("pickle: unknown tag %q", tag)
+	}
+}
+
+// Unpickle deserializes a pickled value.
+func Unpickle(b []byte) (value.Value, error) {
+	d := &decoder{buf: b}
+	v, err := d.decode()
+	if err != nil {
+		return nil, err
+	}
+	if d.pos != len(d.buf) {
+		return nil, fmt.Errorf("pickle: %d trailing bytes", len(d.buf)-d.pos)
+	}
+	return v, nil
+}

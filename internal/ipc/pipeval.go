@@ -1,0 +1,219 @@
+// User-facing pipe ends (IO.pipe analog, §6.4) and cross-process
+// semaphore handles.
+
+package ipc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dionea/internal/kernel"
+	"dionea/internal/value"
+	"dionea/internal/vm"
+)
+
+// PipeEnd is the pint handle for one end of a kernel pipe. It wraps a
+// descriptor *number*; the kernel resolves it through the calling
+// process's descriptor table, so a handle copied into a forked child
+// automatically refers to the child's inherited descriptor. PipeEnd is
+// deliberately not a value.Copier: like a real fd number, the integer is
+// what the child inherits.
+type PipeEnd struct {
+	FD    int64
+	Write bool
+}
+
+// TypeName implements value.Value.
+func (*PipeEnd) TypeName() string { return "pipe" }
+
+// Truthy implements value.Value.
+func (*PipeEnd) Truthy() bool { return true }
+
+func (p *PipeEnd) String() string {
+	dir := "r"
+	if p.Write {
+		dir = "w"
+	}
+	return fmt.Sprintf("<pipe fd=%d %s>", p.FD, dir)
+}
+
+func (p *PipeEnd) resolve(t *kernel.TCtx) (*kernel.Pipe, error) {
+	e, ok := t.P.FDs.Get(p.FD)
+	if !ok {
+		return nil, kernel.ErrBadFD
+	}
+	wantKind := kernel.FDPipeRead
+	if p.Write {
+		wantKind = kernel.FDPipeWrite
+	}
+	if e.Kind != wantKind {
+		return nil, fmt.Errorf("pipe fd %d opened for the other direction", p.FD)
+	}
+	return e.Pipe, nil
+}
+
+// writeFrame writes a length-prefixed pickled value.
+func (p *PipeEnd) writeFrame(t *kernel.TCtx, v value.Value) error {
+	pipe, err := p.resolve(t)
+	if err != nil {
+		return err
+	}
+	data, err := Pickle(v)
+	if err != nil {
+		return err
+	}
+	frame := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(frame, uint32(len(data)))
+	copy(frame[4:], data)
+	return t.Block(kernel.StateBlockedExternal, "pipe-write", nil, func(cancel <-chan struct{}) error {
+		_, werr := pipe.Write(frame, cancel)
+		return werr
+	})
+}
+
+// readFrame reads one length-prefixed pickled value. io.EOF means the
+// write side is fully closed.
+func (p *PipeEnd) readFrame(t *kernel.TCtx) (value.Value, error) {
+	pipe, err := p.resolve(t)
+	if err != nil {
+		return nil, err
+	}
+	var payload []byte
+	err = t.Block(kernel.StateBlockedExternal, "pipe-read", nil, func(cancel <-chan struct{}) error {
+		hdr, rerr := pipe.ReadFull(4, cancel)
+		if rerr != nil {
+			return rerr
+		}
+		n := binary.BigEndian.Uint32(hdr)
+		payload, rerr = pipe.ReadFull(int(n), cancel)
+		return rerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	return Unpickle(payload)
+}
+
+// CallMethod implements vm.MethodCaller: write(v)/read() exchange pickled
+// frames; write_raw/read_raw move strings; close() drops the descriptor.
+func (p *PipeEnd) CallMethod(th *vm.Thread, name string, args []value.Value, _ *value.Closure) (value.Value, error) {
+	t := kernel.Ctx(th)
+	switch name {
+	case "write":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("pipe write expects 1 argument")
+		}
+		if !p.Write {
+			return nil, fmt.Errorf("write on read end of pipe")
+		}
+		return value.NilV, p.writeFrame(t, args[0])
+	case "read":
+		if p.Write {
+			return nil, fmt.Errorf("read on write end of pipe")
+		}
+		v, err := p.readFrame(t)
+		if err == io.EOF {
+			// End of stream: every write end closed.
+			return value.NilV, nil
+		}
+		return v, err
+	case "write_raw":
+		if !p.Write {
+			return nil, fmt.Errorf("write on read end of pipe")
+		}
+		s, ok := args[0].(value.Str)
+		if !ok {
+			return nil, fmt.Errorf("write_raw expects a string")
+		}
+		pipe, err := p.resolve(t)
+		if err != nil {
+			return nil, err
+		}
+		err = t.Block(kernel.StateBlockedExternal, "pipe-write", nil, func(cancel <-chan struct{}) error {
+			_, werr := pipe.Write([]byte(s), cancel)
+			return werr
+		})
+		return value.NilV, err
+	case "read_raw":
+		if p.Write {
+			return nil, fmt.Errorf("read on write end of pipe")
+		}
+		maxN := 4096
+		if len(args) == 1 {
+			n, ok := args[0].(value.Int)
+			if !ok || n <= 0 {
+				return nil, fmt.Errorf("read_raw expects a positive int")
+			}
+			maxN = int(n)
+		}
+		pipe, err := p.resolve(t)
+		if err != nil {
+			return nil, err
+		}
+		var out []byte
+		err = t.Block(kernel.StateBlockedExternal, "pipe-read", nil, func(cancel <-chan struct{}) error {
+			b, rerr := pipe.Read(maxN, cancel)
+			out = b
+			return rerr
+		})
+		if err == io.EOF {
+			return value.NilV, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		return value.Str(out), nil
+	case "close":
+		return value.NilV, t.P.FDs.Close(p.FD)
+	case "fd":
+		return value.Int(p.FD), nil
+	default:
+		return nil, fmt.Errorf("pipe has no method %q", name)
+	}
+}
+
+// NewPipePair creates a kernel pipe and returns its (read, write) handles
+// registered in the process's descriptor table.
+func NewPipePair(p *kernel.Process) (*PipeEnd, *PipeEnd) {
+	pipe := kernel.NewPipe()
+	rfd := p.FDs.Alloc(&kernel.FDEntry{Kind: kernel.FDPipeRead, Pipe: pipe})
+	wfd := p.FDs.Alloc(&kernel.FDEntry{Kind: kernel.FDPipeWrite, Pipe: pipe})
+	return &PipeEnd{FD: rfd}, &PipeEnd{FD: wfd, Write: true}
+}
+
+// SemVal is the pint handle for a kernel (cross-process) semaphore. The
+// underlying object is shared, not copied, across fork — like a POSIX
+// semaphore living in the kernel.
+type SemVal struct {
+	S *kernel.Semaphore
+}
+
+// TypeName implements value.Value.
+func (*SemVal) TypeName() string { return "semaphore" }
+
+// Truthy implements value.Value.
+func (*SemVal) Truthy() bool { return true }
+
+func (s *SemVal) String() string { return fmt.Sprintf("<semaphore %d>", s.S.Value()) }
+
+// CallMethod implements vm.MethodCaller: acquire/release/value/try_acquire.
+func (s *SemVal) CallMethod(th *vm.Thread, name string, _ []value.Value, _ *value.Closure) (value.Value, error) {
+	t := kernel.Ctx(th)
+	switch name {
+	case "acquire", "p":
+		err := t.Block(kernel.StateBlockedExternal, "sem-acquire", nil, func(cancel <-chan struct{}) error {
+			return s.S.P(cancel)
+		})
+		return value.NilV, err
+	case "try_acquire":
+		return value.Bool(s.S.TryP()), nil
+	case "release", "v":
+		s.S.V()
+		return value.NilV, nil
+	case "value":
+		return value.Int(s.S.Value()), nil
+	default:
+		return nil, fmt.Errorf("semaphore has no method %q", name)
+	}
+}

@@ -1,0 +1,223 @@
+// TQueue: the inter-thread queue of the paper's Listing 5 ("Queue is
+// inter-thread, not inter-process"). It lives in process memory, so a fork
+// gives the child an independent *copy* — a child blocking on the copy can
+// never be woken by the parent's pushes, which is exactly the intentional
+// deadlock of §6.2.
+
+package ipc
+
+import (
+	"fmt"
+	"sync"
+
+	"dionea/internal/gil"
+	"dionea/internal/kernel"
+	"dionea/internal/value"
+	"dionea/internal/vm"
+)
+
+// TQueue is an unbounded FIFO queue for threads of one process.
+type TQueue struct {
+	mu    sync.Mutex
+	items []value.Value
+	bc    *gil.Broadcast
+	// lockOwner implements the atfork "take ownership" protocol: Ruby's
+	// Queue contains an internal Mutex, and Dionea acquires it in handler
+	// A like any other synchronization object.
+	lockOwner int64
+}
+
+// NewTQueue creates a queue registered with the process's atfork set.
+func NewTQueue(p *kernel.Process) *TQueue {
+	q := &TQueue{bc: gil.NewBroadcast()}
+	p.RegisterSyncObject(q)
+	return q
+}
+
+// TypeName implements value.Value.
+func (*TQueue) TypeName() string { return "queue" }
+
+// Truthy implements value.Value.
+func (*TQueue) Truthy() bool { return true }
+
+func (q *TQueue) String() string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return fmt.Sprintf("<queue len=%d>", len(q.items))
+}
+
+// Len returns the number of queued items.
+func (q *TQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Push appends an item and wakes poppers.
+func (q *TQueue) Push(t *kernel.TCtx, v value.Value) error {
+	q.mu.Lock()
+	if q.lockOwner != 0 && q.lockOwner != t.TID {
+		// Held by the atfork protocol: wait until released.
+		q.mu.Unlock()
+		if err := q.waitUnlocked(t); err != nil {
+			return err
+		}
+		q.mu.Lock()
+	}
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	q.bc.Wake()
+	return nil
+}
+
+// Pop blocks until an item is available. In-process wait: participates in
+// deadlock detection — this is the `queue.pop` of Listing 5 that Dionea
+// pinpoints in Figure 7.
+func (q *TQueue) Pop(t *kernel.TCtx) (value.Value, error) {
+	// Fast path.
+	q.mu.Lock()
+	if len(q.items) > 0 && (q.lockOwner == 0 || q.lockOwner == t.TID) {
+		v := q.items[0]
+		q.items = q.items[1:]
+		q.mu.Unlock()
+		return v, nil
+	}
+	q.mu.Unlock()
+
+	ready := func() bool {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		return len(q.items) > 0 && (q.lockOwner == 0 || q.lockOwner == t.TID)
+	}
+	var out value.Value
+	err := t.Block(kernel.StateBlockedLocal, "pop", ready, func(cancel <-chan struct{}) error {
+		for {
+			q.mu.Lock()
+			if len(q.items) > 0 && (q.lockOwner == 0 || q.lockOwner == t.TID) {
+				out = q.items[0]
+				q.items = q.items[1:]
+				q.mu.Unlock()
+				return nil
+			}
+			ch := q.bc.WaitChan()
+			q.mu.Unlock()
+			select {
+			case <-ch:
+			case <-cancel:
+				return kernel.ErrKilled
+			}
+		}
+	})
+	return out, err
+}
+
+// TryPop removes and returns the head without blocking (nil, false if
+// empty).
+func (q *TQueue) TryPop() (value.Value, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 || q.lockOwner != 0 {
+		return nil, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+func (q *TQueue) waitUnlocked(t *kernel.TCtx) error {
+	free := func() bool {
+		q.mu.Lock()
+		defer q.mu.Unlock()
+		return q.lockOwner == 0 || q.lockOwner == t.TID
+	}
+	return t.Block(kernel.StateBlockedLocal, "queue-lock", free, func(cancel <-chan struct{}) error {
+		for {
+			q.mu.Lock()
+			if q.lockOwner == 0 || q.lockOwner == t.TID {
+				q.mu.Unlock()
+				return nil
+			}
+			ch := q.bc.WaitChan()
+			q.mu.Unlock()
+			select {
+			case <-ch:
+			case <-cancel:
+				return kernel.ErrKilled
+			}
+		}
+	})
+}
+
+// AtforkAcquire implements kernel.SyncObject: take ownership of the
+// queue's internal lock on behalf of the forking thread.
+func (q *TQueue) AtforkAcquire(t *kernel.TCtx) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.lockOwner != 0 && q.lockOwner != t.TID {
+		// Another thread holds the internal lock; in this simulation the
+		// internal lock is only ever held across atfork, so this cannot
+		// happen unless two forks race, which the GIL prevents.
+		return fmt.Errorf("queue internal lock held by thread %d", q.lockOwner)
+	}
+	q.lockOwner = t.TID
+	return nil
+}
+
+// AtforkRelease implements kernel.SyncObject.
+func (q *TQueue) AtforkRelease(t *kernel.TCtx) {
+	q.mu.Lock()
+	if q.lockOwner == t.TID {
+		q.lockOwner = 0
+	}
+	q.mu.Unlock()
+	q.bc.Wake()
+}
+
+// DeepCopy implements value.Copier: the child receives an independent
+// queue holding copies of the items present at fork time.
+func (q *TQueue) DeepCopy(memo value.Memo) value.Value {
+	if c, ok := memo[q]; ok {
+		return c
+	}
+	q.mu.Lock()
+	items := make([]value.Value, len(q.items))
+	copy(items, q.items)
+	owner := q.lockOwner
+	q.mu.Unlock()
+	nq := &TQueue{bc: gil.NewBroadcast(), lockOwner: kernel.TranslateTID(memo, owner)}
+	memo[q] = nq
+	nq.items = make([]value.Value, len(items))
+	for i, it := range items {
+		nq.items[i] = value.DeepCopy(it, memo)
+	}
+	if child := kernel.ChildFromMemo(memo); child != nil {
+		child.RegisterSyncObject(nq)
+	}
+	return nq
+}
+
+// CallMethod implements vm.MethodCaller: push, pop, try_pop, len, empty.
+func (q *TQueue) CallMethod(th *vm.Thread, name string, args []value.Value, _ *value.Closure) (value.Value, error) {
+	t := kernel.Ctx(th)
+	switch name {
+	case "push":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("push expects 1 argument")
+		}
+		return value.NilV, q.Push(t, args[0])
+	case "pop":
+		return q.Pop(t)
+	case "try_pop":
+		v, ok := q.TryPop()
+		if !ok {
+			return value.NilV, nil
+		}
+		return v, nil
+	case "len", "size":
+		return value.Int(q.Len()), nil
+	case "empty":
+		return value.Bool(q.Len() == 0), nil
+	default:
+		return nil, fmt.Errorf("queue has no method %q", name)
+	}
+}

@@ -1,0 +1,316 @@
+// Kernel builtins exposed to pint programs: process and thread management.
+
+package kernel
+
+import (
+	"fmt"
+	"time"
+
+	"dionea/internal/value"
+	"dionea/internal/vm"
+)
+
+var kernelEpoch = time.Now()
+
+// ThreadVal is the pint handle for a spawned thread (Thread.new analog).
+// A handle copied into a forked child refers to a thread that does not
+// exist there — fork kills every thread but the caller — so the copy is a
+// dead handle: alive() is false and join() returns immediately.
+type ThreadVal struct {
+	T    *TCtx // nil for a dead (forked-away) handle
+	TID  int64
+	Name string
+}
+
+// TypeName implements value.Value.
+func (*ThreadVal) TypeName() string { return "thread" }
+
+// Truthy implements value.Value.
+func (*ThreadVal) Truthy() bool { return true }
+
+func (v *ThreadVal) String() string {
+	if v.T == nil {
+		return fmt.Sprintf("<thread %d (dead)>", v.TID)
+	}
+	return fmt.Sprintf("<thread %d %s>", v.TID, v.Name)
+}
+
+// DeepCopy implements value.Copier: across a fork the referenced thread is
+// gone (only the forking thread survives), so the child receives a dead
+// handle.
+func (v *ThreadVal) DeepCopy(m value.Memo) value.Value {
+	if c, ok := m[v]; ok {
+		return c
+	}
+	nv := &ThreadVal{T: nil, TID: v.TID, Name: v.Name}
+	m[v] = nv
+	return nv
+}
+
+// CallMethod implements vm.MethodCaller.
+func (v *ThreadVal) CallMethod(th *vm.Thread, name string, args []value.Value, _ *value.Closure) (value.Value, error) {
+	t := Ctx(th)
+	switch name {
+	case "join":
+		if v.T == nil {
+			return value.NilV, nil
+		}
+		if v.T == t {
+			return nil, fmt.Errorf("thread cannot join itself")
+		}
+		select {
+		case <-v.T.done:
+			return value.NilV, nil
+		default:
+		}
+		// Joining waits on a thread of the same process: only that thread
+		// can satisfy the wait, so it is deadlock-eligible.
+		done := func() bool {
+			select {
+			case <-v.T.done:
+				return true
+			default:
+				return false
+			}
+		}
+		err := t.Block(StateBlockedLocal, "join", done, func(cancel <-chan struct{}) error {
+			select {
+			case <-v.T.done:
+				return nil
+			case <-cancel:
+				return ErrKilled
+			}
+		})
+		return value.NilV, err
+	case "alive":
+		if v.T == nil {
+			return value.Bool(false), nil
+		}
+		st, _ := v.T.State()
+		return value.Bool(st != StateFinished), nil
+	case "tid":
+		return value.Int(v.TID), nil
+	case "name":
+		return value.Str(v.Name), nil
+	default:
+		return nil, fmt.Errorf("thread has no method %q", name)
+	}
+}
+
+// InstallBuiltins defines the kernel builtins in the process globals.
+func InstallBuiltins(p *Process) {
+	installStdinBuiltin(p)
+	env := p.Globals
+	def := func(name string, fn vm.BuiltinFn) {
+		env.Define(name, &vm.Builtin{Name: name, Fn: fn})
+	}
+
+	// fork([fn]) / fork do ... end — §5.1. Returns the child PID in the
+	// parent; without a block, returns 0 in the child.
+	def("fork", func(th *vm.Thread, args []value.Value, block *value.Closure) (value.Value, error) {
+		t := Ctx(th)
+		if block == nil && len(args) == 1 {
+			cl, ok := args[0].(*value.Closure)
+			if !ok {
+				return nil, fmt.Errorf("fork argument must be a function")
+			}
+			block = cl
+		} else if len(args) > 0 {
+			return nil, fmt.Errorf("fork takes no arguments (got %d)", len(args))
+		}
+		pid, err := t.P.ForkProcess(t, block)
+		if err != nil {
+			return nil, err
+		}
+		return value.Int(pid), nil
+	})
+
+	// spawn(fn, args...) / spawn do ... end — Thread.new analog. The new
+	// thread shares this process's heap and GIL.
+	def("spawn", func(th *vm.Thread, args []value.Value, block *value.Closure) (value.Value, error) {
+		t := Ctx(th)
+		var fn *value.Closure
+		var fnArgs []value.Value
+		if block != nil {
+			fn = block
+			fnArgs = args
+		} else {
+			if len(args) == 0 {
+				return nil, fmt.Errorf("spawn needs a function or do-block")
+			}
+			cl, ok := args[0].(*value.Closure)
+			if !ok {
+				return nil, fmt.Errorf("spawn argument must be a function")
+			}
+			fn = cl
+			fnArgs = args[1:]
+		}
+		name := fmt.Sprintf("thread-%d", t.P.RandInt(1<<30))
+		tc := t.P.SpawnThread(name, fn, fnArgs)
+		return &ThreadVal{T: tc, TID: tc.TID, Name: name}, nil
+	})
+
+	// sleep() blocks forever (deadlock-eligible, like Ruby's bare sleep);
+	// sleep(seconds) blocks on the timer (externally wakeable).
+	def("sleep", func(th *vm.Thread, args []value.Value, _ *value.Closure) (value.Value, error) {
+		t := Ctx(th)
+		if len(args) == 0 {
+			err := t.Block(StateBlockedLocal, "sleep", nil, func(cancel <-chan struct{}) error {
+				<-cancel
+				return ErrKilled
+			})
+			return value.NilV, err
+		}
+		var secs float64
+		switch x := args[0].(type) {
+		case value.Int:
+			secs = float64(x)
+		case value.Float:
+			secs = float64(x)
+		default:
+			return nil, fmt.Errorf("sleep expects a number")
+		}
+		d := time.Duration(secs * float64(time.Second))
+		err := t.Block(StateBlockedExternal, "sleep", nil, func(cancel <-chan struct{}) error {
+			timer := time.NewTimer(d)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+				return nil
+			case <-cancel:
+				return ErrKilled
+			}
+		})
+		return value.NilV, err
+	})
+
+	def("exit", func(th *vm.Thread, args []value.Value, _ *value.Closure) (value.Value, error) {
+		code := 0
+		if len(args) == 1 {
+			n, ok := args[0].(value.Int)
+			if !ok {
+				return nil, fmt.Errorf("exit code must be an int")
+			}
+			code = int(n)
+		}
+		return nil, &ExitError{Code: code}
+	})
+
+	def("getpid", func(th *vm.Thread, _ []value.Value, _ *value.Closure) (value.Value, error) {
+		return value.Int(Ctx(th).P.PID), nil
+	})
+	def("getppid", func(th *vm.Thread, _ []value.Value, _ *value.Closure) (value.Value, error) {
+		return value.Int(Ctx(th).P.PPID), nil
+	})
+	def("gettid", func(th *vm.Thread, _ []value.Value, _ *value.Closure) (value.Value, error) {
+		return value.Int(Ctx(th).TID), nil
+	})
+
+	// waitpid(pid) blocks until the child exits and returns its code.
+	def("waitpid", func(th *vm.Thread, args []value.Value, _ *value.Closure) (value.Value, error) {
+		t := Ctx(th)
+		if len(args) != 1 {
+			return nil, fmt.Errorf("waitpid expects a pid")
+		}
+		pid, ok := args[0].(value.Int)
+		if !ok {
+			return nil, fmt.Errorf("waitpid expects a pid")
+		}
+		code, err := t.waitPID(int64(pid))
+		if err != nil {
+			return nil, err
+		}
+		return value.Int(code), nil
+	})
+
+	// wait() blocks until any child exits and returns [pid, code].
+	def("wait", func(th *vm.Thread, _ []value.Value, _ *value.Closure) (value.Value, error) {
+		t := Ctx(th)
+		pid, code, err := t.waitAny()
+		if err != nil {
+			return nil, err
+		}
+		return value.NewList(value.Int(pid), value.Int(code)), nil
+	})
+
+	def("rand_int", func(th *vm.Thread, args []value.Value, _ *value.Closure) (value.Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("rand_int expects an upper bound")
+		}
+		n, ok := args[0].(value.Int)
+		if !ok || n <= 0 {
+			return nil, fmt.Errorf("rand_int expects a positive int")
+		}
+		return value.Int(Ctx(th).P.RandInt(int64(n))), nil
+	})
+
+	// clock_ms returns milliseconds of monotonic time, for coarse timing
+	// inside pint programs.
+	def("clock_ms", func(_ *vm.Thread, _ []value.Value, _ *value.Closure) (value.Value, error) {
+		return value.Int(time.Since(kernelEpoch).Milliseconds()), nil
+	})
+}
+
+// waitPID blocks until the given child exits; returns its exit code.
+func (t *TCtx) waitPID(pid int64) (int, error) {
+	p := t.P
+	p.mu.Lock()
+	child, ok := p.children[pid]
+	p.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("waitpid: no child with pid %d (ECHILD)", pid)
+	}
+	err := t.Block(StateBlockedExternal, "waitpid", nil, func(cancel <-chan struct{}) error {
+		select {
+		case <-child.exitCh:
+			return nil
+		case <-cancel:
+			return ErrKilled
+		}
+	})
+	if err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	delete(p.children, pid) // reap
+	p.mu.Unlock()
+	return child.ExitCode(), nil
+}
+
+// waitAny blocks until any unreaped child exits.
+func (t *TCtx) waitAny() (int64, int, error) {
+	p := t.P
+	for {
+		p.mu.Lock()
+		if len(p.children) == 0 {
+			p.mu.Unlock()
+			return 0, 0, fmt.Errorf("wait: no children (ECHILD)")
+		}
+		var exited *Process
+		for _, c := range p.children {
+			if c.Exited() {
+				exited = c
+				break
+			}
+		}
+		if exited != nil {
+			delete(p.children, exited.PID)
+			p.mu.Unlock()
+			return exited.PID, exited.ExitCode(), nil
+		}
+		p.mu.Unlock()
+
+		wake := p.K.procExitChan()
+		err := t.Block(StateBlockedExternal, "wait", nil, func(cancel <-chan struct{}) error {
+			select {
+			case <-wake:
+				return nil
+			case <-cancel:
+				return ErrKilled
+			}
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+}

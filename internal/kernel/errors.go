@@ -1,0 +1,66 @@
+// Sentinel and control errors of the simulated kernel. They implement
+// vm.ControlError so the VM propagates them without wrapping.
+
+package kernel
+
+import (
+	"fmt"
+	"strings"
+
+	"dionea/internal/vm"
+)
+
+// ExitError unwinds a thread when its process is exiting via exit(code).
+type ExitError struct{ Code int }
+
+func (e *ExitError) Error() string { return fmt.Sprintf("exit(%d)", e.Code) }
+
+// VMControl implements vm.ControlError.
+func (*ExitError) VMControl() {}
+
+type killedError struct{}
+
+func (killedError) Error() string { return "thread killed" }
+
+// VMControl implements vm.ControlError.
+func (killedError) VMControl() {}
+
+// ErrKilled unwinds a thread that was killed (process exit, rb_thread_die,
+// debugger kill).
+var ErrKilled error = killedError{}
+
+// DeadlockError is the simulated interpreter's fatal deadlock diagnosis:
+// every live thread of the process is blocked on an in-process primitive,
+// so no thread can ever run again. Its message mirrors the paper's
+// Listing 6 ("deadlock detected (fatal)" plus an interpreter backtrace);
+// the Line field is what Dionea surfaces in Figure 7.
+type DeadlockError struct {
+	PID    int64
+	TID    int64
+	Line   int
+	Reason string // the blocking operation, e.g. "queue.pop"
+	Stack  []vm.FrameInfo
+}
+
+func (e *DeadlockError) Error() string {
+	var b strings.Builder
+	file := "?"
+	if len(e.Stack) > 0 {
+		file = e.Stack[len(e.Stack)-1].File
+	}
+	fmt.Fprintf(&b, "%s:%d:in `%s': deadlock detected (fatal)", file, e.Line, e.Reason)
+	for i := len(e.Stack) - 1; i >= 0; i-- {
+		f := e.Stack[i]
+		fmt.Fprintf(&b, "\n\tfrom %s:%d:in `%s'", f.File, f.Line, f.Func)
+	}
+	return b.String()
+}
+
+// VMControl implements vm.ControlError.
+func (*DeadlockError) VMControl() {}
+
+// ErrBrokenPipe is returned by pipe writes when no read end remains open.
+var ErrBrokenPipe = fmt.Errorf("broken pipe (EPIPE)")
+
+// ErrBadFD is returned for operations on closed or unknown descriptors.
+var ErrBadFD = fmt.Errorf("bad file descriptor (EBADF)")

@@ -1,0 +1,5 @@
+package kernel
+
+// DecRefForTest exposes pipe-end refcount decrement to the external test
+// package (simulating a close of one inherited end).
+func (p *Pipe) DecRefForTest(write bool) { p.decRef(write) }

@@ -1,0 +1,330 @@
+// Pipes, file-descriptor tables and semaphores — the kernel resources a
+// fork makes the child inherit. Reference counting of pipe ends is what
+// reproduces the §6.4 parallel-gem bug: sibling write ends leaked into
+// forked children keep a pipe open, so its reader never observes EOF.
+
+package kernel
+
+import (
+	"io"
+	"sync"
+
+	"dionea/internal/gil"
+)
+
+// DefaultPipeCap is the pipe buffer size in bytes (as on Linux: 64 KiB).
+const DefaultPipeCap = 64 * 1024
+
+// Pipe is the kernel pipe object. Both ends are reference counted; the
+// counts track how many descriptors (across all processes) point at each
+// end.
+type Pipe struct {
+	mu      sync.Mutex
+	buf     []byte
+	cap     int
+	readers int
+	writers int
+	bc      *gil.Broadcast
+}
+
+// NewPipe returns a pipe with one reader and one writer reference and the
+// standard 64 KiB buffer.
+func NewPipe() *Pipe {
+	return NewPipeCap(DefaultPipeCap)
+}
+
+// NewPipeCap returns a pipe with the given buffer capacity; capBytes <= 0
+// means unbounded (writes never block). multiprocessing-style queues use
+// an unbounded pipe, mirroring Python's mp.Queue whose feeder thread makes
+// puts effectively non-blocking; plain IO.pipe keeps the kernel's 64 KiB.
+func NewPipeCap(capBytes int) *Pipe {
+	return &Pipe{cap: capBytes, readers: 1, writers: 1, bc: gil.NewBroadcast()}
+}
+
+// Refs returns the current (readers, writers) reference counts.
+func (p *Pipe) Refs() (int, int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.readers, p.writers
+}
+
+// Buffered returns the number of unread bytes.
+func (p *Pipe) Buffered() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.buf)
+}
+
+func (p *Pipe) incRef(write bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if write {
+		p.writers++
+	} else {
+		p.readers++
+	}
+}
+
+func (p *Pipe) decRef(write bool) {
+	p.mu.Lock()
+	if write {
+		p.writers--
+	} else {
+		p.readers--
+	}
+	p.mu.Unlock()
+	// Wake blocked peers: readers see EOF when writers hit zero; writers
+	// see EPIPE when readers hit zero.
+	p.bc.Wake()
+}
+
+// Read blocks until at least one byte is available, EOF (no writers and
+// empty buffer), or cancel. It reads at most max bytes.
+func (p *Pipe) Read(max int, cancel <-chan struct{}) ([]byte, error) {
+	for {
+		p.mu.Lock()
+		if len(p.buf) > 0 {
+			n := len(p.buf)
+			if n > max {
+				n = max
+			}
+			out := make([]byte, n)
+			copy(out, p.buf)
+			p.buf = p.buf[n:]
+			p.mu.Unlock()
+			p.bc.Wake() // space freed; wake writers
+			return out, nil
+		}
+		if p.writers == 0 {
+			p.mu.Unlock()
+			return nil, io.EOF
+		}
+		ch := p.bc.WaitChan()
+		p.mu.Unlock()
+		select {
+		case <-ch:
+		case <-cancel:
+			return nil, ErrKilled
+		}
+	}
+}
+
+// ReadFull blocks until exactly n bytes are read. EOF before n bytes
+// yields io.ErrUnexpectedEOF (or io.EOF if nothing was read).
+func (p *Pipe) ReadFull(n int, cancel <-chan struct{}) ([]byte, error) {
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		chunk, err := p.Read(n-len(out), cancel)
+		out = append(out, chunk...)
+		if err != nil {
+			if err == io.EOF && len(out) > 0 {
+				return out, io.ErrUnexpectedEOF
+			}
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// Write blocks while the buffer is full, and fails with ErrBrokenPipe when
+// no read end remains.
+func (p *Pipe) Write(b []byte, cancel <-chan struct{}) (int, error) {
+	written := 0
+	for written < len(b) {
+		p.mu.Lock()
+		if p.readers == 0 {
+			p.mu.Unlock()
+			return written, ErrBrokenPipe
+		}
+		space := p.cap - len(p.buf)
+		if p.cap <= 0 {
+			space = len(b) - written // unbounded
+		}
+		if space > 0 {
+			n := len(b) - written
+			if n > space {
+				n = space
+			}
+			p.buf = append(p.buf, b[written:written+n]...)
+			written += n
+			p.mu.Unlock()
+			p.bc.Wake()
+			continue
+		}
+		ch := p.bc.WaitChan()
+		p.mu.Unlock()
+		select {
+		case <-ch:
+		case <-cancel:
+			return written, ErrKilled
+		}
+	}
+	return written, nil
+}
+
+// FDKind distinguishes descriptor flavors in the table.
+type FDKind int
+
+// Descriptor kinds.
+const (
+	FDPipeRead FDKind = iota
+	FDPipeWrite
+)
+
+// FDEntry is one open descriptor.
+type FDEntry struct {
+	Kind FDKind
+	Pipe *Pipe
+}
+
+// FDTable is a process's descriptor table. Fork duplicates it, bumping the
+// refcount of every referenced pipe end — the child inherits every
+// descriptor, including ones it has no use for (the root cause of §6.4).
+type FDTable struct {
+	mu   sync.Mutex
+	m    map[int64]*FDEntry
+	next int64
+}
+
+// NewFDTable returns an empty table. Descriptors start at 3, leaving room
+// for the conventional stdio numbers.
+func NewFDTable() *FDTable {
+	return &FDTable{m: make(map[int64]*FDEntry), next: 3}
+}
+
+// Alloc registers an entry and returns its descriptor number.
+func (t *FDTable) Alloc(e *FDEntry) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	fd := t.next
+	t.next++
+	t.m[fd] = e
+	return fd
+}
+
+// Get resolves a descriptor.
+func (t *FDTable) Get(fd int64) (*FDEntry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.m[fd]
+	return e, ok
+}
+
+// Close releases a descriptor, decrementing the pipe-end refcount.
+func (t *FDTable) Close(fd int64) error {
+	t.mu.Lock()
+	e, ok := t.m[fd]
+	if ok {
+		delete(t.m, fd)
+	}
+	t.mu.Unlock()
+	if !ok {
+		return ErrBadFD
+	}
+	e.Pipe.decRef(e.Kind == FDPipeWrite)
+	return nil
+}
+
+// Dup clones the table for a forked child (all refcounts incremented,
+// descriptor numbers preserved).
+func (t *FDTable) Dup() *FDTable {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := &FDTable{m: make(map[int64]*FDEntry, len(t.m)), next: t.next}
+	for fd, e := range t.m {
+		n.m[fd] = &FDEntry{Kind: e.Kind, Pipe: e.Pipe}
+		e.Pipe.incRef(e.Kind == FDPipeWrite)
+	}
+	return n
+}
+
+// CloseAll closes every descriptor (process exit).
+func (t *FDTable) CloseAll() {
+	t.mu.Lock()
+	entries := make([]*FDEntry, 0, len(t.m))
+	for _, e := range t.m {
+		entries = append(entries, e)
+	}
+	t.m = make(map[int64]*FDEntry)
+	t.mu.Unlock()
+	for _, e := range entries {
+		e.Pipe.decRef(e.Kind == FDPipeWrite)
+	}
+}
+
+// Open returns the number of open descriptors.
+func (t *FDTable) Open() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.m)
+}
+
+// FDs returns the open descriptor numbers (unsorted).
+func (t *FDTable) FDs() []int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]int64, 0, len(t.m))
+	for fd := range t.m {
+		out = append(out, fd)
+	}
+	return out
+}
+
+// Semaphore is a kernel (cross-process) counting semaphore, the primitive
+// under multiprocessing.Queue (§6.3: "The queue is implemented using a
+// semaphore and a pipe").
+type Semaphore struct {
+	mu sync.Mutex
+	n  int64
+	bc *gil.Broadcast
+}
+
+// NewSemaphore returns a semaphore with initial count n.
+func NewSemaphore(n int64) *Semaphore {
+	return &Semaphore{n: n, bc: gil.NewBroadcast()}
+}
+
+// Value returns the current count.
+func (s *Semaphore) Value() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// P (acquire) blocks until the count is positive, then decrements.
+func (s *Semaphore) P(cancel <-chan struct{}) error {
+	for {
+		s.mu.Lock()
+		if s.n > 0 {
+			s.n--
+			s.mu.Unlock()
+			return nil
+		}
+		ch := s.bc.WaitChan()
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-cancel:
+			return ErrKilled
+		}
+	}
+}
+
+// TryP acquires without blocking; reports success.
+func (s *Semaphore) TryP() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n > 0 {
+		s.n--
+		return true
+	}
+	return false
+}
+
+// V (release) increments the count and wakes waiters.
+func (s *Semaphore) V() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.bc.Wake()
+}

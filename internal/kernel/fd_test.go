@@ -1,0 +1,220 @@
+package kernel_test
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dionea/internal/kernel"
+)
+
+func TestPipeBasicReadWrite(t *testing.T) {
+	p := kernel.NewPipe()
+	if n, err := p.Write([]byte("abc"), nil); err != nil || n != 3 {
+		t.Fatalf("write: %d %v", n, err)
+	}
+	b, err := p.Read(2, nil)
+	if err != nil || string(b) != "ab" {
+		t.Fatalf("read: %q %v", b, err)
+	}
+	b, err = p.Read(10, nil)
+	if err != nil || string(b) != "c" {
+		t.Fatalf("read: %q %v", b, err)
+	}
+}
+
+func TestPipeEOFWhenWritersGone(t *testing.T) {
+	p := kernel.NewPipe()
+	_, _ = p.Write([]byte("x"), nil)
+	p.DecRefForTest(true) // close the only write end
+	if b, err := p.Read(10, nil); err != nil || string(b) != "x" {
+		t.Fatalf("buffered data lost: %q %v", b, err)
+	}
+	if _, err := p.Read(10, nil); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestPipeEPIPEWhenReadersGone(t *testing.T) {
+	p := kernel.NewPipe()
+	p.DecRefForTest(false)
+	if _, err := p.Write([]byte("x"), nil); err != kernel.ErrBrokenPipe {
+		t.Fatalf("err = %v, want EPIPE", err)
+	}
+}
+
+func TestPipeBlockingWriteRespectsCapacity(t *testing.T) {
+	p := kernel.NewPipeCap(4)
+	done := make(chan struct{})
+	go func() {
+		// 8 bytes through a 4-byte pipe: blocks until the reader drains.
+		_, _ = p.Write([]byte("12345678"), nil)
+		close(done)
+	}()
+	var got []byte
+	for len(got) < 8 {
+		b, err := p.Read(8, nil)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		got = append(got, b...)
+	}
+	<-done
+	if string(got) != "12345678" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPipeUnboundedNeverBlocks(t *testing.T) {
+	p := kernel.NewPipeCap(0)
+	big := make([]byte, 1<<20)
+	if n, err := p.Write(big, nil); err != nil || n != len(big) {
+		t.Fatalf("unbounded write blocked: %d %v", n, err)
+	}
+	if p.Buffered() != len(big) {
+		t.Fatalf("buffered = %d", p.Buffered())
+	}
+}
+
+func TestPipeReadCancelled(t *testing.T) {
+	p := kernel.NewPipe()
+	cancel := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Read(1, cancel)
+		done <- err
+	}()
+	close(cancel)
+	if err := <-done; err != kernel.ErrKilled {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFDTableDupBumpsRefcounts(t *testing.T) {
+	tbl := kernel.NewFDTable()
+	p := kernel.NewPipe()
+	rfd := tbl.Alloc(&kernel.FDEntry{Kind: kernel.FDPipeRead, Pipe: p})
+	wfd := tbl.Alloc(&kernel.FDEntry{Kind: kernel.FDPipeWrite, Pipe: p})
+
+	child := tbl.Dup()
+	if r, w := p.Refs(); r != 2 || w != 2 {
+		t.Fatalf("refs after dup = %d/%d", r, w)
+	}
+	// Descriptor numbers preserved in the child.
+	if _, ok := child.Get(rfd); !ok {
+		t.Fatalf("child missing rfd")
+	}
+	// Parent closes its write end: one child write end remains.
+	if err := tbl.Close(wfd); err != nil {
+		t.Fatal(err)
+	}
+	if _, w := p.Refs(); w != 1 {
+		t.Fatalf("writers = %d", w)
+	}
+	// Child exit closes everything: EOF for any reader.
+	child.CloseAll()
+	if r, w := p.Refs(); r != 1 || w != 0 {
+		t.Fatalf("refs after child exit = %d/%d", r, w)
+	}
+	if _, err := p.Read(1, nil); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestFDTableCloseUnknown(t *testing.T) {
+	tbl := kernel.NewFDTable()
+	if err := tbl.Close(99); err != kernel.ErrBadFD {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: pipe-end refcounts are conserved across arbitrary sequences of
+// dup/close: total refs == initial + dups - closes, never negative.
+func TestRefcountConservationProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		tbl := kernel.NewFDTable()
+		p := kernel.NewPipe()
+		tbl.Alloc(&kernel.FDEntry{Kind: kernel.FDPipeRead, Pipe: p})
+		tbl.Alloc(&kernel.FDEntry{Kind: kernel.FDPipeWrite, Pipe: p})
+		tables := []*kernel.FDTable{tbl}
+		for _, dup := range ops {
+			if dup {
+				tables = append(tables, tables[len(tables)-1].Dup())
+			} else if len(tables) > 1 {
+				tables[len(tables)-1].CloseAll()
+				tables = tables[:len(tables)-1]
+			}
+		}
+		r, w := p.Refs()
+		return r == len(tables) && w == len(tables)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSemaphoreCounts(t *testing.T) {
+	s := kernel.NewSemaphore(0)
+	if s.TryP() {
+		t.Fatalf("P on zero semaphore succeeded")
+	}
+	s.V()
+	s.V()
+	if s.Value() != 2 {
+		t.Fatalf("value = %d", s.Value())
+	}
+	if err := s.P(nil); err != nil {
+		t.Fatal(err)
+	}
+	if !s.TryP() || s.TryP() {
+		t.Fatalf("count bookkeeping broken")
+	}
+}
+
+func TestSemaphoreBlocksAndWakes(t *testing.T) {
+	s := kernel.NewSemaphore(0)
+	const n = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- s.P(nil)
+		}()
+	}
+	for i := 0; i < n; i++ {
+		s.V()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Value() != 0 {
+		t.Fatalf("value = %d", s.Value())
+	}
+}
+
+// Property: semaphore count equals V-count minus successful P-count.
+func TestSemaphoreConservationProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		s := kernel.NewSemaphore(0)
+		vs, ps := int64(0), int64(0)
+		for _, v := range ops {
+			if v {
+				s.V()
+				vs++
+			} else if s.TryP() {
+				ps++
+			}
+		}
+		return s.Value() == vs-ps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,148 @@
+// The simulated fork(2). Semantics follow §5.1/§5.3 of the paper:
+//
+//   - the child is a copy of the parent's process image (globals,
+//     environments, objects — deep-copied with aliasing preserved);
+//   - ONLY the thread that called fork survives in the child (Python/Ruby
+//     fork semantics; contrast Scsh, which copies all threads);
+//   - the file-descriptor table is inherited (pipe-end refcounts bumped);
+//   - registered fork handlers run: prepare (parent, before), parent
+//     (parent, after), child (child's surviving thread, before user code).
+//
+// Forking without exec is exactly the "special case that requires special
+// treatment" the paper builds Dionea around.
+
+package kernel
+
+import (
+	"dionea/internal/value"
+)
+
+// procBox smuggles fork metadata through a value.Memo so Copier
+// implementations (mutexes, inter-thread queues) can register their copies
+// with the child during the fork deep copy and translate thread ownership
+// from the forking thread to the child's surviving thread.
+type procBox struct {
+	p         *Process
+	parentTID int64
+	childTID  int64
+}
+
+func (*procBox) TypeName() string { return "process" }
+func (*procBox) Truthy() bool     { return true }
+func (*procBox) String() string   { return "<process>" }
+
+type memoProcKey struct{}
+
+// seedMemo records the fork's child process and TID mapping in the memo.
+func seedMemo(m value.Memo, child *Process, parentTID, childTID int64) {
+	m[memoProcKey{}] = &procBox{p: child, parentTID: parentTID, childTID: childTID}
+}
+
+// ChildFromMemo returns the child process of the fork a deep copy belongs
+// to, or nil when the copy is not a fork (no seeding).
+func ChildFromMemo(m value.Memo) *Process {
+	if b, ok := m[memoProcKey{}].(*procBox); ok {
+		return b.p
+	}
+	return nil
+}
+
+// TranslateTID maps the forking thread's TID to the child's surviving
+// thread TID during a fork deep copy; other TIDs pass through unchanged
+// (their threads do not exist in the child — an object owned by one of
+// them stays owned by a ghost, which is precisely the hazard Dionea's
+// prepare handler removes by taking ownership before forking, §5.3).
+func TranslateTID(m value.Memo, tid int64) int64 {
+	if b, ok := m[memoProcKey{}].(*procBox); ok && tid == b.parentTID {
+		return b.childTID
+	}
+	return tid
+}
+
+// ForkProcess forks the process from thread t (which must be running on
+// the calling goroutine with the GIL held). If block is non-nil the child
+// executes the block and exits(0), Ruby-style (Listing 3); otherwise the
+// child resumes after the fork call with return value 0 while the parent
+// receives the child's PID.
+func (p *Process) ForkProcess(t *TCtx, block *value.Closure) (int64, error) {
+	// A: run prepare handlers (reverse registration order). Dionea's A
+	// handler locks the sync objects and disables tracing here.
+	if err := p.Atfork.RunPrepare(t); err != nil {
+		return 0, err
+	}
+
+	child := p.K.newProcess(p.PID, p.mirror, p.CheckEvery, p.seed)
+	// The fork-handler registry is part of the process image.
+	child.Atfork = p.Atfork.Clone()
+	if p.coverage != nil {
+		child.EnableCoverage()
+	}
+	// Descriptor inheritance: every open fd is duplicated into the child.
+	child.FDs = p.FDs.Dup()
+
+	childMain := child.newThread(t.Name, true)
+	childMain.VM.CheckEvery = child.CheckEvery
+	childMain.VM.TraceSuppressed = t.VM.TraceSuppressed
+
+	// Copy the process image. The memo preserves aliasing between the
+	// globals and the forking thread's frames, and carries the child (so
+	// copied sync objects can re-register) plus the TID mapping (so
+	// objects owned by the forking thread become owned by the survivor).
+	memo := value.Memo{}
+	seedMemo(memo, child, t.TID, childMain.TID)
+	child.Globals = value.DeepCopyEnv(p.Globals, memo)
+
+	var blockCopy *value.Closure
+	if block != nil {
+		blockCopy = value.DeepCopy(block, memo).(*value.Closure)
+	} else {
+		childMain.VM.RestoreFrames(t.VM.SnapshotFrames(memo))
+	}
+
+	p.K.register(child)
+	p.mu.Lock()
+	p.children[child.PID] = child
+	p.mu.Unlock()
+
+	// B: parent-side handlers (registration order). Dionea's B unlocks
+	// the sync objects and re-enables tracing.
+	p.Atfork.RunParent(t)
+
+	p.mu.Lock()
+	onForked := p.OnForked
+	p.mu.Unlock()
+	if onForked != nil {
+		onForked(t, child)
+	}
+
+	// The child's surviving thread: C handlers first (interpreter
+	// bookkeeping + Dionea's child handler), then user code.
+	childMain.start(func() (value.Value, error) {
+		child.Atfork.RunChild(childMain)
+		if blockCopy != nil {
+			if _, err := childMain.VM.RunClosure(blockCopy, nil); err != nil {
+				return nil, err
+			}
+			// Listing 3: after the block, "terminates the process as
+			// specified by the documentation" — Kernel.exit(0).
+			return nil, &ExitError{Code: 0}
+		}
+		// No block: materialize fork's return value in the child (0) and
+		// resume the copied frames.
+		childMain.VM.PushValue(value.Int(0))
+		return childMain.VM.Resume()
+	})
+
+	return child.PID, nil
+}
+
+// registerInterpreterAtfork installs the interpreter-level fork handlers
+// every process is born with — the analogs of MRI's rb_thread_atfork
+// (paper Listing 1) and YARV's rb_thread_atfork_internal (Listing 2).
+// Dionea's handlers are registered later (when a debug server attaches)
+// and therefore run *before* these in the prepare phase and *after* them
+// in the child phase, which is the layering §5.2 describes.
+func registerInterpreterAtfork(p *Process) {
+	p.Atfork.Register(newMRIHandler())
+	p.Atfork.Register(newYARVHandler())
+}

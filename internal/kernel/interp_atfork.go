@@ -1,0 +1,77 @@
+// Interpreter-level fork handlers, modeled on the two implementations the
+// paper reproduces in Listings 1 and 2. In a real interpreter these
+// handlers destroy the ghost copies of the parent's other threads; in this
+// simulation those threads are simply never copied (ForkProcess copies
+// only the calling thread), so the handlers perform the remaining,
+// observable duties: thread-table normalization, PRNG reseeding, GVL
+// bookkeeping and coverage clearing.
+
+package kernel
+
+import (
+	"fmt"
+
+	"dionea/internal/atfork"
+)
+
+// newMRIHandler is the rb_thread_atfork analog (MRI 1.8, eval.c):
+//
+//	rb_reset_random_seed();
+//	if (rb_thread_alone()) return;
+//	FOREACH_THREAD(th) { if (th != curr_thread) rb_thread_die(th); }
+//	main_thread = curr_thread;
+func newMRIHandler() atfork.Handler {
+	return atfork.Handler{
+		Name: "mri-thread-atfork",
+		Child: func(ctx atfork.Ctx) {
+			t := ctx.(*TCtx)
+			p := t.P
+			p.ResetRandomSeed()
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			// Kill any thread that is not the surviving (fork-calling)
+			// thread. ForkProcess never copies them, so this is a
+			// normalization/assertion step here — but it guards against
+			// future thread-copying forks (Scsh semantics).
+			for tid, o := range p.threads {
+				if o != t {
+					o.Kill()
+					delete(p.threads, tid)
+				}
+			}
+			// main_thread = curr_thread.
+			p.mainTID = t.TID
+			t.Main = true
+		},
+	}
+}
+
+// newYARVHandler is the rb_thread_atfork_internal analog (YARV 1.9.2,
+// thread.c):
+//
+//	vm->main_thread = th;
+//	native_mutex_reinitialize_atfork(&th->vm->global_vm_lock);
+//	st_clear(vm->living_threads); st_insert(vm->living_threads, thval, ...);
+//	vm->sleeper = 0;
+//	clear_coverage();
+func newYARVHandler() atfork.Handler {
+	return atfork.Handler{
+		Name: "yarv-thread-atfork",
+		Child: func(ctx atfork.Ctx) {
+			t := ctx.(*TCtx)
+			p := t.P
+			// The GVL of the child is freshly created by ForkProcess and
+			// already held by the surviving thread, which is exactly the
+			// post-state native_mutex_reinitialize_atfork establishes.
+			if !t.HoldsGIL() {
+				panic(fmt.Sprintf("yarv atfork: surviving thread %d does not hold the child GVL", t.TID))
+			}
+			p.mu.Lock()
+			p.mainTID = t.TID
+			p.mu.Unlock()
+			// vm->sleeper = 0: no thread of the child is blocked.
+			// (Guaranteed structurally: the child has one running thread.)
+			p.ClearCoverage()
+		},
+	}
+}

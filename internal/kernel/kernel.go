@@ -1,0 +1,202 @@
+// Package kernel simulates the operating-system substrate the paper's
+// debugger runs on: processes with PIDs and true parallelism across them, a
+// GIL serializing the green threads inside each process, fork(2) with
+// only-the-calling-thread-survives semantics, file-descriptor tables,
+// pipes, semaphores, wait/exit, and a temp-file store (Dionea's fork
+// handlers hand the child's debug port to the client through a temporary
+// file, Figures 5–6).
+package kernel
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"dionea/internal/bytecode"
+	"dionea/internal/value"
+	"dionea/internal/vm"
+)
+
+// Kernel is one simulated machine. Tests create private kernels; the cmd
+// binaries create one per run.
+type Kernel struct {
+	mu      sync.Mutex
+	nextPID int64
+	nextTID int64
+	procs   map[int64]*Process
+
+	tmpMu sync.Mutex
+	tmp   map[string][]byte
+
+	// procExit wakes wait()-any callers and WaitAll.
+	procExit chan struct{}
+	exitMu   sync.Mutex
+}
+
+// New returns an empty kernel.
+func New() *Kernel {
+	return &Kernel{
+		nextPID:  1,
+		nextTID:  1,
+		procs:    make(map[int64]*Process),
+		tmp:      make(map[string][]byte),
+		procExit: make(chan struct{}),
+	}
+}
+
+func (k *Kernel) allocPID() int64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	pid := k.nextPID
+	k.nextPID++
+	return pid
+}
+
+func (k *Kernel) allocTID() int64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	tid := k.nextTID
+	k.nextTID++
+	return tid
+}
+
+func (k *Kernel) register(p *Process) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.procs[p.PID] = p
+}
+
+// Process returns the process with the given pid, if it exists.
+func (k *Kernel) Process(pid int64) (*Process, bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p, ok := k.procs[pid]
+	return p, ok
+}
+
+// Processes returns all known processes (including exited ones), ordered
+// by PID.
+func (k *Kernel) Processes() []*Process {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := make([]*Process, 0, len(k.procs))
+	for pid := int64(1); pid < k.nextPID; pid++ {
+		if p, ok := k.procs[pid]; ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// notifyProcExit wakes anyone waiting for process transitions.
+func (k *Kernel) notifyProcExit() {
+	k.exitMu.Lock()
+	defer k.exitMu.Unlock()
+	close(k.procExit)
+	k.procExit = make(chan struct{})
+}
+
+func (k *Kernel) procExitChan() <-chan struct{} {
+	k.exitMu.Lock()
+	defer k.exitMu.Unlock()
+	return k.procExit
+}
+
+// WaitAll blocks until every process has exited.
+func (k *Kernel) WaitAll() {
+	for {
+		var pending *Process
+		k.mu.Lock()
+		for _, p := range k.procs {
+			if !p.Exited() {
+				pending = p
+				break
+			}
+		}
+		k.mu.Unlock()
+		if pending == nil {
+			return
+		}
+		<-pending.exitCh
+	}
+}
+
+// ---- temp-file store ----
+
+// TempWrite creates or replaces a simulated temp file.
+func (k *Kernel) TempWrite(name string, data []byte) {
+	k.tmpMu.Lock()
+	defer k.tmpMu.Unlock()
+	k.tmp[name] = append([]byte(nil), data...)
+}
+
+// TempRead reads a simulated temp file.
+func (k *Kernel) TempRead(name string) ([]byte, bool) {
+	k.tmpMu.Lock()
+	defer k.tmpMu.Unlock()
+	d, ok := k.tmp[name]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), d...), true
+}
+
+// TempRemove deletes a simulated temp file.
+func (k *Kernel) TempRemove(name string) {
+	k.tmpMu.Lock()
+	defer k.tmpMu.Unlock()
+	delete(k.tmp, name)
+}
+
+// ---- program startup ----
+
+// Options configures StartProgram.
+type Options struct {
+	// Out mirrors process output (stdout of every process started from
+	// this program, including forked children) to the writer; nil keeps
+	// output only in the per-process buffer.
+	Out io.Writer
+	// CheckEvery overrides the GIL checkinterval (instructions).
+	CheckEvery int
+	// Setup hooks run against the new process before its main thread
+	// starts (register extra builtins, attach a debug server, ...).
+	Setup []func(*Process)
+	// Preludes are library modules executed before the main program in
+	// the same global environment (the multiprocessing / parallel-gem
+	// analogs ship as pint preludes).
+	Preludes []*bytecode.FuncProto
+	// Seed initializes the process PRNG (rb_reset_random_seed analog).
+	Seed int64
+}
+
+// StartProgram creates a process running proto's top level and starts it.
+func (k *Kernel) StartProgram(proto *bytecode.FuncProto, opt Options) *Process {
+	p := k.newProcess(0, opt.Out, opt.CheckEvery, opt.Seed)
+	vm.InstallCore(p.Globals)
+	InstallBuiltins(p)
+	for _, fn := range opt.Setup {
+		fn(p)
+	}
+	k.register(p)
+
+	main := p.newThread("main", true)
+	preludes := opt.Preludes
+	main.start(func() (value.Value, error) {
+		for _, pre := range preludes {
+			if _, err := main.VM.RunModule(pre, p.Globals); err != nil {
+				return nil, err
+			}
+		}
+		return main.VM.RunModule(proto, p.Globals)
+	})
+	return p
+}
+
+// Ctx extracts the kernel thread context from a VM thread.
+func Ctx(th *vm.Thread) *TCtx {
+	t, ok := th.Ctx.(*TCtx)
+	if !ok {
+		panic(fmt.Sprintf("kernel: vm thread %d has no kernel context", th.ID))
+	}
+	return t
+}

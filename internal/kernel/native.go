@@ -1,0 +1,80 @@
+// Native threads: goroutines attached to a simulated process that run Go
+// code rather than pint bytecode — the analog of interpreter-internal
+// threads like Dionea's listener thread (§4: "each debug server has a
+// dedicated listener thread"). Natives do not hold the GIL (they acquire
+// it explicitly when touching interpreter state), do not participate in
+// deadlock detection, and — like all threads other than the forking one —
+// do NOT survive fork: Dionea's child handler must recreate the listener
+// (§5.3: "the listener thread is recreated in the child").
+
+package kernel
+
+import "sync"
+
+// Native is a native (non-pint) thread of a process.
+type Native struct {
+	P    *Process
+	ID   int64
+	Name string
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// SpawnNative starts fn on a new native thread. fn must return promptly
+// after StopCh fires.
+func (p *Process) SpawnNative(name string, fn func(n *Native)) *Native {
+	n := &Native{
+		P:    p,
+		ID:   p.K.allocTID(),
+		Name: name,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	p.mu.Lock()
+	p.natives[n.ID] = n
+	p.mu.Unlock()
+	go func() {
+		defer close(n.done)
+		defer func() {
+			p.mu.Lock()
+			delete(p.natives, n.ID)
+			p.mu.Unlock()
+		}()
+		fn(n)
+	}()
+	return n
+}
+
+// Stop asks the native thread to exit.
+func (n *Native) Stop() { n.stopOnce.Do(func() { close(n.stop) }) }
+
+// StopCh fires when the native thread must exit (process teardown).
+func (n *Native) StopCh() <-chan struct{} { return n.stop }
+
+// Done is closed when the native thread has exited.
+func (n *Native) Done() <-chan struct{} { return n.done }
+
+// WithGIL runs fn while holding the process GIL, so it can safely touch
+// interpreter state (environments, frames of running threads). It fails
+// (returns false) if the process is torn down first.
+func (n *Native) WithGIL(fn func()) bool {
+	if err := n.P.gil.Acquire(-n.ID, n.stop); err != nil {
+		return false
+	}
+	defer n.P.gil.Release()
+	fn()
+	return true
+}
+
+// Natives returns the process's native threads.
+func (p *Process) Natives() []*Native {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Native, 0, len(p.natives))
+	for _, n := range p.natives {
+		out = append(out, n)
+	}
+	return out
+}

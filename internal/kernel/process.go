@@ -1,0 +1,524 @@
+// Process: the simulated interpreter process.
+
+package kernel
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"dionea/internal/atfork"
+	"dionea/internal/gil"
+	"dionea/internal/value"
+	"dionea/internal/vm"
+)
+
+// SyncObject is an in-process synchronization object registered with its
+// process so fork handlers can enumerate it. Dionea's handler A acquires
+// every registered object before forking (§5.3 problem 1: "Taking
+// ownership of the synchronization objects ensures that the thread that
+// survives in the child owns [them]").
+type SyncObject interface {
+	// AtforkAcquire locks the object on behalf of the forking thread.
+	AtforkAcquire(t *TCtx) error
+	// AtforkRelease unlocks it again (parent handler B, and child
+	// handler C after reinitialization).
+	AtforkRelease(t *TCtx)
+}
+
+// Process is a simulated interpreter process: green threads serialized by
+// a GIL, a private heap (globals + frame environments), a descriptor
+// table, and an atfork registry.
+type Process struct {
+	K    *Kernel
+	PID  int64
+	PPID int64
+
+	gil     *gil.GIL
+	Globals *value.Env
+	FDs     *FDTable
+	Atfork  *atfork.Registry
+
+	// CheckEvery is the GIL checkinterval inherited by new threads.
+	CheckEvery int
+
+	mu       sync.Mutex
+	threads  map[int64]*TCtx
+	natives  map[int64]*Native
+	children map[int64]*Process
+	syncObjs []SyncObject
+	onExit   []func(code int)
+	mainTID  int64
+
+	exiting  atomic.Bool
+	exited   atomic.Bool
+	exitCode atomic.Int64
+	exitCh   chan struct{}
+
+	// OnDeadlock, when set (by the debug server), observes a fatal
+	// deadlock before it unwinds the thread. It runs on the deadlocked
+	// thread and may park it for inspection.
+	OnDeadlock func(*TCtx, *DeadlockError)
+	// OnThreadStart, when set, runs on every pint thread (including the
+	// main thread) before user code; the debug server installs the trace
+	// function here and Dionea's disturb mode parks the thread (§6.4:
+	// "stop the execution of every newly created process or thread").
+	OnThreadStart func(*TCtx)
+	// OnForked, when set, runs on the forking thread right after the
+	// parent-side fork handlers, with the new child process — the
+	// "Dionea.processes << pid" bookkeeping of Listing 3, which the debug
+	// server uses to tell the client a new debuggee exists.
+	OnForked func(*TCtx, *Process)
+	// OnFatal observes the fatal error message a dying process would
+	// print (Listing 6); the debug server forwards it to the client.
+	OnFatal func(msg string)
+
+	outMu  sync.Mutex
+	outBuf bytes.Buffer
+	mirror io.Writer
+	taps   []func(string)
+
+	randMu sync.Mutex
+	rng    *rand.Rand
+	seed   int64
+
+	// Coverage counts executed lines when enabled; YARV's atfork clears
+	// it in the child (clear_coverage in Listing 2).
+	covMu    sync.Mutex
+	coverage map[int]int64
+
+	// stdin is the per-process standard input (Figure 2's Input window).
+	// A forked child gets its own, initially empty stream: the client
+	// feeds each debuggee individually.
+	stdin *stdinBuf
+}
+
+func (k *Kernel) newProcess(ppid int64, mirror io.Writer, checkEvery int, seed int64) *Process {
+	if checkEvery <= 0 {
+		checkEvery = vm.DefaultCheckEvery
+	}
+	if seed == 0 {
+		seed = 42
+	}
+	p := &Process{
+		K:          k,
+		PID:        k.allocPID(),
+		PPID:       ppid,
+		gil:        gil.New(),
+		Globals:    value.NewEnv(nil),
+		FDs:        NewFDTable(),
+		Atfork:     atfork.NewRegistry(),
+		CheckEvery: checkEvery,
+		threads:    make(map[int64]*TCtx),
+		natives:    make(map[int64]*Native),
+		children:   make(map[int64]*Process),
+		exitCh:     make(chan struct{}),
+		mirror:     mirror,
+		rng:        rand.New(rand.NewSource(seed)),
+		seed:       seed,
+		stdin:      newStdinBuf(),
+	}
+	registerInterpreterAtfork(p)
+	return p
+}
+
+// GIL exposes the process lock; the debug server acquires it to inspect
+// non-parked threads safely.
+func (p *Process) GIL() *gil.GIL { return p.gil }
+
+// Exited reports whether the process has fully exited.
+func (p *Process) Exited() bool { return p.exited.Load() }
+
+// Exiting reports whether teardown has begun.
+func (p *Process) Exiting() bool { return p.exiting.Load() }
+
+// ExitCode returns the exit status (valid once Exited).
+func (p *Process) ExitCode() int { return int(p.exitCode.Load()) }
+
+// ExitChan is closed when the process has exited.
+func (p *Process) ExitChan() <-chan struct{} { return p.exitCh }
+
+// MainThread returns the process's main thread context.
+func (p *Process) MainThread() *TCtx {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.threads[p.mainTID]
+}
+
+// Threads returns the pint threads, ordered by TID.
+func (p *Process) Threads() []*TCtx {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*TCtx, 0, len(p.threads))
+	for _, t := range p.threads {
+		out = append(out, t)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].TID > out[j].TID; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Children returns the live child-process table (pids of children that
+// have not been reaped).
+func (p *Process) Children() []*Process {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]*Process, 0, len(p.children))
+	for _, c := range p.children {
+		out = append(out, c)
+	}
+	return out
+}
+
+// RegisterSyncObject adds an in-process sync object to the atfork set.
+func (p *Process) RegisterSyncObject(o SyncObject) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.syncObjs = append(p.syncObjs, o)
+}
+
+// SyncObjects snapshots the registered sync objects.
+func (p *Process) SyncObjects() []SyncObject {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]SyncObject, len(p.syncObjs))
+	copy(out, p.syncObjs)
+	return out
+}
+
+// OnExit registers an exit hook (Dionea's at_finalize analog: "free
+// resources, inform termination", Listing 3). Hooks run during teardown,
+// before native threads stop.
+func (p *Process) OnExit(fn func(code int)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.onExit = append(p.onExit, fn)
+}
+
+// ---- output ----
+
+// Write appends program output (thread-safe); taps observe it, the mirror
+// (if any) gets a copy. The debug server taps output to feed the client's
+// per-UE Output window (Figure 2).
+func (p *Process) Write(s string) {
+	p.outMu.Lock()
+	p.outBuf.WriteString(s)
+	mirror := p.mirror
+	taps := make([]func(string), len(p.taps))
+	copy(taps, p.taps)
+	p.outMu.Unlock()
+	if mirror != nil {
+		fmt.Fprint(mirror, s)
+	}
+	for _, tap := range taps {
+		tap(s)
+	}
+}
+
+// Output returns everything the process has printed.
+func (p *Process) Output() string {
+	p.outMu.Lock()
+	defer p.outMu.Unlock()
+	return p.outBuf.String()
+}
+
+// TapOutput registers an output observer.
+func (p *Process) TapOutput(fn func(string)) {
+	p.outMu.Lock()
+	defer p.outMu.Unlock()
+	p.taps = append(p.taps, fn)
+}
+
+// ---- vm.Host ----
+
+// Print implements vm.Host.
+func (p *Process) Print(th *vm.Thread, s string) { p.Write(s) }
+
+// Tick implements vm.Host: the GIL checkinterval. The running thread
+// yields the GIL, honors suspend requests, and notices kills.
+func (p *Process) Tick(th *vm.Thread) error {
+	t := Ctx(th)
+	if t.killed.Load() {
+		t.releaseGIL()
+		return ErrKilled
+	}
+	if t.suspendRequested() {
+		if err := t.park("suspended"); err != nil {
+			return err
+		}
+	}
+	t.releaseGIL()
+	if err := t.acquireGIL(); err != nil {
+		return err
+	}
+	if p.coverage != nil {
+		p.recordCoverage(th.CurrentLine())
+	}
+	return nil
+}
+
+// ---- coverage (the YARV clear_coverage analog) ----
+
+// EnableCoverage turns on per-line execution counting.
+func (p *Process) EnableCoverage() {
+	p.covMu.Lock()
+	defer p.covMu.Unlock()
+	if p.coverage == nil {
+		p.coverage = make(map[int]int64)
+	}
+}
+
+// ClearCoverage resets counters (run by the child atfork handler).
+func (p *Process) ClearCoverage() {
+	p.covMu.Lock()
+	defer p.covMu.Unlock()
+	if p.coverage != nil {
+		p.coverage = make(map[int]int64)
+	}
+}
+
+// Coverage returns a copy of the line counters.
+func (p *Process) Coverage() map[int]int64 {
+	p.covMu.Lock()
+	defer p.covMu.Unlock()
+	out := make(map[int]int64, len(p.coverage))
+	for k, v := range p.coverage {
+		out[k] = v
+	}
+	return out
+}
+
+func (p *Process) recordCoverage(line int) {
+	p.covMu.Lock()
+	p.coverage[line]++
+	p.covMu.Unlock()
+}
+
+// ---- PRNG ----
+
+// RandInt returns a pseudo-random int in [0, n).
+func (p *Process) RandInt(n int64) int64 {
+	p.randMu.Lock()
+	defer p.randMu.Unlock()
+	if n <= 0 {
+		return 0
+	}
+	return p.rng.Int63n(n)
+}
+
+// ResetRandomSeed reseeds the PRNG; the MRI atfork handler calls it in the
+// child (rb_reset_random_seed in Listing 1) so parent and child diverge.
+func (p *Process) ResetRandomSeed() {
+	p.randMu.Lock()
+	defer p.randMu.Unlock()
+	p.seed = p.seed*6364136223846793005 + p.PID
+	p.rng = rand.New(rand.NewSource(p.seed))
+}
+
+// ---- exit ----
+
+// Exit terminates the process with the given code. It may be called from
+// a pint thread's unwind path (killer != nil, GIL conventions handled by
+// the caller) or externally (killer == nil).
+func (p *Process) Exit(code int, killer *TCtx) {
+	if !p.exiting.CompareAndSwap(false, true) {
+		return
+	}
+	p.mu.Lock()
+	ts := make([]*TCtx, 0, len(p.threads))
+	for _, t := range p.threads {
+		if t != killer {
+			ts = append(ts, t)
+		}
+	}
+	hooks := make([]func(int), len(p.onExit))
+	copy(hooks, p.onExit)
+	ns := make([]*Native, 0, len(p.natives))
+	for _, n := range p.natives {
+		ns = append(ns, n)
+	}
+	p.mu.Unlock()
+
+	for _, t := range ts {
+		t.Kill()
+	}
+	for _, t := range ts {
+		<-t.done
+	}
+	for _, h := range hooks {
+		h(code)
+	}
+	for _, n := range ns {
+		n.Stop()
+		<-n.done
+	}
+	p.FDs.CloseAll()
+	p.exitCode.Store(int64(code))
+	p.exited.Store(true)
+	close(p.exitCh)
+	p.K.notifyProcExit()
+}
+
+// Terminate kills the process from outside (debugger "kill" command).
+func (p *Process) Terminate(code int) { p.Exit(code, nil) }
+
+// reportFatal emits a Listing 6-style abort message.
+func (p *Process) reportFatal(msg string) {
+	p.Write(msg + "\n")
+	p.mu.Lock()
+	hook := p.OnFatal
+	p.mu.Unlock()
+	if hook != nil {
+		hook(msg)
+	}
+}
+
+// ---- thread-state accounting and deadlock detection ----
+
+// ThreadState is a pint thread's scheduling state, used both for deadlock
+// detection and for the debugger's Processes-and-threads view.
+type ThreadState int
+
+// Thread states.
+const (
+	StateRunning ThreadState = iota
+	// StateBlockedLocal: blocked on an in-process primitive (mutex,
+	// inter-thread queue, join, sleep-forever) — only another thread of
+	// this process could wake it, so it is deadlock-eligible.
+	StateBlockedLocal
+	// StateBlockedExternal: blocked on something another process or a
+	// timer can satisfy (pipe, kernel semaphore, timed sleep, waitpid).
+	StateBlockedExternal
+	// StateSuspended: parked by the debugger; the client can resume it.
+	StateSuspended
+	StateFinished
+)
+
+func (s ThreadState) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateBlockedLocal:
+		return "blocked"
+	case StateBlockedExternal:
+		return "waiting"
+	case StateSuspended:
+		return "suspended"
+	case StateFinished:
+		return "finished"
+	default:
+		return fmt.Sprintf("ThreadState(%d)", int(s))
+	}
+}
+
+// noteBlocked transitions t into a blocked state. If the transition would
+// complete a deadlock (every live thread blocked locally), it returns the
+// DeadlockError instead of blocking — t is the thread that "closes the
+// cycle", matching CRuby raising in the thread that performs the final
+// blocking call.
+func (p *Process) noteBlocked(t *TCtx, st ThreadState, reason string, poll func() bool) *DeadlockError {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st == StateBlockedLocal && p.wouldDeadlockLocked(t) {
+		return &DeadlockError{
+			PID:    p.PID,
+			TID:    t.TID,
+			Line:   t.VM.CurrentLine(),
+			Reason: reason,
+			Stack:  t.VM.StackTrace(),
+		}
+	}
+	t.state = st
+	t.blockReason = reason
+	t.poll = poll
+	return nil
+}
+
+// forceBlocked records the blocked state unconditionally (after a poll
+// veto of the deadlock pre-check).
+func (p *Process) forceBlocked(t *TCtx, st ThreadState, reason string, poll func() bool) {
+	p.mu.Lock()
+	t.state = st
+	t.blockReason = reason
+	t.poll = poll
+	p.mu.Unlock()
+}
+
+func (p *Process) noteUnblocked(t *TCtx) {
+	p.mu.Lock()
+	t.state = StateRunning
+	t.blockReason = ""
+	t.poll = nil
+	p.mu.Unlock()
+}
+
+// wouldDeadlockLocked: with t about to block locally, is every other live
+// thread already blocked locally? Any running, externally-blocked or
+// debugger-suspended thread prevents the diagnosis.
+func (p *Process) wouldDeadlockLocked(t *TCtx) bool {
+	for _, o := range p.threads {
+		if o == t {
+			continue
+		}
+		switch o.state {
+		case StateFinished:
+		case StateBlockedLocal:
+			// A blocked thread whose wake condition is already
+			// satisfiable (it just has not woken yet) can still make
+			// progress — no deadlock.
+			if o.poll != nil && o.poll() {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// noteFinished removes t from scheduling and re-checks for deadlock among
+// the survivors (e.g. Listing 5's parent: the helper thread finishes,
+// leaving only the forever-sleeping main thread).
+func (p *Process) noteFinished(t *TCtx) {
+	p.mu.Lock()
+	t.state = StateFinished
+	var victim *TCtx
+	allBlockedLocal := true
+	for _, o := range p.threads {
+		switch o.state {
+		case StateFinished:
+		case StateBlockedLocal:
+			if o.poll != nil && o.poll() {
+				allBlockedLocal = false // wakeable: not a deadlock
+				break
+			}
+			if victim == nil || o.TID < victim.TID {
+				victim = o
+			}
+		default:
+			allBlockedLocal = false
+		}
+	}
+	var dl *DeadlockError
+	if allBlockedLocal && victim != nil && !p.exiting.Load() {
+		// The victim is parked inside Block, so its VM state is
+		// quiescent and safe to read here.
+		dl = &DeadlockError{
+			PID:    p.PID,
+			TID:    victim.TID,
+			Line:   victim.VM.CurrentLine(),
+			Reason: victim.blockReason,
+			Stack:  victim.VM.StackTrace(),
+		}
+	}
+	p.mu.Unlock()
+	if dl != nil {
+		victim.deliverDeadlock(dl)
+	}
+}

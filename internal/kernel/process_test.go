@@ -1,0 +1,312 @@
+package kernel_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dionea/internal/compiler"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+)
+
+func TestCoverageCountsLinesAndChildClears(t *testing.T) {
+	proto, err := compiler.CompileSource(`x = 0
+for i in range(20000) {
+    x += 1
+}
+pid = fork do
+    y = 1
+end
+waitpid(pid)
+`, "cov.pint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New()
+	p := k.StartProgram(proto, kernel.Options{
+		Setup: []func(*kernel.Process){
+			ipc.Install,
+			func(proc *kernel.Process) { proc.EnableCoverage() },
+		},
+	})
+	k.WaitAll()
+	// Coverage is sampled at GIL checkinterval ticks: a 20k-iteration
+	// loop guarantees many samples on its body line.
+	cov := p.Coverage()
+	if cov[3] == 0 {
+		t.Fatalf("loop body coverage = 0 (samples: %v)", cov)
+	}
+	// The child cleared coverage at fork (YARV clear_coverage): its
+	// counters cannot include the parent's loop samples.
+	child, _ := k.Process(2)
+	ccov := child.Coverage()
+	if ccov[3] != 0 {
+		t.Fatalf("child inherited parent's counters: %v", ccov)
+	}
+}
+
+func TestRandDeterministicAndReseededInChild(t *testing.T) {
+	run := func() string {
+		p, k := runProgram(t, `
+a = rand_int(1000000)
+pid = fork do
+    print("child", rand_int(1000000))
+end
+waitpid(pid)
+print("parent", a, rand_int(1000000))
+`)
+		child, _ := k.Process(2)
+		return p.Output() + child.Output()
+	}
+	o1 := run()
+	o2 := run()
+	if o1 != o2 {
+		t.Fatalf("rand not deterministic across kernels:\n%q\n%q", o1, o2)
+	}
+	// The MRI handler reseeds the child: its first draw differs from the
+	// parent's next draw (with overwhelming probability for this seed).
+	var childN, parentSecond string
+	for _, line := range strings.Split(strings.TrimSpace(o1), "\n") {
+		f := strings.Fields(line)
+		switch f[0] {
+		case "child":
+			childN = f[1]
+		case "parent":
+			parentSecond = f[2]
+		}
+	}
+	if childN == "" || parentSecond == "" {
+		t.Fatalf("output = %q", o1)
+	}
+	if childN == parentSecond {
+		t.Fatalf("child PRNG not reseeded: both drew %s", childN)
+	}
+}
+
+func TestThreadStatesVisible(t *testing.T) {
+	proto, err := compiler.CompileSource(`q = queue_new()
+spawn do
+    q.pop()
+end
+sleep(0.2)
+q.push(1)
+`, "states.pint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New()
+	p := k.StartProgram(proto, kernel.Options{
+		Setup: []func(*kernel.Process){ipc.Install},
+	})
+	// Shortly after start: one thread blocked locally on pop, main in a
+	// timed sleep (blocked external).
+	deadline := time.Now().Add(2 * time.Second)
+	sawPop, sawSleep := false, false
+	for time.Now().Before(deadline) && !(sawPop && sawSleep) {
+		for _, tc := range p.Threads() {
+			st, reason := tc.State()
+			if st == kernel.StateBlockedLocal && reason == "pop" {
+				sawPop = true
+			}
+			if st == kernel.StateBlockedExternal && reason == "sleep" {
+				sawSleep = true
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !sawPop || !sawSleep {
+		t.Fatalf("states not observed: pop=%v sleep=%v", sawPop, sawSleep)
+	}
+	k.WaitAll()
+	if p.ExitCode() != 0 {
+		t.Fatalf("exit = %d: %s", p.ExitCode(), p.Output())
+	}
+}
+
+func TestTerminateKillsBlockedThreads(t *testing.T) {
+	proto, err := compiler.CompileSource(`q = queue_new()
+spawn do
+    q.pop()
+end
+sleep(60)
+`, "term.pint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New()
+	p := k.StartProgram(proto, kernel.Options{
+		Setup: []func(*kernel.Process){ipc.Install},
+	})
+	time.Sleep(50 * time.Millisecond)
+	p.Terminate(137)
+	select {
+	case <-p.ExitChan():
+	case <-time.After(5 * time.Second):
+		t.Fatalf("terminate did not reap blocked threads")
+	}
+	if p.ExitCode() != 137 {
+		t.Fatalf("exit = %d", p.ExitCode())
+	}
+}
+
+func TestNonMainThreadErrorDoesNotAbortProcess(t *testing.T) {
+	p, _ := runProgram(t, `
+th = spawn do
+    x = [1][9]
+end
+th.join()
+print("survived")
+`)
+	out := p.Output()
+	if !strings.Contains(out, "survived") || !strings.Contains(out, "raised") {
+		t.Fatalf("out = %q", out)
+	}
+	if p.ExitCode() != 0 {
+		t.Fatalf("exit = %d", p.ExitCode())
+	}
+}
+
+func TestWaitAnyReapsInAnyOrder(t *testing.T) {
+	p, _ := runProgram(t, `
+a = fork do
+    sleep(0.15)
+    exit(5)
+end
+b = fork do
+    exit(6)
+end
+r1 = wait()
+r2 = wait()
+print("first", r1[1], "second", r2[1])
+`)
+	// b exits first (code 6), then a (code 5).
+	if !strings.Contains(p.Output(), "first 6 second 5") {
+		t.Fatalf("out = %q", p.Output())
+	}
+}
+
+func TestWaitWithNoChildrenErrors(t *testing.T) {
+	p, _ := runProgram(t, `wait()`)
+	if !strings.Contains(p.Output(), "ECHILD") {
+		t.Fatalf("out = %q", p.Output())
+	}
+}
+
+func TestWaitpidUnknownChildErrors(t *testing.T) {
+	p, _ := runProgram(t, `waitpid(42)`)
+	if !strings.Contains(p.Output(), "ECHILD") {
+		t.Fatalf("out = %q", p.Output())
+	}
+}
+
+func TestOrphanChildOutlivesParent(t *testing.T) {
+	p, k := runProgram(t, `
+fork do
+    sleep(0.2)
+    print("orphan done")
+end
+print("parent exits without waiting")
+`)
+	if !strings.Contains(p.Output(), "parent exits") {
+		t.Fatalf("out = %q", p.Output())
+	}
+	// runProgram waits for ALL processes, including the orphan.
+	child, _ := k.Process(2)
+	if child == nil || !strings.Contains(child.Output(), "orphan done") {
+		t.Fatalf("orphan did not finish")
+	}
+	if child.PPID != p.PID {
+		t.Fatalf("ppid = %d", child.PPID)
+	}
+}
+
+func TestTempFileStore(t *testing.T) {
+	k := kernel.New()
+	k.TempWrite("f", []byte("v1"))
+	if b, ok := k.TempRead("f"); !ok || string(b) != "v1" {
+		t.Fatalf("read = %q %v", b, ok)
+	}
+	k.TempWrite("f", []byte("v2"))
+	if b, _ := k.TempRead("f"); string(b) != "v2" {
+		t.Fatalf("overwrite failed")
+	}
+	k.TempRemove("f")
+	if _, ok := k.TempRead("f"); ok {
+		t.Fatalf("remove failed")
+	}
+}
+
+func TestOutputTapsSeeEverything(t *testing.T) {
+	proto, err := compiler.CompileSource(`print("one")
+print("two")`, "tap.pint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New()
+	var tapped []string
+	done := make(chan struct{})
+	k.StartProgram(proto, kernel.Options{
+		Setup: []func(*kernel.Process){func(p *kernel.Process) {
+			p.TapOutput(func(s string) {
+				tapped = append(tapped, s)
+				if len(tapped) == 2 {
+					close(done)
+				}
+			})
+		}},
+	})
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("taps = %v", tapped)
+	}
+	if tapped[0] != "one\n" || tapped[1] != "two\n" {
+		t.Fatalf("taps = %v", tapped)
+	}
+}
+
+func TestAtforkRegistryVisibleOnProcess(t *testing.T) {
+	k := kernel.New()
+	proto, _ := compiler.CompileSource("x = 1", "r.pint")
+	p := k.StartProgram(proto, kernel.Options{})
+	names := p.Atfork.Names()
+	if len(names) != 2 || names[0] != "mri-thread-atfork" || names[1] != "yarv-thread-atfork" {
+		t.Fatalf("interpreter handlers missing: %v", names)
+	}
+	k.WaitAll()
+}
+
+func TestClockMsMonotonic(t *testing.T) {
+	p, _ := runProgram(t, `
+a = clock_ms()
+sleep(0.05)
+b = clock_ms()
+if b >= a + 30 {
+    print("monotonic ok")
+} else {
+    print("clock broken", a, b)
+}
+`)
+	if !strings.Contains(p.Output(), "monotonic ok") {
+		t.Fatalf("out = %q", p.Output())
+	}
+}
+
+func TestExitKillsSiblingThreads(t *testing.T) {
+	p, _ := runProgram(t, `
+spawn do
+    sleep(60)
+end
+spawn do
+    while true {
+        x = 1
+    }
+end
+sleep(0.05)
+exit(9)
+`)
+	if p.ExitCode() != 9 {
+		t.Fatalf("exit = %d", p.ExitCode())
+	}
+}

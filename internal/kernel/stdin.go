@@ -1,0 +1,110 @@
+// Per-process standard input. The debugger's client feeds each debuggee
+// individually — Figure 2's Input window: "This area corresponds to the
+// standard input of the active debug view, if the program requires input
+// from the user, this is the place to enter data."
+
+package kernel
+
+import (
+	"fmt"
+	"sync"
+
+	"dionea/internal/gil"
+	"dionea/internal/value"
+	"dionea/internal/vm"
+)
+
+// stdinBuf is a line-oriented input stream with blocking reads.
+type stdinBuf struct {
+	mu     sync.Mutex
+	lines  []string
+	closed bool
+	bc     *gil.Broadcast
+}
+
+func newStdinBuf() *stdinBuf { return &stdinBuf{bc: gil.NewBroadcast()} }
+
+// push appends a line (no trailing newline) and wakes readers.
+func (s *stdinBuf) push(line string) {
+	s.mu.Lock()
+	if !s.closed {
+		s.lines = append(s.lines, line)
+	}
+	s.mu.Unlock()
+	s.bc.Wake()
+}
+
+// closeInput marks end-of-input; blocked readers see EOF.
+func (s *stdinBuf) closeInput() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.bc.Wake()
+}
+
+// tryPop returns (line, ok, eof) without blocking.
+func (s *stdinBuf) tryPop() (string, bool, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.lines) > 0 {
+		l := s.lines[0]
+		s.lines = s.lines[1:]
+		return l, true, false
+	}
+	return "", false, s.closed
+}
+
+// WriteStdin feeds one line into the process's standard input. The debug
+// client routes the Input window here; cmd/pint routes the host's stdin.
+func (p *Process) WriteStdin(line string) { p.stdin.push(line) }
+
+// CloseStdin signals end-of-input: pending and future input() calls
+// return nil.
+func (p *Process) CloseStdin() { p.stdin.closeInput() }
+
+// installStdinBuiltin defines input(): read one line from the process's
+// standard input, blocking until the client (or host) provides one; nil
+// at end-of-input. The wait is externally wakeable, so it never counts
+// toward deadlock detection.
+func installStdinBuiltin(p *Process) {
+	p.Globals.Define("input", &vm.Builtin{Name: "input", Fn: func(th *vm.Thread, args []value.Value, _ *value.Closure) (value.Value, error) {
+		if len(args) != 0 {
+			return nil, fmt.Errorf("input takes no arguments")
+		}
+		t := Ctx(th)
+		buf := t.P.stdin
+		// Fast path.
+		if line, ok, eof := buf.tryPop(); ok {
+			return value.Str(line), nil
+		} else if eof {
+			return value.NilV, nil
+		}
+		var out value.Value = value.NilV
+		err := t.Block(StateBlockedExternal, "stdin", nil, func(cancel <-chan struct{}) error {
+			for {
+				buf.mu.Lock()
+				if len(buf.lines) > 0 {
+					out = value.Str(buf.lines[0])
+					buf.lines = buf.lines[1:]
+					buf.mu.Unlock()
+					return nil
+				}
+				if buf.closed {
+					buf.mu.Unlock()
+					return nil
+				}
+				ch := buf.bc.WaitChan()
+				buf.mu.Unlock()
+				select {
+				case <-ch:
+				case <-cancel:
+					return ErrKilled
+				}
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}})
+}

@@ -1,0 +1,387 @@
+// TCtx: the kernel-side state of a pint thread — GIL protocol, blocking,
+// debugger suspension, kill delivery, and lifecycle.
+
+package kernel
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dionea/internal/value"
+	"dionea/internal/vm"
+)
+
+// TCtx is the kernel context of one pint thread. Its VM field is the
+// bytecode interpreter state; TCtx adds scheduling.
+type TCtx struct {
+	P    *Process
+	TID  int64
+	VM   *vm.Thread
+	Main bool
+	Name string
+
+	// state/blockReason/poll are protected by P.mu. poll, when non-nil,
+	// reports whether the blocked thread's wake condition is already
+	// satisfiable; the deadlock detector consults it so a thread that
+	// merely has not woken up yet is not diagnosed as deadlocked.
+	state       ThreadState
+	blockReason string
+	poll        func() bool
+
+	killed atomic.Bool
+
+	// cancel machinery: one armed channel at a time (arming is done only
+	// by the owning goroutine; firing may come from anywhere). A kill is
+	// a sticky cancel; a deadlock verdict cancels once and is consumed by
+	// takeDeadlock.
+	cancelMu  sync.Mutex
+	cancelCh  chan struct{}
+	cancelled bool // cancelCh already closed
+	dlErr     *DeadlockError
+
+	// suspension (debugger).
+	suspMu     sync.Mutex
+	suspendReq bool
+	resumeCh   chan struct{}
+
+	// holdsGIL is touched only by the owning goroutine.
+	holdsGIL bool
+
+	done   chan struct{}
+	result value.Value
+	err    error
+}
+
+func (p *Process) newThread(name string, main bool) *TCtx {
+	t := &TCtx{
+		P:    p,
+		TID:  p.K.allocTID(),
+		Main: main,
+		Name: name,
+		done: make(chan struct{}),
+	}
+	t.VM = vm.NewThread(t.TID, name, p)
+	t.VM.CheckEvery = p.CheckEvery
+	t.VM.Ctx = t
+	p.mu.Lock()
+	p.threads[t.TID] = t
+	if main {
+		p.mainTID = t.TID
+	}
+	p.mu.Unlock()
+	return t
+}
+
+// State returns the scheduling state and blocking reason.
+func (t *TCtx) State() (ThreadState, string) {
+	t.P.mu.Lock()
+	defer t.P.mu.Unlock()
+	return t.state, t.blockReason
+}
+
+// Done is closed when the thread's goroutine has finished.
+func (t *TCtx) Done() <-chan struct{} { return t.done }
+
+// Result returns the thread's final value and error (valid after Done).
+func (t *TCtx) Result() (value.Value, error) { return t.result, t.err }
+
+// Killed reports whether a kill was delivered.
+func (t *TCtx) Killed() bool { return t.killed.Load() }
+
+// ---- cancel machinery ----
+
+// armCancel returns a channel that closes when the thread is killed or a
+// deadlock verdict is delivered. Must only be called by the owning
+// goroutine; pair with disarmCancel.
+func (t *TCtx) armCancel() <-chan struct{} {
+	t.cancelMu.Lock()
+	defer t.cancelMu.Unlock()
+	ch := make(chan struct{})
+	t.cancelCh = ch
+	t.cancelled = false
+	if t.killed.Load() || t.dlErr != nil {
+		close(ch)
+		t.cancelled = true
+	}
+	return ch
+}
+
+func (t *TCtx) disarmCancel() {
+	t.cancelMu.Lock()
+	defer t.cancelMu.Unlock()
+	t.cancelCh = nil
+}
+
+func (t *TCtx) fireCancel() {
+	t.cancelMu.Lock()
+	defer t.cancelMu.Unlock()
+	if t.cancelCh != nil && !t.cancelled {
+		close(t.cancelCh)
+		t.cancelled = true
+	}
+}
+
+// Kill requests asynchronous termination: the thread unwinds with
+// ErrKilled at its next checkinterval tick or blocking wait. This is both
+// the process-exit path and the rb_thread_die analog.
+func (t *TCtx) Kill() {
+	if t.killed.CompareAndSwap(false, true) {
+		t.fireCancel()
+	}
+	// Also release a debugger-suspension park.
+	t.suspMu.Lock()
+	if t.resumeCh != nil {
+		close(t.resumeCh)
+		t.resumeCh = nil
+	}
+	t.suspMu.Unlock()
+}
+
+// deliverDeadlock injects a fatal deadlock verdict into a locally-blocked
+// thread. The cancel it fires is one-shot: takeDeadlock consumes it, so a
+// verdict judged stale does not poison later waits.
+func (t *TCtx) deliverDeadlock(d *DeadlockError) {
+	t.cancelMu.Lock()
+	if t.dlErr == nil {
+		t.dlErr = d
+		if t.cancelCh != nil && !t.cancelled {
+			close(t.cancelCh)
+			t.cancelled = true
+		}
+	}
+	t.cancelMu.Unlock()
+}
+
+func (t *TCtx) takeDeadlock() *DeadlockError {
+	t.cancelMu.Lock()
+	defer t.cancelMu.Unlock()
+	d := t.dlErr
+	t.dlErr = nil
+	return d
+}
+
+// ---- GIL protocol ----
+
+func (t *TCtx) acquireGIL() error {
+	cancel := t.armCancel()
+	err := t.P.gil.Acquire(t.TID, cancel)
+	t.disarmCancel()
+	if err != nil {
+		return ErrKilled
+	}
+	t.holdsGIL = true
+	return nil
+}
+
+func (t *TCtx) releaseGIL() {
+	if t.holdsGIL {
+		t.holdsGIL = false
+		t.P.gil.Release()
+	}
+}
+
+// HoldsGIL reports whether the owning goroutine currently holds the GIL.
+func (t *TCtx) HoldsGIL() bool { return t.holdsGIL }
+
+// ---- blocking ----
+
+// Block is the protocol every blocking builtin uses: account the blocked
+// state (running process-level deadlock detection when the wait is
+// in-process-only), release the GIL, run waitFn (which must select on
+// cancel), reacquire the GIL, and restore state.
+//
+// st must be StateBlockedLocal or StateBlockedExternal; reason names the
+// operation for diagnostics ("pop", "lock", "sleep", ...). poll, when
+// non-nil, reports whether the awaited condition is already satisfiable;
+// it vetoes a deadlock verdict that would otherwise fire because the
+// waking thread finished between the caller's fast path and the
+// accounting here (e.g. join on a thread that just exited).
+func (t *TCtx) Block(st ThreadState, reason string, poll func() bool, waitFn func(cancel <-chan struct{}) error) error {
+	if pre := t.P.noteBlocked(t, st, reason, poll); pre != nil {
+		if poll == nil || !poll() {
+			return t.handleDeadlock(pre)
+		}
+		t.P.forceBlocked(t, st, reason, poll)
+	}
+	for {
+		cancel := t.armCancel()
+		t.releaseGIL()
+		werr := waitFn(cancel)
+		t.disarmCancel()
+
+		d := t.takeDeadlock()
+		// A verdict is stale if the wait actually succeeded or the
+		// awaited condition became satisfiable in the meantime (the waker
+		// disproved the deadlock).
+		stale := d != nil && (werr == nil || (poll != nil && poll()))
+		if d != nil && !stale {
+			t.P.noteUnblocked(t)
+			if err := t.acquireGIL(); err != nil {
+				return err // killed while reacquiring
+			}
+			return t.handleDeadlock(d)
+		}
+		if t.killed.Load() {
+			t.P.noteUnblocked(t)
+			return ErrKilled
+		}
+		if stale && werr == ErrKilled {
+			// waitFn aborted only because of the stale verdict's cancel;
+			// the thread is still logically blocked — wait again.
+			continue
+		}
+		t.P.noteUnblocked(t)
+		if err := t.acquireGIL(); err != nil {
+			return err
+		}
+		return werr
+	}
+}
+
+// handleDeadlock runs the debugger hook (which may park the thread for
+// inspection, Figure 7) and returns the fatal error. GIL is held.
+func (t *TCtx) handleDeadlock(d *DeadlockError) error {
+	t.P.mu.Lock()
+	hook := t.P.OnDeadlock
+	t.P.mu.Unlock()
+	if hook != nil {
+		hook(t, d)
+	}
+	return d
+}
+
+// ---- debugger suspension ----
+
+// RequestSuspend asks the thread to park at its next checkinterval tick
+// or trace event. Low-intrusive: only this thread stops.
+func (t *TCtx) RequestSuspend() {
+	t.suspMu.Lock()
+	t.suspendReq = true
+	t.suspMu.Unlock()
+}
+
+func (t *TCtx) suspendRequested() bool {
+	t.suspMu.Lock()
+	defer t.suspMu.Unlock()
+	return t.suspendReq
+}
+
+// Resume releases a parked thread (or clears a pending suspend request).
+func (t *TCtx) Resume() {
+	t.suspMu.Lock()
+	t.suspendReq = false
+	if t.resumeCh != nil {
+		close(t.resumeCh)
+		t.resumeCh = nil
+	}
+	t.suspMu.Unlock()
+}
+
+// Suspended reports whether the thread is parked by the debugger.
+func (t *TCtx) Suspended() bool {
+	t.P.mu.Lock()
+	defer t.P.mu.Unlock()
+	return t.state == StateSuspended
+}
+
+// Park parks the calling thread until Resume (or kill). It is called from
+// trace callbacks (breakpoint hit, stepping, disturb mode) and from Tick
+// on a pending suspend request. GIL is held on entry and on (non-killed)
+// return; while parked the GIL is released so other threads run freely —
+// the "low-intrusive" property.
+func (t *TCtx) Park(reason string) error {
+	return t.park(reason)
+}
+
+func (t *TCtx) park(reason string) error {
+	t.suspMu.Lock()
+	t.suspendReq = false
+	rc := make(chan struct{})
+	t.resumeCh = rc
+	t.suspMu.Unlock()
+
+	t.P.mu.Lock()
+	t.state = StateSuspended
+	t.blockReason = reason
+	t.P.mu.Unlock()
+
+	cancel := t.armCancel()
+	t.releaseGIL()
+	select {
+	case <-rc:
+	case <-cancel:
+	}
+	t.disarmCancel()
+	t.P.noteUnblocked(t)
+	if t.killed.Load() {
+		return ErrKilled
+	}
+	return t.acquireGIL()
+}
+
+// ---- lifecycle ----
+
+// start launches the thread goroutine. entry runs with the GIL held.
+func (t *TCtx) start(entry func() (value.Value, error)) {
+	go func() {
+		if err := t.acquireGIL(); err != nil {
+			t.finish(nil, err)
+			return
+		}
+		if hook := t.startHook(); hook != nil {
+			hook(t)
+		}
+		v, err := entry()
+		t.finish(v, err)
+	}()
+}
+
+func (t *TCtx) startHook() func(*TCtx) {
+	t.P.mu.Lock()
+	defer t.P.mu.Unlock()
+	return t.P.OnThreadStart
+}
+
+func (t *TCtx) finish(v value.Value, err error) {
+	t.result, t.err = v, err
+	t.releaseGIL()
+	// Wake joiners before the deadlock re-check so a thread blocked in
+	// join on *this* thread is never misdiagnosed.
+	close(t.done)
+	t.P.noteFinished(t)
+
+	switch e := err.(type) {
+	case nil:
+		if t.Main {
+			t.P.Exit(0, t)
+		}
+	case *ExitError:
+		t.P.Exit(e.Code, t)
+	case killedError:
+		// Process teardown or explicit thread kill; nothing to do.
+	case *DeadlockError:
+		// Fatal: the interpreter aborts the whole process (CRuby's
+		// "deadlock detected (fatal)").
+		t.P.reportFatal(e.Error())
+		t.P.Exit(1, t)
+	default:
+		if t.Main {
+			t.P.reportFatal(err.Error())
+			t.P.Exit(1, t)
+		} else {
+			// Non-main thread errors are reported but do not abort the
+			// process (Ruby's default, abort_on_exception=false).
+			t.P.Write("thread " + t.Name + " raised: " + err.Error() + "\n")
+		}
+	}
+}
+
+// SpawnThread creates and starts a pint thread running fn(args).
+// It is the Thread.new analog.
+func (p *Process) SpawnThread(name string, fn *value.Closure, args []value.Value) *TCtx {
+	t := p.newThread(name, false)
+	t.start(func() (value.Value, error) {
+		return t.VM.RunClosure(fn, args)
+	})
+	return t
+}

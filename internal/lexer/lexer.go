@@ -1,0 +1,258 @@
+// Package lexer converts pint source text into a token stream.
+//
+// The language is newline-delimited (like Python and Ruby) but uses
+// explicit braces for blocks plus Ruby-style `do ... end` blocks; there is
+// no significant indentation, which keeps the scanner simple while the
+// line numbers remain exact — line numbers are load-bearing for the
+// debugger's breakpoints and deadlock reports.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"dionea/internal/token"
+)
+
+// Lexer scans a single source file.
+type Lexer struct {
+	src  string
+	pos  int // current offset
+	line int
+	col  int
+	errs []error
+	// parenDepth tracks open (, [ and { so newlines inside them can be
+	// ignored, as Python does for implicit line joining.
+	parenDepth int
+	lastEmit   token.Type
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns scan errors accumulated so far.
+func (l *Lexer) Errors() []error { return l.errs }
+
+func (l *Lexer) errorf(line, col int, format string, args ...interface{}) {
+	l.errs = append(l.errs, fmt.Errorf("lex %d:%d: %s", line, col, fmt.Sprintf(format, args...)))
+}
+
+func (l *Lexer) peek() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peekAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *Lexer) advance() byte {
+	ch := l.src[l.pos]
+	l.pos++
+	if ch == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return ch
+}
+
+func isLetter(ch byte) bool {
+	return 'a' <= ch && ch <= 'z' || 'A' <= ch && ch <= 'Z' || ch == '_'
+}
+
+func isDigit(ch byte) bool { return '0' <= ch && ch <= '9' }
+
+// Next returns the next token. At end of input it returns EOF forever.
+func (l *Lexer) Next() token.Token {
+	for {
+		tok, ok := l.scan()
+		if !ok {
+			continue // skipped (comment, blank inside parens, ...)
+		}
+		l.lastEmit = tok.Type
+		return tok
+	}
+}
+
+// scan produces at most one token; ok=false means "nothing emitted, call
+// again" (whitespace, comments, suppressed newlines).
+func (l *Lexer) scan() (token.Token, bool) {
+	// Skip spaces and tabs (never newlines; those are tokens).
+	for l.pos < len(l.src) && (l.peek() == ' ' || l.peek() == '\t' || l.peek() == '\r') {
+		l.advance()
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token.Token{Type: token.EOF, Line: line, Col: col}, true
+	}
+	ch := l.peek()
+
+	// Comments run to end of line.
+	if ch == '#' {
+		for l.pos < len(l.src) && l.peek() != '\n' {
+			l.advance()
+		}
+		return token.Token{}, false
+	}
+
+	if ch == '\n' {
+		l.advance()
+		// Inside brackets, or when nothing has been emitted yet on this
+		// logical line, newlines are insignificant.
+		if l.parenDepth > 0 || l.lastEmit == token.NEWLINE || l.lastEmit == token.Type(0) ||
+			l.lastEmit == token.LBRACE || l.lastEmit == token.DO {
+			return token.Token{}, false
+		}
+		return token.Token{Type: token.NEWLINE, Line: line, Col: col}, true
+	}
+
+	if isLetter(ch) {
+		start := l.pos
+		for l.pos < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.advance()
+		}
+		lit := l.src[start:l.pos]
+		return token.Token{Type: token.Lookup(lit), Literal: lit, Line: line, Col: col}, true
+	}
+
+	if isDigit(ch) {
+		start := l.pos
+		typ := token.INT
+		for l.pos < len(l.src) && isDigit(l.peek()) {
+			l.advance()
+		}
+		if l.peek() == '.' && isDigit(l.peekAt(1)) {
+			typ = token.FLOAT
+			l.advance()
+			for l.pos < len(l.src) && isDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		return token.Token{Type: typ, Literal: l.src[start:l.pos], Line: line, Col: col}, true
+	}
+
+	if ch == '"' || ch == '\'' {
+		return l.scanString(ch), true
+	}
+
+	l.advance()
+	two := func(next byte, yes, no token.Type) token.Token {
+		if l.peek() == next {
+			l.advance()
+			return token.Token{Type: yes, Line: line, Col: col}
+		}
+		return token.Token{Type: no, Line: line, Col: col}
+	}
+	switch ch {
+	case '=':
+		return two('=', token.EQ, token.ASSIGN), true
+	case '+':
+		return two('=', token.PLUSEQ, token.PLUS), true
+	case '-':
+		return two('=', token.MINUSEQ, token.MINUS), true
+	case '*':
+		return token.Token{Type: token.STAR, Line: line, Col: col}, true
+	case '/':
+		return token.Token{Type: token.SLASH, Line: line, Col: col}, true
+	case '%':
+		return token.Token{Type: token.PERCENT, Line: line, Col: col}, true
+	case '!':
+		return two('=', token.NEQ, token.BANG), true
+	case '<':
+		return two('=', token.LE, token.LT), true
+	case '>':
+		return two('=', token.GE, token.GT), true
+	case '(':
+		l.parenDepth++
+		return token.Token{Type: token.LPAREN, Line: line, Col: col}, true
+	case ')':
+		l.parenDepth--
+		return token.Token{Type: token.RPAREN, Line: line, Col: col}, true
+	case '[':
+		l.parenDepth++
+		return token.Token{Type: token.LBRACKET, Line: line, Col: col}, true
+	case ']':
+		l.parenDepth--
+		return token.Token{Type: token.RBRACKET, Line: line, Col: col}, true
+	case '{':
+		return token.Token{Type: token.LBRACE, Line: line, Col: col}, true
+	case '}':
+		return token.Token{Type: token.RBRACE, Line: line, Col: col}, true
+	case ',':
+		return token.Token{Type: token.COMMA, Line: line, Col: col}, true
+	case ':':
+		return token.Token{Type: token.COLON, Line: line, Col: col}, true
+	case '.':
+		return token.Token{Type: token.DOT, Line: line, Col: col}, true
+	case '|':
+		return token.Token{Type: token.PIPE, Line: line, Col: col}, true
+	}
+	l.errorf(line, col, "unexpected character %q", ch)
+	return token.Token{Type: token.ILLEGAL, Literal: string(ch), Line: line, Col: col}, true
+}
+
+func (l *Lexer) scanString(quote byte) token.Token {
+	line, col := l.line, l.col
+	l.advance() // opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) || l.peek() == '\n' {
+			l.errorf(line, col, "unterminated string")
+			return token.Token{Type: token.ILLEGAL, Literal: b.String(), Line: line, Col: col}
+		}
+		ch := l.advance()
+		if ch == quote {
+			break
+		}
+		if ch == '\\' {
+			if l.pos >= len(l.src) {
+				l.errorf(line, col, "unterminated escape")
+				break
+			}
+			esc := l.advance()
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\':
+				b.WriteByte('\\')
+			case '\'':
+				b.WriteByte('\'')
+			case '"':
+				b.WriteByte('"')
+			case '0':
+				b.WriteByte(0)
+			default:
+				l.errorf(l.line, l.col, "unknown escape \\%c", esc)
+			}
+			continue
+		}
+		b.WriteByte(ch)
+	}
+	return token.Token{Type: token.STRING, Literal: b.String(), Line: line, Col: col}
+}
+
+// All scans the entire input and returns every token up to and including
+// the first EOF. Useful for tests and tooling.
+func (l *Lexer) All() []token.Token {
+	var out []token.Token
+	for {
+		t := l.Next()
+		out = append(out, t)
+		if t.Type == token.EOF {
+			return out
+		}
+	}
+}

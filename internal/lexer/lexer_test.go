@@ -1,0 +1,171 @@
+package lexer_test
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dionea/internal/lexer"
+	"dionea/internal/token"
+)
+
+func kinds(src string) []token.Type {
+	var out []token.Type
+	for _, t := range lexer.New(src).All() {
+		out = append(out, t.Type)
+	}
+	return out
+}
+
+func TestBasicTokens(t *testing.T) {
+	toks := lexer.New(`x = 41 + 1.5`).All()
+	want := []token.Type{token.IDENT, token.ASSIGN, token.INT, token.PLUS, token.FLOAT, token.EOF}
+	if len(toks) != len(want) {
+		t.Fatalf("got %v", toks)
+	}
+	for i, w := range want {
+		if toks[i].Type != w {
+			t.Fatalf("token %d = %v, want %v", i, toks[i], w)
+		}
+	}
+	if toks[0].Literal != "x" || toks[2].Literal != "41" || toks[4].Literal != "1.5" {
+		t.Fatalf("literals wrong: %v", toks)
+	}
+}
+
+func TestKeywordsAndIdentifiers(t *testing.T) {
+	toks := lexer.New("if elsex while fork do end").All()
+	want := []token.Type{token.IF, token.IDENT, token.WHILE, token.IDENT, token.DO, token.END, token.EOF}
+	for i, w := range want {
+		if toks[i].Type != w {
+			t.Fatalf("token %d = %v, want %v", i, toks[i], w)
+		}
+	}
+}
+
+func TestTwoCharOperators(t *testing.T) {
+	toks := lexer.New("== != <= >= += -= = < >").All()
+	want := []token.Type{token.EQ, token.NEQ, token.LE, token.GE, token.PLUSEQ,
+		token.MINUSEQ, token.ASSIGN, token.LT, token.GT, token.EOF}
+	for i, w := range want {
+		if toks[i].Type != w {
+			t.Fatalf("token %d = %v, want %v", i, toks[i], w)
+		}
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	toks := lexer.New(`"a\nb\t\"q\"" 'single'`).All()
+	if toks[0].Type != token.STRING || toks[0].Literal != "a\nb\t\"q\"" {
+		t.Fatalf("escapes: %q", toks[0].Literal)
+	}
+	if toks[1].Type != token.STRING || toks[1].Literal != "single" {
+		t.Fatalf("single quotes: %q", toks[1].Literal)
+	}
+}
+
+func TestUnterminatedStringReportsError(t *testing.T) {
+	lx := lexer.New("\"oops\nx = 1")
+	lx.All()
+	if len(lx.Errors()) == 0 {
+		t.Fatalf("no error for unterminated string")
+	}
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	got := kinds("x = 1 # comment with if while \"strings\"\ny = 2")
+	want := []token.Type{token.IDENT, token.ASSIGN, token.INT, token.NEWLINE,
+		token.IDENT, token.ASSIGN, token.INT, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNewlinesInsideBracketsSuppressed(t *testing.T) {
+	got := kinds("f(1,\n2,\n3)\n[\n1,\n2\n]")
+	for _, k := range got[:len(got)-1] {
+		if k == token.NEWLINE {
+			// One newline IS expected: the one after f(...) closing paren.
+			// Count them: only 1 allowed.
+		}
+	}
+	n := 0
+	for _, k := range got {
+		if k == token.NEWLINE {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("newlines = %d, want 1 (only after the call): %v", n, got)
+	}
+}
+
+func TestLineAndColumnTracking(t *testing.T) {
+	toks := lexer.New("a = 1\n  b = 2").All()
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Fatalf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	// b is on line 2 col 3.
+	var b token.Token
+	for _, tok := range toks {
+		if tok.Literal == "b" {
+			b = tok
+		}
+	}
+	if b.Line != 2 || b.Col != 3 {
+		t.Fatalf("b at %d:%d", b.Line, b.Col)
+	}
+}
+
+func TestIllegalCharacter(t *testing.T) {
+	lx := lexer.New("x = 1 @ 2")
+	toks := lx.All()
+	found := false
+	for _, tok := range toks {
+		if tok.Type == token.ILLEGAL {
+			found = true
+		}
+	}
+	if !found || len(lx.Errors()) == 0 {
+		t.Fatalf("@ not reported: %v", toks)
+	}
+}
+
+// Property: the lexer terminates and ends with EOF on arbitrary input.
+func TestLexerTotalOnArbitraryInput(t *testing.T) {
+	f := func(src string) bool {
+		toks := lexer.New(src).All()
+		return len(toks) > 0 && toks[len(toks)-1].Type == token.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: integer literals round-trip.
+func TestIntLiteralRoundTrip(t *testing.T) {
+	f := func(n uint32) bool {
+		toks := lexer.New(strings.TrimSpace(" " + itoa(int64(n)))).All()
+		return toks[0].Type == token.INT && toks[0].Literal == itoa(int64(n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

@@ -1,0 +1,127 @@
+// Package mp is the multiprocessing library of the simulated platform —
+// the analog of Python's multiprocessing package ("Process-based
+// 'threading' interface", §6.3) that the paper's MapReduce workload and
+// overhead measurements (§7) run on.
+//
+// Like its Python counterpart, it is written in the interpreted language
+// itself and ships as a prelude module: worker processes are created with
+// fork, tasks and results travel through mp_queue (semaphore + pipe +
+// pickle), and functions are sent by *name* because pickle cannot
+// serialize function objects.
+package mp
+
+import (
+	"sync"
+
+	"dionea/internal/bytecode"
+	"dionea/internal/compiler"
+)
+
+// Source is the mp prelude, in pint.
+//
+// API (all functions take/return plain pint values):
+//
+//	p = mp_process(fn)              fork a child running fn(); returns pid
+//	pool = mp_pool(n)               fork n workers
+//	out  = mp_pool_map(pool, "fname", items)   parallel map, order-preserving
+//	mp_pool_submit(pool, id, "fname", arg)     async submission
+//	r    = mp_pool_result(pool)     [id, value] of one completed task
+//	mp_pool_close(pool)             send poison pills, reap workers
+const Source = `# mp: process-based parallelism (multiprocessing analog)
+
+func mp_process(fn) {
+    pid = fork(fn)
+    return pid
+}
+
+func _mp_worker_loop(tasks, results) {
+    while true {
+        task = tasks.get()
+        if task == nil {
+            break
+        }
+        id = task[0]
+        fname = task[1]
+        arg = task[2]
+        f = resolve(fname)
+        r = f(arg)
+        results.put([id, r])
+    }
+}
+
+func mp_pool(nworkers) {
+    tasks = mp_queue()
+    results = mp_queue()
+    pids = []
+    for i in range(nworkers) {
+        pid = fork do
+            _mp_worker_loop(tasks, results)
+            exit(0)
+        end
+        pids.push(pid)
+    }
+    return {"tasks": tasks, "results": results, "pids": pids, "n": nworkers}
+}
+
+func mp_pool_submit(pool, id, fname, arg) {
+    pool["tasks"].put([id, fname, arg])
+}
+
+func mp_pool_result(pool) {
+    return pool["results"].get()
+}
+
+func mp_pool_map(pool, fname, items) {
+    n = len(items)
+    i = 0
+    for it in items {
+        mp_pool_submit(pool, i, fname, it)
+        i += 1
+    }
+    out = []
+    for j in range(n) {
+        out.push(nil)
+    }
+    got = 0
+    while got < n {
+        r = mp_pool_result(pool)
+        out[r[0]] = r[1]
+        got += 1
+    }
+    return out
+}
+
+func mp_pool_close(pool) {
+    for i in range(pool["n"]) {
+        pool["tasks"].put(nil)
+    }
+    for pid in pool["pids"] {
+        waitpid(pid)
+    }
+}
+`
+
+var (
+	once  sync.Once
+	proto *bytecode.FuncProto
+	cerr  error
+)
+
+// Prelude returns the compiled mp module (compiled once, shared — compiled
+// code is immutable).
+func Prelude() (*bytecode.FuncProto, error) {
+	once.Do(func() {
+		proto, cerr = compiler.CompileSource(Source, "<mp>")
+	})
+	return proto, cerr
+}
+
+// MustPrelude is Prelude for callers where a compile failure is a
+// programming error (the source is a constant).
+func MustPrelude() *bytecode.FuncProto {
+	p, err := Prelude()
+	if err != nil {
+		panic("mp: prelude does not compile: " + err.Error())
+	}
+	return p
+}

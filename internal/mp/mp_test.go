@@ -1,0 +1,146 @@
+package mp_test
+
+import (
+	"strings"
+	"testing"
+
+	"dionea/internal/bytecode"
+	"dionea/internal/mp"
+	"dionea/internal/pinttest"
+)
+
+func preludes(t testing.TB) []*bytecode.FuncProto {
+	t.Helper()
+	p, err := mp.Prelude()
+	if err != nil {
+		t.Fatalf("prelude: %v", err)
+	}
+	return []*bytecode.FuncProto{p}
+}
+
+func TestPreludeCompiles(t *testing.T) {
+	if _, err := mp.Prelude(); err != nil {
+		t.Fatalf("prelude: %v", err)
+	}
+}
+
+func TestMPProcess(t *testing.T) {
+	r := pinttest.Run(t, `
+pid = mp_process(func() {
+    print("worker", getpid(), "parent", getppid())
+})
+code = waitpid(pid)
+print("reaped", code)
+`, pinttest.Options{Preludes: preludes(t)})
+	if !strings.Contains(r.Proc.Output(), "reaped 0") {
+		t.Fatalf("output = %q", r.Proc.Output())
+	}
+	child, ok := r.Kernel.Process(2)
+	if !ok || !strings.Contains(child.Output(), "parent 1") {
+		t.Fatalf("worker did not run in a child process")
+	}
+}
+
+func TestPoolMapSquares(t *testing.T) {
+	r := pinttest.Run(t, `
+func square(x) {
+    return x * x
+}
+pool = mp_pool(4)
+out = mp_pool_map(pool, "square", [1, 2, 3, 4, 5, 6, 7, 8])
+mp_pool_close(pool)
+print(out)
+`, pinttest.Options{Preludes: preludes(t)})
+	if !strings.Contains(r.Proc.Output(), "[1, 4, 9, 16, 25, 36, 49, 64]") {
+		t.Fatalf("output = %q", r.Proc.Output())
+	}
+}
+
+func TestPoolWorkersAreRealProcesses(t *testing.T) {
+	r := pinttest.Run(t, `
+func who(x) {
+    return getpid()
+}
+pool = mp_pool(3)
+out = mp_pool_map(pool, "who", [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11])
+mp_pool_close(pool)
+d = {}
+for pid in out {
+    d[pid] = true
+}
+if len(d) > 1 {
+    print("spread ok")
+}
+for pid in d.keys() {
+    if pid == getpid() {
+        print("BUG: task ran in parent")
+    }
+}
+`, pinttest.Options{Preludes: preludes(t)})
+	out := r.Proc.Output()
+	if strings.Contains(out, "BUG") {
+		t.Fatalf("tasks ran in the parent process: %q", out)
+	}
+	if !strings.Contains(out, "spread ok") {
+		t.Logf("tasks all landed on one worker (legal but unusual): %q", out)
+	}
+}
+
+func TestPoolSubmitAndResultAsync(t *testing.T) {
+	r := pinttest.Run(t, `
+func double(x) {
+    return x + x
+}
+pool = mp_pool(2)
+mp_pool_submit(pool, 100, "double", 21)
+r = mp_pool_result(pool)
+print("id", r[0], "val", r[1])
+mp_pool_close(pool)
+`, pinttest.Options{Preludes: preludes(t)})
+	if !strings.Contains(r.Proc.Output(), "id 100 val 42") {
+		t.Fatalf("output = %q", r.Proc.Output())
+	}
+}
+
+func TestPoolMapManyTasks(t *testing.T) {
+	r := pinttest.Run(t, `
+func inc(x) {
+    return x + 1
+}
+items = []
+for i in range(16) {
+    items.push(i)
+}
+pool = mp_pool(4)
+out = mp_pool_map(pool, "inc", items)
+mp_pool_close(pool)
+total = 0
+for v in out {
+    total += v
+}
+print("total", total)
+`, pinttest.Options{Preludes: preludes(t)})
+	if !strings.Contains(r.Proc.Output(), "total 136") {
+		t.Fatalf("output = %q", r.Proc.Output())
+	}
+}
+
+func TestPoolMapComplexPayloads(t *testing.T) {
+	// Tasks and results are pickled across the queue: exercise nested
+	// containers both ways.
+	r := pinttest.Run(t, `
+func summarize(rec) {
+    return {"name": rec["name"], "n": len(rec["vals"])}
+}
+pool = mp_pool(2)
+out = mp_pool_map(pool, "summarize", [
+    {"name": "a", "vals": [1, 2, 3]},
+    {"name": "b", "vals": []},
+])
+mp_pool_close(pool)
+print(out[0]["name"], out[0]["n"], out[1]["name"], out[1]["n"])
+`, pinttest.Options{Preludes: preludes(t)})
+	if !strings.Contains(r.Proc.Output(), "a 3 b 0") {
+		t.Fatalf("output = %q", r.Proc.Output())
+	}
+}

@@ -1,0 +1,299 @@
+// Package parallelgem reproduces the Ruby `parallel` gem at the two
+// versions the paper discusses (§6.4, "Finding errors in Ruby libraries"):
+//
+//   - 0.5.9 (buggy): each worker *thread* creates its own pipe pair and
+//     forks its child itself. Forks therefore interleave with sibling
+//     pipe creation, so children inherit copies of sibling pipes they
+//     never close. A child waiting for EOF on its task pipe never sees it
+//     (a sibling child still holds a write end) and the workers deadlock —
+//     "the debuggee processes get into a deadlock situation due to the
+//     failure in closing input pipe of the child process".
+//
+//   - 0.5.11 (fixed): "the forks must be done sequentially by the main
+//     thread, not by the threads that interact with the child processes.
+//     By doing so, each of the forked processes can close the copied but
+//     unused pipes (for sibling processes)."
+//
+// Both versions ship as pint preludes so debugging them exercises the same
+// machinery Dionea used on the original gem.
+package parallelgem
+
+import (
+	"sync"
+
+	"dionea/internal/bytecode"
+	"dionea/internal/compiler"
+)
+
+// SourceBuggy is the 0.5.9-style implementation.
+//
+// Protocol per worker: the parent thread writes every task into the
+// child's task pipe and closes it; the child reads tasks until EOF,
+// computes all results, writes them to the result pipe and exits. Because
+// the child only starts *writing* after it has seen EOF on its task pipe,
+// a leaked sibling write end wedges the whole worker pair.
+const SourceBuggy = `# parallel gem 0.5.9 (buggy): forks happen in the worker threads,
+# interleaved with sibling pipe creation.
+
+func _pg_child_loop(task_r, res_w) {
+    items = []
+    while true {
+        t = task_r.read()
+        if t == nil {
+            break
+        }
+        items.push(t)
+    }
+    for t in items {
+        f = resolve(t[1])
+        res_w.write([t[0], f(t[2])])
+    }
+    res_w.close()
+}
+
+func _pg_worker_thread(fname, chunk, base, results_out) {
+    ends = pipe_new()
+    task_r = ends[0]
+    task_w = ends[1]
+    ends2 = pipe_new()
+    res_r = ends2[0]
+    res_w = ends2[1]
+    pid = fork do
+        task_w.close()
+        res_r.close()
+        _pg_child_loop(task_r, res_w)
+    end
+    task_r.close()
+    res_w.close()
+    i = 0
+    for it in chunk {
+        task_w.write([base + i, fname, it])
+        i += 1
+    }
+    task_w.close()
+    while true {
+        r = res_r.read()
+        if r == nil {
+            break
+        }
+        results_out.push(r)
+    }
+    res_r.close()
+    waitpid(pid)
+}
+
+func parallel_map_buggy(fname, items, nworkers) {
+    results_out = queue_new()
+    threads = []
+    chunks = _pg_chunks(items, nworkers)
+    base = 0
+    for w in range(nworkers) {
+        # Loop state is passed as spawn arguments: the thread body runs
+        # after the loop has moved on, so captures of w/base would race.
+        threads.push(spawn(chunks[w], base) do |chunk, b|
+            _pg_worker_thread(fname, chunk, b, results_out)
+        end)
+        base += len(chunks[w])
+    }
+    for th in threads {
+        th.join()
+    }
+    return _pg_collect(results_out, len(items))
+}
+
+func _pg_chunks(items, n) {
+    # Contiguous chunks, so chunk bases yield the original item index.
+    chunks = []
+    for i in range(n) {
+        chunks.push([])
+    }
+    if len(items) == 0 {
+        return chunks
+    }
+    per = (len(items) + n - 1) / n
+    i = 0
+    for it in items {
+        chunks[i / per].push(it)
+        i += 1
+    }
+    return chunks
+}
+
+func _pg_collect(q, n) {
+    out = []
+    for i in range(n) {
+        out.push(nil)
+    }
+    while true {
+        r = q.try_pop()
+        if r == nil {
+            break
+        }
+        out[r[0]] = r[1]
+    }
+    return out
+}
+`
+
+// SourceFixed is the 0.5.11-style implementation: the main thread creates
+// every pipe pair first, forks all children sequentially, and each child
+// closes the copied-but-unused sibling ends before working; only then do
+// the interaction threads start.
+const SourceFixed = `# parallel gem 0.5.11 (fixed): sequential forks by the main thread;
+# children close the copied but unused sibling pipes.
+
+func _pg_child_loop_fixed(task_r, res_w) {
+    items = []
+    while true {
+        t = task_r.read()
+        if t == nil {
+            break
+        }
+        items.push(t)
+    }
+    for t in items {
+        f = resolve(t[1])
+        res_w.write([t[0], f(t[2])])
+    }
+    res_w.close()
+}
+
+func parallel_map_fixed(fname, items, nworkers) {
+    chunks = _pg_chunks_fixed(items, nworkers)
+    # 1. All pipes first, so every child can know about every sibling end.
+    # NB the temporaries are named tp/rp, NOT t/r: a name bound in this
+    # function scope would be captured by the interaction-thread blocks
+    # below (assignment updates the nearest enclosing binding), turning
+    # their per-thread locals into shared state — a data race of exactly
+    # the kind this library exists to avoid.
+    all_ends = []
+    for w in range(nworkers) {
+        tp = pipe_new()
+        rp = pipe_new()
+        all_ends.push([tp[0], tp[1], rp[0], rp[1]])
+    }
+    # 2. Sequential forks by the main thread.
+    pids = []
+    for w in range(nworkers) {
+        mine = all_ends[w]
+        pid = fork do
+            # Close every sibling end copied into this child.
+            for v in range(nworkers) {
+                if v != w {
+                    other = all_ends[v]
+                    other[0].close()
+                    other[1].close()
+                    other[2].close()
+                    other[3].close()
+                }
+            }
+            mine[1].close()
+            mine[2].close()
+            _pg_child_loop_fixed(mine[0], mine[3])
+        end
+        pids.push(pid)
+    }
+    # 3. Parent closes the child-side ends it does not use.
+    for w in range(nworkers) {
+        all_ends[w][0].close()
+        all_ends[w][3].close()
+    }
+    # 4. Interaction threads (loop state passed as spawn arguments).
+    results_out = queue_new()
+    threads = []
+    base = 0
+    for w in range(nworkers) {
+        threads.push(spawn(chunks[w], base, all_ends[w], pids[w]) do |chunk, b, ends, pid|
+            i = 0
+            for it in chunk {
+                ends[1].write([b + i, fname, it])
+                i += 1
+            }
+            ends[1].close()
+            while true {
+                r = ends[2].read()
+                if r == nil {
+                    break
+                }
+                results_out.push(r)
+            }
+            ends[2].close()
+            waitpid(pid)
+        end)
+        base += len(chunks[w])
+    }
+    for th in threads {
+        th.join()
+    }
+    return _pg_collect_fixed(results_out, len(items))
+}
+
+func _pg_chunks_fixed(items, n) {
+    # Contiguous chunks, so chunk bases yield the original item index.
+    chunks = []
+    for i in range(n) {
+        chunks.push([])
+    }
+    if len(items) == 0 {
+        return chunks
+    }
+    per = (len(items) + n - 1) / n
+    i = 0
+    for it in items {
+        chunks[i / per].push(it)
+        i += 1
+    }
+    return chunks
+}
+
+func _pg_collect_fixed(q, n) {
+    out = []
+    for i in range(n) {
+        out.push(nil)
+    }
+    while true {
+        r = q.try_pop()
+        if r == nil {
+            break
+        }
+        out[r[0]] = r[1]
+    }
+    return out
+}
+`
+
+var (
+	onceB, onceF   sync.Once
+	protoB, protoF *bytecode.FuncProto
+	errB, errF     error
+)
+
+// PreludeBuggy returns the compiled 0.5.9-style module.
+func PreludeBuggy() (*bytecode.FuncProto, error) {
+	onceB.Do(func() { protoB, errB = compiler.CompileSource(SourceBuggy, "<parallel-0.5.9>") })
+	return protoB, errB
+}
+
+// PreludeFixed returns the compiled 0.5.11-style module.
+func PreludeFixed() (*bytecode.FuncProto, error) {
+	onceF.Do(func() { protoF, errF = compiler.CompileSource(SourceFixed, "<parallel-0.5.11>") })
+	return protoF, errF
+}
+
+// MustPreludeBuggy panics on compile failure (constant source).
+func MustPreludeBuggy() *bytecode.FuncProto {
+	p, err := PreludeBuggy()
+	if err != nil {
+		panic("parallelgem: buggy prelude does not compile: " + err.Error())
+	}
+	return p
+}
+
+// MustPreludeFixed panics on compile failure (constant source).
+func MustPreludeFixed() *bytecode.FuncProto {
+	p, err := PreludeFixed()
+	if err != nil {
+		panic("parallelgem: fixed prelude does not compile: " + err.Error())
+	}
+	return p
+}

@@ -1,0 +1,507 @@
+// Package parser builds a pint AST from a token stream.
+//
+// Grammar sketch (newline-terminated statements, brace blocks, Ruby-style
+// trailing do-blocks on calls):
+//
+//	program   := stmt*
+//	stmt      := funcdef | if | while | for | return | break | continue
+//	           | assign | exprstmt
+//	funcdef   := "func" IDENT "(" params ")" block
+//	if        := "if" expr block ("elif" expr block)* ("else" block)?
+//	while     := "while" expr block
+//	for       := "for" IDENT "in" expr block
+//	assign    := target ("=" | "+=" | "-=") expr
+//	block     := "{" stmt* "}"
+//	expr      := or
+//	or        := and ("or" and)*
+//	and       := not ("and" not)*
+//	not       := ("not"|"!") not | cmp
+//	cmp       := add (("=="|"!="|"<"|">"|"<="|">=") add)*
+//	add       := mul (("+"|"-") mul)*
+//	mul       := unary (("*"|"/"|"%") unary)*
+//	unary     := "-" unary | postfix
+//	postfix   := primary ( "(" args ")" doblock? | "[" expr "]" | "." IDENT )*
+//	primary   := literal | IDENT | list | dict | "(" expr ")" | funclit
+//	funclit   := "func" "(" params ")" block
+//	doblock   := "do" ("|" params "|")? stmt* "end"
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"dionea/internal/ast"
+	"dionea/internal/lexer"
+	"dionea/internal/token"
+)
+
+// Parser consumes tokens from a lexer and produces an AST.
+type Parser struct {
+	lx   *lexer.Lexer
+	cur  token.Token
+	peek token.Token
+	errs []error
+}
+
+// New returns a parser over the given lexer.
+func New(lx *lexer.Lexer) *Parser {
+	p := &Parser{lx: lx}
+	p.next()
+	p.next()
+	return p
+}
+
+// Parse parses source text in one call.
+func Parse(src string) (*ast.Program, error) {
+	lx := lexer.New(src)
+	p := New(lx)
+	prog := p.ParseProgram()
+	if errs := append(lx.Errors(), p.errs...); len(errs) > 0 {
+		return nil, errs[0]
+	}
+	return prog, nil
+}
+
+// Errors returns accumulated parse errors.
+func (p *Parser) Errors() []error { return p.errs }
+
+func (p *Parser) next() {
+	p.cur = p.peek
+	p.peek = p.lx.Next()
+}
+
+func (p *Parser) errorf(format string, args ...interface{}) {
+	p.errs = append(p.errs, fmt.Errorf("parse line %d: %s", p.cur.Line, fmt.Sprintf(format, args...)))
+}
+
+func (p *Parser) expect(t token.Type) token.Token {
+	if p.cur.Type != t {
+		p.errorf("expected %s, got %s", t, p.cur)
+		// Do not consume: let the caller's recovery skip.
+		return token.Token{Type: t, Line: p.cur.Line}
+	}
+	tok := p.cur
+	p.next()
+	return tok
+}
+
+func (p *Parser) skipNewlines() {
+	for p.cur.Type == token.NEWLINE {
+		p.next()
+	}
+}
+
+// ParseProgram parses until EOF.
+func (p *Parser) ParseProgram() *ast.Program {
+	prog := &ast.Program{}
+	p.skipNewlines()
+	for p.cur.Type != token.EOF {
+		before := p.cur
+		s := p.parseStmt()
+		if s != nil {
+			prog.Stmts = append(prog.Stmts, s)
+		}
+		p.skipNewlines()
+		if p.cur == before && p.cur.Type != token.EOF {
+			// No progress: skip the offending token to avoid livelock.
+			p.next()
+			p.skipNewlines()
+		}
+	}
+	return prog
+}
+
+func (p *Parser) parseStmt() ast.Stmt {
+	switch p.cur.Type {
+	case token.FUNC:
+		// `func name(...)` is a definition; `func (...)` is a literal in
+		// an expression statement.
+		if p.peek.Type == token.IDENT {
+			return p.parseFuncDef()
+		}
+		return p.parseSimpleStmt()
+	case token.IF:
+		return p.parseIf()
+	case token.WHILE:
+		return p.parseWhile()
+	case token.FOR:
+		return p.parseFor()
+	case token.RETURN:
+		line := p.cur.Line
+		p.next()
+		if p.cur.Type == token.NEWLINE || p.cur.Type == token.RBRACE ||
+			p.cur.Type == token.END || p.cur.Type == token.EOF {
+			return &ast.ReturnStmt{Line: line}
+		}
+		return &ast.ReturnStmt{Line: line, Value: p.parseExpr()}
+	case token.BREAK:
+		line := p.cur.Line
+		p.next()
+		return &ast.BreakStmt{Line: line}
+	case token.CONTINUE:
+		line := p.cur.Line
+		p.next()
+		return &ast.ContinueStmt{Line: line}
+	default:
+		return p.parseSimpleStmt()
+	}
+}
+
+// parseSimpleStmt parses assignments and expression statements.
+func (p *Parser) parseSimpleStmt() ast.Stmt {
+	line := p.cur.Line
+	x := p.parseExpr()
+	switch p.cur.Type {
+	case token.ASSIGN, token.PLUSEQ, token.MINUSEQ:
+		op := p.cur.Type
+		p.next()
+		switch x.(type) {
+		case *ast.Ident, *ast.Index:
+		default:
+			p.errorf("cannot assign to %s", x)
+		}
+		val := p.parseExpr()
+		return &ast.AssignStmt{Line: line, Target: x, Op: op, Value: val}
+	}
+	return &ast.ExprStmt{X: x}
+}
+
+func (p *Parser) parseFuncDef() ast.Stmt {
+	line := p.cur.Line
+	p.expect(token.FUNC)
+	name := p.expect(token.IDENT).Literal
+	params := p.parseParams()
+	body := p.parseBlock()
+	return &ast.FuncStmt{Line: line, Name: name, Params: params, Body: body}
+}
+
+func (p *Parser) parseParams() []string {
+	p.expect(token.LPAREN)
+	var params []string
+	for p.cur.Type != token.RPAREN && p.cur.Type != token.EOF {
+		params = append(params, p.expect(token.IDENT).Literal)
+		if p.cur.Type == token.COMMA {
+			p.next()
+		} else {
+			break
+		}
+	}
+	p.expect(token.RPAREN)
+	return params
+}
+
+func (p *Parser) parseBlock() *ast.Block {
+	line := p.cur.Line
+	p.expect(token.LBRACE)
+	blk := &ast.Block{Line: line}
+	p.skipNewlines()
+	for p.cur.Type != token.RBRACE && p.cur.Type != token.EOF {
+		before := p.cur
+		s := p.parseStmt()
+		if s != nil {
+			blk.Stmts = append(blk.Stmts, s)
+		}
+		p.skipNewlines()
+		if p.cur == before && p.cur.Type != token.RBRACE && p.cur.Type != token.EOF {
+			p.next()
+			p.skipNewlines()
+		}
+	}
+	p.expect(token.RBRACE)
+	return blk
+}
+
+func (p *Parser) parseIf() ast.Stmt {
+	line := p.cur.Line
+	p.next() // if / elif
+	cond := p.parseExpr()
+	then := p.parseBlock()
+	st := &ast.IfStmt{Line: line, Cond: cond, Then: then}
+	p.skipNewlinesBeforeElse()
+	switch p.cur.Type {
+	case token.ELIF:
+		st.Else = p.parseIf() // parseIf consumes ELIF like IF
+	case token.ELSE:
+		p.next()
+		st.Else = p.parseBlock()
+	}
+	return st
+}
+
+// skipNewlinesBeforeElse allows `}` NEWLINE `else` layouts.
+func (p *Parser) skipNewlinesBeforeElse() {
+	if p.cur.Type != token.NEWLINE {
+		return
+	}
+	if p.peek.Type == token.ELSE || p.peek.Type == token.ELIF {
+		p.next()
+	}
+}
+
+func (p *Parser) parseWhile() ast.Stmt {
+	line := p.cur.Line
+	p.expect(token.WHILE)
+	cond := p.parseExpr()
+	body := p.parseBlock()
+	return &ast.WhileStmt{Line: line, Cond: cond, Body: body}
+}
+
+func (p *Parser) parseFor() ast.Stmt {
+	line := p.cur.Line
+	p.expect(token.FOR)
+	name := p.expect(token.IDENT).Literal
+	p.expect(token.IN)
+	iter := p.parseExpr()
+	body := p.parseBlock()
+	return &ast.ForStmt{Line: line, Var: name, Iter: iter, Body: body}
+}
+
+// ---- expressions ----
+
+func (p *Parser) parseExpr() ast.Expr { return p.parseOr() }
+
+func (p *Parser) parseOr() ast.Expr {
+	x := p.parseAnd()
+	for p.cur.Type == token.OR {
+		line := p.cur.Line
+		p.next()
+		x = &ast.Binary{Line: line, Op: token.OR, L: x, R: p.parseAnd()}
+	}
+	return x
+}
+
+func (p *Parser) parseAnd() ast.Expr {
+	x := p.parseNot()
+	for p.cur.Type == token.AND {
+		line := p.cur.Line
+		p.next()
+		x = &ast.Binary{Line: line, Op: token.AND, L: x, R: p.parseNot()}
+	}
+	return x
+}
+
+func (p *Parser) parseNot() ast.Expr {
+	if p.cur.Type == token.NOT || p.cur.Type == token.BANG {
+		line := p.cur.Line
+		p.next()
+		return &ast.Unary{Line: line, Op: token.NOT, X: p.parseNot()}
+	}
+	return p.parseCmp()
+}
+
+func (p *Parser) parseCmp() ast.Expr {
+	x := p.parseAdd()
+	for {
+		switch p.cur.Type {
+		case token.EQ, token.NEQ, token.LT, token.GT, token.LE, token.GE:
+			op := p.cur.Type
+			line := p.cur.Line
+			p.next()
+			x = &ast.Binary{Line: line, Op: op, L: x, R: p.parseAdd()}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parseAdd() ast.Expr {
+	x := p.parseMul()
+	for p.cur.Type == token.PLUS || p.cur.Type == token.MINUS {
+		op := p.cur.Type
+		line := p.cur.Line
+		p.next()
+		x = &ast.Binary{Line: line, Op: op, L: x, R: p.parseMul()}
+	}
+	return x
+}
+
+func (p *Parser) parseMul() ast.Expr {
+	x := p.parseUnary()
+	for p.cur.Type == token.STAR || p.cur.Type == token.SLASH || p.cur.Type == token.PERCENT {
+		op := p.cur.Type
+		line := p.cur.Line
+		p.next()
+		x = &ast.Binary{Line: line, Op: op, L: x, R: p.parseUnary()}
+	}
+	return x
+}
+
+func (p *Parser) parseUnary() ast.Expr {
+	if p.cur.Type == token.MINUS {
+		line := p.cur.Line
+		p.next()
+		return &ast.Unary{Line: line, Op: token.MINUS, X: p.parseUnary()}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() ast.Expr {
+	x := p.parsePrimary()
+	for {
+		switch p.cur.Type {
+		case token.LPAREN:
+			line := p.cur.Line
+			p.next()
+			var args []ast.Expr
+			for p.cur.Type != token.RPAREN && p.cur.Type != token.EOF {
+				args = append(args, p.parseExpr())
+				if p.cur.Type == token.COMMA {
+					p.next()
+				} else {
+					break
+				}
+			}
+			p.expect(token.RPAREN)
+			call := &ast.Call{Line: line, Callee: x, Args: args}
+			if p.cur.Type == token.DO {
+				call.Block = p.parseDoBlock()
+			}
+			x = call
+		case token.DO:
+			// Paren-less call with a trailing block: `fork do ... end`.
+			if id, ok := x.(*ast.Ident); ok {
+				call := &ast.Call{Line: id.Line, Callee: x}
+				call.Block = p.parseDoBlock()
+				x = call
+			} else if at, ok := x.(*ast.Attr); ok {
+				call := &ast.Call{Line: at.Line, Callee: x}
+				call.Block = p.parseDoBlock()
+				x = call
+			} else {
+				return x
+			}
+		case token.LBRACKET:
+			line := p.cur.Line
+			p.next()
+			idx := p.parseExpr()
+			p.expect(token.RBRACKET)
+			x = &ast.Index{Line: line, X: x, Idx: idx}
+		case token.DOT:
+			line := p.cur.Line
+			p.next()
+			name := p.expect(token.IDENT).Literal
+			x = &ast.Attr{Line: line, X: x, Name: name}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parseDoBlock() *ast.FuncLit {
+	line := p.cur.Line
+	p.expect(token.DO)
+	fl := &ast.FuncLit{Line: line}
+	p.skipNewlines()
+	if p.cur.Type == token.PIPE {
+		p.next()
+		for p.cur.Type != token.PIPE && p.cur.Type != token.EOF {
+			fl.Params = append(fl.Params, p.expect(token.IDENT).Literal)
+			if p.cur.Type == token.COMMA {
+				p.next()
+			} else {
+				break
+			}
+		}
+		p.expect(token.PIPE)
+	}
+	blk := &ast.Block{Line: line}
+	p.skipNewlines()
+	for p.cur.Type != token.END && p.cur.Type != token.EOF {
+		before := p.cur
+		s := p.parseStmt()
+		if s != nil {
+			blk.Stmts = append(blk.Stmts, s)
+		}
+		p.skipNewlines()
+		if p.cur == before && p.cur.Type != token.END && p.cur.Type != token.EOF {
+			p.next()
+			p.skipNewlines()
+		}
+	}
+	p.expect(token.END)
+	fl.Body = blk
+	return fl
+}
+
+func (p *Parser) parsePrimary() ast.Expr {
+	tok := p.cur
+	switch tok.Type {
+	case token.INT:
+		p.next()
+		v, err := strconv.ParseInt(tok.Literal, 10, 64)
+		if err != nil {
+			p.errorf("bad integer %q: %v", tok.Literal, err)
+		}
+		return &ast.IntLit{Line: tok.Line, Value: v}
+	case token.FLOAT:
+		p.next()
+		v, err := strconv.ParseFloat(tok.Literal, 64)
+		if err != nil {
+			p.errorf("bad float %q: %v", tok.Literal, err)
+		}
+		return &ast.FloatLit{Line: tok.Line, Value: v}
+	case token.STRING:
+		p.next()
+		return &ast.StringLit{Line: tok.Line, Value: tok.Literal}
+	case token.TRUE:
+		p.next()
+		return &ast.BoolLit{Line: tok.Line, Value: true}
+	case token.FALSE:
+		p.next()
+		return &ast.BoolLit{Line: tok.Line, Value: false}
+	case token.NIL:
+		p.next()
+		return &ast.NilLit{Line: tok.Line}
+	case token.IDENT:
+		p.next()
+		return &ast.Ident{Line: tok.Line, Name: tok.Literal}
+	case token.LPAREN:
+		p.next()
+		x := p.parseExpr()
+		p.expect(token.RPAREN)
+		return x
+	case token.LBRACKET:
+		p.next()
+		lst := &ast.ListLit{Line: tok.Line}
+		p.skipNewlines()
+		for p.cur.Type != token.RBRACKET && p.cur.Type != token.EOF {
+			lst.Elems = append(lst.Elems, p.parseExpr())
+			p.skipNewlines()
+			if p.cur.Type == token.COMMA {
+				p.next()
+				p.skipNewlines()
+			} else {
+				break
+			}
+		}
+		p.expect(token.RBRACKET)
+		return lst
+	case token.LBRACE:
+		p.next()
+		d := &ast.DictLit{Line: tok.Line}
+		p.skipNewlines()
+		for p.cur.Type != token.RBRACE && p.cur.Type != token.EOF {
+			d.Keys = append(d.Keys, p.parseExpr())
+			p.expect(token.COLON)
+			d.Values = append(d.Values, p.parseExpr())
+			p.skipNewlines()
+			if p.cur.Type == token.COMMA {
+				p.next()
+				p.skipNewlines()
+			} else {
+				break
+			}
+		}
+		p.expect(token.RBRACE)
+		return d
+	case token.FUNC:
+		p.next()
+		params := p.parseParams()
+		body := p.parseBlock()
+		return &ast.FuncLit{Line: tok.Line, Params: params, Body: body}
+	default:
+		p.errorf("unexpected token %s in expression", tok)
+		p.next()
+		return &ast.NilLit{Line: tok.Line}
+	}
+}

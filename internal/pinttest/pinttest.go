@@ -1,0 +1,97 @@
+// Package pinttest provides shared helpers for tests that compile and run
+// pint programs on a private kernel.
+package pinttest
+
+import (
+	"testing"
+	"time"
+
+	"dionea/internal/bytecode"
+	"dionea/internal/compiler"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+)
+
+// Options tweaks Run.
+type Options struct {
+	// Preludes are library modules to load before the program.
+	Preludes []*bytecode.FuncProto
+	// Timeout bounds the whole run (default 30s).
+	Timeout time.Duration
+	// CheckEvery overrides the GIL checkinterval.
+	CheckEvery int
+	// Setup hooks run on the root process before start.
+	Setup []func(*kernel.Process)
+	// NoWait starts the program without waiting for termination.
+	NoWait bool
+	// ExpectHang inverts the timeout handling: instead of failing the
+	// test, Run returns after Timeout with the kernel still live (used by
+	// the §6.4 pipe-leak reproduction, where the hang IS the bug).
+	ExpectHang bool
+}
+
+// Result is what Run returns.
+type Result struct {
+	Proc   *kernel.Process
+	Kernel *kernel.Kernel
+	// Hung is true when ExpectHang was set and the program did not
+	// terminate within Timeout.
+	Hung bool
+}
+
+// Compile compiles src, failing the test on error.
+func Compile(t testing.TB, src, file string) *bytecode.FuncProto {
+	t.Helper()
+	proto, err := compiler.CompileSource(src, file)
+	if err != nil {
+		t.Fatalf("compile %s: %v", file, err)
+	}
+	return proto
+}
+
+// Run compiles and executes src with the ipc builtins installed and waits
+// for every process to exit.
+func Run(t testing.TB, src string, opt Options) Result {
+	t.Helper()
+	proto := Compile(t, src, "test.pint")
+	k := kernel.New()
+	setup := append([]func(*kernel.Process){ipc.Install}, opt.Setup...)
+	p := k.StartProgram(proto, kernel.Options{
+		Setup:      setup,
+		Preludes:   opt.Preludes,
+		CheckEvery: opt.CheckEvery,
+	})
+	res := Result{Proc: p, Kernel: k}
+	if opt.NoWait {
+		return res
+	}
+	timeout := opt.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		k.WaitAll()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		if opt.ExpectHang {
+			res.Hung = true
+			return res
+		}
+		t.Fatalf("program did not terminate; root output:\n%s", p.Output())
+	}
+	return res
+}
+
+// Terminate kills every live process of a kernel (cleanup after an
+// expected hang).
+func Terminate(k *kernel.Kernel) {
+	for _, p := range k.Processes() {
+		if !p.Exited() {
+			p.Terminate(137)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+// Package protocol defines the wire protocol between a Dionea debug
+// server and the client (paper §4). Per debuggee there are three TCP
+// sockets on loopback:
+//
+//  1. the server's accept socket ("one socket is used to listen and
+//     handle new connections");
+//  2. a source-sync channel, over which the server pushes source text,
+//     position updates and asynchronous events ("one more socket is used
+//     to synchronize the source code");
+//  3. a command channel carrying request/response pairs ("another socket
+//     is used for sending debug commands, e.g., set break point,
+//     continue").
+//
+// Messages are newline-delimited JSON. The relationship is
+// 1 client : N servers and 1 server : 1 client (§4.1).
+package protocol
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Channel roles, declared by the client's hello message on each
+// connection.
+const (
+	ChannelCommand = "command"
+	ChannelSource  = "source"
+)
+
+// Commands (client → server requests on the command channel).
+const (
+	CmdSetBreak   = "set_break"
+	CmdClearBreak = "clear_break"
+	CmdBreaks     = "breaks"
+	CmdContinue   = "continue"
+	CmdStep       = "step"   // step: stop at the next line, entering calls
+	CmdNext       = "next"   // next: stop at the next line in the same frame
+	CmdFinish     = "finish" // finish: run until the current frame returns
+	CmdSuspend    = "suspend"
+	CmdResume     = "resume"
+	// CmdSuspendAll / CmdResumeAll operate over the whole process — §4:
+	// "Dionea can also operate over the whole program, e.g., suspending
+	// all the threads of a multithreaded program."
+	CmdSuspendAll = "suspend_all"
+	CmdResumeAll  = "resume_all"
+	CmdThreads    = "threads"
+	CmdStack      = "stack"
+	CmdVars       = "vars"
+	CmdEval       = "eval"
+	CmdSource     = "source"
+	CmdStdin      = "stdin" // feed a line to the debuggee's standard input
+	CmdDisturb    = "disturb"
+	CmdKill       = "kill"
+	CmdDetach     = "detach"
+	CmdPing       = "ping"
+)
+
+// Events (server → client, on the source channel).
+const (
+	EventHello         = "hello"          // first message on each channel
+	EventStopped       = "stopped"        // a UE parked (breakpoint/step/...)
+	EventResumed       = "resumed"        // a UE continued
+	EventOutput        = "output"         // debuggee stdout
+	EventForked        = "forked"         // a child process was created (§5.3)
+	EventThreadStarted = "thread_started" // new UE in this process
+	EventThreadExited  = "thread_exited"
+	EventProcessExited = "process_exited"
+	EventDeadlock      = "deadlock" // fatal deadlock diagnosed (Figure 7)
+	EventFatal         = "fatal"    // interpreter abort message (Listing 6)
+	EventSourceSync    = "source"   // source text for a file
+)
+
+// Stop reasons carried by EventStopped.
+const (
+	StopBreakpoint = "breakpoint"
+	StopStep       = "step"
+	StopSuspend    = "suspend"
+	StopDisturb    = "disturb"
+	StopDeadlock   = "deadlock"
+)
+
+// ThreadInfo describes one UE for the client's processes-and-threads view
+// (Figure 2).
+type ThreadInfo struct {
+	TID    int64  `json:"tid"`
+	Name   string `json:"name"`
+	Main   bool   `json:"main"`
+	State  string `json:"state"`
+	Reason string `json:"reason,omitempty"`
+	Line   int    `json:"line"`
+}
+
+// FrameInfo describes one stack frame.
+type FrameInfo struct {
+	Func string `json:"func"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+}
+
+// VarInfo is one binding in the variables view.
+type VarInfo struct {
+	Name  string `json:"name"`
+	Type  string `json:"type"`
+	Value string `json:"value"`
+}
+
+// Msg is the single wire message shape for requests, responses and
+// events.
+type Msg struct {
+	// Kind is "req", "resp" or "event".
+	Kind string `json:"kind"`
+	// ID correlates requests and responses.
+	ID int64 `json:"id,omitempty"`
+	// Cmd is the command (requests) or event name (events).
+	Cmd string `json:"cmd"`
+
+	// Common addressing.
+	PID  int64  `json:"pid,omitempty"`
+	TID  int64  `json:"tid,omitempty"`
+	File string `json:"file,omitempty"`
+	Line int    `json:"line,omitempty"`
+	// Cond is an optional breakpoint condition, "NAME OP LITERAL" (e.g.
+	// "i == 3", `w == "fork"`); the breakpoint fires only when it holds.
+	Cond string `json:"cond,omitempty"`
+
+	// Payloads.
+	Channel string       `json:"channel,omitempty"` // hello
+	Reason  string       `json:"reason,omitempty"`  // stopped
+	Text    string       `json:"text,omitempty"`    // output/source/eval/fatal
+	Code    int          `json:"code,omitempty"`    // process_exited
+	Child   int64        `json:"child,omitempty"`   // forked
+	On      bool         `json:"on,omitempty"`      // disturb
+	Threads []ThreadInfo `json:"threads,omitempty"`
+	Frames  []FrameInfo  `json:"frames,omitempty"`
+	Vars    []VarInfo    `json:"vars,omitempty"`
+	Lines   []int        `json:"lines,omitempty"` // breaks
+
+	// Response status.
+	OK  bool   `json:"ok,omitempty"`
+	Err string `json:"err,omitempty"`
+}
+
+// Conn wraps a net.Conn with line-oriented JSON framing and a write lock.
+type Conn struct {
+	c  net.Conn
+	r  *bufio.Reader
+	wm sync.Mutex
+}
+
+// NewConn wraps c.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{c: c, r: bufio.NewReader(c)}
+}
+
+// Send writes one message.
+func (c *Conn) Send(m *Msg) error {
+	b, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("protocol: marshal: %w", err)
+	}
+	b = append(b, '\n')
+	c.wm.Lock()
+	defer c.wm.Unlock()
+	_, err = c.c.Write(b)
+	return err
+}
+
+// Recv reads one message (blocking).
+func (c *Conn) Recv() (*Msg, error) {
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	var m Msg
+	if err := json.Unmarshal(line, &m); err != nil {
+		return nil, fmt.Errorf("protocol: unmarshal %q: %w", line, err)
+	}
+	return &m, nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// PortFileName is the temp-file name that carries the debug-server port of
+// a process — the handoff mechanism of Figures 5/6: "Dionea's fork
+// handlers use a temporary file, where the port number of the most
+// recently created process is saved."
+func PortFileName(sessionID string, pid int64) string {
+	return fmt.Sprintf("dionea-%s-port-%d", sessionID, pid)
+}

@@ -1,0 +1,112 @@
+package protocol_test
+
+import (
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dionea/internal/protocol"
+)
+
+func pipePair(t *testing.T) (*protocol.Conn, *protocol.Conn) {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	return protocol.NewConn(c1), protocol.NewConn(c2)
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	a, b := pipePair(t)
+	defer a.Close()
+	defer b.Close()
+	want := &protocol.Msg{
+		Kind: "req", ID: 7, Cmd: protocol.CmdSetBreak,
+		PID: 3, TID: 9, File: "prog.pint", Line: 42,
+		Threads: []protocol.ThreadInfo{{TID: 9, Name: "main", Main: true, State: "running", Line: 41}},
+		Frames:  []protocol.FrameInfo{{Func: "<main>", File: "prog.pint", Line: 41}},
+		Vars:    []protocol.VarInfo{{Name: "x", Type: "int", Value: "1"}},
+		Lines:   []int{1, 2, 3},
+		OK:      true,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- a.Send(want) }()
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRecvRejectsGarbage(t *testing.T) {
+	c1, c2 := net.Pipe()
+	conn := protocol.NewConn(c2)
+	go func() {
+		_, _ = c1.Write([]byte("this is not json\n"))
+	}()
+	if _, err := conn.Recv(); err == nil {
+		t.Fatalf("garbage accepted")
+	}
+	_ = c1.Close()
+	_ = c2.Close()
+}
+
+func TestMultipleMessagesFramed(t *testing.T) {
+	a, b := pipePair(t)
+	defer a.Close()
+	defer b.Close()
+	go func() {
+		for i := 1; i <= 3; i++ {
+			_ = a.Send(&protocol.Msg{Kind: "event", Cmd: protocol.EventOutput, ID: int64(i)})
+		}
+	}()
+	for i := 1; i <= 3; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.ID != int64(i) {
+			t.Fatalf("order broken: got %d want %d", m.ID, i)
+		}
+	}
+}
+
+func TestPortFileName(t *testing.T) {
+	n := protocol.PortFileName("sess", 12)
+	if !strings.Contains(n, "sess") || !strings.Contains(n, "12") {
+		t.Fatalf("name = %q", n)
+	}
+	if n == protocol.PortFileName("sess", 13) {
+		t.Fatalf("collision across pids")
+	}
+	if n == protocol.PortFileName("other", 12) {
+		t.Fatalf("collision across sessions")
+	}
+}
+
+// Property: messages with arbitrary text payloads (including newlines and
+// control characters, which must be escaped by the JSON framing) survive
+// the wire.
+func TestTextPayloadProperty(t *testing.T) {
+	f := func(text string, pid int64, line int) bool {
+		a, b := pipePair(t)
+		defer a.Close()
+		defer b.Close()
+		want := &protocol.Msg{Kind: "event", Cmd: protocol.EventOutput, PID: pid, Line: line, Text: text}
+		errc := make(chan error, 1)
+		go func() { errc <- a.Send(want) }()
+		got, err := b.Recv()
+		if err != nil || <-errc != nil {
+			return false
+		}
+		return got.Text == text && got.PID == pid && got.Line == line
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+// Package token defines the lexical tokens of the pint language, the
+// small dynamic language interpreted by this repository's simulated
+// CPython/CRuby substrate.
+package token
+
+import "fmt"
+
+// Type identifies the lexical class of a token.
+type Type int
+
+// Token types. Keyword types appear after keywordBegin.
+const (
+	ILLEGAL Type = iota
+	EOF
+	NEWLINE
+
+	// Literals and identifiers.
+	IDENT  // x, queue, word_count
+	INT    // 42
+	FLOAT  // 3.14
+	STRING // "hello"
+
+	// Operators and delimiters.
+	ASSIGN   // =
+	PLUS     // +
+	MINUS    // -
+	STAR     // *
+	SLASH    // /
+	PERCENT  // %
+	EQ       // ==
+	NEQ      // !=
+	LT       // <
+	GT       // >
+	LE       // <=
+	GE       // >=
+	BANG     // !
+	LPAREN   // (
+	RPAREN   // )
+	LBRACKET // [
+	RBRACKET // ]
+	LBRACE   // {
+	RBRACE   // }
+	COMMA    // ,
+	COLON    // :
+	DOT      // .
+	PLUSEQ   // +=
+	MINUSEQ  // -=
+	PIPE     // |  (delimits do-block parameters: do |x| ... end)
+
+	keywordBegin
+	FUNC     // func
+	RETURN   // return
+	IF       // if
+	ELIF     // elif
+	ELSE     // else
+	WHILE    // while
+	FOR      // for
+	IN       // in
+	BREAK    // break
+	CONTINUE // continue
+	AND      // and
+	OR       // or
+	NOT      // not
+	TRUE     // true
+	FALSE    // false
+	NIL      // nil
+	DO       // do   (Ruby-style block opener, used by fork do ... end)
+	END      // end  (closes do-blocks)
+	keywordEnd
+)
+
+var names = map[Type]string{
+	ILLEGAL:  "ILLEGAL",
+	EOF:      "EOF",
+	NEWLINE:  "NEWLINE",
+	IDENT:    "IDENT",
+	INT:      "INT",
+	FLOAT:    "FLOAT",
+	STRING:   "STRING",
+	ASSIGN:   "=",
+	PLUS:     "+",
+	MINUS:    "-",
+	STAR:     "*",
+	SLASH:    "/",
+	PERCENT:  "%",
+	EQ:       "==",
+	NEQ:      "!=",
+	LT:       "<",
+	GT:       ">",
+	LE:       "<=",
+	GE:       ">=",
+	BANG:     "!",
+	LPAREN:   "(",
+	RPAREN:   ")",
+	LBRACKET: "[",
+	RBRACKET: "]",
+	LBRACE:   "{",
+	RBRACE:   "}",
+	COMMA:    ",",
+	COLON:    ":",
+	DOT:      ".",
+	PLUSEQ:   "+=",
+	MINUSEQ:  "-=",
+	PIPE:     "|",
+	FUNC:     "func",
+	RETURN:   "return",
+	IF:       "if",
+	ELIF:     "elif",
+	ELSE:     "else",
+	WHILE:    "while",
+	FOR:      "for",
+	IN:       "in",
+	BREAK:    "break",
+	CONTINUE: "continue",
+	AND:      "and",
+	OR:       "or",
+	NOT:      "not",
+	TRUE:     "true",
+	FALSE:    "false",
+	NIL:      "nil",
+	DO:       "do",
+	END:      "end",
+}
+
+// String returns the printable name of the token type.
+func (t Type) String() string {
+	if s, ok := names[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// IsKeyword reports whether the type is a reserved word.
+func (t Type) IsKeyword() bool { return t > keywordBegin && t < keywordEnd }
+
+var keywords = func() map[string]Type {
+	m := make(map[string]Type)
+	for t := keywordBegin + 1; t < keywordEnd; t++ {
+		m[names[t]] = t
+	}
+	return m
+}()
+
+// Lookup maps an identifier to its keyword type, or IDENT if it is not a
+// reserved word.
+func Lookup(ident string) Type {
+	if t, ok := keywords[ident]; ok {
+		return t
+	}
+	return IDENT
+}
+
+// Keywords returns the set of reserved words of the language. The §7
+// word-count workload needs it: the paper maps "words that contain only
+// letters and are not reserved words".
+func Keywords() []string {
+	out := make([]string, 0, len(keywords))
+	for k := range keywords {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Token is a lexical token with its source position.
+type Token struct {
+	Type    Type
+	Literal string
+	Line    int // 1-based line number
+	Col     int // 1-based column of the first character
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Type {
+	case IDENT, INT, FLOAT, STRING, ILLEGAL:
+		return fmt.Sprintf("%s(%q)@%d:%d", t.Type, t.Literal, t.Line, t.Col)
+	default:
+		return fmt.Sprintf("%s@%d:%d", t.Type, t.Line, t.Col)
+	}
+}

@@ -1,0 +1,521 @@
+// Package value defines pint runtime values and the deep-copy machinery
+// used by the simulated fork(2): forking a process copies its entire object
+// graph (globals, environments, lists, dicts, closures) while preserving
+// aliasing *within* the copy and sharing nothing with the parent — exactly
+// the memory semantics a real fork gives a real interpreter.
+//
+// The Value interface is open: other packages add their own value types
+// (builtins, bound methods, mutexes, queues, pipe ends). A type controls
+// its fork behaviour by implementing Copier; types that do not are treated
+// as immutable and shared.
+package value
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dionea/internal/bytecode"
+)
+
+// Value is any pint runtime value.
+type Value interface {
+	// TypeName is the user-visible type name ("int", "list", "queue", ...).
+	TypeName() string
+	// Truthy reports the boolean interpretation (nil and false are falsy;
+	// everything else, including 0 and "", is truthy, as in Ruby).
+	Truthy() bool
+	// String renders the value for print/inspection.
+	String() string
+}
+
+// Memo tracks already-copied reference objects during a fork deep copy so
+// aliasing inside the copied graph is preserved and cycles terminate.
+type Memo map[interface{}]Value
+
+// Copier is implemented by mutable or resource-like values that need
+// special treatment when a process forks. In-process objects (lists,
+// dicts, mutexes, inter-thread queues) return an independent copy;
+// inherited kernel resources (pipe ends) return a new handle that shares
+// the underlying kernel object, like a dup'ed file descriptor.
+type Copier interface {
+	Value
+	DeepCopy(m Memo) Value
+}
+
+// DeepCopy copies v for a fork. Non-Copier values are immutable and
+// returned as-is.
+func DeepCopy(v Value, m Memo) Value {
+	if v == nil {
+		return nil
+	}
+	if c, ok := v.(Copier); ok {
+		return c.DeepCopy(m)
+	}
+	return v
+}
+
+// ---- scalars ----
+
+// Nil is the single nil value.
+type Nil struct{}
+
+// TypeName implements Value.
+func (Nil) TypeName() string { return "nil" }
+
+// Truthy implements Value.
+func (Nil) Truthy() bool { return false }
+
+func (Nil) String() string { return "nil" }
+
+// NilV is the canonical nil.
+var NilV = Nil{}
+
+// Bool is a boolean value.
+type Bool bool
+
+// TypeName implements Value.
+func (Bool) TypeName() string { return "bool" }
+
+// Truthy implements Value.
+func (b Bool) Truthy() bool { return bool(b) }
+
+func (b Bool) String() string {
+	if b {
+		return "true"
+	}
+	return "false"
+}
+
+// Int is a 64-bit integer.
+type Int int64
+
+// TypeName implements Value.
+func (Int) TypeName() string { return "int" }
+
+// Truthy implements Value.
+func (Int) Truthy() bool { return true }
+
+func (i Int) String() string { return fmt.Sprintf("%d", int64(i)) }
+
+// Float is a 64-bit float.
+type Float float64
+
+// TypeName implements Value.
+func (Float) TypeName() string { return "float" }
+
+// Truthy implements Value.
+func (Float) Truthy() bool { return true }
+
+func (f Float) String() string { return fmt.Sprintf("%g", float64(f)) }
+
+// Str is an immutable string.
+type Str string
+
+// TypeName implements Value.
+func (Str) TypeName() string { return "string" }
+
+// Truthy implements Value.
+func (Str) Truthy() bool { return true }
+
+func (s Str) String() string { return string(s) }
+
+// Repr renders a value the way it appears inside containers: strings are
+// quoted, everything else uses String.
+func Repr(v Value) string {
+	if s, ok := v.(Str); ok {
+		return fmt.Sprintf("%q", string(s))
+	}
+	if v == nil {
+		return "nil"
+	}
+	return v.String()
+}
+
+// ---- containers ----
+
+// List is a mutable ordered sequence.
+type List struct {
+	Elems []Value
+}
+
+// NewList builds a list from elems (the slice is taken over).
+func NewList(elems ...Value) *List { return &List{Elems: elems} }
+
+// TypeName implements Value.
+func (*List) TypeName() string { return "list" }
+
+// Truthy implements Value.
+func (*List) Truthy() bool { return true }
+
+func (l *List) String() string {
+	parts := make([]string, len(l.Elems))
+	for i, e := range l.Elems {
+		parts[i] = Repr(e)
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// DeepCopy implements Copier.
+func (l *List) DeepCopy(m Memo) Value {
+	if c, ok := m[l]; ok {
+		return c
+	}
+	nl := &List{Elems: make([]Value, len(l.Elems))}
+	m[l] = nl
+	for i, e := range l.Elems {
+		nl.Elems[i] = DeepCopy(e, m)
+	}
+	return nl
+}
+
+// Key is a hashable dict key: string, int, float or bool.
+type Key struct {
+	Kind byte // 's', 'i', 'f', 'b'
+	S    string
+	I    int64
+	F    float64
+}
+
+// KeyOf converts a value to a dict key.
+func KeyOf(v Value) (Key, error) {
+	switch x := v.(type) {
+	case Str:
+		return Key{Kind: 's', S: string(x)}, nil
+	case Int:
+		return Key{Kind: 'i', I: int64(x)}, nil
+	case Float:
+		return Key{Kind: 'f', F: float64(x)}, nil
+	case Bool:
+		k := Key{Kind: 'b'}
+		if x {
+			k.I = 1
+		}
+		return k, nil
+	default:
+		return Key{}, fmt.Errorf("unhashable key type %s", v.TypeName())
+	}
+}
+
+// Value converts the key back to its value form.
+func (k Key) Value() Value {
+	switch k.Kind {
+	case 's':
+		return Str(k.S)
+	case 'i':
+		return Int(k.I)
+	case 'f':
+		return Float(k.F)
+	default:
+		return Bool(k.I != 0)
+	}
+}
+
+// Dict is a mutable mapping with deterministic (insertion-order) iteration.
+type Dict struct {
+	m     map[Key]Value
+	order []Key
+}
+
+// NewDict returns an empty dict.
+func NewDict() *Dict { return &Dict{m: make(map[Key]Value)} }
+
+// TypeName implements Value.
+func (*Dict) TypeName() string { return "dict" }
+
+// Truthy implements Value.
+func (*Dict) Truthy() bool { return true }
+
+func (d *Dict) String() string {
+	parts := make([]string, 0, len(d.order))
+	for _, k := range d.order {
+		parts = append(parts, Repr(k.Value())+": "+Repr(d.m[k]))
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Len returns the number of entries.
+func (d *Dict) Len() int { return len(d.m) }
+
+// Get looks up a key.
+func (d *Dict) Get(k Key) (Value, bool) {
+	v, ok := d.m[k]
+	return v, ok
+}
+
+// Set inserts or updates a key.
+func (d *Dict) Set(k Key, v Value) {
+	if _, ok := d.m[k]; !ok {
+		d.order = append(d.order, k)
+	}
+	d.m[k] = v
+}
+
+// Delete removes a key if present.
+func (d *Dict) Delete(k Key) {
+	if _, ok := d.m[k]; !ok {
+		return
+	}
+	delete(d.m, k)
+	for i, ok2 := range d.order {
+		if ok2 == k {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Keys returns the keys in insertion order.
+func (d *Dict) Keys() []Key {
+	out := make([]Key, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// SortedKeys returns the keys sorted by their printable form; used by
+// deterministic reporting (e.g. word-count output).
+func (d *Dict) SortedKeys() []Key {
+	out := d.Keys()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		switch out[i].Kind {
+		case 's':
+			return out[i].S < out[j].S
+		case 'i', 'b':
+			return out[i].I < out[j].I
+		default:
+			return out[i].F < out[j].F
+		}
+	})
+	return out
+}
+
+// DeepCopy implements Copier.
+func (d *Dict) DeepCopy(m Memo) Value {
+	if c, ok := m[d]; ok {
+		return c
+	}
+	nd := &Dict{m: make(map[Key]Value, len(d.m)), order: make([]Key, len(d.order))}
+	m[d] = nd
+	copy(nd.order, d.order)
+	for k, v := range d.m {
+		nd.m[k] = DeepCopy(v, m)
+	}
+	return nd
+}
+
+// Range is the lazily-iterated result of range(...).
+type Range struct {
+	Start, Stop, Step int64
+}
+
+// TypeName implements Value.
+func (*Range) TypeName() string { return "range" }
+
+// Truthy implements Value.
+func (*Range) Truthy() bool { return true }
+
+func (r *Range) String() string {
+	return fmt.Sprintf("range(%d, %d, %d)", r.Start, r.Stop, r.Step)
+}
+
+// Len returns the number of elements produced by the range.
+func (r *Range) Len() int64 {
+	if r.Step == 0 {
+		return 0
+	}
+	if r.Step > 0 {
+		if r.Stop <= r.Start {
+			return 0
+		}
+		return (r.Stop - r.Start + r.Step - 1) / r.Step
+	}
+	if r.Start <= r.Stop {
+		return 0
+	}
+	return (r.Start - r.Stop + (-r.Step) - 1) / (-r.Step)
+}
+
+// ---- environments and closures ----
+
+// Env is a lexical environment frame. Function bodies and do-blocks get a
+// fresh Env whose parent is the closure's defining Env; assignment updates
+// the nearest existing binding or defines in the innermost frame (Ruby
+// block semantics, which is what the paper's Listing 5 relies on: the
+// do-block passed to fork sees the enclosing `queue`).
+type Env struct {
+	parent *Env
+	vars   map[string]Value
+}
+
+// NewEnv returns a fresh environment with the given parent (nil for the
+// process-global environment).
+func NewEnv(parent *Env) *Env {
+	return &Env{parent: parent, vars: make(map[string]Value)}
+}
+
+// Parent returns the enclosing environment, or nil.
+func (e *Env) Parent() *Env { return e.parent }
+
+// Get resolves a name through the chain.
+func (e *Env) Get(name string) (Value, bool) {
+	for env := e; env != nil; env = env.parent {
+		if v, ok := env.vars[name]; ok {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Set assigns to the nearest binding of name, or defines it in the
+// innermost frame if unbound anywhere.
+func (e *Env) Set(name string, v Value) {
+	for env := e; env != nil; env = env.parent {
+		if _, ok := env.vars[name]; ok {
+			env.vars[name] = v
+			return
+		}
+	}
+	e.vars[name] = v
+}
+
+// Define binds name in this frame, shadowing outer bindings.
+func (e *Env) Define(name string, v Value) { e.vars[name] = v }
+
+// Names returns the names bound directly in this frame, sorted. The
+// debugger's variables view uses it.
+func (e *Env) Names() []string {
+	out := make([]string, 0, len(e.vars))
+	for k := range e.vars {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot flattens the visible bindings (inner shadows outer) for the
+// debugger's variables view.
+func (e *Env) Snapshot() map[string]Value {
+	out := make(map[string]Value)
+	var walk func(env *Env)
+	walk = func(env *Env) {
+		if env == nil {
+			return
+		}
+		walk(env.parent)
+		for k, v := range env.vars {
+			out[k] = v
+		}
+	}
+	walk(e)
+	return out
+}
+
+// DeepCopyEnv copies an environment chain with memoization.
+func DeepCopyEnv(e *Env, m Memo) *Env {
+	if e == nil {
+		return nil
+	}
+	if c, ok := m[e]; ok {
+		return c.(*envBox).env
+	}
+	ne := &Env{vars: make(map[string]Value, len(e.vars))}
+	m[e] = &envBox{env: ne}
+	ne.parent = DeepCopyEnv(e.parent, m)
+	for k, v := range e.vars {
+		ne.vars[k] = DeepCopy(v, m)
+	}
+	return ne
+}
+
+// envBox lets *Env participate in the Value-typed memo table.
+type envBox struct{ env *Env }
+
+func (*envBox) TypeName() string { return "env" }
+func (*envBox) Truthy() bool     { return true }
+func (*envBox) String() string   { return "<env>" }
+
+// Closure is a user-defined function bound to its defining environment.
+type Closure struct {
+	Proto *bytecode.FuncProto
+	Env   *Env
+}
+
+// TypeName implements Value.
+func (*Closure) TypeName() string { return "function" }
+
+// Truthy implements Value.
+func (*Closure) Truthy() bool { return true }
+
+func (c *Closure) String() string { return fmt.Sprintf("<function %s>", c.Proto.Name) }
+
+// DeepCopy implements Copier. Code is immutable and shared; the captured
+// environment is copied.
+func (c *Closure) DeepCopy(m Memo) Value {
+	if cp, ok := m[c]; ok {
+		return cp
+	}
+	nc := &Closure{Proto: c.Proto}
+	m[c] = nc
+	nc.Env = DeepCopyEnv(c.Env, m)
+	return nc
+}
+
+// Equal compares two values for pint ==. Containers compare element-wise;
+// reference types without structural equality compare by identity.
+func Equal(a, b Value) bool {
+	switch x := a.(type) {
+	case Nil:
+		_, ok := b.(Nil)
+		return ok
+	case Bool:
+		y, ok := b.(Bool)
+		return ok && x == y
+	case Int:
+		switch y := b.(type) {
+		case Int:
+			return x == y
+		case Float:
+			return Float(x) == y
+		}
+		return false
+	case Float:
+		switch y := b.(type) {
+		case Float:
+			return x == y
+		case Int:
+			return x == Float(y)
+		}
+		return false
+	case Str:
+		y, ok := b.(Str)
+		return ok && x == y
+	case *List:
+		y, ok := b.(*List)
+		if !ok || len(x.Elems) != len(y.Elems) {
+			return false
+		}
+		for i := range x.Elems {
+			if !Equal(x.Elems[i], y.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	case *Dict:
+		y, ok := b.(*Dict)
+		if !ok || x.Len() != y.Len() {
+			return false
+		}
+		for _, k := range x.order {
+			yv, ok := y.Get(k)
+			if !ok || !Equal(x.m[k], yv) {
+				return false
+			}
+		}
+		return true
+	default:
+		return a == b
+	}
+}

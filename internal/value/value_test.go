@@ -1,0 +1,265 @@
+package value_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"dionea/internal/value"
+)
+
+func TestScalars(t *testing.T) {
+	cases := []struct {
+		v      value.Value
+		name   string
+		truthy bool
+		str    string
+	}{
+		{value.NilV, "nil", false, "nil"},
+		{value.Bool(true), "bool", true, "true"},
+		{value.Bool(false), "bool", false, "false"},
+		{value.Int(-3), "int", true, "-3"},
+		{value.Float(2.5), "float", true, "2.5"},
+		{value.Str(""), "string", true, ""},
+	}
+	for _, c := range cases {
+		if c.v.TypeName() != c.name || c.v.Truthy() != c.truthy || c.v.String() != c.str {
+			t.Fatalf("%#v: %s %v %s", c.v, c.v.TypeName(), c.v.Truthy(), c.v)
+		}
+	}
+}
+
+func TestDictInsertionOrderAndDelete(t *testing.T) {
+	d := value.NewDict()
+	for _, k := range []string{"c", "a", "b"} {
+		key, _ := value.KeyOf(value.Str(k))
+		d.Set(key, value.Str(k))
+	}
+	keys := d.Keys()
+	if keys[0].S != "c" || keys[1].S != "a" || keys[2].S != "b" {
+		t.Fatalf("order: %v", keys)
+	}
+	ka, _ := value.KeyOf(value.Str("a"))
+	d.Delete(ka)
+	if d.Len() != 2 {
+		t.Fatalf("len after delete = %d", d.Len())
+	}
+	sorted := d.SortedKeys()
+	if sorted[0].S != "b" || sorted[1].S != "c" {
+		t.Fatalf("sorted: %v", sorted)
+	}
+}
+
+func TestKeyOfRejectsUnhashable(t *testing.T) {
+	if _, err := value.KeyOf(value.NewList()); err == nil {
+		t.Fatalf("list should be unhashable")
+	}
+	if _, err := value.KeyOf(value.NilV); err == nil {
+		t.Fatalf("nil should be unhashable")
+	}
+}
+
+func TestEqualSemantics(t *testing.T) {
+	if !value.Equal(value.Int(3), value.Float(3)) {
+		t.Fatalf("3 != 3.0")
+	}
+	a := value.NewList(value.Int(1), value.NewList(value.Str("x")))
+	b := value.NewList(value.Int(1), value.NewList(value.Str("x")))
+	if !value.Equal(a, b) {
+		t.Fatalf("structural list equality failed")
+	}
+	d1, d2 := value.NewDict(), value.NewDict()
+	k, _ := value.KeyOf(value.Str("k"))
+	d1.Set(k, value.Int(1))
+	d2.Set(k, value.Int(1))
+	if !value.Equal(d1, d2) {
+		t.Fatalf("structural dict equality failed")
+	}
+	d2.Set(k, value.Int(2))
+	if value.Equal(d1, d2) {
+		t.Fatalf("unequal dicts compared equal")
+	}
+}
+
+func TestDeepCopyIsolation(t *testing.T) {
+	inner := value.NewList(value.Int(1))
+	d := value.NewDict()
+	k, _ := value.KeyOf(value.Str("l"))
+	d.Set(k, inner)
+	outer := value.NewList(inner, d)
+
+	cp := value.DeepCopy(outer, value.Memo{}).(*value.List)
+	// Mutate the copy; the original must not change.
+	cp.Elems[0].(*value.List).Elems[0] = value.Int(99)
+	if inner.Elems[0] != value.Int(1) {
+		t.Fatalf("copy mutation leaked to original")
+	}
+	// Aliasing preserved inside the copy: cp[0] and cp[1]["l"] are the
+	// same object.
+	cpd := cp.Elems[1].(*value.Dict)
+	v, _ := cpd.Get(k)
+	if v != cp.Elems[0] {
+		t.Fatalf("aliasing not preserved in copy")
+	}
+}
+
+func TestDeepCopyHandlesCycles(t *testing.T) {
+	l := value.NewList()
+	l.Elems = append(l.Elems, l) // self-cycle
+	cp := value.DeepCopy(l, value.Memo{}).(*value.List)
+	if cp.Elems[0] != cp {
+		t.Fatalf("cycle not reproduced")
+	}
+	if cp == l {
+		t.Fatalf("copy is the original")
+	}
+}
+
+func TestEnvChainSemantics(t *testing.T) {
+	g := value.NewEnv(nil)
+	g.Define("x", value.Int(1))
+	inner := value.NewEnv(g)
+
+	// Set updates the nearest binding.
+	inner.Set("x", value.Int(2))
+	if v, _ := g.Get("x"); v != value.Int(2) {
+		t.Fatalf("Set did not update outer binding: %v", v)
+	}
+	// Unbound Set defines innermost.
+	inner.Set("y", value.Int(3))
+	if _, ok := g.Get("y"); ok {
+		t.Fatalf("y leaked to outer scope")
+	}
+	// Define shadows.
+	inner.Define("x", value.Int(10))
+	if v, _ := inner.Get("x"); v != value.Int(10) {
+		t.Fatalf("shadow failed")
+	}
+	if v, _ := g.Get("x"); v != value.Int(2) {
+		t.Fatalf("outer clobbered by Define")
+	}
+	snap := inner.Snapshot()
+	if snap["x"] != value.Int(10) || snap["y"] != value.Int(3) {
+		t.Fatalf("snapshot: %v", snap)
+	}
+}
+
+func TestDeepCopyEnvSharesViaMemo(t *testing.T) {
+	g := value.NewEnv(nil)
+	shared := value.NewList(value.Int(7))
+	g.Define("s", shared)
+	f1 := value.NewEnv(g)
+	f1.Define("also", shared)
+
+	memo := value.Memo{}
+	cg := value.DeepCopyEnv(g, memo)
+	cf1 := value.DeepCopyEnv(f1, memo)
+
+	if cf1.Parent() != cg {
+		t.Fatalf("copied chain broken")
+	}
+	s1, _ := cg.Get("s")
+	s2, _ := cf1.Get("also")
+	if s1 != s2 {
+		t.Fatalf("shared value duplicated across envs")
+	}
+	if s1 == value.Value(shared) {
+		t.Fatalf("copy shares with original")
+	}
+}
+
+// randomValue builds a random acyclic value tree.
+func randomValue(r *rand.Rand, depth int) value.Value {
+	if depth <= 0 {
+		switch r.Intn(4) {
+		case 0:
+			return value.Int(r.Int63n(1000))
+		case 1:
+			return value.Str(string(rune('a' + r.Intn(26))))
+		case 2:
+			return value.Bool(r.Intn(2) == 0)
+		default:
+			return value.NilV
+		}
+	}
+	switch r.Intn(3) {
+	case 0:
+		n := r.Intn(4)
+		l := value.NewList()
+		for i := 0; i < n; i++ {
+			l.Elems = append(l.Elems, randomValue(r, depth-1))
+		}
+		return l
+	case 1:
+		d := value.NewDict()
+		n := r.Intn(4)
+		for i := 0; i < n; i++ {
+			k, _ := value.KeyOf(value.Int(int64(i)))
+			d.Set(k, randomValue(r, depth-1))
+		}
+		return d
+	default:
+		return randomValue(r, 0)
+	}
+}
+
+// Property: DeepCopy(v) is Equal to v, but never the same mutable object.
+func TestDeepCopyEqualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 4)
+		cp := value.DeepCopy(v, value.Memo{})
+		if !value.Equal(v, cp) {
+			return false
+		}
+		switch v.(type) {
+		case *value.List, *value.Dict:
+			if reflect.ValueOf(v).Pointer() == reflect.ValueOf(cp).Pointer() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Equal is reflexive on random values.
+func TestEqualReflexiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := randomValue(r, 4)
+		return value.Equal(v, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeLen(t *testing.T) {
+	cases := []struct {
+		r value.Range
+		n int64
+	}{
+		{value.Range{Start: 0, Stop: 10, Step: 1}, 10},
+		{value.Range{Start: 0, Stop: 10, Step: 3}, 4},
+		{value.Range{Start: 10, Stop: 0, Step: -2}, 5},
+		{value.Range{Start: 5, Stop: 5, Step: 1}, 0},
+		{value.Range{Start: 0, Stop: 10, Step: 0}, 0},
+		{value.Range{Start: 10, Stop: 0, Step: 1}, 0},
+	}
+	for _, c := range cases {
+		if got := c.r.Len(); got != c.n {
+			t.Fatalf("%+v len = %d, want %d", c.r, got, c.n)
+		}
+	}
+}
+
+func TestReprQuotesStrings(t *testing.T) {
+	l := value.NewList(value.Str("a b"), value.Int(1))
+	if l.String() != `["a b", 1]` {
+		t.Fatalf("repr: %s", l.String())
+	}
+}

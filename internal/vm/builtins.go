@@ -1,0 +1,223 @@
+// Core (non-concurrency) builtins. Concurrency builtins — fork,
+// spawn_thread, queues, pipes, mutexes — are registered by the kernel and
+// ipc packages, which own their semantics.
+
+package vm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"dionea/internal/value"
+)
+
+// InstallCore defines the core builtins in env.
+func InstallCore(env *value.Env) {
+	def := func(name string, fn BuiltinFn) {
+		env.Define(name, &Builtin{Name: name, Fn: fn})
+	}
+
+	def("print", func(th *Thread, args []value.Value, _ *value.Closure) (value.Value, error) {
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = a.String()
+		}
+		th.Host.Print(th, strings.Join(parts, " ")+"\n")
+		return value.NilV, nil
+	})
+
+	// puts is the Ruby spelling; identical behaviour.
+	def("puts", func(th *Thread, args []value.Value, _ *value.Closure) (value.Value, error) {
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = a.String()
+		}
+		th.Host.Print(th, strings.Join(parts, " ")+"\n")
+		return value.NilV, nil
+	})
+
+	def("len", func(_ *Thread, args []value.Value, _ *value.Closure) (value.Value, error) {
+		if err := wantArgs("len", args, 1); err != nil {
+			return nil, err
+		}
+		switch x := args[0].(type) {
+		case *value.List:
+			return value.Int(len(x.Elems)), nil
+		case *value.Dict:
+			return value.Int(x.Len()), nil
+		case value.Str:
+			return value.Int(len(x)), nil
+		case *value.Range:
+			return value.Int(x.Len()), nil
+		default:
+			return nil, fmt.Errorf("len: unsupported type %s", args[0].TypeName())
+		}
+	})
+
+	def("range", func(_ *Thread, args []value.Value, _ *value.Closure) (value.Value, error) {
+		get := func(i int) (int64, error) {
+			n, ok := args[i].(value.Int)
+			if !ok {
+				return 0, fmt.Errorf("range arguments must be ints")
+			}
+			return int64(n), nil
+		}
+		r := &value.Range{Step: 1}
+		var err error
+		switch len(args) {
+		case 1:
+			r.Stop, err = get(0)
+		case 2:
+			if r.Start, err = get(0); err == nil {
+				r.Stop, err = get(1)
+			}
+		case 3:
+			if r.Start, err = get(0); err == nil {
+				if r.Stop, err = get(1); err == nil {
+					r.Step, err = get(2)
+				}
+			}
+			if err == nil && r.Step == 0 {
+				err = fmt.Errorf("range step cannot be 0")
+			}
+		default:
+			err = fmt.Errorf("range expects 1-3 arguments, got %d", len(args))
+		}
+		if err != nil {
+			return nil, err
+		}
+		return r, nil
+	})
+
+	def("str", func(_ *Thread, args []value.Value, _ *value.Closure) (value.Value, error) {
+		if err := wantArgs("str", args, 1); err != nil {
+			return nil, err
+		}
+		return value.Str(args[0].String()), nil
+	})
+
+	def("int", func(_ *Thread, args []value.Value, _ *value.Closure) (value.Value, error) {
+		if err := wantArgs("int", args, 1); err != nil {
+			return nil, err
+		}
+		switch x := args[0].(type) {
+		case value.Int:
+			return x, nil
+		case value.Float:
+			return value.Int(int64(x)), nil
+		case value.Str:
+			n, err := strconv.ParseInt(strings.TrimSpace(string(x)), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("int: cannot parse %q", string(x))
+			}
+			return value.Int(n), nil
+		case value.Bool:
+			if x {
+				return value.Int(1), nil
+			}
+			return value.Int(0), nil
+		default:
+			return nil, fmt.Errorf("int: unsupported type %s", args[0].TypeName())
+		}
+	})
+
+	def("float", func(_ *Thread, args []value.Value, _ *value.Closure) (value.Value, error) {
+		if err := wantArgs("float", args, 1); err != nil {
+			return nil, err
+		}
+		switch x := args[0].(type) {
+		case value.Float:
+			return x, nil
+		case value.Int:
+			return value.Float(float64(x)), nil
+		case value.Str:
+			f, err := strconv.ParseFloat(strings.TrimSpace(string(x)), 64)
+			if err != nil {
+				return nil, fmt.Errorf("float: cannot parse %q", string(x))
+			}
+			return value.Float(f), nil
+		default:
+			return nil, fmt.Errorf("float: unsupported type %s", args[0].TypeName())
+		}
+	})
+
+	def("type", func(_ *Thread, args []value.Value, _ *value.Closure) (value.Value, error) {
+		if err := wantArgs("type", args, 1); err != nil {
+			return nil, err
+		}
+		return value.Str(args[0].TypeName()), nil
+	})
+
+	def("abs", func(_ *Thread, args []value.Value, _ *value.Closure) (value.Value, error) {
+		if err := wantArgs("abs", args, 1); err != nil {
+			return nil, err
+		}
+		switch x := args[0].(type) {
+		case value.Int:
+			if x < 0 {
+				return -x, nil
+			}
+			return x, nil
+		case value.Float:
+			if x < 0 {
+				return -x, nil
+			}
+			return x, nil
+		default:
+			return nil, fmt.Errorf("abs: unsupported type %s", args[0].TypeName())
+		}
+	})
+
+	// resolve(name) looks a function (or any binding) up by name through
+	// the caller's environment chain. It is the unpickling half of the
+	// send-functions-by-name protocol multiprocessing-style libraries use
+	// (pickle cannot serialize function objects; §6.3 sends names).
+	def("resolve", func(th *Thread, args []value.Value, _ *value.Closure) (value.Value, error) {
+		if err := wantArgs("resolve", args, 1); err != nil {
+			return nil, err
+		}
+		name, ok := args[0].(value.Str)
+		if !ok {
+			return nil, fmt.Errorf("resolve expects a name string")
+		}
+		f := th.CurrentFrame()
+		if f == nil {
+			return nil, fmt.Errorf("resolve: no active frame")
+		}
+		v, ok := f.Env.Get(string(name))
+		if !ok {
+			return nil, fmt.Errorf("resolve: undefined name %q", string(name))
+		}
+		return v, nil
+	})
+
+	def("min", func(_ *Thread, args []value.Value, _ *value.Closure) (value.Value, error) {
+		return extremum("min", args, true)
+	})
+	def("max", func(_ *Thread, args []value.Value, _ *value.Closure) (value.Value, error) {
+		return extremum("max", args, false)
+	})
+}
+
+func extremum(name string, args []value.Value, min bool) (value.Value, error) {
+	items := args
+	if len(args) == 1 {
+		l, ok := args[0].(*value.List)
+		if !ok {
+			return nil, fmt.Errorf("%s of a single non-list value", name)
+		}
+		items = l.Elems
+	}
+	if len(items) == 0 {
+		return nil, fmt.Errorf("%s of empty sequence", name)
+	}
+	best := items[0]
+	for _, v := range items[1:] {
+		less := lessValues(v, best)
+		if less == min {
+			best = v
+		}
+	}
+	return best, nil
+}

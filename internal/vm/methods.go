@@ -1,0 +1,328 @@
+// Native methods on pint's built-in container and string types, plus
+// dispatch to MethodCaller values owned by other packages.
+
+package vm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dionea/internal/value"
+)
+
+func (t *Thread) callMethod(recv value.Value, name string, args []value.Value, block *value.Closure, line int) (value.Value, error) {
+	var (
+		v   value.Value
+		err error
+	)
+	switch r := recv.(type) {
+	case *value.List:
+		v, err = listMethod(t, r, name, args)
+	case *value.Dict:
+		v, err = dictMethod(r, name, args)
+	case value.Str:
+		v, err = strMethod(r, name, args)
+	case MethodCaller:
+		v, err = r.CallMethod(t, name, args, block)
+	default:
+		err = fmt.Errorf("%s has no methods", recv.TypeName())
+	}
+	if err != nil {
+		if _, ok := err.(*RuntimeError); ok {
+			return nil, err
+		}
+		if isControl(err) {
+			return nil, err
+		}
+		return nil, &RuntimeError{
+			Msg:   fmt.Sprintf("%v (line %d)", err, line),
+			Stack: t.StackTrace(),
+		}
+	}
+	if v == nil {
+		v = value.NilV
+	}
+	return v, nil
+}
+
+func wantArgs(name string, args []value.Value, n int) error {
+	if len(args) != n {
+		return fmt.Errorf("%s expects %d argument(s), got %d", name, n, len(args))
+	}
+	return nil
+}
+
+func listMethod(t *Thread, l *value.List, name string, args []value.Value) (value.Value, error) {
+	switch name {
+	case "push", "append":
+		if err := wantArgs(name, args, 1); err != nil {
+			return nil, err
+		}
+		l.Elems = append(l.Elems, args[0])
+		return l, nil
+	case "pop":
+		if len(args) == 0 {
+			if len(l.Elems) == 0 {
+				return nil, fmt.Errorf("pop from empty list")
+			}
+			v := l.Elems[len(l.Elems)-1]
+			l.Elems = l.Elems[:len(l.Elems)-1]
+			return v, nil
+		}
+		i, ok := args[0].(value.Int)
+		if !ok {
+			return nil, fmt.Errorf("pop index must be int")
+		}
+		j := int(i)
+		if j < 0 || j >= len(l.Elems) {
+			return nil, fmt.Errorf("pop index %d out of range", j)
+		}
+		v := l.Elems[j]
+		l.Elems = append(l.Elems[:j], l.Elems[j+1:]...)
+		return v, nil
+	case "shift":
+		// Ruby-style: remove and return the first element, nil if empty.
+		if len(l.Elems) == 0 {
+			return value.NilV, nil
+		}
+		v := l.Elems[0]
+		l.Elems = l.Elems[1:]
+		return v, nil
+	case "contains", "include":
+		if err := wantArgs(name, args, 1); err != nil {
+			return nil, err
+		}
+		for _, e := range l.Elems {
+			if value.Equal(e, args[0]) {
+				return value.Bool(true), nil
+			}
+		}
+		return value.Bool(false), nil
+	case "extend":
+		if err := wantArgs(name, args, 1); err != nil {
+			return nil, err
+		}
+		other, ok := args[0].(*value.List)
+		if !ok {
+			return nil, fmt.Errorf("extend expects a list")
+		}
+		l.Elems = append(l.Elems, other.Elems...)
+		return l, nil
+	case "clear":
+		l.Elems = l.Elems[:0]
+		return l, nil
+	case "sort":
+		sort.SliceStable(l.Elems, func(i, j int) bool { return lessValues(l.Elems[i], l.Elems[j]) })
+		return l, nil
+	case "join":
+		if err := wantArgs(name, args, 1); err != nil {
+			return nil, err
+		}
+		sep, ok := args[0].(value.Str)
+		if !ok {
+			return nil, fmt.Errorf("join separator must be a string")
+		}
+		parts := make([]string, len(l.Elems))
+		for i, e := range l.Elems {
+			parts[i] = e.String()
+		}
+		return value.Str(strings.Join(parts, string(sep))), nil
+	case "map":
+		if err := wantArgs(name, args, 1); err != nil {
+			return nil, err
+		}
+		fn, ok := args[0].(*value.Closure)
+		if !ok {
+			return nil, fmt.Errorf("map expects a function")
+		}
+		out := make([]value.Value, len(l.Elems))
+		for i, e := range l.Elems {
+			v, err := t.RunClosure(fn, []value.Value{e})
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return value.NewList(out...), nil
+	case "each":
+		if err := wantArgs(name, args, 1); err != nil {
+			return nil, err
+		}
+		fn, ok := args[0].(*value.Closure)
+		if !ok {
+			return nil, fmt.Errorf("each expects a function")
+		}
+		for _, e := range l.Elems {
+			if _, err := t.RunClosure(fn, []value.Value{e}); err != nil {
+				return nil, err
+			}
+		}
+		return l, nil
+	default:
+		return nil, fmt.Errorf("list has no method %q", name)
+	}
+}
+
+func lessValues(a, b value.Value) bool {
+	switch x := a.(type) {
+	case value.Int:
+		if y, ok := b.(value.Int); ok {
+			return x < y
+		}
+	case value.Float:
+		if y, ok := b.(value.Float); ok {
+			return x < y
+		}
+	case value.Str:
+		if y, ok := b.(value.Str); ok {
+			return x < y
+		}
+	}
+	return a.TypeName() < b.TypeName()
+}
+
+func dictMethod(d *value.Dict, name string, args []value.Value) (value.Value, error) {
+	switch name {
+	case "get":
+		if len(args) < 1 || len(args) > 2 {
+			return nil, fmt.Errorf("get expects 1 or 2 arguments")
+		}
+		k, err := value.KeyOf(args[0])
+		if err != nil {
+			return nil, err
+		}
+		if v, ok := d.Get(k); ok {
+			return v, nil
+		}
+		if len(args) == 2 {
+			return args[1], nil
+		}
+		return value.NilV, nil
+	case "set":
+		if err := wantArgs(name, args, 2); err != nil {
+			return nil, err
+		}
+		k, err := value.KeyOf(args[0])
+		if err != nil {
+			return nil, err
+		}
+		d.Set(k, args[1])
+		return d, nil
+	case "has", "include":
+		if err := wantArgs(name, args, 1); err != nil {
+			return nil, err
+		}
+		k, err := value.KeyOf(args[0])
+		if err != nil {
+			return nil, err
+		}
+		_, ok := d.Get(k)
+		return value.Bool(ok), nil
+	case "delete":
+		if err := wantArgs(name, args, 1); err != nil {
+			return nil, err
+		}
+		k, err := value.KeyOf(args[0])
+		if err != nil {
+			return nil, err
+		}
+		d.Delete(k)
+		return value.NilV, nil
+	case "keys":
+		keys := d.Keys()
+		elems := make([]value.Value, len(keys))
+		for i, k := range keys {
+			elems[i] = k.Value()
+		}
+		return value.NewList(elems...), nil
+	case "sorted_keys":
+		keys := d.SortedKeys()
+		elems := make([]value.Value, len(keys))
+		for i, k := range keys {
+			elems[i] = k.Value()
+		}
+		return value.NewList(elems...), nil
+	case "values":
+		keys := d.Keys()
+		elems := make([]value.Value, len(keys))
+		for i, k := range keys {
+			elems[i], _ = d.Get(k)
+		}
+		return value.NewList(elems...), nil
+	default:
+		return nil, fmt.Errorf("dict has no method %q", name)
+	}
+}
+
+func strMethod(s value.Str, name string, args []value.Value) (value.Value, error) {
+	str := string(s)
+	switch name {
+	case "split":
+		if len(args) == 0 {
+			parts := fields(str)
+			elems := make([]value.Value, len(parts))
+			for i, p := range parts {
+				elems[i] = value.Str(p)
+			}
+			return value.NewList(elems...), nil
+		}
+		sep, ok := args[0].(value.Str)
+		if !ok {
+			return nil, fmt.Errorf("split separator must be a string")
+		}
+		parts := strings.Split(str, string(sep))
+		elems := make([]value.Value, len(parts))
+		for i, p := range parts {
+			elems[i] = value.Str(p)
+		}
+		return value.NewList(elems...), nil
+	case "lower":
+		return value.Str(strings.ToLower(str)), nil
+	case "upper":
+		return value.Str(strings.ToUpper(str)), nil
+	case "strip":
+		return value.Str(strings.TrimSpace(str)), nil
+	case "startswith":
+		if err := wantArgs(name, args, 1); err != nil {
+			return nil, err
+		}
+		p, ok := args[0].(value.Str)
+		if !ok {
+			return nil, fmt.Errorf("startswith expects a string")
+		}
+		return value.Bool(strings.HasPrefix(str, string(p))), nil
+	case "endswith":
+		if err := wantArgs(name, args, 1); err != nil {
+			return nil, err
+		}
+		p, ok := args[0].(value.Str)
+		if !ok {
+			return nil, fmt.Errorf("endswith expects a string")
+		}
+		return value.Bool(strings.HasSuffix(str, string(p))), nil
+	case "contains", "include":
+		if err := wantArgs(name, args, 1); err != nil {
+			return nil, err
+		}
+		p, ok := args[0].(value.Str)
+		if !ok {
+			return nil, fmt.Errorf("contains expects a string")
+		}
+		return value.Bool(strings.Contains(str, string(p))), nil
+	case "replace":
+		if err := wantArgs(name, args, 2); err != nil {
+			return nil, err
+		}
+		a, ok1 := args[0].(value.Str)
+		b, ok2 := args[1].(value.Str)
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("replace expects two strings")
+		}
+		return value.Str(strings.ReplaceAll(str, string(a), string(b))), nil
+	case "isalpha":
+		return value.Bool(isAlpha(str)), nil
+	default:
+		return nil, fmt.Errorf("string has no method %q", name)
+	}
+}

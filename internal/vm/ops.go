@@ -1,0 +1,229 @@
+// Operator semantics: binary ops, indexing.
+
+package vm
+
+import (
+	"fmt"
+	"strings"
+
+	"dionea/internal/bytecode"
+	"dionea/internal/value"
+)
+
+func binary(op bytecode.BinOp, a, b value.Value) (value.Value, error) {
+	switch op {
+	case bytecode.BinEq:
+		return value.Bool(value.Equal(a, b)), nil
+	case bytecode.BinNeq:
+		return value.Bool(!value.Equal(a, b)), nil
+	}
+
+	switch x := a.(type) {
+	case value.Int:
+		switch y := b.(type) {
+		case value.Int:
+			return intOp(op, int64(x), int64(y))
+		case value.Float:
+			return floatOp(op, float64(x), float64(y))
+		}
+	case value.Float:
+		switch y := b.(type) {
+		case value.Int:
+			return floatOp(op, float64(x), float64(y))
+		case value.Float:
+			return floatOp(op, float64(x), float64(y))
+		}
+	case value.Str:
+		switch y := b.(type) {
+		case value.Str:
+			return strOp(op, string(x), string(y))
+		default:
+			// String concatenation with anything via its repr; pint
+			// mirrors Ruby's "#{}" convenience for print-style code.
+			if op == bytecode.BinAdd {
+				return value.Str(string(x) + y.String()), nil
+			}
+		}
+	case *value.List:
+		if y, ok := b.(*value.List); ok && op == bytecode.BinAdd {
+			elems := make([]value.Value, 0, len(x.Elems)+len(y.Elems))
+			elems = append(elems, x.Elems...)
+			elems = append(elems, y.Elems...)
+			return value.NewList(elems...), nil
+		}
+	}
+	// int + string, etc. for convenient message building.
+	if op == bytecode.BinAdd {
+		if y, ok := b.(value.Str); ok {
+			return value.Str(a.String() + string(y)), nil
+		}
+	}
+	return nil, fmt.Errorf("unsupported operands for %s: %s and %s",
+		op, a.TypeName(), b.TypeName())
+}
+
+func intOp(op bytecode.BinOp, a, b int64) (value.Value, error) {
+	switch op {
+	case bytecode.BinAdd:
+		return value.Int(a + b), nil
+	case bytecode.BinSub:
+		return value.Int(a - b), nil
+	case bytecode.BinMul:
+		return value.Int(a * b), nil
+	case bytecode.BinDiv:
+		if b == 0 {
+			return nil, fmt.Errorf("integer division by zero")
+		}
+		return value.Int(a / b), nil
+	case bytecode.BinMod:
+		if b == 0 {
+			return nil, fmt.Errorf("integer modulo by zero")
+		}
+		return value.Int(a % b), nil
+	case bytecode.BinLt:
+		return value.Bool(a < b), nil
+	case bytecode.BinGt:
+		return value.Bool(a > b), nil
+	case bytecode.BinLe:
+		return value.Bool(a <= b), nil
+	case bytecode.BinGe:
+		return value.Bool(a >= b), nil
+	}
+	return nil, fmt.Errorf("bad int op %s", op)
+}
+
+func floatOp(op bytecode.BinOp, a, b float64) (value.Value, error) {
+	switch op {
+	case bytecode.BinAdd:
+		return value.Float(a + b), nil
+	case bytecode.BinSub:
+		return value.Float(a - b), nil
+	case bytecode.BinMul:
+		return value.Float(a * b), nil
+	case bytecode.BinDiv:
+		if b == 0 {
+			return nil, fmt.Errorf("float division by zero")
+		}
+		return value.Float(a / b), nil
+	case bytecode.BinLt:
+		return value.Bool(a < b), nil
+	case bytecode.BinGt:
+		return value.Bool(a > b), nil
+	case bytecode.BinLe:
+		return value.Bool(a <= b), nil
+	case bytecode.BinGe:
+		return value.Bool(a >= b), nil
+	}
+	return nil, fmt.Errorf("bad float op %s", op)
+}
+
+func strOp(op bytecode.BinOp, a, b string) (value.Value, error) {
+	switch op {
+	case bytecode.BinAdd:
+		return value.Str(a + b), nil
+	case bytecode.BinLt:
+		return value.Bool(a < b), nil
+	case bytecode.BinGt:
+		return value.Bool(a > b), nil
+	case bytecode.BinLe:
+		return value.Bool(a <= b), nil
+	case bytecode.BinGe:
+		return value.Bool(a >= b), nil
+	case bytecode.BinMul:
+		return nil, fmt.Errorf("cannot multiply strings")
+	}
+	return nil, fmt.Errorf("bad string op %s", op)
+}
+
+func index(x, idx value.Value) (value.Value, error) {
+	switch v := x.(type) {
+	case *value.List:
+		i, ok := idx.(value.Int)
+		if !ok {
+			return nil, fmt.Errorf("list index must be int, got %s", idx.TypeName())
+		}
+		n := int64(len(v.Elems))
+		j := int64(i)
+		if j < 0 {
+			j += n
+		}
+		if j < 0 || j >= n {
+			return nil, fmt.Errorf("list index %d out of range (len %d)", int64(i), n)
+		}
+		return v.Elems[j], nil
+	case *value.Dict:
+		k, err := value.KeyOf(idx)
+		if err != nil {
+			return nil, err
+		}
+		val, ok := v.Get(k)
+		if !ok {
+			return nil, fmt.Errorf("key %s not found", value.Repr(idx))
+		}
+		return val, nil
+	case value.Str:
+		i, ok := idx.(value.Int)
+		if !ok {
+			return nil, fmt.Errorf("string index must be int, got %s", idx.TypeName())
+		}
+		s := string(v)
+		n := int64(len(s))
+		j := int64(i)
+		if j < 0 {
+			j += n
+		}
+		if j < 0 || j >= n {
+			return nil, fmt.Errorf("string index %d out of range (len %d)", int64(i), n)
+		}
+		return value.Str(s[j : j+1]), nil
+	default:
+		return nil, fmt.Errorf("%s is not indexable", x.TypeName())
+	}
+}
+
+func setIndex(x, idx, v value.Value) error {
+	switch c := x.(type) {
+	case *value.List:
+		i, ok := idx.(value.Int)
+		if !ok {
+			return fmt.Errorf("list index must be int, got %s", idx.TypeName())
+		}
+		n := int64(len(c.Elems))
+		j := int64(i)
+		if j < 0 {
+			j += n
+		}
+		if j < 0 || j >= n {
+			return fmt.Errorf("list index %d out of range (len %d)", int64(i), n)
+		}
+		c.Elems[j] = v
+		return nil
+	case *value.Dict:
+		k, err := value.KeyOf(idx)
+		if err != nil {
+			return err
+		}
+		c.Set(k, v)
+		return nil
+	default:
+		return fmt.Errorf("%s does not support item assignment", x.TypeName())
+	}
+}
+
+// isAlpha reports whether s is non-empty and all ASCII letters — the §7
+// word-count predicate ("words that contain only letters").
+func isAlpha(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('a' <= c && c <= 'z' || 'A' <= c && c <= 'Z') {
+			return false
+		}
+	}
+	return true
+}
+
+// fields splits on runs of whitespace.
+func fields(s string) []string { return strings.Fields(s) }

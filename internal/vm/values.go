@@ -1,0 +1,140 @@
+// VM-level value types: builtins, bound methods, iterators.
+
+package vm
+
+import (
+	"fmt"
+
+	"dionea/internal/value"
+)
+
+// BuiltinFn is the signature of a native function exposed to pint. block
+// is the trailing do-block closure, if the call site supplied one
+// (`fork do ... end`).
+type BuiltinFn func(th *Thread, args []value.Value, block *value.Closure) (value.Value, error)
+
+// Builtin is a native function value.
+type Builtin struct {
+	Name string
+	Fn   BuiltinFn
+}
+
+// TypeName implements value.Value.
+func (*Builtin) TypeName() string { return "builtin" }
+
+// Truthy implements value.Value.
+func (*Builtin) Truthy() bool { return true }
+
+func (b *Builtin) String() string { return fmt.Sprintf("<builtin %s>", b.Name) }
+
+// BoundMethod pairs a receiver with a method name; the method resolves at
+// call time, either natively (list/dict/string) or via the receiver's
+// MethodCaller implementation (kernel and IPC handle types).
+type BoundMethod struct {
+	Recv value.Value
+	Name string
+}
+
+// TypeName implements value.Value.
+func (*BoundMethod) TypeName() string { return "method" }
+
+// Truthy implements value.Value.
+func (*BoundMethod) Truthy() bool { return true }
+
+func (m *BoundMethod) String() string {
+	return fmt.Sprintf("<method %s.%s>", m.Recv.TypeName(), m.Name)
+}
+
+// DeepCopy implements value.Copier: the receiver is copied per its own
+// fork rules.
+func (m *BoundMethod) DeepCopy(memo value.Memo) value.Value {
+	return &BoundMethod{Recv: value.DeepCopy(m.Recv, memo), Name: m.Name}
+}
+
+// MethodCaller is implemented by value types from other packages (mutex,
+// queue, pipe, ...) that expose pint methods.
+type MethodCaller interface {
+	value.Value
+	// CallMethod invokes the named method. th is passed through so
+	// blocking methods can release the GIL via the thread's kernel state.
+	CallMethod(th *Thread, name string, args []value.Value, block *value.Closure) (value.Value, error)
+}
+
+// Iterator drives for-in loops. It lives on the operand stack while a loop
+// runs, so it must survive fork (value.Copier).
+type Iterator struct {
+	elems []value.Value // materialized elements (list/dict/string)
+	idx   int
+	rng   *value.Range // lazy range iteration
+	cur   int64
+}
+
+// TypeName implements value.Value.
+func (*Iterator) TypeName() string { return "iterator" }
+
+// Truthy implements value.Value.
+func (*Iterator) Truthy() bool { return true }
+
+func (it *Iterator) String() string { return "<iterator>" }
+
+// DeepCopy implements value.Copier.
+func (it *Iterator) DeepCopy(m value.Memo) value.Value {
+	if c, ok := m[it]; ok {
+		return c
+	}
+	ni := &Iterator{idx: it.idx, rng: it.rng, cur: it.cur}
+	m[it] = ni
+	if it.elems != nil {
+		ni.elems = make([]value.Value, len(it.elems))
+		for i, e := range it.elems {
+			ni.elems[i] = value.DeepCopy(e, m)
+		}
+	}
+	return ni
+}
+
+func (it *Iterator) next() (value.Value, bool) {
+	if it.rng != nil {
+		if it.rng.Step > 0 && it.cur >= it.rng.Stop ||
+			it.rng.Step < 0 && it.cur <= it.rng.Stop || it.rng.Step == 0 {
+			return nil, false
+		}
+		v := value.Int(it.cur)
+		it.cur += it.rng.Step
+		return v, true
+	}
+	if it.idx >= len(it.elems) {
+		return nil, false
+	}
+	v := it.elems[it.idx]
+	it.idx++
+	return v, true
+}
+
+// newIterator builds an iterator over a list (snapshot), dict keys
+// (insertion order snapshot), string (1-char strings) or range (lazy).
+func newIterator(x value.Value) (*Iterator, error) {
+	switch v := x.(type) {
+	case *value.List:
+		elems := make([]value.Value, len(v.Elems))
+		copy(elems, v.Elems)
+		return &Iterator{elems: elems}, nil
+	case *value.Dict:
+		keys := v.Keys()
+		elems := make([]value.Value, len(keys))
+		for i, k := range keys {
+			elems[i] = k.Value()
+		}
+		return &Iterator{elems: elems}, nil
+	case value.Str:
+		elems := make([]value.Value, 0, len(v))
+		for _, r := range string(v) {
+			elems = append(elems, value.Str(string(r)))
+		}
+		return &Iterator{elems: elems}, nil
+	case *value.Range:
+		return &Iterator{rng: v, cur: v.Start}, nil
+	default:
+		return nil, fmt.Errorf("%s is not iterable", x.TypeName())
+	}
+}

@@ -1,0 +1,534 @@
+// Package vm implements the pint virtual machine: a frame-stack bytecode
+// interpreter with trace hooks (the sys.settrace / Kernel#set_trace_func
+// analog the debugger attaches to) and a pluggable Host that supplies
+// scheduling (GIL checkinterval ticks) and I/O.
+//
+// The VM deliberately exposes its full execution state (frames, operand
+// stacks, environments): the simulated fork(2) snapshots a thread
+// mid-builtin and resumes the copy in the child process, and the debugger
+// inspects frames of suspended threads.
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"dionea/internal/bytecode"
+	"dionea/internal/value"
+)
+
+// Event is a trace event kind, mirroring the interpreter trace facilities
+// Dionea hooks (§4: "Dionea's trace callback functions set by
+// Kernel#set_trace_func and sys.settrace").
+type Event int
+
+// Trace events.
+const (
+	EventCall   Event = iota // a pint function frame was pushed
+	EventLine                // execution reached a new statement line
+	EventReturn              // a pint function frame is about to pop
+)
+
+func (e Event) String() string {
+	switch e {
+	case EventCall:
+		return "call"
+	case EventLine:
+		return "line"
+	case EventReturn:
+		return "return"
+	default:
+		return fmt.Sprintf("Event(%d)", int(e))
+	}
+}
+
+// TraceFunc receives trace events for a thread. Returning an error aborts
+// the thread (used by the debugger to tear down on fatal conditions).
+type TraceFunc func(th *Thread, ev Event, line int) error
+
+// Host supplies the services the VM needs from its operating environment.
+// The kernel package implements it.
+type Host interface {
+	// Tick is called every CheckEvery instructions. It is where the GIL
+	// is yielded, debugger suspend requests are honored, and kill
+	// requests surface (as a returned error).
+	Tick(th *Thread) error
+	// Print writes program output for the thread's process.
+	Print(th *Thread, s string)
+}
+
+// DefaultCheckEvery is the default GIL checkinterval, in VM instructions
+// (CPython used sys.setcheckinterval(100)).
+const DefaultCheckEvery = 100
+
+// Frame is one activation record.
+type Frame struct {
+	Proto *bytecode.FuncProto
+	Env   *value.Env
+	Stack []value.Value
+	IP    int
+	Line  int // most recent OpLine in this frame
+}
+
+// copyFrame deep-copies a frame for fork.
+func copyFrame(f *Frame, m value.Memo) *Frame {
+	nf := &Frame{
+		Proto: f.Proto, // code is immutable, shared
+		Env:   value.DeepCopyEnv(f.Env, m),
+		Stack: make([]value.Value, len(f.Stack)),
+		IP:    f.IP,
+		Line:  f.Line,
+	}
+	for i, v := range f.Stack {
+		nf.Stack[i] = value.DeepCopy(v, m)
+	}
+	return nf
+}
+
+// FrameInfo is a read-only view of a frame for tracebacks and the
+// debugger's stack view.
+type FrameInfo struct {
+	Func string
+	File string
+	Line int
+}
+
+// RuntimeError is a pint-level error carrying the interpreter traceback
+// (the analog of the paper's Listing 6 stack trace).
+type RuntimeError struct {
+	Msg   string
+	Stack []FrameInfo
+}
+
+func (e *RuntimeError) Error() string {
+	var b strings.Builder
+	b.WriteString(e.Msg)
+	for i := len(e.Stack) - 1; i >= 0; i-- {
+		f := e.Stack[i]
+		fmt.Fprintf(&b, "\n\tfrom %s:%d:in `%s'", f.File, f.Line, f.Func)
+	}
+	return b.String()
+}
+
+// Thread executes pint code. One Thread maps to one simulated interpreter
+// thread; the kernel runs each on its own goroutine, serialized per
+// process by the GIL.
+type Thread struct {
+	// ID is the kernel-assigned thread id; Name is for diagnostics.
+	ID   int64
+	Name string
+
+	Host  Host
+	Trace TraceFunc
+	// TraceSuppressed blocks trace event delivery without discarding the
+	// installed TraceFunc. Dionea's fork handler A sets it ("disable the
+	// tracing until the listener thread is restarted"), handler B/C clear
+	// it (paper §5.4).
+	TraceSuppressed bool
+
+	// CheckEvery is the GIL checkinterval in instructions.
+	CheckEvery int
+
+	// Ctx carries the kernel-side thread state (opaque to the VM).
+	Ctx interface{}
+
+	frames []*Frame
+	budget int
+}
+
+// NewThread returns a thread with the given host.
+func NewThread(id int64, name string, host Host) *Thread {
+	return &Thread{ID: id, Name: name, Host: host, CheckEvery: DefaultCheckEvery}
+}
+
+// Depth returns the current frame count.
+func (t *Thread) Depth() int { return len(t.frames) }
+
+// CurrentLine returns the source line of the innermost frame (0 if idle).
+func (t *Thread) CurrentLine() int {
+	if len(t.frames) == 0 {
+		return 0
+	}
+	return t.frames[len(t.frames)-1].Line
+}
+
+// CurrentFrame returns the innermost frame, or nil.
+func (t *Thread) CurrentFrame() *Frame {
+	if len(t.frames) == 0 {
+		return nil
+	}
+	return t.frames[len(t.frames)-1]
+}
+
+// Frames returns the live frame slice (outermost first). Callers must hold
+// the process GIL or have the thread suspended.
+func (t *Thread) Frames() []*Frame { return t.frames }
+
+// StackTrace captures the pint-level call stack, outermost first.
+func (t *Thread) StackTrace() []FrameInfo {
+	out := make([]FrameInfo, len(t.frames))
+	for i, f := range t.frames {
+		out[i] = FrameInfo{Func: f.Proto.Name, File: f.Proto.File, Line: f.Line}
+	}
+	return out
+}
+
+// SnapshotFrames deep-copies the thread's frame stack for fork.
+func (t *Thread) SnapshotFrames(m value.Memo) []*Frame {
+	out := make([]*Frame, len(t.frames))
+	for i, f := range t.frames {
+		out[i] = copyFrame(f, m)
+	}
+	return out
+}
+
+// RestoreFrames installs a frame stack copied from a forked parent.
+func (t *Thread) RestoreFrames(frames []*Frame) { t.frames = frames }
+
+// PushValue pushes v onto the innermost frame's operand stack. The fork
+// builtin uses it to materialize the child's return value (0) before the
+// copied thread resumes.
+func (t *Thread) PushValue(v value.Value) {
+	f := t.frames[len(t.frames)-1]
+	f.Stack = append(f.Stack, v)
+}
+
+func (t *Thread) errorf(format string, args ...interface{}) error {
+	return &RuntimeError{Msg: fmt.Sprintf(format, args...), Stack: t.StackTrace()}
+}
+
+// pushFrame activates a closure call.
+func (t *Thread) pushFrame(cl *value.Closure, args []value.Value) error {
+	if len(args) != len(cl.Proto.Params) {
+		return t.errorf("%s() takes %d arguments, got %d",
+			cl.Proto.Name, len(cl.Proto.Params), len(args))
+	}
+	env := value.NewEnv(cl.Env)
+	for i, p := range cl.Proto.Params {
+		env.Define(p, args[i])
+	}
+	t.frames = append(t.frames, &Frame{Proto: cl.Proto, Env: env, Line: cl.Proto.Pos()})
+	if t.Trace != nil && !t.TraceSuppressed {
+		if err := t.Trace(t, EventCall, cl.Proto.Pos()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunClosure pushes a frame for cl and executes until it returns. It is
+// both the thread entry point and the mechanism by which Go-side code
+// (fork child blocks, pool workers) calls back into pint.
+func (t *Thread) RunClosure(cl *value.Closure, args []value.Value) (value.Value, error) {
+	base := len(t.frames) + 1
+	if err := t.pushFrame(cl, args); err != nil {
+		return nil, err
+	}
+	return t.exec(base)
+}
+
+// RunModule executes a top-level proto with its frame bound directly to
+// env (no child scope is created): top-level definitions land in env
+// itself. The kernel uses it so a program and its preludes share one
+// global environment, as modules in one interpreter process do.
+func (t *Thread) RunModule(proto *bytecode.FuncProto, env *value.Env) (value.Value, error) {
+	base := len(t.frames) + 1
+	t.frames = append(t.frames, &Frame{Proto: proto, Env: env, Line: proto.Pos()})
+	if t.Trace != nil && !t.TraceSuppressed {
+		if err := t.Trace(t, EventCall, proto.Pos()); err != nil {
+			return nil, err
+		}
+	}
+	return t.exec(base)
+}
+
+// Resume continues execution of a restored (forked) frame stack until the
+// outermost frame returns.
+func (t *Thread) Resume() (value.Value, error) {
+	if len(t.frames) == 0 {
+		return value.NilV, nil
+	}
+	return t.exec(1)
+}
+
+// ErrStackCorrupt signals an internal VM invariant violation.
+var ErrStackCorrupt = errors.New("vm: operand stack corrupt")
+
+func (f *Frame) push(v value.Value) { f.Stack = append(f.Stack, v) }
+
+func (f *Frame) pop() value.Value {
+	v := f.Stack[len(f.Stack)-1]
+	f.Stack = f.Stack[:len(f.Stack)-1]
+	return v
+}
+
+func (f *Frame) peek() value.Value { return f.Stack[len(f.Stack)-1] }
+
+// exec runs until the frame stack shrinks below base, returning the value
+// produced by the frame at depth base.
+func (t *Thread) exec(base int) (value.Value, error) {
+	if t.CheckEvery <= 0 {
+		t.CheckEvery = DefaultCheckEvery
+	}
+	for {
+		f := t.frames[len(t.frames)-1]
+		if f.IP >= len(f.Proto.Code) {
+			return nil, t.errorf("vm: fell off end of %s", f.Proto.Name)
+		}
+		in := f.Proto.Code[f.IP]
+		f.IP++
+
+		t.budget--
+		if t.budget <= 0 {
+			t.budget = t.CheckEvery
+			if err := t.Host.Tick(t); err != nil {
+				return nil, err
+			}
+		}
+
+		switch in.Op {
+		case bytecode.OpLine:
+			f.Line = in.Arg
+			if t.Trace != nil && !t.TraceSuppressed {
+				if err := t.Trace(t, EventLine, in.Arg); err != nil {
+					return nil, err
+				}
+			}
+
+		case bytecode.OpConst:
+			f.push(constValue(f.Proto.Consts[in.Arg], f.Env))
+
+		case bytecode.OpNil:
+			f.push(value.NilV)
+		case bytecode.OpTrue:
+			f.push(value.Bool(true))
+		case bytecode.OpFalse:
+			f.push(value.Bool(false))
+		case bytecode.OpPop:
+			f.pop()
+
+		case bytecode.OpLoadName:
+			name := f.Proto.Names[in.Arg]
+			v, ok := f.Env.Get(name)
+			if !ok {
+				return nil, t.errorf("undefined name %q (line %d)", name, in.Line)
+			}
+			f.push(v)
+
+		case bytecode.OpStoreName:
+			f.Env.Set(f.Proto.Names[in.Arg], f.pop())
+
+		case bytecode.OpDefineName:
+			f.Env.Define(f.Proto.Names[in.Arg], f.pop())
+
+		case bytecode.OpBinary:
+			b := f.pop()
+			a := f.pop()
+			v, err := binary(bytecode.BinOp(in.Arg), a, b)
+			if err != nil {
+				return nil, t.errorf("%v (line %d)", err, in.Line)
+			}
+			f.push(v)
+
+		case bytecode.OpUnary:
+			a := f.pop()
+			switch bytecode.UnOp(in.Arg) {
+			case bytecode.UnNeg:
+				switch x := a.(type) {
+				case value.Int:
+					f.push(value.Int(-x))
+				case value.Float:
+					f.push(value.Float(-x))
+				default:
+					return nil, t.errorf("cannot negate %s (line %d)", a.TypeName(), in.Line)
+				}
+			case bytecode.UnNot:
+				f.push(value.Bool(!a.Truthy()))
+			}
+
+		case bytecode.OpJump:
+			f.IP = in.Arg
+		case bytecode.OpJumpIfFalse:
+			if !f.pop().Truthy() {
+				f.IP = in.Arg
+			}
+		case bytecode.OpJumpIfTrue:
+			if f.pop().Truthy() {
+				f.IP = in.Arg
+			}
+		case bytecode.OpJumpIfFalsePeek:
+			if !f.peek().Truthy() {
+				f.IP = in.Arg
+			}
+		case bytecode.OpJumpIfTruePeek:
+			if f.peek().Truthy() {
+				f.IP = in.Arg
+			}
+
+		case bytecode.OpMakeClosure:
+			proto := f.Proto.Consts[in.Arg].(*bytecode.FuncProto)
+			f.push(&value.Closure{Proto: proto, Env: f.Env})
+
+		case bytecode.OpMakeList:
+			n := in.Arg
+			elems := make([]value.Value, n)
+			copy(elems, f.Stack[len(f.Stack)-n:])
+			f.Stack = f.Stack[:len(f.Stack)-n]
+			f.push(value.NewList(elems...))
+
+		case bytecode.OpMakeDict:
+			n := in.Arg
+			d := value.NewDict()
+			baseIdx := len(f.Stack) - 2*n
+			for i := 0; i < n; i++ {
+				k, err := value.KeyOf(f.Stack[baseIdx+2*i])
+				if err != nil {
+					return nil, t.errorf("%v (line %d)", err, in.Line)
+				}
+				d.Set(k, f.Stack[baseIdx+2*i+1])
+			}
+			f.Stack = f.Stack[:baseIdx]
+			f.push(d)
+
+		case bytecode.OpIndex:
+			idx := f.pop()
+			x := f.pop()
+			v, err := index(x, idx)
+			if err != nil {
+				return nil, t.errorf("%v (line %d)", err, in.Line)
+			}
+			f.push(v)
+
+		case bytecode.OpSetIndex:
+			v := f.pop()
+			idx := f.pop()
+			x := f.pop()
+			if err := setIndex(x, idx, v); err != nil {
+				return nil, t.errorf("%v (line %d)", err, in.Line)
+			}
+
+		case bytecode.OpAttr:
+			x := f.pop()
+			f.push(&BoundMethod{Recv: x, Name: f.Proto.Names[in.Arg]})
+
+		case bytecode.OpIterNew:
+			x := f.pop()
+			it, err := newIterator(x)
+			if err != nil {
+				return nil, t.errorf("%v (line %d)", err, in.Line)
+			}
+			f.push(it)
+
+		case bytecode.OpIterNext:
+			it := f.peek().(*Iterator)
+			v, ok := it.next()
+			if !ok {
+				f.pop()
+				f.IP = in.Arg
+			} else {
+				f.push(v)
+			}
+
+		case bytecode.OpCall:
+			nargs := in.Arg
+			var block *value.Closure
+			if in.Arg2 == 1 {
+				block = f.pop().(*value.Closure)
+			}
+			args := make([]value.Value, nargs)
+			copy(args, f.Stack[len(f.Stack)-nargs:])
+			f.Stack = f.Stack[:len(f.Stack)-nargs]
+			callee := f.pop()
+			ret, pushed, err := t.callValue(callee, args, block, in.Line)
+			if err != nil {
+				return nil, err
+			}
+			if !pushed {
+				f.push(ret)
+			}
+
+		case bytecode.OpReturn:
+			ret := f.pop()
+			if t.Trace != nil && !t.TraceSuppressed {
+				if err := t.Trace(t, EventReturn, f.Line); err != nil {
+					return nil, err
+				}
+			}
+			t.frames = t.frames[:len(t.frames)-1]
+			if len(t.frames) < base {
+				return ret, nil
+			}
+			t.frames[len(t.frames)-1].push(ret)
+
+		default:
+			return nil, t.errorf("vm: bad opcode %s", in.Op)
+		}
+	}
+}
+
+// callValue invokes callee. pushed=true means a pint frame was pushed and
+// the result will arrive via OpReturn; pushed=false means ret holds the
+// immediate result (builtins).
+func (t *Thread) callValue(callee value.Value, args []value.Value, block *value.Closure, line int) (ret value.Value, pushed bool, err error) {
+	switch fn := callee.(type) {
+	case *value.Closure:
+		if block != nil {
+			return nil, false, t.errorf("pint functions do not take do-blocks (line %d)", line)
+		}
+		if err := t.pushFrame(fn, args); err != nil {
+			return nil, false, err
+		}
+		return nil, true, nil
+	case *Builtin:
+		v, err := fn.Fn(t, args, block)
+		if err != nil {
+			if _, ok := err.(*RuntimeError); !ok {
+				if isControl(err) {
+					return nil, false, err
+				}
+				err = &RuntimeError{Msg: err.Error(), Stack: t.StackTrace()}
+			}
+			return nil, false, err
+		}
+		if v == nil {
+			v = value.NilV
+		}
+		return v, false, nil
+	case *BoundMethod:
+		v, err := t.callMethod(fn.Recv, fn.Name, args, block, line)
+		return v, false, err
+	default:
+		return nil, false, t.errorf("%s is not callable (line %d)", callee.TypeName(), line)
+	}
+}
+
+// ControlError marks errors that must propagate unchanged through the VM
+// (kill, process exit, deadlock). The kernel's sentinel errors implement it.
+type ControlError interface {
+	error
+	VMControl()
+}
+
+func isControl(err error) bool {
+	var c ControlError
+	return errors.As(err, &c)
+}
+
+// constValue materializes a compile-time constant.
+func constValue(c bytecode.Const, env *value.Env) value.Value {
+	switch x := c.(type) {
+	case int64:
+		return value.Int(x)
+	case float64:
+		return value.Float(x)
+	case string:
+		return value.Str(x)
+	case bool:
+		return value.Bool(x)
+	case *bytecode.FuncProto:
+		return &value.Closure{Proto: x, Env: env}
+	default:
+		panic(fmt.Sprintf("vm: bad const %T", c))
+	}
+}

@@ -1,0 +1,330 @@
+package vm_test
+
+import (
+	"strings"
+	"testing"
+
+	"dionea/internal/compiler"
+	"dionea/internal/value"
+	"dionea/internal/vm"
+)
+
+// fakeHost runs the VM without a kernel: no GIL, output to a buffer.
+type fakeHost struct {
+	out   strings.Builder
+	ticks int
+}
+
+func (h *fakeHost) Tick(*vm.Thread) error        { h.ticks++; return nil }
+func (h *fakeHost) Print(_ *vm.Thread, s string) { h.out.WriteString(s) }
+
+// run compiles and executes src on a bare thread, returning output.
+func run(t *testing.T, src string) (string, error) {
+	t.Helper()
+	proto, err := compiler.CompileSource(src, "t.pint")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	h := &fakeHost{}
+	th := vm.NewThread(1, "main", h)
+	env := value.NewEnv(nil)
+	vm.InstallCore(env)
+	_, err = th.RunModule(proto, env)
+	return h.out.String(), err
+}
+
+func runOK(t *testing.T, src string) string {
+	t.Helper()
+	out, err := run(t, src)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out
+}
+
+func TestArithmetic(t *testing.T) {
+	out := runOK(t, `print(7 / 2, 7 % 2, 7.0 / 2, 2 * 3 + 1, -(4))`)
+	if out != "3 1 3.5 7 -4\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestComparisonAndLogic(t *testing.T) {
+	out := runOK(t, `print(1 < 2, 2 <= 1, "a" < "b", 1 == 1.0, nil == nil, not nil, true and 5, false or "x")`)
+	if out != "true false true true true true 5 x\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	out := runOK(t, `func boom() {
+    print("boom")
+    return true
+}
+x = false and boom()
+y = true or boom()
+print(x, y)`)
+	if out != "false true\n" {
+		t.Fatalf("side effects leaked: %q", out)
+	}
+}
+
+func TestStringOps(t *testing.T) {
+	out := runOK(t, `s = "Hello World"
+print(s.lower(), s.upper())
+print(s.split())
+print("a,b,c".split(","))
+print(s.contains("World"), s.startswith("He"), s.endswith("ld"))
+print("  pad  ".strip())
+print("abc".isalpha(), "a1".isalpha(), "".isalpha())
+print(s.replace("World", "pint"))
+print(s[0], s[-1], len(s))`)
+	want := `hello world HELLO WORLD
+["Hello", "World"]
+["a", "b", "c"]
+true true true
+pad
+true false false
+Hello pint
+H d 11
+`
+	if out != want {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestListOps(t *testing.T) {
+	out := runOK(t, `l = [3, 1, 2]
+l.push(4)
+print(l.pop(), l)
+l.sort()
+print(l)
+print(l.contains(2), l.contains(9))
+print(l.shift(), l)
+print([1] + [2, 3])
+print(l.join("-"))
+m = [1, 2, 3].map(func(x) { return x * x })
+print(m)`)
+	want := `4 [3, 1, 2]
+[1, 2, 3]
+true false
+1 [2, 3]
+[1, 2, 3]
+2-3
+[1, 4, 9]
+`
+	if out != want {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestDictOps(t *testing.T) {
+	out := runOK(t, `d = {"b": 2}
+d["a"] = 1
+print(d.get("a"), d.get("zzz"), d.get("zzz", 99))
+print(d.has("a"), d.has("zzz"))
+print(d.keys(), d.sorted_keys(), d.values())
+d.delete("b")
+print(len(d))
+for k in {"x": 1} {
+    print("iter", k)
+}`)
+	want := `1 nil 99
+true false
+["b", "a"] ["a", "b"] [2, 1]
+1
+iter x
+`
+	if out != want {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestForOverRangeStringNegStep(t *testing.T) {
+	out := runOK(t, `for i in range(3) { print(i) }
+for c in "ab" { print(c) }
+for j in range(6, 0, -2) { print(j) }`)
+	if out != "0\n1\n2\na\nb\n6\n4\n2\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestClosuresShareState(t *testing.T) {
+	out := runOK(t, `func pair() {
+    n = 0
+    inc = func() {
+        n += 1
+        return n
+    }
+    get = func() { return n }
+    return [inc, get]
+}
+p = pair()
+p[0]()
+p[0]()
+print(p[1]())`)
+	if out != "2\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	out := runOK(t, `func fib(n) {
+    if n < 2 { return n }
+    return fib(n - 1) + fib(n - 2)
+}
+print(fib(15))`)
+	if out != "610\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestRuntimeErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`x = 1 / 0`, "division by zero"},
+		{`x = [1][5]`, "out of range"},
+		{`x = {"a": 1}["b"]`, "not found"},
+		{`undefined_name`, "undefined name"},
+		{`x = 1 + [1]`, "unsupported operands"},
+		{`f = 5
+f()`, "not callable"},
+		{`func f(a) { return a }
+f(1, 2)`, "takes 1 arguments, got 2"},
+		{`x = [1, 2][nil]`, "index must be int"},
+		{`d = {}
+d[[1]] = 2`, "unhashable"},
+		{`"abc".nosuch()`, "no method"},
+	}
+	for _, c := range cases {
+		_, err := run(t, c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("src %q: err = %v, want %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestTracebackShape(t *testing.T) {
+	_, err := run(t, `func a() { return [0][9] }
+func b() { return a() }
+b()`)
+	rerr, ok := err.(*vm.RuntimeError)
+	if !ok {
+		t.Fatalf("err type %T", err)
+	}
+	msg := rerr.Error()
+	if !strings.Contains(msg, "in `a'") || !strings.Contains(msg, "in `b'") || !strings.Contains(msg, "in `<main>'") {
+		t.Fatalf("traceback: %s", msg)
+	}
+}
+
+func TestTraceEvents(t *testing.T) {
+	proto, err := compiler.CompileSource(`x = 1
+func f() {
+    return 2
+}
+y = f()`, "t.pint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &fakeHost{}
+	th := vm.NewThread(1, "main", h)
+	env := value.NewEnv(nil)
+	vm.InstallCore(env)
+	var events []string
+	th.Trace = func(_ *vm.Thread, ev vm.Event, line int) error {
+		events = append(events, ev.String()+":"+itoa(line))
+		return nil
+	}
+	if _, err := th.RunModule(proto, env); err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(events, " ")
+	// Module call, line 1, line 2 (func def), line 5, call into f,
+	// line 3, return from f, return from module.
+	want := "call:1 line:1 line:2 line:5 call:3 line:3 return:3 return:5"
+	if joined != want {
+		t.Fatalf("events = %s, want %s", joined, want)
+	}
+}
+
+func TestTraceSuppressed(t *testing.T) {
+	proto, _ := compiler.CompileSource("x = 1", "t.pint")
+	h := &fakeHost{}
+	th := vm.NewThread(1, "main", h)
+	env := value.NewEnv(nil)
+	n := 0
+	th.Trace = func(_ *vm.Thread, _ vm.Event, _ int) error { n++; return nil }
+	th.TraceSuppressed = true
+	if _, err := th.RunModule(proto, env); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("trace fired %d times while suppressed", n)
+	}
+}
+
+func TestTickFiresAtCheckInterval(t *testing.T) {
+	proto, _ := compiler.CompileSource(`total = 0
+for i in range(1000) {
+    total += 1
+}`, "t.pint")
+	h := &fakeHost{}
+	th := vm.NewThread(1, "main", h)
+	th.CheckEvery = 100
+	env := value.NewEnv(nil)
+	vm.InstallCore(env)
+	if _, err := th.RunModule(proto, env); err != nil {
+		t.Fatal(err)
+	}
+	// ~1000 iterations x ~10 instructions / 100 => roughly 100+ ticks.
+	if h.ticks < 50 {
+		t.Fatalf("ticks = %d, checkinterval not honored", h.ticks)
+	}
+}
+
+func TestResolveBuiltin(t *testing.T) {
+	out := runOK(t, `func double(x) { return x + x }
+f = resolve("double")
+print(f(21))`)
+	if out != "42\n" {
+		t.Fatalf("out = %q", out)
+	}
+	_, err := run(t, `resolve("nope")`)
+	if err == nil {
+		t.Fatalf("resolve of undefined name succeeded")
+	}
+}
+
+func TestCoreBuiltins(t *testing.T) {
+	out := runOK(t, `print(len([1, 2]), len("abc"), len({"a": 1}), len(range(5)))
+print(str(12) + "!", int("42"), int(3.9), float(2), float("1.5"))
+print(type(1), type("s"), type([]), type({}), type(nil), type(print))
+print(abs(-3), abs(2.5), min(3, 1, 2), max([4, 9, 2]))`)
+	want := `2 3 1 5
+12! 42 3 2 1.5
+int string list dict nil builtin
+3 2.5 1 9
+`
+	if out != want {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}

@@ -1,0 +1,35 @@
+package wordcount_test
+
+import (
+	"os"
+	"testing"
+
+	"dionea/internal/corpus"
+	"dionea/internal/wordcount"
+)
+
+func TestCalibrateOverhead(t *testing.T) {
+	if os.Getenv("DIONEA_CALIBRATE") == "" {
+		t.Skip("set DIONEA_CALIBRATE=1 to run the overhead calibration (slow); cmd/benchfig supersedes it")
+	}
+	for _, pr := range []corpus.Preset{corpus.Dionea, corpus.Rust, corpus.Linux} {
+		lines := corpus.Generate(pr, 1)
+		best := func(debug bool) float64 {
+			var b float64
+			for i := 0; i < 5; i++ {
+				r, err := wordcount.Run(lines, 4, debug)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s := r.Elapsed.Seconds()
+				if b == 0 || s < b {
+					b = s
+				}
+			}
+			return b
+		}
+		n := best(false)
+		d := best(true)
+		t.Logf("%s: normal=%.3fs debug=%.3fs overhead=%.1f%%", pr, n, d, (d/n-1)*100)
+	}
+}

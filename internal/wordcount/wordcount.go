@@ -1,0 +1,318 @@
+// Package wordcount is the §7 measurement workload: "A Python program
+// that uses multiprocessing to implement MapReduce was prepared to
+// quantify the overhead of running a program with Dionea and no
+// breakpoints. This program maps words that contain only letters and are
+// not reserved words, then the program reduces the values obtained in the
+// map phase to calculate the frequency of each word."
+//
+// The workload here is the pint equivalent: a MapReduce word-frequency
+// program over the mp prelude (fork-based pool, semaphore+pipe+pickle
+// queues), plus a pure-Go reference implementation used to verify the
+// interpreted result, and a driver that runs the program bare or under a
+// Dionea debug server with a connected client and no breakpoints.
+package wordcount
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dionea/internal/bytecode"
+	"dionea/internal/client"
+	"dionea/internal/compiler"
+	"dionea/internal/dionea"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+	"dionea/internal/mp"
+	"dionea/internal/token"
+	"dionea/internal/value"
+	"dionea/internal/vm"
+)
+
+// ProgramSource is the MapReduce word-frequency program, in pint. It
+// expects three host builtins: input_lines() (the corpus), num_workers()
+// and output_counts(dict) (the result sink).
+const ProgramSource = `# MapReduce word frequency (the paper's §7 workload)
+
+func wc_map(chunk) {
+    counts = {}
+    for line in chunk {
+        for raw in line.split() {
+            w = raw.lower()
+            if w.isalpha() {
+                if not is_reserved(w) {
+                    counts[w] = counts.get(w, 0) + 1
+                }
+            }
+        }
+    }
+    return counts
+}
+
+func wc_reduce(total, part) {
+    for k in part.keys() {
+        total[k] = total.get(k, 0) + part[k]
+    }
+    return total
+}
+
+lines = input_lines()
+nw = num_workers()
+
+# Chunk the corpus: several tasks per worker so free workers take over
+# jobs (Figure 8 behaviour).
+nchunks = nw * 4
+chunks = []
+for i in range(nchunks) {
+    chunks.push([])
+}
+i = 0
+for line in lines {
+    chunks[i % nchunks].push(line)
+    i += 1
+}
+
+pool = mp_pool(nw)
+parts = mp_pool_map(pool, "wc_map", chunks)
+mp_pool_close(pool)
+
+total = {}
+for part in parts {
+    total = wc_reduce(total, part)
+}
+output_counts(total)
+`
+
+var (
+	compileOnce sync.Once
+	prog        *bytecode.FuncProto
+	compileErr  error
+)
+
+// Program returns the compiled workload.
+func Program() (*bytecode.FuncProto, error) {
+	compileOnce.Do(func() {
+		prog, compileErr = compiler.CompileSource(ProgramSource, "wordcount.pint")
+	})
+	return prog, compileErr
+}
+
+// Install registers the workload's host builtins on a process: the corpus
+// input, the worker count, the reserved-word predicate and the result
+// sink. sink is called once, from the debuggee's main thread, with the
+// final frequency dict.
+func Install(p *kernel.Process, lines []string, workers int, sink func(*value.Dict)) {
+	env := p.Globals
+
+	lineVals := make([]value.Value, len(lines))
+	for i, l := range lines {
+		lineVals[i] = value.Str(l)
+	}
+
+	env.Define("input_lines", &vm.Builtin{Name: "input_lines", Fn: func(_ *vm.Thread, _ []value.Value, _ *value.Closure) (value.Value, error) {
+		return value.NewList(lineVals...), nil
+	}})
+	env.Define("num_workers", &vm.Builtin{Name: "num_workers", Fn: func(_ *vm.Thread, _ []value.Value, _ *value.Closure) (value.Value, error) {
+		return value.Int(workers), nil
+	}})
+	env.Define("is_reserved", &vm.Builtin{Name: "is_reserved", Fn: func(_ *vm.Thread, args []value.Value, _ *value.Closure) (value.Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("is_reserved expects 1 argument")
+		}
+		s, ok := args[0].(value.Str)
+		if !ok {
+			return nil, fmt.Errorf("is_reserved expects a string")
+		}
+		return value.Bool(token.Lookup(string(s)) != token.IDENT), nil
+	}})
+	env.Define("output_counts", &vm.Builtin{Name: "output_counts", Fn: func(_ *vm.Thread, args []value.Value, _ *value.Closure) (value.Value, error) {
+		if len(args) != 1 {
+			return nil, fmt.Errorf("output_counts expects 1 argument")
+		}
+		d, ok := args[0].(*value.Dict)
+		if !ok {
+			return nil, fmt.Errorf("output_counts expects a dict")
+		}
+		if sink != nil {
+			sink(d)
+		}
+		return value.NilV, nil
+	}})
+}
+
+// Reference computes the same word frequencies in pure Go, for verifying
+// the interpreted result.
+func Reference(lines []string) map[string]int64 {
+	counts := make(map[string]int64)
+	for _, line := range lines {
+		for _, raw := range strings.Fields(line) {
+			w := strings.ToLower(raw)
+			if !isAlpha(w) {
+				continue
+			}
+			if token.Lookup(w) != token.IDENT {
+				continue
+			}
+			counts[w]++
+		}
+	}
+	return counts
+}
+
+func isAlpha(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !('a' <= c && c <= 'z' || 'A' <= c && c <= 'Z') {
+			return false
+		}
+	}
+	return true
+}
+
+// Result is the outcome of one measured run.
+type Result struct {
+	Elapsed time.Duration
+	Counts  map[string]int64
+	// ExitCode of the root process.
+	ExitCode int
+}
+
+// Run executes the workload over lines with the given worker count.
+// When debug is true the program runs under a Dionea debug server with a
+// connected client and NO breakpoints — the paper's §7 configuration
+// ("Running a program with a debugger attached and no breakpoints").
+func Run(lines []string, workers int, debug bool) (*Result, error) {
+	proto, err := Program()
+	if err != nil {
+		return nil, err
+	}
+	mpPrelude, err := mp.Prelude()
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		mu     sync.Mutex
+		counts map[string]int64
+	)
+	sink := func(d *value.Dict) {
+		out := make(map[string]int64, d.Len())
+		for _, k := range d.Keys() {
+			v, _ := d.Get(k)
+			if n, ok := v.(value.Int); ok {
+				out[k.S] = int64(n)
+			}
+		}
+		mu.Lock()
+		counts = out
+		mu.Unlock()
+	}
+
+	k := kernel.New()
+	setup := []func(*kernel.Process){
+		ipc.Install,
+		func(p *kernel.Process) { Install(p, lines, workers, sink) },
+	}
+	var attachErr error
+	if debug {
+		setup = append(setup, func(p *kernel.Process) {
+			// WaitForClient parks the main thread until the client is
+			// attached, so the measured interval never races the client
+			// connection (and short corpora cannot finish before the
+			// debugger is in place).
+			_, attachErr = dionea.Attach(k, p, dionea.Options{
+				SessionID:     "wc",
+				Sources:       map[string]string{"wordcount.pint": ProgramSource},
+				WaitForClient: true,
+			})
+		})
+	}
+
+	start := time.Now()
+	p := k.StartProgram(proto, kernel.Options{
+		Preludes: []*bytecode.FuncProto{mpPrelude},
+		Setup:    setup,
+	})
+	if debug {
+		if attachErr != nil {
+			return nil, fmt.Errorf("wordcount: attach: %w", attachErr)
+		}
+		c := client.New(k, "wc")
+		if _, cerr := c.ConnectRoot(p.PID, 5*time.Second); cerr != nil {
+			return nil, fmt.Errorf("wordcount: connect: %w", cerr)
+		}
+		// Find the parked main thread and release it; the measurement
+		// starts here (the bare run starts its clock at StartProgram,
+		// which is the same point in the program's life).
+		var mainT int64
+		for mainT == 0 {
+			infos, terr := c.Threads(p.PID)
+			if terr != nil {
+				return nil, fmt.Errorf("wordcount: threads: %w", terr)
+			}
+			for _, ti := range infos {
+				if ti.Main {
+					mainT = ti.TID
+				}
+			}
+		}
+		start = time.Now()
+		if cerr := c.Continue(p.PID, mainT); cerr != nil {
+			return nil, fmt.Errorf("wordcount: continue: %w", cerr)
+		}
+	}
+	k.WaitAll()
+	elapsed := time.Since(start)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if counts == nil && p.ExitCode() == 0 {
+		return nil, fmt.Errorf("wordcount: program produced no counts; output: %s", p.Output())
+	}
+	return &Result{Elapsed: elapsed, Counts: counts, ExitCode: p.ExitCode()}, nil
+}
+
+// Equal compares two count maps.
+func Equal(a, b map[string]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Top returns the n most frequent words (ties broken alphabetically), for
+// human-readable reporting.
+func Top(counts map[string]int64, n int) []string {
+	type kv struct {
+		w string
+		n int64
+	}
+	all := make([]kv, 0, len(counts))
+	for w, c := range counts {
+		all = append(all, kv{w, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].w < all[j].w
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = fmt.Sprintf("%s:%d", all[i].w, all[i].n)
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package wordcount_test
+
+import (
+	"testing"
+
+	"dionea/internal/corpus"
+	"dionea/internal/wordcount"
+)
+
+func TestProgramCompiles(t *testing.T) {
+	if _, err := wordcount.Program(); err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+}
+
+func TestInterpretedMatchesReference(t *testing.T) {
+	lines := corpus.GenerateWords(3000, 7)
+	want := wordcount.Reference(lines)
+	res, err := wordcount.Run(lines, 3, false)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("exit = %d", res.ExitCode)
+	}
+	if !wordcount.Equal(res.Counts, want) {
+		t.Fatalf("interpreted counts differ from reference\n pint: %v\n   go: %v",
+			wordcount.Top(res.Counts, 5), wordcount.Top(want, 5))
+	}
+	if len(res.Counts) == 0 {
+		t.Fatalf("empty counts")
+	}
+}
+
+func TestDebuggedRunMatchesToo(t *testing.T) {
+	lines := corpus.GenerateWords(2000, 11)
+	want := wordcount.Reference(lines)
+	res, err := wordcount.Run(lines, 2, true)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !wordcount.Equal(res.Counts, want) {
+		t.Fatalf("debugged counts differ from reference")
+	}
+}
+
+func TestReferenceFiltersReservedAndNonAlpha(t *testing.T) {
+	lines := []string{"if buffer for x1 thread ++ return queue if"}
+	got := wordcount.Reference(lines)
+	if got["if"] != 0 || got["for"] != 0 || got["return"] != 0 {
+		t.Fatalf("reserved words not filtered: %v", got)
+	}
+	if got["x1"] != 0 || got["++"] != 0 {
+		t.Fatalf("non-alpha words not filtered: %v", got)
+	}
+	if got["buffer"] != 1 || got["thread"] != 1 || got["queue"] != 1 {
+		t.Fatalf("plain words miscounted: %v", got)
+	}
+}
+
+func TestCorpusDeterministic(t *testing.T) {
+	a := corpus.Generate(corpus.Dionea, 1)
+	b := corpus.Generate(corpus.Dionea, 1)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("line %d differs", i)
+		}
+	}
+	// Scale ratios hold: linux > rust > dionea.
+	d := corpus.CountWords(corpus.Generate(corpus.Dionea, 1))
+	r := corpus.CountWords(corpus.Generate(corpus.Rust, 1))
+	l := corpus.CountWords(corpus.Generate(corpus.Linux, 1))
+	if !(d < r && r < l) {
+		t.Fatalf("scales out of order: %d %d %d", d, r, l)
+	}
+	if d < 35000 || d > 45000 {
+		t.Fatalf("dionea corpus size off: %d", d)
+	}
+}
