@@ -107,6 +107,8 @@ func (u *ui) printEvent(e client.Event) {
 		fmt.Printf("[pid %d] DEADLOCK in thread %d at %s:%d\n%s\n", m.PID, m.TID, m.File, m.Line, m.Text)
 	case protocol.EventFatal:
 		fmt.Printf("[pid %d] fatal: %s\n", m.PID, m.Text)
+	case protocol.EventStaticHint:
+		fmt.Printf("[pid %d] static hint: %s:%d: [%s] %s\n", m.PID, m.File, m.Line, m.Rule, m.Text)
 	}
 }
 

@@ -71,6 +71,7 @@ func main() {
 					WaitForClient: !*nowait,
 					Disturb:       *disturb,
 					PortDir:       *portDir,
+					Program:       proto,
 				})
 				if aerr != nil {
 					fmt.Fprintf(os.Stderr, "dioneas: %v\n", aerr)

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	pint [-check N] [-trace] program.pint
+//	pint [-check N] [-vet] program.pint
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"dionea/internal/analysis"
 	"dionea/internal/bytecode"
 	"dionea/internal/compiler"
 	"dionea/internal/ipc"
@@ -25,6 +26,7 @@ import (
 func main() {
 	check := flag.Int("check", 0, "GIL checkinterval in VM instructions (0 = default 100)")
 	disasm := flag.Bool("disasm", false, "print the compiled bytecode and exit")
+	vet := flag.Bool("vet", false, "run the pintvet static checks and warn on stderr before running")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pint [flags] program.pint\n")
 		flag.PrintDefaults()
@@ -48,6 +50,11 @@ func main() {
 	if *disasm {
 		fmt.Print(proto.Disassemble())
 		return
+	}
+	if *vet {
+		for _, d := range analysis.Analyze(proto, analysis.Options{Globals: analysis.RuntimeGlobals()}) {
+			fmt.Fprintf(os.Stderr, "pint: vet: %s\n", d)
+		}
 	}
 
 	k := kernel.New()

@@ -1,0 +1,152 @@
+// End-to-end coverage for the static analyzer: the pintvet binary, the
+// pint -vet flag, and the Dionea server replaying findings as static
+// hints to a freshly connected client.
+package e2e
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPintvetFlagsDeadlock(t *testing.T) {
+	bin := binaries(t)
+	out, err := exec.Command(filepath.Join(bin, "pintvet"), repoPath(t, "testdata/deadlock.pint")).CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit 1 on findings, got err=%v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "deadlock.pint:14: [interthread-queue-across-fork]") {
+		t.Fatalf("missing the Listing 5 finding at line 14:\n%s", out)
+	}
+}
+
+func TestPintvetCleanProgramSilentExitZero(t *testing.T) {
+	bin := binaries(t)
+	out, err := exec.Command(filepath.Join(bin, "pintvet"), repoPath(t, "testdata/hello.pint")).CombinedOutput()
+	if err != nil {
+		t.Fatalf("want exit 0 on clean program, got %v\n%s", err, out)
+	}
+	if len(out) != 0 {
+		t.Fatalf("want no output on clean program, got:\n%s", out)
+	}
+}
+
+func TestPintvetJSON(t *testing.T) {
+	bin := binaries(t)
+	out, err := exec.Command(filepath.Join(bin, "pintvet"), "-json", repoPath(t, "testdata/vet/forklock_bad.pint")).Output()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit 1, got %v", err)
+	}
+	var findings []struct {
+		File string `json:"file"`
+		Line int    `json:"line"`
+		Rule string `json:"rule"`
+	}
+	if err := json.Unmarshal(out, &findings); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(findings) != 1 || findings[0].Rule != "fork-while-lock-held" || findings[0].Line != 4 {
+		t.Fatalf("findings = %+v", findings)
+	}
+}
+
+func TestPintvetCompileErrorExitTwo(t *testing.T) {
+	bin := binaries(t)
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "broken.pint")
+	if err := os.WriteFile(prog, []byte("func {\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := exec.Command(filepath.Join(bin, "pintvet"), prog).Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("want exit 2 on compile error, got %v", err)
+	}
+}
+
+func TestPintVetFlagWarnsAndStillRuns(t *testing.T) {
+	bin := binaries(t)
+	out, err := exec.Command(filepath.Join(bin, "pint"), "-vet", repoPath(t, "testdata/vet/forklock_bad.pint")).CombinedOutput()
+	if err != nil {
+		t.Fatalf("pint -vet: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "pint: vet: forklock_bad.pint:4: [fork-while-lock-held]") {
+		t.Fatalf("vet warning missing:\n%s", out)
+	}
+	// The warning is advisory: the program still ran to completion.
+	if !strings.Contains(string(out), "child computes under a lock it can never take") {
+		t.Fatalf("program output missing:\n%s", out)
+	}
+}
+
+// TestStaticHintsArriveOnConnect starts dioneas on the Listing 5
+// deadlock program and asserts a connecting dioneac session sees the
+// analyzer's hint — while the debuggee is still parked and before any
+// breakpoint has been set.
+func TestStaticHintsArriveOnConnect(t *testing.T) {
+	bin := binaries(t)
+	portDir := t.TempDir()
+
+	srv := exec.Command(filepath.Join(bin, "dioneas"),
+		"-session", "e2ehints", "-portdir", portDir,
+		repoPath(t, "testdata/deadlock.pint"))
+	var srvOut bytes.Buffer
+	srv.Stdout = &srvOut
+	srv.Stderr = &srvOut
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Process.Kill() }()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		entries, _ := os.ReadDir(portDir)
+		if len(entries) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no port file; server output:\n%s", srvOut.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Drive the client over a pipe: connect, issue no commands at all,
+	// give the source channel a beat to deliver events, then quit.
+	pr, pw := io.Pipe()
+	cli := exec.Command(filepath.Join(bin, "dioneac"),
+		"-session", "e2ehints", "-portdir", portDir, "-pid", "1")
+	cli.Stdin = pr
+	var cliOut bytes.Buffer
+	cli.Stdout = &cliOut
+	cli.Stderr = &cliOut
+	if err := cli.Start(); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(1500 * time.Millisecond)
+		_, _ = io.WriteString(pw, "quit\n")
+		_ = pw.Close()
+	}()
+	if err := cli.Wait(); err != nil {
+		t.Fatalf("dioneac: %v\n%s", err, cliOut.String())
+	}
+
+	out := cliOut.String()
+	hint := strings.Index(out, "static hint: deadlock.pint:14: [interthread-queue-across-fork]")
+	if hint < 0 {
+		t.Fatalf("static hint missing from client output:\n%s", out)
+	}
+	// No breakpoint was ever set; the only stop the client may have seen
+	// is the attach-wait park, and the hint must not trail a breakpoint.
+	if bp := strings.Index(out, "stopped (breakpoint)"); bp >= 0 && bp < hint {
+		t.Fatalf("hint arrived after a breakpoint stop:\n%s", out)
+	}
+}

@@ -1,0 +1,582 @@
+// The forward dataflow engine: an abstract interpreter over the VM's
+// operand stack, run block-by-block to a fixpoint with a worklist.
+//
+// Facts are (abstract stack, abstract environment, must-defined set)
+// triples. Abstract values classify what the rules care about — which
+// IPC object a value is (inter-thread queue, mutex, pipe end, ...),
+// which builtin or compiled closure a callee is, and constant branch
+// conditions for feasibility. The lattice is flat per slot (a specific
+// classification joins with a different one to unknown), so the
+// fixpoint terminates quickly: height 2 per stack/env slot plus the
+// shrinking must-defined set.
+
+package analysis
+
+import (
+	"sort"
+
+	"dionea/internal/bytecode"
+)
+
+// kind classifies an abstract value.
+type kind int
+
+const (
+	kUnknown kind = iota
+	kNil
+	kTrue
+	kFalse
+	kInt      // integer constant (ival)
+	kBuiltin  // platform builtin (name)
+	kClosure  // compiled closure (proto)
+	kQueue    // inter-thread queue, queue_new()
+	kMPQueue  // cross-process queue, mp_queue()
+	kMutex    // mutex_new()
+	kSem      // semaphore_new()
+	kPipePair // the [read_end, write_end] list from pipe_new()
+	kPipeRead
+	kPipeWrite
+	kBound // bound method (name = method, recv = receiver)
+)
+
+// absVal is one abstract value.
+type absVal struct {
+	k     kind
+	name  string              // builtin or method name
+	ival  int64               // kInt constant
+	proto *bytecode.FuncProto // kClosure
+	recv  *absVal             // kBound receiver
+
+	// src is the variable name the value was last loaded from, and
+	// outer reports that the name is not stored anywhere in the current
+	// proto — i.e. the value reached this proto through closure capture
+	// or a global. The concurrency rules use this to tell "object
+	// created here" from "object shared from an enclosing scope".
+	src   string
+	outer bool
+}
+
+func unknownVal() absVal { return absVal{k: kUnknown} }
+
+func sameVal(a, b absVal) bool {
+	if a.k != b.k || a.name != b.name || a.ival != b.ival || a.proto != b.proto {
+		return false
+	}
+	if (a.recv == nil) != (b.recv == nil) {
+		return false
+	}
+	if a.recv != nil && !sameVal(*a.recv, *b.recv) {
+		return false
+	}
+	return true
+}
+
+// joinVal is the lattice join: identical values stay, conflicting
+// classifications degrade to unknown; provenance (src/outer) survives
+// only when both sides agree.
+func joinVal(a, b absVal) absVal {
+	if !sameVal(a, b) {
+		return unknownVal()
+	}
+	if a.src != b.src || a.outer != b.outer {
+		a.src, a.outer = "", false
+	}
+	return a
+}
+
+// state is the dataflow fact at a block boundary.
+type state struct {
+	ok    bool
+	stack []absVal
+	env   map[string]absVal
+	must  map[string]bool
+}
+
+func (s *state) clone() *state {
+	c := &state{ok: s.ok, stack: append([]absVal(nil), s.stack...),
+		env: make(map[string]absVal, len(s.env)), must: make(map[string]bool, len(s.must))}
+	for k, v := range s.env {
+		c.env[k] = v
+	}
+	for k := range s.must {
+		c.must[k] = true
+	}
+	return c
+}
+
+func (s *state) push(v absVal) { s.stack = append(s.stack, v) }
+
+func (s *state) pop() absVal {
+	if len(s.stack) == 0 {
+		return unknownVal() // defensive: never underflow on malformed code
+	}
+	v := s.stack[len(s.stack)-1]
+	s.stack = s.stack[:len(s.stack)-1]
+	return v
+}
+
+func (s *state) popN(n int) []absVal {
+	vs := make([]absVal, n)
+	for i := n - 1; i >= 0; i-- {
+		vs[i] = s.pop()
+	}
+	return vs
+}
+
+func (s *state) peek() absVal {
+	if len(s.stack) == 0 {
+		return unknownVal()
+	}
+	return s.stack[len(s.stack)-1]
+}
+
+// merge joins in into dst, reporting whether dst changed.
+func merge(dst, in *state, pi *protoInfo) bool {
+	if !dst.ok {
+		*dst = *in.clone()
+		dst.ok = true
+		return true
+	}
+	changed := false
+	if len(dst.stack) != len(in.stack) {
+		// The compiler emits depth-consistent code; a mismatch means the
+		// abstraction lost track. Degrade rather than crash and let the
+		// stack-sensitive rules stand down for this proto.
+		pi.stackConflict = true
+		for i := range dst.stack {
+			if dst.stack[i].k != kUnknown {
+				dst.stack[i] = unknownVal()
+				changed = true
+			}
+		}
+	} else {
+		for i := range dst.stack {
+			j := joinVal(dst.stack[i], in.stack[i])
+			if !sameVal(j, dst.stack[i]) || j.src != dst.stack[i].src || j.outer != dst.stack[i].outer {
+				dst.stack[i] = j
+				changed = true
+			}
+		}
+	}
+	for name, v := range in.env {
+		if cur, ok := dst.env[name]; ok {
+			j := joinVal(cur, v)
+			if !sameVal(j, cur) || j.src != cur.src {
+				dst.env[name] = j
+				changed = true
+			}
+		} else {
+			// May-join for classifications: a value bound on one path is
+			// still a hazard on the merged path.
+			dst.env[name] = v
+			changed = true
+		}
+	}
+	for name := range dst.must {
+		if !in.must[name] {
+			delete(dst.must, name)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// CallSite is one OpCall, as resolved by the abstract interpreter.
+type CallSite struct {
+	Index, Line int
+	Callee      absVal
+	Args        []absVal
+	Block       *bytecode.FuncProto // trailing do-block closure, if any
+}
+
+// IsBuiltin reports whether the callee is the (unshadowed) builtin name.
+func (cs *CallSite) IsBuiltin(name string) bool {
+	return cs.Callee.k == kBuiltin && cs.Callee.name == name
+}
+
+// Method returns the method name for bound-method calls, else "".
+func (cs *CallSite) Method() string {
+	if cs.Callee.k == kBound {
+		return cs.Callee.name
+	}
+	return ""
+}
+
+// Recv returns the receiver of a bound-method call.
+func (cs *CallSite) Recv() absVal {
+	if cs.Callee.k == kBound && cs.Callee.recv != nil {
+		return *cs.Callee.recv
+	}
+	return unknownVal()
+}
+
+// BlockProto returns the closure proto a fork/spawn call runs: the
+// trailing do-block, or a closure passed as the sole positional
+// argument (fork(fn) / spawn(fn)).
+func (cs *CallSite) BlockProto() *bytecode.FuncProto {
+	if cs.Block != nil {
+		return cs.Block
+	}
+	if len(cs.Args) >= 1 && cs.Args[0].k == kClosure {
+		return cs.Args[0].proto
+	}
+	return nil
+}
+
+// nameUse records one OpLoadName for the undefined-variable rule.
+type nameUse struct {
+	Name    string
+	Line    int
+	MustDef bool // the name was definitely assigned on every path here
+}
+
+// protoInfo carries the per-function analysis results.
+type protoInfo struct {
+	p      *program
+	proto  *bytecode.FuncProto
+	parent *protoInfo
+	cfg    *CFG
+
+	// outer maps free names to their abstract value in enclosing scopes
+	// (built from the parents' nameKinds before this proto is analyzed).
+	outer map[string]absVal
+	// stores is the set of names this proto assigns anywhere in its code.
+	stores map[string]bool
+	// nameKinds joins every value stored to each name in this proto.
+	nameKinds map[string]absVal
+
+	reach         []bool      // instruction-level reachability at fixpoint
+	calls         []*CallSite // resolved call sites, in code order
+	uses          []nameUse   // OpLoadName records, in code order
+	stackConflict bool        // abstraction degraded; stack rules stand down
+}
+
+// file returns the source file of the proto.
+func (pi *protoInfo) file() string { return pi.proto.File }
+
+// outerHas reports whether name resolves in an enclosing scope.
+func (pi *protoInfo) outerHas(name string) bool {
+	_, ok := pi.outer[name]
+	return ok
+}
+
+// run analyzes the proto to fixpoint, then records reachability, call
+// sites and name uses under the final facts.
+func (pi *protoInfo) run() {
+	code := pi.proto.Code
+	pi.cfg = BuildCFG(code)
+	pi.reach = make([]bool, len(code))
+	if len(code) == 0 {
+		return
+	}
+
+	entry := &state{ok: true, env: map[string]absVal{}, must: map[string]bool{}}
+	for _, p := range pi.proto.Params {
+		entry.env[p] = unknownVal()
+		entry.must[p] = true
+	}
+
+	states := make([]state, len(pi.cfg.Blocks))
+	states[0] = *entry
+	work := []int{0}
+	visits := make([]int, len(pi.cfg.Blocks))
+	const maxVisits = 4096 // defensive bound; the flat lattice converges long before
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		if visits[id]++; visits[id] > maxVisits {
+			continue
+		}
+		outs := pi.execBlock(id, states[id].clone(), false)
+		for succ, out := range outs {
+			if merge(&states[succ], out, pi) {
+				work = append(work, succ)
+			}
+		}
+	}
+
+	// Recording pass under the converged facts.
+	for id := range pi.cfg.Blocks {
+		if states[id].ok {
+			pi.execBlock(id, states[id].clone(), true)
+		}
+	}
+	sort.Slice(pi.calls, func(i, j int) bool { return pi.calls[i].Index < pi.calls[j].Index })
+}
+
+// execBlock interprets one basic block from entry state st, returning
+// the out-state per feasible successor block. With record set it also
+// marks reachability and collects call sites and name uses.
+func (pi *protoInfo) execBlock(id int, st *state, record bool) map[int]*state {
+	b := pi.cfg.Blocks[id]
+	code := pi.cfg.Code
+	outs := map[int]*state{}
+
+	fall := func() (int, bool) {
+		if b.End < len(code) {
+			return pi.cfg.BlockOf[b.End], true
+		}
+		return 0, false
+	}
+
+	for i := b.Start; i < b.End; i++ {
+		in := code[i]
+		if record {
+			pi.reach[i] = true
+		}
+		if i == b.End-1 && (isJump(in.Op) || in.Op == bytecode.OpReturn) {
+			pi.execTerminator(in, st, outs, fall)
+			return outs
+		}
+		if !pi.step(in, st, record, i) {
+			return outs // non-returning call (exit): nothing flows on
+		}
+	}
+	if succ, ok := fall(); ok {
+		outs[succ] = st
+	}
+	return outs
+}
+
+// execTerminator applies the jump/return semantics including
+// constant-condition edge feasibility.
+func (pi *protoInfo) execTerminator(in bytecode.Instr, st *state, outs map[int]*state, fall func() (int, bool)) {
+	code := pi.cfg.Code
+	addJump := func(s *state) { outs[pi.cfg.BlockOf[in.Arg]] = s }
+	addFall := func(s *state) {
+		if succ, ok := fall(); ok {
+			if prev, dup := outs[succ]; dup {
+				merge(prev, s, pi)
+			} else {
+				outs[succ] = s
+			}
+		}
+	}
+
+	switch in.Op {
+	case bytecode.OpReturn:
+		st.pop()
+
+	case bytecode.OpJump:
+		addJump(st)
+
+	case bytecode.OpJumpIfFalse, bytecode.OpJumpIfTrue,
+		bytecode.OpJumpIfFalsePeek, bytecode.OpJumpIfTruePeek:
+		var cond absVal
+		peek := in.Op == bytecode.OpJumpIfFalsePeek || in.Op == bytecode.OpJumpIfTruePeek
+		if peek {
+			cond = st.peek()
+		} else {
+			cond = st.pop()
+		}
+		onFalse := in.Op == bytecode.OpJumpIfFalse || in.Op == bytecode.OpJumpIfFalsePeek
+		jumpFeasible, fallFeasible := true, true
+		switch cond.k {
+		case kTrue:
+			jumpFeasible, fallFeasible = !onFalse, onFalse
+		case kFalse, kNil:
+			jumpFeasible, fallFeasible = onFalse, !onFalse
+		}
+		if jumpFeasible {
+			addJump(st.clone())
+		}
+		if fallFeasible {
+			addFall(st)
+		}
+
+	case bytecode.OpIterNext:
+		// Exhausted: pop the iterator and jump. Else: push the element.
+		ex := st.clone()
+		ex.pop()
+		// The compiler emits StoreName of the loop variable right after
+		// IterNext. On the exhausted edge the variable keeps its previous
+		// binding (or stays unbound for an empty iterable) — treating it
+		// as assigned suppresses the classic loop-variable-after-loop
+		// false positive at the cost of missing the empty-iterable case.
+		if next, ok := fall(); ok {
+			if fi := pi.cfg.Blocks[next].Start; fi < len(code) && code[fi].Op == bytecode.OpStoreName {
+				v := code[fi]
+				name := pi.proto.Names[v.Arg]
+				if _, bound := ex.env[name]; !bound {
+					ex.env[name] = unknownVal()
+				}
+				ex.must[name] = true
+			}
+		}
+		addJump(ex)
+		st.push(unknownVal())
+		addFall(st)
+	}
+}
+
+// step interprets one non-terminator instruction. It returns false when
+// control provably does not continue (a call to the exit builtin).
+func (pi *protoInfo) step(in bytecode.Instr, st *state, record bool, idx int) bool {
+	proto := pi.proto
+	switch in.Op {
+	case bytecode.OpLine:
+		// statement marker only
+
+	case bytecode.OpConst:
+		c := proto.Consts[in.Arg]
+		switch v := c.(type) {
+		case bool:
+			if v {
+				st.push(absVal{k: kTrue})
+			} else {
+				st.push(absVal{k: kFalse})
+			}
+		case int64:
+			st.push(absVal{k: kInt, ival: v})
+		default:
+			st.push(unknownVal())
+		}
+
+	case bytecode.OpNil:
+		st.push(absVal{k: kNil})
+	case bytecode.OpTrue:
+		st.push(absVal{k: kTrue})
+	case bytecode.OpFalse:
+		st.push(absVal{k: kFalse})
+	case bytecode.OpPop:
+		st.pop()
+
+	case bytecode.OpLoadName:
+		name := proto.Names[in.Arg]
+		v := pi.resolve(name, st)
+		if record {
+			pi.uses = append(pi.uses, nameUse{Name: name, Line: in.Line, MustDef: st.must[name]})
+		}
+		st.push(v)
+
+	case bytecode.OpStoreName, bytecode.OpDefineName:
+		name := proto.Names[in.Arg]
+		v := st.pop()
+		v.src, v.outer = "", false
+		st.env[name] = v
+		st.must[name] = true
+		if record {
+			if cur, ok := pi.nameKinds[name]; ok {
+				pi.nameKinds[name] = joinVal(cur, v)
+			} else {
+				pi.nameKinds[name] = v
+			}
+		}
+
+	case bytecode.OpBinary:
+		st.pop()
+		st.pop()
+		st.push(unknownVal())
+
+	case bytecode.OpUnary:
+		v := st.pop()
+		out := unknownVal()
+		if bytecode.UnOp(in.Arg) == bytecode.UnNot {
+			switch v.k {
+			case kTrue:
+				out = absVal{k: kFalse}
+			case kFalse, kNil:
+				out = absVal{k: kTrue}
+			}
+		}
+		st.push(out)
+
+	case bytecode.OpIndex:
+		idx := st.pop()
+		x := st.pop()
+		out := unknownVal()
+		if x.k == kPipePair && idx.k == kInt {
+			switch idx.ival {
+			case 0:
+				out = absVal{k: kPipeRead, src: x.src, outer: x.outer}
+			case 1:
+				out = absVal{k: kPipeWrite, src: x.src, outer: x.outer}
+			}
+		}
+		st.push(out)
+
+	case bytecode.OpSetIndex:
+		st.popN(3)
+
+	case bytecode.OpAttr:
+		x := st.pop()
+		recv := x
+		st.push(absVal{k: kBound, name: proto.Names[in.Arg], recv: &recv})
+
+	case bytecode.OpMakeClosure:
+		st.push(absVal{k: kClosure, proto: proto.Consts[in.Arg].(*bytecode.FuncProto)})
+
+	case bytecode.OpMakeList:
+		st.popN(in.Arg)
+		st.push(unknownVal())
+
+	case bytecode.OpMakeDict:
+		st.popN(2 * in.Arg)
+		st.push(unknownVal())
+
+	case bytecode.OpIterNew:
+		st.pop()
+		st.push(unknownVal())
+
+	case bytecode.OpCall:
+		var block *bytecode.FuncProto
+		if in.Arg2 == 1 {
+			bv := st.pop()
+			if bv.k == kClosure {
+				block = bv.proto
+			}
+		}
+		args := st.popN(in.Arg)
+		callee := st.pop()
+		if record {
+			pi.calls = append(pi.calls, &CallSite{
+				Index: idx, Line: in.Line, Callee: callee, Args: args, Block: block,
+			})
+		}
+		if callee.k == kBuiltin {
+			switch callee.name {
+			case "exit":
+				return false
+			case "queue_new":
+				st.push(absVal{k: kQueue})
+				return true
+			case "mp_queue":
+				st.push(absVal{k: kMPQueue})
+				return true
+			case "mutex_new":
+				st.push(absVal{k: kMutex})
+				return true
+			case "semaphore_new":
+				st.push(absVal{k: kSem})
+				return true
+			case "pipe_new":
+				st.push(absVal{k: kPipePair})
+				return true
+			}
+		}
+		st.push(unknownVal())
+
+	default:
+		// Unknown future opcode: assume no stack effect and degrade.
+		pi.stackConflict = true
+	}
+	return true
+}
+
+// resolve looks a name up through the abstraction's scope chain: local
+// stores first, then enclosing scopes, then ambient globals (builtins
+// and prelude definitions).
+func (pi *protoInfo) resolve(name string, st *state) absVal {
+	if v, ok := st.env[name]; ok {
+		v.src, v.outer = name, !pi.stores[name]
+		return v
+	}
+	if v, ok := pi.outer[name]; ok {
+		v.src, v.outer = name, true
+		return v
+	}
+	if pi.p.globals[name] && !pi.p.storedAnywhere[name] {
+		return absVal{k: kBuiltin, name: name, src: name, outer: true}
+	}
+	return absVal{k: kUnknown, src: name, outer: true}
+}

@@ -1,0 +1,279 @@
+// Package analysis is pintvet's engine: a static-analysis framework
+// over compiled pint bytecode. It builds a control-flow graph per
+// function from the opcode stream, runs a forward dataflow pass (an
+// abstract interpretation of the operand stack and environment, solved
+// with a worklist), and feeds the results to a registry of rules that
+// flag the fork-related concurrency hazards the paper debugs
+// dynamically — before the program is ever run under Dionea.
+//
+// Analysis runs on bytecode rather than the AST so that it shares the
+// compiler's line table with the debugger (diagnostics point at the
+// same lines breakpoints use) and sees the program post-desugaring,
+// exactly as the VM will execute it.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"dionea/internal/bytecode"
+	"dionea/internal/compiler"
+	"dionea/internal/mp"
+	"dionea/internal/parallelgem"
+)
+
+// Diagnostic is one finding, renderable as "file:line: [rule] message".
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.File, d.Line, d.Rule, d.Message)
+}
+
+// Options configures an analysis run.
+type Options struct {
+	// Globals are ambient names defined by the runtime before the
+	// program runs: platform builtins and prelude-module definitions.
+	// Uses of these names never count as undefined. Nil means
+	// DefaultGlobals().
+	Globals []string
+	// Rules restricts the run to the listed rule IDs; nil means all.
+	Rules []string
+}
+
+// DefaultGlobals returns the names the pint runtime defines before any
+// user code runs (VM, kernel and IPC builtins).
+func DefaultGlobals() []string {
+	return []string{
+		// vm builtins
+		"print", "puts", "len", "range", "str", "int", "float", "type",
+		"abs", "resolve", "min", "max",
+		// kernel builtins
+		"fork", "spawn", "sleep", "exit", "getpid", "getppid", "gettid",
+		"waitpid", "wait", "rand_int", "clock_ms", "input",
+		// ipc builtins
+		"mutex_new", "queue_new", "mp_queue", "pipe_new", "semaphore_new",
+		"pickle_dumps", "pickle_loads",
+	}
+}
+
+// RuntimeGlobals returns DefaultGlobals plus every name the bundled
+// preludes (mp, parallel gem fixed and buggy) define — the ambient
+// environment cmd/pint actually runs programs in.
+func RuntimeGlobals() []string {
+	g := DefaultGlobals()
+	g = append(g, TopLevelDefs(mp.MustPrelude())...)
+	g = append(g, TopLevelDefs(parallelgem.MustPreludeFixed())...)
+	g = append(g, TopLevelDefs(parallelgem.MustPreludeBuggy())...)
+	return g
+}
+
+// TopLevelDefs returns the names a module proto defines at its top
+// level — used to seed Globals with a prelude's API (mp_pool,
+// parallel_map_fixed, ...) when vetting a program that loads it.
+func TopLevelDefs(proto *bytecode.FuncProto) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, in := range proto.Code {
+		if in.Op == bytecode.OpStoreName || in.Op == bytecode.OpDefineName {
+			name := proto.Names[in.Arg]
+			if !seen[name] {
+				seen[name] = true
+				out = append(out, name)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Analyze runs every enabled rule over the compiled program and returns
+// the findings sorted by file, line, then rule.
+func Analyze(root *bytecode.FuncProto, opts Options) []Diagnostic {
+	p := buildProgram(root, opts)
+	enabled := map[string]bool{}
+	for _, id := range opts.Rules {
+		enabled[id] = true
+	}
+	var out []Diagnostic
+	for _, r := range Rules() {
+		if len(enabled) > 0 && !enabled[r.ID] {
+			continue
+		}
+		out = append(out, r.run(p)...)
+	}
+	return sortDiags(out)
+}
+
+// AnalyzeSource compiles src and analyzes it.
+func AnalyzeSource(src, file string, opts Options) ([]Diagnostic, error) {
+	proto, err := compiler.CompileSource(src, file)
+	if err != nil {
+		return nil, err
+	}
+	return Analyze(proto, opts), nil
+}
+
+func sortDiags(ds []Diagnostic) []Diagnostic {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+	// Dedupe identical findings from overlapping reachability walks.
+	out := ds[:0]
+	for i, d := range ds {
+		if i == 0 || d != ds[i-1] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// program is the whole-module analysis result the rules consume.
+type program struct {
+	root           *bytecode.FuncProto
+	globals        map[string]bool
+	storedAnywhere map[string]bool
+	infos          []*protoInfo // tree order: parents before children
+	byProto        map[*bytecode.FuncProto]*protoInfo
+}
+
+// buildProgram walks the proto tree, pre-scans stores, then runs the
+// dataflow pass over every function, parents first so that nested
+// closures see the classifications of their free variables.
+func buildProgram(root *bytecode.FuncProto, opts Options) *program {
+	globals := opts.Globals
+	if globals == nil {
+		globals = DefaultGlobals()
+	}
+	p := &program{
+		root:           root,
+		globals:        map[string]bool{},
+		storedAnywhere: map[string]bool{},
+		byProto:        map[*bytecode.FuncProto]*protoInfo{},
+	}
+	for _, g := range globals {
+		p.globals[g] = true
+	}
+
+	var walk func(proto *bytecode.FuncProto, parent *protoInfo)
+	walk = func(proto *bytecode.FuncProto, parent *protoInfo) {
+		if _, seen := p.byProto[proto]; seen {
+			return
+		}
+		pi := &protoInfo{
+			p: p, proto: proto, parent: parent,
+			outer:     map[string]absVal{},
+			stores:    map[string]bool{},
+			nameKinds: map[string]absVal{},
+		}
+		p.byProto[proto] = pi
+		p.infos = append(p.infos, pi)
+		for _, in := range proto.Code {
+			if in.Op == bytecode.OpStoreName || in.Op == bytecode.OpDefineName {
+				name := proto.Names[in.Arg]
+				pi.stores[name] = true
+				p.storedAnywhere[name] = true
+			}
+		}
+		for _, c := range proto.Consts {
+			if sub, ok := c.(*bytecode.FuncProto); ok {
+				walk(sub, pi)
+			}
+		}
+	}
+	walk(root, nil)
+
+	for _, pi := range p.infos {
+		// Free names resolve through the lexical chain: nearest enclosing
+		// binding wins, so merge outermost-first.
+		if pi.parent != nil {
+			for name, v := range pi.parent.outer {
+				pi.outer[name] = v
+			}
+			for name, v := range pi.parent.nameKinds {
+				pi.outer[name] = v
+			}
+			for _, param := range pi.parent.proto.Params {
+				if _, ok := pi.outer[param]; !ok {
+					pi.outer[param] = unknownVal()
+				}
+			}
+		}
+		pi.run()
+	}
+	return p
+}
+
+// reachableFrom computes the set of protos reachable from entry through
+// direct calls: named/closure calls and inline synchronize blocks, plus
+// (optionally) nested fork-child bodies. Thread bodies spawned along the
+// way run concurrently, not in this control flow, so they are excluded.
+func (p *program) reachableFrom(entry *protoInfo, intoForks bool) map[*protoInfo]bool {
+	seen := map[*protoInfo]bool{}
+	var visit func(pi *protoInfo)
+	visit = func(pi *protoInfo) {
+		if pi == nil || seen[pi] {
+			return
+		}
+		seen[pi] = true
+		for _, cs := range pi.calls {
+			if cs.Callee.k == kClosure {
+				visit(p.byProto[cs.Callee.proto])
+			}
+			if cs.Method() == "synchronize" {
+				if b := cs.BlockProto(); b != nil {
+					visit(p.byProto[b])
+				}
+			}
+			if intoForks && cs.IsBuiltin("fork") {
+				if b := cs.BlockProto(); b != nil {
+					visit(p.byProto[b])
+				}
+			}
+		}
+	}
+	visit(entry)
+	return seen
+}
+
+// forkEntries returns the child bodies of every fork call site.
+func (p *program) forkEntries() []*protoInfo {
+	return p.blockEntries("fork")
+}
+
+// spawnEntries returns the thread bodies of every spawn call site.
+func (p *program) spawnEntries() []*protoInfo {
+	return p.blockEntries("spawn")
+}
+
+func (p *program) blockEntries(builtin string) []*protoInfo {
+	var out []*protoInfo
+	seen := map[*protoInfo]bool{}
+	for _, pi := range p.infos {
+		for _, cs := range pi.calls {
+			if cs.IsBuiltin(builtin) {
+				if b := cs.BlockProto(); b != nil {
+					if e := p.byProto[b]; e != nil && !seen[e] {
+						seen[e] = true
+						out = append(out, e)
+					}
+				}
+			}
+		}
+	}
+	return out
+}

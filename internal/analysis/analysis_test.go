@@ -1,0 +1,199 @@
+package analysis_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dionea/internal/analysis"
+	"dionea/internal/mp"
+	"dionea/internal/pinttest"
+)
+
+func analyze(t *testing.T, src string, opts analysis.Options) []analysis.Diagnostic {
+	t.Helper()
+	diags, err := analysis.AnalyzeSource(src, "test.pint", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// want asserts that exactly one diagnostic with the given rule exists
+// and that it points at the given line.
+func wantOne(t *testing.T, diags []analysis.Diagnostic, rule string, line int) {
+	t.Helper()
+	var hits []analysis.Diagnostic
+	for _, d := range diags {
+		if d.Rule == rule {
+			hits = append(hits, d)
+		}
+	}
+	if len(hits) != 1 {
+		t.Fatalf("want exactly one %s finding, got %d in %v", rule, len(hits), diags)
+	}
+	if hits[0].Line != line {
+		t.Errorf("%s at line %d, want %d (%s)", rule, hits[0].Line, line, hits[0])
+	}
+}
+
+func wantClean(t *testing.T, diags []analysis.Diagnostic) {
+	t.Helper()
+	if len(diags) != 0 {
+		t.Errorf("want no findings, got %v", diags)
+	}
+}
+
+func TestLockHeldOnSomePathOnly(t *testing.T) {
+	// The lock is taken on only one branch; "may be held" still applies
+	// at the fork (union dataflow).
+	diags := analyze(t, `m = mutex_new()
+c = rand_int(2)
+if c > 0 {
+    m.lock()
+}
+pid = fork do
+    puts("x")
+end
+waitpid(pid)
+if c > 0 {
+    m.unlock()
+}
+`, analysis.Options{})
+	wantOne(t, diags, "fork-while-lock-held", 6)
+}
+
+func TestLockHeldThroughHelperCall(t *testing.T) {
+	// The fork is inside a named function; the lock is held at the call.
+	diags := analyze(t, `m = mutex_new()
+func helper() {
+    pid = fork do
+        puts("h")
+    end
+    waitpid(pid)
+}
+m.lock()
+helper()
+m.unlock()
+`, analysis.Options{})
+	wantOne(t, diags, "fork-while-lock-held", 9)
+	if !strings.Contains(diags[0].Message, "call to helper() may fork") {
+		t.Errorf("message should name the forking callee: %s", diags[0])
+	}
+}
+
+func TestForkInsideSynchronizeBlock(t *testing.T) {
+	// synchronize blocks run with the receiver mutex held.
+	diags := analyze(t, `m = mutex_new()
+m.synchronize do
+    pid = fork do
+        puts("x")
+    end
+    waitpid(pid)
+end
+`, analysis.Options{})
+	wantOne(t, diags, "fork-while-lock-held", 3)
+}
+
+func TestSemaphoreCountsAsLock(t *testing.T) {
+	diags := analyze(t, `s = semaphore_new(1)
+s.acquire()
+pid = fork do
+    puts("x")
+end
+s.release()
+waitpid(pid)
+`, analysis.Options{})
+	wantOne(t, diags, "fork-while-lock-held", 3)
+}
+
+func TestQueueCreatedInsideChildIsFine(t *testing.T) {
+	// A queue whose whole life is inside the forked child is a normal
+	// inter-thread queue; only queues captured from the parent deadlock.
+	diags := analyze(t, `pid = fork do
+    q = queue_new()
+    spawn do
+        q.push(1)
+    end
+    puts(q.pop())
+end
+waitpid(pid)
+`, analysis.Options{})
+	wantClean(t, diags)
+}
+
+func TestLoopVariableUsableAfterLoop(t *testing.T) {
+	// pint leaves the loop variable bound after the loop; must not be
+	// flagged as possibly-undefined.
+	diags := analyze(t, `for i in range(3) {
+    print(i)
+}
+print(i)
+`, analysis.Options{})
+	wantClean(t, diags)
+}
+
+func TestExitTruncatesReachability(t *testing.T) {
+	diags := analyze(t, `exit(0)
+print("dead")
+`, analysis.Options{Rules: []string{"unreachable-code"}})
+	wantOne(t, diags, "unreachable-code", 2)
+}
+
+func TestRuleFiltering(t *testing.T) {
+	// Source triggers both undefined-variable and unreachable-code; the
+	// Rules option must restrict output to the listed rule only.
+	src := `print(never_defined)
+exit(0)
+print("dead")
+`
+	all := analyze(t, src, analysis.Options{})
+	if len(all) != 2 {
+		t.Fatalf("want 2 findings with all rules, got %v", all)
+	}
+	only := analyze(t, src, analysis.Options{Rules: []string{"undefined-variable"}})
+	wantOne(t, only, "undefined-variable", 1)
+}
+
+func TestTopLevelDefs(t *testing.T) {
+	proto := pinttest.Compile(t, `a = 1
+func b() {
+    hidden = 2
+    return hidden
+}
+c = 3
+a = 4
+`, "defs.pint")
+	got := analysis.TopLevelDefs(proto)
+	want := []string{"a", "b", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("TopLevelDefs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopLevelDefs = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMPPreludeClean(t *testing.T) {
+	diags, err := analysis.AnalyzeSource(mp.Source, "<mp>", analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantClean(t, diags)
+}
+
+// TestDefaultGlobalsExistAtRuntime keeps DefaultGlobals honest against
+// the real runtime: every listed name must resolve in a fresh process.
+func TestDefaultGlobalsExistAtRuntime(t *testing.T) {
+	var b strings.Builder
+	for _, name := range analysis.DefaultGlobals() {
+		fmt.Fprintf(&b, "_probe = %s\n", name)
+	}
+	b.WriteString("print(\"all-defined\")\n")
+	res := pinttest.Run(t, b.String(), pinttest.Options{})
+	if !strings.Contains(res.Proc.Output(), "all-defined") {
+		t.Fatalf("a DefaultGlobals name is missing at runtime; output:\n%s", res.Proc.Output())
+	}
+}

@@ -1,0 +1,102 @@
+// Control-flow graph construction over compiled bytecode.
+//
+// The analyzer works on bytecode rather than the AST so that it sees
+// exactly what the VM executes: desugared loops, shortcut evaluation,
+// the implicit trailing return, and the same line table the debugger
+// uses for breakpoints. A basic block is a maximal straight-line run of
+// instructions; edges come from the jump family, from OpReturn (no
+// successors) and from calls the abstract interpreter later proves
+// non-returning (exit), which truncate reachability inside a block.
+
+package analysis
+
+import "dionea/internal/bytecode"
+
+// Block is one basic block: instructions [Start, End) of the proto's
+// code, plus successor block indexes.
+type Block struct {
+	Start, End int
+	Succs      []int
+}
+
+// CFG is the control-flow graph of one FuncProto.
+type CFG struct {
+	Code   []bytecode.Instr
+	Blocks []Block
+	// BlockOf maps an instruction index to the index of its block.
+	BlockOf []int
+}
+
+// isJump reports whether op transfers control via Arg.
+func isJump(op bytecode.Op) bool {
+	switch op {
+	case bytecode.OpJump, bytecode.OpJumpIfFalse, bytecode.OpJumpIfTrue,
+		bytecode.OpJumpIfFalsePeek, bytecode.OpJumpIfTruePeek, bytecode.OpIterNext:
+		return true
+	}
+	return false
+}
+
+// isConditional reports whether op may also fall through.
+func isConditional(op bytecode.Op) bool {
+	return isJump(op) && op != bytecode.OpJump
+}
+
+// BuildCFG partitions code into basic blocks and links them.
+func BuildCFG(code []bytecode.Instr) *CFG {
+	g := &CFG{Code: code}
+	if len(code) == 0 {
+		return g
+	}
+
+	leader := make([]bool, len(code))
+	leader[0] = true
+	for i, in := range code {
+		if isJump(in.Op) {
+			if in.Arg >= 0 && in.Arg < len(code) {
+				leader[in.Arg] = true
+			}
+			if i+1 < len(code) {
+				leader[i+1] = true
+			}
+		}
+		if in.Op == bytecode.OpReturn && i+1 < len(code) {
+			leader[i+1] = true
+		}
+	}
+
+	g.BlockOf = make([]int, len(code))
+	for i := 0; i < len(code); {
+		start := i
+		i++
+		for i < len(code) && !leader[i] {
+			i++
+		}
+		id := len(g.Blocks)
+		g.Blocks = append(g.Blocks, Block{Start: start, End: i})
+		for j := start; j < i; j++ {
+			g.BlockOf[j] = id
+		}
+	}
+
+	for id := range g.Blocks {
+		b := &g.Blocks[id]
+		last := code[b.End-1]
+		switch {
+		case last.Op == bytecode.OpReturn:
+			// no successors
+		case last.Op == bytecode.OpJump:
+			b.Succs = append(b.Succs, g.BlockOf[last.Arg])
+		case isConditional(last.Op):
+			if b.End < len(code) {
+				b.Succs = append(b.Succs, g.BlockOf[b.End])
+			}
+			b.Succs = append(b.Succs, g.BlockOf[last.Arg])
+		default:
+			if b.End < len(code) {
+				b.Succs = append(b.Succs, g.BlockOf[b.End])
+			}
+		}
+	}
+	return g
+}

@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"testing"
+
+	"dionea/internal/bytecode"
+	"dionea/internal/compiler"
+)
+
+func mustCompile(t *testing.T, src string) *bytecode.FuncProto {
+	t.Helper()
+	proto, err := compiler.CompileSource(src, "test.pint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proto
+}
+
+func TestBuildCFGStraightLine(t *testing.T) {
+	proto := mustCompile(t, "x = 1\ny = x + 2\nprint(y)\n")
+	g := BuildCFG(proto.Code)
+	if len(g.Blocks) != 1 {
+		t.Fatalf("straight-line code: want 1 block, got %d", len(g.Blocks))
+	}
+	b := g.Blocks[0]
+	if b.Start != 0 || b.End != len(proto.Code) {
+		t.Errorf("block spans [%d,%d), want [0,%d)", b.Start, b.End, len(proto.Code))
+	}
+	if len(b.Succs) != 0 {
+		t.Errorf("block ending in OpReturn has successors %v", b.Succs)
+	}
+}
+
+func TestBuildCFGBranch(t *testing.T) {
+	proto := mustCompile(t, "x = 1\nif x > 0 {\n    print(\"pos\")\n}\nprint(\"done\")\n")
+	g := BuildCFG(proto.Code)
+	if len(g.Blocks) < 3 {
+		t.Fatalf("if/then/join: want >= 3 blocks, got %d", len(g.Blocks))
+	}
+	// The block ending with the conditional jump must have two distinct
+	// successors: fall-through (then) and the jump target (join).
+	var cond *Block
+	for i := range g.Blocks {
+		b := &g.Blocks[i]
+		if isConditional(g.Code[b.End-1].Op) {
+			cond = b
+			break
+		}
+	}
+	if cond == nil {
+		t.Fatal("no block ends in a conditional jump")
+	}
+	if len(cond.Succs) != 2 || cond.Succs[0] == cond.Succs[1] {
+		t.Fatalf("conditional block successors = %v, want two distinct", cond.Succs)
+	}
+}
+
+func TestBuildCFGLoopBackEdge(t *testing.T) {
+	proto := mustCompile(t, "i = 0\nwhile i < 3 {\n    i = i + 1\n}\nprint(i)\n")
+	g := BuildCFG(proto.Code)
+	back := false
+	for id, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if s <= id {
+				back = true
+			}
+		}
+	}
+	if !back {
+		t.Error("while loop produced no back edge")
+	}
+	// Every instruction must belong to exactly the block BlockOf says.
+	for i := range g.Code {
+		b := g.Blocks[g.BlockOf[i]]
+		if i < b.Start || i >= b.End {
+			t.Fatalf("BlockOf[%d]=%d but block spans [%d,%d)", i, g.BlockOf[i], b.Start, b.End)
+		}
+	}
+}
+
+func TestBuildCFGEmpty(t *testing.T) {
+	g := BuildCFG(nil)
+	if len(g.Blocks) != 0 {
+		t.Errorf("empty code: want 0 blocks, got %d", len(g.Blocks))
+	}
+}

@@ -1,0 +1,124 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dionea/internal/analysis"
+	"dionea/internal/parallelgem"
+)
+
+// golden maps every .pint file under testdata (and testdata/vet) to the
+// exact diagnostics pintvet must emit for it. The corpus programs and
+// every *_ok fixture must be clean; each rule has a *_bad fixture that
+// triggers it on a known line.
+var golden = map[string][]string{
+	"hello.pint":     nil,
+	"threads.pint":   nil,
+	"mapreduce.pint": nil,
+	"deadlock.pint": {
+		`deadlock.pint:14: [interthread-queue-across-fork] inter-thread queue "queue" is used in code a fork()ed child runs; queue_new() queues are per-process, and the threads feeding this one exist only in the parent (the Listing 5 deadlock) — use mp_queue() across processes`,
+	},
+	"vet/forklock_bad.pint": {
+		`forklock_bad.pint:4: [fork-while-lock-held] fork() while lock "m" may be held: the child inherits a lock whose owner thread does not exist in it (§5.3)`,
+	},
+	"vet/forklock_ok.pint": nil,
+	"vet/queuefork_bad.pint": {
+		`queuefork_bad.pint:9: [interthread-queue-across-fork] inter-thread queue "q" is used in code a fork()ed child runs; queue_new() queues are per-process, and the threads feeding this one exist only in the parent (the Listing 5 deadlock) — use mp_queue() across processes`,
+	},
+	"vet/queuefork_ok.pint": nil,
+	"vet/pipeleak_bad.pint": {
+		`pipeleak_bad.pint:7: [pipe-end-leak] fork() in a worker thread that also creates pipes: concurrently forked siblings inherit pipe write ends they never close, so a child waiting for EOF hangs (the parallel gem 0.5.9 deadlock, §6.4) — fork sequentially from the main thread`,
+	},
+	"vet/pipeleak_ok.pint": nil,
+	"vet/undefined_bad.pint": {
+		`undefined_bad.pint:6: [undefined-variable] "bonus" may be used before assignment: no definition on some path to this use`,
+		`undefined_bad.pint:7: [undefined-variable] undefined: "missing_name" is never assigned and is not a builtin`,
+	},
+	"vet/undefined_ok.pint": nil,
+	"vet/unreachable_bad.pint": {
+		`unreachable_bad.pint:4: [unreachable-code] unreachable code: no execution path reaches this statement`,
+		`unreachable_bad.pint:8: [unreachable-code] unreachable code: no execution path reaches this statement`,
+		`unreachable_bad.pint:11: [unreachable-code] unreachable code: no execution path reaches this statement`,
+	},
+	"vet/unreachable_ok.pint": nil,
+}
+
+func TestGoldenDiagnostics(t *testing.T) {
+	opts := analysis.Options{Globals: analysis.RuntimeGlobals()}
+	for rel, want := range golden {
+		rel := rel
+		want := want
+		t.Run(rel, func(t *testing.T) {
+			path := filepath.Join("..", "..", "testdata", rel)
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags, err := analysis.AnalyzeSource(string(src), filepath.Base(rel), opts)
+			if err != nil {
+				t.Fatalf("compile %s: %v", rel, err)
+			}
+			var got []string
+			for _, d := range diags {
+				got = append(got, d.String())
+			}
+			if len(got) != len(want) {
+				t.Fatalf("got %d diagnostics, want %d:\ngot:  %q\nwant: %q", len(got), len(want), got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("diagnostic %d:\ngot:  %s\nwant: %s", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenCoversAllFixtures keeps the golden table honest: every
+// .pint file in the tree must have an entry, so a new fixture cannot
+// silently go unasserted.
+func TestGoldenCoversAllFixtures(t *testing.T) {
+	root := filepath.Join("..", "..", "testdata")
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || filepath.Ext(path) != ".pint" {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		rel = filepath.ToSlash(rel)
+		if _, ok := golden[rel]; !ok {
+			t.Errorf("testdata/%s has no golden entry", rel)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The false-positive guard from the issue: the fixed parallel gem
+// prelude must be clean, and the buggy one must trigger pipe-end-leak
+// at its worker-thread fork.
+func TestParallelGemPreludes(t *testing.T) {
+	opts := analysis.Options{Globals: analysis.RuntimeGlobals()}
+
+	diags, err := analysis.AnalyzeSource(parallelgem.SourceFixed, "<parallel-0.5.11>", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("fixed prelude: want 0 findings, got %v", diags)
+	}
+
+	diags, err = analysis.AnalyzeSource(parallelgem.SourceBuggy, "<parallel-0.5.9>", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Rule != "pipe-end-leak" {
+		t.Fatalf("buggy prelude: want exactly one pipe-end-leak, got %v", diags)
+	}
+	if diags[0].Line != 27 {
+		t.Errorf("buggy prelude: pipe-end-leak at line %d, want 27 (the worker-thread fork)", diags[0].Line)
+	}
+}

@@ -1,0 +1,379 @@
+// The rule registry and the five bug classes, each grounded in a
+// failure the paper debugs dynamically (§5.3, Listing 5, §6.4) or in
+// classic always-on vet checks (undefined names, dead code).
+
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"dionea/internal/bytecode"
+)
+
+// Rule is one registered check.
+type Rule struct {
+	ID  string
+	Doc string
+	run func(p *program) []Diagnostic
+}
+
+// Rules returns the registered rules in presentation order.
+func Rules() []Rule {
+	return []Rule{
+		{
+			ID: "fork-while-lock-held",
+			Doc: "a fork() call is reachable while a mutex or semaphore acquired on " +
+				"some path may still be held; the child inherits a lock whose owner " +
+				"thread does not exist in it (§5.3)",
+			run: runForkWhileLockHeld,
+		},
+		{
+			ID: "interthread-queue-across-fork",
+			Doc: "an inter-thread queue (queue_new) from an enclosing scope is used " +
+				"in code a fork()ed child runs; its peer threads exist only in the " +
+				"parent, so the child blocks forever (the Listing 5 deadlock)",
+			run: runQueueAcrossFork,
+		},
+		{
+			ID: "pipe-end-leak",
+			Doc: "a worker thread both creates pipes and forks; concurrently forked " +
+				"siblings inherit pipe write ends nobody closes, so readers never " +
+				"see EOF (the parallel gem 0.5.9 deadlock, §6.4)",
+			run: runPipeEndLeak,
+		},
+		{
+			ID:  "undefined-variable",
+			Doc: "a name is used with no assignment on some path to the use",
+			run: runUndefinedVariable,
+		},
+		{
+			ID:  "unreachable-code",
+			Doc: "statements that no execution path reaches (after return/exit, or under a constant-false branch)",
+			run: runUnreachableCode,
+		},
+	}
+}
+
+// ---- fork-while-lock-held ----
+
+var lockGen = map[string]bool{"lock": true, "try_lock": true, "acquire": true, "p": true}
+var lockKill = map[string]bool{"unlock": true, "release": true, "v": true}
+
+func lockName(cs *CallSite) (string, bool) {
+	recv := cs.Recv()
+	if recv.k != kMutex && recv.k != kSem {
+		return "", false
+	}
+	name := recv.src
+	if name == "" {
+		name = "<mutex>"
+	}
+	return name, true
+}
+
+// mayForkSet computes, transitively over direct calls (and inline
+// synchronize blocks), which functions may reach a fork() themselves.
+// Thread and child bodies do not count: a fork they perform happens on
+// a different control flow.
+func mayForkSet(p *program) map[*protoInfo]bool {
+	may := map[*protoInfo]bool{}
+	for _, pi := range p.infos {
+		for _, cs := range pi.calls {
+			if cs.IsBuiltin("fork") {
+				may[pi] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, pi := range p.infos {
+			if may[pi] {
+				continue
+			}
+			for _, cs := range pi.calls {
+				var callee *protoInfo
+				if cs.Callee.k == kClosure {
+					callee = p.byProto[cs.Callee.proto]
+				} else if cs.Method() == "synchronize" {
+					if b := cs.BlockProto(); b != nil {
+						callee = p.byProto[b]
+					}
+				}
+				if callee != nil && may[callee] {
+					may[pi] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return may
+}
+
+func runForkWhileLockHeld(p *program) []Diagnostic {
+	mayFork := mayForkSet(p)
+
+	// Bodies of synchronize blocks start with the receiver mutex held.
+	syncEntry := map[*protoInfo]string{}
+	for _, pi := range p.infos {
+		for _, cs := range pi.calls {
+			if cs.Method() != "synchronize" {
+				continue
+			}
+			if name, ok := lockName(cs); ok {
+				if b := cs.BlockProto(); b != nil {
+					if bi := p.byProto[b]; bi != nil {
+						syncEntry[bi] = name
+					}
+				}
+			}
+		}
+	}
+
+	var out []Diagnostic
+	for _, pi := range p.infos {
+		out = append(out, heldDataflow(p, pi, syncEntry[pi], mayFork)...)
+	}
+	return out
+}
+
+// heldDataflow runs a may-held-locks union dataflow over one proto's
+// CFG and reports fork call sites (direct, or through a function that
+// may fork) reached with a non-empty held set.
+func heldDataflow(p *program, pi *protoInfo, entryHeld string, mayFork map[*protoInfo]bool) []Diagnostic {
+	if pi.cfg == nil || len(pi.cfg.Blocks) == 0 {
+		return nil
+	}
+	// Call sites grouped per block, in code order.
+	callsIn := make([][]*CallSite, len(pi.cfg.Blocks))
+	for _, cs := range pi.calls {
+		b := pi.cfg.BlockOf[cs.Index]
+		callsIn[b] = append(callsIn[b], cs)
+	}
+
+	held := make([]map[string]bool, len(pi.cfg.Blocks))
+	held[0] = map[string]bool{}
+	if entryHeld != "" {
+		held[0][entryHeld] = true
+	}
+	transfer := func(id int, report func(cs *CallSite, held map[string]bool)) map[string]bool {
+		cur := map[string]bool{}
+		for k := range held[id] {
+			cur[k] = true
+		}
+		for _, cs := range callsIn[id] {
+			if name, ok := lockName(cs); ok {
+				switch {
+				case lockGen[cs.Method()]:
+					cur[name] = true
+				case lockKill[cs.Method()]:
+					delete(cur, name)
+				}
+			}
+			if report != nil && len(cur) > 0 {
+				if cs.IsBuiltin("fork") {
+					report(cs, cur)
+				} else if cs.Callee.k == kClosure && mayFork[p.byProto[cs.Callee.proto]] {
+					report(cs, cur)
+				}
+			}
+		}
+		return cur
+	}
+
+	work := []int{0}
+	visits := make([]int, len(pi.cfg.Blocks))
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		if visits[id]++; visits[id] > 4096 {
+			continue
+		}
+		out := transfer(id, nil)
+		for _, succ := range pi.cfg.Blocks[id].Succs {
+			if held[succ] == nil {
+				held[succ] = map[string]bool{}
+				for k := range out {
+					held[succ][k] = true
+				}
+				work = append(work, succ)
+				continue
+			}
+			changed := false
+			for k := range out {
+				if !held[succ][k] {
+					held[succ][k] = true
+					changed = true
+				}
+			}
+			if changed {
+				work = append(work, succ)
+			}
+		}
+	}
+
+	var out []Diagnostic
+	for id := range pi.cfg.Blocks {
+		if held[id] == nil {
+			continue
+		}
+		transfer(id, func(cs *CallSite, cur map[string]bool) {
+			names := make([]string, 0, len(cur))
+			for k := range cur {
+				names = append(names, k)
+			}
+			sort.Strings(names)
+			what := "fork()"
+			if !cs.IsBuiltin("fork") {
+				what = fmt.Sprintf("call to %s() may fork", cs.Callee.proto.Name)
+			}
+			out = append(out, Diagnostic{
+				File: pi.file(), Line: cs.Line, Rule: "fork-while-lock-held",
+				Message: fmt.Sprintf("%s while lock %s may be held: the child inherits a lock whose owner thread does not exist in it (§5.3)",
+					what, quoteList(names)),
+			})
+		})
+	}
+	return out
+}
+
+func quoteList(names []string) string {
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%q", n)
+	}
+	return s
+}
+
+// ---- interthread-queue-across-fork ----
+
+var queueMethods = map[string]bool{
+	"push": true, "pop": true, "try_pop": true, "len": true, "empty": true,
+}
+
+func runQueueAcrossFork(p *program) []Diagnostic {
+	inChild := map[*protoInfo]bool{}
+	for _, entry := range p.forkEntries() {
+		for pi := range p.reachableFrom(entry, true) {
+			inChild[pi] = true
+		}
+	}
+	var out []Diagnostic
+	for _, pi := range p.infos {
+		if !inChild[pi] {
+			continue
+		}
+		for _, cs := range pi.calls {
+			recv := cs.Recv()
+			if recv.k == kQueue && recv.outer && queueMethods[cs.Method()] {
+				out = append(out, Diagnostic{
+					File: pi.file(), Line: cs.Line, Rule: "interthread-queue-across-fork",
+					Message: fmt.Sprintf("inter-thread queue %q is used in code a fork()ed child runs; queue_new() queues are per-process, and the threads feeding this one exist only in the parent (the Listing 5 deadlock) — use mp_queue() across processes",
+						recv.src),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ---- pipe-end-leak ----
+
+func runPipeEndLeak(p *program) []Diagnostic {
+	var out []Diagnostic
+	for _, entry := range p.spawnEntries() {
+		reach := p.reachableFrom(entry, false)
+		pipes := false
+		for pi := range reach {
+			for _, cs := range pi.calls {
+				if cs.IsBuiltin("pipe_new") {
+					pipes = true
+				}
+			}
+		}
+		if !pipes {
+			continue
+		}
+		for pi := range reach {
+			for _, cs := range pi.calls {
+				if cs.IsBuiltin("fork") {
+					out = append(out, Diagnostic{
+						File: pi.file(), Line: cs.Line, Rule: "pipe-end-leak",
+						Message: "fork() in a worker thread that also creates pipes: concurrently forked siblings inherit pipe write ends they never close, so a child waiting for EOF hangs (the parallel gem 0.5.9 deadlock, §6.4) — fork sequentially from the main thread",
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ---- undefined-variable ----
+
+func runUndefinedVariable(p *program) []Diagnostic {
+	var out []Diagnostic
+	for _, pi := range p.infos {
+		reported := map[string]bool{}
+		for _, use := range pi.uses {
+			name := use.Name
+			if use.MustDef || reported[name] || p.globals[name] || pi.outerHas(name) {
+				continue
+			}
+			if pi.stores[name] {
+				reported[name] = true
+				out = append(out, Diagnostic{
+					File: pi.file(), Line: use.Line, Rule: "undefined-variable",
+					Message: fmt.Sprintf("%q may be used before assignment: no definition on some path to this use", name),
+				})
+			} else if !p.storedAnywhere[name] {
+				reported[name] = true
+				out = append(out, Diagnostic{
+					File: pi.file(), Line: use.Line, Rule: "undefined-variable",
+					Message: fmt.Sprintf("undefined: %q is never assigned and is not a builtin", name),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ---- unreachable-code ----
+
+func runUnreachableCode(p *program) []Diagnostic {
+	var out []Diagnostic
+	for _, pi := range p.infos {
+		if pi.stackConflict {
+			continue // abstraction degraded; reachability is unreliable
+		}
+		code := pi.proto.Code
+		for i := 0; i < len(code); {
+			if pi.reach[i] {
+				i++
+				continue
+			}
+			// One finding per maximal unreachable run, at its first
+			// statement marker; runs with no marker (compiler-synthesized
+			// trailing returns) are silent.
+			j := i
+			line := 0
+			for j < len(code) && !pi.reach[j] {
+				if line == 0 && code[j].Op == bytecode.OpLine && code[j].Line > 0 {
+					line = code[j].Line
+				}
+				j++
+			}
+			if line > 0 {
+				out = append(out, Diagnostic{
+					File: pi.file(), Line: line, Rule: "unreachable-code",
+					Message: "unreachable code: no execution path reaches this statement",
+				})
+			}
+			i = j
+		}
+	}
+	return out
+}

@@ -154,35 +154,46 @@ t = add(r, 10)
 print(t)
 `, dionea.Options{})
 	tid := mainTID(t, c, p.PID)
+	// Consume the stop events in order rather than polling thread state:
+	// a state poll right after step/next can observe the thread still
+	// suspended from the previous stop.
+	stopAt := func(reason string, wantLine int) {
+		t.Helper()
+		ev, err := c.WaitEvent(func(e client.Event) bool {
+			return e.Msg.Cmd == protocol.EventStopped && e.Msg.PID == p.PID &&
+				e.Msg.TID == tid && e.Msg.Reason == reason
+		}, 5*time.Second)
+		if err != nil {
+			t.Fatalf("no %s stop: %v", reason, err)
+		}
+		if ev.Msg.Line != wantLine {
+			t.Fatalf("%s landed at %d, want %d", reason, ev.Msg.Line, wantLine)
+		}
+	}
 	if err := c.SetBreak(p.PID, "program.pint", 5); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Continue(p.PID, tid); err != nil {
 		t.Fatal(err)
 	}
-	if line := waitSuspended(t, c, p.PID, tid); line != 5 {
-		t.Fatalf("stopped at %d, want 5", line)
-	}
+	stopAt(protocol.StopBreakpoint, 5)
 	// step goes INTO add: next stop is line 2.
 	if err := c.Step(p.PID, tid); err != nil {
 		t.Fatal(err)
 	}
-	if line := waitSuspended(t, c, p.PID, tid); line != 2 {
-		t.Fatalf("step landed at %d, want 2", line)
-	}
+	stopAt(protocol.StopStep, 2)
 	// next from inside add stops at line 3 (same frame).
 	if err := c.Next(p.PID, tid); err != nil {
 		t.Fatal(err)
 	}
-	if line := waitSuspended(t, c, p.PID, tid); line != 3 {
-		t.Fatalf("next landed at %d, want 3", line)
-	}
+	stopAt(protocol.StopStep, 3)
 	// next runs the return and stops back in main at line 6.
 	if err := c.Next(p.PID, tid); err != nil {
 		t.Fatal(err)
 	}
+	stopAt(protocol.StopStep, 6)
 	if line := waitSuspended(t, c, p.PID, tid); line != 6 {
-		t.Fatalf("next landed at %d, want 6", line)
+		t.Fatalf("suspended at %d, want 6", line)
 	}
 	// Stack shows only main now; eval r.
 	frames, err := c.Stack(p.PID, tid)

@@ -112,6 +112,7 @@ func (s *Server) handleChildAtFork(t *kernel.TCtx) {
 		steps:     make(map[int64]*stepState),
 		positions: make(map[int64]position),
 		disturb:   s.disturbed(),
+		hints:     append([]protocol.Msg(nil), s.hints...),
 	}
 	ln, err := listenLoopback()
 	if err != nil {

@@ -1,0 +1,97 @@
+package dionea_test
+
+import (
+	"testing"
+	"time"
+
+	"dionea/internal/client"
+	"dionea/internal/compiler"
+	"dionea/internal/dionea"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+	"dionea/internal/protocol"
+)
+
+// debuggedWithVet is like debugged but hands the compiled program to
+// Attach so the server runs the pintvet analyzer and replays its
+// findings as static hints.
+func debuggedWithVet(t *testing.T, src string) (*kernel.Process, *client.Client) {
+	t.Helper()
+	proto, err := compiler.CompileSource(src, "program.pint")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	k := kernel.New()
+	p := k.StartProgram(proto, kernel.Options{
+		Setup: []func(*kernel.Process){
+			ipc.Install,
+			func(proc *kernel.Process) {
+				_, aerr := dionea.Attach(k, proc, dionea.Options{
+					SessionID:     "hintsess",
+					Sources:       map[string]string{"program.pint": src},
+					WaitForClient: true,
+					Program:       proto,
+				})
+				if aerr != nil {
+					t.Errorf("attach: %v", aerr)
+				}
+			},
+		},
+	})
+	c := client.New(k, "hintsess")
+	if _, err := c.ConnectRoot(p.PID, 5*time.Second); err != nil {
+		t.Fatalf("connect root: %v", err)
+	}
+	t.Cleanup(func() {
+		for _, proc := range k.Processes() {
+			if !proc.Exited() {
+				proc.Terminate(137)
+			}
+		}
+	})
+	return p, c
+}
+
+// The server must replay analyzer findings to a connecting client
+// before anything else happens in the session — the debuggee is still
+// parked and no breakpoint has been set.
+func TestStaticHintsReplayedOnConnect(t *testing.T) {
+	_, c := debuggedWithVet(t, `q = queue_new()
+spawn do
+    q.push(1)
+end
+pid = fork do
+    v = q.pop()
+    puts(v)
+end
+waitpid(pid)
+`)
+	ev, err := c.WaitEvent(func(e client.Event) bool {
+		return e.Msg.Cmd == protocol.EventStaticHint
+	}, 5*time.Second)
+	if err != nil {
+		t.Fatalf("no static hint arrived: %v", err)
+	}
+	m := ev.Msg
+	if m.Rule != "interthread-queue-across-fork" {
+		t.Errorf("hint rule = %q, want interthread-queue-across-fork", m.Rule)
+	}
+	if m.File != "program.pint" || m.Line != 6 {
+		t.Errorf("hint at %s:%d, want program.pint:6", m.File, m.Line)
+	}
+	if m.Text == "" {
+		t.Error("hint carries no message text")
+	}
+}
+
+func TestNoStaticHintsForCleanProgram(t *testing.T) {
+	_, c := debuggedWithVet(t, `x = 1
+print(x)
+`)
+	_, err := c.WaitEvent(func(e client.Event) bool {
+		return e.Msg.Cmd == protocol.EventStaticHint
+	}, 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("clean program produced a static hint")
+	}
+}

@@ -19,6 +19,8 @@ import (
 	"path/filepath"
 	"sync"
 
+	"dionea/internal/analysis"
+	"dionea/internal/bytecode"
 	"dionea/internal/kernel"
 	"dionea/internal/protocol"
 	"dionea/internal/vm"
@@ -42,6 +44,15 @@ type Options struct {
 	// find the servers. The simulated kernel's temp store is still
 	// written; this is an additional mirror.
 	PortDir string
+	// Program, when non-nil, is the compiled root proto the debuggee will
+	// run. Attach runs the pintvet analyzer over it once and replays the
+	// findings to every connecting client as static_hint events on the
+	// source channel, so suspect lines are visible before any breakpoint
+	// is set.
+	Program *bytecode.FuncProto
+	// VetGlobals seeds the analyzer's ambient names; nil means
+	// analysis.RuntimeGlobals().
+	VetGlobals []string
 }
 
 type stepMode int
@@ -102,6 +113,10 @@ type Server struct {
 	// pendingAtfork is the sync-object set acquired by handler A, to be
 	// released by exactly B (or rolled back on prepare failure).
 	pendingAtfork []kernel.SyncObject
+	// hints are the pintvet findings for the program, fixed at Attach and
+	// inherited across fork; replayed to each client on source-channel
+	// connect.
+	hints []protocol.Msg
 }
 
 // Attach creates a debug server for p. Call during kernel.Options.Setup,
@@ -120,6 +135,18 @@ func Attach(k *kernel.Kernel, p *kernel.Process, opt Options) (*Server, error) {
 	}
 	if s.sources == nil {
 		s.sources = map[string]string{}
+	}
+	if opt.Program != nil {
+		globals := opt.VetGlobals
+		if globals == nil {
+			globals = analysis.RuntimeGlobals()
+		}
+		for _, d := range analysis.Analyze(opt.Program, analysis.Options{Globals: globals}) {
+			s.hints = append(s.hints, protocol.Msg{
+				Kind: "event", Cmd: protocol.EventStaticHint,
+				File: d.File, Line: d.Line, Rule: d.Rule, Text: d.Message,
+			})
+		}
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -401,6 +428,13 @@ func (s *Server) spawnListener() {
 					continue
 				}
 				_ = conn.Send(&protocol.Msg{Kind: "event", Cmd: protocol.EventHello, PID: s.P.PID, OK: true})
+				// Static hints go out first, before any stop state: the
+				// client sees the analyzer's suspect lines before it has
+				// set a single breakpoint.
+				for _, h := range s.hints {
+					h.PID = s.P.PID
+					_ = conn.Send(&h)
+				}
 				// Replay current stop state: a freshly adopted child may
 				// already be parked (disturb mode, an inherited
 				// breakpoint, a deadlock) from before the client attached.

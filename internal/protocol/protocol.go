@@ -71,6 +71,10 @@ const (
 	EventDeadlock      = "deadlock" // fatal deadlock diagnosed (Figure 7)
 	EventFatal         = "fatal"    // interpreter abort message (Listing 6)
 	EventSourceSync    = "source"   // source text for a file
+	// EventStaticHint carries one pintvet finding, replayed to every
+	// client as it connects so suspect lines are visible before any
+	// breakpoint is set.
+	EventStaticHint = "static_hint"
 )
 
 // Stop reasons carried by EventStopped.
@@ -125,6 +129,8 @@ type Msg struct {
 	// Cond is an optional breakpoint condition, "NAME OP LITERAL" (e.g.
 	// "i == 3", `w == "fork"`); the breakpoint fires only when it holds.
 	Cond string `json:"cond,omitempty"`
+	// Rule is the analyzer rule ID carried by EventStaticHint.
+	Rule string `json:"rule,omitempty"`
 
 	// Payloads.
 	Channel string       `json:"channel,omitempty"` // hello

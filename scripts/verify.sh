@@ -1,0 +1,29 @@
+#!/bin/sh
+# verify.sh — the repo's full hygiene gate: formatting, vet, build, the
+# test suite, and the test suite again under the race detector.
+# Run from anywhere; it cds to the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "verify: OK"
