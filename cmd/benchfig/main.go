@@ -12,13 +12,61 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"dionea/internal/bench"
 )
+
+// checkAgainst re-measures the workload of a committed BENCH_*.json and
+// returns a nonzero exit code if the tracing overhead regressed more than
+// 2x against the committed value. Small absolute overheads are exempt: a
+// jump from 3% to 7% is host noise, not a regression.
+func checkAgainst(path string, reps int) int {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+		return 1
+	}
+	var committed bench.TraceResult
+	if err := json.Unmarshal(blob, &committed); err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: %s: %v\n", path, err)
+		return 1
+	}
+	e, ok := bench.ExperimentByID(committed.Workload)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchfig: %s: unknown workload %q\n", path, committed.Workload)
+		return 1
+	}
+	if reps <= 0 {
+		reps = committed.Reps
+	}
+	fmt.Printf("re-measuring %s against %s (committed overhead %.1f%%)...\n",
+		e.ID, path, committed.OverheadPct)
+	now, err := bench.MeasureTrace(e, committed.Scale, committed.Workers, reps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+		return 1
+	}
+	fmt.Println(bench.FormatTraceResult(now))
+	limit := 2 * committed.OverheadPct
+	const noiseFloorPct = 25.0
+	if limit < noiseFloorPct {
+		limit = noiseFloorPct
+	}
+	if now.OverheadPct > limit {
+		fmt.Fprintf(os.Stderr,
+			"benchfig: tracing overhead regressed: %.1f%% now vs %.1f%% committed (limit %.1f%%)\n",
+			now.OverheadPct, committed.OverheadPct, limit)
+		return 1
+	}
+	fmt.Printf("ok: %.1f%% within limit %.1f%%\n", now.OverheadPct, limit)
+	return 0
+}
 
 func main() {
 	var (
@@ -30,8 +78,13 @@ func main() {
 		reps    = flag.Int("reps", 5, "repetitions per configuration (median reported)")
 		scale   = flag.Int("scale", 1, "corpus scale multiplier (larger = closer to paper runtimes)")
 		workers = flag.Int("workers", 4, "worker processes in the MapReduce pool")
+		jsonDir = flag.String("json", "", "also measure event-tracing overhead for the selected figures and write BENCH_*.json artifacts into this directory")
+		against = flag.String("against", "", "regression check: re-measure the workload of this committed BENCH_*.json and fail if tracing overhead regressed >2x")
 	)
 	flag.Parse()
+	if *against != "" {
+		os.Exit(checkAgainst(*against, *reps))
+	}
 	if !*all && !*table1 && !*fig9 && !*rust && !*fig10 {
 		flag.Usage()
 		os.Exit(2)
@@ -64,6 +117,35 @@ func main() {
 			continue
 		}
 		fmt.Println(bench.FormatResult(r))
+	}
+	if *jsonDir != "" {
+		for _, e := range bench.Experiments() {
+			name := bench.JSONName(e.ID)
+			if name == "" || !want[e.ID] {
+				continue
+			}
+			fmt.Printf("measuring %s event-tracing overhead (%d reps x 2 configs)...\n", e.ID, *reps)
+			tr, err := bench.MeasureTrace(e, *scale, *workers, *reps)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+				failed = true
+				continue
+			}
+			fmt.Println(bench.FormatTraceResult(tr))
+			blob, err := json.MarshalIndent(tr, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+				failed = true
+				continue
+			}
+			path := filepath.Join(*jsonDir, name)
+			if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+				failed = true
+				continue
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
 	}
 	if failed {
 		os.Exit(1)

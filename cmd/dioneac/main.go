@@ -96,7 +96,11 @@ func (u *ui) printEvent(e client.Event) {
 	case protocol.EventOutput:
 		fmt.Printf("[pid %d out] %s", m.PID, m.Text)
 	case protocol.EventStopped:
-		fmt.Printf("[pid %d] thread %d stopped (%s) at %s:%d\n", m.PID, m.TID, m.Reason, m.File, m.Line)
+		seq := ""
+		if m.Seq != 0 {
+			seq = fmt.Sprintf(" [trace seq %d]", m.Seq)
+		}
+		fmt.Printf("[pid %d] thread %d stopped (%s) at %s:%d%s\n", m.PID, m.TID, m.Reason, m.File, m.Line, seq)
 	case protocol.EventForked:
 		fmt.Printf("[pid %d] forked child %d\n", m.PID, m.Child)
 	case "session_opened":
@@ -127,6 +131,7 @@ func (u *ui) exec(line string) {
 		fmt.Println("sessions | threads [pid] | view PID TID | break LINE [FILE] [if NAME OP LIT] | clear LINE [FILE]")
 		fmt.Println("continue | step | next | finish | suspend | resume | suspendall | resumeall | stopworld | resumeworld")
 		fmt.Println("stack | vars | eval NAME | list | show | input TEXT | disturb on|off | kill [pid] | detach [pid] | quit")
+		fmt.Println("trace start|stop|dump PATH   record concurrency events; analyze the dump with pinttrace")
 
 	case "sessions":
 		for _, s := range u.c.Sessions() {
@@ -290,6 +295,38 @@ func (u *ui) exec(line string) {
 			p = atoi(args[1])
 		}
 		u.report(u.c.Detach(p))
+
+	case "trace":
+		if len(args) < 2 {
+			fmt.Println("usage: trace start|stop|dump PATH")
+			return
+		}
+		switch args[1] {
+		case "start":
+			seq, err := u.c.TraceStart(pid)
+			if err == nil {
+				fmt.Printf("tracing started (seq %d)\n", seq)
+			}
+			u.report(err)
+		case "stop":
+			seq, err := u.c.TraceStop(pid)
+			if err == nil {
+				fmt.Printf("tracing stopped after %d events\n", seq)
+			}
+			u.report(err)
+		case "dump":
+			if len(args) < 3 {
+				fmt.Println("usage: trace dump PATH")
+				return
+			}
+			seq, err := u.c.TraceDump(pid, args[2])
+			if err == nil {
+				fmt.Printf("trace written to %s (%d events); run: pinttrace %s\n", args[2], seq, args[2])
+			}
+			u.report(err)
+		default:
+			fmt.Println("usage: trace start|stop|dump PATH")
+		}
 
 	default:
 		fmt.Printf("unknown command %q; try help\n", cmd)

@@ -34,6 +34,7 @@ func main() {
 	nowait := flag.Bool("nowait", false, "start the program immediately instead of waiting for a client")
 	disturb := flag.Bool("disturb", false, "start with disturb mode on: every new process/thread stops")
 	check := flag.Int("check", 0, "GIL checkinterval (0 = default)")
+	traceOut := flag.String("trace", "", "record concurrency events from startup; written here at exit (also: `trace dump` in dioneac)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dioneas [flags] program.pint\n")
 		flag.PrintDefaults()
@@ -57,6 +58,10 @@ func main() {
 	}
 
 	k := kernel.New()
+	if *traceOut != "" {
+		rec := k.EnableTrace()
+		rec.CheckEvery = *check
+	}
 	var srv *dionea.Server
 	p := k.StartProgram(proto, kernel.Options{
 		Out:        os.Stdout,
@@ -92,5 +97,10 @@ func main() {
 			*session, *portDir)
 	}
 	k.WaitAll()
+	if *traceOut != "" {
+		if err := k.WriteTrace(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "dioneas: trace: %v\n", err)
+		}
+	}
 	os.Exit(p.ExitCode())
 }

@@ -21,12 +21,16 @@ import (
 	"dionea/internal/kernel"
 	"dionea/internal/mp"
 	"dionea/internal/parallelgem"
+	"dionea/internal/trace"
 )
 
 func main() {
 	check := flag.Int("check", 0, "GIL checkinterval in VM instructions (0 = default 100)")
 	disasm := flag.Bool("disasm", false, "print the compiled bytecode and exit")
 	vet := flag.Bool("vet", false, "run the pintvet static checks and warn on stderr before running")
+	traceOut := flag.String("trace", "", "record a concurrency event trace to this file (analyze with pinttrace)")
+	replayIn := flag.String("replay", "", "replay the schedule recorded in this trace file")
+	seed := flag.Int64("seed", 0, "PRNG seed for the root process")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pint [flags] program.pint\n")
 		flag.PrintDefaults()
@@ -58,9 +62,33 @@ func main() {
 	}
 
 	k := kernel.New()
+
+	var recorded *trace.Trace
+	if *replayIn != "" {
+		tr, err := trace.ReadFile(*replayIn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pint: replay: %v\n", err)
+			os.Exit(1)
+		}
+		recorded = tr
+		// The recorded schedule is only meaningful under the recorded
+		// checkinterval and seed; the header carries both.
+		*check = tr.CheckEvery
+		*seed = tr.Seed
+		k.SetReplay(trace.NewCursor(tr.Events))
+	}
+	if *traceOut != "" {
+		rec := trace.NewRecorder()
+		rec.CheckEvery = *check
+		rec.Seed = *seed
+		k.SetTracer(rec)
+		rec.Start()
+	}
+
 	p := k.StartProgram(proto, kernel.Options{
 		Out:        os.Stdout,
 		CheckEvery: *check,
+		Seed:       *seed,
 		Setup:      []func(*kernel.Process){ipc.Install},
 		Preludes: []*bytecode.FuncProto{
 			mp.MustPrelude(),
@@ -79,5 +107,18 @@ func main() {
 		p.CloseStdin()
 	}()
 	k.WaitAll()
+	if *traceOut != "" {
+		if err := k.WriteTrace(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "pint: trace: %v\n", err)
+		}
+	}
+	if cur := k.Replay(); cur != nil {
+		if diverged, msg := cur.Diverged(); diverged {
+			fmt.Fprintf(os.Stderr, "pint: replay diverged: %s\n", msg)
+		} else if recorded != nil && cur.Replayed() < len(recorded.Events) {
+			fmt.Fprintf(os.Stderr, "pint: replay ended early: %d of %d events\n",
+				cur.Replayed(), len(recorded.Events))
+		}
+	}
 	os.Exit(p.ExitCode())
 }

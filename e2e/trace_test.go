@@ -1,0 +1,205 @@
+// End-to-end tests of the trace subsystem across real OS processes:
+// pint -trace / -replay with byte-identical re-recording, and the Dionea
+// protocol path (trace start → deadlock → trace dump → pinttrace).
+package e2e
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPintTraceRecordAnalyzeReplay is the CLI acceptance loop: record a
+// run of the Listing 5 deadlock, have pinttrace name the exact line, then
+// replay the schedule and require the re-recorded trace file to be
+// byte-identical to the original.
+func TestPintTraceRecordAnalyzeReplay(t *testing.T) {
+	bin := binaries(t)
+	dir := t.TempDir()
+	first := filepath.Join(dir, "first.bin")
+	second := filepath.Join(dir, "second.bin")
+	prog := repoPath(t, "testdata/deadlock.pint")
+
+	out, err := exec.Command(filepath.Join(bin, "pint"), "-trace", first, prog).CombinedOutput()
+	if err != nil {
+		t.Fatalf("pint -trace: %v\n%s", err, out)
+	}
+
+	aout, err := exec.Command(filepath.Join(bin, "pinttrace"), first).CombinedOutput()
+	ee, isExit := err.(*exec.ExitError)
+	if err != nil && (!isExit || ee.ExitCode() != 1) {
+		t.Fatalf("pinttrace: %v\n%s", err, aout)
+	}
+	if err == nil {
+		t.Fatalf("pinttrace found nothing in a deadlocked trace:\n%s", aout)
+	}
+	for _, want := range []string{
+		"deadlock.pint:14", "[deadlock]", "[interthread-queue-across-fork]",
+	} {
+		if !strings.Contains(string(aout), want) {
+			t.Fatalf("pinttrace output missing %q:\n%s", want, aout)
+		}
+	}
+
+	out, err = exec.Command(filepath.Join(bin, "pint"),
+		"-replay", first, "-trace", second, prog).CombinedOutput()
+	if err != nil {
+		t.Fatalf("pint -replay: %v\n%s", err, out)
+	}
+	if strings.Contains(string(out), "replay diverged") {
+		t.Fatalf("replay diverged:\n%s", out)
+	}
+	a, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("replayed trace file differs from the recording (%d vs %d bytes)", len(a), len(b))
+	}
+}
+
+// TestPintTraceDump smoke-tests the human-readable dump mode.
+func TestPintTraceDump(t *testing.T) {
+	bin := binaries(t)
+	dir := t.TempDir()
+	tracef := filepath.Join(dir, "t.bin")
+	out, err := exec.Command(filepath.Join(bin, "pint"), "-trace", tracef,
+		repoPath(t, "testdata/hello.pint")).CombinedOutput()
+	if err != nil {
+		t.Fatalf("pint -trace: %v\n%s", err, out)
+	}
+	dump, err := exec.Command(filepath.Join(bin, "pinttrace"), "-dump", tracef).CombinedOutput()
+	if err != nil {
+		t.Fatalf("pinttrace -dump: %v\n%s", err, dump)
+	}
+	for _, want := range []string{"gil-acquire", "fork-parent", "fork-child", "proc-exit"} {
+		if !strings.Contains(string(dump), want) {
+			t.Fatalf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+// TestDioneaTraceProtocol drives the debugger protocol path across OS
+// processes: dioneac issues `trace start`, resumes the program, a forked
+// child deadlocks, `trace dump` writes the file, and pinttrace pins the
+// deadlock to its source line.
+func TestDioneaTraceProtocol(t *testing.T) {
+	bin := binaries(t)
+	portDir := t.TempDir()
+	dir := t.TempDir()
+	prog := filepath.Join(dir, "orphanpop.pint")
+	// The forked child pops from a queue no other process thread pushes
+	// to: a guaranteed Listing 5 deadlock at line 3. The root stays alive
+	// on a timer loop so the server outlives the verdict and can serve
+	// the dump.
+	src := `queue = queue_new()
+pid = fork do
+    queue.pop()
+end
+i = 0
+while i < 100 {
+    i += 1
+    sleep(0.1)
+}
+`
+	if err := os.WriteFile(prog, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := exec.Command(filepath.Join(bin, "dioneas"),
+		"-session", "e2etrace", "-portdir", portDir, prog)
+	var srvOut bytes.Buffer
+	srv.Stdout = &srvOut
+	srv.Stderr = &srvOut
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Process.Kill() }()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		entries, _ := os.ReadDir(portDir)
+		if len(entries) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no port file; server output:\n%s", srvOut.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	tracef := filepath.Join(dir, "session.bin")
+	cli := exec.Command(filepath.Join(bin, "dioneac"),
+		"-session", "e2etrace", "-portdir", portDir, "-pid", "1")
+	stdin, err := cli.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cliOut bytes.Buffer
+	cli.Stdout = &cliOut
+	cli.Stderr = &cliOut
+	if err := cli.Start(); err != nil {
+		t.Fatal(err)
+	}
+	send := func(line string, wait time.Duration) {
+		io.WriteString(stdin, line+"\n")
+		time.Sleep(wait)
+	}
+	send("trace start", 200*time.Millisecond)
+	send("continue", 3*time.Second) // main runs; the child forks and deadlocks
+	send("trace dump "+tracef, 500*time.Millisecond)
+	send("quit", 0)
+	stdin.Close()
+	if err := cli.Wait(); err != nil {
+		t.Fatalf("dioneac: %v\n%s", err, cliOut.String())
+	}
+	for _, want := range []string{"tracing started", "trace written to"} {
+		if !strings.Contains(cliOut.String(), want) {
+			t.Fatalf("client output missing %q:\n%s\nserver:\n%s", want, cliOut.String(), srvOut.String())
+		}
+	}
+
+	aout, err := exec.Command(filepath.Join(bin, "pinttrace"), tracef).CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("pinttrace = %v, want findings (exit 1)\n%s", err, aout)
+	}
+	for _, want := range []string{"orphanpop.pint:3", "[deadlock]"} {
+		if !strings.Contains(string(aout), want) {
+			t.Fatalf("pinttrace output missing %q:\n%s", want, aout)
+		}
+	}
+}
+
+// TestDioneasTraceFlag records from startup via the -trace flag and
+// checks the file is written at server exit.
+func TestDioneasTraceFlag(t *testing.T) {
+	bin := binaries(t)
+	portDir := t.TempDir()
+	dir := t.TempDir()
+	tracef := filepath.Join(dir, "srv.bin")
+
+	srv := exec.Command(filepath.Join(bin, "dioneas"),
+		"-session", "e2etraceflag", "-portdir", portDir, "-nowait",
+		"-trace", tracef,
+		repoPath(t, "testdata/hello.pint"))
+	out, err := srv.CombinedOutput()
+	if err != nil {
+		t.Fatalf("dioneas -trace: %v\n%s", err, out)
+	}
+	dump, err := exec.Command(filepath.Join(bin, "pinttrace"), "-dump", tracef).CombinedOutput()
+	if err != nil {
+		t.Fatalf("pinttrace -dump: %v\n%s", err, dump)
+	}
+	if !strings.Contains(string(dump), "proc-exit") {
+		t.Fatalf("server trace has no proc-exit:\n%s", dump)
+	}
+}

@@ -20,6 +20,11 @@ var golden = map[string][]string{
 	"deadlock.pint": {
 		`deadlock.pint:14: [interthread-queue-across-fork] inter-thread queue "queue" is used in code a fork()ed child runs; queue_new() queues are per-process, and the threads feeding this one exist only in the parent (the Listing 5 deadlock) — use mp_queue() across processes`,
 	},
+	// The trace-subsystem golden fixture: the same Listing 5 shape, so
+	// the static hint and the dynamic trace verdict cover one program.
+	"trace/forked.pint": {
+		`forked.pint:12: [interthread-queue-across-fork] inter-thread queue "queue" is used in code a fork()ed child runs; queue_new() queues are per-process, and the threads feeding this one exist only in the parent (the Listing 5 deadlock) — use mp_queue() across processes`,
+	},
 	"vet/forklock_bad.pint": {
 		`forklock_bad.pint:4: [fork-while-lock-held] fork() while lock "m" may be held: the child inherits a lock whose owner thread does not exist in it (§5.3)`,
 	},

@@ -117,6 +117,96 @@ func Measure(e Experiment, scale, workers, reps int) (Result, error) {
 	}, nil
 }
 
+// TraceResult is one traced-overhead measurement — the cost of recording
+// a concurrency event trace (pint -trace) relative to the bare run. It is
+// the schema of the committed BENCH_fig9.json / BENCH_fig10.json
+// artifacts, which scripts/verify.sh guards against regression.
+type TraceResult struct {
+	Workload    string  `json:"workload"`
+	BaselineNS  int64   `json:"baseline_ns"`
+	TracedNS    int64   `json:"traced_ns"`
+	OverheadPct float64 `json:"overhead_pct"`
+	Events      int     `json:"events"`
+	Reps        int     `json:"reps"`
+	Workers     int     `json:"workers"`
+	Scale       int     `json:"scale"`
+}
+
+// JSONName returns the artifact file name for an experiment ID, or ""
+// for experiments without a committed artifact.
+func JSONName(id string) string {
+	switch id {
+	case "Figure 9":
+		return "BENCH_fig9.json"
+	case "Figure 10":
+		return "BENCH_fig10.json"
+	}
+	return ""
+}
+
+// ExperimentByID finds an experiment by its ID or by its artifact name.
+func ExperimentByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id || JSONName(e.ID) == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// MeasureTrace measures tracing overhead: reps interleaved repetitions of
+// the workload bare and with a recorder attached, min of each (same
+// estimator as Measure).
+func MeasureTrace(e Experiment, scale, workers, reps int) (TraceResult, error) {
+	if reps <= 0 {
+		reps = 5
+	}
+	if workers <= 0 {
+		workers = 4
+	}
+	lines := corpus.Generate(e.Preset, scale)
+	var bases, traceds []float64
+	events := 0
+	for i := 0; i < reps; i++ {
+		rb, err := wordcount.Run(lines, workers, false)
+		if err != nil {
+			return TraceResult{}, fmt.Errorf("%s baseline: %w", e.ID, err)
+		}
+		rt, n, err := wordcount.RunTraced(lines, workers)
+		if err != nil {
+			return TraceResult{}, fmt.Errorf("%s traced: %w", e.ID, err)
+		}
+		bases = append(bases, rb.Elapsed.Seconds())
+		traceds = append(traceds, rt.Elapsed.Seconds())
+		events = n
+	}
+	base := minOf(bases)
+	traced := minOf(traceds)
+	res := TraceResult{
+		Workload:   e.ID,
+		BaselineNS: int64(base * 1e9),
+		TracedNS:   int64(traced * 1e9),
+		Events:     events,
+		Reps:       reps,
+		Workers:    workers,
+		Scale:      maxInt(scale, 1),
+	}
+	if base > 0 {
+		res.OverheadPct = (traced/base - 1) * 100
+	}
+	return res, nil
+}
+
+// FormatTraceResult renders the traced-overhead text table row.
+func FormatTraceResult(r TraceResult) string {
+	return fmt.Sprintf(
+		"%s — event tracing overhead\n"+
+			"  baseline %8s   traced %8s   (%+.1f%%, %d events)   [min of %d, %d workers, corpus scale %dx]\n",
+		r.Workload,
+		fmtDur(time.Duration(r.BaselineNS)), fmtDur(time.Duration(r.TracedNS)),
+		r.OverheadPct, r.Events, r.Reps, r.Workers, r.Scale)
+}
+
 func minOf(xs []float64) float64 {
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)

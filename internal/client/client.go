@@ -556,6 +556,51 @@ func (c *Client) Kill(pid int64) error {
 	return err
 }
 
+// ---- trace control ----
+
+// TraceStart starts the kernel-wide concurrency event recorder of the
+// session pid belongs to; every process of that kernel records from here
+// on. Returns the current trace sequence number.
+func (c *Client) TraceStart(pid int64) (uint64, error) {
+	s, err := c.session(pid)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := s.Request(&protocol.Msg{Cmd: protocol.CmdTraceStart}, defaultTimeout)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Seq, nil
+}
+
+// TraceStop pauses recording (already-collected events are kept).
+func (c *Client) TraceStop(pid int64) (uint64, error) {
+	s, err := c.session(pid)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := s.Request(&protocol.Msg{Cmd: protocol.CmdTraceStop}, defaultTimeout)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Seq, nil
+}
+
+// TraceDump flushes every process's event ring and writes the binary
+// trace to path on the server's filesystem, for offline analysis with
+// pinttrace. Returns the number of events sequenced so far.
+func (c *Client) TraceDump(pid int64, path string) (uint64, error) {
+	s, err := c.session(pid)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := s.Request(&protocol.Msg{Cmd: protocol.CmdTraceDump, Text: path}, defaultTimeout)
+	if err != nil {
+		return 0, err
+	}
+	return resp.Seq, nil
+}
+
 // ---- debug views (§4.2) ----
 
 // SetActiveView activates the debug view of one UE: the previously active

@@ -273,6 +273,34 @@ func (s *Server) dispatch(req *protocol.Msg) (*protocol.Msg, func()) {
 		s.P.Atfork.Unregister("dionea")
 		return &protocol.Msg{OK: true}, s.resumeAllSuspended
 
+	case protocol.CmdTraceStart:
+		// Kernel-wide: one `trace start` records every process of the
+		// session, so cross-fork interactions land in one trace.
+		rec := s.K.EnableTrace()
+		return &protocol.Msg{OK: true, Seq: rec.CurrentSeq()}, nil
+
+	case protocol.CmdTraceStop:
+		rec := s.K.Tracer()
+		if rec == nil {
+			return fail("tracing was never started"), nil
+		}
+		rec.Stop()
+		s.K.FlushTrace()
+		return &protocol.Msg{OK: true, Seq: rec.CurrentSeq()}, nil
+
+	case protocol.CmdTraceDump:
+		if req.Text == "" {
+			return fail("trace_dump needs a path"), nil
+		}
+		rec := s.K.Tracer()
+		if rec == nil {
+			return fail("tracing was never started"), nil
+		}
+		if err := s.K.WriteTrace(req.Text); err != nil {
+			return fail("trace dump: %v", err), nil
+		}
+		return &protocol.Msg{OK: true, Seq: rec.CurrentSeq(), Text: req.Text}, nil
+
 	default:
 		return fail("unknown command %q", req.Cmd), nil
 	}

@@ -111,6 +111,7 @@ func (s *Server) handleChildAtFork(t *kernel.TCtx) {
 		breaks:    s.cloneBreaks(),
 		steps:     make(map[int64]*stepState),
 		positions: make(map[int64]position),
+		stopSeqs:  make(map[int64]uint64),
 		disturb:   s.disturbed(),
 		hints:     append([]protocol.Msg(nil), s.hints...),
 	}

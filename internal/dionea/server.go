@@ -23,6 +23,7 @@ import (
 	"dionea/internal/bytecode"
 	"dionea/internal/kernel"
 	"dionea/internal/protocol"
+	"dionea/internal/trace"
 	"dionea/internal/vm"
 )
 
@@ -110,6 +111,10 @@ type Server struct {
 	// for replay: a freshly adopted debuggee may have forked before the
 	// client attached.
 	children []int64
+	// stopSeqs records, per parked thread, the trace sequence number
+	// current at its stop, so the stop-state replay for a freshly adopted
+	// child carries the same [trace seq N] annotation the live stop did.
+	stopSeqs map[int64]uint64
 	// pendingAtfork is the sync-object set acquired by handler A, to be
 	// released by exactly B (or rolled back on prepare failure).
 	pendingAtfork []kernel.SyncObject
@@ -131,6 +136,7 @@ func Attach(k *kernel.Kernel, p *kernel.Process, opt Options) (*Server, error) {
 		breaks:    make(map[string]map[int]*breakpoint),
 		steps:     make(map[int64]*stepState),
 		positions: make(map[int64]position),
+		stopSeqs:  make(map[int64]uint64),
 		disturb:   opt.Disturb,
 	}
 	if s.sources == nil {
@@ -231,12 +237,26 @@ func (s *Server) disturbed() bool {
 // returns when the client resumes the thread (low-intrusive: only this
 // thread stops; Tick in other threads continues freely).
 func (s *Server) parkAndNotify(tc *kernel.TCtx, reason string, line int) error {
+	// The stop itself is a trace event, and the stop notification carries
+	// the current trace sequence number so the user can locate this exact
+	// stop in a later `trace dump`.
+	tc.TraceEvent(trace.OpBreakStop, 0, stopKindAux(reason))
+	var seq uint64
+	if rec := s.K.Tracer(); rec != nil {
+		seq = rec.CurrentSeq()
+	}
+	s.mu.Lock()
+	s.stopSeqs[tc.TID] = seq
+	s.mu.Unlock()
 	s.event(&protocol.Msg{
 		Kind: "event", Cmd: protocol.EventStopped,
 		PID: s.P.PID, TID: tc.TID, Reason: reason, Line: line,
-		File: currentFile(tc),
+		File: currentFile(tc), Seq: seq,
 	})
 	err := tc.Park(reason)
+	s.mu.Lock()
+	delete(s.stopSeqs, tc.TID)
+	s.mu.Unlock()
 	s.event(&protocol.Msg{
 		Kind: "event", Cmd: protocol.EventResumed,
 		PID: s.P.PID, TID: tc.TID,
@@ -249,6 +269,23 @@ func currentFile(tc *kernel.TCtx) string {
 		return f.Proto.File
 	}
 	return ""
+}
+
+// stopKindAux maps a stop reason to the aux code of an OpBreakStop event.
+func stopKindAux(reason string) int64 {
+	switch reason {
+	case protocol.StopBreakpoint:
+		return 0
+	case protocol.StopStep:
+		return 1
+	case protocol.StopSuspend:
+		return 2
+	case protocol.StopDisturb:
+		return 3
+	case protocol.StopDeadlock:
+		return 4
+	}
+	return 5
 }
 
 // traceFunc builds the per-thread trace callback — the debug server's use
@@ -453,10 +490,14 @@ func (s *Server) spawnListener() {
 				}
 				for _, tc := range s.P.Threads() {
 					if st, reason := tc.State(); st == kernel.StateSuspended {
+						s.mu.Lock()
+						seq := s.stopSeqs[tc.TID]
+						s.mu.Unlock()
 						_ = conn.Send(&protocol.Msg{
 							Kind: "event", Cmd: protocol.EventStopped,
 							PID: s.P.PID, TID: tc.TID, Reason: reason,
 							Line: tc.VM.CurrentLine(), File: currentFile(tc),
+							Seq: seq,
 						})
 					}
 				}

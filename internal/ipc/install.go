@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"dionea/internal/kernel"
+	"dionea/internal/trace"
 	"dionea/internal/value"
 	"dionea/internal/vm"
 )
@@ -34,11 +35,22 @@ func Install(p *kernel.Process) {
 	})
 
 	def("mp_queue", func(th *vm.Thread, _ []value.Value, _ *value.Closure) (value.Value, error) {
-		return NewMPQueue(kernel.Ctx(th).P), nil
+		t := kernel.Ctx(th)
+		q := NewMPQueue(t.P)
+		if e, ok := t.P.FDs.Get(q.RFD); ok {
+			t.TraceEvent(trace.OpFDOpen, e.Pipe.ID, trace.FDAux(q.RFD, false))
+			t.TraceEvent(trace.OpFDOpen, e.Pipe.ID, trace.FDAux(q.WFD, true))
+		}
+		return q, nil
 	})
 
 	def("pipe_new", func(th *vm.Thread, _ []value.Value, _ *value.Closure) (value.Value, error) {
-		r, w := NewPipePair(kernel.Ctx(th).P)
+		t := kernel.Ctx(th)
+		r, w := NewPipePair(t.P)
+		if e, ok := t.P.FDs.Get(r.FD); ok {
+			t.TraceEvent(trace.OpFDOpen, e.Pipe.ID, trace.FDAux(r.FD, false))
+			t.TraceEvent(trace.OpFDOpen, e.Pipe.ID, trace.FDAux(w.FD, true))
+		}
 		return value.NewList(r, w), nil
 	})
 
@@ -51,7 +63,9 @@ func Install(p *kernel.Process) {
 			}
 			n = int64(i)
 		}
-		return &SemVal{S: kernel.NewSemaphore(n)}, nil
+		s := kernel.NewSemaphore(n)
+		s.ID = kernel.Ctx(th).P.K.NextObjID()
+		return &SemVal{S: s}, nil
 	})
 
 	def("pickle_dumps", func(_ *vm.Thread, args []value.Value, _ *value.Closure) (value.Value, error) {

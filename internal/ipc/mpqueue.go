@@ -15,6 +15,7 @@ import (
 	"io"
 
 	"dionea/internal/kernel"
+	"dionea/internal/trace"
 	"dionea/internal/value"
 	"dionea/internal/vm"
 )
@@ -37,15 +38,20 @@ type MPQueue struct {
 // consumers drain would wedge against the pipe buffer.
 func NewMPQueue(p *kernel.Process) *MPQueue {
 	pipe := kernel.NewPipeCap(0)
+	pipe.ID = p.K.NextObjID()
 	rfd := p.FDs.Alloc(&kernel.FDEntry{Kind: kernel.FDPipeRead, Pipe: pipe})
 	wfd := p.FDs.Alloc(&kernel.FDEntry{Kind: kernel.FDPipeWrite, Pipe: pipe})
-	return &MPQueue{
+	q := &MPQueue{
 		Items: kernel.NewSemaphore(0),
 		RLock: kernel.NewSemaphore(1),
 		WLock: kernel.NewSemaphore(1),
 		RFD:   rfd,
 		WFD:   wfd,
 	}
+	q.Items.ID = p.K.NextObjID()
+	q.RLock.ID = p.K.NextObjID()
+	q.WLock.ID = p.K.NextObjID()
+	return q
 }
 
 // TypeName implements value.Value.
@@ -86,6 +92,7 @@ func (q *MPQueue) Put(t *kernel.TCtx, v value.Value) error {
 	frame := make([]byte, 4+len(data))
 	binary.BigEndian.PutUint32(frame, uint32(len(data)))
 	copy(frame[4:], data)
+	t.TraceEvent(trace.OpMPQueuePut, pipe.ID, int64(len(frame)))
 	return t.Block(kernel.StateBlockedExternal, "mpq-put", nil, func(cancel <-chan struct{}) error {
 		if err := q.WLock.P(cancel); err != nil {
 			return err
@@ -109,6 +116,7 @@ func (q *MPQueue) Get(t *kernel.TCtx) (value.Value, error) {
 		return nil, err
 	}
 	var payload []byte
+	t.TraceEvent(trace.OpMPQueueGet, pipe.ID, 0)
 	err = t.Block(kernel.StateBlockedExternal, "mpq-get", nil, func(cancel <-chan struct{}) error {
 		if err := q.Items.P(cancel); err != nil {
 			return err
@@ -195,8 +203,20 @@ func (q *MPQueue) CallMethod(th *vm.Thread, name string, args []value.Value, _ *
 		return value.Bool(q.Size() == 0), nil
 	case "close":
 		// Close this process's descriptors for the underlying pipe.
+		var pipeID uint64
+		if e, ok := t.P.FDs.Get(q.RFD); ok {
+			pipeID = e.Pipe.ID
+		} else if e, ok := t.P.FDs.Get(q.WFD); ok {
+			pipeID = e.Pipe.ID
+		}
 		err1 := t.P.FDs.Close(q.RFD)
 		err2 := t.P.FDs.Close(q.WFD)
+		if err1 == nil {
+			t.TraceEvent(trace.OpFDClose, pipeID, trace.FDAux(q.RFD, false))
+		}
+		if err2 == nil {
+			t.TraceEvent(trace.OpFDClose, pipeID, trace.FDAux(q.WFD, true))
+		}
 		if err1 != nil && err2 != nil {
 			return nil, kernel.ErrBadFD
 		}

@@ -9,6 +9,7 @@ import (
 
 	"dionea/internal/gil"
 	"dionea/internal/kernel"
+	"dionea/internal/trace"
 	"dionea/internal/value"
 	"dionea/internal/vm"
 )
@@ -23,6 +24,10 @@ import (
 // child, leaving the copy permanently locked — the deadlock Dionea's
 // prepare handler exists to prevent.
 type Mutex struct {
+	// ID is the mutex's trace identity. A forked child's deep copy keeps
+	// it: the copy is one logical object on the other side of the fork.
+	ID uint64
+
 	mu    sync.Mutex
 	owner int64 // TID, 0 when unlocked
 	bc    *gil.Broadcast
@@ -30,7 +35,7 @@ type Mutex struct {
 
 // NewMutex creates a mutex registered with the process's atfork set.
 func NewMutex(p *kernel.Process) *Mutex {
-	m := &Mutex{bc: gil.NewBroadcast()}
+	m := &Mutex{ID: p.K.NextObjID(), bc: gil.NewBroadcast()}
 	p.RegisterSyncObject(m)
 	return m
 }
@@ -69,6 +74,7 @@ func (m *Mutex) Lock(t *kernel.TCtx) error {
 	if m.owner == 0 {
 		m.owner = t.TID
 		m.mu.Unlock()
+		t.TraceEvent(trace.OpMutexLock, m.ID, 0)
 		return nil
 	}
 	m.mu.Unlock()
@@ -78,7 +84,7 @@ func (m *Mutex) Lock(t *kernel.TCtx) error {
 		defer m.mu.Unlock()
 		return m.owner == 0
 	}
-	return t.Block(kernel.StateBlockedLocal, "lock", free, func(cancel <-chan struct{}) error {
+	err := t.Block(kernel.StateBlockedLocal, "lock", free, func(cancel <-chan struct{}) error {
 		for {
 			m.mu.Lock()
 			if m.owner == 0 {
@@ -95,17 +101,25 @@ func (m *Mutex) Lock(t *kernel.TCtx) error {
 			}
 		}
 	})
+	if err == nil {
+		// Post-grant: the lock-held interval starts here.
+		t.TraceEvent(trace.OpMutexLock, m.ID, 0)
+	}
+	return err
 }
 
 // TryLock acquires without blocking.
 func (m *Mutex) TryLock(t *kernel.TCtx) bool {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.owner == 0 {
+	ok := m.owner == 0
+	if ok {
 		m.owner = t.TID
-		return true
 	}
-	return false
+	m.mu.Unlock()
+	if ok {
+		t.TraceEvent(trace.OpMutexLock, m.ID, 0)
+	}
+	return ok
 }
 
 // Unlock releases the mutex; only the owner may unlock.
@@ -121,6 +135,7 @@ func (m *Mutex) Unlock(t *kernel.TCtx) error {
 	}
 	m.owner = 0
 	m.mu.Unlock()
+	t.TraceEvent(trace.OpMutexUnlock, m.ID, 0)
 	m.bc.Wake()
 	return nil
 }
@@ -146,7 +161,7 @@ func (m *Mutex) DeepCopy(memo value.Memo) value.Value {
 	m.mu.Lock()
 	owner := m.owner
 	m.mu.Unlock()
-	nm := &Mutex{owner: kernel.TranslateTID(memo, owner), bc: gil.NewBroadcast()}
+	nm := &Mutex{ID: m.ID, owner: kernel.TranslateTID(memo, owner), bc: gil.NewBroadcast()}
 	memo[m] = nm
 	if child := kernel.ChildFromMemo(memo); child != nil {
 		child.RegisterSyncObject(nm)

@@ -9,6 +9,7 @@ import (
 	"io"
 
 	"dionea/internal/kernel"
+	"dionea/internal/trace"
 	"dionea/internal/value"
 	"dionea/internal/vm"
 )
@@ -66,6 +67,7 @@ func (p *PipeEnd) writeFrame(t *kernel.TCtx, v value.Value) error {
 	frame := make([]byte, 4+len(data))
 	binary.BigEndian.PutUint32(frame, uint32(len(data)))
 	copy(frame[4:], data)
+	t.TraceEvent(trace.OpPipeWrite, pipe.ID, int64(len(frame)))
 	return t.Block(kernel.StateBlockedExternal, "pipe-write", nil, func(cancel <-chan struct{}) error {
 		_, werr := pipe.Write(frame, cancel)
 		return werr
@@ -80,6 +82,7 @@ func (p *PipeEnd) readFrame(t *kernel.TCtx) (value.Value, error) {
 		return nil, err
 	}
 	var payload []byte
+	t.TraceEvent(trace.OpPipeRead, pipe.ID, 0)
 	err = t.Block(kernel.StateBlockedExternal, "pipe-read", nil, func(cancel <-chan struct{}) error {
 		hdr, rerr := pipe.ReadFull(4, cancel)
 		if rerr != nil {
@@ -89,6 +92,9 @@ func (p *PipeEnd) readFrame(t *kernel.TCtx) (value.Value, error) {
 		payload, rerr = pipe.ReadFull(int(n), cancel)
 		return rerr
 	})
+	if err == io.EOF {
+		t.TraceEvent(trace.OpPipeEOF, pipe.ID, 0)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -130,6 +136,7 @@ func (p *PipeEnd) CallMethod(th *vm.Thread, name string, args []value.Value, _ *
 		if err != nil {
 			return nil, err
 		}
+		t.TraceEvent(trace.OpPipeWrite, pipe.ID, int64(len(s)))
 		err = t.Block(kernel.StateBlockedExternal, "pipe-write", nil, func(cancel <-chan struct{}) error {
 			_, werr := pipe.Write([]byte(s), cancel)
 			return werr
@@ -152,12 +159,14 @@ func (p *PipeEnd) CallMethod(th *vm.Thread, name string, args []value.Value, _ *
 			return nil, err
 		}
 		var out []byte
+		t.TraceEvent(trace.OpPipeRead, pipe.ID, 0)
 		err = t.Block(kernel.StateBlockedExternal, "pipe-read", nil, func(cancel <-chan struct{}) error {
 			b, rerr := pipe.Read(maxN, cancel)
 			out = b
 			return rerr
 		})
 		if err == io.EOF {
+			t.TraceEvent(trace.OpPipeEOF, pipe.ID, 0)
 			return value.NilV, nil
 		}
 		if err != nil {
@@ -165,7 +174,15 @@ func (p *PipeEnd) CallMethod(th *vm.Thread, name string, args []value.Value, _ *
 		}
 		return value.Str(out), nil
 	case "close":
-		return value.NilV, t.P.FDs.Close(p.FD)
+		var pipeID uint64
+		if e, ok := t.P.FDs.Get(p.FD); ok {
+			pipeID = e.Pipe.ID
+		}
+		err := t.P.FDs.Close(p.FD)
+		if err == nil {
+			t.TraceEvent(trace.OpFDClose, pipeID, trace.FDAux(p.FD, p.Write))
+		}
+		return value.NilV, err
 	case "fd":
 		return value.Int(p.FD), nil
 	default:
@@ -177,6 +194,7 @@ func (p *PipeEnd) CallMethod(th *vm.Thread, name string, args []value.Value, _ *
 // registered in the process's descriptor table.
 func NewPipePair(p *kernel.Process) (*PipeEnd, *PipeEnd) {
 	pipe := kernel.NewPipe()
+	pipe.ID = p.K.NextObjID()
 	rfd := p.FDs.Alloc(&kernel.FDEntry{Kind: kernel.FDPipeRead, Pipe: pipe})
 	wfd := p.FDs.Alloc(&kernel.FDEntry{Kind: kernel.FDPipeWrite, Pipe: pipe})
 	return &PipeEnd{FD: rfd}, &PipeEnd{FD: wfd, Write: true}
@@ -202,14 +220,20 @@ func (s *SemVal) CallMethod(th *vm.Thread, name string, _ []value.Value, _ *valu
 	t := kernel.Ctx(th)
 	switch name {
 	case "acquire", "p":
+		t.TraceEvent(trace.OpSemP, s.S.ID, 0)
 		err := t.Block(kernel.StateBlockedExternal, "sem-acquire", nil, func(cancel <-chan struct{}) error {
 			return s.S.P(cancel)
 		})
 		return value.NilV, err
 	case "try_acquire":
-		return value.Bool(s.S.TryP()), nil
+		ok := s.S.TryP()
+		if ok {
+			t.TraceEvent(trace.OpSemP, s.S.ID, 0)
+		}
+		return value.Bool(ok), nil
 	case "release", "v":
 		s.S.V()
+		t.TraceEvent(trace.OpSemV, s.S.ID, 0)
 		return value.NilV, nil
 	case "value":
 		return value.Int(s.S.Value()), nil

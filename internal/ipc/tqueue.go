@@ -12,12 +12,18 @@ import (
 
 	"dionea/internal/gil"
 	"dionea/internal/kernel"
+	"dionea/internal/trace"
 	"dionea/internal/value"
 	"dionea/internal/vm"
 )
 
 // TQueue is an unbounded FIFO queue for threads of one process.
 type TQueue struct {
+	// ID is the queue's trace identity, preserved by the fork deep copy:
+	// the parent's queue and the child's copy are one logical object, which
+	// is how the analyzer spots Listing 5's pop racing a push across a fork.
+	ID uint64
+
 	mu    sync.Mutex
 	items []value.Value
 	bc    *gil.Broadcast
@@ -29,7 +35,7 @@ type TQueue struct {
 
 // NewTQueue creates a queue registered with the process's atfork set.
 func NewTQueue(p *kernel.Process) *TQueue {
-	q := &TQueue{bc: gil.NewBroadcast()}
+	q := &TQueue{ID: p.K.NextObjID(), bc: gil.NewBroadcast()}
 	p.RegisterSyncObject(q)
 	return q
 }
@@ -55,6 +61,7 @@ func (q *TQueue) Len() int {
 
 // Push appends an item and wakes poppers.
 func (q *TQueue) Push(t *kernel.TCtx, v value.Value) error {
+	t.TraceEvent(trace.OpQueuePush, q.ID, 0)
 	q.mu.Lock()
 	if q.lockOwner != 0 && q.lockOwner != t.TID {
 		// Held by the atfork protocol: wait until released.
@@ -74,6 +81,9 @@ func (q *TQueue) Push(t *kernel.TCtx, v value.Value) error {
 // deadlock detection — this is the `queue.pop` of Listing 5 that Dionea
 // pinpoints in Figure 7.
 func (q *TQueue) Pop(t *kernel.TCtx) (value.Value, error) {
+	// Pre-op: a pop that never completes is visibly this thread's last
+	// event, at the source line of the blocked `queue.pop()`.
+	t.TraceEvent(trace.OpQueuePop, q.ID, 0)
 	// Fast path.
 	q.mu.Lock()
 	if len(q.items) > 0 && (q.lockOwner == 0 || q.lockOwner == t.TID) {
@@ -184,7 +194,7 @@ func (q *TQueue) DeepCopy(memo value.Memo) value.Value {
 	copy(items, q.items)
 	owner := q.lockOwner
 	q.mu.Unlock()
-	nq := &TQueue{bc: gil.NewBroadcast(), lockOwner: kernel.TranslateTID(memo, owner)}
+	nq := &TQueue{ID: q.ID, bc: gil.NewBroadcast(), lockOwner: kernel.TranslateTID(memo, owner)}
 	memo[q] = nq
 	nq.items = make([]value.Value, len(items))
 	for i, it := range items {

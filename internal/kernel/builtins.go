@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"dionea/internal/trace"
 	"dionea/internal/value"
 	"dionea/internal/vm"
 )
@@ -147,6 +148,7 @@ func InstallBuiltins(p *Process) {
 		}
 		name := fmt.Sprintf("thread-%d", t.P.RandInt(1<<30))
 		tc := t.P.SpawnThread(name, fn, fnArgs)
+		t.TraceEvent(trace.OpThreadSpawn, 0, tc.TID)
 		return &ThreadVal{T: tc, TID: tc.TID, Name: name}, nil
 	})
 

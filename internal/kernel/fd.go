@@ -19,6 +19,12 @@ const DefaultPipeCap = 64 * 1024
 // counts track how many descriptors (across all processes) point at each
 // end.
 type Pipe struct {
+	// ID is the pipe's trace identity, stable across fork (the object is
+	// shared, only descriptors are duplicated). Allocated from the owning
+	// kernel's counter so a replayed run assigns identical ids; zero for
+	// pipes created outside a kernel (unit tests).
+	ID uint64
+
 	mu      sync.Mutex
 	buf     []byte
 	cap     int
@@ -274,6 +280,10 @@ func (t *FDTable) FDs() []int64 {
 // under multiprocessing.Queue (§6.3: "The queue is implemented using a
 // semaphore and a pipe").
 type Semaphore struct {
+	// ID is the semaphore's trace identity (shared across fork); allocated
+	// kernel-scoped, zero outside a kernel.
+	ID uint64
+
 	mu sync.Mutex
 	n  int64
 	bc *gil.Broadcast

@@ -14,6 +14,7 @@
 package kernel
 
 import (
+	"dionea/internal/trace"
 	"dionea/internal/value"
 )
 
@@ -66,7 +67,10 @@ func TranslateTID(m value.Memo, tid int64) int64 {
 // receives the child's PID.
 func (p *Process) ForkProcess(t *TCtx, block *value.Closure) (int64, error) {
 	// A: run prepare handlers (reverse registration order). Dionea's A
-	// handler locks the sync objects and disables tracing here.
+	// handler locks the sync objects and disables tracing here; the trace
+	// handler's A (running last) flushes this process's event ring so
+	// parent and child events never interleave in one trace chunk.
+	t.TraceEvent(trace.OpForkPrepare, 0, 0)
 	if err := p.Atfork.RunPrepare(t); err != nil {
 		return 0, err
 	}
@@ -103,6 +107,7 @@ func (p *Process) ForkProcess(t *TCtx, block *value.Closure) (int64, error) {
 	p.mu.Lock()
 	p.children[child.PID] = child
 	p.mu.Unlock()
+	t.TraceEvent(trace.OpForkParent, 0, child.PID)
 
 	// B: parent-side handlers (registration order). Dionea's B unlocks
 	// the sync objects and re-enables tracing.
@@ -143,6 +148,9 @@ func (p *Process) ForkProcess(t *TCtx, block *value.Closure) (int64, error) {
 // and therefore run *before* these in the prepare phase and *after* them
 // in the child phase, which is the layering §5.2 describes.
 func registerInterpreterAtfork(p *Process) {
+	// The trace handler is registered first so its Prepare runs last
+	// (after the debugger's and the interpreter's) and its Child first.
+	p.Atfork.Register(traceAtforkHandler())
 	p.Atfork.Register(newMRIHandler())
 	p.Atfork.Register(newYARVHandler())
 }

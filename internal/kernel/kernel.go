@@ -11,8 +11,10 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"dionea/internal/bytecode"
+	"dionea/internal/trace"
 	"dionea/internal/value"
 	"dionea/internal/vm"
 )
@@ -31,7 +33,21 @@ type Kernel struct {
 	// procExit wakes wait()-any callers and WaitAll.
 	procExit chan struct{}
 	exitMu   sync.Mutex
+
+	// tracer records concurrency events from every process; replay, when
+	// set, forces a recorded schedule back onto the run.
+	tracer atomic.Pointer[trace.Recorder]
+	replay atomic.Pointer[trace.Cursor]
+
+	// nextObj allocates trace identities for kernel objects created in
+	// this kernel. Kernel-scoped (not package-global) so a replayed run
+	// assigns the same ids as the recorded one.
+	nextObj atomic.Uint64
 }
+
+// NextObjID allocates a kernel-scoped trace identity for a sync object,
+// pipe or queue.
+func (k *Kernel) NextObjID() uint64 { return k.nextObj.Add(1) }
 
 // New returns an empty kernel.
 func New() *Kernel {

@@ -12,6 +12,7 @@ import (
 
 	"dionea/internal/atfork"
 	"dionea/internal/gil"
+	"dionea/internal/trace"
 	"dionea/internal/value"
 	"dionea/internal/vm"
 )
@@ -94,6 +95,12 @@ type Process struct {
 	// A forked child gets its own, initially empty stream: the client
 	// feeds each debuggee individually.
 	stdin *stdinBuf
+
+	// ring buffers this process's trace events; traceStopped cuts tracing
+	// off deterministically at the process's own proc-exit event so the
+	// unscheduled teardown kills never pollute the trace.
+	ring         atomic.Pointer[trace.Ring]
+	traceStopped atomic.Bool
 }
 
 func (k *Kernel) newProcess(ppid int64, mirror io.Writer, checkEvery int, seed int64) *Process {
@@ -253,6 +260,7 @@ func (p *Process) Tick(th *vm.Thread) error {
 			return err
 		}
 	}
+	t.TraceEvent(trace.OpYield, 0, 0)
 	t.releaseGIL()
 	if err := t.acquireGIL(); err != nil {
 		return err
@@ -330,6 +338,7 @@ func (p *Process) Exit(code int, killer *TCtx) {
 	if !p.exiting.CompareAndSwap(false, true) {
 		return
 	}
+	p.traceStopped.Store(true)
 	p.mu.Lock()
 	ts := make([]*TCtx, 0, len(p.threads))
 	for _, t := range p.threads {
@@ -359,6 +368,9 @@ func (p *Process) Exit(code int, killer *TCtx) {
 		<-n.done
 	}
 	p.FDs.CloseAll()
+	if rec := p.K.tracer.Load(); rec != nil {
+		rec.Flush(uint32(p.PID), p.ring.Load())
+	}
 	p.exitCode.Store(int64(code))
 	p.exited.Store(true)
 	close(p.exitCh)

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"dionea/internal/trace"
 	"dionea/internal/value"
 	"dionea/internal/vm"
 )
@@ -46,6 +47,13 @@ type TCtx struct {
 
 	// holdsGIL is touched only by the owning goroutine.
 	holdsGIL bool
+
+	// trace emission cache (owning goroutine only): the file id of the
+	// innermost frame's source, so steady-state emission skips the
+	// recorder's string-table lock.
+	traceRec  *trace.Recorder
+	traceFile string
+	traceFID  uint16
 
 	done   chan struct{}
 	result value.Value
@@ -164,17 +172,24 @@ func (t *TCtx) takeDeadlock() *DeadlockError {
 
 func (t *TCtx) acquireGIL() error {
 	cancel := t.armCancel()
+	// Replay: wait for this thread's recorded turn before even contending
+	// for the lock — the recorded GIL handoff order IS the schedule.
+	if cur := t.P.K.replay.Load(); cur != nil && !t.P.traceStopped.Load() {
+		cur.AwaitTurn(uint32(t.P.PID), uint32(t.TID), trace.OpGILAcquire, cancel)
+	}
 	err := t.P.gil.Acquire(t.TID, cancel)
 	t.disarmCancel()
 	if err != nil {
 		return ErrKilled
 	}
 	t.holdsGIL = true
+	t.TraceEvent(trace.OpGILAcquire, 0, 0)
 	return nil
 }
 
 func (t *TCtx) releaseGIL() {
 	if t.holdsGIL {
+		t.TraceEvent(trace.OpGILRelease, 0, 0)
 		t.holdsGIL = false
 		t.P.gil.Release()
 	}
@@ -241,6 +256,7 @@ func (t *TCtx) Block(st ThreadState, reason string, poll func() bool, waitFn fun
 // handleDeadlock runs the debugger hook (which may park the thread for
 // inspection, Figure 7) and returns the fatal error. GIL is held.
 func (t *TCtx) handleDeadlock(d *DeadlockError) error {
+	t.TraceEvent(trace.OpDeadlock, 0, d.TID)
 	t.P.mu.Lock()
 	hook := t.P.OnDeadlock
 	t.P.mu.Unlock()
@@ -305,6 +321,7 @@ func (t *TCtx) park(reason string) error {
 	t.blockReason = reason
 	t.P.mu.Unlock()
 
+	t.TraceEvent(trace.OpPark, 0, 0)
 	cancel := t.armCancel()
 	t.releaseGIL()
 	select {
@@ -316,7 +333,11 @@ func (t *TCtx) park(reason string) error {
 	if t.killed.Load() {
 		return ErrKilled
 	}
-	return t.acquireGIL()
+	if err := t.acquireGIL(); err != nil {
+		return err
+	}
+	t.TraceEvent(trace.OpUnpark, 0, 0)
+	return nil
 }
 
 // ---- lifecycle ----
@@ -344,6 +365,7 @@ func (t *TCtx) startHook() func(*TCtx) {
 
 func (t *TCtx) finish(v value.Value, err error) {
 	t.result, t.err = v, err
+	t.traceExit(err)
 	t.releaseGIL()
 	// Wake joiners before the deadlock re-check so a thread blocked in
 	// join on *this* thread is never misdiagnosed.

@@ -1,0 +1,189 @@
+// Trace emission and deterministic replay hooks. Every event is emitted
+// while the emitting thread holds its process GIL, so within one process
+// the event order equals the schedule; the recorder's global sequence
+// counter orders events across processes. In replay mode every emission
+// gates on the kernel's cursor (and GIL acquisition pre-gates on it),
+// which forces the recorded order back onto the run.
+
+package kernel
+
+import (
+	"dionea/internal/atfork"
+	"dionea/internal/trace"
+)
+
+// SetTracer installs rec as the kernel-wide trace recorder. Processes of
+// this kernel emit into per-process rings that are flushed into rec at
+// fork (handler phase A), process exit, ring high-water, and on demand.
+func (k *Kernel) SetTracer(rec *trace.Recorder) { k.tracer.Store(rec) }
+
+// Tracer returns the installed recorder (nil when tracing is off).
+func (k *Kernel) Tracer() *trace.Recorder { return k.tracer.Load() }
+
+// EnableTrace installs a recorder if none exists and starts recording.
+// It is the `trace start` entry point.
+func (k *Kernel) EnableTrace() *trace.Recorder {
+	if rec := k.tracer.Load(); rec != nil {
+		rec.Start()
+		return rec
+	}
+	rec := trace.NewRecorder()
+	if !k.tracer.CompareAndSwap(nil, rec) {
+		rec = k.tracer.Load()
+	}
+	rec.Start()
+	return rec
+}
+
+// SetReplay installs a cursor; from now on every traced operation waits
+// for its recorded turn.
+func (k *Kernel) SetReplay(c *trace.Cursor) { k.replay.Store(c) }
+
+// Replay returns the active replay cursor (nil in record/free mode).
+func (k *Kernel) Replay() *trace.Cursor { return k.replay.Load() }
+
+// FlushTrace drains every process ring into the recorder.
+func (k *Kernel) FlushTrace() {
+	rec := k.tracer.Load()
+	if rec == nil {
+		return
+	}
+	for _, p := range k.Processes() {
+		rec.Flush(uint32(p.PID), p.ring.Load())
+	}
+}
+
+// WriteTrace flushes all rings and writes the binary trace file.
+func (k *Kernel) WriteTrace(path string) error {
+	rec := k.tracer.Load()
+	if rec == nil {
+		return nil
+	}
+	k.FlushTrace()
+	return rec.WriteFile(path)
+}
+
+// ensureRing returns the process's event ring, creating it on first use.
+func (p *Process) ensureRing() *trace.Ring {
+	if r := p.ring.Load(); r != nil {
+		return r
+	}
+	r := trace.NewRing()
+	if p.ring.CompareAndSwap(nil, r) {
+		return r
+	}
+	return p.ring.Load()
+}
+
+// TraceEvent emits a trace event for the calling thread, which must be
+// the goroutine owning t. Emission is a no-op unless the thread holds its
+// process GIL — events from kill/teardown paths are unscheduled and would
+// make the trace (and replay) nondeterministic, so they are dropped, as
+// is everything after the process's own proc-exit event.
+func (t *TCtx) TraceEvent(op trace.Op, obj uint64, aux int64) {
+	p := t.P
+	rec := p.K.tracer.Load()
+	cur := p.K.replay.Load()
+	if rec == nil && cur == nil {
+		return
+	}
+	if !t.holdsGIL || p.traceStopped.Load() {
+		return
+	}
+	var seq uint64
+	if cur != nil {
+		s, ok := cur.Next(uint32(p.PID), uint32(t.TID), op, func() bool {
+			return t.killed.Load() || p.traceStopped.Load()
+		})
+		if ok {
+			seq = s
+			if rec != nil {
+				rec.ForceSeq(s)
+			}
+		}
+	}
+	if rec == nil || !rec.Enabled() {
+		return
+	}
+	if seq == 0 {
+		seq = rec.NextSeq()
+	}
+	if !rec.NoteEmit() {
+		return
+	}
+	file, line := "", 0
+	if f := t.VM.CurrentFrame(); f != nil {
+		file, line = f.Proto.File, f.Line
+	}
+	if rec != t.traceRec || file != t.traceFile {
+		t.traceRec, t.traceFile = rec, file
+		t.traceFID = rec.FileID(file)
+	}
+	ring := p.ensureRing()
+	if ring.Put(trace.Event{
+		Seq: seq, PID: uint32(p.PID), TID: uint32(t.TID), Op: op,
+		File: t.traceFID, Line: int32(line), Obj: obj, Aux: aux,
+	}) {
+		rec.Flush(uint32(p.PID), ring)
+	}
+}
+
+// traceExit emits the thread-exit event and, when this thread's end takes
+// the whole process down, the proc-exit event. It runs at the top of
+// finish, before the GIL is released, so both events are scheduled; it
+// then stops tracing for the process, making the cut point deterministic
+// (teardown kills are not).
+func (t *TCtx) traceExit(err error) {
+	if !t.holdsGIL {
+		return
+	}
+	aux := int64(0)
+	if err != nil {
+		aux = 1
+	}
+	t.TraceEvent(trace.OpThreadExit, 0, aux)
+	exitCode := -1
+	switch e := err.(type) {
+	case nil:
+		if t.Main {
+			exitCode = 0
+		}
+	case *ExitError:
+		exitCode = e.Code
+	case *DeadlockError:
+		exitCode = 1
+	case killedError:
+	default:
+		if t.Main {
+			exitCode = 1
+		}
+	}
+	if exitCode >= 0 {
+		t.TraceEvent(trace.OpProcExit, 0, int64(exitCode))
+		t.P.traceStopped.Store(true)
+	}
+}
+
+// traceAtforkHandler is registered on every process, before the
+// interpreter-level handlers, so its Prepare runs LAST in phase A
+// (prepare handlers run in reverse registration order): the parent's ring
+// is flushed after every other prepare hook and immediately before the
+// child is created, guaranteeing parent and child events never interleave
+// in one file chunk — and that every parent event recorded before the
+// fork lands in an earlier chunk than any child event.
+func traceAtforkHandler() atfork.Handler {
+	return atfork.Handler{
+		Name: "trace",
+		Prepare: func(ctx atfork.Ctx) error {
+			t := ctx.(*TCtx)
+			if rec := t.P.K.tracer.Load(); rec != nil {
+				rec.Flush(uint32(t.P.PID), t.P.ring.Load())
+			}
+			return nil
+		},
+		Child: func(ctx atfork.Ctx) {
+			t := ctx.(*TCtx)
+			t.TraceEvent(trace.OpForkChild, 0, t.P.PPID)
+		},
+	}
+}

@@ -56,6 +56,13 @@ const (
 	CmdKill       = "kill"
 	CmdDetach     = "detach"
 	CmdPing       = "ping"
+	// Trace control: start/stop the kernel-wide concurrency event recorder
+	// and dump the collected trace to a file for offline analysis with
+	// pinttrace. The recorder is kernel-wide, so starting it on any server
+	// of a session records every process.
+	CmdTraceStart = "trace_start"
+	CmdTraceStop  = "trace_stop"
+	CmdTraceDump  = "trace_dump"
 )
 
 // Events (server → client, on the source channel).
@@ -143,6 +150,10 @@ type Msg struct {
 	Frames  []FrameInfo  `json:"frames,omitempty"`
 	Vars    []VarInfo    `json:"vars,omitempty"`
 	Lines   []int        `json:"lines,omitempty"` // breaks
+	// Seq is the kernel trace sequence number current at a stop event (so
+	// a stop can be located in a dumped trace) or the number of events
+	// recorded so far in a trace_* response.
+	Seq uint64 `json:"seq,omitempty"`
 
 	// Response status.
 	OK  bool   `json:"ok,omitempty"`

@@ -1,0 +1,321 @@
+// The offline analyzer: replays a recorded trace's event stream through a
+// model of the kernel state (descriptor tables, lock-held sets, queue
+// usage) and reports the paper's bug classes on the *concrete* execution —
+// the dynamic counterpart of pintvet's static rules, using the same rule
+// ids so a static warning can be confirmed or refuted by a run.
+
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Rule identifiers. The first three deliberately match pintvet's static
+// rule ids; lock-order-cycle is trace-only (pintvet has no alias analysis
+// deep enough to order locks).
+const (
+	RulePipeLeak       = "pipe-end-leak"
+	RuleQueueAcrossFrk = "interthread-queue-across-fork"
+	RuleDeadlock       = "deadlock"
+	RuleLockOrder      = "lock-order-cycle"
+)
+
+// Finding is one confirmed dynamic diagnosis, anchored to the pint source
+// line of the event that exhibits it.
+type Finding struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	PID     uint32 `json:"pid"`
+	TID     uint32 `json:"tid"`
+	Seq     uint64 `json:"seq"`
+	Obj     uint64 `json:"obj,omitempty"`
+	Message string `json:"message"`
+}
+
+func (f Finding) String() string {
+	loc := f.File
+	if loc == "" {
+		loc = "?"
+	}
+	return fmt.Sprintf("%s:%d: [%s] %s (pid %d thread %d, seq %d)",
+		loc, f.Line, f.Rule, f.Message, f.PID, f.TID, f.Seq)
+}
+
+// fdInfo is one modeled descriptor.
+type fdInfo struct {
+	obj   uint64
+	write bool
+}
+
+// Analyze runs every rule over the trace and returns findings sorted by
+// (file, line, rule).
+func Analyze(tr *Trace) []Finding {
+	a := &analyzer{tr: tr, fds: map[uint32]map[int64]fdInfo{}}
+	a.run()
+	sort.Slice(a.findings, func(i, j int) bool {
+		x, y := a.findings[i], a.findings[j]
+		if x.File != y.File {
+			return x.File < y.File
+		}
+		if x.Line != y.Line {
+			return x.Line < y.Line
+		}
+		return x.Rule < y.Rule
+	})
+	return a.findings
+}
+
+type analyzer struct {
+	tr       *Trace
+	findings []Finding
+
+	// fds models each live process's descriptor table.
+	fds map[uint32]map[int64]fdInfo
+}
+
+func (a *analyzer) emit(e Event, rule, msg string) {
+	a.findings = append(a.findings, Finding{
+		Rule: rule, File: a.tr.FileName(e.File), Line: int(e.Line),
+		PID: e.PID, TID: e.TID, Seq: e.Seq, Obj: e.Obj, Message: msg,
+	})
+}
+
+func (a *analyzer) run() {
+	events := a.tr.Events
+	a.modelFDs(events)
+	a.rulePipeLeak(events)
+	a.ruleLockOrder(events)
+	a.ruleQueueAcrossFork(events)
+	a.ruleDeadlock(events)
+}
+
+// modelFDs replays descriptor-table history: fd-open/fd-close events,
+// fork inheritance (the child gets a copy of the parent's table — the §6.4
+// mechanism), and process exit (close-all).
+func (a *analyzer) modelFDs(events []Event) {
+	table := func(pid uint32) map[int64]fdInfo {
+		t, ok := a.fds[pid]
+		if !ok {
+			t = map[int64]fdInfo{}
+			a.fds[pid] = t
+		}
+		return t
+	}
+	for _, e := range events {
+		switch e.Op {
+		case OpFDOpen:
+			fd, w := FDFromAux(e.Aux)
+			table(e.PID)[fd] = fdInfo{obj: e.Obj, write: w}
+		case OpFDClose:
+			fd, _ := FDFromAux(e.Aux)
+			delete(table(e.PID), fd)
+		case OpForkParent:
+			child := uint32(e.Aux)
+			ct := map[int64]fdInfo{}
+			for fd, inf := range table(e.PID) {
+				ct[fd] = inf
+			}
+			a.fds[child] = ct
+		case OpProcExit:
+			delete(a.fds, e.PID)
+		}
+	}
+}
+
+// schedulingNoise reports ops that say nothing about what a thread was
+// doing, only that it was scheduled: a thread blocked in a pre-op still
+// emits GIL handoffs (the release right after blocking, periodic poll
+// wakeups) and park/unpark pairs under the debugger.
+func schedulingNoise(op Op) bool {
+	switch op {
+	case OpGILAcquire, OpGILRelease, OpYield, OpPark, OpUnpark:
+		return true
+	}
+	return false
+}
+
+// lastByThread returns each thread's final semantic event (scheduling
+// noise skipped), so a thread wedged in a blocking pre-op is visibly
+// sitting on that op.
+func lastByThread(events []Event) map[hbKey]Event {
+	out := map[hbKey]Event{}
+	for _, e := range events {
+		if schedulingNoise(e.Op) {
+			continue
+		}
+		out[hbKey{e.PID, e.TID}] = e
+	}
+	return out
+}
+
+// rulePipeLeak: a thread whose last trace event is a pipe read that never
+// completed is blocked forever unless the pipe's write end fully closes.
+// If, at end of trace, live processes still hold write descriptors for
+// that pipe, the read can never see EOF — the write ends leaked across
+// fork are keeping it open (§6.4).
+func (a *analyzer) rulePipeLeak(events []Event) {
+	for _, e := range lastByThread(events) {
+		if e.Op != OpPipeRead {
+			continue
+		}
+		var holders []string
+		for pid, t := range a.fds {
+			for fd, inf := range t {
+				if inf.obj == e.Obj && inf.write {
+					holders = append(holders, fmt.Sprintf("pid %d (fd %d)", pid, fd))
+				}
+			}
+		}
+		if len(holders) == 0 {
+			continue // reader would have seen EOF or a broken pipe, not a leak
+		}
+		sort.Strings(holders)
+		a.emit(e, RulePipeLeak, fmt.Sprintf(
+			"read on pipe #%d never completed: write ends still open in %v — "+
+				"descriptors inherited through fork keep the pipe from reaching EOF",
+			e.Obj, holders))
+	}
+}
+
+// ruleLockOrder: build the lock-order graph from post-grant mutex events
+// (edge held -> acquired) and report every cycle once.
+func (a *analyzer) ruleLockOrder(events []Event) {
+	type edge struct{ sample Event }
+	held := map[hbKey][]uint64{}
+	graph := map[uint64]map[uint64]edge{}
+	for _, e := range events {
+		k := hbKey{e.PID, e.TID}
+		switch e.Op {
+		case OpMutexLock:
+			for _, h := range held[k] {
+				if h == e.Obj {
+					continue
+				}
+				m, ok := graph[h]
+				if !ok {
+					m = map[uint64]edge{}
+					graph[h] = m
+				}
+				if _, ok := m[e.Obj]; !ok {
+					m[e.Obj] = edge{sample: e}
+				}
+			}
+			held[k] = append(held[k], e.Obj)
+		case OpMutexUnlock:
+			hs := held[k]
+			for i := len(hs) - 1; i >= 0; i-- {
+				if hs[i] == e.Obj {
+					held[k] = append(hs[:i], hs[i+1:]...)
+					break
+				}
+			}
+		case OpThreadExit:
+			delete(held, k)
+		}
+	}
+	// DFS for cycles; report each strongly-connected pair once, anchored at
+	// the edge that closes the cycle.
+	nodes := make([]uint64, 0, len(graph))
+	for n := range graph {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	reported := map[[2]uint64]bool{}
+	var reaches func(from, to uint64, seen map[uint64]bool) bool
+	reaches = func(from, to uint64, seen map[uint64]bool) bool {
+		if from == to {
+			return true
+		}
+		if seen[from] {
+			return false
+		}
+		seen[from] = true
+		for next := range graph[from] {
+			if reaches(next, to, seen) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, n := range nodes {
+		for m, ed := range graph[n] {
+			if n >= m {
+				continue
+			}
+			if !reaches(m, n, map[uint64]bool{}) {
+				continue
+			}
+			key := [2]uint64{n, m}
+			if reported[key] {
+				continue
+			}
+			reported[key] = true
+			a.emit(ed.sample, RuleLockOrder, fmt.Sprintf(
+				"mutex #%d acquired while holding #%d, and #%d is elsewhere acquired "+
+					"while holding #%d: inconsistent lock order can deadlock", m, n, n, m))
+		}
+	}
+}
+
+// ruleQueueAcrossFork: an inter-thread queue op in one process concurrent
+// (no happens-before path) with an op on the same logical queue in another
+// process means the program is using a Queue across a fork — the push
+// lands in the parent's object, the pop blocks on the child's copy
+// (Listing 5 / §6.2).
+func (a *analyzer) ruleQueueAcrossFork(events []Event) {
+	isQ := func(e Event) bool { return e.Op == OpQueuePush || e.Op == OpQueuePop }
+	clocks := ComputeClocks(events, isQ)
+	type qe struct {
+		idx int
+		e   Event
+	}
+	byObj := map[uint64][]qe{}
+	for i, e := range events {
+		if isQ(e) {
+			byObj[e.Obj] = append(byObj[e.Obj], qe{i, e})
+		}
+	}
+	objs := make([]uint64, 0, len(byObj))
+	for o := range byObj {
+		objs = append(objs, o)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	for _, o := range objs {
+		ops := byObj[o]
+		found := false
+		for i := 0; i < len(ops) && !found; i++ {
+			for j := i + 1; j < len(ops) && !found; j++ {
+				x, y := ops[i], ops[j]
+				if x.e.PID == y.e.PID || x.e.Op == y.e.Op {
+					continue
+				}
+				if !Concurrent(x.e.PID, x.e.Seq, clocks[x.idx], y.e.PID, y.e.Seq, clocks[y.idx]) {
+					continue
+				}
+				pop, push := x.e, y.e
+				if pop.Op != OpQueuePop {
+					pop, push = push, pop
+				}
+				a.emit(pop, RuleQueueAcrossFrk, fmt.Sprintf(
+					"pop on queue #%d in pid %d raced a push in pid %d (%s:%d): "+
+						"Queue is inter-thread, not inter-process — fork copies it, "+
+						"so the push can never wake this pop",
+					o, pop.PID, push.PID, a.tr.FileName(push.File), push.Line))
+				found = true
+			}
+		}
+	}
+}
+
+// ruleDeadlock: the kernel's own verdicts, re-anchored to source lines.
+func (a *analyzer) ruleDeadlock(events []Event) {
+	for _, e := range events {
+		if e.Op != OpDeadlock {
+			continue
+		}
+		a.emit(e, RuleDeadlock, fmt.Sprintf(
+			"kernel declared deadlock: every thread of pid %d blocked on in-process events", e.PID))
+	}
+}

@@ -1,0 +1,152 @@
+// Cursor: deterministic schedule replay. A cursor walks the globally
+// ordered event list of a recorded trace; during replay every emission
+// point in the kernel gates on it (and GIL acquisition pre-gates on it),
+// which forces the recorded GIL handoff sequence — and with it the whole
+// event order — onto the re-run.
+
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// replayPatience bounds how long a thread waits for its recorded turn
+// before the cursor declares divergence and disengages, letting the run
+// continue free (with the divergence reported).
+const replayPatience = 10 * time.Second
+
+const replayPoll = 2 * time.Millisecond
+
+// Cursor replays a recorded event order.
+type Cursor struct {
+	mu         sync.Mutex
+	events     []Event
+	pos        int
+	wait       chan struct{} // closed and replaced on every advance
+	diverged   bool
+	divergeMsg string
+}
+
+// NewCursor returns a cursor over events, which must be in global
+// sequence order (Trace.Events).
+func NewCursor(events []Event) *Cursor {
+	return &Cursor{events: events, wait: make(chan struct{})}
+}
+
+// Active reports whether the cursor is still forcing the schedule.
+func (c *Cursor) Active() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.diverged && c.pos < len(c.events)
+}
+
+// Diverged reports whether replay left the recorded schedule, and why.
+func (c *Cursor) Diverged() (bool, string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.diverged, c.divergeMsg
+}
+
+// Replayed returns how many events have been consumed.
+func (c *Cursor) Replayed() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pos
+}
+
+func (c *Cursor) divergeLocked(msg string) {
+	if !c.diverged {
+		c.diverged = true
+		c.divergeMsg = msg
+	}
+	ch := c.wait
+	c.wait = make(chan struct{})
+	close(ch)
+}
+
+// AwaitTurn blocks until the cursor head is the (pid, tid, op) event —
+// without consuming it — or until the cursor is exhausted/diverged or
+// cancel fires. The GIL acquire path pre-gates here so a thread never
+// even contends for the lock before its recorded turn.
+func (c *Cursor) AwaitTurn(pid, tid uint32, op Op, cancel <-chan struct{}) {
+	deadline := time.Now().Add(replayPatience)
+	for {
+		c.mu.Lock()
+		if c.diverged || c.pos >= len(c.events) {
+			c.mu.Unlock()
+			return
+		}
+		h := c.events[c.pos]
+		if h.PID == pid && h.TID == tid && h.Op == op {
+			c.mu.Unlock()
+			return
+		}
+		ch := c.wait
+		c.mu.Unlock()
+		select {
+		case <-ch:
+		case <-cancel:
+			return
+		case <-time.After(replayPoll):
+			if time.Now().After(deadline) {
+				c.mu.Lock()
+				c.divergeLocked(fmt.Sprintf(
+					"replay: pid %d tid %d waited for its turn to %s but head stayed at seq %d (pid %d tid %d %s)",
+					pid, tid, op, h.Seq, h.PID, h.TID, h.Op))
+				c.mu.Unlock()
+				return
+			}
+		}
+	}
+}
+
+// Next consumes the cursor head for the (pid, tid, op) emission and
+// returns the recorded sequence number. It blocks until it is this
+// event's turn. ok is false when the cursor no longer forces the schedule
+// (exhausted, diverged, or abort reported true) — the caller then falls
+// back to free-running sequence numbers.
+func (c *Cursor) Next(pid, tid uint32, op Op, abort func() bool) (uint64, bool) {
+	deadline := time.Now().Add(replayPatience)
+	for {
+		c.mu.Lock()
+		if c.diverged || c.pos >= len(c.events) {
+			c.mu.Unlock()
+			return 0, false
+		}
+		h := c.events[c.pos]
+		if h.PID == pid && h.TID == tid {
+			if h.Op != op {
+				c.divergeLocked(fmt.Sprintf(
+					"replay: pid %d tid %d emitted %s but the recording has %s at seq %d",
+					pid, tid, op, h.Op, h.Seq))
+				c.mu.Unlock()
+				return 0, false
+			}
+			c.pos++
+			ch := c.wait
+			c.wait = make(chan struct{})
+			c.mu.Unlock()
+			close(ch)
+			return h.Seq, true
+		}
+		ch := c.wait
+		c.mu.Unlock()
+		select {
+		case <-ch:
+		case <-time.After(replayPoll):
+			if abort != nil && abort() {
+				return 0, false
+			}
+			if time.Now().After(deadline) {
+				c.mu.Lock()
+				c.divergeLocked(fmt.Sprintf(
+					"replay: pid %d tid %d stuck emitting %s while head is seq %d (pid %d tid %d %s)",
+					pid, tid, op, h.Seq, h.PID, h.TID, h.Op))
+				c.mu.Unlock()
+				return 0, false
+			}
+		}
+	}
+}

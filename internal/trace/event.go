@@ -1,0 +1,174 @@
+// Package trace is the concurrency event-trace subsystem: every
+// schedulable operation in the simulated substrate (GIL handoffs, thread
+// lifecycle, fork phases, pipe/semaphore/mutex/queue operations, debugger
+// stops and deadlock verdicts) emits a fixed-size event into a
+// per-process lock-free ring buffer. A Recorder collects flushed rings
+// into a binary trace file; a Cursor replays a recorded trace by forcing
+// the same global event order (and hence the same GIL handoff sequence);
+// Analyze reconstructs the happens-before partial order offline and
+// reports the paper's bug classes on concrete executions.
+//
+// The package is dependency-free so the kernel can import it.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Op identifies the kind of a trace event.
+type Op uint8
+
+// Event kinds. The numeric values are part of the trace file format;
+// append only.
+const (
+	OpNone Op = iota
+
+	// GIL protocol.
+	OpGILAcquire // thread acquired its process GIL
+	OpGILRelease // thread is about to release its process GIL
+	OpYield      // checkinterval tick: voluntary GIL yield point
+
+	// Thread lifecycle.
+	OpThreadSpawn // aux = new thread's TID (emitted by the creator)
+	OpThreadExit  // thread finished (aux = 0 ok, 1 error)
+	OpPark        // debugger/lockstep park begins
+	OpUnpark      // park ended, thread runs again
+
+	// Fork, with the paper's handler phases A/B/C.
+	OpForkPrepare // phase A ran (prepare handlers, trace ring flushed)
+	OpForkParent  // phase B side: child exists; aux = child PID
+	OpForkChild   // phase C side: child's surviving thread; aux = parent PID
+
+	// File descriptors. obj = pipe identity; aux = fd<<1 | writeBit.
+	OpFDOpen
+	OpFDClose
+
+	// Pipe data plane. Read/write are pre-op events (emitted just before
+	// the thread blocks), so a read that never completed is visibly the
+	// thread's last event. obj = pipe identity.
+	OpPipeRead
+	OpPipeWrite // aux = payload bytes
+	OpPipeEOF   // read observed end-of-stream
+
+	// Semaphores. obj = semaphore identity. P is pre-op.
+	OpSemP
+	OpSemV
+
+	// In-process mutexes. Lock is post-grant, unlock pre-release, so the
+	// interval between them is exactly the held interval. obj = mutex id.
+	OpMutexLock
+	OpMutexUnlock
+
+	// Queues. TQueue (inter-thread) and MPQueue (cross-process) get
+	// distinct ops so the analyzer can tell which kind raced across a
+	// fork. Pop/Get are pre-op. obj = queue identity.
+	OpQueuePush
+	OpQueuePop
+	OpMPQueuePut
+	OpMPQueueGet
+
+	// Verdicts and debugger integration.
+	OpBreakStop // debugger stop (aux = 0 breakpoint, 1 step, 2 disturb...)
+	OpDeadlock  // fatal deadlock verdict delivered to this thread
+	OpProcExit  // process teardown begins; aux = exit code
+
+	opMax
+)
+
+var opNames = [...]string{
+	OpNone:        "none",
+	OpGILAcquire:  "gil-acquire",
+	OpGILRelease:  "gil-release",
+	OpYield:       "yield",
+	OpThreadSpawn: "thread-spawn",
+	OpThreadExit:  "thread-exit",
+	OpPark:        "park",
+	OpUnpark:      "unpark",
+	OpForkPrepare: "fork-prepare",
+	OpForkParent:  "fork-parent",
+	OpForkChild:   "fork-child",
+	OpFDOpen:      "fd-open",
+	OpFDClose:     "fd-close",
+	OpPipeRead:    "pipe-read",
+	OpPipeWrite:   "pipe-write",
+	OpPipeEOF:     "pipe-eof",
+	OpSemP:        "sem-p",
+	OpSemV:        "sem-v",
+	OpMutexLock:   "mutex-lock",
+	OpMutexUnlock: "mutex-unlock",
+	OpQueuePush:   "queue-push",
+	OpQueuePop:    "queue-pop",
+	OpMPQueuePut:  "mpq-put",
+	OpMPQueueGet:  "mpq-get",
+	OpBreakStop:   "break-stop",
+	OpDeadlock:    "deadlock",
+	OpProcExit:    "proc-exit",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// EventSize is the fixed on-disk size of one encoded event.
+const EventSize = 40
+
+// Event is one trace record. Seq is a global (cross-process) sequence
+// number; File indexes the trace's file-string table; Obj identifies the
+// kernel object the operation touched (0 when not applicable).
+type Event struct {
+	Seq  uint64
+	PID  uint32
+	TID  uint32
+	Op   Op
+	File uint16
+	Line int32
+	Obj  uint64
+	Aux  int64
+}
+
+// Encode writes the event's 40-byte little-endian representation into b.
+func (e Event) Encode(b []byte) {
+	_ = b[EventSize-1]
+	binary.LittleEndian.PutUint64(b[0:], e.Seq)
+	binary.LittleEndian.PutUint32(b[8:], e.PID)
+	binary.LittleEndian.PutUint32(b[12:], e.TID)
+	b[16] = uint8(e.Op)
+	b[17] = 0
+	binary.LittleEndian.PutUint16(b[18:], e.File)
+	binary.LittleEndian.PutUint32(b[20:], uint32(e.Line))
+	binary.LittleEndian.PutUint64(b[24:], e.Obj)
+	binary.LittleEndian.PutUint64(b[32:], uint64(e.Aux))
+}
+
+// DecodeEvent reads a 40-byte encoded event.
+func DecodeEvent(b []byte) Event {
+	_ = b[EventSize-1]
+	return Event{
+		Seq:  binary.LittleEndian.Uint64(b[0:]),
+		PID:  binary.LittleEndian.Uint32(b[8:]),
+		TID:  binary.LittleEndian.Uint32(b[12:]),
+		Op:   Op(b[16]),
+		File: binary.LittleEndian.Uint16(b[18:]),
+		Line: int32(binary.LittleEndian.Uint32(b[20:])),
+		Obj:  binary.LittleEndian.Uint64(b[24:]),
+		Aux:  int64(binary.LittleEndian.Uint64(b[32:])),
+	}
+}
+
+// FDAux packs a descriptor number and direction into an event Aux.
+func FDAux(fd int64, write bool) int64 {
+	a := fd << 1
+	if write {
+		a |= 1
+	}
+	return a
+}
+
+// FDFromAux unpacks FDAux.
+func FDFromAux(aux int64) (fd int64, write bool) {
+	return aux >> 1, aux&1 == 1
+}

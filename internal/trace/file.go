@@ -1,0 +1,183 @@
+// The binary trace file format.
+//
+//	header:  "PINTTRC1" | u16 version | u16 reserved | u32 checkEvery |
+//	         u64 seed
+//	then sections, each introduced by a kind byte:
+//	  'E'  events chunk: u32 pid | u32 count | count × 40-byte events
+//	  'F'  file table:   u32 count | count × (u16 len | bytes)
+//	  '.'  end of trace
+//
+// Chunks appear in flush order (which, thanks to the fork phase-A flush,
+// never interleaves a parent's pre-fork events after its child's);
+// readers order events globally by their sequence numbers.
+
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+var fileMagic = [8]byte{'P', 'I', 'N', 'T', 'T', 'R', 'C', '1'}
+
+const fileVersion = 1
+
+const (
+	secEvents = 'E'
+	secFiles  = 'F'
+	secEnd    = '.'
+)
+
+// Write serializes the recorder's flushed chunks and file table.
+func (r *Recorder) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(fileMagic[:]); err != nil {
+		return err
+	}
+	var u16 [2]byte
+	var u32 [4]byte
+	var u64 [8]byte
+	put16 := func(v uint16) { binary.LittleEndian.PutUint16(u16[:], v); bw.Write(u16[:]) }
+	put32 := func(v uint32) { binary.LittleEndian.PutUint32(u32[:], v); bw.Write(u32[:]) }
+	put64 := func(v uint64) { binary.LittleEndian.PutUint64(u64[:], v); bw.Write(u64[:]) }
+	put16(fileVersion)
+	put16(0)
+	put32(uint32(r.CheckEvery))
+	put64(uint64(r.Seed))
+
+	var eb [EventSize]byte
+	for _, c := range r.Chunks() {
+		bw.WriteByte(secEvents)
+		put32(c.PID)
+		put32(uint32(len(c.Events)))
+		for _, e := range c.Events {
+			e.Encode(eb[:])
+			bw.Write(eb[:])
+		}
+	}
+	files := r.Files()
+	bw.WriteByte(secFiles)
+	put32(uint32(len(files)))
+	for _, f := range files {
+		put16(uint16(len(f)))
+		bw.WriteString(f)
+	}
+	bw.WriteByte(secEnd)
+	return bw.Flush()
+}
+
+// WriteFile writes the trace to path.
+func (r *Recorder) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Trace is a decoded trace file.
+type Trace struct {
+	CheckEvery int
+	Seed       int64
+	Files      []string
+	Chunks     []Chunk // in file (flush) order
+	Events     []Event // globally ordered by sequence number
+}
+
+// FileName resolves a file id against the trace's string table.
+func (t *Trace) FileName(id uint16) string {
+	if int(id) < len(t.Files) {
+		return t.Files[id]
+	}
+	return "?"
+}
+
+// Read decodes a trace from r.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if hdr != fileMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[:])
+	}
+	var meta [16]byte
+	if _, err := io.ReadFull(br, meta[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint16(meta[0:]); v != fileVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	tr := &Trace{
+		CheckEvery: int(binary.LittleEndian.Uint32(meta[4:])),
+		Seed:       int64(binary.LittleEndian.Uint64(meta[8:])),
+	}
+	var eb [EventSize]byte
+	for {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: truncated: %w", err)
+		}
+		switch kind {
+		case secEvents:
+			var ch [8]byte
+			if _, err := io.ReadFull(br, ch[:]); err != nil {
+				return nil, fmt.Errorf("trace: truncated chunk: %w", err)
+			}
+			c := Chunk{PID: binary.LittleEndian.Uint32(ch[0:])}
+			n := binary.LittleEndian.Uint32(ch[4:])
+			c.Events = make([]Event, 0, n)
+			for i := uint32(0); i < n; i++ {
+				if _, err := io.ReadFull(br, eb[:]); err != nil {
+					return nil, fmt.Errorf("trace: truncated event: %w", err)
+				}
+				c.Events = append(c.Events, DecodeEvent(eb[:]))
+			}
+			tr.Chunks = append(tr.Chunks, c)
+		case secFiles:
+			var cnt [4]byte
+			if _, err := io.ReadFull(br, cnt[:]); err != nil {
+				return nil, fmt.Errorf("trace: truncated file table: %w", err)
+			}
+			n := binary.LittleEndian.Uint32(cnt[0:])
+			for i := uint32(0); i < n; i++ {
+				var l [2]byte
+				if _, err := io.ReadFull(br, l[:]); err != nil {
+					return nil, fmt.Errorf("trace: truncated file table: %w", err)
+				}
+				name := make([]byte, binary.LittleEndian.Uint16(l[:]))
+				if _, err := io.ReadFull(br, name); err != nil {
+					return nil, fmt.Errorf("trace: truncated file table: %w", err)
+				}
+				tr.Files = append(tr.Files, string(name))
+			}
+		case secEnd:
+			for _, c := range tr.Chunks {
+				tr.Events = append(tr.Events, c.Events...)
+			}
+			sort.Slice(tr.Events, func(i, j int) bool { return tr.Events[i].Seq < tr.Events[j].Seq })
+			return tr, nil
+		default:
+			return nil, fmt.Errorf("trace: unknown section %q", kind)
+		}
+	}
+}
+
+// ReadFile decodes the trace file at path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,139 @@
+// Golden fixture for a forked trace: testdata/trace/forked.bin is a
+// committed recording of testdata/trace/forked.pint, and forked.golden is
+// the analyzer's verdict on it. Re-record both with
+//
+//	go test ./internal/trace -run TestGoldenForkedTrace -update
+package trace_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+	"dionea/internal/pinttest"
+	"dionea/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace fixture")
+
+const fixtureDir = "../../testdata/trace"
+
+func renderGolden(tr *trace.Trace) string {
+	var b strings.Builder
+	for _, f := range trace.Analyze(tr) {
+		fmt.Fprintln(&b, f)
+	}
+	return b.String()
+}
+
+// checkPhaseAOrder asserts the fork handler phase-A guarantee on a
+// trace's chunk sequence: every parent event recorded before a fork lies
+// in an earlier chunk than any event of that fork's child.
+func checkPhaseAOrder(t *testing.T, tr *trace.Trace) {
+	t.Helper()
+	chunkOf := map[uint64]int{} // seq -> chunk index
+	firstChunk := map[uint32]int{}
+	for i, c := range tr.Chunks {
+		if _, ok := firstChunk[c.PID]; !ok {
+			firstChunk[c.PID] = i
+		}
+		for _, e := range c.Events {
+			chunkOf[e.Seq] = i
+		}
+	}
+	for i, e := range tr.Events {
+		if e.Op != trace.OpForkPrepare {
+			continue
+		}
+		// The matching fork-parent event (same thread, next one after the
+		// prepare) names the child; everything the parent recorded up to
+		// the prepare was flushed in phase A, before the child existed.
+		var child uint32
+		for _, f := range tr.Events[i+1:] {
+			if f.PID == e.PID && f.TID == e.TID && f.Op == trace.OpForkParent {
+				child = uint32(f.Aux)
+				break
+			}
+		}
+		childChunk, ok := firstChunk[child]
+		if child == 0 || !ok {
+			continue // fork failed or child emitted nothing
+		}
+		for _, p := range tr.Events {
+			if p.PID == e.PID && p.Seq <= e.Seq && chunkOf[p.Seq] >= childChunk {
+				t.Errorf("phase-A violation: parent pid %d seq %d (chunk %d) not flushed before child pid %d's first chunk %d",
+					p.PID, p.Seq, chunkOf[p.Seq], child, childChunk)
+			}
+		}
+	}
+}
+
+func TestGoldenForkedTrace(t *testing.T) {
+	binPath := filepath.Join(fixtureDir, "forked.bin")
+	goldenPath := filepath.Join(fixtureDir, "forked.golden")
+
+	if *update {
+		src, err := os.ReadFile(filepath.Join(fixtureDir, "forked.pint"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		proto := pinttest.Compile(t, string(src), "forked.pint")
+		rec := trace.NewRecorder()
+		rec.CheckEvery = 10
+		rec.Start()
+		k := kernel.New()
+		k.SetTracer(rec)
+		k.StartProgram(proto, kernel.Options{
+			CheckEvery: 10,
+			Setup:      []func(*kernel.Process){ipc.Install},
+		})
+		k.WaitAll()
+		if err := k.WriteTrace(binPath); err != nil {
+			t.Fatal(err)
+		}
+		tr, err := trace.ReadFile(binPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(renderGolden(tr)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d events) and %s", binPath, len(tr.Events), goldenPath)
+	}
+
+	tr, err := trace.ReadFile(binPath)
+	if err != nil {
+		t.Fatalf("read fixture (rerun with -update to regenerate): %v", err)
+	}
+	if len(tr.Events) == 0 {
+		t.Fatalf("fixture has no events")
+	}
+	for i := 1; i < len(tr.Events); i++ {
+		if tr.Events[i-1].Seq >= tr.Events[i].Seq {
+			t.Fatalf("events not strictly seq-ordered at %d", i)
+		}
+	}
+	sawFile := false
+	for _, f := range tr.Files {
+		if f == "forked.pint" {
+			sawFile = true
+		}
+	}
+	if !sawFile {
+		t.Errorf("file table %v lacks forked.pint", tr.Files)
+	}
+	checkPhaseAOrder(t, tr)
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := renderGolden(tr); got != string(want) {
+		t.Fatalf("analysis differs from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,117 @@
+// Happens-before reconstruction. Within one process the GIL serializes
+// every event, so the per-PID sequence is a total order; across processes
+// the only orderings are the fork edge (everything the parent did before
+// fork-parent happens-before everything the child does) and the data-plane
+// edges (a pipe write happens-before the completion of a read that could
+// have consumed it, a semaphore V before a P's completion, an mp-queue put
+// before a get's completion). Two events with no path between them are
+// concurrent — the relation the analyzer's race rules are defined on.
+//
+// The data-plane edges are a sound over-approximation: every producer
+// event with a smaller global sequence number is merged into the
+// consumer's clock at completion time. That can only add order, never
+// remove it, so "concurrent" verdicts are conservative.
+
+package trace
+
+// VClock maps PID -> latest event seq of that process known to
+// happen-before the clock's owner.
+type VClock map[uint32]uint64
+
+func (c VClock) clone() VClock {
+	n := make(VClock, len(c))
+	for k, v := range c {
+		n[k] = v
+	}
+	return n
+}
+
+func (c VClock) merge(o VClock) {
+	for k, v := range o {
+		if v > c[k] {
+			c[k] = v
+		}
+	}
+}
+
+// HappensBefore reports whether an event of process pid with sequence
+// number seq happens-before the event owning clock c.
+func (c VClock) HappensBefore(pid uint32, seq uint64) bool {
+	return seq <= c[pid]
+}
+
+// Concurrent reports whether events a (of process aPID) and b (of process
+// bPID) are unordered under the reconstructed happens-before relation.
+func Concurrent(aPID uint32, aSeq uint64, aClock VClock, bPID uint32, bSeq uint64, bClock VClock) bool {
+	return !bClock.HappensBefore(aPID, aSeq) && !aClock.HappensBefore(bPID, bSeq)
+}
+
+// preOpConsume reports ops emitted just before a potentially-blocking
+// consume; the thread's next event marks the completion.
+func preOpConsume(op Op) bool {
+	return op == OpPipeRead || op == OpMPQueueGet || op == OpSemP
+}
+
+// producer reports ops whose effect can satisfy a consume in another
+// process.
+func producer(op Op) bool {
+	return op == OpPipeWrite || op == OpMPQueuePut || op == OpSemV
+}
+
+// hbThread tracks one (pid, tid)'s pending pre-op, if any.
+type hbKey struct {
+	pid, tid uint32
+}
+
+// ComputeClocks walks events (which must be sorted by Seq) and returns the
+// vector clock of every event for which keep returns true, indexed by
+// position in events. Events not kept get a nil clock; a nil keep keeps
+// every event.
+func ComputeClocks(events []Event, keep func(Event) bool) []VClock {
+	out := make([]VClock, len(events))
+	pidClock := map[uint32]VClock{}  // current clock of each process chain
+	forkClock := map[uint32]VClock{} // child PID -> parent clock at fork-parent
+	objClock := map[uint64]VClock{}  // merged producer clocks per object
+	pending := map[hbKey]uint64{}    // thread -> object of unfinished pre-op
+
+	for i, e := range events {
+		c, ok := pidClock[e.PID]
+		if !ok {
+			c = VClock{}
+			if fc, ok := forkClock[e.PID]; ok {
+				c.merge(fc)
+			}
+		}
+		k := hbKey{e.PID, e.TID}
+		if obj, ok := pending[k]; ok {
+			// This event is the completion of the thread's pre-op consume:
+			// everything produced on the object so far happens-before it.
+			if oc, ok := objClock[obj]; ok {
+				c = c.clone()
+				c.merge(oc)
+			}
+			delete(pending, k)
+		}
+		c = c.clone()
+		c[e.PID] = e.Seq
+		pidClock[e.PID] = c
+
+		switch {
+		case e.Op == OpForkParent:
+			forkClock[uint32(e.Aux)] = c
+		case producer(e.Op):
+			oc, ok := objClock[e.Obj]
+			if !ok {
+				oc = VClock{}
+				objClock[e.Obj] = oc
+			}
+			oc.merge(c)
+		case preOpConsume(e.Op):
+			pending[k] = e.Obj
+		}
+		if keep == nil || keep(e) {
+			out[i] = c
+		}
+	}
+	return out
+}

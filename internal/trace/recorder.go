@@ -1,0 +1,159 @@
+// Recorder: the process-spanning collection side of the trace subsystem.
+// It owns the global sequence counter, the file-string table, and the
+// flushed chunks; rings are per process and drained into it.
+
+package trace
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxEvents caps recorder memory: past this many events recording
+// disables itself and the trace is marked truncated. The cap is far above
+// anything the tests or benchmarks produce.
+const MaxEvents = 8 << 20
+
+// Chunk is one drained ring's worth of events. A chunk always belongs to
+// exactly one process (rings are per process); the flush in fork handler
+// phase A additionally guarantees every parent event recorded before a
+// fork appears in an earlier chunk than any event of the child.
+type Chunk struct {
+	PID    uint32
+	Events []Event
+}
+
+// Recorder accumulates trace events from every process of a kernel.
+type Recorder struct {
+	seq     atomic.Uint64
+	enabled atomic.Bool
+	count   atomic.Int64
+
+	// Meta recorded into the file header: record and replay must agree on
+	// the checkinterval for the schedule to line up.
+	CheckEvery int
+	Seed       int64
+
+	mu        sync.Mutex
+	chunks    []Chunk
+	files     []string
+	fileIDs   map[string]uint16
+	truncated bool
+}
+
+// NewRecorder returns a recorder with recording off; call Start.
+func NewRecorder() *Recorder {
+	r := &Recorder{fileIDs: make(map[string]uint16)}
+	r.files = append(r.files, "") // file id 0 = unknown
+	r.fileIDs[""] = 0
+	return r
+}
+
+// Start enables recording. The sequence counter continues across
+// stop/start cycles.
+func (r *Recorder) Start() { r.enabled.Store(true) }
+
+// Stop disables recording.
+func (r *Recorder) Stop() { r.enabled.Store(false) }
+
+// Enabled reports whether events are being recorded.
+func (r *Recorder) Enabled() bool { return r.enabled.Load() }
+
+// NextSeq allocates the next global sequence number (first event is 1).
+func (r *Recorder) NextSeq() uint64 { return r.seq.Add(1) }
+
+// CurrentSeq returns the most recently allocated sequence number.
+func (r *Recorder) CurrentSeq() uint64 { return r.seq.Load() }
+
+// ForceSeq raises the sequence counter to at least s (replay runs stamp
+// events with the recorded sequence numbers).
+func (r *Recorder) ForceSeq(s uint64) {
+	for {
+		cur := r.seq.Load()
+		if cur >= s || r.seq.CompareAndSwap(cur, s) {
+			return
+		}
+	}
+}
+
+// NoteEmit counts an emission toward the memory cap; it reports false
+// once the cap is hit (recording has been disabled).
+func (r *Recorder) NoteEmit() bool {
+	if r.count.Add(1) > MaxEvents {
+		r.enabled.Store(false)
+		r.mu.Lock()
+		r.truncated = true
+		r.mu.Unlock()
+		return false
+	}
+	return true
+}
+
+// Truncated reports whether the event cap disabled recording.
+func (r *Recorder) Truncated() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.truncated
+}
+
+// FileID interns a source file name into the trace's string table.
+func (r *Recorder) FileID(name string) uint16 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.fileIDs[name]; ok {
+		return id
+	}
+	if len(r.files) > 0xFFFF {
+		return 0
+	}
+	id := uint16(len(r.files))
+	r.files = append(r.files, name)
+	r.fileIDs[name] = id
+	return id
+}
+
+// Flush drains a process ring into a fresh chunk.
+func (r *Recorder) Flush(pid uint32, ring *Ring) {
+	if ring == nil {
+		return
+	}
+	var evs []Event
+	ring.Drain(func(e Event) { evs = append(evs, e) })
+	if len(evs) == 0 {
+		return
+	}
+	r.mu.Lock()
+	r.chunks = append(r.chunks, Chunk{PID: pid, Events: evs})
+	r.mu.Unlock()
+}
+
+// Chunks returns the flushed chunks in flush order.
+func (r *Recorder) Chunks() []Chunk {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Chunk, len(r.chunks))
+	copy(out, r.chunks)
+	return out
+}
+
+// Files returns the file-string table (index = file id).
+func (r *Recorder) Files() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.files))
+	copy(out, r.files)
+	return out
+}
+
+// Events returns every flushed event ordered by sequence number.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	var out []Event
+	for _, c := range r.chunks {
+		out = append(out, c.Events...)
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}

@@ -1,0 +1,375 @@
+// Record/replay integration tests: run real pint programs on a private
+// kernel with a recorder attached, then re-run them under a replay cursor
+// and require the re-recorded event sequence to be byte-identical — the
+// strongest statement of schedule determinism the subsystem makes.
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dionea/internal/bytecode"
+	"dionea/internal/kernel"
+	"dionea/internal/parallelgem"
+	"dionea/internal/pinttest"
+	"dionea/internal/trace"
+	"dionea/internal/vm"
+)
+
+// encodeAll returns the canonical byte encoding of the seq-ordered events.
+func encodeAll(evs []trace.Event) []byte {
+	out := make([]byte, 0, len(evs)*trace.EventSize)
+	var b [trace.EventSize]byte
+	for _, e := range evs {
+		e.Encode(b[:])
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+// record runs src with a fresh recorder attached and returns it.
+func record(t *testing.T, src string, check int) *trace.Recorder {
+	t.Helper()
+	rec := trace.NewRecorder()
+	rec.CheckEvery = check
+	rec.Start()
+	res := pinttest.Run(t, src, pinttest.Options{
+		CheckEvery: check,
+		Setup: []func(*kernel.Process){
+			func(p *kernel.Process) { p.K.SetTracer(rec) },
+		},
+	})
+	res.Kernel.FlushTrace()
+	return rec
+}
+
+// replay re-runs src forced onto rec's schedule, recording again, and
+// returns the new recorder plus the cursor.
+func replay(t *testing.T, src string, rec *trace.Recorder) (*trace.Recorder, *trace.Cursor) {
+	t.Helper()
+	cur := trace.NewCursor(rec.Events())
+	rec2 := trace.NewRecorder()
+	rec2.CheckEvery = rec.CheckEvery
+	rec2.Seed = rec.Seed
+	rec2.Start()
+	res := pinttest.Run(t, src, pinttest.Options{
+		CheckEvery: rec.CheckEvery,
+		Setup: []func(*kernel.Process){
+			func(p *kernel.Process) {
+				p.K.SetReplay(cur)
+				p.K.SetTracer(rec2)
+			},
+		},
+	})
+	res.Kernel.FlushTrace()
+	return rec2, cur
+}
+
+// checkRoundTrip records src, replays it, and requires the replayed event
+// sequence to be byte-identical to the recording.
+func checkRoundTrip(t *testing.T, src string, check int) {
+	t.Helper()
+	rec := record(t, src, check)
+	evs := rec.Events()
+	if len(evs) == 0 {
+		t.Fatalf("recording produced no events")
+	}
+	rec2, cur := replay(t, src, rec)
+	if diverged, msg := cur.Diverged(); diverged {
+		t.Fatalf("replay diverged: %s", msg)
+	}
+	if cur.Replayed() != len(evs) {
+		t.Fatalf("replay consumed %d of %d recorded events", cur.Replayed(), len(evs))
+	}
+	got, want := encodeAll(rec2.Events()), encodeAll(evs)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("replayed event sequence differs from recording (%d vs %d events)",
+			len(got)/trace.EventSize, len(want)/trace.EventSize)
+	}
+}
+
+const srcThreads = `
+q = queue_new()
+m = mutex_new()
+done = []
+
+func worker(id) {
+    while true {
+        task = q.pop()
+        if task == nil {
+            break
+        }
+        m.synchronize(func() {
+            done.push(task)
+        })
+    }
+}
+
+ts = []
+for i in range(3) {
+    ts.push(spawn(i) do |id| worker(id) end)
+}
+for t in range(9) {
+    q.push(t)
+}
+for i in range(3) {
+    q.push(nil)
+}
+for th in ts {
+    th.join()
+}
+print("handled", len(done))
+`
+
+const srcFork = `
+ends = pipe_new()
+r = ends[0]
+w = ends[1]
+pid = fork do
+    r.close()
+    w.write("hello")
+    w.write("world")
+    w.close()
+end
+w.close()
+while true {
+    m = r.read()
+    if m == nil {
+        break
+    }
+    puts(m)
+}
+r.close()
+waitpid(pid)
+`
+
+func TestRecordReplayIdenticalThreads(t *testing.T) {
+	checkRoundTrip(t, srcThreads, 10)
+}
+
+func TestRecordReplayIdenticalAcrossFork(t *testing.T) {
+	checkRoundTrip(t, srcFork, 10)
+}
+
+// TestRecordReplayProperty is the testing/quick property from the issue:
+// for arbitrary checkintervals, record → replay yields a byte-identical
+// event sequence, including across fork.
+func TestRecordReplayProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multiple kernel runs")
+	}
+	prop := func(rawCheck uint8, useFork bool) bool {
+		check := 1 + int(rawCheck)%40
+		src := srcThreads
+		if useFork {
+			src = srcFork
+		}
+		rec := record(t, src, check)
+		rec2, cur := replay(t, src, rec)
+		if d, msg := cur.Diverged(); d {
+			t.Logf("check=%d fork=%v diverged: %s", check, useFork, msg)
+			return false
+		}
+		return bytes.Equal(encodeAll(rec2.Events()), encodeAll(rec.Events()))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecordReplayDeadlock records the Listing 5 queue-across-fork
+// deadlock, replays it, and requires the replay to reproduce the same
+// deadlock verdict (the child exits nonzero with an OpDeadlock event).
+func TestRecordReplayDeadlock(t *testing.T) {
+	src := `
+queue = queue_new()
+
+spawn do
+    sleep(0.1)
+    queue.push(true)
+end
+
+fork do
+    queue.pop()
+end
+
+sleep(0.3)
+exit(0)
+`
+	rec := record(t, src, 10)
+	evs := rec.Events()
+	deadlocks := func(evs []trace.Event) int {
+		n := 0
+		for _, e := range evs {
+			if e.Op == trace.OpDeadlock {
+				n++
+			}
+		}
+		return n
+	}
+	if deadlocks(evs) != 1 {
+		t.Fatalf("recording has %d deadlock verdicts, want 1", deadlocks(evs))
+	}
+	rec2, cur := replay(t, src, rec)
+	if d, msg := cur.Diverged(); d {
+		t.Fatalf("replay diverged: %s", msg)
+	}
+	if deadlocks(rec2.Events()) != 1 {
+		t.Fatalf("replay has %d deadlock verdicts, want 1", deadlocks(rec2.Events()))
+	}
+	if !bytes.Equal(encodeAll(rec2.Events()), encodeAll(evs)) {
+		t.Fatalf("replayed deadlock trace differs from recording")
+	}
+}
+
+// sourceLine returns the 1-based line of the first occurrence of needle.
+func sourceLine(t *testing.T, src, needle string) int {
+	t.Helper()
+	for i, l := range strings.Split(src, "\n") {
+		if strings.Contains(l, needle) {
+			return i + 1
+		}
+	}
+	t.Fatalf("%q not found in source", needle)
+	return 0
+}
+
+const srcPipeleak = `func work(x) {
+    return x * 10
+}
+out = parallel_map_buggy("work", [1, 2, 3, 4, 5, 6], 3)
+print("buggy finished:", out)
+`
+
+// lockstepSetup is the disturb-style interleaving from examples/pipeleak:
+// every non-main thread parks at birth and again on every line, while a
+// background pump resumes parked threads, forcing fork/pipe-creation
+// interleavings that make the 0.5.9 leak reproducible.
+func lockstepSetup(proc *kernel.Process) {
+	proc.OnThreadStart = func(tc *kernel.TCtx) {
+		if tc.Main {
+			return
+		}
+		tc.VM.Trace = func(th *vm.Thread, ev vm.Event, line int) error {
+			if ev == vm.EventLine {
+				return tc.Park("step")
+			}
+			return nil
+		}
+		_ = tc.Park("disturb")
+	}
+}
+
+// runPipeleak runs the buggy parallel gem under lockstep with the given
+// kernel hooks and reports whether it wedged, flushing rings before
+// returning. A background pump resumes parked threads (the example's
+// interleaving driver), so a hang means threads blocked in pipe reads,
+// not threads left parked.
+func runPipeleak(t *testing.T, setup func(p *kernel.Process), timeout time.Duration) (hung bool, k *kernel.Kernel) {
+	t.Helper()
+	res := pinttest.Run(t, srcPipeleak, pinttest.Options{
+		Preludes: []*bytecode.FuncProto{parallelgem.MustPreludeBuggy()},
+		NoWait:   true,
+		Setup:    []func(*kernel.Process){setup, lockstepSetup},
+	})
+	p, kern := res.Proc, res.Kernel
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, tc := range p.Threads() {
+				if !tc.Main && tc.Suspended() {
+					tc.Resume()
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	done := make(chan struct{})
+	go func() {
+		kern.WaitAll()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		hung = true
+		pinttest.Terminate(kern)
+	}
+	kern.FlushTrace()
+	return hung, kern
+}
+
+// TestPipeleakRecordReplay is the acceptance scenario: record a buggy
+// parallel-gem 0.5.9 run that wedges, have the analyzer pin the leaked
+// pipe write-end to the child's read line, then replay the schedule and
+// require the same wedge and the same finding.
+func TestPipeleakRecordReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second hang reproduction")
+	}
+	wantLine := sourceLine(t, parallelgem.SourceBuggy, "t = task_r.read()")
+
+	var rec *trace.Recorder
+	hung := false
+	for attempt := 0; attempt < 5 && !hung; attempt++ {
+		rec = trace.NewRecorder()
+		rec.CheckEvery = 10
+		rec.Start()
+		hung, _ = runPipeleak(t, func(p *kernel.Process) {
+			p.K.SetTracer(rec)
+		}, 3*time.Second)
+	}
+	if !hung {
+		t.Skipf("pipe leak did not reproduce in 5 lockstep attempts")
+	}
+
+	findLeak := func(rec *trace.Recorder) *trace.Finding {
+		tr := &trace.Trace{Files: rec.Files(), Chunks: rec.Chunks(), Events: rec.Events()}
+		for _, f := range trace.Analyze(tr) {
+			if f.Rule == trace.RulePipeLeak {
+				leak := f
+				return &leak
+			}
+		}
+		return nil
+	}
+	leak := findLeak(rec)
+	if leak == nil {
+		t.Fatalf("analyzer found no %s in the wedged recording", trace.RulePipeLeak)
+	}
+	if leak.File != "<parallel-0.5.9>" || leak.Line != wantLine {
+		t.Fatalf("leak pinned to %s:%d, want <parallel-0.5.9>:%d", leak.File, leak.Line, wantLine)
+	}
+
+	// Replay: force the recorded schedule onto a fresh run. The leaked
+	// descriptors are re-leaked in the same order, so the run wedges the
+	// same way and the analyzer reaches the same verdict.
+	cur := trace.NewCursor(rec.Events())
+	rec2 := trace.NewRecorder()
+	rec2.CheckEvery = rec.CheckEvery
+	rec2.Start()
+	hung2, _ := runPipeleak(t, func(p *kernel.Process) {
+		p.K.SetReplay(cur)
+		p.K.SetTracer(rec2)
+	}, 3*time.Second)
+	if !hung2 {
+		t.Fatalf("replay of the wedged schedule did not wedge")
+	}
+	leak2 := findLeak(rec2)
+	if leak2 == nil {
+		t.Fatalf("analyzer found no %s in the replayed run", trace.RulePipeLeak)
+	}
+	if leak2.File != leak.File || leak2.Line != leak.Line {
+		t.Fatalf("replayed leak at %s:%d, recorded at %s:%d",
+			leak2.File, leak2.Line, leak.File, leak.Line)
+	}
+}

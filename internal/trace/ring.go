@@ -1,0 +1,77 @@
+// The per-process lock-free ring buffer events are emitted into. The hot
+// path (Put) is a single atomic ticket claim plus a slot publish; draining
+// into the recorder takes a mutex but runs rarely (fork phase A, process
+// exit, trace dump, or when the ring passes its high-water mark).
+
+package trace
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	ringSize    = 1 << 12 // events
+	ringMask    = ringSize - 1
+	ringHiWater = ringSize / 2
+)
+
+// Ring is a multi-producer single-consumer event ring. Producers claim a
+// ticket with an atomic add and publish the slot with a stamp; the drainer
+// consumes published slots in ticket order.
+type Ring struct {
+	mu    sync.Mutex // serializes drains
+	buf   [ringSize]Event
+	stamp [ringSize]atomic.Uint64 // ticket+1 once the slot is published
+	head  atomic.Uint64           // next ticket to claim
+	tail  atomic.Uint64           // next ticket to drain
+}
+
+// NewRing returns an empty ring.
+func NewRing() *Ring { return &Ring{} }
+
+// Put publishes e. It reports whether the ring has passed its high-water
+// mark, in which case the caller should Drain soon (Put never drops an
+// event: a producer that laps the drainer spins until the slot frees).
+func (r *Ring) Put(e Event) bool {
+	i := r.head.Add(1) - 1
+	slot := i & ringMask
+	for r.stamp[slot].Load() != 0 {
+		// The slot still holds ticket i-ringSize: a drain is needed. This
+		// only happens if the caller ignored the high-water signal.
+		r.Drain(nil)
+		runtime.Gosched()
+	}
+	r.buf[slot] = e
+	r.stamp[slot].Store(i + 1)
+	return i-r.tail.Load() >= ringHiWater
+}
+
+// Drain consumes published events in ticket order, invoking out for each
+// (out may be nil to discard). It stops at the first unpublished slot.
+func (r *Ring) Drain(out func(Event)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		t := r.tail.Load()
+		if t >= r.head.Load() {
+			return
+		}
+		slot := t & ringMask
+		if r.stamp[slot].Load() != t+1 {
+			return // claimed but not yet published
+		}
+		e := r.buf[slot]
+		r.stamp[slot].Store(0)
+		r.tail.Store(t + 1)
+		if out != nil {
+			out(e)
+		}
+	}
+}
+
+// Pending returns the number of undrained events.
+func (r *Ring) Pending() int {
+	return int(r.head.Load() - r.tail.Load())
+}

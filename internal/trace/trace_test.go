@@ -1,0 +1,435 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventCodecRoundTrip(t *testing.T) {
+	f := func(seq uint64, pid, tid uint32, op uint8, file uint16, line int32, obj uint64, aux int64) bool {
+		in := Event{Seq: seq, PID: pid, TID: tid, Op: Op(op), File: file, Line: line, Obj: obj, Aux: aux}
+		var b [EventSize]byte
+		in.Encode(b[:])
+		return DecodeEvent(b[:]) == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFDAuxRoundTrip(t *testing.T) {
+	for _, fd := range []int64{0, 1, 3, 17, 1 << 40} {
+		for _, w := range []bool{false, true} {
+			gfd, gw := FDFromAux(FDAux(fd, w))
+			if gfd != fd || gw != w {
+				t.Fatalf("FDAux(%d,%v) round-tripped to (%d,%v)", fd, w, gfd, gw)
+			}
+		}
+	}
+}
+
+func TestOpNamesComplete(t *testing.T) {
+	for op := OpNone; op < opMax; op++ {
+		if op != OpNone && opNames[op] == "" {
+			t.Errorf("op %d has no name", op)
+		}
+	}
+}
+
+func TestRingPutDrainOrder(t *testing.T) {
+	r := NewRing()
+	const n = 100
+	for i := 0; i < n; i++ {
+		r.Put(Event{Seq: uint64(i + 1)})
+	}
+	if got := r.Pending(); got != n {
+		t.Fatalf("Pending = %d, want %d", got, n)
+	}
+	var out []Event
+	r.Drain(func(e Event) { out = append(out, e) })
+	if len(out) != n {
+		t.Fatalf("drained %d events, want %d", len(out), n)
+	}
+	for i, e := range out {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d; drain broke ticket order", i, e.Seq)
+		}
+	}
+	if r.Pending() != 0 {
+		t.Fatalf("ring not empty after drain")
+	}
+}
+
+func TestRingHighWater(t *testing.T) {
+	r := NewRing()
+	hit := false
+	for i := 0; i < ringHiWater+2; i++ {
+		if r.Put(Event{Seq: uint64(i + 1)}) {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("no high-water signal after %d undrained puts", ringHiWater+2)
+	}
+	r.Drain(nil)
+	if r.Put(Event{Seq: 1}) {
+		t.Fatalf("high-water signal right after a full drain")
+	}
+}
+
+func TestRingWrapNeverDrops(t *testing.T) {
+	// Fill past capacity: Put self-drains when it laps the slot, so no
+	// event may be lost even if the high-water signal is ignored.
+	r := NewRing()
+	var kept []Event
+	total := ringSize + ringSize/2
+	for i := 0; i < total; i++ {
+		r.Put(Event{Seq: uint64(i + 1)})
+		if r.Pending() > ringSize-2 {
+			r.Drain(func(e Event) { kept = append(kept, e) })
+		}
+	}
+	r.Drain(func(e Event) { kept = append(kept, e) })
+	if len(kept) != total {
+		t.Fatalf("kept %d of %d events", len(kept), total)
+	}
+	for i, e := range kept {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+}
+
+func TestRingConcurrentProducers(t *testing.T) {
+	r := NewRing()
+	rec := NewRecorder()
+	rec.Start()
+	const producers, per = 8, 500
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var got []Event
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if r.Put(Event{Seq: rec.NextSeq(), TID: uint32(p)}) {
+					mu.Lock()
+					r.Drain(func(e Event) { got = append(got, e) })
+					mu.Unlock()
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	mu.Lock()
+	r.Drain(func(e Event) { got = append(got, e) })
+	mu.Unlock()
+	if len(got) != producers*per {
+		t.Fatalf("drained %d events, want %d", len(got), producers*per)
+	}
+	seen := make(map[uint64]bool, len(got))
+	for _, e := range got {
+		if seen[e.Seq] {
+			t.Fatalf("seq %d drained twice", e.Seq)
+		}
+		seen[e.Seq] = true
+	}
+}
+
+func TestRecorderFileRoundTrip(t *testing.T) {
+	rec := NewRecorder()
+	rec.CheckEvery = 7
+	rec.Seed = -42
+	rec.Start()
+	fid := rec.FileID("a.pint")
+	if fid == 0 {
+		t.Fatalf("FileID interned to the unknown id")
+	}
+	if again := rec.FileID("a.pint"); again != fid {
+		t.Fatalf("FileID not stable: %d then %d", fid, again)
+	}
+	ring := NewRing()
+	want := []Event{
+		{Seq: rec.NextSeq(), PID: 1, TID: 1, Op: OpGILAcquire, File: fid, Line: 3},
+		{Seq: rec.NextSeq(), PID: 1, TID: 1, Op: OpPipeWrite, File: fid, Line: 4, Obj: 9, Aux: 128},
+	}
+	for _, e := range want {
+		ring.Put(e)
+	}
+	rec.Flush(1, ring)
+	ring2 := NewRing()
+	e3 := Event{Seq: rec.NextSeq(), PID: 2, TID: 3, Op: OpProcExit}
+	ring2.Put(e3)
+	rec.Flush(2, ring2)
+	want = append(want, e3)
+
+	var buf bytes.Buffer
+	if err := rec.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.CheckEvery != 7 || tr.Seed != -42 {
+		t.Fatalf("header = (check %d, seed %d), want (7, -42)", tr.CheckEvery, tr.Seed)
+	}
+	if tr.FileName(fid) != "a.pint" {
+		t.Fatalf("FileName(%d) = %q", fid, tr.FileName(fid))
+	}
+	if len(tr.Events) != len(want) {
+		t.Fatalf("read %d events, want %d", len(tr.Events), len(want))
+	}
+	for i, e := range tr.Events {
+		if e != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, e, want[i])
+		}
+	}
+	if len(tr.Chunks) != 2 || tr.Chunks[0].PID != 1 || tr.Chunks[1].PID != 2 {
+		t.Fatalf("chunks = %+v, want pid-1 chunk then pid-2 chunk", tr.Chunks)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOTATRACE-------"))); err == nil {
+		t.Fatalf("Read accepted a bad magic")
+	}
+}
+
+func TestForceSeq(t *testing.T) {
+	rec := NewRecorder()
+	rec.ForceSeq(10)
+	if got := rec.NextSeq(); got != 11 {
+		t.Fatalf("NextSeq after ForceSeq(10) = %d, want 11", got)
+	}
+	rec.ForceSeq(5) // must never lower the counter
+	if got := rec.NextSeq(); got != 12 {
+		t.Fatalf("NextSeq after backwards ForceSeq = %d, want 12", got)
+	}
+}
+
+func TestCursorConsumesInOrder(t *testing.T) {
+	evs := []Event{
+		{Seq: 1, PID: 1, TID: 1, Op: OpGILAcquire},
+		{Seq: 2, PID: 1, TID: 2, Op: OpGILAcquire},
+		{Seq: 3, PID: 1, TID: 1, Op: OpGILRelease},
+	}
+	c := NewCursor(evs)
+	done := make(chan uint64, 1)
+	go func() {
+		// Thread 2's turn is second; it must block until thread 1 goes.
+		seq, ok := c.Next(1, 2, OpGILAcquire, nil)
+		if !ok {
+			seq = 0
+		}
+		done <- seq
+	}()
+	if seq, ok := c.Next(1, 1, OpGILAcquire, nil); !ok || seq != 1 {
+		t.Fatalf("first Next = (%d, %v), want (1, true)", seq, ok)
+	}
+	if seq := <-done; seq != 2 {
+		t.Fatalf("second thread replayed seq %d, want 2", seq)
+	}
+	if seq, ok := c.Next(1, 1, OpGILRelease, nil); !ok || seq != 3 {
+		t.Fatalf("third Next = (%d, %v), want (3, true)", seq, ok)
+	}
+	if c.Active() {
+		t.Fatalf("cursor still active after exhausting events")
+	}
+	if _, ok := c.Next(1, 1, OpGILAcquire, nil); ok {
+		t.Fatalf("exhausted cursor still forcing the schedule")
+	}
+	if c.Replayed() != 3 {
+		t.Fatalf("Replayed = %d, want 3", c.Replayed())
+	}
+}
+
+func TestCursorDivergesOnOpMismatch(t *testing.T) {
+	c := NewCursor([]Event{{Seq: 1, PID: 1, TID: 1, Op: OpGILAcquire}})
+	if _, ok := c.Next(1, 1, OpPipeRead, nil); ok {
+		t.Fatalf("mismatched op replayed successfully")
+	}
+	diverged, msg := c.Diverged()
+	if !diverged {
+		t.Fatalf("cursor did not record divergence")
+	}
+	if msg == "" {
+		t.Fatalf("divergence has no message")
+	}
+}
+
+func TestCursorAbort(t *testing.T) {
+	// Head belongs to another thread forever; abort must release the
+	// caller without divergence.
+	c := NewCursor([]Event{{Seq: 1, PID: 2, TID: 9, Op: OpGILAcquire}})
+	if _, ok := c.Next(1, 1, OpGILAcquire, func() bool { return true }); ok {
+		t.Fatalf("aborted Next reported success")
+	}
+	if diverged, _ := c.Diverged(); diverged {
+		t.Fatalf("abort must not count as divergence")
+	}
+}
+
+func TestHappensBeforeVectorClocks(t *testing.T) {
+	// pid 1 forks pid 2 (seq 3); a pid-1 event after the fork and a
+	// pid-2 event are concurrent, while pre-fork events happen-before
+	// everything in the child.
+	evs := []Event{
+		{Seq: 1, PID: 1, TID: 1, Op: OpGILAcquire},
+		{Seq: 2, PID: 1, TID: 1, Op: OpQueuePush, Obj: 7},
+		{Seq: 3, PID: 1, TID: 1, Op: OpForkParent, Aux: 2},
+		{Seq: 4, PID: 2, TID: 1, Op: OpForkChild, Aux: 1},
+		{Seq: 5, PID: 1, TID: 1, Op: OpQueuePush, Obj: 7},
+		{Seq: 6, PID: 2, TID: 1, Op: OpQueuePop, Obj: 7},
+	}
+	clocks := ComputeClocks(evs, nil)
+	if len(clocks) != len(evs) {
+		t.Fatalf("ComputeClocks returned %d clocks for %d events", len(clocks), len(evs))
+	}
+	// Pre-fork push (seq 2) happens-before the child's pop (seq 6).
+	if !clocks[5].HappensBefore(1, 2) {
+		t.Errorf("pre-fork push not ordered before child pop")
+	}
+	if Concurrent(1, 2, clocks[1], 2, 6, clocks[5]) {
+		t.Errorf("pre-fork push reported concurrent with child pop")
+	}
+	// Post-fork parent push (seq 5) is concurrent with the child pop:
+	// the queue was copied by fork, nothing orders them.
+	if !Concurrent(1, 5, clocks[4], 2, 6, clocks[5]) {
+		t.Errorf("post-fork parent push not concurrent with child pop")
+	}
+}
+
+func TestHappensBeforePipeEdge(t *testing.T) {
+	// A pipe write in pid 1 orders before the event following the
+	// completed read in pid 2 (the read itself is a pre-op event).
+	evs := []Event{
+		{Seq: 1, PID: 1, TID: 1, Op: OpForkParent, Aux: 2},
+		{Seq: 2, PID: 2, TID: 1, Op: OpForkChild, Aux: 1},
+		{Seq: 3, PID: 1, TID: 1, Op: OpPipeWrite, Obj: 4, Aux: 10},
+		{Seq: 4, PID: 2, TID: 1, Op: OpPipeRead, Obj: 4},
+		{Seq: 5, PID: 2, TID: 1, Op: OpGILRelease},
+	}
+	clocks := ComputeClocks(evs, nil)
+	if !clocks[4].HappensBefore(1, 3) {
+		t.Errorf("write not ordered before the event after the completed read")
+	}
+	// The pre-op read event itself is NOT ordered after the write (the
+	// read may still be blocked when emitted).
+	if clocks[3].HappensBefore(1, 3) {
+		t.Errorf("pre-op read event already ordered after the write")
+	}
+}
+
+func analyzeEvents(t *testing.T, files []string, evs []Event) []Finding {
+	t.Helper()
+	return Analyze(&Trace{Files: files, Events: evs, Chunks: []Chunk{{PID: 1, Events: evs}}})
+}
+
+func findRule(fs []Finding, rule string) *Finding {
+	for i := range fs {
+		if fs[i].Rule == rule {
+			return &fs[i]
+		}
+	}
+	return nil
+}
+
+func TestAnalyzePipeLeak(t *testing.T) {
+	files := []string{"", "leak.pint"}
+	evs := []Event{
+		// pid 1 opens both ends of pipe 5, forks pid 2 without the
+		// child closing its inherited write end, then the child blocks
+		// forever in read.
+		{Seq: 1, PID: 1, TID: 1, Op: OpFDOpen, Obj: 5, Aux: FDAux(3, false), File: 1, Line: 2},
+		{Seq: 2, PID: 1, TID: 1, Op: OpFDOpen, Obj: 5, Aux: FDAux(4, true), File: 1, Line: 2},
+		{Seq: 3, PID: 1, TID: 1, Op: OpForkParent, Aux: 2, File: 1, Line: 3},
+		{Seq: 4, PID: 2, TID: 1, Op: OpForkChild, Aux: 1, File: 1, Line: 3},
+		{Seq: 5, PID: 2, TID: 1, Op: OpPipeRead, Obj: 5, File: 1, Line: 7},
+	}
+	fs := analyzeEvents(t, files, evs)
+	f := findRule(fs, RulePipeLeak)
+	if f == nil {
+		t.Fatalf("no %s finding in %v", RulePipeLeak, fs)
+	}
+	if f.File != "leak.pint" || f.Line != 7 || f.PID != 2 {
+		t.Fatalf("finding anchored at %s:%d pid %d, want leak.pint:7 pid 2", f.File, f.Line, f.PID)
+	}
+}
+
+func TestAnalyzeNoLeakAfterEOF(t *testing.T) {
+	files := []string{"", "ok.pint"}
+	evs := []Event{
+		{Seq: 1, PID: 1, TID: 1, Op: OpFDOpen, Obj: 5, Aux: FDAux(3, false), File: 1, Line: 2},
+		{Seq: 2, PID: 1, TID: 1, Op: OpFDOpen, Obj: 5, Aux: FDAux(4, true), File: 1, Line: 2},
+		{Seq: 3, PID: 1, TID: 1, Op: OpFDClose, Obj: 5, Aux: FDAux(4, true), File: 1, Line: 4},
+		{Seq: 4, PID: 1, TID: 1, Op: OpPipeRead, Obj: 5, File: 1, Line: 5},
+		{Seq: 5, PID: 1, TID: 1, Op: OpPipeEOF, Obj: 5, File: 1, Line: 5},
+		{Seq: 6, PID: 1, TID: 1, Op: OpProcExit},
+	}
+	if fs := analyzeEvents(t, files, evs); len(fs) != 0 {
+		t.Fatalf("clean run produced findings: %v", fs)
+	}
+}
+
+func TestAnalyzeLockOrderCycle(t *testing.T) {
+	files := []string{"", "locks.pint"}
+	evs := []Event{
+		// Thread 1: lock A then B. Thread 2: lock B then A.
+		{Seq: 1, PID: 1, TID: 1, Op: OpMutexLock, Obj: 10, File: 1, Line: 1},
+		{Seq: 2, PID: 1, TID: 1, Op: OpMutexLock, Obj: 11, File: 1, Line: 2},
+		{Seq: 3, PID: 1, TID: 1, Op: OpMutexUnlock, Obj: 11, File: 1, Line: 3},
+		{Seq: 4, PID: 1, TID: 1, Op: OpMutexUnlock, Obj: 10, File: 1, Line: 4},
+		{Seq: 5, PID: 1, TID: 2, Op: OpMutexLock, Obj: 11, File: 1, Line: 11},
+		{Seq: 6, PID: 1, TID: 2, Op: OpMutexLock, Obj: 10, File: 1, Line: 12},
+		{Seq: 7, PID: 1, TID: 2, Op: OpMutexUnlock, Obj: 10, File: 1, Line: 13},
+		{Seq: 8, PID: 1, TID: 2, Op: OpMutexUnlock, Obj: 11, File: 1, Line: 14},
+	}
+	fs := analyzeEvents(t, files, evs)
+	if findRule(fs, RuleLockOrder) == nil {
+		t.Fatalf("no %s finding in %v", RuleLockOrder, fs)
+	}
+}
+
+func TestAnalyzeQueueAcrossFork(t *testing.T) {
+	files := []string{"", "q.pint"}
+	evs := []Event{
+		{Seq: 1, PID: 1, TID: 1, Op: OpForkParent, Aux: 2, File: 1, Line: 3},
+		{Seq: 2, PID: 2, TID: 1, Op: OpForkChild, Aux: 1, File: 1, Line: 3},
+		{Seq: 3, PID: 1, TID: 1, Op: OpQueuePush, Obj: 7, File: 1, Line: 5},
+		{Seq: 4, PID: 2, TID: 2, Op: OpQueuePop, Obj: 7, File: 1, Line: 9},
+	}
+	fs := analyzeEvents(t, files, evs)
+	f := findRule(fs, RuleQueueAcrossFrk)
+	if f == nil {
+		t.Fatalf("no %s finding in %v", RuleQueueAcrossFrk, fs)
+	}
+	if f.Line != 9 {
+		t.Fatalf("finding anchored at line %d, want the pop at line 9", f.Line)
+	}
+}
+
+func TestAnalyzeDeadlock(t *testing.T) {
+	files := []string{"", "d.pint"}
+	evs := []Event{{Seq: 1, PID: 1, TID: 2, Op: OpDeadlock, Aux: 2, File: 1, Line: 14}}
+	fs := analyzeEvents(t, files, evs)
+	f := findRule(fs, RuleDeadlock)
+	if f == nil {
+		t.Fatalf("no %s finding", RuleDeadlock)
+	}
+	if f.File != "d.pint" || f.Line != 14 {
+		t.Fatalf("finding at %s:%d, want d.pint:14", f.File, f.Line)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Rule: RuleDeadlock, File: "x.pint", Line: 3, PID: 1, TID: 2, Seq: 9, Message: "boom"}
+	want := fmt.Sprintf("x.pint:3: [%s] boom (pid 1 thread 2, seq 9)", RuleDeadlock)
+	if f.String() != want {
+		t.Fatalf("String = %q, want %q", f.String(), want)
+	}
+}

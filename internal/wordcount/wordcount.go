@@ -27,6 +27,7 @@ import (
 	"dionea/internal/kernel"
 	"dionea/internal/mp"
 	"dionea/internal/token"
+	"dionea/internal/trace"
 	"dionea/internal/value"
 	"dionea/internal/vm"
 )
@@ -275,6 +276,60 @@ func Run(lines []string, workers int, debug bool) (*Result, error) {
 		return nil, fmt.Errorf("wordcount: program produced no counts; output: %s", p.Output())
 	}
 	return &Result{Elapsed: elapsed, Counts: counts, ExitCode: p.ExitCode()}, nil
+}
+
+// RunTraced executes the bare workload with a trace recorder attached —
+// the `pint -trace` configuration. It returns the run result and the
+// number of events recorded.
+func RunTraced(lines []string, workers int) (*Result, int, error) {
+	proto, err := Program()
+	if err != nil {
+		return nil, 0, err
+	}
+	mpPrelude, err := mp.Prelude()
+	if err != nil {
+		return nil, 0, err
+	}
+	var (
+		mu     sync.Mutex
+		counts map[string]int64
+	)
+	sink := func(d *value.Dict) {
+		out := make(map[string]int64, d.Len())
+		for _, k := range d.Keys() {
+			v, _ := d.Get(k)
+			if n, ok := v.(value.Int); ok {
+				out[k.S] = int64(n)
+			}
+		}
+		mu.Lock()
+		counts = out
+		mu.Unlock()
+	}
+
+	k := kernel.New()
+	rec := trace.NewRecorder()
+	k.SetTracer(rec)
+	rec.Start()
+	start := time.Now()
+	p := k.StartProgram(proto, kernel.Options{
+		Preludes: []*bytecode.FuncProto{mpPrelude},
+		Setup: []func(*kernel.Process){
+			ipc.Install,
+			func(p *kernel.Process) { Install(p, lines, workers, sink) },
+		},
+	})
+	k.WaitAll()
+	elapsed := time.Since(start)
+	k.FlushTrace()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if counts == nil && p.ExitCode() == 0 {
+		return nil, 0, fmt.Errorf("wordcount: traced program produced no counts; output: %s", p.Output())
+	}
+	return &Result{Elapsed: elapsed, Counts: counts, ExitCode: p.ExitCode()},
+		len(rec.Events()), nil
 }
 
 // Equal compares two count maps.

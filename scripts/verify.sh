@@ -26,4 +26,10 @@ go test ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== replay determinism under -race =="
+go test -race -count=1 -run 'TestRecordReplay' ./internal/trace
+
+echo "== tracing overhead vs committed BENCH_fig9.json =="
+go run ./cmd/benchfig -against BENCH_fig9.json -reps 3
+
 echo "verify: OK"
