@@ -105,6 +105,10 @@ func (u *ui) printEvent(e client.Event) {
 		fmt.Printf("[pid %d] forked child %d\n", m.PID, m.Child)
 	case "session_opened":
 		fmt.Printf("[pid %d] new debug session opened\n", m.PID)
+	case "session_closed":
+		fmt.Printf("[pid %d] debug session closed\n", m.PID)
+	case "session_reconnected":
+		fmt.Printf("[pid %d] source channel reconnected\n", m.PID)
 	case protocol.EventProcessExited:
 		fmt.Printf("[pid %d] exited with code %d\n", m.PID, m.Code)
 	case protocol.EventDeadlock:

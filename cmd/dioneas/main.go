@@ -20,6 +20,7 @@ import (
 	"path/filepath"
 
 	"dionea/internal/bytecode"
+	"dionea/internal/chaos"
 	"dionea/internal/compiler"
 	"dionea/internal/dionea"
 	"dionea/internal/ipc"
@@ -35,6 +36,7 @@ func main() {
 	disturb := flag.Bool("disturb", false, "start with disturb mode on: every new process/thread stops")
 	check := flag.Int("check", 0, "GIL checkinterval (0 = default)")
 	traceOut := flag.String("trace", "", "record concurrency events from startup; written here at exit (also: `trace dump` in dioneac)")
+	chaosSeed := flag.Int64("chaos", 0, "enable deterministic fault injection with this seed (0 = off)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dioneas [flags] program.pint\n")
 		flag.PrintDefaults()
@@ -58,6 +60,11 @@ func main() {
 	}
 
 	k := kernel.New()
+	var inj *chaos.Injector
+	if *chaosSeed != 0 {
+		inj = chaos.New(*chaosSeed)
+		k.SetChaos(inj)
+	}
 	if *traceOut != "" {
 		rec := k.EnableTrace()
 		rec.CheckEvery = *check
@@ -101,6 +108,9 @@ func main() {
 		if err := k.WriteTrace(*traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "dioneas: trace: %v\n", err)
 		}
+	}
+	if inj != nil {
+		fmt.Fprintf(os.Stderr, "dioneas: %s\n", inj.Summary())
 	}
 	os.Exit(p.ExitCode())
 }

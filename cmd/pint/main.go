@@ -16,6 +16,7 @@ import (
 
 	"dionea/internal/analysis"
 	"dionea/internal/bytecode"
+	"dionea/internal/chaos"
 	"dionea/internal/compiler"
 	"dionea/internal/ipc"
 	"dionea/internal/kernel"
@@ -31,6 +32,7 @@ func main() {
 	traceOut := flag.String("trace", "", "record a concurrency event trace to this file (analyze with pinttrace)")
 	replayIn := flag.String("replay", "", "replay the schedule recorded in this trace file")
 	seed := flag.Int64("seed", 0, "PRNG seed for the root process")
+	chaosSeed := flag.Int64("chaos", 0, "enable deterministic fault injection with this seed (0 = off)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pint [flags] program.pint\n")
 		flag.PrintDefaults()
@@ -62,6 +64,18 @@ func main() {
 	}
 
 	k := kernel.New()
+
+	var inj *chaos.Injector
+	if *chaosSeed != 0 {
+		// Replay reproduces a recorded schedule; injecting new faults on
+		// top would diverge it immediately, so the combination is refused.
+		if *replayIn != "" {
+			fmt.Fprintln(os.Stderr, "pint: -chaos cannot be combined with -replay")
+			os.Exit(2)
+		}
+		inj = chaos.New(*chaosSeed)
+		k.SetChaos(inj)
+	}
 
 	var recorded *trace.Trace
 	if *replayIn != "" {
@@ -111,6 +125,9 @@ func main() {
 		if err := k.WriteTrace(*traceOut); err != nil {
 			fmt.Fprintf(os.Stderr, "pint: trace: %v\n", err)
 		}
+	}
+	if inj != nil {
+		fmt.Fprintf(os.Stderr, "pint: %s\n", inj.Summary())
 	}
 	if cur := k.Replay(); cur != nil {
 		if diverged, msg := cur.Diverged(); diverged {

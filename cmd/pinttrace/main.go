@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"dionea/internal/chaos"
 	"dionea/internal/trace"
 )
 
@@ -87,6 +88,12 @@ func dumpTrace(path string, tr *trace.Trace) {
 		aux := ""
 		if e.Aux != 0 {
 			aux = fmt.Sprintf(" aux=%d", e.Aux)
+		}
+		if e.Op == trace.OpFault {
+			// Fault events carry the chaos point in obj and the
+			// occurrence number in aux; render them symbolically.
+			obj = fmt.Sprintf(" point=%s", chaos.Point(e.Obj))
+			aux = fmt.Sprintf(" n=%d", e.Aux)
 		}
 		fmt.Printf("%8d pid=%d tid=%d %-13s%s%s%s\n", e.Seq, e.PID, e.TID, e.Op, obj, aux, loc)
 	}

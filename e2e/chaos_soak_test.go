@@ -1,0 +1,221 @@
+// The chaos soak: run real workloads under the debug plane with fault
+// injection on, across a spread of seeds, and require that no injected
+// fault hangs the run, panics, or corrupts a surviving session. The
+// debuggee itself is allowed to lose — a killed child, a denied fork, a
+// dropped pipe write are all fair outcomes — but the debug plane must
+// stay answerable and the kernel must always drain.
+package e2e
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dionea/internal/chaos"
+	"dionea/internal/client"
+	"dionea/internal/compiler"
+	"dionea/internal/dionea"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+)
+
+// soakSeeds returns the seeds to soak: 1..5 by default, 1..N with
+// CHAOS_SOAK_SEEDS=N (the verify gate uses 20).
+func soakSeeds(t *testing.T) []int64 {
+	n := 5
+	if env := os.Getenv("CHAOS_SOAK_SEEDS"); env != "" {
+		v, err := strconv.Atoi(env)
+		if err != nil || v < 1 {
+			t.Fatalf("CHAOS_SOAK_SEEDS=%q", env)
+		}
+		n = v
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	return seeds
+}
+
+const (
+	soakRunDeadline   = 20 * time.Second // natural completion window
+	soakDrainDeadline = 15 * time.Second // kill + drain window
+)
+
+// soakOnce runs one compiled workload under a debug client with the
+// given chaos seed and enforces the survivability contract.
+func soakOnce(t *testing.T, name, src string, seed int64) {
+	t.Helper()
+	proto, err := compiler.CompileSource(src, name)
+	if err != nil {
+		t.Fatalf("compile %s: %v", name, err)
+	}
+	k := kernel.New()
+	k.SetChaos(chaos.New(seed))
+	session := name + "-" + strconv.FormatInt(seed, 10)
+	var attachErr error
+	p := k.StartProgram(proto, kernel.Options{
+		Setup: []func(*kernel.Process){
+			ipc.Install,
+			func(proc *kernel.Process) {
+				_, attachErr = dionea.Attach(k, proc, dionea.Options{
+					SessionID:     session,
+					Sources:       map[string]string{name: src},
+					WaitForClient: true,
+				})
+			},
+		},
+	})
+	if attachErr != nil {
+		t.Fatalf("seed %d: attach: %v", seed, attachErr)
+	}
+	c := client.New(k, session)
+	if _, err := c.ConnectRoot(p.PID, 10*time.Second); err != nil {
+		t.Fatalf("seed %d: connect: %v", seed, err)
+	}
+
+	// Release the parked main thread. The request itself crosses the
+	// (chaos-wrapped) debug plane, so it may fail — on failure, terminate
+	// directly; the run still must drain.
+	released := false
+	deadline := time.Now().Add(5 * time.Second)
+	for !released && time.Now().Before(deadline) {
+		infos, terr := c.Threads(p.PID)
+		if terr != nil {
+			break
+		}
+		for _, ti := range infos {
+			if ti.Main {
+				if cerr := c.Continue(p.PID, ti.TID); cerr == nil {
+					released = true
+				}
+				break
+			}
+		}
+	}
+	if !released {
+		// The debug plane lost the root session to injected conn faults
+		// before the program even started; the contract is that nothing
+		// hangs, so terminate and drain.
+		p.Terminate(137)
+	}
+
+	// Let the workload run; it may finish, wedge (pipeleak's bug), or be
+	// hollowed out by injected faults — all acceptable, hanging is not.
+	select {
+	case <-p.ExitChan():
+	case <-time.After(soakRunDeadline):
+	}
+
+	// Kill/drain: first through the debug plane (it must stay answerable
+	// — bounded errors are fine, hangs are not), then directly.
+	for _, pid := range c.Sessions() {
+		_ = c.Kill(pid) // Request has its own timeout; error is acceptable
+	}
+	for _, proc := range k.Processes() {
+		if !proc.Exited() {
+			proc.Terminate(137)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		k.WaitAll()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(soakDrainDeadline):
+		t.Fatalf("seed %d: kernel did not drain after kill — an injected fault hung the run", seed)
+	}
+
+	// A surviving (or any) session must fail cleanly now, never hang.
+	start := time.Now()
+	if _, err := c.Threads(p.PID); err == nil && p.Exited() {
+		t.Fatalf("seed %d: request on a dead debuggee succeeded", seed)
+	}
+	if time.Since(start) > 15*time.Second {
+		t.Fatalf("seed %d: post-mortem request took %v", seed, time.Since(start))
+	}
+}
+
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak is not short")
+	}
+	pipeleakSrc, err := os.ReadFile(repoPath(t, "examples/pipeleak/buggy.pint"))
+	if err != nil {
+		t.Fatalf("read pipeleak: %v", err)
+	}
+	workloads := []struct{ name, src string }{
+		{"wordcount.pint", soakWordcountSrc()},
+		{"pipeleak.pint", string(pipeleakSrc)},
+	}
+	for _, seed := range soakSeeds(t) {
+		for _, w := range workloads {
+			w := w
+			seed := seed
+			t.Run(w.name+"/seed"+strconv.FormatInt(seed, 10), func(t *testing.T) {
+				t.Parallel()
+				soakOnce(t, w.name, w.src, seed)
+			})
+		}
+	}
+}
+
+// soakWordcountSrc is a self-contained cut of the §7 workload: fork-based
+// workers counting words over pipes, no host builtins needed.
+func soakWordcountSrc() string {
+	corpus := strings.Repeat("the quick brown fox jumps over the lazy dog ", 8)
+	return `corpus = "` + strings.TrimSpace(corpus) + `"
+words = corpus.split()
+nw = 3
+pipes = []
+pids = []
+i = 0
+while i < nw {
+    pipes.push(pipe_new())
+    i = i + 1
+}
+i = 0
+while i < nw {
+    ends = pipes[i]
+    r = ends[0]
+    w = ends[1]
+    slot = i
+    pid = fork do
+        counts = {}
+        j = slot
+        while j < len(words) {
+            word = words[j]
+            counts[word] = counts.get(word, 0) + 1
+            j = j + nw
+        }
+        w.write(len(counts.keys()))
+        w.close()
+    end
+    if pid == -1 {
+        w.close()
+    } else {
+        pids.push(pid)
+    }
+    i = i + 1
+}
+total = 0
+i = 0
+while i < nw {
+    r = pipes[i][0]
+    v = r.read()
+    if v != nil {
+        total = total + v
+    }
+    i = i + 1
+}
+for pd in pids {
+    waitpid(pd)
+}
+print("distinct-sum", total)
+` // wordcount-shaped, but every fault outcome (denied fork, killed
+	// child, dropped write) still drains: readers see nil on EOF.
+}

@@ -1,0 +1,68 @@
+package e2e
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestChaosDeterministicFaultTrace runs the same program with the same
+// chaos seed twice and requires the recorded fault events to be
+// byte-identical — the property that makes a failing soak seed
+// reproducible.
+func TestChaosDeterministicFaultTrace(t *testing.T) {
+	bin := binaries(t)
+	dir := t.TempDir()
+	prog := repoPath(t, "testdata/chaosloop.pint")
+
+	faults := func(run int) string {
+		tracePath := filepath.Join(dir, "chaos"+string(rune('0'+run))+".bin")
+		out, err := exec.Command(filepath.Join(bin, "pint"),
+			"-chaos", "7", "-trace", tracePath, prog).CombinedOutput()
+		if err != nil {
+			t.Fatalf("pint -chaos: %v\n%s", err, out)
+		}
+		if !strings.Contains(string(out), "chaos: seed 7") {
+			t.Fatalf("no chaos summary on stderr:\n%s", out)
+		}
+		dump, err := exec.Command(filepath.Join(bin, "pinttrace"), "-dump", tracePath).Output()
+		if err != nil {
+			t.Fatalf("pinttrace -dump: %v", err)
+		}
+		var fl []string
+		for _, line := range strings.Split(string(dump), "\n") {
+			if strings.Contains(line, " fault ") {
+				fl = append(fl, line)
+			}
+		}
+		return strings.Join(fl, "\n")
+	}
+
+	f1, f2 := faults(1), faults(2)
+	if f1 == "" {
+		t.Fatalf("seed 7 injected no faults over 8 serialized forks")
+	}
+	if f1 != f2 {
+		t.Fatalf("same seed, different fault events:\n--- run 1:\n%s\n--- run 2:\n%s", f1, f2)
+	}
+	if !strings.Contains(f1, "point=") {
+		t.Fatalf("fault events not rendered symbolically:\n%s", f1)
+	}
+}
+
+// TestChaosRefusesReplay: injecting new faults on top of a recorded
+// schedule would diverge it immediately, so the combination is an error.
+func TestChaosRefusesReplay(t *testing.T) {
+	bin := binaries(t)
+	out, err := exec.Command(filepath.Join(bin, "pint"),
+		"-chaos", "1", "-replay", "nope.bin", repoPath(t, "testdata/hello.pint")).CombinedOutput()
+	if err == nil {
+		t.Fatalf("pint accepted -chaos with -replay:\n%s", out)
+	}
+	if !strings.Contains(string(out), "-chaos cannot be combined with -replay") {
+		t.Fatalf("wrong diagnostic:\n%s", out)
+	}
+	_ = os.Remove("nope.bin")
+}

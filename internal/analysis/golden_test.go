@@ -17,6 +17,7 @@ var golden = map[string][]string{
 	"hello.pint":     nil,
 	"threads.pint":   nil,
 	"mapreduce.pint": nil,
+	"chaosloop.pint": nil,
 	"deadlock.pint": {
 		`deadlock.pint:14: [interthread-queue-across-fork] inter-thread queue "queue" is used in code a fork()ed child runs; queue_new() queues are per-process, and the threads feeding this one exist only in the parent (the Listing 5 deadlock) — use mp_queue() across processes`,
 	},

@@ -1,0 +1,253 @@
+// Package chaos is the deterministic fault-injection layer of the
+// simulated kernel and the Dionea debug plane. An Injector, seeded once
+// per run, decides for each named fault point whether its n-th occurrence
+// fires; the decision is a pure function of (seed, point, n), so the same
+// seed replays the same fault sequence regardless of wall-clock timing or
+// goroutine scheduling. That is the property the chaos soak leans on: a
+// failing seed reproduces.
+//
+// The package is dependency-free (net + stdlib) so both the kernel and
+// the protocol layer can import it.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// Point names one fault-injection site. The numeric values appear in
+// trace.OpFault events (Obj = point), so they are append-only.
+type Point uint8
+
+// Fault points.
+const (
+	// ForkEAGAIN: fork() fails before any handler runs — the kernel is
+	// out of processes (EAGAIN).
+	ForkEAGAIN Point = iota
+	// ForkMidPrepare: a prepare handler fails *between* phase-A handlers,
+	// after others already ran; their work must be rolled back (the real
+	// pthread_atfork semantics the paper glosses over).
+	ForkMidPrepare
+	// PipeEPIPE: a pipe/queue write fails with EPIPE even though readers
+	// remain.
+	PipeEPIPE
+	// PipeShortWrite: a pipe/queue write is split mid-frame; the hardened
+	// writer must complete the remainder.
+	PipeShortWrite
+	// ChildKill: a freshly forked child dies (SIGKILL-style) after a
+	// deterministic number of checkinterval ticks — possibly mid-debug-
+	// session.
+	ChildKill
+	// ConnDrop: a debug-plane TCP connection is closed before a write.
+	ConnDrop
+	// ConnDelay: a debug-plane write is delayed.
+	ConnDelay
+	// ConnTear: a debug-plane connection is torn mid-message — half the
+	// bytes land, then the socket dies.
+	ConnTear
+
+	NumPoints
+)
+
+var pointNames = [NumPoints]string{
+	ForkEAGAIN:     "fork-eagain",
+	ForkMidPrepare: "fork-mid-prepare",
+	PipeEPIPE:      "pipe-epipe",
+	PipeShortWrite: "pipe-short-write",
+	ChildKill:      "child-kill",
+	ConnDrop:       "conn-drop",
+	ConnDelay:      "conn-delay",
+	ConnTear:       "conn-tear",
+}
+
+func (p Point) String() string {
+	if p < NumPoints {
+		return pointNames[p]
+	}
+	return fmt.Sprintf("point(%d)", uint8(p))
+}
+
+// Config sets the per-point fire probability in [0, 1].
+type Config struct {
+	Rates [NumPoints]float64
+}
+
+// DefaultConfig returns the rates used by `pint -chaos` / `dioneas
+// -chaos`: frequent enough that a 20-seed soak exercises every point,
+// rare enough that most operations still succeed and the workload makes
+// progress.
+func DefaultConfig() Config {
+	var c Config
+	c.Rates[ForkEAGAIN] = 0.08
+	c.Rates[ForkMidPrepare] = 0.08
+	c.Rates[PipeEPIPE] = 0.02
+	c.Rates[PipeShortWrite] = 0.15
+	c.Rates[ChildKill] = 0.10
+	c.Rates[ConnDrop] = 0.03
+	c.Rates[ConnDelay] = 0.10
+	c.Rates[ConnTear] = 0.02
+	return c
+}
+
+// Injector decides fault firings. Safe for concurrent use; all methods
+// are nil-receiver-safe so call sites need no guard beyond loading the
+// pointer.
+type Injector struct {
+	seed   int64
+	cfg    Config
+	counts [NumPoints]atomic.Uint64
+	fired  [NumPoints]atomic.Uint64
+}
+
+// New returns an injector with DefaultConfig.
+func New(seed int64) *Injector { return NewWith(seed, DefaultConfig()) }
+
+// NewWith returns an injector with explicit rates.
+func NewWith(seed int64, cfg Config) *Injector {
+	return &Injector{seed: seed, cfg: cfg}
+}
+
+// Seed returns the injector's seed.
+func (in *Injector) Seed() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.seed
+}
+
+// Fire records one occurrence of point p and reports whether it fires.
+// n is the 1-based occurrence number; (p, n) identifies the fault in
+// trace events and reproduces under the same seed.
+func (in *Injector) Fire(p Point) (n uint64, ok bool) {
+	if in == nil || p >= NumPoints {
+		return 0, false
+	}
+	n = in.counts[p].Add(1)
+	rate := in.cfg.Rates[p]
+	if rate <= 0 {
+		return n, false
+	}
+	h := in.hash(p, n, 0)
+	if float64(h>>11)/(1<<53) >= rate {
+		return n, false
+	}
+	in.fired[p].Add(1)
+	return n, true
+}
+
+// Param derives a deterministic value in [lo, hi] for the n-th firing of
+// p — e.g. how many ticks a ChildKill victim survives.
+func (in *Injector) Param(p Point, n uint64, lo, hi int64) int64 {
+	if in == nil || hi <= lo {
+		return lo
+	}
+	h := in.hash(p, n, 0x70617261) // "para"
+	return lo + int64(h%uint64(hi-lo+1))
+}
+
+// Delay derives the deterministic injected latency for the n-th firing
+// of a ConnDelay.
+func (in *Injector) Delay(p Point, n uint64) time.Duration {
+	ms := in.Param(p, n, 1, 25)
+	return time.Duration(ms) * time.Millisecond
+}
+
+// Fired returns the total number of injected faults so far, and the
+// count for each point.
+func (in *Injector) Fired() (total uint64, byPoint [NumPoints]uint64) {
+	if in == nil {
+		return 0, byPoint
+	}
+	for p := Point(0); p < NumPoints; p++ {
+		c := in.fired[p].Load()
+		byPoint[p] = c
+		total += c
+	}
+	return total, byPoint
+}
+
+// Summary renders the fired counts for CLI end-of-run reports.
+func (in *Injector) Summary() string {
+	if in == nil {
+		return "chaos: off"
+	}
+	total, by := in.Fired()
+	s := fmt.Sprintf("chaos: seed %d, %d faults injected", in.seed, total)
+	for p := Point(0); p < NumPoints; p++ {
+		if by[p] > 0 {
+			s += fmt.Sprintf(" %s=%d", p, by[p])
+		}
+	}
+	return s
+}
+
+// hash is a splitmix64-style mix of (seed, point, occurrence, salt).
+func (in *Injector) hash(p Point, n, salt uint64) uint64 {
+	x := uint64(in.seed) ^ (uint64(p)+1)*0x9E3779B97F4A7C15
+	x = splitmix64(x)
+	x ^= n * 0xD1B54A32D192ED03
+	x ^= salt
+	return splitmix64(x)
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// ErrInjected is the base of every connection-level injected fault;
+// errors.Is(err, ErrInjected) identifies them.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// FaultFn observes a connection-level fault firing (for trace emission).
+// It runs on the connection's writer goroutine, outside any GIL.
+type FaultFn func(p Point, n uint64)
+
+// WrapConn wraps a debug-plane connection so writes suffer injected
+// drops, delays and mid-message tears. onFault (may be nil) observes
+// each firing. With a nil injector the conn is returned unwrapped.
+func WrapConn(c net.Conn, in *Injector, onFault FaultFn) net.Conn {
+	if in == nil {
+		return c
+	}
+	return &faultConn{Conn: c, in: in, onFault: onFault}
+}
+
+type faultConn struct {
+	net.Conn
+	in      *Injector
+	onFault FaultFn
+}
+
+func (f *faultConn) note(p Point, n uint64) {
+	if f.onFault != nil {
+		f.onFault(p, n)
+	}
+}
+
+func (f *faultConn) Write(b []byte) (int, error) {
+	if n, ok := f.in.Fire(ConnDelay); ok {
+		f.note(ConnDelay, n)
+		time.Sleep(f.in.Delay(ConnDelay, n))
+	}
+	if n, ok := f.in.Fire(ConnTear); ok {
+		f.note(ConnTear, n)
+		half := len(b) / 2
+		if half > 0 {
+			_, _ = f.Conn.Write(b[:half])
+		}
+		_ = f.Conn.Close()
+		return half, fmt.Errorf("%w: connection torn mid-message", ErrInjected)
+	}
+	if n, ok := f.in.Fire(ConnDrop); ok {
+		f.note(ConnDrop, n)
+		_ = f.Conn.Close()
+		return 0, fmt.Errorf("%w: connection dropped", ErrInjected)
+	}
+	return f.Conn.Write(b)
+}

@@ -1,0 +1,196 @@
+package chaos
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The core property: the decision for the n-th occurrence of a point is
+// a pure function of (seed, point, n) — independent of call timing,
+// interleaving with other points, or which goroutine asks.
+func TestFireDeterministic(t *testing.T) {
+	type firing struct {
+		p  Point
+		n  uint64
+		ok bool
+	}
+	run := func(seed int64) []firing {
+		in := New(seed)
+		var out []firing
+		for i := 0; i < 500; i++ {
+			p := Point(i % int(NumPoints))
+			n, ok := in.Fire(p)
+			out = append(out, firing{p, n, ok})
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("firing %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// Interleaving with other points must not shift a point's decisions:
+// per-point occurrence counters, not a global stream.
+func TestFirePerPointIndependence(t *testing.T) {
+	solo := New(11)
+	var soloFired []bool
+	for i := 0; i < 100; i++ {
+		_, ok := solo.Fire(PipeEPIPE)
+		soloFired = append(soloFired, ok)
+	}
+	mixed := New(11)
+	var mixedFired []bool
+	for i := 0; i < 100; i++ {
+		mixed.Fire(ForkEAGAIN) // unrelated traffic
+		mixed.Fire(ConnDrop)
+		_, ok := mixed.Fire(PipeEPIPE)
+		mixedFired = append(mixedFired, ok)
+	}
+	for i := range soloFired {
+		if soloFired[i] != mixedFired[i] {
+			t.Fatalf("occurrence %d of pipe-epipe depends on other points", i+1)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	pattern := func(seed int64) (out []bool) {
+		in := New(seed)
+		for i := 0; i < 200; i++ {
+			_, ok := in.Fire(PipeShortWrite)
+			out = append(out, ok)
+		}
+		return
+	}
+	a, b := pattern(1), pattern(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical fault patterns")
+	}
+}
+
+func TestRatesRoughlyHonored(t *testing.T) {
+	var cfg Config
+	cfg.Rates[ConnDelay] = 0.5
+	in := NewWith(3, cfg)
+	fired := 0
+	for i := 0; i < 2000; i++ {
+		if _, ok := in.Fire(ConnDelay); ok {
+			fired++
+		}
+	}
+	if fired < 800 || fired > 1200 {
+		t.Fatalf("rate 0.5 fired %d/2000", fired)
+	}
+	// Zero-rate points never fire.
+	if _, ok := in.Fire(ConnDrop); ok {
+		t.Fatal("zero-rate point fired")
+	}
+}
+
+func TestNilInjectorSafe(t *testing.T) {
+	var in *Injector
+	if _, ok := in.Fire(ForkEAGAIN); ok {
+		t.Fatal("nil injector fired")
+	}
+	if in.Param(ChildKill, 1, 3, 9) != 3 {
+		t.Fatal("nil Param not lo")
+	}
+	if in.Seed() != 0 {
+		t.Fatal("nil Seed not 0")
+	}
+	total, _ := in.Fired()
+	if total != 0 {
+		t.Fatal("nil Fired not 0")
+	}
+}
+
+func TestParamInRange(t *testing.T) {
+	in := New(5)
+	for n := uint64(1); n < 200; n++ {
+		v := in.Param(ChildKill, n, 3, 40)
+		if v < 3 || v > 40 {
+			t.Fatalf("Param out of range: %d", v)
+		}
+	}
+	if a, b := in.Param(ChildKill, 1, 0, 1<<30), in.Param(ChildKill, 1, 0, 1<<30); a != b {
+		t.Fatal("Param not deterministic")
+	}
+}
+
+func TestFireConcurrencySafe(t *testing.T) {
+	in := New(9)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				in.Fire(Point(i % int(NumPoints)))
+			}
+		}()
+	}
+	wg.Wait()
+	// 8000 occurrences spread over the points; counters must add up.
+	var sum uint64
+	for p := Point(0); p < NumPoints; p++ {
+		sum += in.counts[p].Load()
+	}
+	if sum != 8000 {
+		t.Fatalf("occurrence counters sum to %d, want 8000", sum)
+	}
+}
+
+// A torn conn write reports an ErrInjected error and kills the socket.
+func TestWrapConnTear(t *testing.T) {
+	var cfg Config
+	cfg.Rates[ConnTear] = 1.0
+	in := NewWith(1, cfg)
+	client, server := net.Pipe()
+	defer server.Close()
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			if _, err := server.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	wrapped := WrapConn(client, in, nil)
+	done := make(chan error, 1)
+	go func() {
+		_, err := wrapped.Write([]byte("0123456789"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("torn write reported success")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("torn write hung")
+	}
+	if _, err := client.Write([]byte("x")); err == nil {
+		t.Fatal("underlying conn survived the tear")
+	}
+}
+
+func TestWrapConnNilInjectorPassthrough(t *testing.T) {
+	c, s := net.Pipe()
+	defer c.Close()
+	defer s.Close()
+	if WrapConn(c, nil, nil) != c {
+		t.Fatal("nil injector should not wrap")
+	}
+}

@@ -11,6 +11,7 @@ package client
 
 import (
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
 	"path/filepath"
@@ -52,12 +53,28 @@ type Session struct {
 	PID int64
 
 	cmd *protocol.Conn
-	src *protocol.Conn
 
 	mu      sync.Mutex
+	src     *protocol.Conn // replaced on source-channel reconnect
 	pending map[int64]chan *protocol.Msg
 	nextID  atomic.Int64
 	closed  bool
+	sawExit bool // EventProcessExited seen: the server is gone for good
+
+	// closedCh is closed exactly once when the session dies, so callers
+	// waiting on a dead server unblock instead of hanging forever.
+	closedCh chan struct{}
+}
+
+// Closed is closed when the session is torn down — the server exited,
+// the connection died past reconnection, or the heartbeat declared the
+// peer dead. Requests in flight fail with ErrSessionClosed.
+func (s *Session) Closed() <-chan struct{} { return s.closedCh }
+
+func (s *Session) srcConn() *protocol.Conn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.src
 }
 
 // Client is the debugger front end.
@@ -113,62 +130,114 @@ func (c *Client) Sessions() []int64 {
 	return out
 }
 
-// Connect opens a session to the debug server of pid, resolving its port
-// through the handoff temp file. It retries until timeout, because a
-// freshly forked child writes the file from its handler C asynchronously.
-func (c *Client) Connect(pid int64, timeout time.Duration) (*Session, error) {
-	deadline := time.Now().Add(timeout)
-	var port string
+// Backoff parameters for Connect's port-file poll and the source-channel
+// reconnect: capped jittered exponential, instead of a busy 1 ms spin.
+const (
+	backoffFloor = 2 * time.Millisecond
+	backoffCap   = 100 * time.Millisecond
+)
+
+// sleepBackoff sleeps a jittered slice of cur (full jitter in
+// [cur/2, cur], never past deadline) and returns the doubled, capped
+// next backoff.
+func sleepBackoff(cur time.Duration, deadline time.Time) time.Duration {
+	sleep := cur/2 + time.Duration(rand.Int63n(int64(cur/2)+1))
+	if remain := time.Until(deadline); sleep > remain {
+		sleep = remain
+	}
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	next := cur * 2
+	if next > backoffCap {
+		next = backoffCap
+	}
+	return next
+}
+
+// resolvePort polls the handoff temp file with backoff until deadline.
+func (c *Client) resolvePort(pid int64, deadline time.Time) (string, error) {
+	backoff := backoffFloor
 	for {
 		if b, ok := c.K.TempRead(protocol.PortFileName(c.sessionID, pid)); ok {
-			port = string(b)
-			break
+			port, err := protocol.ParsePort(b)
+			if err != nil {
+				return "", fmt.Errorf("client: pid %d: %w", pid, err)
+			}
+			return port, nil
 		}
 		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("client: no port file for pid %d", pid)
+			return "", fmt.Errorf("client: no port file for pid %d", pid)
 		}
-		time.Sleep(time.Millisecond)
+		backoff = sleepBackoff(backoff, deadline)
 	}
+}
 
-	dial := func(channel string) (*protocol.Conn, error) {
-		nc, err := net.Dial("tcp", "127.0.0.1:"+port)
-		if err != nil {
-			return nil, err
-		}
-		conn := protocol.NewConn(nc)
-		if err := conn.Send(&protocol.Msg{Kind: "req", Cmd: protocol.EventHello, Channel: channel}); err != nil {
-			_ = conn.Close()
-			return nil, err
-		}
-		hello, err := conn.Recv()
-		if err != nil {
-			_ = conn.Close()
-			return nil, err
-		}
-		if hello.Err != "" {
-			_ = conn.Close()
-			return nil, fmt.Errorf("client: server rejected %s channel: %s", channel, hello.Err)
-		}
-		return conn, nil
-	}
-
-	src, err := dial(protocol.ChannelSource)
+func dialChannel(port, channel string) (*protocol.Conn, error) {
+	nc, err := net.Dial("tcp", "127.0.0.1:"+port)
 	if err != nil {
 		return nil, err
 	}
-	cmd, err := dial(protocol.ChannelCommand)
+	conn := protocol.NewConn(nc)
+	if err := conn.Send(&protocol.Msg{Kind: "req", Cmd: protocol.EventHello, Channel: channel}); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	hello, err := conn.Recv()
 	if err != nil {
-		_ = src.Close()
+		_ = conn.Close()
+		return nil, err
+	}
+	if hello.Err != "" {
+		_ = conn.Close()
+		return nil, fmt.Errorf("client: server rejected %s channel: %s", channel, hello.Err)
+	}
+	return conn, nil
+}
+
+// Connect opens a session to the debug server of pid, resolving its port
+// through the handoff temp file. It retries with capped jittered
+// exponential backoff until timeout, because a freshly forked child
+// writes the file from its handler C asynchronously.
+func (c *Client) Connect(pid int64, timeout time.Duration) (*Session, error) {
+	deadline := time.Now().Add(timeout)
+	port, err := c.resolvePort(pid, deadline)
+	if err != nil {
 		return nil, err
 	}
 
-	s := &Session{PID: pid, cmd: cmd, src: src, pending: make(map[int64]chan *protocol.Msg)}
+	// The hello handshake itself crosses the debug plane, so it can be
+	// hit by an injected (or real) connection fault; retry until the
+	// deadline rather than failing the whole adoption on one bad dial.
+	var src, cmd *protocol.Conn
+	backoff := backoffFloor
+	for {
+		src, err = dialChannel(port, protocol.ChannelSource)
+		if err == nil {
+			cmd, err = dialChannel(port, protocol.ChannelCommand)
+			if err == nil {
+				break
+			}
+			_ = src.Close()
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		backoff = sleepBackoff(backoff, deadline)
+	}
+
+	s := &Session{
+		PID: pid, cmd: cmd, src: src,
+		pending:  make(map[int64]chan *protocol.Msg),
+		closedCh: make(chan struct{}),
+	}
 	c.mu.Lock()
 	c.sessions[pid] = s
 	c.mu.Unlock()
 
 	go c.eventLoop(s)
 	go s.respLoop()
+	go c.heartbeat(s)
 	return s, nil
 }
 
@@ -180,21 +249,33 @@ func (c *Client) ConnectRoot(rootPID int64, timeout time.Duration) (*Session, er
 }
 
 // eventLoop pumps one session's source channel into the merged stream,
-// adopting forked children as they are announced.
+// adopting forked children as they are announced. A source-channel error
+// first attempts a reconnect (the drop may be an injected fault, not a
+// server death); only when that fails is the session declared dead.
 func (c *Client) eventLoop(s *Session) {
 	for {
-		m, err := s.src.Recv()
+		m, err := s.srcConn().Recv()
 		if err != nil {
+			if c.reconnectSrc(s) {
+				continue
+			}
 			c.mu.Lock()
-			delete(c.sessions, s.PID)
+			if c.sessions[s.PID] == s {
+				delete(c.sessions, s.PID)
+			}
 			c.mu.Unlock()
-			// Close only the source side here: command responses already
-			// on the wire must still reach their waiters; respLoop closes
-			// the command side (and any pending waiters) when it drains
-			// to EOF.
-			_ = s.src.Close()
+			// Mark the session closed but leave the command connection
+			// to respLoop: responses the server sent before dying may
+			// still be in flight, and in-flight waiters should get them
+			// rather than a spurious ErrSessionClosed.
+			s.closeForDrain()
 			c.emit(Event{PID: s.PID, Msg: &protocol.Msg{Kind: "event", Cmd: "session_closed", PID: s.PID}})
 			return
+		}
+		if m.Cmd == protocol.EventProcessExited && m.PID == s.PID {
+			s.mu.Lock()
+			s.sawExit = true
+			s.mu.Unlock()
 		}
 		switch m.Cmd {
 		case protocol.EventStopped, protocol.EventSourceSync, protocol.EventDeadlock:
@@ -213,6 +294,46 @@ func (c *Client) eventLoop(s *Session) {
 		c.emit(Event{PID: s.PID, Msg: m})
 	}
 }
+
+// reconnectSrc tries to re-establish a dropped source channel within a
+// short window. It refuses when the session is already closed or its
+// process has exited (the drop is terminal, not transient). The old
+// connection is closed first so the server's srcWatch clears the busy
+// slot for the fresh hello.
+func (c *Client) reconnectSrc(s *Session) bool {
+	s.mu.Lock()
+	old, closed, sawExit := s.src, s.closed, s.sawExit
+	s.mu.Unlock()
+	if closed || sawExit {
+		return false
+	}
+	_ = old.Close()
+	deadline := time.Now().Add(reconnectWindow)
+	backoff := backoffFloor
+	for time.Now().Before(deadline) {
+		port, err := c.resolvePort(s.PID, time.Now()) // single probe, no poll
+		if err == nil {
+			if conn, derr := dialChannel(port, protocol.ChannelSource); derr == nil {
+				s.mu.Lock()
+				if s.closed {
+					s.mu.Unlock()
+					_ = conn.Close()
+					return false
+				}
+				s.src = conn
+				s.mu.Unlock()
+				c.emit(Event{PID: s.PID, Msg: &protocol.Msg{Kind: "event", Cmd: "session_reconnected", PID: s.PID}})
+				return true
+			}
+		}
+		backoff = sleepBackoff(backoff, deadline)
+	}
+	return false
+}
+
+// reconnectWindow bounds how long a dropped source channel is retried
+// before the session is declared dead.
+const reconnectWindow = 750 * time.Millisecond
 
 func (c *Client) emit(e Event) {
 	select {
@@ -250,18 +371,41 @@ func (s *Session) respLoop() {
 	}
 }
 
-func (s *Session) close() {
+// closeForDrain is the events-side teardown: it marks the session
+// closed (firing Closed and rejecting new requests) and closes the
+// source channel, but deliberately leaves the command connection and
+// pending waiters to respLoop — responses the server sent before dying
+// may still sit in the connection's buffers, and closing the conn here
+// would discard them. respLoop drains them to their waiters, then
+// completes the teardown via close() when the conn reports EOF.
+func (s *Session) closeForDrain() {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return
 	}
 	s.closed = true
+	src := s.src
+	s.mu.Unlock()
+	close(s.closedCh)
+	_ = src.Close()
+}
+
+// close is the full teardown: everything is closed and every pending
+// waiter unblocks. Safe to call more than once.
+func (s *Session) close() {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	src := s.src
 	pending := s.pending
 	s.pending = make(map[int64]chan *protocol.Msg)
 	s.mu.Unlock()
+	if !already {
+		close(s.closedCh)
+	}
 	_ = s.cmd.Close()
-	_ = s.src.Close()
+	_ = src.Close()
 	for _, ch := range pending {
 		close(ch)
 	}
@@ -294,11 +438,73 @@ func (s *Session) Request(m *protocol.Msg, timeout time.Duration) (*protocol.Msg
 			return resp, fmt.Errorf("server: %s", resp.Err)
 		}
 		return resp, nil
+	case <-s.closedCh:
+		// The session is closing, but our response may already have been
+		// sent by the server and still be draining through respLoop. Give
+		// it priority: wait for either the response or respLoop's final
+		// teardown (which closes the pending channel).
+		select {
+		case resp, ok := <-ch:
+			if !ok {
+				return nil, ErrSessionClosed
+			}
+			if resp.Err != "" {
+				return resp, fmt.Errorf("server: %s", resp.Err)
+			}
+			return resp, nil
+		case <-time.After(timeout):
+			s.mu.Lock()
+			delete(s.pending, m.ID)
+			s.mu.Unlock()
+			return nil, ErrSessionClosed
+		}
 	case <-time.After(timeout):
 		s.mu.Lock()
 		delete(s.pending, m.ID)
 		s.mu.Unlock()
 		return nil, fmt.Errorf("client: request %s timed out", m.Cmd)
+	}
+}
+
+// Heartbeat parameters: a ping every HeartbeatInterval; HeartbeatMisses
+// consecutive failures declare the server dead and close the session.
+// Variables (not constants) so tests can tighten them.
+var (
+	HeartbeatInterval = 2 * time.Second
+	HeartbeatMisses   = 3
+)
+
+// heartbeat pings the session's command channel periodically. A server
+// that stops answering — process wedged, connection silently dead — gets
+// its session closed and a session_closed event emitted, so no caller
+// blocks forever on a peer that will never speak again.
+func (c *Client) heartbeat(s *Session) {
+	misses := 0
+	for {
+		select {
+		case <-s.closedCh:
+			return
+		case <-time.After(HeartbeatInterval):
+		}
+		_, err := s.Request(&protocol.Msg{Cmd: protocol.CmdPing}, HeartbeatInterval)
+		if err == nil {
+			misses = 0
+			continue
+		}
+		if err == ErrSessionClosed {
+			return
+		}
+		if misses++; misses < HeartbeatMisses {
+			continue
+		}
+		c.mu.Lock()
+		if c.sessions[s.PID] == s {
+			delete(c.sessions, s.PID)
+		}
+		c.mu.Unlock()
+		s.close()
+		c.emit(Event{PID: s.PID, Msg: &protocol.Msg{Kind: "event", Cmd: "session_closed", PID: s.PID}})
+		return
 	}
 }
 

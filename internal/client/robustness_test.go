@@ -1,0 +1,85 @@
+package client_test
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dionea/internal/client"
+	"dionea/internal/protocol"
+)
+
+// countingResolver is a PortResolver that never resolves and counts how
+// often it is asked.
+type countingResolver struct{ calls atomic.Int64 }
+
+func (r *countingResolver) TempRead(string) ([]byte, bool) {
+	r.calls.Add(1)
+	return nil, false
+}
+
+func TestConnectBackoffIsNotABusyPoll(t *testing.T) {
+	r := &countingResolver{}
+	c := client.New(r, "backoff")
+	start := time.Now()
+	if _, err := c.Connect(7, 500*time.Millisecond); err == nil {
+		t.Fatalf("connected to nothing")
+	}
+	elapsed := time.Since(start)
+	if elapsed < 400*time.Millisecond || elapsed > 3*time.Second {
+		t.Fatalf("timeout not honored: %v", elapsed)
+	}
+	// The old client polled every 1 ms (~500 reads in the window); the
+	// capped exponential backoff needs only a couple dozen.
+	if n := r.calls.Load(); n > 60 {
+		t.Fatalf("port file polled %d times in 500ms — still a busy poll", n)
+	}
+}
+
+// errResolver serves a handoff file carrying an error payload.
+type errResolver struct{ payload []byte }
+
+func (r errResolver) TempRead(string) ([]byte, bool) { return r.payload, true }
+
+func TestConnectFailsFastOnHandoffError(t *testing.T) {
+	c := client.New(errResolver{protocol.EncodePortError("listen refused")}, "err")
+	start := time.Now()
+	_, err := c.Connect(3, 5*time.Second)
+	if err == nil {
+		t.Fatalf("connected through an error handoff")
+	}
+	var he *protocol.HandoffError
+	if !errors.As(err, &he) || he.Msg != "listen refused" {
+		t.Fatalf("err = %v, want *protocol.HandoffError", err)
+	}
+	// Fast fail: no polling until the 5s deadline.
+	if time.Since(start) > time.Second {
+		t.Fatalf("error handoff was not a fast fail")
+	}
+}
+
+func TestSessionClosedChannelFires(t *testing.T) {
+	k, p := startDebuggee(t, `sleep(30)`, "closedch", "")
+	c := client.New(k, "closedch")
+	s, err := c.ConnectRoot(p.PID, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-s.Closed():
+		t.Fatalf("session closed immediately")
+	default:
+	}
+	if err := c.Kill(p.PID); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-s.Closed():
+	case <-time.After(5 * time.Second):
+		t.Fatalf("Closed() never fired after the debuggee died")
+	}
+	if _, err := s.Request(&protocol.Msg{Cmd: protocol.CmdThreads}, time.Second); err == nil {
+		t.Fatalf("request on closed session succeeded")
+	}
+}

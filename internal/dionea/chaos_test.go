@@ -1,0 +1,196 @@
+package dionea_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"dionea/internal/atfork"
+	"dionea/internal/client"
+	"dionea/internal/compiler"
+	"dionea/internal/dionea"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+	"dionea/internal/protocol"
+)
+
+// TestPrepareFailureUnwindsAndParentStaysDebuggable is the mid-registry
+// rollback case: a handler whose prepare always fails is registered
+// between the interpreter handlers and Dionea's, so when fork runs the
+// prepare chain (reverse registration order) Dionea's A has already
+// locked the sync objects and suppressed tracing before the failure
+// hits. The registry must unwind A — or the parent keeps a locked mutex
+// and a disabled debugger forever.
+func TestPrepareFailureUnwindsAndParentStaysDebuggable(t *testing.T) {
+	src := `m = mutex_new()
+pid = fork do
+    print("child ran")
+end
+m.lock()
+held = 1
+m.unlock()
+print("parent alive", held, pid)
+`
+	proto, err := compiler.CompileSource(src, "program.pint")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	k := kernel.New()
+	p := k.StartProgram(proto, kernel.Options{
+		Setup: []func(*kernel.Process){
+			ipc.Install,
+			func(proc *kernel.Process) {
+				proc.Atfork.Register(atfork.Handler{
+					Name: "flaky",
+					Prepare: func(atfork.Ctx) error {
+						return errors.New("flaky: prepare denied")
+					},
+				})
+			},
+			func(proc *kernel.Process) {
+				if _, aerr := dionea.Attach(k, proc, dionea.Options{
+					SessionID:     "rollback",
+					Sources:       map[string]string{"program.pint": src},
+					WaitForClient: true,
+				}); aerr != nil {
+					t.Errorf("attach: %v", aerr)
+				}
+			},
+		},
+	})
+	t.Cleanup(func() {
+		for _, proc := range k.Processes() {
+			if !proc.Exited() {
+				proc.Terminate(137)
+			}
+		}
+	})
+	c := client.New(k, "rollback")
+	if _, err := c.ConnectRoot(p.PID, 5*time.Second); err != nil {
+		t.Fatalf("connect root: %v", err)
+	}
+	tid := mainTID(t, c, p.PID)
+
+	// A breakpoint AFTER the failing fork: it only fires if the rollback
+	// re-enabled tracing (Dionea's A suppressed it; its B must run).
+	if err := c.SetBreak(p.PID, "program.pint", 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	line := waitSuspended(t, c, p.PID, tid)
+	if line != 6 {
+		t.Fatalf("stopped at line %d, want 6 (post-fork)", line)
+	}
+	// The parent is inspectable: fork returned -1, no child exists.
+	if v, err := c.Eval(p.PID, tid, "pid"); err != nil || v != "-1" {
+		t.Fatalf("eval pid = %q, %v (want -1)", v, err)
+	}
+	if n := len(k.Processes()); n != 1 {
+		t.Fatalf("child leaked from an aborted fork: %d processes", n)
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, p, 10*time.Second)
+	out := p.Output()
+	if !strings.Contains(out, "fork failed:") || !strings.Contains(out, "parent alive 1 -1") {
+		t.Fatalf("parent did not recover from the aborted fork:\n%s", out)
+	}
+	if strings.Contains(out, "child ran") {
+		t.Fatalf("child ran despite aborted fork:\n%s", out)
+	}
+}
+
+// TestChildDiesWhileStoppedAtBreakpoint kills an adopted child while it
+// is parked at an inherited breakpoint mid-debug-session. The client
+// must get a terminal event for the child within a deadline, and the
+// root session must be unaffected.
+func TestChildDiesWhileStoppedAtBreakpoint(t *testing.T) {
+	k, p, c := debugged(t, `x = 10
+pid = fork do
+    y = x + 1
+    print("child y", y)
+end
+waitpid(pid)
+print("parent done")
+`, dionea.Options{SessionID: "childdeath"})
+	tid := mainTID(t, c, p.PID)
+	if err := c.SetBreak(p.PID, "program.pint", 4); err != nil {
+		t.Fatal(err)
+	}
+	// Park the parent after it reaps, so the root session can be probed
+	// after the child's death instead of racing the parent's own exit.
+	if err := c.SetBreak(p.PID, "program.pint", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	// The inherited breakpoint fires in the child, under its own server.
+	ev, err := c.WaitEvent(func(e client.Event) bool {
+		return e.Msg.Cmd == protocol.EventStopped && e.Msg.Reason == protocol.StopBreakpoint
+	}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	childPID := ev.Msg.PID
+	if childPID == p.PID {
+		t.Fatalf("breakpoint fired in the parent")
+	}
+	var child *kernel.Process
+	for _, proc := range k.Processes() {
+		if proc.PID == childPID {
+			child = proc
+		}
+	}
+	if child == nil {
+		t.Fatalf("no kernel process for child %d", childPID)
+	}
+
+	// Kill it mid-session, exactly like an injected chaos.ChildKill.
+	child.Terminate(137)
+
+	// The client observes a terminal event for the child, promptly.
+	if _, err := c.WaitEvent(func(e client.Event) bool {
+		return e.PID == childPID &&
+			(e.Msg.Cmd == protocol.EventProcessExited || e.Msg.Cmd == "session_closed")
+	}, 5*time.Second); err != nil {
+		t.Fatalf("no terminal event for dead child: %v", err)
+	}
+	// The child's session goes away...
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		alive := false
+		for _, pid := range c.Sessions() {
+			if pid == childPID {
+				alive = true
+			}
+		}
+		if !alive {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dead child's session never cleaned up: %v", c.Sessions())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// ...while the root session is unaffected: waitpid reaps the killed
+	// child, the parent parks at its own breakpoint, and the session
+	// still answers commands.
+	if line := waitSuspended(t, c, p.PID, tid); line != 7 {
+		t.Fatalf("parent parked at %d, want 7", line)
+	}
+	if _, err := c.Threads(p.PID); err != nil {
+		t.Fatalf("root session broken by child death: %v", err)
+	}
+	if err := c.Continue(p.PID, tid); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, p, 10*time.Second)
+	if !strings.Contains(p.Output(), "parent done") {
+		t.Fatalf("parent output = %q", p.Output())
+	}
+}

@@ -118,7 +118,10 @@ func (s *Server) handleChildAtFork(t *kernel.TCtx) {
 	ln, err := listenLoopback()
 	if err != nil {
 		// Without sockets the child runs undebugged (trace stays off),
-		// mirroring a real handler that must not crash the debuggee.
+		// mirroring a real handler that must not crash the debuggee. The
+		// failure is propagated through the handoff file so the adopting
+		// client fails fast with a typed error instead of timing out.
+		childServer.writePortError(err)
 		return
 	}
 	childServer.ln = ln

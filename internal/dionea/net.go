@@ -2,10 +2,35 @@
 
 package dionea
 
-import "net"
+import (
+	"errors"
+	"fmt"
+	"net"
+	"syscall"
+)
 
+// ListenError is the typed failure of bringing up a debug listener; it
+// is what handler C encodes into the port-handoff file when a child
+// cannot create its socket, so the adopting client sees a diagnostic
+// instead of polling into a timeout.
+type ListenError struct{ Err error }
+
+func (e *ListenError) Error() string { return fmt.Sprintf("dionea: listen: %v", e.Err) }
+
+func (e *ListenError) Unwrap() error { return e.Err }
+
+// listenLoopback binds a fresh loopback port. EADDRINUSE on an
+// ephemeral-port bind is transient (the kernel raced us to a port in
+// TIME_WAIT), so it is retried once before giving up.
 func listenLoopback() (net.Listener, error) {
-	return net.Listen("tcp", "127.0.0.1:0")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil && errors.Is(err, syscall.EADDRINUSE) {
+		ln, err = net.Listen("tcp", "127.0.0.1:0")
+	}
+	if err != nil {
+		return nil, &ListenError{Err: err}
+	}
+	return ln, nil
 }
 
 func portOf(ln net.Listener) int {

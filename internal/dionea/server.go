@@ -13,14 +13,15 @@
 package dionea
 
 import (
-	"fmt"
 	"net"
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"dionea/internal/analysis"
 	"dionea/internal/bytecode"
+	"dionea/internal/chaos"
 	"dionea/internal/kernel"
 	"dionea/internal/protocol"
 	"dionea/internal/trace"
@@ -154,12 +155,12 @@ func Attach(k *kernel.Kernel, p *kernel.Process, opt Options) (*Server, error) {
 			})
 		}
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	ln, err := listenLoopback()
 	if err != nil {
-		return nil, fmt.Errorf("dionea: listen: %w", err)
+		return nil, err
 	}
 	s.ln = ln
-	s.port = ln.Addr().(*net.TCPAddr).Port
+	s.port = portOf(ln)
 
 	s.installHooks(opt.WaitForClient)
 	s.registerForkHandlers()
@@ -171,8 +172,18 @@ func Attach(k *kernel.Kernel, p *kernel.Process, opt Options) (*Server, error) {
 }
 
 func (s *Server) writePortFile() {
+	s.writeHandoff(protocol.EncodePort(s.port))
+}
+
+// writePortError propagates a listener-bringup failure through the
+// handoff file: the polling client gets a typed *protocol.HandoffError
+// immediately instead of timing out against a file that never appears.
+func (s *Server) writePortError(err error) {
+	s.writeHandoff(protocol.EncodePortError(err.Error()))
+}
+
+func (s *Server) writeHandoff(data []byte) {
 	name := protocol.PortFileName(s.sessionID, s.P.PID)
-	data := []byte(fmt.Sprintf("%d", s.port))
 	s.K.TempWrite(name, data)
 	if s.portDir != "" {
 		_ = os.WriteFile(filepath.Join(s.portDir, name), data, 0o644)
@@ -357,10 +368,12 @@ func (s *Server) traceFunc(tc *kernel.TCtx) vm.TraceFunc {
 			reason = protocol.StopBreakpoint
 		}
 		if sync != nil {
-			_ = sync.Send(&protocol.Msg{
+			if serr := sync.Send(&protocol.Msg{
 				Kind: "event", Cmd: protocol.EventSourceSync,
 				PID: s.P.PID, TID: tc.TID, File: pos.file, Line: line,
-			})
+			}); serr != nil {
+				s.dropSrcConn(sync)
+			}
 		}
 		if reason == "" {
 			return nil
@@ -394,13 +407,59 @@ func (s *Server) onDeadlock(tc *kernel.TCtx, d *kernel.DeadlockError) {
 
 // event sends an asynchronous event on the source channel, if a client is
 // connected; events before the client attaches are dropped (the client
-// re-queries state after connecting).
+// re-queries state after connecting). A send failure means the client's
+// source connection is gone: the slot is cleared immediately so a
+// reconnecting client is not rejected as "busy" against a dead socket.
 func (s *Server) event(m *protocol.Msg) {
 	s.mu.Lock()
 	conn := s.srcConn
 	s.mu.Unlock()
-	if conn != nil {
-		_ = conn.Send(m)
+	if conn == nil {
+		return
+	}
+	if err := conn.Send(m); err != nil {
+		s.dropSrcConn(conn)
+	}
+}
+
+// dropSrcConn clears conn from the source slot (if still current) and
+// closes it. Called on send failure and by srcWatch on peer close.
+func (s *Server) dropSrcConn(conn *protocol.Conn) {
+	s.mu.Lock()
+	if s.srcConn == conn {
+		s.srcConn = nil
+	}
+	s.mu.Unlock()
+	_ = conn.Close()
+}
+
+// srcWatch blocks on the source connection (the client never sends on it
+// after the hello), so a peer close or drop is noticed promptly even
+// when no events are flowing — the reconnect window would otherwise stay
+// "busy" until the next event send failed.
+func (s *Server) srcWatch(conn *protocol.Conn) {
+	for {
+		if _, err := conn.Recv(); err != nil {
+			s.dropSrcConn(conn)
+			return
+		}
+	}
+}
+
+// connWriteTimeout bounds every write on a debug-plane connection; a
+// client that stops draining its socket makes sends fail (dropping the
+// connection) instead of blocking the debuggee's event path.
+const connWriteTimeout = 5 * time.Second
+
+// connFault records an injected connection fault in the trace. It runs
+// on a native thread (no GIL, no TCtx), so it bypasses the per-process
+// rings via the recorder's Direct path.
+func (s *Server) connFault(p chaos.Point, n uint64) {
+	if rec := s.K.Tracer(); rec != nil {
+		rec.Direct(trace.Event{
+			PID: uint32(s.P.PID), Op: trace.OpFault,
+			Obj: uint64(p), Aux: int64(n),
+		})
 	}
 }
 
@@ -444,7 +503,15 @@ func (s *Server) spawnListener() {
 			if err != nil {
 				return
 			}
+			// Under chaos the debug plane itself is a fault surface:
+			// writes on this connection may be dropped, delayed or torn.
+			// Injected firings are traced through the recorder directly
+			// (this is a native thread — no GIL, no ring).
+			c = chaos.WrapConn(c, s.K.Chaos(), s.connFault)
 			conn := protocol.NewConn(c)
+			// A stuck or vanished client must not wedge the listener or
+			// any event sender behind a full socket buffer.
+			conn.SetWriteTimeout(connWriteTimeout)
 			hello, err := conn.Recv()
 			if err != nil || hello.Cmd != protocol.EventHello {
 				_ = conn.Close()
@@ -501,6 +568,7 @@ func (s *Server) spawnListener() {
 						})
 					}
 				}
+				go s.srcWatch(conn)
 			case protocol.ChannelCommand:
 				s.mu.Lock()
 				dup := s.cmdConn != nil

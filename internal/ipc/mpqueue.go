@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 
+	"dionea/internal/chaos"
 	"dionea/internal/kernel"
 	"dionea/internal/trace"
 	"dionea/internal/value"
@@ -93,11 +94,17 @@ func (q *MPQueue) Put(t *kernel.TCtx, v value.Value) error {
 	binary.BigEndian.PutUint32(frame, uint32(len(data)))
 	copy(frame[4:], data)
 	t.TraceEvent(trace.OpMPQueuePut, pipe.ID, int64(len(frame)))
+	if t.ChaosFire(chaos.PipeEPIPE) {
+		return kernel.ErrBrokenPipe
+	}
+	// An injected short write splits the frame; WLock is held across both
+	// halves, so concurrent writers never interleave mid-frame.
+	short := t.ChaosFire(chaos.PipeShortWrite)
 	return t.Block(kernel.StateBlockedExternal, "mpq-put", nil, func(cancel <-chan struct{}) error {
 		if err := q.WLock.P(cancel); err != nil {
 			return err
 		}
-		_, werr := pipe.Write(frame, cancel)
+		werr := writeAll(pipe, frame, short, cancel)
 		q.WLock.V()
 		if werr != nil {
 			return werr

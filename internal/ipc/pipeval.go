@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 
+	"dionea/internal/chaos"
 	"dionea/internal/kernel"
 	"dionea/internal/trace"
 	"dionea/internal/value"
@@ -68,10 +69,30 @@ func (p *PipeEnd) writeFrame(t *kernel.TCtx, v value.Value) error {
 	binary.BigEndian.PutUint32(frame, uint32(len(data)))
 	copy(frame[4:], data)
 	t.TraceEvent(trace.OpPipeWrite, pipe.ID, int64(len(frame)))
+	if t.ChaosFire(chaos.PipeEPIPE) {
+		return kernel.ErrBrokenPipe
+	}
+	short := t.ChaosFire(chaos.PipeShortWrite)
 	return t.Block(kernel.StateBlockedExternal, "pipe-write", nil, func(cancel <-chan struct{}) error {
-		_, werr := pipe.Write(frame, cancel)
-		return werr
+		return writeAll(pipe, frame, short, cancel)
 	})
+}
+
+// writeAll pushes frame into the pipe; an injected short write splits it
+// mid-frame and the remainder is completed with a second write — the
+// retry loop a hardened writer performs when write(2) returns n < len.
+// (Kernel pipe writes already chunk under capacity pressure, so the
+// split introduces no new interleaving class.)
+func writeAll(pipe *kernel.Pipe, frame []byte, short bool, cancel <-chan struct{}) error {
+	if short && len(frame) > 1 {
+		half := len(frame) / 2
+		if _, err := pipe.Write(frame[:half], cancel); err != nil {
+			return err
+		}
+		frame = frame[half:]
+	}
+	_, err := pipe.Write(frame, cancel)
+	return err
 }
 
 // readFrame reads one length-prefixed pickled value. io.EOF means the
@@ -137,9 +158,12 @@ func (p *PipeEnd) CallMethod(th *vm.Thread, name string, args []value.Value, _ *
 			return nil, err
 		}
 		t.TraceEvent(trace.OpPipeWrite, pipe.ID, int64(len(s)))
+		if t.ChaosFire(chaos.PipeEPIPE) {
+			return nil, kernel.ErrBrokenPipe
+		}
+		short := t.ChaosFire(chaos.PipeShortWrite)
 		err = t.Block(kernel.StateBlockedExternal, "pipe-write", nil, func(cancel <-chan struct{}) error {
-			_, werr := pipe.Write([]byte(s), cancel)
-			return werr
+			return writeAll(pipe, []byte(s), short, cancel)
 		})
 		return value.NilV, err
 	case "read_raw":

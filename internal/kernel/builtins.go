@@ -3,6 +3,7 @@
 package kernel
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -119,9 +120,23 @@ func InstallBuiltins(p *Process) {
 		} else if len(args) > 0 {
 			return nil, fmt.Errorf("fork takes no arguments (got %d)", len(args))
 		}
-		pid, err := t.P.ForkProcess(t, block)
+		// Transient EAGAIN is retried a few times (a later attempt draws a
+		// fresh injector decision); a persistent failure — or a prepare
+		// handler aborting the fork — is reported C-style: fork returns -1
+		// and the diagnostic goes to the process output. RunPrepare has
+		// already rolled back every prepare handler that ran, so the
+		// parent is intact and stays debuggable.
+		var pid int64
+		var err error
+		for attempt := 0; ; attempt++ {
+			pid, err = t.P.ForkProcess(t, block)
+			if err == nil || attempt >= 2 || !errors.Is(err, ErrForkEAGAIN) {
+				break
+			}
+		}
 		if err != nil {
-			return nil, err
+			t.P.Write("fork failed: " + err.Error() + "\n")
+			return value.Int(-1), nil
 		}
 		return value.Int(pid), nil
 	})

@@ -1,0 +1,91 @@
+// Chaos wiring: the kernel holds at most one fault injector; processes
+// and threads consult it at each fault point. Every firing that happens
+// on a scheduled (GIL-holding) thread is recorded as an OpFault trace
+// event, so pinttrace timelines show exactly what chaos did and when.
+
+package kernel
+
+import (
+	"fmt"
+
+	"dionea/internal/atfork"
+	"dionea/internal/chaos"
+	"dionea/internal/trace"
+)
+
+// SetChaos installs inj as the kernel-wide fault injector (nil disables
+// injection). All fault points are zero-cost while disabled: a single
+// atomic pointer load guards each.
+func (k *Kernel) SetChaos(inj *chaos.Injector) { k.chaos.Store(inj) }
+
+// Chaos returns the installed injector, or nil.
+func (k *Kernel) Chaos() *chaos.Injector { return k.chaos.Load() }
+
+// ChaosFire consults the kernel injector at point p on behalf of t and,
+// when the fault fires, emits its OpFault event (obj = point, aux =
+// occurrence). Must be called with t scheduled (GIL held) so the event
+// lands deterministically in the thread's trace.
+func (t *TCtx) ChaosFire(p chaos.Point) bool {
+	inj := t.P.K.chaos.Load()
+	if inj == nil {
+		return false
+	}
+	n, ok := inj.Fire(p)
+	if !ok {
+		return false
+	}
+	t.TraceEvent(trace.OpFault, uint64(p), int64(n))
+	return true
+}
+
+// chaosAtforkHandler is registered before every other handler, so its
+// Prepare runs LAST in phase A (prepare handlers run in reverse
+// registration order) — after the debugger's A has locked the sync
+// objects and the interpreter handlers have run. A firing here therefore
+// exercises the full rollback path: atfork.RunPrepare must unwind every
+// already-run prepare via its Parent hook, or the parent keeps running
+// with its sync objects locked and tracing suppressed forever.
+func chaosAtforkHandler() atfork.Handler {
+	return atfork.Handler{
+		Name: "chaos",
+		Prepare: func(ctx atfork.Ctx) error {
+			t := ctx.(*TCtx)
+			if t.ChaosFire(chaos.ForkMidPrepare) {
+				return fmt.Errorf("%w (injected mid-prepare)", ErrForkEAGAIN)
+			}
+			return nil
+		},
+	}
+}
+
+// chaosArmKill decides at fork time whether the new child is doomed and,
+// if so, how many checkinterval ticks it survives. The decision is the
+// parent's (deterministic occurrence counter); the kill itself lands in
+// the child's own schedule, where its OpFault event is emitted.
+func (p *Process) chaosArmKill(child *Process) {
+	inj := p.K.chaos.Load()
+	if inj == nil {
+		return
+	}
+	n, ok := inj.Fire(chaos.ChildKill)
+	if !ok {
+		return
+	}
+	child.chaosKillN = n
+	child.chaosKillIn.Store(inj.Param(chaos.ChildKill, n, 2, 300))
+}
+
+// chaosTick runs inside the GIL checkinterval: when this process was
+// marked for an injected death, count down and die with SIGKILL's
+// conventional status once the counter hits zero. Returns the unwind
+// error on the tick that kills, nil otherwise.
+func (p *Process) chaosTick(t *TCtx) error {
+	if p.chaosKillIn.Load() <= 0 {
+		return nil
+	}
+	if p.chaosKillIn.Add(-1) > 0 {
+		return nil
+	}
+	t.TraceEvent(trace.OpFault, uint64(chaos.ChildKill), int64(p.chaosKillN))
+	return &ExitError{Code: 137}
+}

@@ -1,0 +1,218 @@
+package kernel_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dionea/internal/chaos"
+	"dionea/internal/compiler"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+)
+
+// runChaos runs src on a fresh kernel with the given injector installed.
+func runChaos(t *testing.T, src string, inj *chaos.Injector) (*kernel.Process, *kernel.Kernel) {
+	t.Helper()
+	proto, err := compiler.CompileSource(src, "chaos.pint")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	k := kernel.New()
+	k.SetChaos(inj)
+	p := k.StartProgram(proto, kernel.Options{
+		Setup: []func(*kernel.Process){ipc.Install},
+	})
+	donech := make(chan struct{})
+	go func() {
+		k.WaitAll()
+		close(donech)
+	}()
+	select {
+	case <-donech:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("program did not terminate under chaos; output so far:\n%s", p.Output())
+	}
+	return p, k
+}
+
+// rateOnly builds a config where only point p fires, always.
+func rateOnly(p chaos.Point) chaos.Config {
+	var cfg chaos.Config
+	cfg.Rates[p] = 1.0
+	return cfg
+}
+
+func TestChaosForkEAGAINIsSurvivable(t *testing.T) {
+	// Every fork attempt fails pre-prepare; after the builtin's retries
+	// fork returns -1 C-style and the parent keeps running.
+	src := `pid = fork do
+    print("child ran")
+end
+if pid == -1 {
+    print("denied, carrying on")
+}
+print("parent done")
+`
+	p, k := runChaos(t, src, chaos.NewWith(11, rateOnly(chaos.ForkEAGAIN)))
+	out := p.Output()
+	if strings.Contains(out, "child ran") {
+		t.Fatalf("child ran despite certain EAGAIN:\n%s", out)
+	}
+	if !strings.Contains(out, "fork failed:") || !strings.Contains(out, "denied, carrying on") {
+		t.Fatalf("parent did not observe the failure:\n%s", out)
+	}
+	if !strings.Contains(out, "parent done") {
+		t.Fatalf("parent did not finish:\n%s", out)
+	}
+	if n := len(k.Processes()); n != 1 {
+		t.Fatalf("stray processes after failed fork: %d", n)
+	}
+}
+
+func TestChaosSameSeedSameOutput(t *testing.T) {
+	// The fault decision is a pure function of (seed, point, occurrence):
+	// the same seed over the same serialized program yields the same
+	// output, including which forks were denied.
+	src := `i = 0
+while i < 8 {
+    pid = fork do
+        x = 1
+    end
+    if pid == -1 {
+        print("denied", i)
+    } else {
+        waitpid(pid)
+        print("ok", i)
+    }
+    i = i + 1
+}
+`
+	var cfg chaos.Config
+	cfg.Rates[chaos.ForkEAGAIN] = 0.5 // beats the builtin's 3 retries often
+	p1, _ := runChaos(t, src, chaos.NewWith(3, cfg))
+	p2, _ := runChaos(t, src, chaos.NewWith(3, cfg))
+	if p1.Output() != p2.Output() {
+		t.Fatalf("same seed diverged:\n--- run 1:\n%s--- run 2:\n%s", p1.Output(), p2.Output())
+	}
+	p3, _ := runChaos(t, src, chaos.NewWith(4, cfg))
+	if p1.Output() == p3.Output() {
+		t.Fatalf("different seeds produced identical fault pattern (suspicious):\n%s", p1.Output())
+	}
+}
+
+func TestChaosMidPrepareRollsBack(t *testing.T) {
+	// The chaos handler's prepare runs LAST (it was registered first), so
+	// a firing aborts the fork after every other prepare already ran. The
+	// registry must unwind them — in particular the trace handler — or
+	// the parent would stay wedged. The parent proving it can still fork
+	// nothing, lock a mutex and finish is the rollback evidence.
+	src := `m = mutex_new()
+pid = fork do
+    print("child ran")
+end
+m.lock()
+held = 1
+m.unlock()
+if pid == -1 {
+    print("rolled back, mutex ok", held)
+}
+`
+	p, k := runChaos(t, src, chaos.NewWith(5, rateOnly(chaos.ForkMidPrepare)))
+	out := p.Output()
+	if strings.Contains(out, "child ran") {
+		t.Fatalf("child created despite mid-prepare abort:\n%s", out)
+	}
+	if !strings.Contains(out, "rolled back, mutex ok 1") {
+		t.Fatalf("parent wedged after aborted fork:\n%s", out)
+	}
+	if n := len(k.Processes()); n != 1 {
+		t.Fatalf("stray processes after aborted fork: %d", n)
+	}
+}
+
+func TestChaosChildKillExits137(t *testing.T) {
+	// A doomed child dies mid-run with SIGKILL's conventional status; the
+	// parent reaps it and continues.
+	src := `pid = fork do
+    j = 0
+    while j < 200000 {
+        j = j + 1
+    }
+    print("child survived")
+end
+waitpid(pid)
+print("reaped")
+`
+	p, k := runChaos(t, src, chaos.NewWith(21, rateOnly(chaos.ChildKill)))
+	out := p.Output()
+	if strings.Contains(out, "child survived") {
+		t.Fatalf("doomed child survived:\n%s", out)
+	}
+	if !strings.Contains(out, "reaped") {
+		t.Fatalf("parent never reaped the killed child:\n%s", out)
+	}
+	var child *kernel.Process
+	for _, proc := range k.Processes() {
+		if proc.PID != p.PID {
+			child = proc
+		}
+	}
+	if child == nil {
+		t.Fatalf("child process not found")
+	}
+	if code := child.ExitCode(); code != 137 {
+		t.Fatalf("child exit code = %d, want 137", code)
+	}
+}
+
+func TestChaosPipeFaultsDoNotCorrupt(t *testing.T) {
+	// Short writes must be invisible (frames are completed by the
+	// hardened writer), so every message that is not EPIPE-dropped
+	// arrives intact and in order.
+	src := `ends = pipe_new()
+r = ends[0]
+w = ends[1]
+pid = fork do
+    r.close()
+    i = 0
+    while i < 20 {
+        w.write(i)
+        i = i + 1
+    }
+    w.close()
+end
+w.close()
+while true {
+    v = r.read()
+    if v == nil {
+        break
+    }
+    print("got", v)
+}
+waitpid(pid)
+print("done")
+`
+	p, _ := runChaos(t, src, chaos.NewWith(9, rateOnly(chaos.PipeShortWrite)))
+	out := p.Output()
+	for i := 0; i < 20; i++ {
+		if !strings.Contains(out, "got "+itoa(i)+"\n") {
+			t.Fatalf("message %d lost or corrupted under short writes:\n%s", i, out)
+		}
+	}
+	if !strings.Contains(out, "done") {
+		t.Fatalf("parent did not finish:\n%s", out)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

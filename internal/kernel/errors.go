@@ -59,6 +59,12 @@ func (e *DeadlockError) Error() string {
 // VMControl implements vm.ControlError.
 func (*DeadlockError) VMControl() {}
 
+// ErrForkEAGAIN is a transient fork failure: the kernel refused to
+// create the process (or a prepare handler aborted the attempt) but the
+// parent is intact and may retry. fork() reports it C-style (-1) rather
+// than unwinding, so the parent stays alive and debuggable.
+var ErrForkEAGAIN = fmt.Errorf("fork: resource temporarily unavailable (EAGAIN)")
+
 // ErrBrokenPipe is returned by pipe writes when no read end remains open.
 var ErrBrokenPipe = fmt.Errorf("broken pipe (EPIPE)")
 

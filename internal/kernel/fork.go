@@ -14,6 +14,9 @@
 package kernel
 
 import (
+	"fmt"
+
+	"dionea/internal/chaos"
 	"dionea/internal/trace"
 	"dionea/internal/value"
 )
@@ -66,6 +69,12 @@ func TranslateTID(m value.Memo, tid int64) int64 {
 // child resumes after the fork call with return value 0 while the parent
 // receives the child's PID.
 func (p *Process) ForkProcess(t *TCtx, block *value.Closure) (int64, error) {
+	// Injected EAGAIN before any handler runs: the kernel refuses the
+	// fork outright, as if out of process slots. Nothing to roll back.
+	if t.ChaosFire(chaos.ForkEAGAIN) {
+		return 0, fmt.Errorf("%w (injected pre-prepare)", ErrForkEAGAIN)
+	}
+
 	// A: run prepare handlers (reverse registration order). Dionea's A
 	// handler locks the sync objects and disables tracing here; the trace
 	// handler's A (running last) flushes this process's event ring so
@@ -107,6 +116,9 @@ func (p *Process) ForkProcess(t *TCtx, block *value.Closure) (int64, error) {
 	p.mu.Lock()
 	p.children[child.PID] = child
 	p.mu.Unlock()
+	// An injected ChildKill dooms the new process after a deterministic
+	// number of ticks — possibly mid-debug-session.
+	p.chaosArmKill(child)
 	t.TraceEvent(trace.OpForkParent, 0, child.PID)
 
 	// B: parent-side handlers (registration order). Dionea's B unlocks
@@ -148,8 +160,13 @@ func (p *Process) ForkProcess(t *TCtx, block *value.Closure) (int64, error) {
 // and therefore run *before* these in the prepare phase and *after* them
 // in the child phase, which is the layering §5.2 describes.
 func registerInterpreterAtfork(p *Process) {
-	// The trace handler is registered first so its Prepare runs last
-	// (after the debugger's and the interpreter's) and its Child first.
+	// The chaos handler is registered before everything so its Prepare
+	// runs very last — a mid-prepare fault then has the maximum amount of
+	// already-run prepare work to roll back.
+	p.Atfork.Register(chaosAtforkHandler())
+	// The trace handler is registered next so its Prepare runs last among
+	// the real handlers (after the debugger's and the interpreter's) and
+	// its Child first.
 	p.Atfork.Register(traceAtforkHandler())
 	p.Atfork.Register(newMRIHandler())
 	p.Atfork.Register(newYARVHandler())

@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 
 	"dionea/internal/bytecode"
+	"dionea/internal/chaos"
 	"dionea/internal/trace"
 	"dionea/internal/value"
 	"dionea/internal/vm"
@@ -43,6 +44,10 @@ type Kernel struct {
 	// this kernel. Kernel-scoped (not package-global) so a replayed run
 	// assigns the same ids as the recorded one.
 	nextObj atomic.Uint64
+
+	// chaos, when set, injects deterministic faults at the kernel's and
+	// the debug plane's fault points (see internal/chaos).
+	chaos atomic.Pointer[chaos.Injector]
 }
 
 // NextObjID allocates a kernel-scoped trace identity for a sync object,

@@ -101,6 +101,12 @@ type Process struct {
 	// unscheduled teardown kills never pollute the trace.
 	ring         atomic.Pointer[trace.Ring]
 	traceStopped atomic.Bool
+
+	// chaosKillIn > 0 means an injected ChildKill is armed: the process
+	// dies (exit 137) after that many more checkinterval ticks.
+	// chaosKillN is the firing's occurrence number for its OpFault event.
+	chaosKillIn atomic.Int64
+	chaosKillN  uint64
 }
 
 func (k *Kernel) newProcess(ppid int64, mirror io.Writer, checkEvery int, seed int64) *Process {
@@ -259,6 +265,9 @@ func (p *Process) Tick(th *vm.Thread) error {
 		if err := t.park("suspended"); err != nil {
 			return err
 		}
+	}
+	if err := p.chaosTick(t); err != nil {
+		return err
 	}
 	t.TraceEvent(trace.OpYield, 0, 0)
 	t.releaseGIL()

@@ -271,7 +271,7 @@ func TestAtforkRegistryVisibleOnProcess(t *testing.T) {
 	proto, _ := compiler.CompileSource("x = 1", "r.pint")
 	p := k.StartProgram(proto, kernel.Options{})
 	names := p.Atfork.Names()
-	if len(names) != 3 || names[0] != "trace" || names[1] != "mri-thread-atfork" || names[2] != "yarv-thread-atfork" {
+	if len(names) != 4 || names[0] != "chaos" || names[1] != "trace" || names[2] != "mri-thread-atfork" || names[3] != "yarv-thread-atfork" {
 		t.Fatalf("interpreter handlers missing: %v", names)
 	}
 	k.WaitAll()

@@ -20,7 +20,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Channel roles, declared by the client's hello message on each
@@ -160,17 +164,32 @@ type Msg struct {
 	Err string `json:"err,omitempty"`
 }
 
-// Conn wraps a net.Conn with line-oriented JSON framing and a write lock.
+// Conn wraps a net.Conn with line-oriented JSON framing, a write lock,
+// and optional per-operation deadlines (the debug plane's protection
+// against stuck or vanished peers).
 type Conn struct {
 	c  net.Conn
 	r  *bufio.Reader
 	wm sync.Mutex
+
+	writeTimeout atomic.Int64 // nanoseconds; 0 = no deadline
+	readTimeout  atomic.Int64
 }
 
 // NewConn wraps c.
 func NewConn(c net.Conn) *Conn {
 	return &Conn{c: c, r: bufio.NewReader(c)}
 }
+
+// SetWriteTimeout bounds every subsequent Send: a peer that stops
+// draining its socket makes Send fail instead of blocking the sender
+// forever. Zero disables the deadline.
+func (c *Conn) SetWriteTimeout(d time.Duration) { c.writeTimeout.Store(int64(d)) }
+
+// SetReadTimeout bounds every subsequent Recv. With a heartbeat running,
+// set it above the ping interval so a healthy peer never trips it.
+// Zero disables the deadline.
+func (c *Conn) SetReadTimeout(d time.Duration) { c.readTimeout.Store(int64(d)) }
 
 // Send writes one message.
 func (c *Conn) Send(m *Msg) error {
@@ -181,12 +200,20 @@ func (c *Conn) Send(m *Msg) error {
 	b = append(b, '\n')
 	c.wm.Lock()
 	defer c.wm.Unlock()
+	if d := time.Duration(c.writeTimeout.Load()); d > 0 {
+		_ = c.c.SetWriteDeadline(time.Now().Add(d))
+		defer c.c.SetWriteDeadline(time.Time{})
+	}
 	_, err = c.c.Write(b)
 	return err
 }
 
-// Recv reads one message (blocking).
+// Recv reads one message (blocking, up to the read timeout if set).
 func (c *Conn) Recv() (*Msg, error) {
+	if d := time.Duration(c.readTimeout.Load()); d > 0 {
+		_ = c.c.SetReadDeadline(time.Now().Add(d))
+		defer c.c.SetReadDeadline(time.Time{})
+	}
 	line, err := c.r.ReadBytes('\n')
 	if err != nil {
 		return nil, err
@@ -207,4 +234,37 @@ func (c *Conn) Close() error { return c.c.Close() }
 // recently created process is saved."
 func PortFileName(sessionID string, pid int64) string {
 	return fmt.Sprintf("dionea-%s-port-%d", sessionID, pid)
+}
+
+// portErrPrefix marks a handoff file carrying an error instead of a
+// port: a child whose handler C could not create a listener writes one
+// so the adopting client fails fast with a typed error rather than
+// polling until its deadline.
+const portErrPrefix = "ERR "
+
+// EncodePort renders the normal handoff payload.
+func EncodePort(port int) []byte { return []byte(strconv.Itoa(port)) }
+
+// EncodePortError renders an error handoff payload.
+func EncodePortError(msg string) []byte { return []byte(portErrPrefix + msg) }
+
+// HandoffError is the typed error a client gets from a handoff file
+// whose writer failed to bring up its debug listener.
+type HandoffError struct{ Msg string }
+
+func (e *HandoffError) Error() string {
+	return fmt.Sprintf("protocol: debug-port handoff failed: %s", e.Msg)
+}
+
+// ParsePort decodes a handoff payload into a dialable port string, or a
+// *HandoffError when the writer reported failure.
+func ParsePort(b []byte) (string, error) {
+	s := string(b)
+	if strings.HasPrefix(s, portErrPrefix) {
+		return "", &HandoffError{Msg: strings.TrimPrefix(s, portErrPrefix)}
+	}
+	if _, err := strconv.Atoi(s); err != nil {
+		return "", fmt.Errorf("protocol: malformed port handoff payload %q", s)
+	}
+	return s, nil
 }

@@ -73,6 +73,11 @@ const (
 	OpDeadlock  // fatal deadlock verdict delivered to this thread
 	OpProcExit  // process teardown begins; aux = exit code
 
+	// OpFault marks an injected chaos fault firing. obj = chaos.Point,
+	// aux = the point's occurrence number, so same-seed runs produce the
+	// same (obj, aux) fault sequence.
+	OpFault
+
 	opMax
 )
 
@@ -104,6 +109,7 @@ var opNames = [...]string{
 	OpBreakStop:   "break-stop",
 	OpDeadlock:    "deadlock",
 	OpProcExit:    "proc-exit",
+	OpFault:       "fault",
 }
 
 func (o Op) String() string {

@@ -128,6 +128,20 @@ func (r *Recorder) Flush(pid uint32, ring *Ring) {
 	r.mu.Unlock()
 }
 
+// Direct records one event straight into the recorder, bypassing the
+// per-process rings. It is for native-thread emitters (the debug plane's
+// connection fault hooks) that hold no GIL and own no ring; the event is
+// assigned the next global sequence number. No-op when disabled.
+func (r *Recorder) Direct(e Event) {
+	if !r.enabled.Load() || !r.NoteEmit() {
+		return
+	}
+	e.Seq = r.NextSeq()
+	r.mu.Lock()
+	r.chunks = append(r.chunks, Chunk{PID: e.PID, Events: []Event{e}})
+	r.mu.Unlock()
+}
+
 // Chunks returns the flushed chunks in flush order.
 func (r *Recorder) Chunks() []Chunk {
 	r.mu.Lock()

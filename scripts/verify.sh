@@ -29,7 +29,13 @@ go test -race ./...
 echo "== replay determinism under -race =="
 go test -race -count=1 -run 'TestRecordReplay' ./internal/trace
 
+echo "== chaos soak: 20 seeds under -race =="
+CHAOS_SOAK_SEEDS=20 go test -race -count=1 -run 'TestChaosSoak' ./e2e
+
 echo "== tracing overhead vs committed BENCH_fig9.json =="
 go run ./cmd/benchfig -against BENCH_fig9.json -reps 3
+
+echo "== tracing overhead vs committed BENCH_fig10.json =="
+go run ./cmd/benchfig -against BENCH_fig10.json -reps 3
 
 echo "verify: OK"
