@@ -6,6 +6,7 @@
 // Usage:
 //
 //	dioneac [-session dev] [-portdir /tmp] [-pid 1]
+//	dioneac -core FILE    # post-mortem: explore a pintcore dump, read-only
 //
 // Commands (type `help` at the prompt):
 //
@@ -25,6 +26,7 @@
 //	list                          show source around the active UE's line
 //	input TEXT                    feed the active process's stdin (Input window)
 //	disturb on|off                toggle disturb mode (active session)
+//	dump [pid]                    write a core of the live process tree
 //	kill [pid]                    terminate a debuggee
 //	detach [pid]                  detach from a debuggee
 //	quit
@@ -40,6 +42,7 @@ import (
 	"time"
 
 	"dionea/internal/client"
+	"dionea/internal/core"
 	"dionea/internal/protocol"
 )
 
@@ -48,20 +51,26 @@ type ui struct {
 	file     string // default breakpoint file of the active session
 	out      *bufio.Writer
 	sourceOf map[int64]string
+	coreOf   map[int64]string // last core path announced per pid
 }
 
 func main() {
 	session := flag.String("session", "default", "debug session id")
 	portDir := flag.String("portdir", os.TempDir(), "directory with port-handoff files")
 	rootPID := flag.Int64("pid", 1, "pid of the root debuggee")
+	coreFile := flag.String("core", "", "open a PINTCORE1 file post-mortem instead of attaching")
 	flag.Parse()
+
+	if *coreFile != "" {
+		os.Exit(postMortem(*coreFile))
+	}
 
 	c := client.New(client.DirResolver{Dir: *portDir}, *session)
 	if _, err := c.ConnectRoot(*rootPID, 10*time.Second); err != nil {
 		fmt.Fprintf(os.Stderr, "dioneac: %v\n", err)
 		os.Exit(1)
 	}
-	u := &ui{c: c, out: bufio.NewWriter(os.Stdout), sourceOf: map[int64]string{}}
+	u := &ui{c: c, out: bufio.NewWriter(os.Stdout), sourceOf: map[int64]string{}, coreOf: map[int64]string{}}
 	c.SetActiveView(*rootPID, 0)
 
 	// Event pump: output, stops, forks, exits print asynchronously, the
@@ -110,7 +119,22 @@ func (u *ui) printEvent(e client.Event) {
 	case "session_reconnected":
 		fmt.Printf("[pid %d] source channel reconnected\n", m.PID)
 	case protocol.EventProcessExited:
-		fmt.Printf("[pid %d] exited with code %d\n", m.PID, m.Code)
+		why := ""
+		switch m.Code {
+		case 137:
+			why = " (killed)"
+		case 134:
+			why = " (aborted)"
+		}
+		line := fmt.Sprintf("[pid %d] exited with code %d%s", m.PID, m.Code, why)
+		if path, ok := u.coreOf[m.PID]; ok {
+			line += fmt.Sprintf("; core at %s", path)
+		}
+		fmt.Println(line)
+	case protocol.EventCoreDumped:
+		u.coreOf[m.PID] = m.Text
+		fmt.Printf("[pid %d] core dumped (%s): %s\n", m.PID, m.Reason, m.Text)
+		fmt.Printf("[pid %d] open post-mortem: dioneac -core %s\n", m.PID, m.Text)
 	case protocol.EventDeadlock:
 		fmt.Printf("[pid %d] DEADLOCK in thread %d at %s:%d\n%s\n", m.PID, m.TID, m.File, m.Line, m.Text)
 	case protocol.EventFatal:
@@ -136,6 +160,7 @@ func (u *ui) exec(line string) {
 		fmt.Println("continue | step | next | finish | suspend | resume | suspendall | resumeall | stopworld | resumeworld")
 		fmt.Println("stack | vars | eval NAME | list | show | input TEXT | disturb on|off | kill [pid] | detach [pid] | quit")
 		fmt.Println("trace start|stop|dump PATH   record concurrency events; analyze the dump with pinttrace")
+		fmt.Println("dump                         write a PINTCORE1 core of the whole tree; open with dioneac -core PATH")
 
 	case "sessions":
 		for _, s := range u.c.Sessions() {
@@ -300,6 +325,13 @@ func (u *ui) exec(line string) {
 		}
 		u.report(u.c.Detach(p))
 
+	case "dump":
+		path, err := u.c.CoreDump(pid)
+		if err == nil {
+			fmt.Printf("core written to %s; open with: dioneac -core %s\n", path, path)
+		}
+		u.report(err)
+
 	case "trace":
 		if len(args) < 2 {
 			fmt.Println("usage: trace start|stop|dump PATH")
@@ -399,4 +431,29 @@ func (u *ui) list(pid, tid int64) {
 		fmt.Printf("%s %4d  %s\n", mark, n, l)
 	}
 	_ = u.out
+}
+
+// postMortem opens a PINTCORE1 file and serves the read-only debugger
+// over stdin, mirroring the live command set (backtrace / frame / print /
+// threads) plus the core-only views (waiters, trace, summary).
+func postMortem(path string) int {
+	ex, err := core.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dioneac: %v\n", err)
+		return 1
+	}
+	fmt.Print(ex.Summary())
+	fmt.Println("post-mortem mode; type 'help' for commands")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("(core) ")
+		if !sc.Scan() {
+			return 0
+		}
+		out, quit := ex.Exec(sc.Text())
+		fmt.Print(out)
+		if quit {
+			return 0
+		}
+	}
 }

@@ -22,6 +22,7 @@ import (
 	"dionea/internal/bytecode"
 	"dionea/internal/chaos"
 	"dionea/internal/compiler"
+	"dionea/internal/core"
 	"dionea/internal/dionea"
 	"dionea/internal/ipc"
 	"dionea/internal/kernel"
@@ -37,6 +38,8 @@ func main() {
 	check := flag.Int("check", 0, "GIL checkinterval (0 = default)")
 	traceOut := flag.String("trace", "", "record concurrency events from startup; written here at exit (also: `trace dump` in dioneac)")
 	chaosSeed := flag.Int64("chaos", 0, "enable deterministic fault injection with this seed (0 = off)")
+	coreDir := flag.String("coredir", os.TempDir(), "directory for PINTCORE1 files (dump triggers and the `dump` command)")
+	watchdog := flag.Duration("watchdog", 0, "dump a core if no GIL hand-off happens for this long (0 = off)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dioneas [flags] program.pint\n")
 		flag.PrintDefaults()
@@ -68,6 +71,13 @@ func main() {
 	if *traceOut != "" {
 		rec := k.EnableTrace()
 		rec.CheckEvery = *check
+	}
+	// Always install the dumper: the client's `dump` command and the
+	// fatal/deadlock/chaos triggers should work out of the box.
+	dumper := core.Install(k, *coreDir)
+	if *watchdog > 0 {
+		stop := dumper.StartWatchdog(*watchdog)
+		defer stop()
 	}
 	var srv *dionea.Server
 	p := k.StartProgram(proto, kernel.Options{
@@ -111,6 +121,9 @@ func main() {
 	}
 	if inj != nil {
 		fmt.Fprintf(os.Stderr, "dioneas: %s\n", inj.Summary())
+	}
+	if path := dumper.LastPath(); path != "" {
+		fmt.Fprintf(os.Stderr, "dioneas: core dumped: %s\n", path)
 	}
 	os.Exit(p.ExitCode())
 }

@@ -18,6 +18,7 @@ import (
 	"dionea/internal/bytecode"
 	"dionea/internal/chaos"
 	"dionea/internal/compiler"
+	"dionea/internal/core"
 	"dionea/internal/ipc"
 	"dionea/internal/kernel"
 	"dionea/internal/mp"
@@ -33,6 +34,8 @@ func main() {
 	replayIn := flag.String("replay", "", "replay the schedule recorded in this trace file")
 	seed := flag.Int64("seed", 0, "PRNG seed for the root process")
 	chaosSeed := flag.Int64("chaos", 0, "enable deterministic fault injection with this seed (0 = off)")
+	coreDir := flag.String("coredir", "", "write PINTCORE1 files here on deadlock/fatal/chaos-kill (inspect with dioneac -core)")
+	watchdog := flag.Duration("watchdog", 0, "dump a core if no GIL hand-off happens for this long (0 = off)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pint [flags] program.pint\n")
 		flag.PrintDefaults()
@@ -99,6 +102,18 @@ func main() {
 		rec.Start()
 	}
 
+	var dumper *core.Manager
+	if *watchdog > 0 && *coreDir == "" {
+		*coreDir = os.TempDir()
+	}
+	if *coreDir != "" {
+		dumper = core.Install(k, *coreDir)
+		if *watchdog > 0 {
+			stop := dumper.StartWatchdog(*watchdog)
+			defer stop()
+		}
+	}
+
 	p := k.StartProgram(proto, kernel.Options{
 		Out:        os.Stdout,
 		CheckEvery: *check,
@@ -128,6 +143,11 @@ func main() {
 	}
 	if inj != nil {
 		fmt.Fprintf(os.Stderr, "pint: %s\n", inj.Summary())
+	}
+	if dumper != nil {
+		if path := dumper.LastPath(); path != "" {
+			fmt.Fprintf(os.Stderr, "pint: core dumped: %s\n", path)
+		}
 	}
 	if cur := k.Replay(); cur != nil {
 		if diverged, msg := cur.Diverged(); diverged {

@@ -19,7 +19,6 @@ import (
 	"fmt"
 	"os"
 
-	"dionea/internal/chaos"
 	"dionea/internal/trace"
 )
 
@@ -77,24 +76,6 @@ func dumpTrace(path string, tr *trace.Trace) {
 	fmt.Printf("# %s: %d events, checkinterval %d, seed %d\n",
 		path, len(tr.Events), tr.CheckEvery, tr.Seed)
 	for _, e := range tr.Events {
-		loc := ""
-		if name := tr.FileName(e.File); name != "" {
-			loc = fmt.Sprintf(" %s:%d", name, e.Line)
-		}
-		obj := ""
-		if e.Obj != 0 {
-			obj = fmt.Sprintf(" obj=%d", e.Obj)
-		}
-		aux := ""
-		if e.Aux != 0 {
-			aux = fmt.Sprintf(" aux=%d", e.Aux)
-		}
-		if e.Op == trace.OpFault {
-			// Fault events carry the chaos point in obj and the
-			// occurrence number in aux; render them symbolically.
-			obj = fmt.Sprintf(" point=%s", chaos.Point(e.Obj))
-			aux = fmt.Sprintf(" n=%d", e.Aux)
-		}
-		fmt.Printf("%8d pid=%d tid=%d %-13s%s%s%s\n", e.Seq, e.PID, e.TID, e.Op, obj, aux, loc)
+		fmt.Println(trace.FormatEvent(e, tr.FileName))
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"dionea/internal/chaos"
 	"dionea/internal/client"
 	"dionea/internal/compiler"
+	"dionea/internal/core"
 	"dionea/internal/dionea"
 	"dionea/internal/ipc"
 	"dionea/internal/kernel"
@@ -54,6 +55,10 @@ func soakOnce(t *testing.T, name, src string, seed int64) {
 	}
 	k := kernel.New()
 	k.SetChaos(chaos.New(seed))
+	// Core dumps ride along: every chaos child-kill (and any deadlock)
+	// snapshots the tree mid-soak, so the quiesce path itself is part of
+	// the survivability contract — a dump must never hang or tear a run.
+	dumper := core.Install(k, t.TempDir())
 	session := name + "-" + strconv.FormatInt(seed, 10)
 	var attachErr error
 	p := k.StartProgram(proto, kernel.Options{
@@ -137,6 +142,14 @@ func soakOnce(t *testing.T, name, src string, seed int64) {
 	}
 	if time.Since(start) > 15*time.Second {
 		t.Fatalf("seed %d: post-mortem request took %v", seed, time.Since(start))
+	}
+
+	// Any core the run dumped must parse — a torn or truncated core means
+	// the quiesce failed.
+	if path := dumper.LastPath(); path != "" {
+		if _, err := core.ReadFile(path); err != nil {
+			t.Fatalf("seed %d: dumped core unreadable: %v", seed, err)
+		}
 	}
 }
 

@@ -1,0 +1,179 @@
+// Satellite of the chaos plane: conn-delay and conn-tear target the debug
+// protocol's own TCP connections. The contract is the client's: a delayed
+// write may slow a request but never hangs it past its timeout, and a
+// torn source channel either reconnects inside the client's 750 ms window
+// (announced as session_reconnected) or the session is declared dead —
+// cleanly, with every later request failing fast.
+package e2e
+
+import (
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dionea/internal/chaos"
+	"dionea/internal/client"
+	"dionea/internal/compiler"
+	"dionea/internal/dionea"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+)
+
+// connConfig isolates one conn point: the point under test keeps its
+// default rate, the other lethal conn faults are silenced so the
+// contract being tested (delay-only vs tear) is the one that fires.
+func connConfig(point chaos.Point) chaos.Config {
+	cfg := chaos.DefaultConfig()
+	for _, p := range []chaos.Point{chaos.ConnDrop, chaos.ConnDelay, chaos.ConnTear} {
+		if p != point {
+			cfg.Rates[p] = 0
+		}
+	}
+	return cfg
+}
+
+// connSeed finds a seed whose point fires within the first maxN
+// occurrences — the request loop below generates far more conn events
+// than that, so the fault is guaranteed to land.
+func connSeed(t *testing.T, p chaos.Point, maxN uint64) int64 {
+	t.Helper()
+	for s := int64(1); s < 5000; s++ {
+		inj := chaos.NewWith(s, connConfig(p))
+		for n := uint64(1); n <= maxN; n++ {
+			if inj.WouldFire(p, n) {
+				return s
+			}
+		}
+	}
+	t.Fatalf("no seed fires %s within %d occurrences", p, maxN)
+	return 0
+}
+
+func TestConnFaultSurvivability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conn-fault e2e is not short")
+	}
+	cases := []struct {
+		name  string
+		point chaos.Point
+	}{
+		{"conn-delay", chaos.ConnDelay},
+		{"conn-tear", chaos.ConnTear},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			connFaultOnce(t, tc.point, connSeed(t, tc.point, 8))
+		})
+	}
+}
+
+func connFaultOnce(t *testing.T, point chaos.Point, seed int64) {
+	src := soakWordcountSrc()
+	proto, err := compiler.CompileSource(src, "wordcount.pint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kernel.New()
+	inj := chaos.NewWith(seed, connConfig(point))
+	k.SetChaos(inj)
+	session := "connfault-" + point.String() + "-" + strconv.FormatInt(seed, 10)
+	var attachErr error
+	p := k.StartProgram(proto, kernel.Options{
+		Setup: []func(*kernel.Process){
+			ipc.Install,
+			func(proc *kernel.Process) {
+				_, attachErr = dionea.Attach(k, proc, dionea.Options{
+					SessionID:     session,
+					Sources:       map[string]string{"wordcount.pint": src},
+					WaitForClient: true,
+				})
+			},
+		},
+	})
+	if attachErr != nil {
+		t.Fatalf("attach: %v", attachErr)
+	}
+	c := client.New(k, session)
+	if _, err := c.ConnectRoot(p.PID, 10*time.Second); err != nil {
+		t.Fatalf("connect: %v", err)
+	}
+
+	// Watch for the client's reconnect announcements.
+	var reconnects atomic.Int64
+	go func() {
+		for e := range c.Events() {
+			if e.Msg != nil && e.Msg.Cmd == "session_reconnected" {
+				reconnects.Add(1)
+			}
+		}
+	}()
+
+	// Release main (best effort: the release itself crosses the faulty
+	// plane).
+	if infos, terr := c.Threads(p.PID); terr == nil {
+		for _, ti := range infos {
+			if ti.Main {
+				_ = c.Continue(p.PID, ti.TID)
+			}
+		}
+	}
+
+	// Drive enough protocol traffic to reach the chosen occurrence. Every
+	// request must return — success or error — within its own timeout;
+	// a request that hangs fails the whole test via the outer deadline.
+	trafficDone := make(chan struct{})
+	go func() {
+		defer close(trafficDone)
+		for i := 0; i < 60; i++ {
+			_, _ = c.Threads(p.PID)
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+	select {
+	case <-trafficDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("request loop hung: a conn fault wedged the debug plane")
+	}
+
+	if !strings.Contains(inj.Summary(), point.String()+"=") {
+		t.Fatalf("seed %d never fired %s: %s", seed, point, inj.Summary())
+	}
+
+	// The session survived the faults (possibly via reconnect) or died
+	// cleanly — either way this answers promptly.
+	start := time.Now()
+	_, reqErr := c.Threads(p.PID)
+	if d := time.Since(start); d > 15*time.Second {
+		t.Fatalf("post-fault request took %v", d)
+	}
+	if reqErr != nil && point == chaos.ConnDelay && !p.Exited() {
+		// Delays alone never kill a live session; only drops/tears may.
+		// (A session closed because the debuggee finished is fine.)
+		t.Fatalf("session lost to a pure delay: %v", reqErr)
+	}
+	if reconnects.Load() > 0 {
+		t.Logf("%s seed %d: session reconnected %d time(s) within the window",
+			point, seed, reconnects.Load())
+	}
+
+	// Drain.
+	for _, proc := range k.Processes() {
+		if !proc.Exited() {
+			proc.Terminate(137)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		k.WaitAll()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("kernel did not drain after conn faults")
+	}
+}

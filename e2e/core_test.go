@@ -1,0 +1,207 @@
+// Post-mortem end-to-end: a chaos child-kill during the wordcount
+// workload dumps a core whose content is a pure function of the seed, and
+// dioneac -core serves it read-only.
+package e2e
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dionea/internal/chaos"
+	"dionea/internal/core"
+)
+
+// killCandidates picks seeds whose child-kill point fires on an early
+// occurrence with a short fuse, so one of wordcount's three forked
+// workers dies mid-count rather than outliving its armed tick.
+func killCandidates(t *testing.T) []int64 {
+	t.Helper()
+	var out []int64
+	for s := int64(1); s < 2000 && len(out) < 24; s++ {
+		inj := chaos.New(s)
+		for n := uint64(1); n <= 3; n++ {
+			if inj.WouldFire(chaos.ChildKill, n) && inj.Param(chaos.ChildKill, n, 2, 300) <= 4 {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no candidate seeds fire child-kill with a short fuse")
+	}
+	return out
+}
+
+// runWordcountWithCore runs the soak wordcount under pint -chaos seed with
+// a core directory and returns the core it dumps (nil if the armed kill
+// never landed — the worker finished first). The run is bounded: a parent
+// wedged by its worker's death (it holds its own write ends open, so the
+// read never EOFs) is a legitimate outcome the soak also tolerates, and
+// the core was already written when the kill landed.
+func runWordcountWithCore(t *testing.T, bin string, prog string, seed int64) (string, *core.Core) {
+	t.Helper()
+	dir := t.TempDir()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, filepath.Join(bin, "pint"),
+		"-chaos", strconv.FormatInt(seed, 10), "-coredir", dir, prog)
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	done := make(chan struct{})
+	go func() { _ = cmd.Wait(); close(done) }()
+	defer func() { cancel(); <-done }()
+
+	// Return as soon as a complete core is on disk — no need to sit out a
+	// wedged parent's timeout.
+	deadline := time.After(12 * time.Second)
+	for {
+		if entries, err := os.ReadDir(dir); err == nil && len(entries) > 0 {
+			path := filepath.Join(dir, entries[0].Name())
+			if c, err := core.ReadFile(path); err == nil {
+				return path, c
+			}
+		}
+		select {
+		case <-done:
+			entries, _ := os.ReadDir(dir)
+			if len(entries) == 0 {
+				return "", nil
+			}
+			path := filepath.Join(dir, entries[0].Name())
+			c, err := core.ReadFile(path)
+			if err != nil {
+				t.Fatalf("seed %d: core unreadable: %v", seed, err)
+			}
+			return path, c
+		case <-deadline:
+			return "", nil
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+func TestPostMortemDeterminism(t *testing.T) {
+	bin := binaries(t)
+	prog := filepath.Join(t.TempDir(), "wordcount.pint")
+	if err := os.WriteFile(prog, []byte(soakWordcountSrc()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var seed int64
+	var path1 string
+	var c1 *core.Core
+	for _, s := range killCandidates(t) {
+		if p, c := runWordcountWithCore(t, bin, prog, s); c != nil {
+			seed, path1, c1 = s, p, c
+			break
+		}
+	}
+	if c1 == nil {
+		t.Fatal("no candidate seed landed a child-kill during wordcount")
+	}
+	_, c2 := runWordcountWithCore(t, bin, prog, seed)
+	if c2 == nil {
+		t.Fatalf("seed %d dumped a core on run 1 but not run 2", seed)
+	}
+
+	if c1.Trigger != "chaos-kill" {
+		t.Fatalf("trigger = %q", c1.Trigger)
+	}
+	if c1.PID != c2.PID {
+		t.Fatalf("different victims across runs: pid %d vs %d", c1.PID, c2.PID)
+	}
+	// The killed child's snapshot is a pure function of the seed: same
+	// thread states, same frames, same lines, same locals, same fds.
+	v1, v2 := c1.Proc(c1.PID), c2.Proc(c2.PID)
+	if v1 == nil || v2 == nil {
+		t.Fatal("victim snapshot missing")
+	}
+	if !reflect.DeepEqual(v1, v2) {
+		t.Fatalf("same seed, different victim snapshot:\nrun1: %+v\nrun2: %+v", v1, v2)
+	}
+	if !v1.Quiesced || len(v1.Threads) == 0 || len(v1.Threads[0].Frames) == 0 {
+		t.Fatalf("victim snapshot incomplete: %+v", v1)
+	}
+	fr := v1.Threads[0].Frames[len(v1.Threads[0].Frames)-1]
+	if fr.File != "wordcount.pint" || fr.Line <= 0 {
+		t.Fatalf("victim frame = %+v", fr)
+	}
+
+	// dioneac -core serves the exact thread/line view, scriptably.
+	script := "threads\nbacktrace\nframe\nglobals\nquit\n"
+	cmd := exec.Command(filepath.Join(bin, "dioneac"), "-core", path1)
+	cmd.Stdin = strings.NewReader(script)
+	var outBuf bytes.Buffer
+	cmd.Stdout = &outBuf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("dioneac -core: %v\n%s", err, outBuf.String())
+	}
+	view := outBuf.String()
+	for _, want := range []string{
+		"trigger=chaos-kill",
+		"chaos-seed=" + strconv.FormatInt(seed, 10),
+		"wordcount.pint:" + strconv.FormatInt(fr.Line, 10),
+	} {
+		if !strings.Contains(view, want) {
+			t.Errorf("dioneac -core output missing %q:\n%s", want, view)
+		}
+	}
+}
+
+// TestPostMortemDeadlockView: the Listing-6 style deadlock dumps a core in
+// which dioneac -core names the blocked threads and the held locks.
+func TestPostMortemDeadlockView(t *testing.T) {
+	bin := binaries(t)
+	dir := t.TempDir()
+	prog := filepath.Join(t.TempDir(), "deadlock.pint")
+	src := `a = mutex_new()
+b = mutex_new()
+t1 = spawn do
+    a.lock()
+    sleep(0.05)
+    b.lock()
+end
+t2 = spawn do
+    b.lock()
+    sleep(0.05)
+    a.lock()
+end
+t1.join()
+t2.join()
+`
+	if err := os.WriteFile(prog, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := exec.Command(filepath.Join(bin, "pint"), "-coredir", dir, prog).CombinedOutput()
+	if !strings.Contains(string(out), "core dumped:") {
+		t.Fatalf("no core-dumped notice:\n%s", out)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no core files (%v)", err)
+	}
+	path := filepath.Join(dir, entries[0].Name())
+
+	cmd := exec.Command(filepath.Join(bin, "dioneac"), "-core", path)
+	cmd.Stdin = strings.NewReader("waiters\nlocks\nthreads\nquit\n")
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("dioneac -core: %v\n%s", err, buf.String())
+	}
+	view := buf.String()
+	for _, want := range []string{"trigger=deadlock", "cycle:", "held by thread", "blocked on lock"} {
+		if !strings.Contains(view, want) {
+			t.Errorf("deadlock post-mortem missing %q:\n%s", want, view)
+		}
+	}
+}

@@ -138,6 +138,22 @@ func (in *Injector) Fire(p Point) (n uint64, ok bool) {
 	return n, true
 }
 
+// WouldFire reports whether the n-th occurrence of point p fires under
+// this injector's seed and rates, without recording anything. Tests use
+// it to hunt for seeds that exercise a specific fault point; the math is
+// identical to Fire's.
+func (in *Injector) WouldFire(p Point, n uint64) bool {
+	if in == nil || p >= NumPoints {
+		return false
+	}
+	rate := in.cfg.Rates[p]
+	if rate <= 0 {
+		return false
+	}
+	h := in.hash(p, n, 0)
+	return float64(h>>11)/(1<<53) < rate
+}
+
 // Param derives a deterministic value in [lo, hi] for the n-th firing of
 // p — e.g. how many ticks a ChildKill victim survives.
 func (in *Injector) Param(p Point, n uint64, lo, hi int64) int64 {

@@ -807,6 +807,22 @@ func (c *Client) TraceDump(pid int64, path string) (uint64, error) {
 	return resp.Seq, nil
 }
 
+// CoreDump asks the server to snapshot the whole process tree into a
+// PINTCORE1 file and returns the core path on the server's filesystem.
+// The dump quiesces each process like a fork would, so allow it the
+// server-side per-process timeout.
+func (c *Client) CoreDump(pid int64) (string, error) {
+	s, err := c.session(pid)
+	if err != nil {
+		return "", err
+	}
+	resp, err := s.Request(&protocol.Msg{Cmd: protocol.CmdCoreDump}, 15*time.Second)
+	if err != nil {
+		return "", err
+	}
+	return resp.Text, nil
+}
+
 // ---- debug views (§4.2) ----
 
 // SetActiveView activates the debug view of one UE: the previously active

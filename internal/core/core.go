@@ -1,0 +1,212 @@
+// Package core is the crash-consistent core-dump subsystem: it snapshots
+// the entire simulated process tree — per-thread frame stacks with locals,
+// globals, held locks, blocked/waiting threads, pipe/fd states and the
+// per-process trace tail — into a PINTCORE1 file, and serves it back for
+// post-mortem debugging (`dioneac -core`).
+//
+// Consistency comes from the same place the paper gets it for fork: a
+// core of a live process is taken with that process's GIL held (the atfork
+// phase-A quiesce invariant), so every thread is parked at a yield point
+// or inside a blocking call and the heap is not mid-mutation. The value
+// graph is captured with the same DeepCopy/SnapshotFrames memo machinery
+// fork uses to build the child's image — a core is exactly as consistent
+// as a forked child.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dionea/internal/trace"
+)
+
+// Version is the PINTCORE1 format version this build writes.
+const Version = 1
+
+// Core is an in-memory core dump: the whole process tree at one instant.
+type Core struct {
+	Trigger string // what fired the dump: deadlock, fatal, chaos-kill, watchdog, manual
+	Reason  string // human diagnosis (error text, waiter-graph summary)
+	PID     int64  // process that triggered the dump (0 = whole-tree trigger)
+	Seed    int64  // chaos seed active during the run (0 = chaos off)
+	Files   []string
+	Procs   []*ProcSnap
+}
+
+// ProcSnap is one process's state.
+type ProcSnap struct {
+	PID      int64
+	PPID     int64
+	Exited   bool
+	ExitCode int64
+	// Quiesced reports whether the process GIL was held while reading its
+	// heap. When false (quiesce timed out, or teardown was in flight) the
+	// snapshot carries thread states but no frames, locals or globals.
+	Quiesced bool
+	Output   string // tail of the process's output
+	Globals  []VarSnap
+	Threads  []*ThreadSnap
+	Locks    []LockSnap
+	FDs      []FDSnap
+	Trace    []trace.Event // tail of the per-process event ring
+}
+
+// ThreadSnap is one pint thread's state.
+type ThreadSnap struct {
+	TID     int64
+	Name    string
+	Main    bool
+	State   string // running / blocked / waiting / suspended / finished
+	Reason  string // block reason ("lock", "pop", "pipe-read", ...)
+	WaitObj uint64 // kernel object id the thread is blocked on (0 = none)
+	Frames  []FrameSnap
+}
+
+// FrameSnap is one activation record, outermost first in ThreadSnap.Frames.
+type FrameSnap struct {
+	Func   string
+	File   string
+	Line   int64
+	Locals []VarSnap
+}
+
+// VarSnap is one rendered binding.
+type VarSnap struct {
+	Name  string
+	Type  string
+	Value string
+}
+
+// LockSnap is one registered sync object.
+type LockSnap struct {
+	ID    uint64
+	Kind  string // mutex / queue
+	Owner int64  // owning TID, 0 when unheld
+}
+
+// FDSnap is one open descriptor.
+type FDSnap struct {
+	FD       int64
+	Kind     string // pipe-read / pipe-write
+	Pipe     uint64 // pipe identity
+	Readers  int64
+	Writers  int64
+	Buffered int64
+}
+
+// Proc returns the snapshot for pid, or nil.
+func (c *Core) Proc(pid int64) *ProcSnap {
+	for _, p := range c.Procs {
+		if p.PID == pid {
+			return p
+		}
+	}
+	return nil
+}
+
+// Thread returns the snapshot for tid, or nil.
+func (p *ProcSnap) Thread(tid int64) *ThreadSnap {
+	for _, t := range p.Threads {
+		if t.TID == tid {
+			return t
+		}
+	}
+	return nil
+}
+
+// FileName resolves a trace file id against the core's string table.
+func (c *Core) FileName(id uint16) string {
+	if int(id) < len(c.Files) {
+		return c.Files[id]
+	}
+	return ""
+}
+
+// ---- lock/waiter graph ----
+
+// WaiterLines renders the process's waiter graph, one edge per line:
+// which thread waits on which object, and who holds it.
+func (p *ProcSnap) WaiterLines() []string {
+	owner := make(map[uint64]*LockSnap)
+	for i := range p.Locks {
+		owner[p.Locks[i].ID] = &p.Locks[i]
+	}
+	byTID := make(map[int64]*ThreadSnap)
+	for _, t := range p.Threads {
+		byTID[t.TID] = t
+	}
+	var out []string
+	for _, t := range p.Threads {
+		if t.State != "blocked" && t.State != "waiting" {
+			continue
+		}
+		line := fmt.Sprintf("thread %d (%s) %s on %s", t.TID, t.Name, t.State, t.Reason)
+		if t.WaitObj != 0 {
+			if l, ok := owner[t.WaitObj]; ok {
+				line += fmt.Sprintf(" [%s %d", l.Kind, l.ID)
+				if l.Owner != 0 {
+					if o, ok := byTID[l.Owner]; ok {
+						line += fmt.Sprintf(" held by thread %d (%s)", o.TID, o.Name)
+					} else {
+						line += fmt.Sprintf(" held by thread %d", l.Owner)
+					}
+				} else {
+					line += " unheld"
+				}
+				line += "]"
+			} else {
+				line += fmt.Sprintf(" [obj %d]", t.WaitObj)
+			}
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// FindCycle looks for a wait-for cycle (thread → object → owning thread →
+// ...) and renders it ("thread 5 -> mutex 2 -> thread 6 -> mutex 1 ->
+// thread 5"), or returns "".
+func (p *ProcSnap) FindCycle() string {
+	owner := make(map[uint64]*LockSnap)
+	for i := range p.Locks {
+		owner[p.Locks[i].ID] = &p.Locks[i]
+	}
+	waits := make(map[int64]uint64) // TID -> object it waits on
+	for _, t := range p.Threads {
+		if (t.State == "blocked" || t.State == "waiting") && t.WaitObj != 0 {
+			waits[t.TID] = t.WaitObj
+		}
+	}
+	tids := make([]int64, 0, len(waits))
+	for tid := range waits {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, start := range tids {
+		var path []string
+		seen := make(map[int64]bool)
+		tid := start
+		for {
+			obj, ok := waits[tid]
+			if !ok {
+				break
+			}
+			l, ok := owner[obj]
+			if !ok || l.Owner == 0 {
+				break
+			}
+			path = append(path, fmt.Sprintf("thread %d", tid), fmt.Sprintf("%s %d", l.Kind, l.ID))
+			if l.Owner == start {
+				path = append(path, fmt.Sprintf("thread %d", start))
+				return strings.Join(path, " -> ")
+			}
+			if seen[l.Owner] {
+				break
+			}
+			seen[l.Owner] = true
+			tid = l.Owner
+		}
+	}
+	return ""
+}

@@ -1,0 +1,345 @@
+// End-to-end dump-trigger tests: deadlock, fatal error, chaos child-kill
+// and explicit dumps, plus the quiesce-safety soak (concurrent dumps
+// against a forking, multi-threaded program under -race).
+
+package core_test
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dionea/internal/chaos"
+	"dionea/internal/core"
+	"dionea/internal/kernel"
+	"dionea/internal/pinttest"
+)
+
+// installManager wires a Manager dumping into a test temp dir via a Setup
+// hook, so it exists before the program's first instruction.
+func installManager(t *testing.T) (get func() *core.Manager, setup func(*kernel.Process)) {
+	t.Helper()
+	dir := t.TempDir()
+	var m *core.Manager
+	return func() *core.Manager { return m },
+		func(p *kernel.Process) { m = core.Install(p.K, dir) }
+}
+
+func TestDeadlockDumpsCore(t *testing.T) {
+	get, setup := installManager(t)
+	r := pinttest.Run(t, `
+a = mutex_new()
+b = mutex_new()
+stage = "setup"
+t1 = spawn do
+    a.lock()
+    sleep(0.05)
+    b.lock()
+end
+t2 = spawn do
+    b.lock()
+    sleep(0.05)
+    a.lock()
+end
+stage = "joining"
+t1.join()
+t2.join()
+`, pinttest.Options{Setup: []func(*kernel.Process){setup}})
+	if !strings.Contains(r.Proc.Output(), "deadlock") {
+		t.Fatalf("expected deadlock diagnosis, got:\n%s", r.Proc.Output())
+	}
+	if get().LastPath() == "" {
+		t.Fatal("deadlock did not dump a core")
+	}
+	// The first conviction's core shows the intact AB-BA cycle. A second
+	// core may follow legitimately: the convicted thread dies, and the
+	// finish-time re-check convicts the next survivor — by then the cycle
+	// is broken (its first victim is finished), so assert on core 1.
+	path := filepath.Join(get().Dir(), "core.1.deadlock.pintcore")
+	c, err := core.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read core: %v", err)
+	}
+	if c.Trigger != "deadlock" {
+		t.Fatalf("trigger = %q", c.Trigger)
+	}
+	p := c.Proc(1)
+	if p == nil || !p.Quiesced {
+		t.Fatalf("root proc missing or not quiesced: %+v", p)
+	}
+	// The heap made it into the core: the global set before the join.
+	found := false
+	for _, v := range p.Globals {
+		if v.Name == "stage" && v.Value == `"joining"` {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("global stage=\"joining\" not in core globals: %+v", p.Globals)
+	}
+	// Both AB-BA threads are blocked on each other's mutex; the cycle is
+	// nameable from the core alone.
+	if cyc := p.FindCycle(); !strings.Contains(cyc, "mutex") {
+		t.Errorf("no lock cycle in core (got %q); waiters:\n%s",
+			cyc, strings.Join(p.WaiterLines(), "\n"))
+	}
+	// Frames survived: some thread is stopped at a lock() call with its
+	// stack intact.
+	withFrames := 0
+	for _, th := range p.Threads {
+		if len(th.Frames) > 0 {
+			withFrames++
+		}
+	}
+	if withFrames == 0 {
+		t.Error("no thread carries frames in the deadlock core")
+	}
+}
+
+func TestFatalErrorDumpsCore(t *testing.T) {
+	get, setup := installManager(t)
+	r := pinttest.Run(t, `
+func inner(x) {
+    y = x * 2
+    return y / 0
+}
+inner(21)
+`, pinttest.Options{Setup: []func(*kernel.Process){setup}})
+	if r.Proc.ExitCode() != 1 {
+		t.Fatalf("exit = %d, out:\n%s", r.Proc.ExitCode(), r.Proc.Output())
+	}
+	path := get().LastPath()
+	if path == "" {
+		t.Fatal("fatal error did not dump a core")
+	}
+	c, err := core.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read core: %v", err)
+	}
+	if c.Trigger != "fatal" {
+		t.Fatalf("trigger = %q", c.Trigger)
+	}
+	if !strings.Contains(c.Reason, "division by zero") && !strings.Contains(c.Reason, "zero") {
+		t.Errorf("reason = %q", c.Reason)
+	}
+	// The failing frame's locals are in the core.
+	main := c.Proc(1).Thread(1)
+	if main == nil || len(main.Frames) == 0 {
+		t.Fatalf("main thread has no frames: %+v", main)
+	}
+	inner := main.Frames[len(main.Frames)-1]
+	if inner.Func != "inner" {
+		t.Fatalf("innermost frame = %q, want inner", inner.Func)
+	}
+	vars := map[string]string{}
+	for _, v := range inner.Locals {
+		vars[v.Name] = v.Value
+	}
+	if vars["x"] != "21" || vars["y"] != "42" {
+		t.Errorf("inner locals = %v, want x=21 y=42", vars)
+	}
+}
+
+func TestChaosKillDumpsCore(t *testing.T) {
+	dir := t.TempDir()
+	var m *core.Manager
+	// Scan seeds until one fires child-kill inside the forked child; the
+	// predicate is pure, so the scan is cheap and deterministic.
+	seed := int64(0)
+	for s := int64(1); s < 200; s++ {
+		inj := chaos.New(s)
+		if inj.WouldFire(chaos.ChildKill, 1) {
+			seed = s
+			break
+		}
+	}
+	if seed == 0 {
+		t.Fatal("no seed fires child-kill on first occurrence")
+	}
+	r := pinttest.Run(t, `
+ends = pipe_new()
+r = ends[0]
+w = ends[1]
+pid = fork do
+    i = 0
+    while i < 100000 {
+        i = i + 1
+    }
+    w.write("done")
+    w.close()
+end
+w.close()
+v = r.read()
+waitpid(pid)
+print("parent saw", v)
+`, pinttest.Options{
+		Setup: []func(*kernel.Process){
+			func(p *kernel.Process) {
+				p.K.SetChaos(chaos.New(seed))
+				m = core.Install(p.K, dir)
+			},
+		},
+	})
+	_ = r
+	path := m.LastPath()
+	if path == "" {
+		t.Fatal("chaos child-kill did not dump a core")
+	}
+	c, err := core.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read core: %v", err)
+	}
+	if c.Trigger != "chaos-kill" {
+		t.Fatalf("trigger = %q", c.Trigger)
+	}
+	if c.Seed != seed {
+		t.Fatalf("core seed = %d, want %d", c.Seed, seed)
+	}
+	if c.PID < 2 {
+		t.Fatalf("core pid = %d, want the child", c.PID)
+	}
+	child := c.Proc(c.PID)
+	if child == nil || !child.Quiesced {
+		t.Fatalf("child snapshot missing or not quiesced: %+v", child)
+	}
+	if len(child.Threads) == 0 || len(child.Threads[0].Frames) == 0 {
+		t.Fatal("child core has no frames")
+	}
+}
+
+func TestManualDumpAndExplorer(t *testing.T) {
+	get, setup := installManager(t)
+	r := pinttest.Run(t, `
+m = mutex_new()
+m.lock()
+counter = 41
+hold = spawn do
+    m.lock()
+end
+sleep(0.1)
+`, pinttest.Options{Setup: []func(*kernel.Process){setup}, NoWait: true})
+	// Let the program reach its steady state (spawned thread blocked on m).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if strings.Contains(stateSummary(r.Kernel), "blocked") || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	path, err := get().DumpTree("manual", "test dump", nil)
+	if err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	ex, err := core.Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	out, _ := ex.Exec("locks")
+	if !strings.Contains(out, "mutex") || !strings.Contains(out, "held by thread 1") {
+		t.Errorf("locks view = %q", out)
+	}
+	out, _ = ex.Exec("print counter")
+	if !strings.Contains(out, "41") {
+		t.Errorf("print counter = %q", out)
+	}
+	out, quit := ex.Exec("quit")
+	if !quit || out != "" {
+		t.Errorf("quit => (%q, %v)", out, quit)
+	}
+	pinttest.Terminate(r.Kernel)
+	r.Kernel.WaitAll()
+}
+
+func stateSummary(k *kernel.Kernel) string {
+	var b strings.Builder
+	for _, p := range k.Processes() {
+		for _, tc := range p.Threads() {
+			st, _ := tc.State()
+			b.WriteString(st.String() + " ")
+		}
+	}
+	return b.String()
+}
+
+// TestConcurrentDumpsUnderFork is the quiesce-safety soak: a program that
+// forks repeatedly while sibling threads mutate the heap, with a barrage
+// of concurrent manual dumps. Nothing may deadlock or tear; every dump
+// must parse. Run under -race by scripts/verify.sh.
+func TestConcurrentDumpsUnderFork(t *testing.T) {
+	get, setup := installManager(t)
+	r := pinttest.Run(t, `
+data = []
+stop = [false]
+w1 = spawn do
+    i = 0
+    while i < 400 {
+        data.push(i)
+        i = i + 1
+    }
+end
+n = 0
+while n < 6 {
+    pid = fork do
+        x = len(data)
+    end
+    if pid != -1 {
+        waitpid(pid)
+    }
+    n = n + 1
+}
+w1.join()
+print("forks done", len(data))
+`, pinttest.Options{Setup: []func(*kernel.Process){setup}, NoWait: true, CheckEvery: 7})
+
+	done := make(chan struct{})
+	go func() {
+		r.Kernel.WaitAll()
+		close(done)
+	}()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var paths []string
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				p, err := get().DumpTree("manual", "soak", nil)
+				if err != nil {
+					t.Errorf("dump: %v", err)
+					return
+				}
+				mu.Lock()
+				paths = append(paths, p)
+				mu.Unlock()
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("program did not finish under concurrent dumps")
+	}
+	wg.Wait()
+	if !strings.Contains(r.Proc.Output(), "forks done 400") {
+		t.Fatalf("program output wrong:\n%s", r.Proc.Output())
+	}
+	if len(paths) == 0 {
+		t.Fatal("no dumps completed")
+	}
+	for _, p := range paths {
+		if _, err := core.ReadFile(p); err != nil {
+			t.Fatalf("core %s does not parse: %v", p, err)
+		}
+	}
+}

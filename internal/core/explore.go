@@ -1,0 +1,411 @@
+// The post-mortem explorer: a read-only debugger over a loaded core.
+// dioneac -core wraps Exec around a stdin loop; the command set mirrors
+// the live debugger's (backtrace / frame / print / threads) plus the
+// core-only views (waiters, trace, summary).
+
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dionea/internal/trace"
+)
+
+// Explorer navigates a Core: a current process, thread and frame, and
+// renderers for each view.
+type Explorer struct {
+	C *Core
+
+	pid   int64
+	tid   int64
+	frame int
+}
+
+// Open loads the core at path and positions the explorer on the
+// triggering process's first non-finished thread.
+func Open(path string) (*Explorer, error) {
+	c, err := ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	e := &Explorer{C: c}
+	if p := c.Proc(c.PID); p != nil {
+		e.selectProc(p)
+	} else if len(c.Procs) > 0 {
+		e.selectProc(c.Procs[0])
+	}
+	return e, nil
+}
+
+func (e *Explorer) selectProc(p *ProcSnap) {
+	e.pid = p.PID
+	e.tid = 0
+	e.frame = 0
+	for _, t := range p.Threads {
+		if t.State != "finished" {
+			e.tid = t.TID
+			break
+		}
+	}
+	if e.tid == 0 && len(p.Threads) > 0 {
+		e.tid = p.Threads[0].TID
+	}
+	e.frame = e.topFrame()
+}
+
+func (e *Explorer) proc() *ProcSnap { return e.C.Proc(e.pid) }
+
+func (e *Explorer) thread() *ThreadSnap {
+	if p := e.proc(); p != nil {
+		return p.Thread(e.tid)
+	}
+	return nil
+}
+
+// topFrame is the innermost frame index of the current thread.
+func (e *Explorer) topFrame() int {
+	if t := e.thread(); t != nil && len(t.Frames) > 0 {
+		return len(t.Frames) - 1
+	}
+	return 0
+}
+
+// Summary renders the core header and process tree.
+func (e *Explorer) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: trigger=%s", e.C.Trigger)
+	if e.C.PID != 0 {
+		fmt.Fprintf(&b, " pid=%d", e.C.PID)
+	}
+	if e.C.Seed != 0 {
+		fmt.Fprintf(&b, " chaos-seed=%d", e.C.Seed)
+	}
+	b.WriteString("\n")
+	if e.C.Reason != "" {
+		fmt.Fprintf(&b, "reason: %s\n", e.C.Reason)
+	}
+	b.WriteString(e.Processes())
+	return b.String()
+}
+
+// Processes renders one line per process.
+func (e *Explorer) Processes() string {
+	var b strings.Builder
+	for _, p := range e.C.Procs {
+		marker := " "
+		if p.PID == e.pid {
+			marker = "*"
+		}
+		status := "live"
+		if p.Exited {
+			status = fmt.Sprintf("exited code=%d", p.ExitCode)
+		} else if !p.Quiesced {
+			status = "live (not quiesced: states only)"
+		}
+		fmt.Fprintf(&b, "%s pid %d (parent %d): %s, %d threads\n",
+			marker, p.PID, p.PPID, status, len(p.Threads))
+	}
+	return b.String()
+}
+
+// Threads renders the current process's thread table.
+func (e *Explorer) Threads() string {
+	p := e.proc()
+	if p == nil {
+		return "no process selected\n"
+	}
+	var b strings.Builder
+	for _, t := range p.Threads {
+		marker := " "
+		if t.TID == e.tid {
+			marker = "*"
+		}
+		loc := ""
+		if n := len(t.Frames); n > 0 {
+			f := t.Frames[n-1]
+			loc = fmt.Sprintf(" at %s:%d in %s", f.File, f.Line, f.Func)
+		}
+		state := t.State
+		if t.Reason != "" {
+			state += " (" + t.Reason + ")"
+		}
+		fmt.Fprintf(&b, "%s thread %d (%s): %s%s\n", marker, t.TID, t.Name, state, loc)
+	}
+	return b.String()
+}
+
+// Backtrace renders the current thread's stack, innermost first.
+func (e *Explorer) Backtrace() string {
+	t := e.thread()
+	if t == nil {
+		return "no thread selected\n"
+	}
+	if len(t.Frames) == 0 {
+		return fmt.Sprintf("thread %d has no frames (state %s)\n", t.TID, t.State)
+	}
+	var b strings.Builder
+	for i := len(t.Frames) - 1; i >= 0; i-- {
+		f := t.Frames[i]
+		marker := " "
+		if i == e.frame {
+			marker = "*"
+		}
+		fmt.Fprintf(&b, "%s #%d %s at %s:%d\n", marker, i, f.Func, f.File, f.Line)
+	}
+	return b.String()
+}
+
+// Frame renders the selected frame with its locals.
+func (e *Explorer) Frame() string {
+	t := e.thread()
+	if t == nil || e.frame >= len(t.Frames) {
+		return "no frame selected\n"
+	}
+	f := t.Frames[e.frame]
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d %s at %s:%d\n", e.frame, f.Func, f.File, f.Line)
+	for _, v := range f.Locals {
+		fmt.Fprintf(&b, "  %s = %s\n", v.Name, v.Value)
+	}
+	if len(f.Locals) == 0 {
+		b.WriteString("  (no locals)\n")
+	}
+	return b.String()
+}
+
+// Globals renders the current process's globals.
+func (e *Explorer) Globals() string {
+	p := e.proc()
+	if p == nil {
+		return "no process selected\n"
+	}
+	if !p.Quiesced {
+		return "process was not quiesced: no heap in this core\n"
+	}
+	var b strings.Builder
+	for _, v := range p.Globals {
+		fmt.Fprintf(&b, "%s = %s\n", v.Name, v.Value)
+	}
+	if len(p.Globals) == 0 {
+		b.WriteString("(no globals)\n")
+	}
+	return b.String()
+}
+
+// Print resolves name in the selected frame's locals (innermost scoping
+// already flattened at dump time), then outer frames, then globals.
+func (e *Explorer) Print(name string) string {
+	t := e.thread()
+	if t != nil {
+		for i := e.frame; i >= 0; i-- {
+			if i >= len(t.Frames) {
+				continue
+			}
+			for _, v := range t.Frames[i].Locals {
+				if v.Name == name {
+					return fmt.Sprintf("%s = %s\n", name, v.Value)
+				}
+			}
+		}
+	}
+	if p := e.proc(); p != nil {
+		for _, v := range p.Globals {
+			if v.Name == name {
+				return fmt.Sprintf("%s = %s\n", name, v.Value)
+			}
+		}
+	}
+	return fmt.Sprintf("no variable %q in scope\n", name)
+}
+
+// Locks renders the current process's sync objects.
+func (e *Explorer) Locks() string {
+	p := e.proc()
+	if p == nil {
+		return "no process selected\n"
+	}
+	if len(p.Locks) == 0 {
+		return "(no sync objects)\n"
+	}
+	var b strings.Builder
+	for _, l := range p.Locks {
+		if l.Owner != 0 {
+			held := fmt.Sprintf("held by thread %d", l.Owner)
+			if t := p.Thread(l.Owner); t != nil {
+				held = fmt.Sprintf("held by thread %d (%s)", t.TID, t.Name)
+			}
+			fmt.Fprintf(&b, "%s %d: %s\n", l.Kind, l.ID, held)
+		} else {
+			fmt.Fprintf(&b, "%s %d: unheld\n", l.Kind, l.ID)
+		}
+	}
+	return b.String()
+}
+
+// Waiters renders the waiter graph and any wait-for cycle.
+func (e *Explorer) Waiters() string {
+	p := e.proc()
+	if p == nil {
+		return "no process selected\n"
+	}
+	var b strings.Builder
+	lines := p.WaiterLines()
+	for _, l := range lines {
+		b.WriteString(l + "\n")
+	}
+	if len(lines) == 0 {
+		b.WriteString("(no blocked threads)\n")
+	}
+	if cyc := p.FindCycle(); cyc != "" {
+		fmt.Fprintf(&b, "cycle: %s\n", cyc)
+	}
+	return b.String()
+}
+
+// TraceTail renders the current process's trace tail.
+func (e *Explorer) TraceTail() string {
+	p := e.proc()
+	if p == nil {
+		return "no process selected\n"
+	}
+	if len(p.Trace) == 0 {
+		return "(no trace events; run with -trace)\n"
+	}
+	var b strings.Builder
+	for _, ev := range p.Trace {
+		b.WriteString(trace.FormatEvent(ev, e.C.FileName) + "\n")
+	}
+	return b.String()
+}
+
+// Output renders the tail of the current process's captured output.
+func (e *Explorer) Output() string {
+	p := e.proc()
+	if p == nil {
+		return "no process selected\n"
+	}
+	if p.Output == "" {
+		return "(no output)\n"
+	}
+	out := p.Output
+	if !strings.HasSuffix(out, "\n") {
+		out += "\n"
+	}
+	return out
+}
+
+const exploreHelp = `post-mortem commands:
+  summary                core header and process tree
+  procs                  list processes
+  view PID [TID]         switch to a process (and optionally a thread)
+  threads                threads of the current process
+  thread TID             switch to a thread
+  backtrace | bt         stack of the current thread
+  frame N                select frame N (see backtrace indices)
+  print NAME | p NAME    value of NAME in the selected frame, else globals
+  globals                process globals
+  locks                  sync objects and owners
+  waiters                waiter graph and any wait-for cycle
+  trace                  trace-event tail of the current process
+  output                 output tail of the current process
+  quit | exit            leave
+`
+
+// Exec runs one explorer command line and returns its output and whether
+// the session should end.
+func (e *Explorer) Exec(line string) (string, bool) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", false
+	}
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "quit", "exit", "q":
+		return "", true
+	case "help", "h", "?":
+		return exploreHelp, false
+	case "summary":
+		return e.Summary(), false
+	case "procs", "processes", "ps":
+		return e.Processes(), false
+	case "view":
+		if len(args) < 1 {
+			return "usage: view PID [TID]\n", false
+		}
+		pid, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return "usage: view PID [TID]\n", false
+		}
+		p := e.C.Proc(pid)
+		if p == nil {
+			return fmt.Sprintf("no process %d in this core\n", pid), false
+		}
+		e.selectProc(p)
+		if len(args) > 1 {
+			return e.Exec("thread " + args[1])
+		}
+		return e.Threads(), false
+	case "threads":
+		return e.Threads(), false
+	case "thread", "t":
+		if len(args) != 1 {
+			return "usage: thread TID\n", false
+		}
+		tid, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return "usage: thread TID\n", false
+		}
+		p := e.proc()
+		if p == nil || p.Thread(tid) == nil {
+			return fmt.Sprintf("no thread %d in pid %d\n", tid, e.pid), false
+		}
+		e.tid = tid
+		e.frame = e.topFrame()
+		return e.Backtrace(), false
+	case "backtrace", "bt", "stack", "where":
+		return e.Backtrace(), false
+	case "frame", "f":
+		if len(args) != 1 {
+			return e.Frame(), false
+		}
+		n, err := strconv.Atoi(args[0])
+		t := e.thread()
+		if err != nil || t == nil || n < 0 || n >= len(t.Frames) {
+			return "no such frame (see backtrace)\n", false
+		}
+		e.frame = n
+		return e.Frame(), false
+	case "print", "p":
+		if len(args) != 1 {
+			return "usage: print NAME\n", false
+		}
+		return e.Print(args[0]), false
+	case "vars", "locals":
+		return e.Frame(), false
+	case "globals":
+		return e.Globals(), false
+	case "locks":
+		return e.Locks(), false
+	case "waiters":
+		return e.Waiters(), false
+	case "trace":
+		return e.TraceTail(), false
+	case "output":
+		return e.Output(), false
+	default:
+		return fmt.Sprintf("unknown command %q (try help)\n", cmd), false
+	}
+}
+
+// PIDs lists the core's process ids in order.
+func (c *Core) PIDs() []int64 {
+	out := make([]int64, 0, len(c.Procs))
+	for _, p := range c.Procs {
+		out = append(out, p.PID)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

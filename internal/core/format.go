@@ -1,0 +1,343 @@
+// The PINTCORE1 binary format. Like PINTTRC1 it is little-endian and
+// versioned; unlike a trace it is a straight sequential encoding of the
+// Core struct with no maps and no timestamps, so encoding is a pure
+// function of the snapshot: load → re-encode reproduces a core file
+// byte-for-byte (the golden-fixture test locks this).
+//
+// Layout:
+//
+//	"PINTCORE1" | u16 version | str trigger | str reason |
+//	i64 pid | i64 seed |
+//	u32 nfiles × str |
+//	u32 nprocs × process
+//
+// where a process is
+//
+//	i64 pid | i64 ppid | u8 flags (1=exited, 2=quiesced) | i64 exitcode |
+//	str output |
+//	u32 nglobals × var | u32 nthreads × thread | u32 nlocks × lock |
+//	u32 nfds × fd | u32 nevents × 40-byte trace event
+//
+// and var = str×3, lock = u64 id | str kind | i64 owner,
+// fd = i64 fd | str kind | u64 pipe | i64 readers | i64 writers | i64 buffered,
+// thread = i64 tid | str name | u8 main | str state | str reason |
+// u64 waitobj | u32 nframes × (str func | str file | i64 line | u32 nlocals × var).
+//
+// Strings are u32 length + bytes.
+
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"dionea/internal/trace"
+)
+
+var magic = []byte("PINTCORE1")
+
+type coreWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (cw *coreWriter) bytes(b []byte) {
+	if cw.err == nil {
+		_, cw.err = cw.w.Write(b)
+	}
+}
+
+func (cw *coreWriter) u8(v uint8) { cw.bytes([]byte{v}) }
+func (cw *coreWriter) u16(v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	cw.bytes(b[:])
+}
+func (cw *coreWriter) u32(v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	cw.bytes(b[:])
+}
+func (cw *coreWriter) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	cw.bytes(b[:])
+}
+func (cw *coreWriter) i64(v int64)  { cw.u64(uint64(v)) }
+func (cw *coreWriter) str(s string) { cw.u32(uint32(len(s))); cw.bytes([]byte(s)) }
+
+func (cw *coreWriter) vars(vs []VarSnap) {
+	cw.u32(uint32(len(vs)))
+	for _, v := range vs {
+		cw.str(v.Name)
+		cw.str(v.Type)
+		cw.str(v.Value)
+	}
+}
+
+// Write encodes c.
+func Write(w io.Writer, c *Core) error {
+	cw := &coreWriter{w: bufio.NewWriter(w)}
+	cw.bytes(magic)
+	cw.u16(Version)
+	cw.str(c.Trigger)
+	cw.str(c.Reason)
+	cw.i64(c.PID)
+	cw.i64(c.Seed)
+	cw.u32(uint32(len(c.Files)))
+	for _, f := range c.Files {
+		cw.str(f)
+	}
+	cw.u32(uint32(len(c.Procs)))
+	for _, p := range c.Procs {
+		cw.i64(p.PID)
+		cw.i64(p.PPID)
+		var flags uint8
+		if p.Exited {
+			flags |= 1
+		}
+		if p.Quiesced {
+			flags |= 2
+		}
+		cw.u8(flags)
+		cw.i64(p.ExitCode)
+		cw.str(p.Output)
+		cw.vars(p.Globals)
+		cw.u32(uint32(len(p.Threads)))
+		for _, t := range p.Threads {
+			cw.i64(t.TID)
+			cw.str(t.Name)
+			if t.Main {
+				cw.u8(1)
+			} else {
+				cw.u8(0)
+			}
+			cw.str(t.State)
+			cw.str(t.Reason)
+			cw.u64(t.WaitObj)
+			cw.u32(uint32(len(t.Frames)))
+			for _, f := range t.Frames {
+				cw.str(f.Func)
+				cw.str(f.File)
+				cw.i64(f.Line)
+				cw.vars(f.Locals)
+			}
+		}
+		cw.u32(uint32(len(p.Locks)))
+		for _, l := range p.Locks {
+			cw.u64(l.ID)
+			cw.str(l.Kind)
+			cw.i64(l.Owner)
+		}
+		cw.u32(uint32(len(p.FDs)))
+		for _, f := range p.FDs {
+			cw.i64(f.FD)
+			cw.str(f.Kind)
+			cw.u64(f.Pipe)
+			cw.i64(f.Readers)
+			cw.i64(f.Writers)
+			cw.i64(f.Buffered)
+		}
+		cw.u32(uint32(len(p.Trace)))
+		var eb [trace.EventSize]byte
+		for _, e := range p.Trace {
+			e.Encode(eb[:])
+			cw.bytes(eb[:])
+		}
+	}
+	if cw.err != nil {
+		return cw.err
+	}
+	return cw.w.Flush()
+}
+
+// WriteFile encodes c into path.
+func WriteFile(path string, c *Core) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// maxSliceLen guards decode allocations against corrupt counts.
+const maxSliceLen = 1 << 24
+
+type coreReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (cr *coreReader) bytes(n int) []byte {
+	if cr.err != nil {
+		return nil
+	}
+	if n < 0 || n > maxSliceLen {
+		cr.err = fmt.Errorf("core: implausible length %d", n)
+		return nil
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(cr.r, b); err != nil {
+		cr.err = fmt.Errorf("core: truncated: %w", err)
+		return nil
+	}
+	return b
+}
+
+func (cr *coreReader) u8() uint8 {
+	b := cr.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (cr *coreReader) u16() uint16 {
+	b := cr.bytes(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (cr *coreReader) u32() uint32 {
+	b := cr.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (cr *coreReader) u64() uint64 {
+	b := cr.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (cr *coreReader) i64() int64 { return int64(cr.u64()) }
+
+func (cr *coreReader) str() string { return string(cr.bytes(int(cr.u32()))) }
+
+func (cr *coreReader) count() int { return int(cr.u32()) }
+
+func (cr *coreReader) vars() []VarSnap {
+	n := cr.count()
+	if cr.err != nil || n == 0 {
+		return nil
+	}
+	if n > maxSliceLen {
+		cr.err = fmt.Errorf("core: implausible var count %d", n)
+		return nil
+	}
+	out := make([]VarSnap, n)
+	for i := range out {
+		out[i].Name = cr.str()
+		out[i].Type = cr.str()
+		out[i].Value = cr.str()
+	}
+	return out
+}
+
+// Read decodes a core.
+func Read(r io.Reader) (*Core, error) {
+	cr := &coreReader{r: bufio.NewReader(r)}
+	if got := cr.bytes(len(magic)); cr.err == nil && string(got) != string(magic) {
+		return nil, fmt.Errorf("core: bad magic %q (not a PINTCORE1 file)", got)
+	}
+	if v := cr.u16(); cr.err == nil && v != Version {
+		return nil, fmt.Errorf("core: unsupported version %d (want %d)", v, Version)
+	}
+	c := &Core{}
+	c.Trigger = cr.str()
+	c.Reason = cr.str()
+	c.PID = cr.i64()
+	c.Seed = cr.i64()
+	if n := cr.count(); cr.err == nil && n > 0 {
+		c.Files = make([]string, n)
+		for i := range c.Files {
+			c.Files[i] = cr.str()
+		}
+	}
+	nprocs := cr.count()
+	for i := 0; i < nprocs && cr.err == nil; i++ {
+		p := &ProcSnap{}
+		p.PID = cr.i64()
+		p.PPID = cr.i64()
+		flags := cr.u8()
+		p.Exited = flags&1 != 0
+		p.Quiesced = flags&2 != 0
+		p.ExitCode = cr.i64()
+		p.Output = cr.str()
+		p.Globals = cr.vars()
+		nthreads := cr.count()
+		for j := 0; j < nthreads && cr.err == nil; j++ {
+			t := &ThreadSnap{}
+			t.TID = cr.i64()
+			t.Name = cr.str()
+			t.Main = cr.u8() == 1
+			t.State = cr.str()
+			t.Reason = cr.str()
+			t.WaitObj = cr.u64()
+			nframes := cr.count()
+			for f := 0; f < nframes && cr.err == nil; f++ {
+				fr := FrameSnap{}
+				fr.Func = cr.str()
+				fr.File = cr.str()
+				fr.Line = cr.i64()
+				fr.Locals = cr.vars()
+				t.Frames = append(t.Frames, fr)
+			}
+			p.Threads = append(p.Threads, t)
+		}
+		nlocks := cr.count()
+		for j := 0; j < nlocks && cr.err == nil; j++ {
+			l := LockSnap{}
+			l.ID = cr.u64()
+			l.Kind = cr.str()
+			l.Owner = cr.i64()
+			p.Locks = append(p.Locks, l)
+		}
+		nfds := cr.count()
+		for j := 0; j < nfds && cr.err == nil; j++ {
+			f := FDSnap{}
+			f.FD = cr.i64()
+			f.Kind = cr.str()
+			f.Pipe = cr.u64()
+			f.Readers = cr.i64()
+			f.Writers = cr.i64()
+			f.Buffered = cr.i64()
+			p.FDs = append(p.FDs, f)
+		}
+		nevents := cr.count()
+		for j := 0; j < nevents && cr.err == nil; j++ {
+			b := cr.bytes(trace.EventSize)
+			if cr.err == nil {
+				p.Trace = append(p.Trace, trace.DecodeEvent(b))
+			}
+		}
+		c.Procs = append(c.Procs, p)
+	}
+	if cr.err != nil {
+		return nil, cr.err
+	}
+	return c, nil
+}
+
+// ReadFile decodes the core at path.
+func ReadFile(path string) (*Core, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dionea/internal/trace"
+)
+
+// sampleCore exercises every field of the format.
+func sampleCore() *Core {
+	return &Core{
+		Trigger: "deadlock",
+		Reason:  "thread 2 -> mutex 1 -> thread 3 -> mutex 2 -> thread 2",
+		PID:     1,
+		Seed:    42,
+		Files:   []string{"", "main.pint", "lib.pint"},
+		Procs: []*ProcSnap{
+			{
+				PID: 1, PPID: 0, Quiesced: true,
+				Output: "partial output\n",
+				Globals: []VarSnap{
+					{Name: "corpus", Type: "string", Value: `"the quick"`},
+					{Name: "total", Type: "int", Value: "7"},
+				},
+				Threads: []*ThreadSnap{
+					{
+						TID: 1, Name: "main", Main: true, State: "blocked", Reason: "join",
+						Frames: []FrameSnap{
+							{Func: "<main>", File: "main.pint", Line: 12},
+							{Func: "work", File: "main.pint", Line: 30,
+								Locals: []VarSnap{{Name: "i", Type: "int", Value: "3"}}},
+						},
+					},
+					{TID: 2, Name: "worker", State: "blocked", Reason: "lock", WaitObj: 1,
+						Frames: []FrameSnap{{Func: "work", File: "main.pint", Line: 31}}},
+				},
+				Locks: []LockSnap{
+					{ID: 1, Kind: "mutex", Owner: 3},
+					{ID: 4, Kind: "queue"},
+				},
+				FDs: []FDSnap{
+					{FD: 3, Kind: "pipe-read", Pipe: 9, Readers: 1, Writers: 2, Buffered: 5},
+				},
+				Trace: []trace.Event{
+					{Seq: 1, PID: 1, TID: 1, Op: trace.OpThreadSpawn, File: 1, Line: 10, Obj: 2},
+					{Seq: 2, PID: 1, TID: 2, Op: trace.OpMutexLock, File: 1, Line: 31, Obj: 1},
+				},
+			},
+			{
+				PID: 2, PPID: 1, Exited: true, ExitCode: 137, Quiesced: true,
+				Threads: []*ThreadSnap{{TID: 1, Name: "main", Main: true, State: "finished"}},
+			},
+		},
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	c := sampleCore()
+	var buf bytes.Buffer
+	if err := Write(&buf, c); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if !reflect.DeepEqual(got, c) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, c)
+	}
+	// Byte-identical re-encode: the property the golden fixture pins.
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, got); err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatalf("re-encode is not byte-identical (%d vs %d bytes)", buf.Len(), buf2.Len())
+	}
+}
+
+func TestFormatRejectsBadMagic(t *testing.T) {
+	_, err := Read(strings.NewReader("NOTACORE00000000"))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("err = %v, want bad-magic", err)
+	}
+}
+
+func TestFormatRejectsTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleCore()); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	b := buf.Bytes()
+	if _, err := Read(bytes.NewReader(b[:len(b)/2])); err == nil {
+		t.Fatal("truncated core decoded without error")
+	}
+}
+
+func TestFormatRejectsImplausibleCount(t *testing.T) {
+	// magic + version, then a trigger-string length far beyond the guard.
+	b := append([]byte("PINTCORE1"), 1, 0, 0xff, 0xff, 0xff, 0xff)
+	if _, err := Read(bytes.NewReader(b)); err == nil {
+		t.Fatal("implausible length decoded without error")
+	}
+}
+
+func TestWaiterLinesAndCycle(t *testing.T) {
+	p := &ProcSnap{
+		Threads: []*ThreadSnap{
+			{TID: 1, Name: "main", State: "waiting", Reason: "pipe-read", WaitObj: 9},
+			{TID: 2, Name: "t-a", State: "blocked", Reason: "lock", WaitObj: 11},
+			{TID: 3, Name: "t-b", State: "blocked", Reason: "lock", WaitObj: 10},
+			{TID: 4, Name: "idle", State: "finished"},
+		},
+		Locks: []LockSnap{
+			{ID: 10, Kind: "mutex", Owner: 2},
+			{ID: 11, Kind: "mutex", Owner: 3},
+		},
+	}
+	lines := strings.Join(p.WaiterLines(), "\n")
+	for _, want := range []string{
+		"thread 1 (main) waiting on pipe-read [obj 9]",
+		"thread 2 (t-a) blocked on lock [mutex 11 held by thread 3 (t-b)]",
+		"thread 3 (t-b) blocked on lock [mutex 10 held by thread 2 (t-a)]",
+	} {
+		if !strings.Contains(lines, want) {
+			t.Errorf("waiter lines missing %q in:\n%s", want, lines)
+		}
+	}
+	if strings.Contains(lines, "thread 4") {
+		t.Errorf("finished thread rendered in waiter graph:\n%s", lines)
+	}
+	cyc := p.FindCycle()
+	if cyc != "thread 2 -> mutex 11 -> thread 3 -> mutex 10 -> thread 2" {
+		t.Fatalf("cycle = %q", cyc)
+	}
+}
+
+func TestFindCycleNoCycle(t *testing.T) {
+	p := &ProcSnap{
+		Threads: []*ThreadSnap{
+			{TID: 1, State: "blocked", Reason: "lock", WaitObj: 10},
+		},
+		Locks: []LockSnap{{ID: 10, Kind: "mutex", Owner: 2}},
+	}
+	if cyc := p.FindCycle(); cyc != "" {
+		t.Fatalf("cycle = %q, want none", cyc)
+	}
+}

@@ -1,0 +1,140 @@
+// Golden-fixture test for the PINTCORE1 format (run with -update to
+// regenerate testdata/core/chaos-kill.pintcore from the deterministic
+// chaos scenario). The byte-level pin is load → re-encode identity on the
+// committed fixture: the encoder is a pure function of the decoded
+// snapshot, so any accidental format drift (field reorder, width change,
+// map iteration sneaking in) breaks the identity even though goroutine
+// scheduling makes fresh generation runs differ in incidental content.
+
+package core_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"dionea/internal/chaos"
+	"dionea/internal/core"
+	"dionea/internal/kernel"
+	"dionea/internal/pinttest"
+)
+
+var update = flag.Bool("update", false, "regenerate the golden core fixture")
+
+const goldenDir = "../../testdata/core"
+
+// goldenSeed is the first chaos seed whose child-kill point fires on its
+// first occurrence — the child of the scenario below dies mid-loop and
+// the kill dumps the fixture core.
+func goldenSeed(t *testing.T) int64 {
+	t.Helper()
+	for s := int64(1); s < 500; s++ {
+		if chaos.New(s).WouldFire(chaos.ChildKill, 1) {
+			return s
+		}
+	}
+	t.Fatal("no seed fires child-kill first occurrence")
+	return 0
+}
+
+func generateGolden(t *testing.T, path string) {
+	t.Helper()
+	seed := goldenSeed(t)
+	dir := t.TempDir()
+	var m *core.Manager
+	pinttest.Run(t, `
+ends = pipe_new()
+r = ends[0]
+w = ends[1]
+total = 0
+pid = fork do
+    i = 0
+    while i < 100000 {
+        i = i + 1
+    }
+    w.write(i)
+    w.close()
+end
+w.close()
+v = r.read()
+waitpid(pid)
+print("parent saw", v)
+`, pinttest.Options{
+		Setup: []func(*kernel.Process){
+			func(p *kernel.Process) {
+				p.K.SetChaos(chaos.New(seed))
+				m = core.Install(p.K, dir)
+			},
+		},
+	})
+	src := m.LastPath()
+	if src == "" {
+		t.Fatal("chaos scenario produced no core")
+	}
+	b, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("golden core regenerated from chaos seed %d: %s", seed, path)
+}
+
+func TestGoldenCoreFixture(t *testing.T) {
+	path := filepath.Join(goldenDir, "chaos-kill.pintcore")
+	if *update {
+		generateGolden(t, path)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture (regenerate with: go test ./internal/core -run TestGoldenCoreFixture -update): %v", err)
+	}
+	c, err := core.Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("fixture does not decode: %v", err)
+	}
+
+	// Byte identity: decode → re-encode reproduces the file exactly.
+	var buf bytes.Buffer
+	if err := core.Write(&buf, c); err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(raw, buf.Bytes()) {
+		t.Fatalf("re-encode differs from fixture: %d vs %d bytes", len(raw), buf.Len())
+	}
+
+	// Semantic pins, loose enough to survive regeneration.
+	if c.Trigger != "chaos-kill" {
+		t.Errorf("trigger = %q", c.Trigger)
+	}
+	if want := goldenSeed(t); c.Seed != want {
+		t.Errorf("seed = %d, want %d", c.Seed, want)
+	}
+	if c.PID < 2 {
+		t.Errorf("triggering pid = %d, want a forked child", c.PID)
+	}
+	child := c.Proc(c.PID)
+	if child == nil {
+		t.Fatal("no snapshot for the killed child")
+	}
+	if !child.Quiesced {
+		t.Error("child snapshot not quiesced")
+	}
+	if len(child.Threads) == 0 || len(child.Threads[0].Frames) == 0 {
+		t.Error("child carries no frames")
+	}
+	if c.Proc(1) == nil {
+		t.Error("parent process missing from the tree snapshot")
+	}
+	// The explorer can serve the fixture.
+	ex := &core.Explorer{C: c}
+	if out, _ := ex.Exec("procs"); out == "" {
+		t.Error("explorer renders nothing for procs")
+	}
+}

@@ -1,0 +1,73 @@
+// The Manager owns the dump directory and serializes dumps. Serialization
+// matters: two triggers firing together (a deadlock in one process while
+// chaos kills another) must not both try to quiesce the tree — the second
+// dumper would block acquiring a GIL the first is holding. One at a time,
+// plus the per-process acquire timeout in snapshot.go, means a dump can
+// stall for at most quiesceTimeout per process and can never deadlock.
+
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"dionea/internal/kernel"
+)
+
+// Manager implements kernel.CoreDumper: it snapshots the process tree and
+// writes numbered PINTCORE1 files into a directory.
+type Manager struct {
+	k   *kernel.Kernel
+	dir string
+
+	mu       sync.Mutex
+	seq      int
+	lastPath string
+}
+
+// Install creates a Manager writing into dir and registers it as the
+// kernel's core dumper.
+func Install(k *kernel.Kernel, dir string) *Manager {
+	m := &Manager{k: k, dir: dir}
+	k.SetCoreDumper(m)
+	return m
+}
+
+// Dir returns the dump directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// LastPath returns the most recently written core file ("" if none).
+func (m *Manager) LastPath() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastPath
+}
+
+// DumpTree implements kernel.CoreDumper. src, when non-nil, is the
+// triggering process whose GIL the calling thread already holds.
+func (m *Manager) DumpTree(trigger, reason string, src *kernel.Process) (string, error) {
+	m.mu.Lock()
+	c := Snapshot(m.k, trigger, reason, src)
+	m.seq++
+	path := filepath.Join(m.dir, fmt.Sprintf("core.%d.%s.pintcore", m.seq, trigger))
+	err := WriteFile(path, c)
+	if err == nil {
+		m.lastPath = path
+	}
+	m.mu.Unlock()
+	if err != nil {
+		return "", err
+	}
+	// Notify outside the lock: the hook may emit protocol events.
+	if src != nil {
+		src.NoteCoreDumped(path, trigger)
+	} else {
+		for _, p := range m.k.Processes() {
+			if !p.Exited() {
+				p.NoteCoreDumped(path, trigger)
+			}
+		}
+	}
+	return path, nil
+}

@@ -1,0 +1,207 @@
+// Taking the snapshot: the quiesce protocol and the heap capture.
+//
+// Quiesce invariant (the same one fork's phase A establishes): holding a
+// process's GIL means no pint thread of that process is executing
+// bytecode — every thread is parked at a yield point, blocked in a
+// kernel call, or waiting for the GIL itself — so frame stacks and the
+// value heap are stable and a consistent copy can be taken. The dump
+// path deliberately does NOT run the atfork prepare handlers: acquiring
+// the registered sync objects is impossible from a deadlock (the locks
+// are the problem) and unnecessary for reading — GIL possession alone
+// freezes the process.
+//
+// The capture itself is fork's machinery verbatim: one value.Memo per
+// process, DeepCopyEnv for the globals, SnapshotFrames for every thread.
+// The memo keeps aliasing intact (a list reachable from two frames is
+// one list in the core) and terminates on cycles. Rendering to strings
+// happens after the GIL is released, on the private copy, keeping the
+// stop-the-process window as short as a fork's.
+
+package core
+
+import (
+	"sort"
+	"time"
+
+	"dionea/internal/kernel"
+	"dionea/internal/value"
+	"dionea/internal/vm"
+)
+
+// quiesceTimeout bounds how long the dumper waits for one process's GIL.
+// A process that will not yield (teardown in flight, or a second dumper
+// racing this one) is snapshotted unquiesced — thread states only — so a
+// dump can never deadlock the dumper.
+const quiesceTimeout = 2 * time.Second
+
+// outputTail is how much of a process's output a core retains.
+const outputTail = 4096
+
+// traceTail is how many trace events per process a core retains.
+const traceTail = 64
+
+// Snapshot captures the kernel's entire process tree. src, when non-nil,
+// is the process whose GIL the calling thread already holds.
+func Snapshot(k *kernel.Kernel, trigger, reason string, src *kernel.Process) *Core {
+	c := &Core{Trigger: trigger, Reason: reason, Seed: k.Chaos().Seed()}
+	if src != nil {
+		c.PID = src.PID
+	}
+	if rec := k.Tracer(); rec != nil {
+		c.Files = rec.Files()
+	}
+	for _, p := range k.Processes() {
+		c.Procs = append(c.Procs, snapProcess(p, p == src))
+	}
+	return c
+}
+
+// snapProcess captures one process, quiescing it if needed and possible.
+func snapProcess(p *kernel.Process, gilHeld bool) *ProcSnap {
+	if p.Exited() {
+		// All thread goroutines are done (Exit joins them before setting
+		// the flag, which the Exited() load synchronizes with), so frames
+		// are stable without the GIL.
+		ps := snapStates(p)
+		ps.Quiesced = true
+		renderHeap(p, ps)
+		return ps
+	}
+	if !gilHeld {
+		if p.Exiting() {
+			// Teardown kills threads outside the GIL protocol; their
+			// frames are mutating. States only.
+			return snapStates(p)
+		}
+		intr := make(chan struct{})
+		timer := time.AfterFunc(quiesceTimeout, func() { close(intr) })
+		err := p.GIL().Acquire(-2, intr)
+		timer.Stop()
+		if err != nil {
+			return snapStates(p)
+		}
+		defer p.GIL().Release()
+	}
+	ps := snapStates(p)
+	ps.Quiesced = true
+	renderHeap(p, ps)
+	return ps
+}
+
+// snapStates records everything that is safe to read without the GIL:
+// thread states and wait objects (P.mu), lock owners, fd table, output
+// tail and trace tail. Used alone for unquiesced processes and by the
+// watchdog's live diagnosis.
+func snapStates(p *kernel.Process) *ProcSnap {
+	ps := &ProcSnap{
+		PID:    p.PID,
+		PPID:   p.PPID,
+		Exited: p.Exited(),
+	}
+	if ps.Exited {
+		ps.ExitCode = int64(p.ExitCode())
+	}
+	ps.Output = tail(p.Output(), outputTail)
+	for _, t := range p.Threads() {
+		st, reason := t.State()
+		ps.Threads = append(ps.Threads, &ThreadSnap{
+			TID:     t.TID,
+			Name:    t.Name,
+			Main:    t.Main,
+			State:   st.String(),
+			Reason:  reason,
+			WaitObj: t.BlockedOn(),
+		})
+	}
+	for _, so := range p.SyncObjects() {
+		li, ok := so.(kernel.LockInfo)
+		if !ok {
+			continue
+		}
+		ps.Locks = append(ps.Locks, LockSnap{ID: li.LockID(), Kind: li.LockKind(), Owner: li.LockOwner()})
+	}
+	sort.Slice(ps.Locks, func(i, j int) bool { return ps.Locks[i].ID < ps.Locks[j].ID })
+	for _, e := range p.FDs.Entries() {
+		kind := "pipe-read"
+		if e.Entry.Kind == kernel.FDPipeWrite {
+			kind = "pipe-write"
+		}
+		r, w := e.Entry.Pipe.Refs()
+		ps.FDs = append(ps.FDs, FDSnap{
+			FD:       e.FD,
+			Kind:     kind,
+			Pipe:     e.Entry.Pipe.ID,
+			Readers:  int64(r),
+			Writers:  int64(w),
+			Buffered: int64(e.Entry.Pipe.Buffered()),
+		})
+	}
+	ps.Trace = p.TraceTail(traceTail)
+	return ps
+}
+
+// renderHeap copies the process heap with fork's memo machinery (GIL must
+// be held, or the process exited) and renders globals and per-frame
+// locals into ps. The deep copy runs under the GIL; rendering could be
+// deferred, but Repr on the private copy is cheap enough that the
+// simpler structure wins.
+func renderHeap(p *kernel.Process, ps *ProcSnap) {
+	memo := value.Memo{}
+	globalsCopy := value.DeepCopyEnv(p.Globals, memo)
+	frames := make(map[int64][]*vm.Frame)
+	for _, t := range p.Threads() {
+		frames[t.TID] = t.VM.SnapshotFrames(memo)
+	}
+
+	ps.Globals = renderEnvFrame(globalsCopy)
+	for _, ts := range ps.Threads {
+		for _, f := range frames[ts.TID] {
+			fs := FrameSnap{
+				Func: f.Proto.Name,
+				File: f.Proto.File,
+				Line: int64(f.Line),
+			}
+			fs.Locals = renderBindings(f.Env.SnapshotUpTo(globalsCopy))
+			ts.Frames = append(ts.Frames, fs)
+		}
+	}
+}
+
+// renderEnvFrame renders the bindings of one environment frame (the
+// globals), skipping builtins.
+func renderEnvFrame(e *value.Env) []VarSnap {
+	var out []VarSnap
+	for _, name := range e.Names() {
+		v, _ := e.Get(name)
+		if v == nil || v.TypeName() == "builtin" {
+			continue
+		}
+		out = append(out, VarSnap{Name: name, Type: v.TypeName(), Value: value.Repr(v)})
+	}
+	return out
+}
+
+// renderBindings renders a flattened locals map, sorted by name.
+func renderBindings(m map[string]value.Value) []VarSnap {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []VarSnap
+	for _, n := range names {
+		v := m[n]
+		if v == nil || v.TypeName() == "builtin" {
+			continue
+		}
+		out = append(out, VarSnap{Name: n, Type: v.TypeName(), Value: value.Repr(v)})
+	}
+	return out
+}
+
+func tail(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[len(s)-n:]
+}

@@ -1,0 +1,130 @@
+// The hang watchdog. The synchronous deadlock detector (kernel.noteBlocked)
+// only convicts when every thread of one process is blocked on in-process
+// events; a thread parked on an external wait — a pipe read whose writer is
+// a deadlocked sibling process, a waitpid on a child that will never exit —
+// makes the process "not deadlocked" even though the tree as a whole will
+// never run again. The watchdog catches those: it watches the global GIL
+// hand-off counter, and when no thread anywhere has picked up a GIL for a
+// full interval it inspects the tree. If the stall is explicable by benign
+// waits (a timed sleep, a read from the user's stdin) it stands down;
+// otherwise it dumps a core with the waiter graph as the diagnosis.
+
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"dionea/internal/kernel"
+)
+
+// benignReason reports waits that legitimately stop all GIL traffic:
+// a timed sleep will end by itself, and a thread reading the user's
+// stdin is waiting on the human, not on the program.
+func benignReason(reason string) bool {
+	return reason == "sleep" || reason == "stdin"
+}
+
+// hangEligible reports whether a GIL-traffic stall should be treated as a
+// hang: at least one process is still live, no thread anywhere can run,
+// and no thread is in a benign external wait.
+func hangEligible(k *kernel.Kernel) bool {
+	live := false
+	for _, p := range k.Processes() {
+		if p.Exited() || p.Exiting() {
+			continue
+		}
+		live = true
+		for _, t := range p.Threads() {
+			st, reason := t.State()
+			switch st {
+			case kernel.StateBlockedLocal:
+			case kernel.StateBlockedExternal:
+				if benignReason(reason) {
+					return false
+				}
+			case kernel.StateFinished:
+			default:
+				// Running or suspended: somebody can still make progress
+				// (suspended threads are parked by the debugger, which will
+				// resume them). A thread mid-fork is Running, so this also
+				// keeps the watchdog away from a fork in flight.
+				return false
+			}
+		}
+	}
+	return live
+}
+
+// diagnoseHang renders the waiter graph of every stuck process into the
+// core's reason string.
+func diagnoseHang(k *kernel.Kernel, stall time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "no GIL hand-off for %v", stall.Round(time.Millisecond))
+	for _, p := range k.Processes() {
+		if p.Exited() || p.Exiting() {
+			continue
+		}
+		ps := snapStates(p)
+		if cyc := ps.FindCycle(); cyc != "" {
+			fmt.Fprintf(&b, "; pid %d cycle: %s", p.PID, cyc)
+			continue
+		}
+		for _, line := range ps.WaiterLines() {
+			fmt.Fprintf(&b, "; pid %d: %s", p.PID, line)
+		}
+	}
+	return b.String()
+}
+
+// StartWatchdog begins watching for hangs: if no GIL hand-off happens
+// anywhere in the kernel for interval and the stall is not benign, it
+// dumps a core (once per stall). The returned function stops the
+// watchdog and waits for its goroutine to exit.
+func (m *Manager) StartWatchdog(interval time.Duration) (stop func()) {
+	poll := interval / 4
+	if poll < 5*time.Millisecond {
+		poll = 5 * time.Millisecond
+	}
+	if poll > 250*time.Millisecond {
+		poll = 250 * time.Millisecond
+	}
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		last := m.k.GILSwitches()
+		lastChange := time.Now()
+		dumped := false
+		ticker := time.NewTicker(poll)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+			}
+			now := m.k.GILSwitches()
+			if now != last {
+				last = now
+				lastChange = time.Now()
+				dumped = false
+				continue
+			}
+			stall := time.Since(lastChange)
+			if stall < interval || dumped {
+				continue
+			}
+			if !hangEligible(m.k) {
+				continue
+			}
+			dumped = true
+			m.DumpTree("watchdog", diagnoseHang(m.k, stall), nil)
+		}
+	}()
+	return func() {
+		close(done)
+		<-stopped
+	}
+}

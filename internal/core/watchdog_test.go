@@ -1,0 +1,158 @@
+// Watchdog heuristics: benign stalls (timed sleep, stdin) must not dump;
+// a genuine hang the synchronous detector cannot see (local lock cycle
+// shielded by one externally-blocked thread) must.
+
+package core_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dionea/internal/core"
+	"dionea/internal/kernel"
+	"dionea/internal/pinttest"
+)
+
+// startWatched runs src without waiting and arms a watchdog with the given
+// interval; returns the result, the manager getter and a cleanup.
+func startWatched(t *testing.T, src string, interval time.Duration) (pinttest.Result, func() *core.Manager, func()) {
+	t.Helper()
+	get, setup := installManager(t)
+	var stop func()
+	r := pinttest.Run(t, src, pinttest.Options{
+		NoWait: true,
+		Setup: []func(*kernel.Process){
+			setup,
+			func(p *kernel.Process) { stop = get().StartWatchdog(interval) },
+		},
+	})
+	return r, get, func() {
+		stop()
+		pinttest.Terminate(r.Kernel)
+		r.Kernel.WaitAll()
+	}
+}
+
+func TestWatchdogIgnoresTimedSleep(t *testing.T) {
+	r, get, cleanup := startWatched(t, `
+print("sleeping")
+sleep(60)
+`, 100*time.Millisecond)
+	defer cleanup()
+	waitOutput(t, r, "sleeping")
+	time.Sleep(600 * time.Millisecond)
+	if path := get().LastPath(); path != "" {
+		t.Fatalf("watchdog dumped during a timed sleep: %s", path)
+	}
+}
+
+func TestWatchdogIgnoresStdinWait(t *testing.T) {
+	r, get, cleanup := startWatched(t, `
+print("reading")
+line = input()
+print("got", line)
+`, 100*time.Millisecond)
+	defer cleanup()
+	waitOutput(t, r, "reading")
+	time.Sleep(600 * time.Millisecond)
+	if path := get().LastPath(); path != "" {
+		t.Fatalf("watchdog dumped while blocked on stdin: %s", path)
+	}
+	// The program is still healthy: feeding the line completes it.
+	r.Proc.WriteStdin("hello")
+	deadline := time.Now().Add(5 * time.Second)
+	for !r.Proc.Exited() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !strings.Contains(r.Proc.Output(), "got hello") {
+		t.Fatalf("program did not resume after stdin: %q", r.Proc.Output())
+	}
+}
+
+// TestWatchdogCatchesShieldedDeadlock: two threads in an AB-BA lock cycle
+// while the main thread reads a pipe nobody will write. The synchronous
+// detector stays silent (an externally-blocked thread vetoes the verdict,
+// §6.4) — only the watchdog can convict, and its core names the cycle.
+func TestWatchdogCatchesShieldedDeadlock(t *testing.T) {
+	r, get, cleanup := startWatched(t, `
+ends = pipe_new()
+r = ends[0]
+w = ends[1]
+a = mutex_new()
+b = mutex_new()
+spawn do
+    a.lock()
+    sleep(0.05)
+    b.lock()
+end
+spawn do
+    b.lock()
+    sleep(0.05)
+    a.lock()
+end
+print("parked")
+v = r.read()
+`, 150*time.Millisecond)
+	defer cleanup()
+	waitOutput(t, r, "parked")
+
+	var path string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if path = get().LastPath(); path != "" {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if path == "" {
+		t.Fatal("watchdog never dumped the shielded deadlock")
+	}
+	c, err := core.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read core: %v", err)
+	}
+	if c.Trigger != "watchdog" {
+		t.Fatalf("trigger = %q", c.Trigger)
+	}
+	if !strings.Contains(c.Reason, "no GIL hand-off") {
+		t.Errorf("reason = %q", c.Reason)
+	}
+	if !strings.Contains(c.Reason, "cycle:") || !strings.Contains(c.Reason, "mutex") {
+		t.Errorf("diagnosis does not name the lock cycle: %q", c.Reason)
+	}
+	p := c.Proc(1)
+	if p == nil {
+		t.Fatal("no root proc in core")
+	}
+	if cyc := p.FindCycle(); !strings.Contains(cyc, "mutex") {
+		t.Errorf("core's own cycle = %q; waiters:\n%s", cyc, strings.Join(p.WaiterLines(), "\n"))
+	}
+	// Main is visibly parked on the pipe read.
+	mainOK := false
+	for _, th := range p.Threads {
+		if th.Main && th.State == "waiting" && th.Reason == "pipe-read" {
+			mainOK = true
+		}
+	}
+	if !mainOK {
+		t.Errorf("main thread not recorded waiting on pipe-read: %+v", p.Threads[0])
+	}
+	// One stall, one core: no repeat dumps while the hang persists.
+	time.Sleep(500 * time.Millisecond)
+	if again := get().LastPath(); again != path {
+		t.Errorf("watchdog re-dumped the same stall: %s then %s", path, again)
+	}
+}
+
+func waitOutput(t *testing.T, r pinttest.Result, want string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if strings.Contains(r.Proc.Output(), want) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("output never contained %q: %q", want, r.Proc.Output())
+}

@@ -301,6 +301,19 @@ func (s *Server) dispatch(req *protocol.Msg) (*protocol.Msg, func()) {
 		}
 		return &protocol.Msg{OK: true, Seq: rec.CurrentSeq(), Text: req.Text}, nil
 
+	case protocol.CmdCoreDump:
+		// The dispatch goroutine is a listener thread — it holds no GIL —
+		// so the dumper quiesces every process itself (src=nil).
+		d := s.K.CoreDumper()
+		if d == nil {
+			return fail("no core dumper installed (run the server with -coredir)"), nil
+		}
+		path, err := d.DumpTree("manual", "explicit dump command", nil)
+		if err != nil {
+			return fail("core dump: %v", err), nil
+		}
+		return &protocol.Msg{OK: true, Text: path}, nil
+
 	default:
 		return fail("unknown command %q", req.Cmd), nil
 	}

@@ -210,6 +210,9 @@ func (s *Server) installHooks(waitForClient bool) {
 	p.OnFatal = func(msg string) {
 		s.event(&protocol.Msg{Kind: "event", Cmd: protocol.EventFatal, PID: p.PID, Text: msg})
 	}
+	p.OnCoreDumped = func(path, trigger string) {
+		s.event(&protocol.Msg{Kind: "event", Cmd: protocol.EventCoreDumped, PID: p.PID, Text: path, Reason: trigger})
+	}
 	p.TapOutput(func(text string) {
 		s.event(&protocol.Msg{Kind: "event", Cmd: protocol.EventOutput, PID: p.PID, Text: text})
 	})

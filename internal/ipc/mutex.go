@@ -84,7 +84,7 @@ func (m *Mutex) Lock(t *kernel.TCtx) error {
 		defer m.mu.Unlock()
 		return m.owner == 0
 	}
-	err := t.Block(kernel.StateBlockedLocal, "lock", free, func(cancel <-chan struct{}) error {
+	err := t.BlockOn(kernel.StateBlockedLocal, "lock", m.ID, free, func(cancel <-chan struct{}) error {
 		for {
 			m.mu.Lock()
 			if m.owner == 0 {
@@ -146,6 +146,15 @@ func (m *Mutex) Locked() bool {
 	defer m.mu.Unlock()
 	return m.owner != 0
 }
+
+// LockID implements kernel.LockInfo.
+func (m *Mutex) LockID() uint64 { return m.ID }
+
+// LockKind implements kernel.LockInfo.
+func (m *Mutex) LockKind() string { return "mutex" }
+
+// LockOwner implements kernel.LockInfo.
+func (m *Mutex) LockOwner() int64 { return m.Owner() }
 
 // AtforkAcquire implements kernel.SyncObject (Dionea handler A).
 func (m *Mutex) AtforkAcquire(t *kernel.TCtx) error { return m.Lock(t) }

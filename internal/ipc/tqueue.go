@@ -100,7 +100,7 @@ func (q *TQueue) Pop(t *kernel.TCtx) (value.Value, error) {
 		return len(q.items) > 0 && (q.lockOwner == 0 || q.lockOwner == t.TID)
 	}
 	var out value.Value
-	err := t.Block(kernel.StateBlockedLocal, "pop", ready, func(cancel <-chan struct{}) error {
+	err := t.BlockOn(kernel.StateBlockedLocal, "pop", q.ID, ready, func(cancel <-chan struct{}) error {
 		for {
 			q.mu.Lock()
 			if len(q.items) > 0 && (q.lockOwner == 0 || q.lockOwner == t.TID) {
@@ -140,7 +140,7 @@ func (q *TQueue) waitUnlocked(t *kernel.TCtx) error {
 		defer q.mu.Unlock()
 		return q.lockOwner == 0 || q.lockOwner == t.TID
 	}
-	return t.Block(kernel.StateBlockedLocal, "queue-lock", free, func(cancel <-chan struct{}) error {
+	return t.BlockOn(kernel.StateBlockedLocal, "queue-lock", q.ID, free, func(cancel <-chan struct{}) error {
 		for {
 			q.mu.Lock()
 			if q.lockOwner == 0 || q.lockOwner == t.TID {
@@ -156,6 +156,19 @@ func (q *TQueue) waitUnlocked(t *kernel.TCtx) error {
 			}
 		}
 	})
+}
+
+// LockID implements kernel.LockInfo.
+func (q *TQueue) LockID() uint64 { return q.ID }
+
+// LockKind implements kernel.LockInfo.
+func (q *TQueue) LockKind() string { return "queue" }
+
+// LockOwner implements kernel.LockInfo (the atfork internal lock's owner).
+func (q *TQueue) LockOwner() int64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.lockOwner
 }
 
 // AtforkAcquire implements kernel.SyncObject: take ownership of the

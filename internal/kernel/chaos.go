@@ -87,5 +87,10 @@ func (p *Process) chaosTick(t *TCtx) error {
 		return nil
 	}
 	t.TraceEvent(trace.OpFault, uint64(chaos.ChildKill), int64(p.chaosKillN))
+	// The process is about to die at exactly this tick: dump a core while
+	// the killed thread's frames are intact so the post-mortem shows the
+	// precise line the injected SIGKILL landed on.
+	p.K.fireCoreDump("chaos-kill",
+		fmt.Sprintf("injected child-kill (occurrence %d) in pid %d", p.chaosKillN, p.PID), p)
 	return &ExitError{Code: 137}
 }

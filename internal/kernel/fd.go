@@ -7,6 +7,7 @@ package kernel
 
 import (
 	"io"
+	"sort"
 	"sync"
 
 	"dionea/internal/gil"
@@ -273,6 +274,24 @@ func (t *FDTable) FDs() []int64 {
 	for fd := range t.m {
 		out = append(out, fd)
 	}
+	return out
+}
+
+// FDState is one open descriptor with its number, for the core dumper.
+type FDState struct {
+	FD    int64
+	Entry *FDEntry
+}
+
+// Entries returns the open descriptors sorted by number.
+func (t *FDTable) Entries() []FDState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]FDState, 0, len(t.m))
+	for fd, e := range t.m {
+		out = append(out, FDState{FD: fd, Entry: e})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FD < out[j].FD })
 	return out
 }
 

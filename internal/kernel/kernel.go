@@ -48,7 +48,57 @@ type Kernel struct {
 	// chaos, when set, injects deterministic faults at the kernel's and
 	// the debug plane's fault points (see internal/chaos).
 	chaos atomic.Pointer[chaos.Injector]
+
+	// coreDumper, when set, writes crash-consistent core dumps on fatal
+	// events (see internal/core). Boxed because atomic.Pointer needs a
+	// concrete type.
+	coreDumper atomic.Pointer[coreDumperBox]
+
+	// gilSwitches counts GIL acquisitions across every process. The hang
+	// watchdog samples it: a kernel whose counter stops moving while
+	// threads are neither running nor benignly waiting is hung.
+	gilSwitches atomic.Uint64
 }
+
+// CoreDumper writes a crash-consistent core of the whole process tree.
+// src, when non-nil, is the process whose GIL the calling thread already
+// holds (the dumper must not re-acquire it); nil means the caller holds no
+// GIL (debugger command, watchdog).
+type CoreDumper interface {
+	DumpTree(trigger, reason string, src *Process) (string, error)
+}
+
+type coreDumperBox struct{ d CoreDumper }
+
+// SetCoreDumper installs (or, with nil, removes) the core-dump subsystem.
+func (k *Kernel) SetCoreDumper(d CoreDumper) {
+	if d == nil {
+		k.coreDumper.Store(nil)
+		return
+	}
+	k.coreDumper.Store(&coreDumperBox{d: d})
+}
+
+// CoreDumper returns the installed core dumper, or nil.
+func (k *Kernel) CoreDumper() CoreDumper {
+	if b := k.coreDumper.Load(); b != nil {
+		return b.d
+	}
+	return nil
+}
+
+// fireCoreDump writes a core for a fatal event if a dumper is installed.
+// Errors are swallowed: a failing dump must never make a dying process die
+// harder.
+func (k *Kernel) fireCoreDump(trigger, reason string, src *Process) {
+	if d := k.CoreDumper(); d != nil {
+		_, _ = d.DumpTree(trigger, reason, src)
+	}
+}
+
+// GILSwitches returns the total number of GIL acquisitions across all
+// processes since the kernel started.
+func (k *Kernel) GILSwitches() uint64 { return k.gilSwitches.Load() }
 
 // NextObjID allocates a kernel-scoped trace identity for a sync object,
 // pipe or queue.

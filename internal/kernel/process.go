@@ -76,6 +76,10 @@ type Process struct {
 	// OnFatal observes the fatal error message a dying process would
 	// print (Listing 6); the debug server forwards it to the client.
 	OnFatal func(msg string)
+	// OnCoreDumped observes a core dump that involved this process (set by
+	// the debug server, which forwards a core_dumped event so the client
+	// can announce where to look).
+	OnCoreDumped func(path, trigger string)
 
 	outMu  sync.Mutex
 	outBuf bytes.Buffer
@@ -203,6 +207,26 @@ func (p *Process) SyncObjects() []SyncObject {
 	out := make([]SyncObject, len(p.syncObjs))
 	copy(out, p.syncObjs)
 	return out
+}
+
+// LockInfo is implemented by sync objects (ipc.Mutex, ipc.TQueue) that can
+// report their identity and owner. The core dumper joins it against
+// TCtx.BlockedOn to build the lock/waiter graph.
+type LockInfo interface {
+	LockID() uint64
+	LockKind() string
+	LockOwner() int64 // owning TID, 0 when unheld
+}
+
+// NoteCoreDumped invokes the process's OnCoreDumped hook, if any. The core
+// manager calls it after a dump involving this process is on disk.
+func (p *Process) NoteCoreDumped(path, trigger string) {
+	p.mu.Lock()
+	hook := p.OnCoreDumped
+	p.mu.Unlock()
+	if hook != nil {
+		hook(path, trigger)
+	}
 }
 
 // OnExit registers an exit hook (Dionea's at_finalize analog: "free
@@ -443,7 +467,7 @@ func (s ThreadState) String() string {
 // DeadlockError instead of blocking — t is the thread that "closes the
 // cycle", matching CRuby raising in the thread that performs the final
 // blocking call.
-func (p *Process) noteBlocked(t *TCtx, st ThreadState, reason string, poll func() bool) *DeadlockError {
+func (p *Process) noteBlocked(t *TCtx, st ThreadState, reason string, obj uint64, poll func() bool) *DeadlockError {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if st == StateBlockedLocal && p.wouldDeadlockLocked(t) {
@@ -457,16 +481,18 @@ func (p *Process) noteBlocked(t *TCtx, st ThreadState, reason string, poll func(
 	}
 	t.state = st
 	t.blockReason = reason
+	t.waitObj = obj
 	t.poll = poll
 	return nil
 }
 
 // forceBlocked records the blocked state unconditionally (after a poll
 // veto of the deadlock pre-check).
-func (p *Process) forceBlocked(t *TCtx, st ThreadState, reason string, poll func() bool) {
+func (p *Process) forceBlocked(t *TCtx, st ThreadState, reason string, obj uint64, poll func() bool) {
 	p.mu.Lock()
 	t.state = st
 	t.blockReason = reason
+	t.waitObj = obj
 	t.poll = poll
 	p.mu.Unlock()
 }
@@ -475,6 +501,7 @@ func (p *Process) noteUnblocked(t *TCtx) {
 	p.mu.Lock()
 	t.state = StateRunning
 	t.blockReason = ""
+	t.waitObj = 0
 	t.poll = nil
 	p.mu.Unlock()
 }

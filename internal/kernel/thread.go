@@ -28,6 +28,10 @@ type TCtx struct {
 	state       ThreadState
 	blockReason string
 	poll        func() bool
+	// waitObj is the kernel object id (mutex, queue, pipe, semaphore) the
+	// thread is blocked on, 0 when none is identifiable. The core dumper's
+	// waiter graph joins it against lock owners to name deadlock cycles.
+	waitObj uint64
 
 	killed atomic.Bool
 
@@ -85,6 +89,14 @@ func (t *TCtx) State() (ThreadState, string) {
 	t.P.mu.Lock()
 	defer t.P.mu.Unlock()
 	return t.state, t.blockReason
+}
+
+// BlockedOn returns the id of the kernel object the thread is blocked on
+// (0 when none), for the core dumper's waiter graph.
+func (t *TCtx) BlockedOn() uint64 {
+	t.P.mu.Lock()
+	defer t.P.mu.Unlock()
+	return t.waitObj
 }
 
 // Done is closed when the thread's goroutine has finished.
@@ -183,6 +195,7 @@ func (t *TCtx) acquireGIL() error {
 		return ErrKilled
 	}
 	t.holdsGIL = true
+	t.P.K.gilSwitches.Add(1)
 	t.TraceEvent(trace.OpGILAcquire, 0, 0)
 	return nil
 }
@@ -212,11 +225,23 @@ func (t *TCtx) HoldsGIL() bool { return t.holdsGIL }
 // waking thread finished between the caller's fast path and the
 // accounting here (e.g. join on a thread that just exited).
 func (t *TCtx) Block(st ThreadState, reason string, poll func() bool, waitFn func(cancel <-chan struct{}) error) error {
-	if pre := t.P.noteBlocked(t, st, reason, poll); pre != nil {
+	return t.BlockOn(st, reason, 0, poll, waitFn)
+}
+
+// BlockOn is Block with the id of the kernel object being waited on (mutex,
+// queue, pipe, semaphore); the core dumper's waiter graph uses it to join
+// blocked threads against lock owners. obj 0 means "no identifiable
+// object".
+func (t *TCtx) BlockOn(st ThreadState, reason string, obj uint64, poll func() bool, waitFn func(cancel <-chan struct{}) error) error {
+	if pre := t.P.noteBlocked(t, st, reason, obj, poll); pre != nil {
 		if poll == nil || !poll() {
+			// Record the wait edge the convict never got to take: the core
+			// dumped by handleDeadlock must show this thread blocked on obj,
+			// or the waiter graph cannot close the cycle.
+			t.P.forceBlocked(t, st, reason, obj, poll)
 			return t.handleDeadlock(pre)
 		}
-		t.P.forceBlocked(t, st, reason, poll)
+		t.P.forceBlocked(t, st, reason, obj, poll)
 	}
 	for {
 		cancel := t.armCancel()
@@ -234,6 +259,10 @@ func (t *TCtx) Block(st ThreadState, reason string, poll func() bool, waitFn fun
 			if err := t.acquireGIL(); err != nil {
 				return err // killed while reacquiring
 			}
+			// Re-record the wait edge for the core (see the pre-check path);
+			// unblocking first keeps the GIL reacquisition out of the
+			// deadlock detector's sight.
+			t.P.forceBlocked(t, st, reason, obj, poll)
 			return t.handleDeadlock(d)
 		}
 		if t.killed.Load() {
@@ -253,10 +282,13 @@ func (t *TCtx) Block(st ThreadState, reason string, poll func() bool, waitFn fun
 	}
 }
 
-// handleDeadlock runs the debugger hook (which may park the thread for
-// inspection, Figure 7) and returns the fatal error. GIL is held.
+// handleDeadlock dumps a core (the convicted state is exactly what the
+// post-mortem user wants to see), runs the debugger hook (which may park
+// the thread for inspection, Figure 7) and returns the fatal error. GIL is
+// held.
 func (t *TCtx) handleDeadlock(d *DeadlockError) error {
 	t.TraceEvent(trace.OpDeadlock, 0, d.TID)
+	t.P.K.fireCoreDump("deadlock", d.Error(), t.P)
 	t.P.mu.Lock()
 	hook := t.P.OnDeadlock
 	t.P.mu.Unlock()
@@ -366,6 +398,17 @@ func (t *TCtx) startHook() func(*TCtx) {
 func (t *TCtx) finish(v value.Value, err error) {
 	t.result, t.err = v, err
 	t.traceExit(err)
+	// An uncaught runtime error in the main thread aborts the process:
+	// dump a core while the GIL is still held and the frame stack is
+	// intact (exec leaves frames in place on error return). Deadlocks and
+	// chaos kills dump at their own trigger points.
+	if t.Main && err != nil {
+		switch err.(type) {
+		case *ExitError, killedError, *DeadlockError:
+		default:
+			t.P.K.fireCoreDump("fatal", err.Error(), t.P)
+		}
+	}
 	t.releaseGIL()
 	// Wake joiners before the deadlock re-check so a thread blocked in
 	// join on *this* thread is never misdiagnosed.

@@ -63,6 +63,29 @@ func (k *Kernel) WriteTrace(path string) error {
 	return rec.WriteFile(path)
 }
 
+// TraceTail returns up to n of this process's most recent trace events:
+// the chunks already flushed into the recorder for this pid followed by
+// the ring's undrained tail. Empty when tracing is off. The ring is read
+// without consuming it, so a later flush or trace dump still sees every
+// event — a core dump must not perturb the trace.
+func (p *Process) TraceTail(n int) []trace.Event {
+	var evs []trace.Event
+	if rec := p.K.tracer.Load(); rec != nil {
+		for _, c := range rec.Chunks() {
+			if c.PID == uint32(p.PID) {
+				evs = append(evs, c.Events...)
+			}
+		}
+	}
+	if r := p.ring.Load(); r != nil {
+		evs = append(evs, r.Snapshot()...)
+	}
+	if n > 0 && len(evs) > n {
+		evs = append([]trace.Event(nil), evs[len(evs)-n:]...)
+	}
+	return evs
+}
+
 // ensureRing returns the process's event ring, creating it on first use.
 func (p *Process) ensureRing() *trace.Ring {
 	if r := p.ring.Load(); r != nil {

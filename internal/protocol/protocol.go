@@ -67,6 +67,10 @@ const (
 	CmdTraceStart = "trace_start"
 	CmdTraceStop  = "trace_stop"
 	CmdTraceDump  = "trace_dump"
+	// CmdCoreDump asks the server to snapshot the whole process tree into
+	// a PINTCORE1 file (the explicit `dump` debugger command); the reply's
+	// Text carries the core path.
+	CmdCoreDump = "core_dump"
 )
 
 // Events (server → client, on the source channel).
@@ -86,6 +90,10 @@ const (
 	// client as it connects so suspect lines are visible before any
 	// breakpoint is set.
 	EventStaticHint = "static_hint"
+	// EventCoreDumped announces that a core file was written for this
+	// process's tree. Text carries the core path, Reason the trigger
+	// (deadlock / fatal / chaos-kill / watchdog / manual).
+	EventCoreDumped = "core_dumped"
 )
 
 // Stop reasons carried by EventStopped.

@@ -75,3 +75,22 @@ func (r *Ring) Drain(out func(Event)) {
 func (r *Ring) Pending() int {
 	return int(r.head.Load() - r.tail.Load())
 }
+
+// Snapshot copies the published-but-undrained events in ticket order
+// without consuming them. The core dumper uses it to capture a process's
+// trace tail while leaving the recorder's view intact. It stops at the
+// first unpublished slot, like Drain.
+func (r *Ring) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	head := r.head.Load()
+	var out []Event
+	for t := r.tail.Load(); t < head; t++ {
+		slot := t & ringMask
+		if r.stamp[slot].Load() != t+1 {
+			break
+		}
+		out = append(out, r.buf[slot])
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+// The symbolizer: one canonical text rendering for a trace event, shared
+// by `pinttrace -dump` and the core explorer's trace-tail view so a line
+// from a post-mortem core greps identically against a full trace dump.
+
+package trace
+
+import (
+	"fmt"
+
+	"dionea/internal/chaos"
+)
+
+// FormatEvent renders e in the pinttrace dump style. fileName resolves
+// file ids to source names (nil, or an empty result, omits the location).
+func FormatEvent(e Event, fileName func(uint16) string) string {
+	loc := ""
+	if fileName != nil {
+		if name := fileName(e.File); name != "" {
+			loc = fmt.Sprintf(" %s:%d", name, e.Line)
+		}
+	}
+	obj := ""
+	if e.Obj != 0 {
+		obj = fmt.Sprintf(" obj=%d", e.Obj)
+	}
+	aux := ""
+	if e.Aux != 0 {
+		aux = fmt.Sprintf(" aux=%d", e.Aux)
+	}
+	if e.Op == OpFault {
+		// Fault events carry the chaos point in obj and the occurrence
+		// number in aux; render them symbolically.
+		obj = fmt.Sprintf(" point=%s", chaos.Point(e.Obj))
+		aux = fmt.Sprintf(" n=%d", e.Aux)
+	}
+	return fmt.Sprintf("%8d pid=%d tid=%d %-13s%s%s%s", e.Seq, e.PID, e.TID, e.Op, obj, aux, loc)
+}

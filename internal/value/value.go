@@ -395,6 +395,26 @@ func (e *Env) Names() []string {
 	return out
 }
 
+// SnapshotUpTo flattens the bindings of the chain below stop, exclusive
+// (inner shadows outer). The core dumper uses it with stop = the global
+// environment to capture a frame's locals without duplicating every
+// global into every frame record. stop == nil behaves like Snapshot.
+func (e *Env) SnapshotUpTo(stop *Env) map[string]Value {
+	out := make(map[string]Value)
+	var walk func(env *Env)
+	walk = func(env *Env) {
+		if env == nil || env == stop {
+			return
+		}
+		walk(env.parent)
+		for k, v := range env.vars {
+			out[k] = v
+		}
+	}
+	walk(e)
+	return out
+}
+
 // Snapshot flattens the visible bindings (inner shadows outer) for the
 // debugger's variables view.
 func (e *Env) Snapshot() map[string]Value {

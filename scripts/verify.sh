@@ -32,6 +32,12 @@ go test -race -count=1 -run 'TestRecordReplay' ./internal/trace
 echo "== chaos soak: 20 seeds under -race =="
 CHAOS_SOAK_SEEDS=20 go test -race -count=1 -run 'TestChaosSoak' ./e2e
 
+echo "== golden core fixture round-trips byte-identically =="
+go test -count=1 -run 'TestGoldenCoreFixture' ./internal/core
+
+echo "== post-mortem determinism and watchdog heuristics under -race =="
+go test -race -count=1 -run 'TestPostMortem|TestWatchdog' ./internal/core ./e2e
+
 echo "== tracing overhead vs committed BENCH_fig9.json =="
 go run ./cmd/benchfig -against BENCH_fig9.json -reps 3
 
