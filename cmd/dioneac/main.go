@@ -141,6 +141,9 @@ func (u *ui) printEvent(e client.Event) {
 		fmt.Printf("[pid %d] fatal: %s\n", m.PID, m.Text)
 	case protocol.EventStaticHint:
 		fmt.Printf("[pid %d] static hint: %s:%d: [%s] %s\n", m.PID, m.File, m.Line, m.Rule, m.Text)
+		if len(m.Chain) > 0 {
+			fmt.Printf("[pid %d]   via %s\n", m.PID, strings.Join(m.Chain, " -> "))
+		}
 	}
 }
 

@@ -6,7 +6,13 @@
 //
 // Usage:
 //
-//	pintvet [-json] [-rules id,id,...] program.pint [more.pint ...]
+//	pintvet [-json] [-rules id,id,...] [-callgraph] program.pint [more.pint ...]
+//
+// With -json each finding is an object {file, line, rule, message} plus,
+// when the hazard crosses function boundaries, a "callChain" array of
+// {file, line, func} frames from the fork/spawn site down to the call
+// that exhibits it. With -callgraph the resolved interprocedural call
+// graph is printed instead of findings.
 //
 // Exit status: 0 when every file is clean, 1 when any finding is
 // reported, 2 on usage or compile errors.
@@ -27,6 +33,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text")
 	rules := flag.String("rules", "", "comma-separated rule IDs to run (default: all)")
 	list := flag.Bool("list", false, "list the registered rules and exit")
+	callgraph := flag.Bool("callgraph", false, "print the resolved call graph instead of findings")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: pintvet [flags] program.pint [more.pint ...]\n")
 		flag.PrintDefaults()
@@ -66,6 +73,18 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pintvet: %v\n", err)
 			os.Exit(2)
 		}
+		if *callgraph {
+			listing, err := analysis.CallGraphListingSource(string(src), filepath.Base(file), opts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pintvet: %v\n", err)
+				os.Exit(2)
+			}
+			if flag.NArg() > 1 {
+				fmt.Printf("# %s\n", file)
+			}
+			fmt.Print(listing)
+			continue
+		}
 		// Diagnostics carry the file's base name — the same name the
 		// compiler stamps on bytecode and the debugger keys sources by.
 		diags, err := analysis.AnalyzeSource(string(src), filepath.Base(file), opts)
@@ -74,6 +93,9 @@ func main() {
 			os.Exit(2)
 		}
 		all = append(all, diags...)
+	}
+	if *callgraph {
+		return
 	}
 
 	if *jsonOut {

@@ -58,6 +58,52 @@ func TestPintvetJSON(t *testing.T) {
 	}
 }
 
+// TestPintvetJSONCallChain: a cross-call hazard's JSON finding carries
+// the callChain array, frame by frame, from the fork to the hazard.
+func TestPintvetJSONCallChain(t *testing.T) {
+	bin := binaries(t)
+	out, err := exec.Command(filepath.Join(bin, "pintvet"), "-json", repoPath(t, "testdata/vet/forklock_cross_bad.pint")).Output()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit 1, got %v", err)
+	}
+	var findings []struct {
+		File  string `json:"file"`
+		Line  int    `json:"line"`
+		Rule  string `json:"rule"`
+		Chain []struct {
+			File string `json:"file"`
+			Line int    `json:"line"`
+			Func string `json:"func"`
+		} `json:"callChain"`
+	}
+	if err := json.Unmarshal(out, &findings); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(findings) != 1 || findings[0].Rule != "fork-while-lock-held" || findings[0].Line != 16 {
+		t.Fatalf("findings = %+v", findings)
+	}
+	chain := findings[0].Chain
+	if len(chain) != 2 || chain[0].Func != "do_fork" || chain[1].Func != "fork" || chain[1].Line != 4 {
+		t.Fatalf("callChain = %+v, want do_fork then the fork at line 4", chain)
+	}
+}
+
+// TestPintvetCallGraphListing: -callgraph prints the resolved program
+// call graph instead of findings and exits 0 even on a buggy program.
+func TestPintvetCallGraphListing(t *testing.T) {
+	bin := binaries(t)
+	out, err := exec.Command(filepath.Join(bin, "pintvet"), "-callgraph", repoPath(t, "testdata/vet/forklock_cross_bad.pint")).Output()
+	if err != nil {
+		t.Fatalf("-callgraph must exit 0, got %v\n%s", err, out)
+	}
+	for _, want := range []string{"helper", "do_fork", "fork:"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("call-graph listing missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestPintvetCompileErrorExitTwo(t *testing.T) {
 	bin := binaries(t)
 	dir := t.TempDir()

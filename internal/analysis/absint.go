@@ -40,10 +40,19 @@ const (
 )
 
 // absVal is one abstract value.
+//
+// For the IPC object kinds (kQueue, kMPQueue, kMutex, kSem, kPipePair,
+// kPipeRead, kPipeWrite) ival carries the object's creation-site
+// identity: a program-unique id derived from the (proto, instruction)
+// of the constructor call. Two objects from different constructor sites
+// are therefore distinct values and join to unknown; an object passed
+// across a call boundary keeps its identity, which is what lets the
+// lock graph and the double-close check follow one lock or pipe end
+// through helper functions.
 type absVal struct {
 	k     kind
 	name  string              // builtin or method name
-	ival  int64               // kInt constant
+	ival  int64               // kInt constant, or creation-site id
 	proto *bytecode.FuncProto // kClosure
 	recv  *absVal             // kBound receiver
 
@@ -223,19 +232,34 @@ func (cs *CallSite) BlockProto() *bytecode.FuncProto {
 	return nil
 }
 
-// nameUse records one OpLoadName for the undefined-variable rule.
+// nameUse records one OpLoadName for the undefined-variable rule and
+// the stale-state-after-fork read detection.
 type nameUse struct {
 	Name    string
 	Line    int
 	MustDef bool // the name was definitely assigned on every path here
 }
 
+// counterMut records one counter-style self-mutation: a StoreName whose
+// stored value was computed from a load of the same name in the same
+// statement (`n = n + 1`, `n += len(x)`, ...). The stale-state rule
+// cares about these because a counter mutated by a thread that will not
+// survive a fork is permanently frozen in the child (the box64 in_used
+// pattern).
+type counterMut struct {
+	Name  string
+	Line  int
+	Index int // instruction index of the store
+}
+
 // protoInfo carries the per-function analysis results.
 type protoInfo struct {
-	p      *program
-	proto  *bytecode.FuncProto
-	parent *protoInfo
-	cfg    *CFG
+	p        *program
+	proto    *bytecode.FuncProto
+	parent   *protoInfo
+	children []*protoInfo // directly nested closures, in constant-pool order
+	cfg      *CFG
+	index    int // position in program.infos; keys creation-site ids
 
 	// outer maps free names to their abstract value in enclosing scopes
 	// (built from the parents' nameKinds before this proto is analyzed).
@@ -244,11 +268,36 @@ type protoInfo struct {
 	stores map[string]bool
 	// nameKinds joins every value stored to each name in this proto.
 	nameKinds map[string]absVal
+	// paramSeed holds the interprocedural engine's join of the argument
+	// values observed at every resolved call site targeting this proto.
+	// Unlisted params stay unknown. Seeds only descend the lattice
+	// (specific -> unknown), so re-running to the seeded fixpoint
+	// terminates.
+	paramSeed map[string]absVal
 
-	reach         []bool      // instruction-level reachability at fixpoint
-	calls         []*CallSite // resolved call sites, in code order
-	uses          []nameUse   // OpLoadName records, in code order
-	stackConflict bool        // abstraction degraded; stack rules stand down
+	reach         []bool       // instruction-level reachability at fixpoint
+	calls         []*CallSite  // resolved call sites, in code order
+	uses          []nameUse    // OpLoadName records, in code order
+	counterMuts   []counterMut // self-mutations (n = n + ...), in code order
+	stackConflict bool         // abstraction degraded; stack rules stand down
+
+	sum *summary // interprocedural summary; set by buildSummaries
+}
+
+// siteID returns the program-unique creation-site identity for the
+// instruction at idx in this proto. Stable across re-runs of the
+// dataflow (it depends only on static position), which the lock graph
+// relies on.
+func (pi *protoInfo) siteID(idx int) int64 {
+	return int64(pi.index)*1_000_000 + int64(idx) + 1
+}
+
+// resetFacts clears everything the dataflow pass computes so the proto
+// can be re-run under new param seeds.
+func (pi *protoInfo) resetFacts() {
+	pi.calls, pi.uses, pi.counterMuts = nil, nil, nil
+	pi.nameKinds = map[string]absVal{}
+	pi.stackConflict = false
 }
 
 // file returns the source file of the proto.
@@ -272,7 +321,11 @@ func (pi *protoInfo) run() {
 
 	entry := &state{ok: true, env: map[string]absVal{}, must: map[string]bool{}}
 	for _, p := range pi.proto.Params {
-		entry.env[p] = unknownVal()
+		v := unknownVal()
+		if s, ok := pi.paramSeed[p]; ok {
+			v = s
+		}
+		entry.env[p] = v
 		entry.must[p] = true
 	}
 
@@ -461,6 +514,9 @@ func (pi *protoInfo) step(in bytecode.Instr, st *state, record bool, idx int) bo
 			} else {
 				pi.nameKinds[name] = v
 			}
+			if in.Op == bytecode.OpStoreName && pi.isCounterMut(idx, name) {
+				pi.counterMuts = append(pi.counterMuts, counterMut{Name: name, Line: in.Line, Index: idx})
+			}
 		}
 
 	case bytecode.OpBinary:
@@ -486,11 +542,13 @@ func (pi *protoInfo) step(in bytecode.Instr, st *state, record bool, idx int) bo
 		x := st.pop()
 		out := unknownVal()
 		if x.k == kPipePair && idx.k == kInt {
+			// Pipe ends inherit identity from the pair's creation site:
+			// 2*pair for the read end, 2*pair+1 for the write end.
 			switch idx.ival {
 			case 0:
-				out = absVal{k: kPipeRead, src: x.src, outer: x.outer}
+				out = absVal{k: kPipeRead, ival: 2 * x.ival, src: x.src, outer: x.outer}
 			case 1:
-				out = absVal{k: kPipeWrite, src: x.src, outer: x.outer}
+				out = absVal{k: kPipeWrite, ival: 2*x.ival + 1, src: x.src, outer: x.outer}
 			}
 		}
 		st.push(out)
@@ -538,19 +596,19 @@ func (pi *protoInfo) step(in bytecode.Instr, st *state, record bool, idx int) bo
 			case "exit":
 				return false
 			case "queue_new":
-				st.push(absVal{k: kQueue})
+				st.push(absVal{k: kQueue, ival: pi.siteID(idx)})
 				return true
 			case "mp_queue":
-				st.push(absVal{k: kMPQueue})
+				st.push(absVal{k: kMPQueue, ival: pi.siteID(idx)})
 				return true
 			case "mutex_new":
-				st.push(absVal{k: kMutex})
+				st.push(absVal{k: kMutex, ival: pi.siteID(idx)})
 				return true
 			case "semaphore_new":
-				st.push(absVal{k: kSem})
+				st.push(absVal{k: kSem, ival: pi.siteID(idx)})
 				return true
 			case "pipe_new":
-				st.push(absVal{k: kPipePair})
+				st.push(absVal{k: kPipePair, ival: pi.siteID(idx)})
 				return true
 			}
 		}
@@ -561,6 +619,30 @@ func (pi *protoInfo) step(in bytecode.Instr, st *state, record bool, idx int) bo
 		pi.stackConflict = true
 	}
 	return true
+}
+
+// isCounterMut reports whether the OpStoreName at storeIdx is a
+// counter-style self-mutation: within the same statement (back to the
+// nearest OpLine marker) the stored name was loaded and an arithmetic
+// OpBinary ran — the compiled shape of `n = n + 1` and `n += x`.
+func (pi *protoInfo) isCounterMut(storeIdx int, name string) bool {
+	code := pi.proto.Code
+	loaded, binary := false, false
+	for i := storeIdx - 1; i >= 0; i-- {
+		in := code[i]
+		if in.Op == bytecode.OpLine {
+			break
+		}
+		switch in.Op {
+		case bytecode.OpLoadName:
+			if pi.proto.Names[in.Arg] == name {
+				loaded = true
+			}
+		case bytecode.OpBinary:
+			binary = true
+		}
+	}
+	return loaded && binary
 }
 
 // resolve looks a name up through the abstraction's scope chain: local

@@ -15,6 +15,7 @@ package analysis
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"dionea/internal/bytecode"
 	"dionea/internal/compiler"
@@ -22,16 +23,49 @@ import (
 	"dionea/internal/parallelgem"
 )
 
+// Frame is one hop of a finding's call chain: the call, fork, spawn or
+// synchronize site crossed on the way from the outermost context to the
+// convicted line. Func names what the hop enters ("fork", "spawn",
+// "synchronize", or the callee's function name); it is empty for the
+// convicted line itself.
+type Frame struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Func string `json:"func,omitempty"`
+}
+
+func (f Frame) String() string {
+	if f.Func != "" {
+		return fmt.Sprintf("%s@%s:%d", f.Func, f.File, f.Line)
+	}
+	return fmt.Sprintf("%s:%d", f.File, f.Line)
+}
+
 // Diagnostic is one finding, renderable as "file:line: [rule] message".
+//
+// CallChain is present when the hazard crosses a call boundary: the
+// frames run from the outermost context (e.g. the fork() that creates
+// the child) through every intermediate call to the convicted line
+// itself. Findings whose whole story sits in one function carry no
+// chain, matching the v1 output.
 type Diagnostic struct {
-	File    string `json:"file"`
-	Line    int    `json:"line"`
-	Rule    string `json:"rule"`
-	Message string `json:"message"`
+	File      string  `json:"file"`
+	Line      int     `json:"line"`
+	Rule      string  `json:"rule"`
+	Message   string  `json:"message"`
+	CallChain []Frame `json:"callChain,omitempty"`
 }
 
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d: [%s] %s", d.File, d.Line, d.Rule, d.Message)
+	s := fmt.Sprintf("%s:%d: [%s] %s", d.File, d.Line, d.Rule, d.Message)
+	if len(d.CallChain) > 0 {
+		parts := make([]string, len(d.CallChain))
+		for i, f := range d.CallChain {
+			parts[i] = f.String()
+		}
+		s += " [call chain: " + strings.Join(parts, " -> ") + "]"
+	}
+	return s
 }
 
 // Options configures an analysis run.
@@ -118,7 +152,31 @@ func AnalyzeSource(src, file string, opts Options) ([]Diagnostic, error) {
 	return Analyze(proto, opts), nil
 }
 
+// CallGraphListing renders the interprocedural call graph the analyzer
+// built for the program — one line per function with its resolved edges
+// and any indirect candidate sets — for pintvet -callgraph.
+func CallGraphListing(root *bytecode.FuncProto, opts Options) string {
+	p := buildProgram(root, opts)
+	return p.cg.Listing(p)
+}
+
+// CallGraphListingSource compiles src and renders its call graph.
+func CallGraphListingSource(src, file string, opts Options) (string, error) {
+	proto, err := compiler.CompileSource(src, file)
+	if err != nil {
+		return "", err
+	}
+	return CallGraphListing(proto, opts), nil
+}
+
 func sortDiags(ds []Diagnostic) []Diagnostic {
+	chainStr := func(d Diagnostic) string {
+		parts := make([]string, len(d.CallChain))
+		for i, f := range d.CallChain {
+			parts[i] = f.String()
+		}
+		return strings.Join(parts, ">")
+	}
 	sort.Slice(ds, func(i, j int) bool {
 		a, b := ds[i], ds[j]
 		if a.File != b.File {
@@ -130,14 +188,28 @@ func sortDiags(ds []Diagnostic) []Diagnostic {
 		if a.Rule != b.Rule {
 			return a.Rule < b.Rule
 		}
-		return a.Message < b.Message
+		if a.Message != b.Message {
+			return a.Message < b.Message
+		}
+		// Same finding reached along several paths: longest chain first,
+		// so the dedupe below keeps the one with the most context.
+		if len(a.CallChain) != len(b.CallChain) {
+			return len(a.CallChain) > len(b.CallChain)
+		}
+		return chainStr(a) < chainStr(b)
 	})
-	// Dedupe identical findings from overlapping reachability walks.
+	// Dedupe findings that differ only in call chain (overlapping
+	// reachability walks report the same hazard from several entries);
+	// the longest chain survives.
 	out := ds[:0]
 	for i, d := range ds {
-		if i == 0 || d != ds[i-1] {
-			out = append(out, d)
+		if i > 0 {
+			prev := ds[i-1]
+			if d.File == prev.File && d.Line == prev.Line && d.Rule == prev.Rule && d.Message == prev.Message {
+				continue
+			}
 		}
+		out = append(out, d)
 	}
 	return out
 }
@@ -149,11 +221,18 @@ type program struct {
 	storedAnywhere map[string]bool
 	infos          []*protoInfo // tree order: parents before children
 	byProto        map[*bytecode.FuncProto]*protoInfo
+
+	cg *callGraph // program-wide call graph; built after the param fixpoint
+	lf *lockFlow  // interprocedural may-held-locks results
 }
 
-// buildProgram walks the proto tree, pre-scans stores, then runs the
-// dataflow pass over every function, parents first so that nested
-// closures see the classifications of their free variables.
+// buildProgram walks the proto tree, pre-scans stores, runs the dataflow
+// pass over every function (parents first, so nested closures see the
+// classifications of their free variables), and then makes the result
+// whole-program: argument classifications are propagated into callee
+// parameters to a fixpoint, the call graph is built over the converged
+// call sites, and per-function summaries plus the interprocedural lock
+// dataflow are computed for the rules.
 func buildProgram(root *bytecode.FuncProto, opts Options) *program {
 	globals := opts.Globals
 	if globals == nil {
@@ -175,13 +254,17 @@ func buildProgram(root *bytecode.FuncProto, opts Options) *program {
 			return
 		}
 		pi := &protoInfo{
-			p: p, proto: proto, parent: parent,
+			p: p, proto: proto, parent: parent, index: len(p.infos),
 			outer:     map[string]absVal{},
 			stores:    map[string]bool{},
 			nameKinds: map[string]absVal{},
+			paramSeed: map[string]absVal{},
 		}
 		p.byProto[proto] = pi
 		p.infos = append(p.infos, pi)
+		if parent != nil {
+			parent.children = append(parent.children, pi)
+		}
 		for _, in := range proto.Code {
 			if in.Op == bytecode.OpStoreName || in.Op == bytecode.OpDefineName {
 				name := proto.Names[in.Arg]
@@ -189,91 +272,56 @@ func buildProgram(root *bytecode.FuncProto, opts Options) *program {
 				p.storedAnywhere[name] = true
 			}
 		}
-		for _, c := range proto.Consts {
-			if sub, ok := c.(*bytecode.FuncProto); ok {
-				walk(sub, pi)
-			}
+		for _, sub := range proto.SubProtos() {
+			walk(sub, pi)
 		}
 	}
 	walk(root, nil)
 
 	for _, pi := range p.infos {
-		// Free names resolve through the lexical chain: nearest enclosing
-		// binding wins, so merge outermost-first.
-		if pi.parent != nil {
-			for name, v := range pi.parent.outer {
-				pi.outer[name] = v
-			}
-			for name, v := range pi.parent.nameKinds {
-				pi.outer[name] = v
-			}
-			for _, param := range pi.parent.proto.Params {
-				if _, ok := pi.outer[param]; !ok {
-					pi.outer[param] = unknownVal()
-				}
-			}
-		}
+		p.seedOuter(pi)
 		pi.run()
 	}
+	p.propagateParams()
+	p.cg = buildCallGraph(p)
+	buildSummaries(p)
+	p.lf = runLockFlow(p)
 	return p
 }
 
-// reachableFrom computes the set of protos reachable from entry through
-// direct calls: named/closure calls and inline synchronize blocks, plus
-// (optionally) nested fork-child bodies. Thread bodies spawned along the
-// way run concurrently, not in this control flow, so they are excluded.
-func (p *program) reachableFrom(entry *protoInfo, intoForks bool) map[*protoInfo]bool {
-	seen := map[*protoInfo]bool{}
-	var visit func(pi *protoInfo)
-	visit = func(pi *protoInfo) {
-		if pi == nil || seen[pi] {
-			return
-		}
-		seen[pi] = true
-		for _, cs := range pi.calls {
-			if cs.Callee.k == kClosure {
-				visit(p.byProto[cs.Callee.proto])
-			}
-			if cs.Method() == "synchronize" {
-				if b := cs.BlockProto(); b != nil {
-					visit(p.byProto[b])
-				}
-			}
-			if intoForks && cs.IsBuiltin("fork") {
-				if b := cs.BlockProto(); b != nil {
-					visit(p.byProto[b])
-				}
+// seedOuter (re)builds pi's view of its free names from the enclosing
+// scopes. Free names resolve through the lexical chain: nearest
+// enclosing binding wins, so merge outermost-first.
+func (p *program) seedOuter(pi *protoInfo) {
+	pi.outer = map[string]absVal{}
+	if pi.parent == nil {
+		return
+	}
+	for name, v := range pi.parent.outer {
+		pi.outer[name] = v
+	}
+	for name, v := range pi.parent.nameKinds {
+		pi.outer[name] = v
+	}
+	for _, param := range pi.parent.proto.Params {
+		if _, ok := pi.outer[param]; !ok {
+			if s, seeded := pi.parent.paramSeed[param]; seeded {
+				pi.outer[param] = s
+			} else {
+				pi.outer[param] = unknownVal()
 			}
 		}
 	}
-	visit(entry)
-	return seen
 }
 
-// forkEntries returns the child bodies of every fork call site.
-func (p *program) forkEntries() []*protoInfo {
-	return p.blockEntries("fork")
-}
-
-// spawnEntries returns the thread bodies of every spawn call site.
-func (p *program) spawnEntries() []*protoInfo {
-	return p.blockEntries("spawn")
-}
-
-func (p *program) blockEntries(builtin string) []*protoInfo {
-	var out []*protoInfo
-	seen := map[*protoInfo]bool{}
-	for _, pi := range p.infos {
-		for _, cs := range pi.calls {
-			if cs.IsBuiltin(builtin) {
-				if b := cs.BlockProto(); b != nil {
-					if e := p.byProto[b]; e != nil && !seen[e] {
-						seen[e] = true
-						out = append(out, e)
-					}
-				}
-			}
-		}
+// rerunSubtree re-analyzes pi under its current param seeds, then
+// rebuilds and re-runs every nested closure, whose free-variable view
+// may have changed with it.
+func (p *program) rerunSubtree(pi *protoInfo) {
+	pi.resetFacts()
+	pi.run()
+	for _, c := range pi.children {
+		p.seedOuter(c)
+		p.rerunSubtree(c)
 	}
-	return out
 }

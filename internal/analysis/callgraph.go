@@ -1,0 +1,276 @@
+// The program-wide call graph and the interprocedural parameter
+// propagation that makes the per-function dataflow whole-program.
+//
+// Resolution is two-tier. Direct edges — calls whose callee the
+// abstract interpreter pinned to one compiled closure, plus the
+// structural fork/spawn/synchronize block entries — carry all hazard
+// propagation. Indirect calls (a callee the abstraction lost: a
+// function fished out of a list, the result of resolve(name), ...) are
+// over-approximated by candidate matching — first by function name,
+// then by arity — but those candidate edges are for reporting and
+// reachability *listings* only; the rules never convict through them.
+// That asymmetry is deliberate: treating every arity-match as a real
+// call would drown the suite in false positives (the soundness caveat
+// is documented in DESIGN.md).
+
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// edgeKind classifies how control enters the callee.
+type edgeKind int
+
+const (
+	edgeCall  edgeKind = iota // plain call of a compiled closure
+	edgeSync                  // mutex.synchronize do-block body
+	edgeFork                  // fork() child body — new process
+	edgeSpawn                 // spawn() thread body — new thread
+)
+
+func (k edgeKind) String() string {
+	switch k {
+	case edgeSync:
+		return "sync"
+	case edgeFork:
+		return "fork"
+	case edgeSpawn:
+		return "spawn"
+	default:
+		return "call"
+	}
+}
+
+// callEdge is one resolved (or candidate) transfer in the call graph.
+type callEdge struct {
+	kind     edgeKind
+	caller   *protoInfo
+	site     *CallSite
+	callee   *protoInfo
+	indirect bool // candidate by name/arity, not a proven target
+}
+
+// siteClass is the resolution verdict for one call site. Every OpCall
+// in the program gets exactly one — the property test in
+// callgraph_test.go holds the analyzer to that.
+type siteClass int
+
+const (
+	siteDirect   siteClass = iota // resolved to one compiled proto
+	siteExternal                  // builtin or runtime method; no user code entered
+	siteIndirect                  // callee unknown; candidate edges only
+)
+
+func (c siteClass) String() string {
+	switch c {
+	case siteDirect:
+		return "direct"
+	case siteExternal:
+		return "external"
+	default:
+		return "indirect"
+	}
+}
+
+// callGraph is the whole-program graph over converged call sites.
+type callGraph struct {
+	edges []*callEdge
+	out   map[*protoInfo][]*callEdge
+	class map[*CallSite]siteClass
+	// siteOwner maps each call site back to the proto containing it, for
+	// tests and listings.
+	siteOwner map[*CallSite]*protoInfo
+}
+
+// directTarget resolves a call site to the single compiled proto it
+// provably enters, together with the argument values that become the
+// callee's parameters (nil args means "enters with no caller-supplied
+// parameter values", e.g. a fork child body).
+func (p *program) directTarget(cs *CallSite) (*protoInfo, []absVal, edgeKind, bool) {
+	switch {
+	case cs.Callee.k == kClosure:
+		return p.byProto[cs.Callee.proto], cs.Args, edgeCall, true
+	case cs.IsBuiltin("fork"):
+		// fork passes nothing to the child body (fork(fn) / fork do..end).
+		if b := cs.BlockProto(); b != nil {
+			return p.byProto[b], nil, edgeFork, true
+		}
+	case cs.IsBuiltin("spawn"):
+		if cs.Block != nil {
+			// spawn(a, b) do |x, y| — block params bind the spawn args.
+			return p.byProto[cs.Block], cs.Args, edgeSpawn, true
+		}
+		if len(cs.Args) >= 1 && cs.Args[0].k == kClosure {
+			return p.byProto[cs.Args[0].proto], cs.Args[1:], edgeSpawn, true
+		}
+	case cs.Method() == "synchronize":
+		if b := cs.BlockProto(); b != nil {
+			return p.byProto[b], nil, edgeSync, true
+		}
+	}
+	return nil, nil, edgeCall, false
+}
+
+// propagateParams runs the context-insensitive summary seeding to a
+// fixpoint: every resolved call site's argument classifications are
+// joined into the callee's paramSeed, and any proto whose effective
+// seeds changed is re-analyzed (with its nested closures, whose
+// free-variable views depend on it). Seeds only descend the lattice
+// (unset -> specific -> unknown), so each parameter changes at most
+// twice and the loop terminates long before the defensive bound.
+func (p *program) propagateParams() {
+	const maxIters = 64
+	for iter := 0; iter < maxIters; iter++ {
+		dirty := map[*protoInfo]bool{}
+		for _, pi := range p.infos {
+			for _, cs := range pi.calls {
+				target, args, kind, ok := p.directTarget(cs)
+				if !ok || target == nil {
+					continue
+				}
+				if kind == edgeFork {
+					continue // fork children receive nothing
+				}
+				for i, param := range target.proto.Params {
+					v := unknownVal()
+					if i < len(args) {
+						v = args[i]
+						v.src, v.outer = "", false
+					}
+					// Seed only object kinds (IPC identities, closures,
+					// builtins). Constant seeds would let a single call site
+					// prune callee branches, changing the v1 behavior of the
+					// reachability-based rules for the whole program.
+					switch v.k {
+					case kInt, kTrue, kFalse, kNil:
+						v = unknownVal()
+					}
+					old, had := target.paramSeed[param]
+					nw := v
+					if had {
+						nw = joinVal(old, v)
+					}
+					target.paramSeed[param] = nw
+					eff := old
+					if !had {
+						eff = unknownVal()
+					}
+					if !sameVal(eff, nw) {
+						dirty[target] = true
+					}
+				}
+			}
+		}
+		if len(dirty) == 0 {
+			return
+		}
+		// Re-run dirty protos in tree order so parents refresh before the
+		// children that read their facts.
+		for _, pi := range p.infos {
+			if dirty[pi] {
+				p.rerunSubtree(pi)
+			}
+		}
+	}
+}
+
+// buildCallGraph resolves every call site of every proto over the
+// converged dataflow facts.
+func buildCallGraph(p *program) *callGraph {
+	cg := &callGraph{
+		out:       map[*protoInfo][]*callEdge{},
+		class:     map[*CallSite]siteClass{},
+		siteOwner: map[*CallSite]*protoInfo{},
+	}
+	// Candidate index for indirect resolution: named functions only —
+	// blocks and lambdas are reachable solely through values the
+	// abstraction tracks, so they are never indirect-call candidates.
+	named := map[string][]*protoInfo{}
+	var namedAll []*protoInfo
+	for _, pi := range p.infos {
+		n := pi.proto.Name
+		if n == "" || strings.HasPrefix(n, "<") {
+			continue
+		}
+		named[n] = append(named[n], pi)
+		namedAll = append(namedAll, pi)
+	}
+
+	addEdge := func(e *callEdge) {
+		cg.edges = append(cg.edges, e)
+		cg.out[e.caller] = append(cg.out[e.caller], e)
+	}
+
+	for _, pi := range p.infos {
+		for _, cs := range pi.calls {
+			cg.siteOwner[cs] = pi
+			if target, _, kind, ok := p.directTarget(cs); ok && target != nil {
+				cg.class[cs] = siteDirect
+				addEdge(&callEdge{kind: kind, caller: pi, site: cs, callee: target})
+				continue
+			}
+			if cs.Callee.k == kBuiltin || cs.Callee.k == kBound {
+				// Runtime surface: queue.push, m.lock, print(...). A
+				// fork/spawn whose body the abstraction lost falls through
+				// to indirect below.
+				if !cs.IsBuiltin("fork") && !cs.IsBuiltin("spawn") {
+					cg.class[cs] = siteExternal
+					continue
+				}
+			}
+			// Indirect: over-approximate. Name match first (a call through
+			// a variable that shadows or aliases a named function), then
+			// arity match over every named function.
+			cg.class[cs] = siteIndirect
+			cands := named[cs.Callee.src]
+			if len(cands) == 0 {
+				for _, c := range namedAll {
+					if len(c.proto.Params) == len(cs.Args) {
+						cands = append(cands, c)
+					}
+				}
+			}
+			for _, c := range cands {
+				addEdge(&callEdge{kind: edgeCall, caller: pi, site: cs, callee: c, indirect: true})
+			}
+		}
+	}
+	return cg
+}
+
+// directOut returns pi's outgoing non-indirect edges.
+func (cg *callGraph) directOut(pi *protoInfo) []*callEdge {
+	var out []*callEdge
+	for _, e := range cg.out[pi] {
+		if !e.indirect {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Listing renders the graph for the -callgraph flag and tests: one line
+// per proto, "name@file:line -> kind:callee, ...", indirect candidates
+// marked with '?'.
+func (cg *callGraph) Listing(p *program) string {
+	label := func(pi *protoInfo) string {
+		return fmt.Sprintf("%s@%s:%d", pi.proto.Name, pi.proto.File, pi.proto.DefLine)
+	}
+	var lines []string
+	for _, pi := range p.infos {
+		var parts []string
+		for _, e := range cg.out[pi] {
+			mark := ""
+			if e.indirect {
+				mark = "?"
+			}
+			parts = append(parts, fmt.Sprintf("%s%s:%s", mark, e.kind, label(e.callee)))
+		}
+		sort.Strings(parts)
+		lines = append(lines, fmt.Sprintf("%s -> %s", label(pi), strings.Join(parts, ", ")))
+	}
+	return strings.Join(lines, "\n") + "\n"
+}

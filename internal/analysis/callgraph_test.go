@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"dionea/internal/compiler"
+)
+
+func buildFor(t *testing.T, src, file string) *program {
+	t.Helper()
+	proto, err := compiler.CompileSource(src, file)
+	if err != nil {
+		t.Fatalf("compile %s: %v", file, err)
+	}
+	return buildProgram(proto, Options{Globals: RuntimeGlobals()})
+}
+
+// Every CALL site in every function must be classified: resolved to one
+// proto, known-external (builtin/runtime method), or explicitly marked
+// indirect. A site the call graph silently forgot would be a hole the
+// interprocedural rules silently fall through.
+func TestEveryCallSiteClassified(t *testing.T) {
+	src := `func add(a, b) {
+    return a + b
+}
+
+func apply(f, x) {
+    return f(x, x)
+}
+
+m = mutex_new()
+m.lock()
+puts(add(1, 2))
+puts(apply(add, 3))
+g = add
+if len("x") > 0 {
+    g = apply
+}
+puts(g(4, 5))
+m.unlock()
+pid = fork do
+    puts("child")
+end
+waitpid(pid)
+t = spawn(1) do |i| puts(i) end
+t.join()
+`
+	p := buildFor(t, src, "classify.pint")
+	total := 0
+	for _, pi := range p.infos {
+		for _, cs := range pi.calls {
+			total++
+			if _, ok := p.cg.class[cs]; !ok {
+				t.Errorf("%s: call site at line %d (index %d) has no class",
+					pi.proto.Name, cs.Line, cs.Index)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no call sites found; fixture or collector is broken")
+	}
+	// The fixture exercises all three classes.
+	seen := map[siteClass]bool{}
+	for _, c := range p.cg.class {
+		seen[c] = true
+	}
+	for _, want := range []siteClass{siteDirect, siteExternal, siteIndirect} {
+		if !seen[want] {
+			t.Errorf("no call site classified %v; fixture must cover every class", want)
+		}
+	}
+}
+
+// Indirect sites must still be *accounted for*: candidate edges exist
+// (by name, falling back to arity) but are flagged indirect so hazard
+// propagation never trusts them.
+func TestIndirectCandidatesFlagged(t *testing.T) {
+	src := `func job(x) {
+    return x
+}
+
+func task(x) {
+    return x + 1
+}
+
+g = job
+if len("x") > 0 {
+    g = task
+}
+puts(g(1))
+`
+	p := buildFor(t, src, "indirect.pint")
+	foundIndirectEdge := false
+	for _, e := range p.cg.edges {
+		if e.indirect {
+			foundIndirectEdge = true
+			if p.cg.class[e.site] != siteIndirect {
+				t.Errorf("indirect edge at line %d whose site is not classified indirect", e.site.Line)
+			}
+		}
+	}
+	if !foundIndirectEdge {
+		t.Fatal("no indirect candidate edges recorded for an aliased call")
+	}
+}
+
+// Recursion and mutual recursion must terminate in every fixpoint
+// (param seeding, summaries, lock flow) and produce a listing that
+// names the cycle edges rather than hanging or dropping them.
+func TestCallGraphRecursionTerminates(t *testing.T) {
+	src := `func fact(n) {
+    if n <= 1 {
+        return 1
+    }
+    return n * fact(n - 1)
+}
+
+func ping(n) {
+    if n == 0 {
+        return 0
+    }
+    return pong(n - 1)
+}
+
+func pong(n) {
+    if n == 0 {
+        return 1
+    }
+    return ping(n - 1)
+}
+
+puts(fact(5))
+puts(ping(8))
+`
+	p := buildFor(t, src, "recur.pint")
+	listing := p.cg.Listing(p)
+	for _, want := range []string{"fact", "ping", "pong"} {
+		if !strings.Contains(listing, want) {
+			t.Errorf("listing lost function %q:\n%s", want, listing)
+		}
+	}
+	// Recursive programs must not convict anything.
+	for _, r := range Rules() {
+		if ds := r.run(p); len(ds) != 0 {
+			t.Errorf("rule %s convicted a recursive but correct program: %v", r.ID, ds)
+		}
+	}
+}
+
+// A fork reachable only through mutual recursion still surfaces in the
+// caller's summary — the fixpoint sees through the cycle.
+func TestForkReachableThroughMutualRecursion(t *testing.T) {
+	src := `func even_step(n) {
+    if n == 0 {
+        pid = fork do
+            puts("base case forks")
+        end
+        waitpid(pid)
+        return 0
+    }
+    return odd_step(n - 1)
+}
+
+func odd_step(n) {
+    return even_step(n - 1)
+}
+
+m = mutex_new()
+m.lock()
+even_step(4)
+m.unlock()
+`
+	p := buildFor(t, src, "recfork.pint")
+	diags := sortDiags(runForkWhileLockHeld(p))
+	if len(diags) != 1 {
+		t.Fatalf("want one fork-while-lock-held through the recursion, got %v", diags)
+	}
+	if diags[0].Line != 18 || len(diags[0].CallChain) == 0 {
+		t.Fatalf("conviction at line %d with chain %v; want the call at line 18 with a chain",
+			diags[0].Line, diags[0].CallChain)
+	}
+}

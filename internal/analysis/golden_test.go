@@ -34,10 +34,36 @@ var golden = map[string][]string{
 		`queuefork_bad.pint:9: [interthread-queue-across-fork] inter-thread queue "q" is used in code a fork()ed child runs; queue_new() queues are per-process, and the threads feeding this one exist only in the parent (the Listing 5 deadlock) — use mp_queue() across processes`,
 	},
 	"vet/queuefork_ok.pint": nil,
+	// v2: the fork sits in worker(), entered from the spawn block — the
+	// finding now carries the call chain from the spawn to the fork.
 	"vet/pipeleak_bad.pint": {
-		`pipeleak_bad.pint:7: [pipe-end-leak] fork() in a worker thread that also creates pipes: concurrently forked siblings inherit pipe write ends they never close, so a child waiting for EOF hangs (the parallel gem 0.5.9 deadlock, §6.4) — fork sequentially from the main thread`,
+		`pipeleak_bad.pint:7: [pipe-end-leak] fork() in a worker thread that also creates pipes: concurrently forked siblings inherit pipe write ends they never close, so a child waiting for EOF hangs (the parallel gem 0.5.9 deadlock, §6.4) — fork sequentially from the main thread [call chain: spawn@pipeleak_bad.pint:22 -> worker@pipeleak_bad.pint:22]`,
 	},
 	"vet/pipeleak_ok.pint": nil,
+	// v2 cross-call variants: each paper rule convicting through the
+	// call graph, with the full chain from the fork/spawn to the hazard.
+	"vet/forklock_cross_bad.pint": {
+		`forklock_cross_bad.pint:16: [fork-while-lock-held] call to helper() may fork while lock "m" may be held: the child inherits a lock whose owner thread does not exist in it (§5.3) [call chain: do_fork@forklock_cross_bad.pint:11 -> fork@forklock_cross_bad.pint:4]`,
+	},
+	"vet/queuefork_cross_bad.pint": {
+		`queuefork_cross_bad.pint:6: [interthread-queue-across-fork] inter-thread queue "c" is used in code a fork()ed child runs; queue_new() queues are per-process, and the threads feeding this one exist only in the parent (the Listing 5 deadlock) — use mp_queue() across processes [call chain: fork@queuefork_cross_bad.pint:14 -> drain@queuefork_cross_bad.pint:15]`,
+	},
+	"vet/pipeleak_cross_bad.pint": {
+		`pipeleak_cross_bad.pint:4: [pipe-end-leak] fork() in a worker thread that also creates pipes: concurrently forked siblings inherit pipe write ends they never close, so a child waiting for EOF hangs (the parallel gem 0.5.9 deadlock, §6.4) — fork sequentially from the main thread [call chain: spawn@pipeleak_cross_bad.pint:27 -> worker@pipeleak_cross_bad.pint:27 -> fork_child@pipeleak_cross_bad.pint:16]`,
+	},
+	"vet/lockorder_bad.pint": {
+		`lockorder_bad.pint:8: [lock-order-cycle] locks "a", "b" are acquired in inconsistent order ("a" -> "b" at lockorder_bad.pint:8, "b" -> "a" at lockorder_bad.pint:15): threads interleaving these paths deadlock — impose a single acquisition order`,
+	},
+	"vet/lockorder_ok.pint": nil,
+	"vet/stalecounter_bad.pint": {
+		`stalecounter_bad.pint:15: [stale-state-after-fork] "n" is read in a fork()ed child but updated by a spawned thread (stalecounter_bad.pint:9): that thread does not exist in the child, so the value is frozen at whatever it was at fork time (the box64 stale-counter pattern) — reset it in a fork handler`,
+	},
+	"vet/stalecounter_ok.pint": nil,
+	"vet/doubleclose_bad.pint": {
+		`doubleclose_bad.pint:8: [pipe-double-close] pipe write end "w" is closed again: every path to this statement has already closed it — on a real kernel the second close() hits a recycled descriptor`,
+	},
+	"vet/doubleclose_ok.pint": nil,
+	"vet/recursion_ok.pint":   nil,
 	"vet/undefined_bad.pint": {
 		`undefined_bad.pint:6: [undefined-variable] "bonus" may be used before assignment: no definition on some path to this use`,
 		`undefined_bad.pint:7: [undefined-variable] undefined: "missing_name" is never assigned and is not a builtin`,
@@ -100,6 +126,24 @@ func TestGoldenCoversAllFixtures(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The shipped example program keeps exactly its one intended finding:
+// the worker-thread fork at line 35 — no rule in the v2 family may add
+// noise to it.
+func TestExamplesPipeleakSingleFinding(t *testing.T) {
+	opts := analysis.Options{Globals: analysis.RuntimeGlobals()}
+	src, err := os.ReadFile(filepath.Join("..", "..", "examples", "pipeleak", "buggy.pint"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.AnalyzeSource(string(src), "buggy.pint", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 || diags[0].Rule != "pipe-end-leak" || diags[0].Line != 35 {
+		t.Fatalf("want exactly one pipe-end-leak at line 35, got %v", diags)
 	}
 }
 

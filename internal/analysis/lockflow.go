@@ -1,0 +1,489 @@
+// The interprocedural may-held-locks dataflow and the static lock
+// graph. This generalizes v1's per-function held-set analysis three
+// ways: lock identity is the creation site rather than the variable
+// name (one mutex followed through helpers stays one lock), callee
+// effects apply at call sites (a helper that acquires and returns
+// leaves its lock held in the caller), and caller contexts propagate
+// into callees (a helper that forks while its caller holds a lock is
+// convicted inside the helper, with the call chain).
+//
+// Three phases, each a fixpoint over the direct call graph:
+//
+//  1. summaries  — per function, given an empty entry set: which locks
+//                  may still be held at exit (gen) and which lock keys
+//                  the function may release (rel), both transitive.
+//  2. entries    — top-down: the held set at each direct call site is
+//                  joined into the callee's entry set; synchronize
+//                  bodies additionally start with the receiver held.
+//  3. recording  — one final sweep per function under its converged
+//                  entry set, filling the per-call-site held sets the
+//                  rules read and the acquired-while-held lock graph.
+//
+// Fork and spawn bodies always start with an empty entry set: the
+// conviction for a lock held across fork happens at the fork site, not
+// inside the child.
+
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"dionea/internal/bytecode"
+)
+
+var lockGen = map[string]bool{"lock": true, "try_lock": true, "acquire": true, "p": true}
+var lockKill = map[string]bool{"unlock": true, "release": true, "v": true}
+
+// lockRef identifies one lock for the dataflow: key is the identity
+// (creation-site id when known, else the variable name), disp the name
+// used in messages.
+type lockRef struct {
+	key  string
+	disp string
+}
+
+// lockRefOf extracts the lock identity of a mutex/semaphore receiver.
+func lockRefOf(recv absVal) (lockRef, bool) {
+	if recv.k != kMutex && recv.k != kSem {
+		return lockRef{}, false
+	}
+	disp := recv.src
+	if disp == "" {
+		disp = "<mutex>"
+	}
+	key := "name:" + disp
+	if recv.ival != 0 {
+		key = fmt.Sprintf("#%d", recv.ival)
+	}
+	return lockRef{key: key, disp: disp}, true
+}
+
+// lockInfo is one held lock's set entry. viaCall marks locks that
+// arrived through a caller's entry context rather than this function's
+// own flow: they participate in the lock graph (that is the whole
+// point of entry propagation) but never in local convictions or
+// messages, which stay v1-identical. A lock seen both ways is local
+// (false dominates).
+type lockInfo struct {
+	disp    string
+	viaCall bool
+}
+
+// lockSet is a may-held set: identity key -> lockInfo. On display
+// conflicts the lexicographically smallest name wins (deterministic).
+type lockSet map[string]lockInfo
+
+func (ls lockSet) clone() lockSet {
+	c := make(lockSet, len(ls))
+	for k, v := range ls {
+		c[k] = v
+	}
+	return c
+}
+
+// addInfo merges one entry, reporting whether the set changed. Both
+// components move monotonically (disp toward the smallest string,
+// viaCall toward false), so fixpoints over adds terminate.
+func (ls lockSet) addInfo(key string, in lockInfo) bool {
+	cur, ok := ls[key]
+	if !ok {
+		ls[key] = in
+		return true
+	}
+	nw := cur
+	if in.disp < nw.disp {
+		nw.disp = in.disp
+	}
+	nw.viaCall = nw.viaCall && in.viaCall
+	if nw != cur {
+		ls[key] = nw
+		return true
+	}
+	return false
+}
+
+func (ls lockSet) add(r lockRef) bool {
+	return ls.addInfo(r.key, lockInfo{disp: r.disp})
+}
+
+// union joins o into ls, reporting whether ls changed. With asEntry the
+// incoming locks are marked viaCall — the caller-context tagging used
+// when seeding a callee's entry set.
+func (ls lockSet) union(o lockSet, asEntry bool) bool {
+	changed := false
+	for k, v := range o {
+		if asEntry {
+			v.viaCall = true
+		}
+		if ls.addInfo(k, v) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// localNames returns the sorted display names of the locks held by this
+// function's own flow (viaCall excluded) — the v1-compatible message
+// and conviction set.
+func (ls lockSet) localNames() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, v := range ls {
+		if !v.viaCall && !seen[v.disp] {
+			seen[v.disp] = true
+			out = append(out, v.disp)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lockEdge is one acquired-while-held observation: to was acquired at
+// file:line while from was held.
+type lockEdge struct {
+	from, to lockRef
+	file     string
+	line     int
+}
+
+// lockGraph is the static lock-order graph over lock identities.
+type lockGraph struct {
+	succ map[string]map[string]lockEdge // from-key -> to-key -> first witness
+	disp map[string]string              // key -> display name
+}
+
+func newLockGraph() *lockGraph {
+	return &lockGraph{succ: map[string]map[string]lockEdge{}, disp: map[string]string{}}
+}
+
+func (g *lockGraph) addEdge(e lockEdge) {
+	if e.from.key == e.to.key {
+		return // reentrant acquire, not an ordering
+	}
+	for _, r := range []lockRef{e.from, e.to} {
+		if cur, ok := g.disp[r.key]; !ok || r.disp < cur {
+			g.disp[r.key] = r.disp
+		}
+	}
+	m := g.succ[e.from.key]
+	if m == nil {
+		m = map[string]lockEdge{}
+		g.succ[e.from.key] = m
+	}
+	if _, ok := m[e.to.key]; !ok {
+		m[e.to.key] = e
+	}
+}
+
+// lockFlow is the converged interprocedural result the rules read.
+type lockFlow struct {
+	p      *program
+	entry  map[*protoInfo]lockSet         // may-held at entry
+	gen    map[*protoInfo]lockSet         // may-held at exit given empty entry
+	rel    map[*protoInfo]map[string]bool // lock keys (transitively) released
+	heldAt map[*protoInfo]map[int]lockSet // call-site index -> held just before it
+	graph  *lockGraph
+}
+
+func runLockFlow(p *program) *lockFlow {
+	lf := &lockFlow{
+		p:      p,
+		entry:  map[*protoInfo]lockSet{},
+		gen:    map[*protoInfo]lockSet{},
+		rel:    map[*protoInfo]map[string]bool{},
+		heldAt: map[*protoInfo]map[int]lockSet{},
+		graph:  newLockGraph(),
+	}
+	for _, pi := range p.infos {
+		lf.entry[pi] = lockSet{}
+		lf.gen[pi] = lockSet{}
+		lf.rel[pi] = map[string]bool{}
+	}
+
+	const maxIters = 64
+
+	// Phase 1: gen/rel summaries bottom-up.
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i := len(p.infos) - 1; i >= 0; i-- {
+			pi := p.infos[i]
+			exit, rel := lf.flowProto(pi, lockSet{}, false)
+			if lf.gen[pi].union(exit, false) {
+				changed = true
+			}
+			for k := range rel {
+				if !lf.rel[pi][k] {
+					lf.rel[pi][k] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Phase 2: entry contexts top-down.
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for _, pi := range p.infos {
+			lf.flowProto(pi, lf.entry[pi], false)
+			for _, cs := range pi.calls {
+				target, _, kind, ok := p.directTarget(cs)
+				if !ok || target == nil {
+					continue
+				}
+				h := lf.heldAt[pi][cs.Index]
+				grew := false
+				switch kind {
+				case edgeCall:
+					grew = lf.entry[target].union(h, true)
+				case edgeSync:
+					grew = lf.entry[target].union(h, true)
+					if r, ok := lockRefOf(cs.Recv()); ok {
+						if lf.entry[target].add(r) {
+							grew = true
+						}
+					}
+				default:
+					continue // fork/spawn bodies start with nothing held
+				}
+				if grew {
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Phase 3: final recording sweep (held sets + lock graph).
+	for _, pi := range p.infos {
+		lf.flowProto(pi, lf.entry[pi], true)
+	}
+	return lf
+}
+
+// flowProto runs the may-held dataflow over one proto given its entry
+// set, filling lf.heldAt[pi] (held just before each call site, under
+// this entry). It returns the may-held set at exit and the lock keys
+// released anywhere (own unlocks plus direct callees'). With record
+// set it also adds acquired-while-held edges to the lock graph.
+func (lf *lockFlow) flowProto(pi *protoInfo, entry lockSet, record bool) (lockSet, map[string]bool) {
+	released := map[string]bool{}
+	heldAt := map[int]lockSet{}
+	lf.heldAt[pi] = heldAt
+	if pi.cfg == nil || len(pi.cfg.Blocks) == 0 {
+		return lockSet{}, released
+	}
+	callsIn := make([][]*CallSite, len(pi.cfg.Blocks))
+	for _, cs := range pi.calls {
+		callsIn[pi.cfg.BlockOf[cs.Index]] = append(callsIn[pi.cfg.BlockOf[cs.Index]], cs)
+	}
+
+	held := make([]lockSet, len(pi.cfg.Blocks))
+	held[0] = entry.clone()
+
+	transfer := func(id int, final bool) lockSet {
+		cur := held[id].clone()
+		for _, cs := range callsIn[id] {
+			if final {
+				heldAt[cs.Index] = cur.clone()
+			}
+			if r, ok := lockRefOf(cs.Recv()); ok {
+				switch {
+				case lockGen[cs.Method()]:
+					if record && final {
+						for k, v := range cur {
+							lf.graph.addEdge(lockEdge{
+								from: lockRef{key: k, disp: v.disp}, to: r,
+								file: pi.file(), line: cs.Line,
+							})
+						}
+					}
+					cur.add(r)
+					continue
+				case lockKill[cs.Method()]:
+					released[r.key] = true
+					delete(cur, r.key)
+					continue
+				case cs.Method() == "synchronize":
+					if record && final {
+						for k, v := range cur {
+							lf.graph.addEdge(lockEdge{
+								from: lockRef{key: k, disp: v.disp}, to: r,
+								file: pi.file(), line: cs.Line,
+							})
+						}
+					}
+				}
+			}
+			if target, _, kind, ok := lf.p.directTarget(cs); ok && target != nil &&
+				(kind == edgeCall || kind == edgeSync) {
+				for k := range lf.rel[target] {
+					released[k] = true
+					delete(cur, k)
+				}
+				cur.union(lf.gen[target], false)
+			}
+		}
+		return cur
+	}
+
+	work := []int{0}
+	visits := make([]int, len(pi.cfg.Blocks))
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		if visits[id]++; visits[id] > 4096 {
+			continue
+		}
+		out := transfer(id, false)
+		for _, succ := range pi.cfg.Blocks[id].Succs {
+			if held[succ] == nil {
+				held[succ] = out.clone()
+				work = append(work, succ)
+				continue
+			}
+			if held[succ].union(out, false) {
+				work = append(work, succ)
+			}
+		}
+	}
+
+	// Final sweep under converged facts; exit = join over returning blocks.
+	exit := lockSet{}
+	code := pi.cfg.Code
+	for id := range pi.cfg.Blocks {
+		if held[id] == nil {
+			continue
+		}
+		out := transfer(id, true)
+		b := pi.cfg.Blocks[id]
+		if b.End > b.Start && code[b.End-1].Op == bytecode.OpReturn {
+			exit.union(out, false)
+		}
+	}
+	return exit, released
+}
+
+// cycles returns every elementary inconsistency in the lock graph, one
+// per strongly connected component of size >= 2: the cycle's edges in a
+// canonical order (starting from the smallest lock key, following the
+// smallest-key successor inside the component).
+func (g *lockGraph) cycles() [][]lockEdge {
+	// Tarjan SCC over the key graph.
+	var keys []string
+	for k := range g.succ {
+		keys = append(keys, k)
+	}
+	for _, m := range g.succ {
+		for k := range m {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	uniq := keys[:0]
+	for i, k := range keys {
+		if i == 0 || keys[i-1] != k {
+			uniq = append(uniq, k)
+		}
+	}
+	keys = uniq
+
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	var comps [][]string
+	next := 0
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		var succs []string
+		for w := range g.succ[v] {
+			succs = append(succs, w)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			if len(comp) >= 2 {
+				comps = append(comps, comp)
+			}
+		}
+	}
+	for _, k := range keys {
+		if _, seen := index[k]; !seen {
+			strongconnect(k)
+		}
+	}
+
+	var out [][]lockEdge
+	for _, comp := range comps {
+		in := map[string]bool{}
+		for _, k := range comp {
+			in[k] = true
+		}
+		sort.Strings(comp)
+		// Walk from the smallest key, always taking the smallest in-component
+		// successor, until we close the loop.
+		start := comp[0]
+		var cycle []lockEdge
+		seen := map[string]bool{}
+		for v := start; !seen[v]; {
+			seen[v] = true
+			var nexts []string
+			for w := range g.succ[v] {
+				if in[w] {
+					nexts = append(nexts, w)
+				}
+			}
+			sort.Strings(nexts)
+			if len(nexts) == 0 {
+				break // cannot happen in an SCC; defensive
+			}
+			w := nexts[0]
+			// Prefer closing back to the start when possible.
+			for _, c := range nexts {
+				if c == start && len(cycle) > 0 {
+					w = c
+					break
+				}
+			}
+			cycle = append(cycle, g.succ[v][w])
+			if w == start {
+				break
+			}
+			v = w
+		}
+		if len(cycle) >= 2 {
+			out = append(out, cycle)
+		}
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dionea/internal/analysis"
+)
+
+// The README's rule table is the generated one, verbatim: adding,
+// removing, or rewording a rule without regenerating the docs fails
+// here. Paste the output of analysis.RuleTableMarkdown() into README.md
+// when it drifts.
+func TestReadmeRuleTableInSync(t *testing.T) {
+	readme, err := os.ReadFile(filepath.Join("..", "..", "README.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := analysis.RuleTableMarkdown()
+	if !strings.Contains(string(readme), table) {
+		t.Fatalf("README.md rule table is out of sync with analysis.Rules();\nregenerate it from RuleTableMarkdown():\n%s", table)
+	}
+	// Every registered rule id must appear in the README at least once
+	// outside the table too (prose, examples, or the workflow sections).
+	for _, r := range analysis.Rules() {
+		if !strings.Contains(string(readme), "`"+r.ID+"`") {
+			t.Errorf("rule %s is not documented in README.md", r.ID)
+		}
+	}
+}

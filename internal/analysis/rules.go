@@ -1,14 +1,20 @@
-// The rule registry and the five bug classes, each grounded in a
-// failure the paper debugs dynamically (§5.3, Listing 5, §6.4) or in
-// classic always-on vet checks (undefined names, dead code).
+// The rule registry and the eight bug classes: the three fork hazards
+// the paper debugs dynamically (§5.3, Listing 5, §6.4) — now convicted
+// across call boundaries — the lock-order and stale-state families new
+// in v2, and the classic always-on vet checks (undefined names, dead
+// code). Rule identifiers live in internal/rules, shared with the
+// dynamic trace analyzer so a static hint and a trace verdict for one
+// bug carry one name.
 
 package analysis
 
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"dionea/internal/bytecode"
+	"dionea/internal/rules"
 )
 
 // Rule is one registered check.
@@ -22,218 +28,104 @@ type Rule struct {
 func Rules() []Rule {
 	return []Rule{
 		{
-			ID: "fork-while-lock-held",
+			ID: rules.ForkWhileLockHeld,
 			Doc: "a fork() call is reachable while a mutex or semaphore acquired on " +
 				"some path may still be held; the child inherits a lock whose owner " +
 				"thread does not exist in it (§5.3)",
 			run: runForkWhileLockHeld,
 		},
 		{
-			ID: "interthread-queue-across-fork",
+			ID: rules.QueueAcrossFork,
 			Doc: "an inter-thread queue (queue_new) from an enclosing scope is used " +
 				"in code a fork()ed child runs; its peer threads exist only in the " +
 				"parent, so the child blocks forever (the Listing 5 deadlock)",
 			run: runQueueAcrossFork,
 		},
 		{
-			ID: "pipe-end-leak",
+			ID: rules.PipeEndLeak,
 			Doc: "a worker thread both creates pipes and forks; concurrently forked " +
 				"siblings inherit pipe write ends nobody closes, so readers never " +
 				"see EOF (the parallel gem 0.5.9 deadlock, §6.4)",
 			run: runPipeEndLeak,
 		},
 		{
-			ID:  "undefined-variable",
+			ID: rules.LockOrderCycle,
+			Doc: "two or more locks are acquired in inconsistent orders on different " +
+				"code paths; threads interleaving those paths deadlock — the static " +
+				"twin of pinttrace's dynamic lock-order rule",
+			run: runLockOrderCycle,
+		},
+		{
+			ID: rules.StaleStateAfterFork,
+			Doc: "a counter updated by a spawned thread is read in a fork()ed child " +
+				"where that thread does not exist, so the value is frozen at " +
+				"whatever it was at fork time (the box64 stale-counter pattern)",
+			run: runStaleStateAfterFork,
+		},
+		{
+			ID: rules.PipeDoubleClose,
+			Doc: "a pipe end is closed on a path that has already closed it; the " +
+				"second close hits a recycled descriptor on a real kernel",
+			run: runPipeDoubleClose,
+		},
+		{
+			ID:  rules.UndefinedVariable,
 			Doc: "a name is used with no assignment on some path to the use",
 			run: runUndefinedVariable,
 		},
 		{
-			ID:  "unreachable-code",
+			ID:  rules.UnreachableCode,
 			Doc: "statements that no execution path reaches (after return/exit, or under a constant-false branch)",
 			run: runUnreachableCode,
 		},
 	}
 }
 
+// RuleTableMarkdown renders the registry as a markdown table. The
+// README embeds exactly this output; a test keeps the two in sync so
+// the documentation cannot drift from the code.
+func RuleTableMarkdown() string {
+	var b strings.Builder
+	b.WriteString("| rule | what it flags |\n")
+	b.WriteString("| --- | --- |\n")
+	for _, r := range Rules() {
+		b.WriteString(fmt.Sprintf("| `%s` | %s |\n", r.ID, r.Doc))
+	}
+	return b.String()
+}
+
 // ---- fork-while-lock-held ----
 
-var lockGen = map[string]bool{"lock": true, "try_lock": true, "acquire": true, "p": true}
-var lockKill = map[string]bool{"unlock": true, "release": true, "v": true}
-
-func lockName(cs *CallSite) (string, bool) {
-	recv := cs.Recv()
-	if recv.k != kMutex && recv.k != kSem {
-		return "", false
-	}
-	name := recv.src
-	if name == "" {
-		name = "<mutex>"
-	}
-	return name, true
-}
-
-// mayForkSet computes, transitively over direct calls (and inline
-// synchronize blocks), which functions may reach a fork() themselves.
-// Thread and child bodies do not count: a fork they perform happens on
-// a different control flow.
-func mayForkSet(p *program) map[*protoInfo]bool {
-	may := map[*protoInfo]bool{}
-	for _, pi := range p.infos {
-		for _, cs := range pi.calls {
-			if cs.IsBuiltin("fork") {
-				may[pi] = true
-			}
-		}
-	}
-	for changed := true; changed; {
-		changed = false
-		for _, pi := range p.infos {
-			if may[pi] {
-				continue
-			}
-			for _, cs := range pi.calls {
-				var callee *protoInfo
-				if cs.Callee.k == kClosure {
-					callee = p.byProto[cs.Callee.proto]
-				} else if cs.Method() == "synchronize" {
-					if b := cs.BlockProto(); b != nil {
-						callee = p.byProto[b]
-					}
-				}
-				if callee != nil && may[callee] {
-					may[pi] = true
-					changed = true
-					break
-				}
-			}
-		}
-	}
-	return may
-}
-
 func runForkWhileLockHeld(p *program) []Diagnostic {
-	mayFork := mayForkSet(p)
-
-	// Bodies of synchronize blocks start with the receiver mutex held.
-	syncEntry := map[*protoInfo]string{}
+	lf := p.lf
+	var out []Diagnostic
 	for _, pi := range p.infos {
 		for _, cs := range pi.calls {
-			if cs.Method() != "synchronize" {
+			// Only locks held by this function's own flow convict here;
+			// caller-context locks (viaCall) convict at the caller's call
+			// site instead, so one hazard yields one finding.
+			names := lf.heldAt[pi][cs.Index].localNames()
+			if len(names) == 0 {
 				continue
 			}
-			if name, ok := lockName(cs); ok {
-				if b := cs.BlockProto(); b != nil {
-					if bi := p.byProto[b]; bi != nil {
-						syncEntry[bi] = name
-					}
-				}
-			}
-		}
-	}
-
-	var out []Diagnostic
-	for _, pi := range p.infos {
-		out = append(out, heldDataflow(p, pi, syncEntry[pi], mayFork)...)
-	}
-	return out
-}
-
-// heldDataflow runs a may-held-locks union dataflow over one proto's
-// CFG and reports fork call sites (direct, or through a function that
-// may fork) reached with a non-empty held set.
-func heldDataflow(p *program, pi *protoInfo, entryHeld string, mayFork map[*protoInfo]bool) []Diagnostic {
-	if pi.cfg == nil || len(pi.cfg.Blocks) == 0 {
-		return nil
-	}
-	// Call sites grouped per block, in code order.
-	callsIn := make([][]*CallSite, len(pi.cfg.Blocks))
-	for _, cs := range pi.calls {
-		b := pi.cfg.BlockOf[cs.Index]
-		callsIn[b] = append(callsIn[b], cs)
-	}
-
-	held := make([]map[string]bool, len(pi.cfg.Blocks))
-	held[0] = map[string]bool{}
-	if entryHeld != "" {
-		held[0][entryHeld] = true
-	}
-	transfer := func(id int, report func(cs *CallSite, held map[string]bool)) map[string]bool {
-		cur := map[string]bool{}
-		for k := range held[id] {
-			cur[k] = true
-		}
-		for _, cs := range callsIn[id] {
-			if name, ok := lockName(cs); ok {
-				switch {
-				case lockGen[cs.Method()]:
-					cur[name] = true
-				case lockKill[cs.Method()]:
-					delete(cur, name)
-				}
-			}
-			if report != nil && len(cur) > 0 {
-				if cs.IsBuiltin("fork") {
-					report(cs, cur)
-				} else if cs.Callee.k == kClosure && mayFork[p.byProto[cs.Callee.proto]] {
-					report(cs, cur)
-				}
-			}
-		}
-		return cur
-	}
-
-	work := []int{0}
-	visits := make([]int, len(pi.cfg.Blocks))
-	for len(work) > 0 {
-		id := work[len(work)-1]
-		work = work[:len(work)-1]
-		if visits[id]++; visits[id] > 4096 {
-			continue
-		}
-		out := transfer(id, nil)
-		for _, succ := range pi.cfg.Blocks[id].Succs {
-			if held[succ] == nil {
-				held[succ] = map[string]bool{}
-				for k := range out {
-					held[succ][k] = true
-				}
-				work = append(work, succ)
+			if cs.IsBuiltin("fork") {
+				out = append(out, Diagnostic{
+					File: pi.file(), Line: cs.Line, Rule: rules.ForkWhileLockHeld,
+					Message: fmt.Sprintf("fork() while lock %s may be held: the child inherits a lock whose owner thread does not exist in it (§5.3)",
+						quoteList(names)),
+				})
 				continue
 			}
-			changed := false
-			for k := range out {
-				if !held[succ][k] {
-					held[succ][k] = true
-					changed = true
-				}
-			}
-			if changed {
-				work = append(work, succ)
+			if target, _, kind, ok := p.directTarget(cs); ok && target != nil &&
+				kind == edgeCall && target.sum.mayFork {
+				out = append(out, Diagnostic{
+					File: pi.file(), Line: cs.Line, Rule: rules.ForkWhileLockHeld,
+					Message: fmt.Sprintf("call to %s() may fork while lock %s may be held: the child inherits a lock whose owner thread does not exist in it (§5.3)",
+						target.proto.Name, quoteList(names)),
+					CallChain: target.sum.forkPath,
+				})
 			}
 		}
-	}
-
-	var out []Diagnostic
-	for id := range pi.cfg.Blocks {
-		if held[id] == nil {
-			continue
-		}
-		transfer(id, func(cs *CallSite, cur map[string]bool) {
-			names := make([]string, 0, len(cur))
-			for k := range cur {
-				names = append(names, k)
-			}
-			sort.Strings(names)
-			what := "fork()"
-			if !cs.IsBuiltin("fork") {
-				what = fmt.Sprintf("call to %s() may fork", cs.Callee.proto.Name)
-			}
-			out = append(out, Diagnostic{
-				File: pi.file(), Line: cs.Line, Rule: "fork-while-lock-held",
-				Message: fmt.Sprintf("%s while lock %s may be held: the child inherits a lock whose owner thread does not exist in it (§5.3)",
-					what, quoteList(names)),
-			})
-		})
 	}
 	return out
 }
@@ -249,31 +141,77 @@ func quoteList(names []string) string {
 	return s
 }
 
+// ---- lock-order-cycle ----
+
+func runLockOrderCycle(p *program) []Diagnostic {
+	var out []Diagnostic
+	for _, cycle := range p.lf.graph.cycles() {
+		nameSet := map[string]bool{}
+		var parts []string
+		for _, e := range cycle {
+			nameSet[e.from.disp] = true
+			nameSet[e.to.disp] = true
+			parts = append(parts, fmt.Sprintf("%q -> %q at %s:%d", e.from.disp, e.to.disp, e.file, e.line))
+		}
+		var names []string
+		for n := range nameSet {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		first := cycle[0]
+		out = append(out, Diagnostic{
+			File: first.file, Line: first.line, Rule: rules.LockOrderCycle,
+			Message: fmt.Sprintf("locks %s are acquired in inconsistent order (%s): threads interleaving these paths deadlock — impose a single acquisition order",
+				quoteList(names), strings.Join(parts, ", ")),
+		})
+	}
+	return out
+}
+
 // ---- interthread-queue-across-fork ----
 
 var queueMethods = map[string]bool{
 	"push": true, "pop": true, "try_pop": true, "len": true, "empty": true,
 }
 
+var childKinds = map[edgeKind]bool{edgeCall: true, edgeSync: true, edgeFork: true}
+var threadKinds = map[edgeKind]bool{edgeCall: true, edgeSync: true}
+
 func runQueueAcrossFork(p *program) []Diagnostic {
-	inChild := map[*protoInfo]bool{}
-	for _, entry := range p.forkEntries() {
-		for pi := range p.reachableFrom(entry, true) {
-			inChild[pi] = true
-		}
-	}
 	var out []Diagnostic
-	for _, pi := range p.infos {
-		if !inChild[pi] {
-			continue
-		}
-		for _, cs := range pi.calls {
-			recv := cs.Recv()
-			if recv.k == kQueue && recv.outer && queueMethods[cs.Method()] {
+	for _, er := range p.entrySites(edgeFork) {
+		reach := p.reachFrom(er.entry, childKinds)
+		root := Frame{File: er.caller.file(), Line: er.site.Line, Func: "fork"}
+		for _, pi := range p.infos {
+			if _, ok := reach[pi]; !ok {
+				continue
+			}
+			for _, cs := range pi.calls {
+				recv := cs.Recv()
+				if recv.k != kQueue || !queueMethods[cs.Method()] {
+					continue
+				}
+				// The queue must predate the fork. With a known creation
+				// site that is exact: created outside the code the child
+				// runs. Otherwise fall back to the v1 lexical heuristic.
+				if recv.ival != 0 {
+					if sp := p.siteProto(recv.ival); sp != nil {
+						if _, inChild := reach[sp]; inChild {
+							continue
+						}
+					}
+				} else if !recv.outer {
+					continue
+				}
+				name := recv.src
+				if name == "" {
+					name = "<queue>"
+				}
 				out = append(out, Diagnostic{
-					File: pi.file(), Line: cs.Line, Rule: "interthread-queue-across-fork",
+					File: pi.file(), Line: cs.Line, Rule: rules.QueueAcrossFork,
 					Message: fmt.Sprintf("inter-thread queue %q is used in code a fork()ed child runs; queue_new() queues are per-process, and the threads feeding this one exist only in the parent (the Listing 5 deadlock) — use mp_queue() across processes",
-						recv.src),
+						name),
+					CallChain: chainTo(reach, pi, root),
 				})
 			}
 		}
@@ -285,29 +223,127 @@ func runQueueAcrossFork(p *program) []Diagnostic {
 
 func runPipeEndLeak(p *program) []Diagnostic {
 	var out []Diagnostic
-	for _, entry := range p.spawnEntries() {
-		reach := p.reachableFrom(entry, false)
+	for _, er := range p.entrySites(edgeSpawn) {
+		reach := p.reachFrom(er.entry, threadKinds)
 		pipes := false
 		for pi := range reach {
-			for _, cs := range pi.calls {
-				if cs.IsBuiltin("pipe_new") {
-					pipes = true
-				}
+			if pi.sum.makesPipes {
+				pipes = true
 			}
 		}
 		if !pipes {
 			continue
 		}
-		for pi := range reach {
+		root := Frame{File: er.caller.file(), Line: er.site.Line, Func: "spawn"}
+		for _, pi := range p.infos {
+			if _, ok := reach[pi]; !ok {
+				continue
+			}
 			for _, cs := range pi.calls {
 				if cs.IsBuiltin("fork") {
 					out = append(out, Diagnostic{
-						File: pi.file(), Line: cs.Line, Rule: "pipe-end-leak",
-						Message: "fork() in a worker thread that also creates pipes: concurrently forked siblings inherit pipe write ends they never close, so a child waiting for EOF hangs (the parallel gem 0.5.9 deadlock, §6.4) — fork sequentially from the main thread",
+						File: pi.file(), Line: cs.Line, Rule: rules.PipeEndLeak,
+						Message:   "fork() in a worker thread that also creates pipes: concurrently forked siblings inherit pipe write ends they never close, so a child waiting for EOF hangs (the parallel gem 0.5.9 deadlock, §6.4) — fork sequentially from the main thread",
+						CallChain: chainTo(reach, pi, root),
 					})
 				}
 			}
 		}
+	}
+	return out
+}
+
+// ---- stale-state-after-fork ----
+
+func runStaleStateAfterFork(p *program) []Diagnostic {
+	// Mutation side: counter self-mutations of enclosing-scope names, in
+	// code a spawned thread runs. Each record keeps the proto containing
+	// the spawn() so a thread the child itself spawns (still alive after
+	// the fork) never incriminates a read.
+	type mutSrc struct {
+		spawnCaller *protoInfo
+		pi          *protoInfo
+		m           counterMut
+	}
+	var muts []mutSrc
+	for _, er := range p.entrySites(edgeSpawn) {
+		reach := p.reachFrom(er.entry, threadKinds)
+		for _, pi := range p.infos {
+			if _, ok := reach[pi]; !ok {
+				continue
+			}
+			for _, m := range pi.counterMuts {
+				if pi.outerHas(m.Name) {
+					muts = append(muts, mutSrc{spawnCaller: er.caller, pi: pi, m: m})
+				}
+			}
+		}
+	}
+	if len(muts) == 0 {
+		return nil
+	}
+
+	var out []Diagnostic
+	for _, er := range p.entrySites(edgeFork) {
+		reach := p.reachFrom(er.entry, childKinds)
+		root := Frame{File: er.caller.file(), Line: er.site.Line, Func: "fork"}
+		reported := map[string]bool{}
+		for _, pi := range p.infos {
+			if _, ok := reach[pi]; !ok {
+				continue
+			}
+			for _, use := range pi.uses {
+				// MustDef means the child assigned the name itself on every
+				// path here — the value read is the child's own, not stale.
+				if use.MustDef || !pi.outerHas(use.Name) {
+					continue
+				}
+				var w *mutSrc
+				for i := range muts {
+					ms := &muts[i]
+					if ms.m.Name != use.Name {
+						continue
+					}
+					if _, inChild := reach[ms.spawnCaller]; inChild {
+						continue // the mutating thread survives into the child
+					}
+					if w == nil || ms.m.Line < w.m.Line || (ms.m.Line == w.m.Line && ms.pi.file() < w.pi.file()) {
+						w = ms
+					}
+				}
+				if w == nil {
+					continue
+				}
+				key := fmt.Sprintf("%s:%d:%s", pi.file(), use.Line, use.Name)
+				if reported[key] {
+					continue
+				}
+				reported[key] = true
+				out = append(out, Diagnostic{
+					File: pi.file(), Line: use.Line, Rule: rules.StaleStateAfterFork,
+					Message: fmt.Sprintf("%q is read in a fork()ed child but updated by a spawned thread (%s:%d): that thread does not exist in the child, so the value is frozen at whatever it was at fork time (the box64 stale-counter pattern) — reset it in a fork handler",
+						use.Name, w.pi.file(), w.m.Line),
+					CallChain: chainTo(reach, pi, root),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ---- pipe-double-close ----
+
+func runPipeDoubleClose(p *program) []Diagnostic {
+	var out []Diagnostic
+	for _, pi := range p.infos {
+		pi := pi
+		closeOut(p, pi, func(cs *CallSite, id int64, end, disp string) {
+			out = append(out, Diagnostic{
+				File: pi.file(), Line: cs.Line, Rule: rules.PipeDoubleClose,
+				Message: fmt.Sprintf("pipe %s end %q is closed again: every path to this statement has already closed it — on a real kernel the second close() hits a recycled descriptor",
+					end, disp),
+			})
+		})
 	}
 	return out
 }
@@ -326,13 +362,13 @@ func runUndefinedVariable(p *program) []Diagnostic {
 			if pi.stores[name] {
 				reported[name] = true
 				out = append(out, Diagnostic{
-					File: pi.file(), Line: use.Line, Rule: "undefined-variable",
+					File: pi.file(), Line: use.Line, Rule: rules.UndefinedVariable,
 					Message: fmt.Sprintf("%q may be used before assignment: no definition on some path to this use", name),
 				})
 			} else if !p.storedAnywhere[name] {
 				reported[name] = true
 				out = append(out, Diagnostic{
-					File: pi.file(), Line: use.Line, Rule: "undefined-variable",
+					File: pi.file(), Line: use.Line, Rule: rules.UndefinedVariable,
 					Message: fmt.Sprintf("undefined: %q is never assigned and is not a builtin", name),
 				})
 			}
@@ -368,7 +404,7 @@ func runUnreachableCode(p *program) []Diagnostic {
 			}
 			if line > 0 {
 				out = append(out, Diagnostic{
-					File: pi.file(), Line: line, Rule: "unreachable-code",
+					File: pi.file(), Line: line, Rule: rules.UnreachableCode,
 					Message: "unreachable code: no execution path reaches this statement",
 				})
 			}

@@ -1,0 +1,327 @@
+// Per-function interprocedural summaries and the reachability walks the
+// rules share. A summary is the whole-program view of one function:
+// whether it can reach a fork() on its own control flow (with a witness
+// path for call-chain reporting), whether it creates pipes, and which
+// pipe ends it is guaranteed to close. Summaries are computed bottom-up
+// to a fixpoint over the direct call graph; indirect candidate edges
+// never contribute (the documented soundness caveat: a hazard is only
+// reported through calls the analyzer can prove).
+
+package analysis
+
+import (
+	"dionea/internal/bytecode"
+)
+
+// summary is one function's interprocedural facts.
+type summary struct {
+	// mayFork: a fork() is reachable from this function through direct
+	// calls and synchronize blocks. Thread and child bodies do not
+	// count — a fork they perform happens on a different control flow.
+	mayFork bool
+	// forkPath is the witness: frames from inside this function down to
+	// the fork() call itself, for call-chain reporting.
+	forkPath []Frame
+	// makesPipes: this function itself calls pipe_new().
+	makesPipes bool
+	// closes holds the creation-site ids of pipe ends this function
+	// closes on every path to its return (transitively through direct
+	// callees) — the double-close rule's call-site effect.
+	closes map[int64]bool
+}
+
+// buildSummaries fills pi.sum for every proto.
+func buildSummaries(p *program) {
+	for _, pi := range p.infos {
+		pi.sum = &summary{closes: map[int64]bool{}}
+		for _, cs := range pi.calls {
+			if cs.IsBuiltin("pipe_new") {
+				pi.sum.makesPipes = true
+			}
+			if cs.IsBuiltin("fork") && !pi.sum.mayFork {
+				pi.sum.mayFork = true
+				pi.sum.forkPath = []Frame{{File: pi.file(), Line: cs.Line, Func: "fork"}}
+			}
+		}
+	}
+
+	// Fork reachability, propagated callee-to-caller until stable. Each
+	// newly-marked function records the first (code-order) call site that
+	// reaches an already-marked callee, prepended to that callee's own
+	// witness path.
+	for changed := true; changed; {
+		changed = false
+		for _, pi := range p.infos {
+			if pi.sum.mayFork {
+				continue
+			}
+			for _, cs := range pi.calls {
+				target, _, kind, ok := p.directTarget(cs)
+				if !ok || target == nil || (kind != edgeCall && kind != edgeSync) {
+					continue
+				}
+				if !target.sum.mayFork {
+					continue
+				}
+				label := target.proto.Name
+				if kind == edgeSync {
+					label = "synchronize"
+				}
+				pi.sum.mayFork = true
+				pi.sum.forkPath = append(
+					[]Frame{{File: pi.file(), Line: cs.Line, Func: label}},
+					target.sum.forkPath...)
+				changed = true
+				break
+			}
+		}
+	}
+
+	// Must-close summaries to a fixpoint: callee close-sets only grow, so
+	// each pass's closeOut is a superset of the last and the union
+	// converges.
+	const maxIters = 64
+	for iter := 0; iter < maxIters; iter++ {
+		changed := false
+		for i := len(p.infos) - 1; i >= 0; i-- { // leaves first converges faster
+			pi := p.infos[i]
+			for id := range closeOut(p, pi, nil) {
+				if !pi.sum.closes[id] {
+					pi.sum.closes[id] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// pipeEndRef extracts the identity of a tracked pipe end receiver:
+// creation-site id, "read"/"write", and a display name for messages.
+func pipeEndRef(recv absVal) (id int64, end, disp string, ok bool) {
+	switch recv.k {
+	case kPipeRead:
+		end = "read"
+	case kPipeWrite:
+		end = "write"
+	default:
+		return 0, "", "", false
+	}
+	if recv.ival == 0 {
+		return 0, "", "", false
+	}
+	disp = recv.src
+	if disp == "" {
+		disp = "<pipe>"
+	}
+	return recv.ival, end, disp, true
+}
+
+// closeOut runs the must-closed dataflow over one proto: the fact at
+// each point is the set of pipe-end ids closed on *every* path there
+// (intersection at joins). Direct calls apply the callee's close
+// summary; fork/spawn bodies do not (a child closing its copy of a
+// descriptor leaves the parent's open). When report is non-nil it is
+// invoked for each close() of an end already in the incoming must set —
+// the double-close conviction. Returns the must set at function exit.
+func closeOut(p *program, pi *protoInfo, report func(cs *CallSite, id int64, end, disp string)) map[int64]bool {
+	if pi.cfg == nil || len(pi.cfg.Blocks) == 0 {
+		return nil
+	}
+	callsIn := make([][]*CallSite, len(pi.cfg.Blocks))
+	for _, cs := range pi.calls {
+		callsIn[pi.cfg.BlockOf[cs.Index]] = append(callsIn[pi.cfg.BlockOf[cs.Index]], cs)
+	}
+
+	// states[id] == nil means "not yet visited" (top of the must lattice).
+	states := make([]map[int64]bool, len(pi.cfg.Blocks))
+	states[0] = map[int64]bool{}
+
+	transfer := func(id int, rep bool) map[int64]bool {
+		cur := map[int64]bool{}
+		for k := range states[id] {
+			cur[k] = true
+		}
+		for _, cs := range callsIn[id] {
+			if cs.Method() == "close" {
+				if eid, end, disp, ok := pipeEndRef(cs.Recv()); ok {
+					if rep && cur[eid] && report != nil {
+						report(cs, eid, end, disp)
+					}
+					cur[eid] = true
+					continue
+				}
+			}
+			if target, _, kind, ok := p.directTarget(cs); ok && target != nil &&
+				(kind == edgeCall || kind == edgeSync) && target.sum != nil {
+				for eid := range target.sum.closes {
+					cur[eid] = true
+				}
+			}
+		}
+		return cur
+	}
+
+	work := []int{0}
+	visits := make([]int, len(pi.cfg.Blocks))
+	for len(work) > 0 {
+		id := work[len(work)-1]
+		work = work[:len(work)-1]
+		if visits[id]++; visits[id] > 4096 {
+			continue
+		}
+		out := transfer(id, false)
+		for _, succ := range pi.cfg.Blocks[id].Succs {
+			if states[succ] == nil {
+				cp := make(map[int64]bool, len(out))
+				for k := range out {
+					cp[k] = true
+				}
+				states[succ] = cp
+				work = append(work, succ)
+				continue
+			}
+			changed := false
+			for k := range states[succ] {
+				if !out[k] {
+					delete(states[succ], k)
+					changed = true
+				}
+			}
+			if changed {
+				work = append(work, succ)
+			}
+		}
+	}
+
+	// Recording sweep under converged facts; exit = intersection of the
+	// out-states of every returning block.
+	var exit map[int64]bool
+	code := pi.cfg.Code
+	for id := range pi.cfg.Blocks {
+		if states[id] == nil {
+			continue
+		}
+		out := transfer(id, true)
+		b := pi.cfg.Blocks[id]
+		if b.End > b.Start && code[b.End-1].Op == bytecode.OpReturn {
+			if exit == nil {
+				exit = out
+			} else {
+				for k := range exit {
+					if !out[k] {
+						delete(exit, k)
+					}
+				}
+			}
+		}
+	}
+	return exit
+}
+
+// ---- reachability over the direct call graph ----
+
+// reachVia records how a proto was first discovered in a reachability
+// walk: the proto it was entered from and the edge crossed. The entry
+// itself has a zero reachVia.
+type reachVia struct {
+	prev *protoInfo
+	edge *callEdge
+}
+
+// reachFrom walks the direct (non-indirect) call graph from entry along
+// the given edge kinds, breadth-first so recorded paths are shortest.
+func (p *program) reachFrom(entry *protoInfo, kinds map[edgeKind]bool) map[*protoInfo]reachVia {
+	seen := map[*protoInfo]reachVia{entry: {}}
+	queue := []*protoInfo{entry}
+	for len(queue) > 0 {
+		pi := queue[0]
+		queue = queue[1:]
+		for _, e := range p.cg.out[pi] {
+			if e.indirect || !kinds[e.kind] {
+				continue
+			}
+			if _, ok := seen[e.callee]; ok {
+				continue
+			}
+			seen[e.callee] = reachVia{prev: pi, edge: e}
+			queue = append(queue, e.callee)
+		}
+	}
+	return seen
+}
+
+// chainTo builds the call-chain frames from root (the fork()/spawn()
+// call site that starts the walk) down to target. Returns nil when
+// target is the entry body itself — findings whose whole story sits in
+// the forked/spawned block stay chainless, matching the v1 output.
+func chainTo(reach map[*protoInfo]reachVia, target *protoInfo, root Frame) []Frame {
+	via, ok := reach[target]
+	if !ok || via.prev == nil {
+		return nil
+	}
+	var rev []Frame
+	for pi := target; ; {
+		v := reach[pi]
+		if v.prev == nil {
+			break
+		}
+		e := v.edge
+		label := e.callee.proto.Name
+		switch e.kind {
+		case edgeSync:
+			label = "synchronize"
+		case edgeFork:
+			label = "fork"
+		case edgeSpawn:
+			label = "spawn"
+		}
+		rev = append(rev, Frame{File: e.caller.file(), Line: e.site.Line, Func: label})
+		pi = v.prev
+	}
+	frames := make([]Frame, 0, len(rev)+1)
+	frames = append(frames, root)
+	for i := len(rev) - 1; i >= 0; i-- {
+		frames = append(frames, rev[i])
+	}
+	return frames
+}
+
+// entryRef is one fork/spawn/sync entry: the body proto together with
+// the call site that starts it.
+type entryRef struct {
+	caller *protoInfo
+	site   *CallSite
+	entry  *protoInfo
+}
+
+// entrySites returns the entries of every direct edge of the given
+// kind, deduplicated by body proto (first site wins, in program order).
+func (p *program) entrySites(kind edgeKind) []entryRef {
+	var out []entryRef
+	seen := map[*protoInfo]bool{}
+	for _, e := range p.cg.edges {
+		if e.kind != kind || e.indirect || seen[e.callee] {
+			continue
+		}
+		seen[e.callee] = true
+		out = append(out, entryRef{caller: e.caller, site: e.site, entry: e.callee})
+	}
+	return out
+}
+
+// siteProto maps a creation-site id (absVal.ival of an IPC object) back
+// to the proto whose constructor call created it; nil for unknown ids.
+// Pipe-end ids are derived (2*pair, 2*pair+1) — halve them first.
+func (p *program) siteProto(id int64) *protoInfo {
+	if id <= 0 {
+		return nil
+	}
+	idx := int((id - 1) / 1_000_000)
+	if idx < 0 || idx >= len(p.infos) {
+		return nil
+	}
+	return p.infos[idx]
+}

@@ -147,9 +147,26 @@ type FuncProto struct {
 	Consts []Const
 	Names  []string // identifier table for Load/Store/Define/Attr
 	File   string   // source file name, for the debugger's source view
+	// DefLine is the source line of the `func` keyword (or do-block /
+	// lambda header) that introduced this function; 0 for the top level.
+	// Call metadata for the static analyzer: indirect-call candidates
+	// and call-graph listings are reported as "name@file:DefLine".
+	DefLine int
 	// Lines is the ascending set of source lines that carry an OpLine —
 	// i.e. the breakpointable lines of this function.
 	Lines []int
+}
+
+// SubProtos returns the function protos nested directly in f's constant
+// pool, in pool order — the analyzer's walk order over the proto tree.
+func (f *FuncProto) SubProtos() []*FuncProto {
+	var out []*FuncProto
+	for _, c := range f.Consts {
+		if sub, ok := c.(*FuncProto); ok {
+			out = append(out, sub)
+		}
+	}
+	return out
 }
 
 // Disassemble renders the code for tests and tooling.

@@ -238,7 +238,7 @@ func (fc *funcCompiler) stmt(s ast.Stmt) error {
 
 	case *ast.FuncStmt:
 		fc.line(st.Line)
-		sub, err := fc.function(st.Name, st.Params, st.Body)
+		sub, err := fc.function(st.Name, st.Params, st.Line, st.Body)
 		if err != nil {
 			return err
 		}
@@ -304,8 +304,9 @@ func (fc *funcCompiler) assign(st *ast.AssignStmt) error {
 	}
 }
 
-func (fc *funcCompiler) function(name string, params []string, body *ast.Block) (*bytecode.FuncProto, error) {
+func (fc *funcCompiler) function(name string, params []string, defLine int, body *ast.Block) (*bytecode.FuncProto, error) {
 	sub := newFuncCompiler(name, params, fc.proto.File)
+	sub.proto.DefLine = defLine
 	for _, s := range body.Stmts {
 		if err := sub.stmt(s); err != nil {
 			return nil, err
@@ -375,7 +376,7 @@ func (fc *funcCompiler) expr(e ast.Expr) error {
 			}
 		}
 		if x.Block != nil {
-			sub, err := fc.function("<block>", x.Block.Params, x.Block.Body)
+			sub, err := fc.function("<block>", x.Block.Params, x.Block.Line, x.Block.Body)
 			if err != nil {
 				return err
 			}
@@ -396,7 +397,7 @@ func (fc *funcCompiler) expr(e ast.Expr) error {
 		}
 		fc.emit(bytecode.OpAttr, fc.nameIdx(x.Name), x.Line)
 	case *ast.FuncLit:
-		sub, err := fc.function("<lambda>", x.Params, x.Body)
+		sub, err := fc.function("<lambda>", x.Params, x.Line, x.Body)
 		if err != nil {
 			return err
 		}

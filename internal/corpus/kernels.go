@@ -1,0 +1,145 @@
+// Concurrency-bug kernels: minimal pint programs, each distilling one
+// of the fork-related bug classes to its smallest reproducer, with the
+// exact pintvet verdicts they must earn. They are the regression corpus
+// for the interprocedural analyzer — every kernel convicts at a known
+// line with a known call chain (asserted in kernels_test.go, which runs
+// the analyzer; this file deliberately does not import it).
+
+package corpus
+
+// BugKernel is one distilled concurrency bug and its expected verdict.
+type BugKernel struct {
+	// Name is a stable identifier for the kernel.
+	Name string
+	// File is the name diagnostics are anchored to.
+	File string
+	// Source is the pint program.
+	Source string
+	// Want holds the exact pintvet diagnostics (Diagnostic.String()
+	// form, sorted) the analyzer must report for Source.
+	Want []string
+}
+
+// Kernels returns the bug-kernel corpus in a fixed order.
+func Kernels() []BugKernel {
+	return []BugKernel{
+		{
+			Name: "cross-call-fork-while-lock-held",
+			File: "k_forklock.pint",
+			Source: `func deep_fork() {
+    pid = fork do
+        puts("orphaned lock in child")
+    end
+    waitpid(pid)
+}
+
+func middle() {
+    deep_fork()
+}
+
+m = mutex_new()
+m.lock()
+middle()
+m.unlock()
+`,
+			Want: []string{
+				`k_forklock.pint:14: [fork-while-lock-held] call to middle() may fork while lock "m" may be held: the child inherits a lock whose owner thread does not exist in it (§5.3) [call chain: deep_fork@k_forklock.pint:9 -> fork@k_forklock.pint:2]`,
+			},
+		},
+		{
+			Name: "lock-order-cycle",
+			File: "k_lockorder.pint",
+			Source: `a = mutex_new()
+b = mutex_new()
+
+func ab() {
+    a.lock()
+    b.lock()
+    b.unlock()
+    a.unlock()
+}
+
+func ba() {
+    b.lock()
+    a.lock()
+    a.unlock()
+    b.unlock()
+}
+
+t1 = spawn do ab() end
+t2 = spawn do ba() end
+t1.join()
+t2.join()
+`,
+			Want: []string{
+				`k_lockorder.pint:6: [lock-order-cycle] locks "a", "b" are acquired in inconsistent order ("a" -> "b" at k_lockorder.pint:6, "b" -> "a" at k_lockorder.pint:13): threads interleaving these paths deadlock — impose a single acquisition order`,
+			},
+		},
+		{
+			Name: "stale-counter-after-fork",
+			File: "k_stale.pint",
+			Source: `n = 0
+done = false
+
+t = spawn do
+    while !done {
+        n = n + 1
+    }
+end
+
+pid = fork do
+    puts(n)
+    exit(0)
+end
+waitpid(pid)
+done = true
+t.join()
+`,
+			Want: []string{
+				`k_stale.pint:11: [stale-state-after-fork] "n" is read in a fork()ed child but updated by a spawned thread (k_stale.pint:6): that thread does not exist in the child, so the value is frozen at whatever it was at fork time (the box64 stale-counter pattern) — reset it in a fork handler`,
+			},
+		},
+		{
+			Name: "pipe-end-double-close",
+			File: "k_doubleclose.pint",
+			Source: `ends = pipe_new()
+r = ends[0]
+w = ends[1]
+w.write("once")
+w.close()
+w.close()
+r.close()
+`,
+			Want: []string{
+				`k_doubleclose.pint:6: [pipe-double-close] pipe write end "w" is closed again: every path to this statement has already closed it — on a real kernel the second close() hits a recycled descriptor`,
+			},
+		},
+		{
+			Name: "grandchild-fork-tree",
+			File: "k_grandchild.pint",
+			Source: `q = queue_new()
+
+func feed() {
+    q.push(1)
+}
+
+spawn do
+    sleep(0.1)
+    feed()
+end
+
+pid = fork do
+    gpid = fork do
+        v = q.pop()
+        puts(v)
+    end
+    waitpid(gpid)
+end
+waitpid(pid)
+`,
+			Want: []string{
+				`k_grandchild.pint:14: [interthread-queue-across-fork] inter-thread queue "q" is used in code a fork()ed child runs; queue_new() queues are per-process, and the threads feeding this one exist only in the parent (the Listing 5 deadlock) — use mp_queue() across processes [call chain: fork@k_grandchild.pint:12 -> fork@k_grandchild.pint:13]`,
+			},
+		},
+	}
+}

@@ -1,0 +1,61 @@
+package corpus_test
+
+import (
+	"strings"
+	"testing"
+
+	"dionea/internal/analysis"
+	"dionea/internal/corpus"
+)
+
+// Every bug kernel must convict at its exact line with its exact
+// message — call chain included — and nothing else.
+func TestKernelsConvictExactly(t *testing.T) {
+	opts := analysis.Options{Globals: analysis.RuntimeGlobals()}
+	seen := map[string]bool{}
+	for _, k := range corpus.Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			if seen[k.Name] {
+				t.Fatalf("duplicate kernel name %q", k.Name)
+			}
+			seen[k.Name] = true
+			diags, err := analysis.AnalyzeSource(k.Source, k.File, opts)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			var got []string
+			for _, d := range diags {
+				got = append(got, d.String())
+			}
+			if len(got) != len(k.Want) {
+				t.Fatalf("got %d findings, want %d:\ngot:  %q\nwant: %q",
+					len(got), len(k.Want), got, k.Want)
+			}
+			for i := range k.Want {
+				if got[i] != k.Want[i] {
+					t.Errorf("finding %d:\ngot:  %s\nwant: %s", i, got[i], k.Want[i])
+				}
+			}
+		})
+	}
+	if len(seen) != 5 {
+		t.Fatalf("corpus has %d kernels, want 5", len(seen))
+	}
+}
+
+// The cross-call kernels must rely on interprocedural facts: each Want
+// that crosses a function boundary carries a call chain.
+func TestKernelChainsPresent(t *testing.T) {
+	chains := 0
+	for _, k := range corpus.Kernels() {
+		for _, w := range k.Want {
+			if strings.Contains(w, "[call chain:") {
+				chains++
+			}
+		}
+	}
+	if chains < 2 {
+		t.Fatalf("only %d kernel verdicts carry call chains; the corpus must exercise cross-call reporting", chains)
+	}
+}

@@ -149,9 +149,14 @@ func Attach(k *kernel.Kernel, p *kernel.Process, opt Options) (*Server, error) {
 			globals = analysis.RuntimeGlobals()
 		}
 		for _, d := range analysis.Analyze(opt.Program, analysis.Options{Globals: globals}) {
+			var chain []string
+			for _, f := range d.CallChain {
+				chain = append(chain, f.String())
+			}
 			s.hints = append(s.hints, protocol.Msg{
 				Kind: "event", Cmd: protocol.EventStaticHint,
 				File: d.File, Line: d.Line, Rule: d.Rule, Text: d.Message,
+				Chain: chain,
 			})
 		}
 	}

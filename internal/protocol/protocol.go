@@ -148,8 +148,11 @@ type Msg struct {
 	// Cond is an optional breakpoint condition, "NAME OP LITERAL" (e.g.
 	// "i == 3", `w == "fork"`); the breakpoint fires only when it holds.
 	Cond string `json:"cond,omitempty"`
-	// Rule is the analyzer rule ID carried by EventStaticHint.
-	Rule string `json:"rule,omitempty"`
+	// Rule is the analyzer rule ID carried by EventStaticHint; Chain is
+	// the call chain ("func@file:line" frames, fork/spawn site first)
+	// when the hazard crosses function boundaries.
+	Rule  string   `json:"rule,omitempty"`
+	Chain []string `json:"chain,omitempty"`
 
 	// Payloads.
 	Channel string       `json:"channel,omitempty"` // hello

@@ -1,0 +1,59 @@
+// Package rules is the shared vocabulary of diagnostic rule identifiers
+// used across the tool suite. pintvet (static, internal/analysis) and
+// pinttrace (dynamic, internal/trace) deliberately emit findings under
+// the same ids so that a static prediction can be confirmed or refuted
+// by a recording of a real run: a `fork-while-lock-held` hint from the
+// analyzer and a `stale-state-after-fork` verdict from a trace are two
+// views of one bug, keyed by one name.
+//
+// Keep this list append-only: ids are part of the -json output schema,
+// the Dionea static_hint protocol, and every committed golden fixture.
+package rules
+
+// Static + dynamic rule identifiers.
+const (
+	// ForkWhileLockHeld: fork() reachable while a mutex/semaphore may be
+	// held — the child inherits a lock whose owner thread does not exist
+	// in it (§5.3). Static: pintvet. Dynamic confirmation: the trace
+	// analyzer's stale-state rule covers the held-at-fork instant.
+	ForkWhileLockHeld = "fork-while-lock-held"
+
+	// QueueAcrossFork: an inter-thread queue crosses a fork — its peer
+	// threads exist only in the parent (the Listing 5 deadlock). Emitted
+	// by both pintvet and pinttrace.
+	QueueAcrossFork = "interthread-queue-across-fork"
+
+	// PipeEndLeak: a worker thread both creates pipes and forks, so
+	// concurrently forked siblings inherit write ends nobody closes (the
+	// parallel gem 0.5.9 deadlock, §6.4). Emitted by both tools.
+	PipeEndLeak = "pipe-end-leak"
+
+	// LockOrderCycle: two locks are acquired in inconsistent order on
+	// different code paths/threads. Static: pintvet's lock graph over
+	// creation-site identities. Dynamic: pinttrace's lock-order graph
+	// over concrete mutex objects.
+	LockOrderCycle = "lock-order-cycle"
+
+	// StaleStateAfterFork: state mutated by a sibling thread (typically a
+	// counter under a lock) is read in a fork()ed child where the
+	// mutating thread no longer exists, so the value is permanently
+	// stale — the box64 in_used pattern. Static: pintvet tracks counter
+	// mutations in thread bodies against reads in fork children.
+	// Dynamic: pinttrace flags forks taken while a sibling thread holds
+	// a mutex mid-update.
+	StaleStateAfterFork = "stale-state-after-fork"
+
+	// PipeDoubleClose: a pipe end is closed again on a path where it is
+	// already closed — the second close hits a recycled descriptor in a
+	// real kernel. Static only.
+	PipeDoubleClose = "pipe-double-close"
+
+	// UndefinedVariable / UnreachableCode: the classic always-on vet
+	// checks. Static only.
+	UndefinedVariable = "undefined-variable"
+	UnreachableCode   = "unreachable-code"
+
+	// Deadlock: the kernel's own blocked-forever verdict, re-anchored to
+	// source lines by the trace analyzer. Dynamic only.
+	Deadlock = "deadlock"
+)

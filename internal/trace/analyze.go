@@ -9,16 +9,21 @@ package trace
 import (
 	"fmt"
 	"sort"
+
+	"dionea/internal/rules"
 )
 
-// Rule identifiers. The first three deliberately match pintvet's static
-// rule ids; lock-order-cycle is trace-only (pintvet has no alias analysis
-// deep enough to order locks).
+// Rule identifiers, aliased from the shared internal/rules vocabulary:
+// pintvet emits static findings under the same ids, so a static hint
+// and a trace verdict for one bug carry one name. lock-order-cycle and
+// stale-state-after-fork exist on both sides since the v2 analyzer grew
+// its lock graph and fork-reachability.
 const (
-	RulePipeLeak       = "pipe-end-leak"
-	RuleQueueAcrossFrk = "interthread-queue-across-fork"
-	RuleDeadlock       = "deadlock"
-	RuleLockOrder      = "lock-order-cycle"
+	RulePipeLeak       = rules.PipeEndLeak
+	RuleQueueAcrossFrk = rules.QueueAcrossFork
+	RuleDeadlock       = rules.Deadlock
+	RuleLockOrder      = rules.LockOrderCycle
+	RuleStaleState     = rules.StaleStateAfterFork
 )
 
 // Finding is one confirmed dynamic diagnosis, anchored to the pint source
@@ -87,6 +92,7 @@ func (a *analyzer) run() {
 	a.modelFDs(events)
 	a.rulePipeLeak(events)
 	a.ruleLockOrder(events)
+	a.ruleStaleState(events)
 	a.ruleQueueAcrossFork(events)
 	a.ruleDeadlock(events)
 }
@@ -257,6 +263,68 @@ func (a *analyzer) ruleLockOrder(events []Event) {
 					"while holding #%d: inconsistent lock order can deadlock", m, n, n, m))
 		}
 	}
+}
+
+// ruleStaleState: the dynamic face of pintvet's stale-state-after-fork.
+// A fork() taken while a *sibling* thread of the same process holds a
+// mutex means that thread was mid-update on the state the mutex guards;
+// the child gets the fork-time snapshot of that state and no thread to
+// ever finish or refresh it (the box64 stale-counter pattern). Report
+// one finding per fork event, naming every mid-update sibling.
+func (a *analyzer) ruleStaleState(events []Event) {
+	held := map[hbKey][]uint64{}
+	for _, e := range events {
+		k := hbKey{e.PID, e.TID}
+		switch e.Op {
+		case OpMutexLock:
+			held[k] = append(held[k], e.Obj)
+		case OpMutexUnlock:
+			hs := held[k]
+			for i := len(hs) - 1; i >= 0; i-- {
+				if hs[i] == e.Obj {
+					held[k] = append(hs[:i], hs[i+1:]...)
+					break
+				}
+			}
+		case OpThreadExit, OpProcExit:
+			delete(held, k)
+		case OpForkParent:
+			var sibs []string
+			for hk, hs := range held {
+				if hk.pid != e.PID || hk.tid == e.TID || len(hs) == 0 {
+					continue
+				}
+				locks := append([]uint64(nil), hs...)
+				sort.Slice(locks, func(i, j int) bool { return locks[i] < locks[j] })
+				parts := make([]string, len(locks))
+				for i, o := range locks {
+					parts[i] = fmt.Sprintf("#%d", o)
+				}
+				sibs = append(sibs, fmt.Sprintf("thread %d holding mutex %s",
+					hk.tid, joinComma(parts)))
+			}
+			if len(sibs) == 0 {
+				continue
+			}
+			sort.Strings(sibs)
+			a.emit(e, RuleStaleState, fmt.Sprintf(
+				"fork() while a sibling thread is mid-update: %s — the child keeps "+
+					"the fork-time snapshot of the guarded state and no thread to "+
+					"finish it (the box64 stale-counter pattern); reset it in a "+
+					"fork handler", joinComma(sibs)))
+		}
+	}
+}
+
+func joinComma(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += ", "
+		}
+		out += p
+	}
+	return out
 }
 
 // ruleQueueAcrossFork: an inter-thread queue op in one process concurrent

@@ -395,6 +395,66 @@ func TestAnalyzeLockOrderCycle(t *testing.T) {
 	}
 }
 
+func TestAnalyzeStaleStateAfterFork(t *testing.T) {
+	files := []string{"", "stale.pint"}
+	evs := []Event{
+		// Thread 2 (the counter-updating worker) holds mutex 10 when
+		// thread 1 forks: the child's copy of the guarded state is frozen
+		// mid-update — the box64 stale-counter pattern, observed live.
+		{Seq: 1, PID: 1, TID: 2, Op: OpMutexLock, Obj: 10, File: 1, Line: 8},
+		{Seq: 2, PID: 1, TID: 1, Op: OpForkParent, Aux: 2, File: 1, Line: 12},
+		{Seq: 3, PID: 2, TID: 1, Op: OpForkChild, Aux: 1, File: 1, Line: 12},
+		{Seq: 4, PID: 1, TID: 2, Op: OpMutexUnlock, Obj: 10, File: 1, Line: 9},
+		{Seq: 5, PID: 1, TID: 1, Op: OpProcExit},
+		{Seq: 6, PID: 2, TID: 1, Op: OpProcExit},
+	}
+	fs := analyzeEvents(t, files, evs)
+	f := findRule(fs, RuleStaleState)
+	if f == nil {
+		t.Fatalf("no %s finding in %v", RuleStaleState, fs)
+	}
+	if f.File != "stale.pint" || f.Line != 12 || f.TID != 1 {
+		t.Fatalf("finding at %s:%d tid %d, want the fork at stale.pint:12 tid 1", f.File, f.Line, f.TID)
+	}
+}
+
+func TestAnalyzeNoStaleStateWhenForkerHoldsLock(t *testing.T) {
+	files := []string{"", "self.pint"}
+	evs := []Event{
+		// The forking thread itself holds the lock: that is the static
+		// fork-while-lock-held hazard, not a sibling mid-update — the
+		// dynamic stale-state rule must stay quiet.
+		{Seq: 1, PID: 1, TID: 1, Op: OpMutexLock, Obj: 10, File: 1, Line: 3},
+		{Seq: 2, PID: 1, TID: 1, Op: OpForkParent, Aux: 2, File: 1, Line: 4},
+		{Seq: 3, PID: 2, TID: 1, Op: OpForkChild, Aux: 1, File: 1, Line: 4},
+		{Seq: 4, PID: 1, TID: 1, Op: OpMutexUnlock, Obj: 10, File: 1, Line: 5},
+		{Seq: 5, PID: 1, TID: 1, Op: OpProcExit},
+		{Seq: 6, PID: 2, TID: 1, Op: OpProcExit},
+	}
+	fs := analyzeEvents(t, files, evs)
+	if f := findRule(fs, RuleStaleState); f != nil {
+		t.Fatalf("unexpected %s finding: %v", RuleStaleState, *f)
+	}
+}
+
+func TestAnalyzeNoStaleStateAfterRelease(t *testing.T) {
+	files := []string{"", "ok.pint"}
+	evs := []Event{
+		// The sibling released its lock before the fork — nothing is
+		// mid-update, so the rule must not fire.
+		{Seq: 1, PID: 1, TID: 2, Op: OpMutexLock, Obj: 10, File: 1, Line: 8},
+		{Seq: 2, PID: 1, TID: 2, Op: OpMutexUnlock, Obj: 10, File: 1, Line: 9},
+		{Seq: 3, PID: 1, TID: 1, Op: OpForkParent, Aux: 2, File: 1, Line: 12},
+		{Seq: 4, PID: 2, TID: 1, Op: OpForkChild, Aux: 1, File: 1, Line: 12},
+		{Seq: 5, PID: 1, TID: 1, Op: OpProcExit},
+		{Seq: 6, PID: 2, TID: 1, Op: OpProcExit},
+	}
+	fs := analyzeEvents(t, files, evs)
+	if f := findRule(fs, RuleStaleState); f != nil {
+		t.Fatalf("unexpected %s finding: %v", RuleStaleState, *f)
+	}
+}
+
 func TestAnalyzeQueueAcrossFork(t *testing.T) {
 	files := []string{"", "q.pint"}
 	evs := []Event{

@@ -17,6 +17,15 @@ fi
 echo "== go vet =="
 go vet ./...
 
+# staticcheck is optional locally (not every dev box has it) but CI
+# installs it, so lint findings still gate merges.
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck =="
+    staticcheck ./...
+else
+    echo "== staticcheck (skipped: not installed) =="
+fi
+
 echo "== go build =="
 go build ./...
 
