@@ -1,0 +1,66 @@
+// Command dioneabroker runs the debug fabric's broker: dioneas backends
+// register with it (-broker on their side), dioneac clients attach
+// through it (-broker on theirs), and debug sessions are placed on
+// backends by consistent hashing (DESIGN §8).
+//
+// Usage:
+//
+//	dioneabroker -listen 127.0.0.1:7700
+//	dioneas -broker 127.0.0.1:7700 -name be0 program.pint
+//	dioneas -broker 127.0.0.1:7700 -name be1 program.pint
+//	dioneac -broker 127.0.0.1:7700 -session dev
+//	dioneac -broker 127.0.0.1:7700 -observe dev
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dionea/internal/broker"
+	"dionea/internal/chaos"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7700", "address to accept backend and client connections on")
+	chaosSeed := flag.Int64("chaos", 0, "enable deterministic fault injection on accepted connections with this seed (0 = off)")
+	queueLen := flag.Int("queue", 256, "per-client event queue bound (slow observers shed beyond this)")
+	ping := flag.Duration("ping", 500*time.Millisecond, "backend health-check interval")
+	grace := flag.Duration("grace", 2*time.Second, "how long a dead backend's sessions wait for it to re-register")
+	quiet := flag.Bool("quiet", false, "suppress per-event fabric logging")
+	flag.Parse()
+
+	var inj *chaos.Injector
+	if *chaosSeed != 0 {
+		inj = chaos.New(*chaosSeed)
+	}
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", a...)
+	}
+	if *quiet {
+		logf = nil
+	}
+	bk, err := broker.Start(*listen, broker.Options{
+		Chaos:        inj,
+		QueueLen:     *queueLen,
+		PingInterval: *ping,
+		RehostGrace:  *grace,
+		Logf:         logf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dioneabroker: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "dioneabroker: listening on %s\n", bk.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	st := bk.Stats()
+	_ = bk.Close()
+	fmt.Fprintf(os.Stderr, "dioneabroker: shut down (%d backends, %d sessions, %d clients; queue high-water %d, %d events dropped)\n",
+		st.Backends, st.Sessions, st.Clients, st.QueueHighWater, st.EventsDropped)
+}

@@ -59,14 +59,38 @@ func main() {
 	portDir := flag.String("portdir", os.TempDir(), "directory with port-handoff files")
 	rootPID := flag.Int64("pid", 1, "pid of the root debuggee")
 	coreFile := flag.String("core", "", "open a PINTCORE1 file post-mortem instead of attaching")
+	brokerAddr := flag.String("broker", "", "attach through a dioneabroker at this address instead of port files")
+	observe := flag.String("observe", "", "attach to this session through the broker as a read-only observer")
 	flag.Parse()
 
 	if *coreFile != "" {
 		os.Exit(postMortem(*coreFile))
 	}
 
-	c := client.New(client.DirResolver{Dir: *portDir}, *session)
-	if _, err := c.ConnectRoot(*rootPID, 10*time.Second); err != nil {
+	var c *client.Client
+	var err error
+	switch {
+	case *observe != "" && *brokerAddr == "":
+		fmt.Fprintln(os.Stderr, "dioneac: -observe requires -broker ADDR")
+		os.Exit(2)
+	case *brokerAddr != "":
+		// Through the broker: -observe SESSION watches read-only; plain
+		// -session SESSION asks for control (granted if first).
+		sess, role := *session, protocol.RoleController
+		if *observe != "" {
+			sess, role = *observe, protocol.RoleObserver
+		}
+		c, err = client.NewBroker(*brokerAddr, sess, role, client.Options{})
+		if err == nil {
+			*rootPID = c.Sessions()[0]
+			fmt.Fprintf(os.Stderr, "dioneac: attached to session %q via broker %s as %s (root pid %d)\n",
+				sess, *brokerAddr, c.Role(), *rootPID)
+		}
+	default:
+		c = client.New(client.DirResolver{Dir: *portDir}, *session)
+		_, err = c.ConnectRoot(*rootPID, 10*time.Second)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "dioneac: %v\n", err)
 		os.Exit(1)
 	}
@@ -115,9 +139,19 @@ func (u *ui) printEvent(e client.Event) {
 	case "session_opened":
 		fmt.Printf("[pid %d] new debug session opened\n", m.PID)
 	case "session_closed":
-		fmt.Printf("[pid %d] debug session closed\n", m.PID)
+		if m.Reason != "" {
+			fmt.Printf("[pid %d] debug session closed: %s\n", m.PID, m.Reason)
+		} else {
+			fmt.Printf("[pid %d] debug session closed\n", m.PID)
+		}
 	case "session_reconnected":
 		fmt.Printf("[pid %d] source channel reconnected\n", m.PID)
+	case protocol.EventEventsDropped:
+		fmt.Printf("[broker] %d event(s) dropped for this observer (slow consumer)\n", m.Seq)
+	case protocol.EventControllerGranted:
+		fmt.Printf("[broker] this client now controls the session\n")
+	case protocol.EventControllerLost:
+		fmt.Printf("[broker] session controller disconnected\n")
 	case protocol.EventProcessExited:
 		why := ""
 		switch m.Code {

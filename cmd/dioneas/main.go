@@ -17,7 +17,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"dionea/internal/bytecode"
 	"dionea/internal/chaos"
@@ -40,6 +42,8 @@ func main() {
 	chaosSeed := flag.Int64("chaos", 0, "enable deterministic fault injection with this seed (0 = off)")
 	coreDir := flag.String("coredir", os.TempDir(), "directory for PINTCORE1 files (dump triggers and the `dump` command)")
 	watchdog := flag.Duration("watchdog", 0, "dump a core if no GIL hand-off happens for this long (0 = off)")
+	broker := flag.String("broker", "", "register with a dioneabroker at this address and host debug sessions on demand (backend mode)")
+	beName := flag.String("name", "", "backend name in the broker fabric (backend mode; default derived from hostname and pid)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: dioneas [flags] program.pint\n")
 		flag.PrintDefaults()
@@ -62,10 +66,51 @@ func main() {
 		os.Exit(1)
 	}
 
-	k := kernel.New()
 	var inj *chaos.Injector
 	if *chaosSeed != 0 {
 		inj = chaos.New(*chaosSeed)
+	}
+
+	if *broker != "" {
+		// Backend mode: no single debuggee — the broker asks this process
+		// to host session instances on demand, each in its own kernel.
+		bname := *beName
+		if bname == "" {
+			host, _ := os.Hostname()
+			bname = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		b := dionea.StartBackend(*broker, dionea.BackendOptions{
+			Name:       bname,
+			Proto:      proto,
+			Sources:    map[string]string{name: string(src)},
+			CheckEvery: *check,
+			Setup:      []func(*kernel.Process){ipc.Install},
+			Preludes: []*bytecode.FuncProto{
+				mp.MustPrelude(),
+				parallelgem.MustPreludeBuggy(),
+				parallelgem.MustPreludeFixed(),
+			},
+			Chaos: inj,
+			Logf: func(format string, a ...any) {
+				fmt.Fprintf(os.Stderr, "dioneas: "+format+"\n", a...)
+			},
+		})
+		fmt.Fprintf(os.Stderr, "dioneas: backend %q registering with broker %s\n", bname, *broker)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		b.Close()
+		return
+	}
+
+	// Sweep stale handoff files from a previous crashed run of this
+	// session before writing fresh ones, and again on the way out.
+	if removed := dionea.CleanupSessionFiles(*portDir, *session); len(removed) > 0 {
+		fmt.Fprintf(os.Stderr, "dioneas: removed %d stale handoff file(s) of session %q\n", len(removed), *session)
+	}
+
+	k := kernel.New()
+	if inj != nil {
 		k.SetChaos(inj)
 	}
 	if *traceOut != "" {
@@ -125,5 +170,9 @@ func main() {
 	if path := dumper.LastPath(); path != "" {
 		fmt.Fprintf(os.Stderr, "dioneas: core dumped: %s\n", path)
 	}
+	// Exit-side sweep: per-server exit hooks remove their own files, but
+	// a child that died without one (handoff error path) may have left a
+	// stale file behind.
+	dionea.CleanupSessionFiles(*portDir, *session)
 	os.Exit(p.ExitCode())
 }

@@ -1,0 +1,186 @@
+// The broker soak: a full fabric — broker, backend, client — with
+// fault injection on BOTH hops (broker↔backend and broker↔client),
+// across a spread of seeds. The debuggee may lose, connections may
+// drop mid-handshake, events may be shed — all fair — but every
+// session must end in a bounded, explicit way: a process_exited, a
+// clean session_closed with a reason, a session_reconnected, or an
+// events_dropped marker. Never a hang.
+package e2e
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"dionea/internal/broker"
+	"dionea/internal/chaos"
+	"dionea/internal/client"
+	"dionea/internal/compiler"
+	"dionea/internal/dionea"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+	"dionea/internal/protocol"
+)
+
+// brokerSoakSeeds mirrors soakSeeds with its own env knob so the
+// verify gate can scale the two soaks independently.
+func brokerSoakSeeds(t *testing.T) []int64 {
+	n := 5
+	if env := os.Getenv("BROKER_SOAK_SEEDS"); env != "" {
+		v, err := strconv.Atoi(env)
+		if err != nil || v < 1 {
+			t.Fatalf("BROKER_SOAK_SEEDS=%q", env)
+		}
+		n = v
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	return seeds
+}
+
+const brokerSoakSrc = `for i in range(3) {
+    pid = fork do
+        print("child", i)
+    end
+    if pid != -1 {
+        waitpid(pid)
+    }
+}
+print("soak done")
+`
+
+func brokerSoakOnce(t *testing.T, seed int64) {
+	proto, err := compiler.CompileSource(brokerSoakSrc, "soak.pint")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+
+	bk, err := broker.Start("127.0.0.1:0", broker.Options{
+		Chaos:        chaos.New(seed),
+		QueueLen:     64,
+		PingInterval: 200 * time.Millisecond,
+		RehostGrace:  time.Second,
+	})
+	if err != nil {
+		t.Fatalf("seed %d: broker start: %v", seed, err)
+	}
+	be := dionea.StartBackend(bk.Addr(), dionea.BackendOptions{
+		Name:        fmt.Sprintf("soak-be-%d", seed),
+		Proto:       proto,
+		Sources:     map[string]string{"soak.pint": brokerSoakSrc},
+		Setup:       []func(*kernel.Process){ipc.Install},
+		Chaos:       chaos.New(seed + 1000),
+		RedialFloor: 20 * time.Millisecond,
+	})
+
+	// The attach handshake crosses two chaos-wrapped hops, so it may be
+	// hit by injected faults; retry until the deadline — a clean error
+	// each time is exactly the contract, a hang is not.
+	session := "soak-" + strconv.FormatInt(seed, 10)
+	// One injector for the whole attach loop: a fresh injector per
+	// attempt would replay the identical deterministic fault sequence
+	// and fail every retry the same way.
+	clientChaos := chaos.New(seed + 2000)
+	var c *client.Client
+	attachDeadline := time.Now().Add(20 * time.Second)
+	for {
+		c, err = client.NewBroker(bk.Addr(), session, protocol.RoleController, client.Options{
+			Chaos:            clientChaos,
+			ReconnectWindow:  2 * time.Second,
+			HandshakeTimeout: 3 * time.Second,
+		})
+		if err == nil {
+			break
+		}
+		if time.Now().After(attachDeadline) {
+			t.Fatalf("seed %d: attach never succeeded: %v", seed, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	root := c.Sessions()[0]
+
+	// Release the parked main thread; the request may fail to injected
+	// faults — bounded failure is acceptable, and the terminal-signal
+	// contract below is only enforced when the release went through.
+	released := false
+	relDeadline := time.Now().Add(10 * time.Second)
+	for !released && time.Now().Before(relDeadline) {
+		infos, terr := c.Threads(root)
+		if terr != nil {
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		for _, ti := range infos {
+			if ti.Main {
+				if cerr := c.Continue(root, ti.TID); cerr == nil {
+					released = true
+				}
+				break
+			}
+		}
+	}
+
+	// Every session must end in an explicit terminal signal. Reconnects
+	// and drop markers may happen along the way; what may not happen is
+	// silence past the deadline after a successful release.
+	sawReconnect, sawDrops := false, false
+	if released {
+		_, werr := c.WaitEvent(func(e client.Event) bool {
+			switch e.Msg.Cmd {
+			case protocol.EventSessionReconnected:
+				sawReconnect = true
+			case protocol.EventEventsDropped:
+				sawDrops = true
+			case protocol.EventProcessExited:
+				return e.Msg.PID == root
+			case protocol.EventSessionClosed:
+				return true
+			}
+			return false
+		}, 25*time.Second)
+		if werr != nil {
+			t.Fatalf("seed %d: no terminal signal after release (reconnects=%v drops=%v): %v",
+				seed, sawReconnect, sawDrops, werr)
+		}
+	} else {
+		// The debug plane lost the session before release; it must still
+		// answer (with an error or data) rather than hang.
+		start := time.Now()
+		_, _ = c.Threads(root)
+		if time.Since(start) > 15*time.Second {
+			t.Fatalf("seed %d: post-loss request took %v", seed, time.Since(start))
+		}
+	}
+
+	// Teardown of the whole fabric must be bounded — faults must never
+	// leave a goroutine holding a lock that Close waits on.
+	done := make(chan struct{})
+	go func() {
+		c.Close()
+		be.Close()
+		_ = bk.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatalf("seed %d: fabric teardown hung", seed)
+	}
+}
+
+func TestBrokerChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak is not short")
+	}
+	for _, seed := range brokerSoakSeeds(t) {
+		seed := seed
+		t.Run("seed"+strconv.FormatInt(seed, 10), func(t *testing.T) {
+			t.Parallel()
+			brokerSoakOnce(t, seed)
+		})
+	}
+}

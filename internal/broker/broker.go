@@ -1,0 +1,865 @@
+// Package broker implements dioneabroker: one process that registers
+// many dioneas backends, places debug sessions on them by consistent
+// hashing, and multiplexes many client connections over one connection
+// per backend (DESIGN §8).
+//
+// The fabric's contracts, in one place:
+//
+//   - Placement: a client attach to an unknown session makes the broker
+//     pick the session's ring owner among host-capable backends and ask
+//     it (CmdHostSession) to start a fresh instance of its program
+//     under that name.
+//   - Roles: exactly one controller per session drives it; any number
+//     of observers watch read-only. When the controller disconnects,
+//     the oldest attachment that asked for control is promoted and told
+//     with controller_granted.
+//   - Backpressure: every source attachment has a bounded queue; a slow
+//     observer sheds coalescible events (output, source refreshes) and
+//     is told with events_dropped markers. Backends are never stalled
+//     by a slow client.
+//   - Health and failover: backends are pinged; a dead backend's
+//     sessions get a grace window for the backend to re-register (its
+//     registration lists hosted sessions, so they rebind), after which
+//     every attachment receives session_closed with a reason. A
+//     re-attach after that re-hosts the tree on a surviving backend.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"dionea/internal/chaos"
+	"dionea/internal/protocol"
+)
+
+// Options tunes a Broker. The zero value serves.
+type Options struct {
+	// Chaos, when non-nil, wraps every accepted connection so conn-drop /
+	// conn-delay / conn-tear faults fire on the broker's writes too.
+	Chaos *chaos.Injector
+	// QueueLen bounds each source attachment's event queue (default 256).
+	QueueLen int
+	// PingInterval / PingMisses drive backend health checks (defaults
+	// 500ms / 3): PingMisses consecutive failed pings declare a backend
+	// dead.
+	PingInterval time.Duration
+	PingMisses   int
+	// RehostGrace is how long a dead backend's sessions wait for it to
+	// re-register before they are declared lost (default 2s).
+	RehostGrace time.Duration
+	// WriteTimeout bounds every write to a client connection (default
+	// 2s): a client that stops draining its socket is detached, not
+	// waited on.
+	WriteTimeout time.Duration
+	// HostTimeout bounds a CmdHostSession round trip (default 15s).
+	HostTimeout time.Duration
+	// Logf receives one line per fabric state change; nil discards.
+	Logf func(format string, a ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueLen == 0 {
+		o.QueueLen = 256
+	}
+	if o.PingInterval == 0 {
+		o.PingInterval = 500 * time.Millisecond
+	}
+	if o.PingMisses == 0 {
+		o.PingMisses = 3
+	}
+	if o.RehostGrace == 0 {
+		o.RehostGrace = 2 * time.Second
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 2 * time.Second
+	}
+	if o.HostTimeout == 0 {
+		o.HostTimeout = 15 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Broker is the fabric process. Create with Start.
+type Broker struct {
+	opts Options
+	ln   net.Listener
+
+	mu       sync.Mutex
+	backends map[string]*backend
+	sessions map[string]*session
+	ring     *ring
+	closed   bool
+}
+
+// backend is one registered dioneas process: a single connection
+// carrying broker→backend requests (correlated by rewritten IDs) and
+// backend→broker session events.
+type backend struct {
+	name    string
+	canHost bool
+	conn    *protocol.Conn
+
+	mu      sync.Mutex
+	pending map[int64]chan *protocol.Msg
+	nextID  int64
+	gone    bool
+	goneCh  chan struct{}
+	failOne sync.Once
+}
+
+// session is one debug session: a process tree hosted on a backend plus
+// every client attached to it.
+type session struct {
+	name  string
+	ready chan struct{} // closed once hosting resolved
+
+	mu      sync.Mutex
+	hostErr error
+	root    int64
+	backend *backend // nil while orphaned (grace window)
+	clients map[string]*clientAtt
+	seq     int64
+	// replay holds the session's structural history (fork events), sent
+	// to every fresh source attachment so a late or reconnecting client
+	// learns the process tree. Transient events are not replayed.
+	replay []*protocol.Msg
+	closed bool
+}
+
+// clientAtt pairs the two connections of one client, matched by the
+// client-chosen name sent in both attach messages.
+type clientAtt struct {
+	name         string
+	seq          int64
+	wantsControl bool
+	controller   bool
+	cmd          *protocol.Conn
+	src          *protocol.Conn
+	q            *eventQueue
+}
+
+var errNoBackend = errors.New("broker: no host-capable backend registered")
+
+// Start listens on addr (host:port, empty port for ephemeral) and
+// serves until Close.
+func Start(addr string, opts Options) (*Broker, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	bk := &Broker{
+		opts:     opts.withDefaults(),
+		ln:       ln,
+		backends: make(map[string]*backend),
+		sessions: make(map[string]*session),
+		ring:     buildRing(nil),
+	}
+	go bk.acceptLoop()
+	return bk, nil
+}
+
+// Addr returns the listen address, for clients and backends to dial.
+func (bk *Broker) Addr() string { return bk.ln.Addr().String() }
+
+// Close stops the broker: the listener closes, every backend link is
+// torn down, and every session ends with session_closed.
+func (bk *Broker) Close() error {
+	bk.mu.Lock()
+	if bk.closed {
+		bk.mu.Unlock()
+		return nil
+	}
+	bk.closed = true
+	backends := make([]*backend, 0, len(bk.backends))
+	for _, be := range bk.backends {
+		backends = append(backends, be)
+	}
+	sessions := make([]*session, 0, len(bk.sessions))
+	for _, s := range bk.sessions {
+		sessions = append(sessions, s)
+	}
+	bk.mu.Unlock()
+	err := bk.ln.Close()
+	for _, be := range backends {
+		be.fail()
+	}
+	for _, s := range sessions {
+		bk.closeSession(s, "broker shutting down")
+	}
+	return err
+}
+
+func (bk *Broker) acceptLoop() {
+	for {
+		nc, err := bk.ln.Accept()
+		if err != nil {
+			return
+		}
+		go bk.serveConn(nc)
+	}
+}
+
+// serveConn handshakes one accepted connection: the first message
+// declares what it is (backend registration or client attach).
+func (bk *Broker) serveConn(nc net.Conn) {
+	conn := protocol.NewConn(chaos.WrapConn(nc, bk.opts.Chaos, nil))
+	conn.SetWriteTimeout(bk.opts.WriteTimeout)
+	conn.SetReadTimeout(10 * time.Second)
+	m, err := conn.Recv()
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	conn.SetReadTimeout(0)
+	switch m.Cmd {
+	case protocol.CmdRegisterBackend:
+		bk.serveBackend(conn, m)
+	case protocol.CmdAttach:
+		switch m.Channel {
+		case protocol.ChannelCommand:
+			bk.serveClientCmd(conn, m)
+		case protocol.ChannelSource:
+			bk.serveClientSrc(conn, m)
+		default:
+			_ = conn.Send(&protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd, Err: "attach: unknown channel " + m.Channel})
+			_ = conn.Close()
+		}
+	default:
+		_ = conn.Send(&protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd, Err: "expected register_backend or attach"})
+		_ = conn.Close()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Backends
+
+func (bk *Broker) serveBackend(conn *protocol.Conn, reg *protocol.Msg) {
+	// Backend events can be sparse; health is the ping loop's job, not a
+	// read deadline's.
+	conn.SetWriteTimeout(bk.opts.WriteTimeout)
+	be := &backend{
+		name:    reg.Text,
+		canHost: reg.On,
+		conn:    conn,
+		pending: make(map[int64]chan *protocol.Msg),
+		goneCh:  make(chan struct{}),
+	}
+	bk.mu.Lock()
+	if bk.closed {
+		bk.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	if old := bk.backends[be.name]; old != nil {
+		// Same name re-registering over a link the broker hasn't noticed
+		// dying yet: the new link wins.
+		go bk.backendDown(old)
+	}
+	bk.backends[be.name] = be
+	bk.rebuildRingLocked()
+	bk.mu.Unlock()
+	if err := conn.Send(&protocol.Msg{Kind: "resp", ID: reg.ID, Cmd: reg.Cmd, OK: true, Text: be.name}); err != nil {
+		bk.backendDown(be)
+		return
+	}
+	bk.opts.Logf("broker: backend %q registered (canHost=%v, sessions=%v)", be.name, be.canHost, reg.Sessions)
+
+	// Rebind sessions the backend still hosts from before its link
+	// dropped: they were orphaned, now they are live again.
+	for _, sn := range reg.Sessions {
+		bk.mu.Lock()
+		s := bk.sessions[sn]
+		bk.mu.Unlock()
+		if s == nil {
+			continue
+		}
+		s.mu.Lock()
+		rebound := false
+		if !s.closed && s.backend == nil {
+			s.backend = be
+			rebound = true
+		}
+		root := s.root
+		s.mu.Unlock()
+		if rebound {
+			bk.opts.Logf("broker: session %q rebound to backend %q", sn, be.name)
+			bk.fanout(s, &protocol.Msg{Kind: "event", Cmd: protocol.EventSessionReconnected, Session: sn, PID: root})
+		}
+	}
+
+	go bk.pingBackend(be)
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			bk.backendDown(be)
+			return
+		}
+		switch m.Kind {
+		case "resp":
+			be.routeResp(m)
+		case "event":
+			if m.Session == "" {
+				continue
+			}
+			bk.mu.Lock()
+			s := bk.sessions[m.Session]
+			bk.mu.Unlock()
+			if s != nil {
+				bk.fanout(s, m)
+			}
+		}
+	}
+}
+
+func (bk *Broker) pingBackend(be *backend) {
+	t := time.NewTicker(bk.opts.PingInterval)
+	defer t.Stop()
+	misses := 0
+	for {
+		select {
+		case <-be.goneCh:
+			return
+		case <-t.C:
+		}
+		_, err := be.request(&protocol.Msg{Kind: "req", Cmd: protocol.CmdPing}, bk.opts.PingInterval*time.Duration(bk.opts.PingMisses))
+		if err == nil {
+			misses = 0
+			continue
+		}
+		misses++
+		if misses >= bk.opts.PingMisses {
+			bk.opts.Logf("broker: backend %q failed %d pings, declaring dead", be.name, misses)
+			bk.backendDown(be)
+			return
+		}
+	}
+}
+
+// backendDown removes a dead backend and orphans its sessions: each
+// gets RehostGrace for the backend to re-register before it is closed.
+func (bk *Broker) backendDown(be *backend) {
+	be.fail()
+	bk.mu.Lock()
+	if bk.backends[be.name] == be {
+		delete(bk.backends, be.name)
+		bk.rebuildRingLocked()
+	}
+	orphans := make([]*session, 0)
+	for _, s := range bk.sessions {
+		s.mu.Lock()
+		if s.backend == be {
+			s.backend = nil
+			orphans = append(orphans, s)
+		}
+		s.mu.Unlock()
+	}
+	bk.mu.Unlock()
+	for _, s := range orphans {
+		bk.opts.Logf("broker: session %q orphaned by backend %q, grace %v", s.name, be.name, bk.opts.RehostGrace)
+		s := s
+		time.AfterFunc(bk.opts.RehostGrace, func() {
+			s.mu.Lock()
+			lost := !s.closed && s.backend == nil
+			s.mu.Unlock()
+			if lost {
+				bk.closeSession(s, fmt.Sprintf("backend %s lost", be.name))
+			}
+		})
+	}
+}
+
+func (bk *Broker) rebuildRingLocked() {
+	names := make([]string, 0, len(bk.backends))
+	for n, be := range bk.backends {
+		if be.canHost {
+			names = append(names, n)
+		}
+	}
+	bk.ring = buildRing(names)
+}
+
+// request sends m to the backend with a broker-assigned correlation ID
+// and waits for the matching response. The caller owns m.
+func (be *backend) request(m *protocol.Msg, timeout time.Duration) (*protocol.Msg, error) {
+	ch := make(chan *protocol.Msg, 1)
+	be.mu.Lock()
+	if be.gone {
+		be.mu.Unlock()
+		return nil, fmt.Errorf("broker: backend %s is gone", be.name)
+	}
+	be.nextID++
+	id := be.nextID
+	be.pending[id] = ch
+	be.mu.Unlock()
+	m.ID = id
+	if err := be.conn.Send(m); err != nil {
+		be.unpend(id)
+		return nil, err
+	}
+	select {
+	case r := <-ch:
+		if r == nil {
+			return nil, fmt.Errorf("broker: backend %s died mid-request", be.name)
+		}
+		return r, nil
+	case <-be.goneCh:
+		be.unpend(id)
+		return nil, fmt.Errorf("broker: backend %s died mid-request", be.name)
+	case <-time.After(timeout):
+		be.unpend(id)
+		return nil, fmt.Errorf("broker: %s to backend %s timed out", m.Cmd, be.name)
+	}
+}
+
+func (be *backend) unpend(id int64) {
+	be.mu.Lock()
+	delete(be.pending, id)
+	be.mu.Unlock()
+}
+
+func (be *backend) routeResp(m *protocol.Msg) {
+	be.mu.Lock()
+	ch := be.pending[m.ID]
+	delete(be.pending, m.ID)
+	be.mu.Unlock()
+	if ch != nil {
+		ch <- m
+	}
+}
+
+// fail tears the backend link down and fails every pending request.
+func (be *backend) fail() {
+	be.failOne.Do(func() {
+		be.mu.Lock()
+		be.gone = true
+		pending := be.pending
+		be.pending = make(map[int64]chan *protocol.Msg)
+		be.mu.Unlock()
+		close(be.goneCh)
+		for _, ch := range pending {
+			ch <- nil
+		}
+		_ = be.conn.Close()
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Sessions
+
+// getOrHost returns the session, placing and hosting it on its ring
+// owner if it does not exist yet. Concurrent attaches to the same new
+// session share one hosting round trip.
+func (bk *Broker) getOrHost(name string) (*session, error) {
+	bk.mu.Lock()
+	if bk.closed {
+		bk.mu.Unlock()
+		return nil, errors.New("broker: shutting down")
+	}
+	if s := bk.sessions[name]; s != nil {
+		bk.mu.Unlock()
+		<-s.ready
+		s.mu.Lock()
+		err, closed := s.hostErr, s.closed
+		s.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		if closed {
+			return nil, fmt.Errorf("broker: session %s is closed", name)
+		}
+		return s, nil
+	}
+	owner := bk.ring.owner(name)
+	be := bk.backends[owner]
+	if be == nil {
+		bk.mu.Unlock()
+		return nil, errNoBackend
+	}
+	s := &session{
+		name:    name,
+		ready:   make(chan struct{}),
+		clients: make(map[string]*clientAtt),
+	}
+	bk.sessions[name] = s
+	bk.mu.Unlock()
+
+	resp, err := be.request(&protocol.Msg{Kind: "req", Cmd: protocol.CmdHostSession, Session: name}, bk.opts.HostTimeout)
+	if err == nil && resp.Err != "" {
+		err = errors.New(resp.Err)
+	}
+	if err != nil {
+		s.mu.Lock()
+		s.hostErr = fmt.Errorf("broker: hosting %s on %s: %w", name, be.name, err)
+		err = s.hostErr
+		s.mu.Unlock()
+		close(s.ready)
+		bk.mu.Lock()
+		if bk.sessions[name] == s {
+			delete(bk.sessions, name)
+		}
+		bk.mu.Unlock()
+		return nil, err
+	}
+	s.mu.Lock()
+	s.root = resp.PID
+	s.backend = be
+	s.mu.Unlock()
+	close(s.ready)
+	bk.opts.Logf("broker: session %q hosted on backend %q (root pid %d)", name, be.name, resp.PID)
+	return s, nil
+}
+
+// fanout delivers one backend event to every source attachment's queue
+// and records structural events for replay to late joiners.
+func (bk *Broker) fanout(s *session, m *protocol.Msg) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if m.Cmd == protocol.EventForked && m.Child != 0 {
+		s.replay = append(s.replay, m)
+	}
+	for _, att := range s.clients {
+		if att.q != nil {
+			att.q.push(m)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// closeSession ends a session for every attachment: a final
+// session_closed with the reason, then queues drain and connections
+// close.
+func (bk *Broker) closeSession(s *session, reason string) {
+	bk.mu.Lock()
+	if bk.sessions[s.name] == s {
+		delete(bk.sessions, s.name)
+	}
+	bk.mu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	final := &protocol.Msg{Kind: "event", Cmd: protocol.EventSessionClosed, Session: s.name, PID: s.root, Reason: reason}
+	// Snapshot the per-attachment conns/queues under the lock: detach
+	// paths clear these fields concurrently.
+	type attRef struct {
+		q   *eventQueue
+		cmd *protocol.Conn
+	}
+	refs := make([]attRef, 0, len(s.clients))
+	for _, att := range s.clients {
+		refs = append(refs, attRef{q: att.q, cmd: att.cmd})
+	}
+	s.mu.Unlock()
+	bk.opts.Logf("broker: session %q closed: %s", s.name, reason)
+	for _, r := range refs {
+		if r.q != nil {
+			r.q.push(final)
+			r.q.close()
+		}
+		if r.cmd != nil {
+			_ = r.cmd.Close()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Clients
+
+// readonlyCmd is the observer allowlist: commands that inspect the
+// debuggee without perturbing it.
+func readonlyCmd(cmd string) bool {
+	switch cmd {
+	case protocol.CmdThreads, protocol.CmdStack, protocol.CmdVars,
+		protocol.CmdEval, protocol.CmdSource, protocol.CmdBreaks,
+		protocol.CmdPing:
+		return true
+	}
+	return false
+}
+
+// serveClientCmd runs one client command connection: grant a role,
+// answer pings locally, reject control from observers, forward the rest
+// to the session's backend with correlation-ID rewriting.
+func (bk *Broker) serveClientCmd(conn *protocol.Conn, at *protocol.Msg) {
+	s, err := bk.getOrHost(at.Session)
+	if err != nil {
+		_ = conn.Send(&protocol.Msg{Kind: "resp", ID: at.ID, Cmd: at.Cmd, Err: err.Error()})
+		_ = conn.Close()
+		return
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = conn.Send(&protocol.Msg{Kind: "resp", ID: at.ID, Cmd: at.Cmd, Err: "session closed"})
+		_ = conn.Close()
+		return
+	}
+	att := s.clients[at.Text]
+	if att == nil {
+		s.seq++
+		att = &clientAtt{name: at.Text, seq: s.seq}
+		s.clients[at.Text] = att
+	}
+	att.cmd = conn
+	att.wantsControl = at.Role == protocol.RoleController
+	if att.wantsControl && s.controllerLocked() == nil {
+		att.controller = true
+	}
+	granted := protocol.RoleObserver
+	if att.controller {
+		granted = protocol.RoleController
+	}
+	root := s.root
+	s.mu.Unlock()
+	if err := conn.Send(&protocol.Msg{Kind: "resp", ID: at.ID, Cmd: at.Cmd, OK: true, PID: root, Session: s.name, Role: granted}); err != nil {
+		bk.detachCmd(s, att, conn)
+		return
+	}
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			bk.detachCmd(s, att, conn)
+			return
+		}
+		switch {
+		case m.Cmd == protocol.CmdPing:
+			_ = conn.Send(&protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd, OK: true})
+		case m.Cmd == protocol.CmdDetach:
+			// Detaching one client must not detach the backend: other
+			// observers keep their session.
+			_ = conn.Send(&protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd, OK: true})
+		case !att.isController() && !readonlyCmd(m.Cmd):
+			_ = conn.Send(&protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd, Err: "observer attachment is read-only"})
+		default:
+			// Forward concurrently: a slow backend round trip must not
+			// block this client's heartbeat pings.
+			go bk.forward(s, conn, m)
+		}
+	}
+}
+
+func (s *session) controllerLocked() *clientAtt {
+	for _, att := range s.clients {
+		if att.controller {
+			return att
+		}
+	}
+	return nil
+}
+
+func (att *clientAtt) isController() bool {
+	// att.controller is only mutated under the session lock; reads here
+	// race only with promotion, which is benign (a just-promoted client
+	// retries).
+	return att.controller
+}
+
+// forward relays one client request to the session's backend, rewriting
+// the correlation ID both ways.
+func (bk *Broker) forward(s *session, conn *protocol.Conn, m *protocol.Msg) {
+	origID := m.ID
+	s.mu.Lock()
+	be := s.backend
+	s.mu.Unlock()
+	var resp *protocol.Msg
+	var err error
+	if be == nil {
+		err = errors.New("backend unavailable (failing over)")
+	} else {
+		resp, err = be.request(m, 10*time.Second)
+	}
+	if err != nil {
+		resp = &protocol.Msg{Kind: "resp", Cmd: m.Cmd, Err: err.Error()}
+	}
+	resp.ID = origID
+	_ = conn.Send(resp)
+}
+
+// detachCmd removes a command attachment; if it held control, the
+// oldest standby that asked for control is promoted.
+func (bk *Broker) detachCmd(s *session, att *clientAtt, conn *protocol.Conn) {
+	_ = conn.Close()
+	s.mu.Lock()
+	if att.cmd != conn {
+		s.mu.Unlock()
+		return
+	}
+	att.cmd = nil
+	wasController := att.controller
+	att.controller = false
+	if att.q == nil {
+		delete(s.clients, att.name)
+	}
+	var promoted *clientAtt
+	var lost []*eventQueue
+	if wasController && !s.closed {
+		for _, cand := range s.clients {
+			if cand.wantsControl && cand.cmd != nil && (promoted == nil || cand.seq < promoted.seq) {
+				promoted = cand
+			}
+		}
+		if promoted != nil {
+			promoted.controller = true
+		}
+		for _, other := range s.clients {
+			if other != promoted && other.q != nil {
+				lost = append(lost, other.q)
+			}
+		}
+	}
+	name, root := s.name, s.root
+	s.mu.Unlock()
+	if wasController {
+		for _, q := range lost {
+			q.push(&protocol.Msg{Kind: "event", Cmd: protocol.EventControllerLost, Session: name, PID: root})
+		}
+		if promoted != nil {
+			bk.opts.Logf("broker: session %q controller handed over to %q", name, promoted.name)
+			if promoted.q != nil {
+				promoted.q.push(&protocol.Msg{Kind: "event", Cmd: protocol.EventControllerGranted, Session: name, PID: root, Role: protocol.RoleController})
+			}
+		}
+	}
+}
+
+// serveClientSrc runs one client source connection: replay the
+// session's structure, then stream events through a bounded queue. The
+// session must already exist — source channels never trigger hosting,
+// so a reconnect after failover fails cleanly instead of resurrecting
+// the session.
+func (bk *Broker) serveClientSrc(conn *protocol.Conn, at *protocol.Msg) {
+	bk.mu.Lock()
+	s := bk.sessions[at.Session]
+	bk.mu.Unlock()
+	if s == nil {
+		_ = conn.Send(&protocol.Msg{Kind: "resp", ID: at.ID, Cmd: at.Cmd, Err: "unknown session " + at.Session})
+		_ = conn.Close()
+		return
+	}
+	<-s.ready
+	s.mu.Lock()
+	if s.hostErr != nil || s.closed {
+		s.mu.Unlock()
+		_ = conn.Send(&protocol.Msg{Kind: "resp", ID: at.ID, Cmd: at.Cmd, Err: "session closed"})
+		_ = conn.Close()
+		return
+	}
+	att := s.clients[at.Text]
+	if att == nil {
+		s.seq++
+		att = &clientAtt{name: at.Text, seq: s.seq}
+		s.clients[at.Text] = att
+	}
+	if att.q != nil {
+		// A reconnecting source channel replaces the old one.
+		att.q.close()
+		if att.src != nil {
+			_ = att.src.Close()
+		}
+	}
+	q := newEventQueue(bk.opts.QueueLen)
+	att.q = q
+	att.src = conn
+	for _, m := range s.replay {
+		q.push(m)
+	}
+	granted := protocol.RoleObserver
+	if att.controller {
+		granted = protocol.RoleController
+	}
+	root := s.root
+	s.mu.Unlock()
+	if err := conn.Send(&protocol.Msg{Kind: "resp", ID: at.ID, Cmd: at.Cmd, OK: true, PID: root, Session: s.name, Role: granted}); err != nil {
+		bk.detachSrc(s, att, q, conn)
+		return
+	}
+	// Writer: drain the queue onto the socket. The write deadline set at
+	// accept time converts a wedged client into a detach.
+	go func() {
+		for {
+			m, ok := q.pop()
+			if !ok {
+				_ = conn.Close()
+				return
+			}
+			if err := conn.Send(m); err != nil {
+				bk.detachSrc(s, att, q, conn)
+				return
+			}
+		}
+	}()
+	// Reader: the client never sends on the source channel; this read
+	// exists to notice the disconnect.
+	for {
+		if _, err := conn.Recv(); err != nil {
+			bk.detachSrc(s, att, q, conn)
+			return
+		}
+	}
+}
+
+func (bk *Broker) detachSrc(s *session, att *clientAtt, q *eventQueue, conn *protocol.Conn) {
+	q.close()
+	_ = conn.Close()
+	s.mu.Lock()
+	if att.q == q {
+		att.q = nil
+		att.src = nil
+		if att.cmd == nil {
+			delete(s.clients, att.name)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+
+// Stats is a point-in-time snapshot of the fabric, for tests and the
+// broker's own logging.
+type Stats struct {
+	Backends int
+	Sessions int
+	Clients  int
+	// QueueHighWater is the deepest any attachment queue has been;
+	// EventsDropped counts evictions across all queues. Both cover only
+	// currently-attached clients.
+	QueueHighWater int
+	EventsDropped  uint64
+}
+
+func (bk *Broker) Stats() Stats {
+	bk.mu.Lock()
+	sessions := make([]*session, 0, len(bk.sessions))
+	for _, s := range bk.sessions {
+		sessions = append(sessions, s)
+	}
+	st := Stats{Backends: len(bk.backends), Sessions: len(sessions)}
+	bk.mu.Unlock()
+	for _, s := range sessions {
+		s.mu.Lock()
+		st.Clients += len(s.clients)
+		for _, att := range s.clients {
+			if att.q != nil {
+				hw, dropped := att.q.stats()
+				if hw > st.QueueHighWater {
+					st.QueueHighWater = hw
+				}
+				st.EventsDropped += dropped
+			}
+		}
+		s.mu.Unlock()
+	}
+	return st
+}

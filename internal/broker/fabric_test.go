@@ -1,0 +1,428 @@
+// End-to-end fabric tests: a real broker, real dioneas backends hosting
+// real kernels, real clients attached through TCP. Everything runs
+// in-process, so a test failure is debuggable, but every byte crosses
+// the same loopback sockets production would use.
+package broker_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dionea/internal/broker"
+	"dionea/internal/client"
+	"dionea/internal/compiler"
+	"dionea/internal/dionea"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+	"dionea/internal/protocol"
+)
+
+// fabric spins up a broker plus n backends compiled from src and waits
+// until every backend has registered.
+func fabric(t *testing.T, n int, src string, bopts broker.Options) (*broker.Broker, []*dionea.Backend) {
+	t.Helper()
+	proto, err := compiler.CompileSource(src, "program.pint")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	bk, err := broker.Start("127.0.0.1:0", bopts)
+	if err != nil {
+		t.Fatalf("broker start: %v", err)
+	}
+	t.Cleanup(func() { _ = bk.Close() })
+	backends := make([]*dionea.Backend, n)
+	for i := range backends {
+		backends[i] = dionea.StartBackend(bk.Addr(), dionea.BackendOptions{
+			Name:    fmt.Sprintf("be%d", i),
+			Proto:   proto,
+			Sources: map[string]string{"program.pint": src},
+			Setup:   []func(*kernel.Process){ipc.Install},
+		})
+	}
+	t.Cleanup(func() {
+		for _, be := range backends {
+			be.Close()
+		}
+	})
+	waitFor(t, 5*time.Second, func() bool { return bk.Stats().Backends == n }, "backends registered")
+	return bk, backends
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// mainTID polls the processes-and-threads view for the parked main UE.
+func mainTID(t *testing.T, c *client.Client, pid int64) int64 {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		infos, err := c.Threads(pid)
+		if err == nil {
+			for _, ti := range infos {
+				if ti.Main {
+					return ti.TID
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no main thread for pid %d (last err: %v)", pid, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFabricBasic drives one session end to end through the broker: the
+// session is hosted on demand, the controller inspects and releases the
+// parked program, output and exit events arrive through the fan-out.
+func TestFabricBasic(t *testing.T) {
+	bk, _ := fabric(t, 2, `print("hello fabric")`, broker.Options{})
+	c, err := client.NewBroker(bk.Addr(), "dev", protocol.RoleController, client.Options{})
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	defer c.Close()
+	if c.Role() != protocol.RoleController {
+		t.Fatalf("role = %q, want controller", c.Role())
+	}
+	root := c.Sessions()[0]
+	tid := mainTID(t, c, root)
+	if err := c.Continue(root, tid); err != nil {
+		t.Fatalf("continue: %v", err)
+	}
+	sawOutput := false
+	_, err = c.WaitEvent(func(e client.Event) bool {
+		if e.Msg.Cmd == protocol.EventOutput && strings.Contains(e.Msg.Text, "hello fabric") {
+			sawOutput = true
+		}
+		return e.Msg.Cmd == protocol.EventProcessExited && e.Msg.PID == root
+	}, 15*time.Second)
+	if err != nil {
+		t.Fatalf("process_exited never arrived: %v", err)
+	}
+	if !sawOutput {
+		t.Fatalf("program output never reached the client through the fan-out")
+	}
+	if st := bk.Stats(); st.Sessions != 1 {
+		t.Fatalf("stats sessions = %d, want 1", st.Sessions)
+	}
+}
+
+// TestFabricPlacesSessionsAcrossBackends hosts many sessions and checks
+// the ring actually spreads them over every backend.
+func TestFabricPlacesSessionsAcrossBackends(t *testing.T) {
+	bk, backends := fabric(t, 4, `sleep(60)`, broker.Options{})
+	var clients []*client.Client
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	for i := 0; i < 24; i++ {
+		c, err := client.NewBroker(bk.Addr(), fmt.Sprintf("spread-%d", i), protocol.RoleController, client.Options{})
+		if err != nil {
+			t.Fatalf("attach %d: %v", i, err)
+		}
+		clients = append(clients, c)
+	}
+	if st := bk.Stats(); st.Sessions != 24 {
+		t.Fatalf("sessions = %d, want 24", st.Sessions)
+	}
+	for i, be := range backends {
+		if be.Hosted() == 0 {
+			t.Fatalf("backend %d hosts no sessions; placement is not spreading", i)
+		}
+	}
+}
+
+// TestObserverRejectedAndReadOnly: a second controller request is
+// granted observer, and observers cannot drive the debuggee.
+func TestObserverRejectedAndReadOnly(t *testing.T) {
+	bk, _ := fabric(t, 1, `print("x")`, broker.Options{})
+	ctl, err := client.NewBroker(bk.Addr(), "ro", protocol.RoleController, client.Options{})
+	if err != nil {
+		t.Fatalf("controller attach: %v", err)
+	}
+	defer ctl.Close()
+	obs, err := client.NewBroker(bk.Addr(), "ro", protocol.RoleController, client.Options{})
+	if err != nil {
+		t.Fatalf("second attach: %v", err)
+	}
+	defer obs.Close()
+	if obs.Role() != protocol.RoleObserver {
+		t.Fatalf("second controller request granted %q, want observer", obs.Role())
+	}
+	root := obs.Sessions()[0]
+	// Reads work.
+	tid := mainTID(t, obs, root)
+	if _, err := obs.Stack(root, tid); err != nil {
+		t.Fatalf("observer stack read failed: %v", err)
+	}
+	// Control does not.
+	if err := obs.Continue(root, tid); err == nil || !strings.Contains(err.Error(), "read-only") {
+		t.Fatalf("observer continue = %v, want read-only rejection", err)
+	}
+}
+
+// TestControllerHandover: when the controller disconnects, the oldest
+// attachment that asked for control is promoted and told so.
+func TestControllerHandover(t *testing.T) {
+	bk, _ := fabric(t, 1, `sleep(60)`, broker.Options{})
+	ctl, err := client.NewBroker(bk.Addr(), "hand", protocol.RoleController, client.Options{})
+	if err != nil {
+		t.Fatalf("controller attach: %v", err)
+	}
+	standby, err := client.NewBroker(bk.Addr(), "hand", protocol.RoleController, client.Options{})
+	if err != nil {
+		t.Fatalf("standby attach: %v", err)
+	}
+	defer standby.Close()
+	if standby.Role() != protocol.RoleObserver {
+		t.Fatalf("standby role = %q, want observer until handover", standby.Role())
+	}
+	ctl.Close()
+	if _, err := standby.WaitEvent(func(e client.Event) bool {
+		return e.Msg.Cmd == protocol.EventControllerGranted
+	}, 10*time.Second); err != nil {
+		t.Fatalf("controller_granted never arrived: %v", err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return standby.Role() == protocol.RoleController }, "role promotion")
+	// The promoted client can now actually drive the session.
+	root := standby.Sessions()[0]
+	tid := mainTID(t, standby, root)
+	if err := standby.Continue(root, tid); err != nil {
+		t.Fatalf("promoted controller cannot drive: %v", err)
+	}
+}
+
+// TestBackendFailover: killing a session's backend must end every
+// attachment with a clean session_closed carrying a reason — and a
+// re-attach must re-host the session on a fresh backend.
+func TestBackendFailover(t *testing.T) {
+	bk, backends := fabric(t, 1, `sleep(60)`, broker.Options{
+		PingInterval: 50 * time.Millisecond,
+		PingMisses:   2,
+		RehostGrace:  100 * time.Millisecond,
+	})
+	c, err := client.NewBroker(bk.Addr(), "fo", protocol.RoleController, client.Options{})
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	defer c.Close()
+	_ = mainTID(t, c, c.Sessions()[0])
+
+	backends[0].Close()
+	e, err := c.WaitEvent(func(e client.Event) bool {
+		return e.Msg.Cmd == protocol.EventSessionClosed && e.Msg.Reason != ""
+	}, 15*time.Second)
+	if err != nil {
+		t.Fatalf("session_closed with reason never arrived: %v", err)
+	}
+	if !strings.Contains(e.Msg.Reason, "lost") && !strings.Contains(e.Msg.Reason, "connection") {
+		t.Fatalf("session_closed reason = %q", e.Msg.Reason)
+	}
+
+	// A fresh backend joins; re-attaching the same session re-hosts it.
+	proto, err := compiler.CompileSource(`sleep(60)`, "program.pint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := dionea.StartBackend(bk.Addr(), dionea.BackendOptions{
+		Name:  "replacement",
+		Proto: proto,
+		Setup: []func(*kernel.Process){ipc.Install},
+	})
+	defer be.Close()
+	waitFor(t, 5*time.Second, func() bool { return bk.Stats().Backends == 1 }, "replacement registration")
+	c2, err := client.NewBroker(bk.Addr(), "fo", protocol.RoleController, client.Options{})
+	if err != nil {
+		t.Fatalf("re-attach after failover: %v", err)
+	}
+	defer c2.Close()
+	_ = mainTID(t, c2, c2.Sessions()[0])
+}
+
+// rawObserver attaches a bare source channel and captures the exact
+// bytes the broker writes — the fan-out identity check must compare
+// wire bytes, not parsed structures.
+type rawObserver struct {
+	conn  net.Conn
+	lines chan string
+}
+
+func attachRawObserver(t *testing.T, addr, session, name string) *rawObserver {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("raw observer dial: %v", err)
+	}
+	att, _ := json.Marshal(&protocol.Msg{
+		Kind: "req", Cmd: protocol.CmdAttach,
+		Channel: protocol.ChannelSource, Session: session,
+		Role: protocol.RoleObserver, Text: name,
+	})
+	if _, err := nc.Write(append(att, '\n')); err != nil {
+		t.Fatalf("raw observer attach: %v", err)
+	}
+	r := bufio.NewReader(nc)
+	resp, err := r.ReadString('\n')
+	if err != nil || !strings.Contains(resp, `"ok":true`) {
+		t.Fatalf("raw observer attach resp = %q, %v", resp, err)
+	}
+	o := &rawObserver{conn: nc, lines: make(chan string, 4096)}
+	go func() {
+		defer close(o.lines)
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				return
+			}
+			o.lines <- line
+		}
+	}()
+	t.Cleanup(func() { _ = nc.Close() })
+	return o
+}
+
+// collect drains lines until a line matching stop arrives or the
+// timeout expires.
+func (o *rawObserver) collect(t *testing.T, stop string, timeout time.Duration) []string {
+	t.Helper()
+	var got []string
+	deadline := time.After(timeout)
+	for {
+		select {
+		case line, ok := <-o.lines:
+			if !ok {
+				return got
+			}
+			got = append(got, line)
+			if strings.Contains(line, stop) {
+				return got
+			}
+		case <-deadline:
+			t.Fatalf("observer stream never delivered %q (got %d lines)", stop, len(got))
+		}
+	}
+}
+
+// stripMarkers removes events_dropped markers — the only permitted
+// per-observer divergence.
+func stripMarkers(lines []string) []string {
+	out := lines[:0:0]
+	for _, l := range lines {
+		if !strings.Contains(l, `"events_dropped"`) {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// TestObserverFanoutByteIdentical: N observers attached before the
+// program runs must see byte-for-byte identical event streams.
+func TestObserverFanoutByteIdentical(t *testing.T) {
+	src := `for i in range(20) {
+    print("tick", i)
+}`
+	bk, _ := fabric(t, 2, src, broker.Options{})
+	ctl, err := client.NewBroker(bk.Addr(), "fan", protocol.RoleController, client.Options{})
+	if err != nil {
+		t.Fatalf("controller attach: %v", err)
+	}
+	defer ctl.Close()
+	obs := make([]*rawObserver, 3)
+	for i := range obs {
+		obs[i] = attachRawObserver(t, bk.Addr(), "fan", fmt.Sprintf("raw-%d", i))
+	}
+	root := ctl.Sessions()[0]
+	tid := mainTID(t, ctl, root)
+	if err := ctl.Continue(root, tid); err != nil {
+		t.Fatalf("continue: %v", err)
+	}
+	streams := make([][]string, len(obs))
+	for i, o := range obs {
+		streams[i] = stripMarkers(o.collect(t, `"process_exited"`, 15*time.Second))
+	}
+	for i := 1; i < len(streams); i++ {
+		if a, b := strings.Join(streams[0], ""), strings.Join(streams[i], ""); a != b {
+			t.Fatalf("observer %d stream diverges from observer 0:\n--- observer 0 ---\n%s\n--- observer %d ---\n%s", i, a, i, b)
+		}
+	}
+	if len(stripMarkers(streams[0])) < 20 {
+		t.Fatalf("observer 0 saw only %d events for a 20-line program", len(streams[0]))
+	}
+}
+
+// TestSlowObserverCoalesces: an observer that stops reading gets
+// events shed (with an explicit marker once it resumes) while the
+// controller's stream is not stalled.
+func TestSlowObserverCoalesces(t *testing.T) {
+	// Long lines fill the slow observer's socket fast so its queue
+	// actually overflows.
+	src := `pad = "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"
+line = pad + pad + pad + pad + pad + pad + pad + pad
+for i in range(2000) {
+    print(line, i)
+}`
+	bk, _ := fabric(t, 1, src, broker.Options{
+		QueueLen:     8,
+		WriteTimeout: 10 * time.Second,
+	})
+	ctl, err := client.NewBroker(bk.Addr(), "slow", protocol.RoleController, client.Options{})
+	if err != nil {
+		t.Fatalf("controller attach: %v", err)
+	}
+	defer ctl.Close()
+	// The sloth attaches its source channel and then never reads: its
+	// socket fills, the broker's writer blocks, its bounded queue
+	// overflows — backpressure must stop there, not at the backend.
+	sloth, err := net.Dial("tcp", bk.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sloth.Close()
+	att, _ := json.Marshal(&protocol.Msg{
+		Kind: "req", Cmd: protocol.CmdAttach,
+		Channel: protocol.ChannelSource, Session: "slow",
+		Role: protocol.RoleObserver, Text: "sloth",
+	})
+	if _, err := sloth.Write(append(att, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := bufio.NewReader(sloth).ReadString('\n'); err != nil || !strings.Contains(resp, `"ok":true`) {
+		t.Fatalf("sloth attach resp = %q, %v", resp, err)
+	}
+
+	root := ctl.Sessions()[0]
+	tid := mainTID(t, ctl, root)
+	start := time.Now()
+	if err := ctl.Continue(root, tid); err != nil {
+		t.Fatalf("continue: %v", err)
+	}
+	// The controller must see the run end promptly despite the sloth.
+	if _, err := ctl.WaitEvent(func(e client.Event) bool {
+		return e.Msg.Cmd == protocol.EventProcessExited && e.Msg.PID == root
+	}, 20*time.Second); err != nil {
+		t.Fatalf("controller stalled behind slow observer: %v", err)
+	}
+	t.Logf("controller finished in %v with a wedged observer attached", time.Since(start))
+	waitFor(t, 10*time.Second, func() bool { return bk.Stats().EventsDropped > 0 }, "events shed for the slow observer")
+	// Critical events (process_exited, session_closed, handover) are
+	// never shed, so the bound may be exceeded by a handful of them —
+	// but never by the flood itself.
+	if hw := bk.Stats().QueueHighWater; hw > 8+4 {
+		t.Fatalf("queue high-water %d exceeded its bound 8 by more than the critical-event allowance", hw)
+	}
+}

@@ -1,0 +1,148 @@
+// Per-attachment bounded event queue: the backpressure boundary between
+// the backend's event stream and each client's socket. push never
+// blocks — a slow observer sheds load here instead of stalling the
+// backend read loop (and with it every other client of that backend).
+//
+// Overflow policy: evict the oldest *coalescible* event first (source
+// refreshes and output lines, which the client renders as
+// last-write-wins or a scrolling tail anyway); if none, evict the
+// oldest non-critical event. Critical events — the terminal and
+// role-change signals a client must never miss (process_exited,
+// session_closed, controller handover) — are never evicted; if the
+// buffer is all critical, push appends past the bound instead. That
+// overshoot is still bounded: a session emits only a handful of
+// critical events over its whole life. Every eviction is counted and
+// announced in-stream with an events_dropped marker carrying the
+// count, so an observer always knows its view has gaps — silence never
+// masquerades as completeness.
+package broker
+
+import (
+	"sync"
+
+	"dionea/internal/protocol"
+)
+
+type eventQueue struct {
+	mu      sync.Mutex
+	buf     []*protocol.Msg
+	max     int
+	dropped uint64 // evictions not yet announced to this client
+	closed  bool
+	wake    chan struct{} // 1-buffered: pop parks here when empty
+
+	// Stats for tests and the broker's introspection.
+	highWater    int
+	totalDropped uint64
+}
+
+func newEventQueue(max int) *eventQueue {
+	if max < 2 {
+		max = 2
+	}
+	return &eventQueue{max: max, wake: make(chan struct{}, 1)}
+}
+
+func coalescible(cmd string) bool {
+	return cmd == protocol.EventOutput || cmd == protocol.EventSourceSync
+}
+
+// critical events may never be shed: dropping one leaves the client
+// believing a session is still alive, or holding a stale role.
+func critical(cmd string) bool {
+	switch cmd {
+	case protocol.EventProcessExited, protocol.EventSessionClosed,
+		protocol.EventControllerGranted, protocol.EventControllerLost,
+		protocol.EventSessionReconnected:
+		return true
+	}
+	return false
+}
+
+// push enqueues m, evicting per the overflow policy if the queue is
+// full. It never blocks.
+func (q *eventQueue) push(m *protocol.Msg) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	if len(q.buf) >= q.max {
+		victim := -1
+		for i, e := range q.buf {
+			if coalescible(e.Cmd) {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			for i, e := range q.buf {
+				if !critical(e.Cmd) {
+					victim = i
+					break
+				}
+			}
+		}
+		if victim >= 0 {
+			copy(q.buf[victim:], q.buf[victim+1:])
+			q.buf = q.buf[:len(q.buf)-1]
+			q.dropped++
+			q.totalDropped++
+		}
+	}
+	q.buf = append(q.buf, m)
+	if len(q.buf) > q.highWater {
+		q.highWater = len(q.buf)
+	}
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// pop blocks until an event is available or the queue is closed. When
+// evictions happened since the last pop, the drop marker is delivered
+// first so the gap is announced before the events that follow it.
+func (q *eventQueue) pop() (*protocol.Msg, bool) {
+	for {
+		q.mu.Lock()
+		if q.dropped > 0 {
+			n := q.dropped
+			q.dropped = 0
+			q.mu.Unlock()
+			return &protocol.Msg{Kind: "event", Cmd: protocol.EventEventsDropped, Seq: n}, true
+		}
+		if len(q.buf) > 0 {
+			m := q.buf[0]
+			q.buf = q.buf[1:]
+			q.mu.Unlock()
+			return m, true
+		}
+		if q.closed {
+			q.mu.Unlock()
+			return nil, false
+		}
+		q.mu.Unlock()
+		<-q.wake
+	}
+}
+
+// close stops accepting events and wakes any parked pop. Events
+// already queued still drain: closeSession relies on a final
+// session_closed pushed just before close reaching the client.
+func (q *eventQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+func (q *eventQueue) stats() (highWater int, totalDropped uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.highWater, q.totalDropped
+}

@@ -1,0 +1,84 @@
+// Consistent-hash placement of debug sessions on backends. Each backend
+// contributes a fixed number of virtual nodes to a sorted ring; a
+// session lands on the first vnode clockwise of its hash. Adding or
+// removing one backend only moves the sessions that hashed to its
+// vnodes — the rest of the fabric is undisturbed, which is what makes
+// failover re-hosting cheap.
+package broker
+
+import "sort"
+
+const vnodesPerBackend = 64
+
+type vnode struct {
+	hash uint64
+	name string
+}
+
+type ring struct {
+	nodes []vnode
+}
+
+// hash64 is FNV-1a with a splitmix64 finalizer: FNV alone clusters
+// short, similar keys ("be0", "be1", ...); the finalizer scatters them.
+func hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// buildRing places vnodesPerBackend virtual nodes per name. Ties (hash
+// collisions across backends) break by name so the ring is
+// deterministic regardless of registration order.
+func buildRing(names []string) *ring {
+	r := &ring{nodes: make([]vnode, 0, len(names)*vnodesPerBackend)}
+	for _, n := range names {
+		for i := 0; i < vnodesPerBackend; i++ {
+			r.nodes = append(r.nodes, vnode{hash: hash64(n + "#" + itoa(i)), name: n})
+		}
+	}
+	sort.Slice(r.nodes, func(i, j int) bool {
+		if r.nodes[i].hash != r.nodes[j].hash {
+			return r.nodes[i].hash < r.nodes[j].hash
+		}
+		return r.nodes[i].name < r.nodes[j].name
+	})
+	return r
+}
+
+// owner returns the backend owning key, or "" on an empty ring.
+func (r *ring) owner(key string) string {
+	if len(r.nodes) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.nodes), func(i int) bool { return r.nodes[i].hash >= h })
+	if i == len(r.nodes) {
+		i = 0
+	}
+	return r.nodes[i].name
+}
+
+// itoa avoids pulling strconv into the hot hash path for two-digit
+// vnode indices.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

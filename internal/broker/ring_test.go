@@ -1,0 +1,133 @@
+package broker
+
+import (
+	"fmt"
+	"testing"
+
+	"dionea/internal/protocol"
+)
+
+func msg(cmd, text string) *protocol.Msg {
+	return &protocol.Msg{Kind: "event", Cmd: cmd, Text: text}
+}
+
+// The ring must be a pure function of the membership set — registration
+// order must not move sessions.
+func TestRingDeterministic(t *testing.T) {
+	a := buildRing([]string{"be0", "be1", "be2", "be3"})
+	b := buildRing([]string{"be3", "be1", "be0", "be2"})
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		if a.owner(key) != b.owner(key) {
+			t.Fatalf("owner(%q) depends on registration order: %q vs %q", key, a.owner(key), b.owner(key))
+		}
+	}
+}
+
+// With 64 vnodes per backend, 4 backends over 2000 keys should each own
+// a meaningful share — no backend starved, none dominating.
+func TestRingBalance(t *testing.T) {
+	names := []string{"be0", "be1", "be2", "be3"}
+	r := buildRing(names)
+	counts := map[string]int{}
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		counts[r.owner(fmt.Sprintf("session-%d", i))]++
+	}
+	for _, n := range names {
+		share := float64(counts[n]) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("backend %s owns %.1f%% of keys (counts=%v)", n, share*100, counts)
+		}
+	}
+}
+
+// Removing one backend must only move the keys it owned: consistent
+// hashing's whole point. Keys owned by survivors stay put.
+func TestRingMinimalMovement(t *testing.T) {
+	full := buildRing([]string{"be0", "be1", "be2", "be3"})
+	reduced := buildRing([]string{"be0", "be1", "be2"})
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("session-%d", i)
+		was, is := full.owner(key), reduced.owner(key)
+		if was == "be3" {
+			if is == "be3" {
+				t.Fatalf("key %q still owned by removed backend", key)
+			}
+			moved++
+			continue
+		}
+		if was != is {
+			t.Fatalf("key %q moved from surviving backend %q to %q", key, was, is)
+		}
+	}
+	if moved == 0 {
+		t.Fatalf("removed backend owned no keys — balance is broken")
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	if owner := buildRing(nil).owner("x"); owner != "" {
+		t.Fatalf("empty ring returned owner %q", owner)
+	}
+}
+
+// The queue's overflow policy: coalescible events are shed first, a
+// marker carries the exact count, and push never grows the queue past
+// its bound.
+func TestQueueOverflowPolicy(t *testing.T) {
+	q := newEventQueue(3)
+	q.push(msg("stopped", "a"))
+	q.push(msg("output", "b"))
+	q.push(msg("stopped", "c"))
+	q.push(msg("stopped", "d")) // overflow: "output" (coalescible) evicted
+	q.push(msg("stopped", "e")) // overflow: no coalescible left, oldest ("a") evicted
+
+	m, ok := q.pop()
+	if !ok || m.Cmd != "events_dropped" || m.Seq != 2 {
+		t.Fatalf("first pop = %+v, %v; want events_dropped with seq 2", m, ok)
+	}
+	var got []string
+	for i := 0; i < 3; i++ {
+		m, ok := q.pop()
+		if !ok {
+			t.Fatalf("queue closed early")
+		}
+		got = append(got, m.Text)
+	}
+	if got[0] != "c" || got[1] != "d" || got[2] != "e" {
+		t.Fatalf("surviving events = %v; want [c d e]", got)
+	}
+	hw, dropped := q.stats()
+	if hw != 3 || dropped != 2 {
+		t.Fatalf("stats = %d, %d; want 3, 2", hw, dropped)
+	}
+	// Critical events are never evicted: once the buffer holds only
+	// process_exited/session_closed, a later push sheds the newcomer's
+	// non-critical peers — or overshoots the bound — rather than lose
+	// a terminal signal.
+	q.push(msg("process_exited", "px"))
+	q.push(msg("session_closed", "sc"))
+	q.push(msg("stopped", "s1"))
+	q.push(msg("stopped", "s2")) // full: evicts s1 (oldest non-critical)
+	for _, want := range []string{"px", "sc", "s2"} {
+		m, ok := q.pop()
+		if m.Cmd == "events_dropped" {
+			m, ok = q.pop()
+		}
+		if !ok || m.Text != want {
+			t.Fatalf("critical-policy pop = %+v, %v; want %q", m, ok, want)
+		}
+	}
+
+	// close still drains what was pushed before it.
+	q.push(msg("stopped", "tail"))
+	q.close()
+	if m, ok := q.pop(); !ok || m.Text != "tail" {
+		t.Fatalf("pop after close = %+v, %v; want queued tail event", m, ok)
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatalf("pop past drained close succeeded")
+	}
+}

@@ -1,0 +1,11 @@
+//go:build race
+
+package broker_test
+
+// Race builds host fewer sessions: the race runtime caps live
+// goroutines at 8192, and each hosted session costs a dozen on each
+// side of the wire (kernel, server, internal client, controller).
+const (
+	stressSessions = 200
+	stressBackends = 4
+)

@@ -1,0 +1,10 @@
+//go:build !race
+
+package broker_test
+
+// Stress scale: the plain build hosts a thousand sessions across four
+// backends.
+const (
+	stressSessions = 1000
+	stressBackends = 4
+)

@@ -1,0 +1,113 @@
+// Fabric stress: a thousand debug sessions multiplexed across four
+// backends through one broker, every one a real kernel behind real
+// loopback sockets. The point is the resource model — bounded
+// per-client queues, a handful of broker↔backend links, no per-session
+// broker goroutine explosion — not event throughput (each session
+// parks at entry and is never released).
+package broker_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dionea/internal/broker"
+	"dionea/internal/client"
+	"dionea/internal/protocol"
+)
+
+func TestFabricStressThousandSessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	const queueLen = 64
+	bk, backends := fabric(t, stressBackends, "sleep(60)", broker.Options{
+		QueueLen:    queueLen,
+		HostTimeout: 30 * time.Second,
+	})
+
+	start := time.Now()
+	clients := make([]*client.Client, stressSessions)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 64) // bound concurrent attach handshakes
+	var mu sync.Mutex
+	var firstErr error
+	for i := range clients {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			c, err := client.NewBroker(bk.Addr(), fmt.Sprintf("stress-%d", i), protocol.RoleController, client.Options{})
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("session stress-%d: %w", i, err)
+				}
+				mu.Unlock()
+				return
+			}
+			clients[i] = c
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	t.Logf("hosted %d sessions across %d backends in %v", stressSessions, stressBackends, time.Since(start))
+
+	st := bk.Stats()
+	if st.Sessions != stressSessions {
+		t.Fatalf("broker hosts %d sessions; want %d", st.Sessions, stressSessions)
+	}
+	if st.Clients != stressSessions {
+		t.Fatalf("broker sees %d clients; want %d", st.Clients, stressSessions)
+	}
+	total := 0
+	for i, be := range backends {
+		n := be.Hosted()
+		if n == 0 {
+			t.Fatalf("backend be%d hosts no sessions — placement is broken", i)
+		}
+		total += n
+		t.Logf("be%d hosts %d sessions", i, n)
+	}
+	if total != stressSessions {
+		t.Fatalf("backends host %d sessions in total; want %d", total, stressSessions)
+	}
+	// Bounded memory: no client queue ever grew past its bound (plus
+	// the never-shed critical-event allowance).
+	if st.QueueHighWater > queueLen+4 {
+		t.Fatalf("queue high-water %d exceeded bound %d", st.QueueHighWater, queueLen)
+	}
+
+	// Every controller can still round-trip a request through its
+	// backend — spot-check a spread, not all thousand.
+	for i := 0; i < len(clients); i += len(clients) / 16 {
+		c := clients[i]
+		root := c.Sessions()[0]
+		if _, err := c.Threads(root); err != nil {
+			t.Fatalf("session stress-%d threads: %v", i, err)
+		}
+	}
+
+	// Tear the clients down in waves; the broker must survive mass
+	// disconnection without stalling.
+	for lo := 0; lo < len(clients); lo += 100 {
+		hi := lo + 100
+		if hi > len(clients) {
+			hi = len(clients)
+		}
+		var cwg sync.WaitGroup
+		for _, c := range clients[lo:hi] {
+			cwg.Add(1)
+			go func(c *client.Client) {
+				defer cwg.Done()
+				c.Close()
+			}(c)
+		}
+		cwg.Wait()
+	}
+	waitFor(t, 10*time.Second, func() bool { return bk.Stats().Clients == 0 }, "all clients detached")
+}

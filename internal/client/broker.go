@@ -1,0 +1,208 @@
+// Broker mode: instead of resolving per-process port files and holding
+// one connection pair per debuggee, the client dials a dioneabroker and
+// attaches to a named debug session. The whole process tree is then
+// multiplexed over a single connection pair; requests carry a
+// Session/PID envelope and the broker routes them to the dioneas
+// backend hosting the tree (DESIGN §8).
+//
+// The role decides what the attachment may do: the controller drives
+// the session (breakpoints, stepping, stdin, kill); observers share the
+// identical event stream but every control command is rejected by the
+// broker. When the controller disconnects, the oldest standby that
+// asked for control is promoted and told so with a controller_granted
+// event.
+
+package client
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"dionea/internal/protocol"
+)
+
+var clientSeq atomic.Int64
+
+// NewBroker attaches to the debug session named session through the
+// broker at addr (host:port), with the given role
+// (protocol.RoleController or protocol.RoleObserver). The returned
+// client exposes the same API as a direct one; the session's processes
+// appear in Sessions() as the backend announces them.
+func NewBroker(addr, session, role string, opts Options) (*Client, error) {
+	c := NewWith(nil, session, opts)
+	c.brokered = true
+	c.brokerAddr = addr
+	c.brokerName = fmt.Sprintf("%s-%d-%d", role, os.Getpid(), clientSeq.Add(1))
+	c.role.Store(protocol.RoleObserver)
+
+	// Command channel first: it claims (or fails to claim) the role, and
+	// its attach response tells us the session's root PID.
+	cmd, resp, err := c.attachBroker(protocol.ChannelCommand, role)
+	if err != nil {
+		return nil, err
+	}
+	src, _, err := c.attachBroker(protocol.ChannelSource, role)
+	if err != nil {
+		_ = cmd.Close()
+		return nil, err
+	}
+	c.role.Store(resp.Role)
+
+	s := &Session{
+		PID: resp.PID, cmd: cmd, src: src,
+		pending:  make(map[int64]chan *protocol.Msg),
+		closedCh: make(chan struct{}),
+	}
+	c.mu.Lock()
+	c.sessions[resp.PID] = s
+	c.mu.Unlock()
+
+	go c.brokerEventLoop(s)
+	go s.respLoop()
+	go c.heartbeat(s)
+	return c, nil
+}
+
+// Role returns the granted role of a broker attachment: "controller" or
+// "observer". It changes to controller when the broker hands the
+// session over after the previous controller disconnected.
+func (c *Client) Role() string {
+	if r, ok := c.role.Load().(string); ok {
+		return r
+	}
+	return ""
+}
+
+// Brokered reports whether this client is attached through a broker.
+func (c *Client) Brokered() bool { return c.brokered }
+
+// attachBroker dials the broker and performs the attach handshake for
+// one channel.
+func (c *Client) attachBroker(channel, role string) (*protocol.Conn, *protocol.Msg, error) {
+	conn, err := c.dialConn(c.brokerAddr)
+	if err != nil {
+		return nil, nil, err
+	}
+	req := &protocol.Msg{
+		Kind: "req", Cmd: protocol.CmdAttach,
+		Channel: channel, Session: c.sessionID, Role: role,
+		Text: c.brokerName,
+	}
+	if err := conn.Send(req); err != nil {
+		_ = conn.Close()
+		return nil, nil, err
+	}
+	// Hosting a fresh instance on a backend can take a moment; bound the
+	// wait so a wedged broker never hangs the attach.
+	conn.SetReadTimeout(c.opts.handshakeTimeout())
+	resp, err := conn.Recv()
+	conn.SetReadTimeout(0)
+	if err != nil {
+		_ = conn.Close()
+		return nil, nil, err
+	}
+	if resp.Err != "" {
+		_ = conn.Close()
+		return nil, nil, fmt.Errorf("client: broker rejected attach: %s", resp.Err)
+	}
+	return conn, resp, nil
+}
+
+// brokerEventLoop pumps the multiplexed source channel. Unlike the
+// direct loop there is nothing to dial per child: forked processes are
+// adopted by the backend, announced here, and merely registered so the
+// per-PID request API routes to the shared session.
+func (c *Client) brokerEventLoop(s *Session) {
+	for {
+		m, err := s.srcConn().Recv()
+		if err != nil {
+			if c.reconnectBrokerSrc(s) {
+				continue
+			}
+			c.dropSession(s)
+			s.closeForDrain()
+			c.emit(Event{PID: s.PID, Msg: &protocol.Msg{
+				Kind: "event", Cmd: protocol.EventSessionClosed,
+				PID: s.PID, Session: c.sessionID, Reason: "broker connection lost",
+			}})
+			return
+		}
+		switch m.Cmd {
+		case protocol.EventStopped, protocol.EventSourceSync, protocol.EventDeadlock:
+			c.noteFile(m.PID, m.TID, m.File)
+		case protocol.EventOutput:
+			c.outTail.add(m.PID, m.Text)
+		case protocol.EventForked:
+			if m.Child != 0 {
+				c.adoptBrokeredPID(s, m.Child)
+			}
+		case protocol.EventSessionOpened:
+			// The backend's internal client announces adopted children
+			// with their own PID.
+			c.adoptBrokeredPID(s, m.PID)
+		case protocol.EventControllerGranted:
+			c.role.Store(protocol.RoleController)
+		case protocol.EventSessionClosed:
+			if m.Session == c.sessionID && m.Reason != "" {
+				// The broker declared the whole session gone (backend
+				// lost past its grace window). Tear down cleanly; the
+				// caller may re-attach, which re-hosts the tree.
+				c.emit(Event{PID: s.PID, Msg: m})
+				c.dropSession(s)
+				s.close()
+				return
+			}
+		}
+		c.emit(Event{PID: s.PID, Msg: m})
+	}
+}
+
+// adoptBrokeredPID binds pid to the shared broker session so the typed
+// per-PID API works on it, and mirrors the direct client's
+// session_opened announcement the first time.
+func (c *Client) adoptBrokeredPID(s *Session, pid int64) {
+	c.mu.Lock()
+	_, known := c.sessions[pid]
+	if !known {
+		c.sessions[pid] = s
+	}
+	c.mu.Unlock()
+	if !known {
+		c.emit(Event{PID: pid, Msg: &protocol.Msg{Kind: "event", Cmd: protocol.EventSessionOpened, PID: pid}})
+	}
+}
+
+// reconnectBrokerSrc re-attaches a dropped source channel within the
+// reconnect window. The broker replays the session's current state
+// (hints, stops, children) on the fresh attachment, exactly as a direct
+// server would.
+func (c *Client) reconnectBrokerSrc(s *Session) bool {
+	s.mu.Lock()
+	old, closed := s.src, s.closed
+	s.mu.Unlock()
+	if closed {
+		return false
+	}
+	_ = old.Close()
+	deadline := time.Now().Add(c.opts.ReconnectWindow)
+	backoff := c.opts.BackoffFloor
+	for time.Now().Before(deadline) {
+		conn, _, err := c.attachBroker(protocol.ChannelSource, protocol.RoleObserver)
+		if err == nil {
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				_ = conn.Close()
+				return false
+			}
+			s.src = conn
+			s.mu.Unlock()
+			c.emit(Event{PID: s.PID, Msg: &protocol.Msg{Kind: "event", Cmd: protocol.EventSessionReconnected, PID: s.PID}})
+			return true
+		}
+		backoff = sleepBackoff(backoff, c.opts.BackoffCap, deadline)
+	}
+	return false
+}

@@ -10,6 +10,7 @@
 package client
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -19,8 +20,75 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dionea/internal/chaos"
 	"dionea/internal/protocol"
 )
+
+// Options tunes the client's reconnect and liveness machinery. The zero
+// value reproduces the historical behavior exactly; tests (and the
+// broker, whose soak wants sub-second failure detection) tighten the
+// timings instead of sleeping around hardcoded constants.
+type Options struct {
+	// BackoffFloor/BackoffCap bound the capped jittered exponential
+	// backoff used by the port-file poll, the handshake retry and the
+	// source-channel reconnect. Zero means the defaults (2ms / 100ms).
+	BackoffFloor time.Duration
+	BackoffCap   time.Duration
+	// ReconnectWindow bounds how long a dropped source channel is retried
+	// before the session is declared dead. Zero means 750ms.
+	ReconnectWindow time.Duration
+	// HeartbeatInterval/HeartbeatMisses configure the command-channel
+	// ping loop. Zero values track the package-level HeartbeatInterval /
+	// HeartbeatMisses variables (the historical knobs).
+	HeartbeatInterval time.Duration
+	HeartbeatMisses   int
+	// HandshakeTimeout bounds the wait for a broker attach response
+	// (which may include hosting a fresh instance on a backend). Zero
+	// means 15s; chaos soaks shorten it so a swallowed response costs
+	// one retry, not the whole attach budget.
+	HandshakeTimeout time.Duration
+	// Chaos, when non-nil, wraps every connection the client dials so
+	// client-side writes suffer injected conn-* faults too (the broker
+	// soak enables faults on both hops of the fabric).
+	Chaos *chaos.Injector
+}
+
+func (o Options) withDefaults() Options {
+	if o.BackoffFloor <= 0 {
+		o.BackoffFloor = backoffFloor
+	}
+	if o.BackoffCap <= 0 {
+		o.BackoffCap = backoffCap
+	}
+	if o.ReconnectWindow <= 0 {
+		o.ReconnectWindow = reconnectWindow
+	}
+	return o
+}
+
+// heartbeatInterval resolves the effective ping period: an explicit
+// option wins; otherwise the package variable is read at each tick so
+// existing tests that tweak it keep working.
+func (o Options) heartbeatInterval() time.Duration {
+	if o.HeartbeatInterval > 0 {
+		return o.HeartbeatInterval
+	}
+	return HeartbeatInterval
+}
+
+func (o Options) heartbeatMisses() int {
+	if o.HeartbeatMisses > 0 {
+		return o.HeartbeatMisses
+	}
+	return HeartbeatMisses
+}
+
+func (o Options) handshakeTimeout() time.Duration {
+	if o.HandshakeTimeout > 0 {
+		return o.HandshakeTimeout
+	}
+	return 15 * time.Second
+}
 
 // PortResolver resolves port-handoff temp files. *kernel.Kernel satisfies
 // it for in-process debugging; DirResolver reads real files written by a
@@ -81,6 +149,15 @@ func (s *Session) srcConn() *protocol.Conn {
 type Client struct {
 	K         PortResolver
 	sessionID string
+	opts      Options
+
+	// Broker mode (NewBroker): every PID of the debug session shares one
+	// multiplexed Session whose requests carry Session/PID envelopes;
+	// brokerAddr/brokerName re-attach the source channel after a drop.
+	brokered   bool
+	brokerAddr string
+	brokerName string
+	role       atomic.Value // string; controller or observer
 
 	mu       sync.Mutex
 	sessions map[int64]*Session
@@ -101,9 +178,15 @@ type Client struct {
 // files: pass the kernel for in-process debugging, or a DirResolver for a
 // server running in another OS process.
 func New(k PortResolver, sessionID string) *Client {
+	return NewWith(k, sessionID, Options{})
+}
+
+// NewWith is New with explicit reconnect/liveness options.
+func NewWith(k PortResolver, sessionID string, opts Options) *Client {
 	return &Client{
 		K:         k,
 		sessionID: sessionID,
+		opts:      opts.withDefaults(),
 		sessions:  make(map[int64]*Session),
 		events:    make(chan Event, 1024),
 		lastFile:  make(map[viewKey]string),
@@ -138,9 +221,9 @@ const (
 )
 
 // sleepBackoff sleeps a jittered slice of cur (full jitter in
-// [cur/2, cur], never past deadline) and returns the doubled, capped
-// next backoff.
-func sleepBackoff(cur time.Duration, deadline time.Time) time.Duration {
+// [cur/2, cur], never past deadline) and returns the doubled next
+// backoff, capped at cap.
+func sleepBackoff(cur, cap time.Duration, deadline time.Time) time.Duration {
 	sleep := cur/2 + time.Duration(rand.Int63n(int64(cur/2)+1))
 	if remain := time.Until(deadline); sleep > remain {
 		sleep = remain
@@ -149,19 +232,42 @@ func sleepBackoff(cur time.Duration, deadline time.Time) time.Duration {
 		time.Sleep(sleep)
 	}
 	next := cur * 2
-	if next > backoffCap {
-		next = backoffCap
+	if next > cap {
+		next = cap
 	}
 	return next
 }
 
+// TempRemover is the optional cleanup side of a PortResolver: resolvers
+// that can delete a handoff file implement it, so a file carrying a
+// terminal error is removed as soon as it has been consumed instead of
+// littering TMPDIR after a crashed run.
+type TempRemover interface {
+	TempRemove(name string)
+}
+
+// TempRemove implements TempRemover for real port directories.
+func (d DirResolver) TempRemove(name string) {
+	_ = os.Remove(filepath.Join(d.Dir, name))
+}
+
 // resolvePort polls the handoff temp file with backoff until deadline.
 func (c *Client) resolvePort(pid int64, deadline time.Time) (string, error) {
-	backoff := backoffFloor
+	backoff := c.opts.BackoffFloor
 	for {
-		if b, ok := c.K.TempRead(protocol.PortFileName(c.sessionID, pid)); ok {
+		name := protocol.PortFileName(c.sessionID, pid)
+		if b, ok := c.K.TempRead(name); ok {
 			port, err := protocol.ParsePort(b)
 			if err != nil {
+				// A handoff error is terminal for this file: the writer
+				// failed for good. Consume it so a crashed run does not
+				// leave the error file behind for the next session.
+				var herr *protocol.HandoffError
+				if errors.As(err, &herr) {
+					if rm, ok := c.K.(TempRemover); ok {
+						rm.TempRemove(name)
+					}
+				}
 				return "", fmt.Errorf("client: pid %d: %w", pid, err)
 			}
 			return port, nil
@@ -169,16 +275,26 @@ func (c *Client) resolvePort(pid int64, deadline time.Time) (string, error) {
 		if time.Now().After(deadline) {
 			return "", fmt.Errorf("client: no port file for pid %d", pid)
 		}
-		backoff = sleepBackoff(backoff, deadline)
+		backoff = sleepBackoff(backoff, c.opts.BackoffCap, deadline)
 	}
 }
 
-func dialChannel(port, channel string) (*protocol.Conn, error) {
-	nc, err := net.Dial("tcp", "127.0.0.1:"+port)
+// dialConn dials a raw debug-plane TCP connection, applying the
+// client-side chaos wrap when configured.
+func (c *Client) dialConn(addr string) (*protocol.Conn, error) {
+	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	conn := protocol.NewConn(nc)
+	nc = chaos.WrapConn(nc, c.opts.Chaos, nil)
+	return protocol.NewConn(nc), nil
+}
+
+func (c *Client) dialChannel(port, channel string) (*protocol.Conn, error) {
+	conn, err := c.dialConn("127.0.0.1:" + port)
+	if err != nil {
+		return nil, err
+	}
 	if err := conn.Send(&protocol.Msg{Kind: "req", Cmd: protocol.EventHello, Channel: channel}); err != nil {
 		_ = conn.Close()
 		return nil, err
@@ -210,11 +326,11 @@ func (c *Client) Connect(pid int64, timeout time.Duration) (*Session, error) {
 	// hit by an injected (or real) connection fault; retry until the
 	// deadline rather than failing the whole adoption on one bad dial.
 	var src, cmd *protocol.Conn
-	backoff := backoffFloor
+	backoff := c.opts.BackoffFloor
 	for {
-		src, err = dialChannel(port, protocol.ChannelSource)
+		src, err = c.dialChannel(port, protocol.ChannelSource)
 		if err == nil {
-			cmd, err = dialChannel(port, protocol.ChannelCommand)
+			cmd, err = c.dialChannel(port, protocol.ChannelCommand)
 			if err == nil {
 				break
 			}
@@ -223,7 +339,7 @@ func (c *Client) Connect(pid int64, timeout time.Duration) (*Session, error) {
 		if time.Now().After(deadline) {
 			return nil, err
 		}
-		backoff = sleepBackoff(backoff, deadline)
+		backoff = sleepBackoff(backoff, c.opts.BackoffCap, deadline)
 	}
 
 	s := &Session{
@@ -259,17 +375,13 @@ func (c *Client) eventLoop(s *Session) {
 			if c.reconnectSrc(s) {
 				continue
 			}
-			c.mu.Lock()
-			if c.sessions[s.PID] == s {
-				delete(c.sessions, s.PID)
-			}
-			c.mu.Unlock()
+			c.dropSession(s)
 			// Mark the session closed but leave the command connection
 			// to respLoop: responses the server sent before dying may
 			// still be in flight, and in-flight waiters should get them
 			// rather than a spurious ErrSessionClosed.
 			s.closeForDrain()
-			c.emit(Event{PID: s.PID, Msg: &protocol.Msg{Kind: "event", Cmd: "session_closed", PID: s.PID}})
+			c.emit(Event{PID: s.PID, Msg: &protocol.Msg{Kind: "event", Cmd: protocol.EventSessionClosed, PID: s.PID}})
 			return
 		}
 		if m.Cmd == protocol.EventProcessExited && m.PID == s.PID {
@@ -287,7 +399,7 @@ func (c *Client) eventLoop(s *Session) {
 			child := m.Child
 			go func() {
 				if _, err := c.Connect(child, 5*time.Second); err == nil {
-					c.emit(Event{PID: child, Msg: &protocol.Msg{Kind: "event", Cmd: "session_opened", PID: child}})
+					c.emit(Event{PID: child, Msg: &protocol.Msg{Kind: "event", Cmd: protocol.EventSessionOpened, PID: child}})
 				}
 			}()
 		}
@@ -308,12 +420,12 @@ func (c *Client) reconnectSrc(s *Session) bool {
 		return false
 	}
 	_ = old.Close()
-	deadline := time.Now().Add(reconnectWindow)
-	backoff := backoffFloor
+	deadline := time.Now().Add(c.opts.ReconnectWindow)
+	backoff := c.opts.BackoffFloor
 	for time.Now().Before(deadline) {
 		port, err := c.resolvePort(s.PID, time.Now()) // single probe, no poll
 		if err == nil {
-			if conn, derr := dialChannel(port, protocol.ChannelSource); derr == nil {
+			if conn, derr := c.dialChannel(port, protocol.ChannelSource); derr == nil {
 				s.mu.Lock()
 				if s.closed {
 					s.mu.Unlock()
@@ -322,11 +434,11 @@ func (c *Client) reconnectSrc(s *Session) bool {
 				}
 				s.src = conn
 				s.mu.Unlock()
-				c.emit(Event{PID: s.PID, Msg: &protocol.Msg{Kind: "event", Cmd: "session_reconnected", PID: s.PID}})
+				c.emit(Event{PID: s.PID, Msg: &protocol.Msg{Kind: "event", Cmd: protocol.EventSessionReconnected, PID: s.PID}})
 				return true
 			}
 		}
-		backoff = sleepBackoff(backoff, deadline)
+		backoff = sleepBackoff(backoff, c.opts.BackoffCap, deadline)
 	}
 	return false
 }
@@ -356,7 +468,7 @@ func (s *Session) respLoop() {
 	for {
 		m, err := s.cmd.Recv()
 		if err != nil {
-			s.close()
+			s.closeCmdSide()
 			return
 		}
 		s.mu.Lock()
@@ -380,15 +492,40 @@ func (s *Session) respLoop() {
 // completes the teardown via close() when the conn reports EOF.
 func (s *Session) closeForDrain() {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return
-	}
+	already := s.closed
 	s.closed = true
 	src := s.src
 	s.mu.Unlock()
-	close(s.closedCh)
+	if !already {
+		close(s.closedCh)
+	}
+	// Close the source connection even if the command side marked the
+	// session closed first — each side owns its own conn's teardown.
 	_ = src.Close()
+}
+
+// closeCmdSide is the command-side teardown, symmetric to
+// closeForDrain: it marks the session closed, closes the command
+// connection, and unblocks pending waiters — but deliberately leaves
+// the source connection to eventLoop. When a dying server closes both
+// channels, the command side often reports EOF first while delivered
+// events (process_exited among them) still sit unread in the source
+// socket; closing it here would discard them. eventLoop drains the
+// tail, then completes the teardown via closeForDrain.
+func (s *Session) closeCmdSide() {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	pending := s.pending
+	s.pending = make(map[int64]chan *protocol.Msg)
+	s.mu.Unlock()
+	if !already {
+		close(s.closedCh)
+	}
+	_ = s.cmd.Close()
+	for _, ch := range pending {
+		close(ch)
+	}
 }
 
 // close is the full teardown: everything is closed and every pending
@@ -481,12 +618,13 @@ var (
 func (c *Client) heartbeat(s *Session) {
 	misses := 0
 	for {
+		interval := c.opts.heartbeatInterval()
 		select {
 		case <-s.closedCh:
 			return
-		case <-time.After(HeartbeatInterval):
+		case <-time.After(interval):
 		}
-		_, err := s.Request(&protocol.Msg{Cmd: protocol.CmdPing}, HeartbeatInterval)
+		_, err := s.Request(&protocol.Msg{Cmd: protocol.CmdPing}, interval)
 		if err == nil {
 			misses = 0
 			continue
@@ -494,17 +632,45 @@ func (c *Client) heartbeat(s *Session) {
 		if err == ErrSessionClosed {
 			return
 		}
-		if misses++; misses < HeartbeatMisses {
+		if misses++; misses < c.opts.heartbeatMisses() {
 			continue
 		}
-		c.mu.Lock()
-		if c.sessions[s.PID] == s {
-			delete(c.sessions, s.PID)
-		}
-		c.mu.Unlock()
+		c.dropSession(s)
 		s.close()
-		c.emit(Event{PID: s.PID, Msg: &protocol.Msg{Kind: "event", Cmd: "session_closed", PID: s.PID}})
+		c.emit(Event{PID: s.PID, Msg: &protocol.Msg{Kind: "event", Cmd: protocol.EventSessionClosed, PID: s.PID}})
 		return
+	}
+}
+
+// dropSession removes every pid entry bound to s — one in direct mode,
+// the whole adopted tree in broker mode.
+func (c *Client) dropSession(s *Session) {
+	c.mu.Lock()
+	for pid, cur := range c.sessions {
+		if cur == s {
+			delete(c.sessions, pid)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Close tears down every session: connections close, pending requests
+// fail, the event loops wind down. One session in broker mode, one per
+// adopted process in direct mode.
+func (c *Client) Close() {
+	c.mu.Lock()
+	seen := make(map[*Session]bool, len(c.sessions))
+	all := make([]*Session, 0, len(c.sessions))
+	for _, s := range c.sessions {
+		if !seen[s] {
+			seen[s] = true
+			all = append(all, s)
+		}
+	}
+	c.sessions = make(map[int64]*Session)
+	c.mu.Unlock()
+	for _, s := range all {
+		s.close()
 	}
 }
 
@@ -520,17 +686,29 @@ func (c *Client) session(pid int64) (*Session, error) {
 	return s, nil
 }
 
+// request routes one command to pid's session. In broker mode the
+// message is stamped with the debug-session name and the target PID so
+// the broker can route the envelope; on the direct path the wire format
+// is exactly the historical one.
+func (c *Client) request(pid int64, m *protocol.Msg, timeout time.Duration) (*protocol.Msg, error) {
+	s, err := c.session(pid)
+	if err != nil {
+		return nil, err
+	}
+	if c.brokered {
+		m.Session = c.sessionID
+		m.PID = pid
+	}
+	return s.Request(m, timeout)
+}
+
 // ---- command API ----
 
 // Raw sends an arbitrary request on a session's command channel and
 // returns the response. Intended for tooling and robustness tests; the
 // typed methods below are the normal API.
 func (c *Client) Raw(pid int64, m *protocol.Msg, timeout time.Duration) (*protocol.Msg, error) {
-	s, err := c.session(pid)
-	if err != nil {
-		return nil, err
-	}
-	return s.Request(m, timeout)
+	return c.request(pid, m, timeout)
 }
 
 // SetBreak sets a breakpoint.
@@ -541,84 +719,52 @@ func (c *Client) SetBreak(pid int64, file string, line int) error {
 // SetBreakIf sets a conditional breakpoint; cond is "NAME OP LITERAL"
 // (e.g. `i == 3`, `w == "fork"`), empty for unconditional.
 func (c *Client) SetBreakIf(pid int64, file string, line int, cond string) error {
-	s, err := c.session(pid)
-	if err != nil {
-		return err
-	}
-	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdSetBreak, File: file, Line: line, Cond: cond}, defaultTimeout)
+	_, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdSetBreak, File: file, Line: line, Cond: cond}, defaultTimeout)
 	return err
 }
 
 // ClearBreak removes a breakpoint.
 func (c *Client) ClearBreak(pid int64, file string, line int) error {
-	s, err := c.session(pid)
-	if err != nil {
-		return err
-	}
-	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdClearBreak, File: file, Line: line}, defaultTimeout)
+	_, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdClearBreak, File: file, Line: line}, defaultTimeout)
 	return err
 }
 
 // Continue resumes a suspended UE.
 func (c *Client) Continue(pid, tid int64) error {
-	s, err := c.session(pid)
-	if err != nil {
-		return err
-	}
-	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdContinue, TID: tid}, defaultTimeout)
+	_, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdContinue, TID: tid}, defaultTimeout)
 	return err
 }
 
 // Step resumes a suspended UE until the next line (stepping into calls).
 func (c *Client) Step(pid, tid int64) error {
-	s, err := c.session(pid)
-	if err != nil {
-		return err
-	}
-	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdStep, TID: tid}, defaultTimeout)
+	_, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdStep, TID: tid}, defaultTimeout)
 	return err
 }
 
 // Next resumes a suspended UE until the next line in the same (or a
 // shallower) frame.
 func (c *Client) Next(pid, tid int64) error {
-	s, err := c.session(pid)
-	if err != nil {
-		return err
-	}
-	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdNext, TID: tid}, defaultTimeout)
+	_, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdNext, TID: tid}, defaultTimeout)
 	return err
 }
 
 // Finish resumes a suspended UE until its current frame returns (step
 // out).
 func (c *Client) Finish(pid, tid int64) error {
-	s, err := c.session(pid)
-	if err != nil {
-		return err
-	}
-	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdFinish, TID: tid}, defaultTimeout)
+	_, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdFinish, TID: tid}, defaultTimeout)
 	return err
 }
 
 // SuspendAll parks every UE of one process at its next line event — the
 // whole-program operation of §4.
 func (c *Client) SuspendAll(pid int64) error {
-	s, err := c.session(pid)
-	if err != nil {
-		return err
-	}
-	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdSuspendAll}, defaultTimeout)
+	_, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdSuspendAll}, defaultTimeout)
 	return err
 }
 
 // ResumeAll releases every suspended UE of one process.
 func (c *Client) ResumeAll(pid int64) error {
-	s, err := c.session(pid)
-	if err != nil {
-		return err
-	}
-	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdResumeAll}, defaultTimeout)
+	_, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdResumeAll}, defaultTimeout)
 	return err
 }
 
@@ -645,21 +791,13 @@ func (c *Client) ResumeWorld() error {
 
 // Suspend asks a running UE to park at its next line event.
 func (c *Client) Suspend(pid, tid int64) error {
-	s, err := c.session(pid)
-	if err != nil {
-		return err
-	}
-	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdSuspend, TID: tid}, defaultTimeout)
+	_, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdSuspend, TID: tid}, defaultTimeout)
 	return err
 }
 
 // Threads lists the UEs of a process.
 func (c *Client) Threads(pid int64) ([]protocol.ThreadInfo, error) {
-	s, err := c.session(pid)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := s.Request(&protocol.Msg{Cmd: protocol.CmdThreads}, defaultTimeout)
+	resp, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdThreads}, defaultTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -668,11 +806,7 @@ func (c *Client) Threads(pid int64) ([]protocol.ThreadInfo, error) {
 
 // Stack returns a suspended UE's frames.
 func (c *Client) Stack(pid, tid int64) ([]protocol.FrameInfo, error) {
-	s, err := c.session(pid)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := s.Request(&protocol.Msg{Cmd: protocol.CmdStack, TID: tid}, defaultTimeout)
+	resp, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdStack, TID: tid}, defaultTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -681,11 +815,7 @@ func (c *Client) Stack(pid, tid int64) ([]protocol.FrameInfo, error) {
 
 // Vars returns the variables view of a suspended UE.
 func (c *Client) Vars(pid, tid int64) ([]protocol.VarInfo, error) {
-	s, err := c.session(pid)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := s.Request(&protocol.Msg{Cmd: protocol.CmdVars, TID: tid}, defaultTimeout)
+	resp, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdVars, TID: tid}, defaultTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -694,11 +824,7 @@ func (c *Client) Vars(pid, tid int64) ([]protocol.VarInfo, error) {
 
 // Eval inspects a variable by name in a suspended UE.
 func (c *Client) Eval(pid, tid int64, name string) (string, error) {
-	s, err := c.session(pid)
-	if err != nil {
-		return "", err
-	}
-	resp, err := s.Request(&protocol.Msg{Cmd: protocol.CmdEval, TID: tid, Text: name}, defaultTimeout)
+	resp, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdEval, TID: tid, Text: name}, defaultTimeout)
 	if err != nil {
 		return "", err
 	}
@@ -708,11 +834,7 @@ func (c *Client) Eval(pid, tid int64, name string) (string, error) {
 // Source fetches source text from the server (the source-sync channel's
 // request side).
 func (c *Client) Source(pid int64, file string) (string, error) {
-	s, err := c.session(pid)
-	if err != nil {
-		return "", err
-	}
-	resp, err := s.Request(&protocol.Msg{Cmd: protocol.CmdSource, File: file}, defaultTimeout)
+	resp, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdSource, File: file}, defaultTimeout)
 	if err != nil {
 		return "", err
 	}
@@ -723,42 +845,26 @@ func (c *Client) Source(pid int64, file string) (string, error) {
 // Input window ("if the program requires input from the user, this is the
 // place to enter data").
 func (c *Client) SendInput(pid int64, line string) error {
-	s, err := c.session(pid)
-	if err != nil {
-		return err
-	}
-	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdStdin, Text: line}, defaultTimeout)
+	_, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdStdin, Text: line}, defaultTimeout)
 	return err
 }
 
 // Disturb toggles disturb mode on a process (§6.4).
 func (c *Client) Disturb(pid int64, on bool) error {
-	s, err := c.session(pid)
-	if err != nil {
-		return err
-	}
-	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdDisturb, On: on}, defaultTimeout)
+	_, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdDisturb, On: on}, defaultTimeout)
 	return err
 }
 
 // Detach disables the debug server for a process: traces become no-ops
 // and parked threads are released.
 func (c *Client) Detach(pid int64) error {
-	s, err := c.session(pid)
-	if err != nil {
-		return err
-	}
-	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdDetach}, defaultTimeout)
+	_, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdDetach}, defaultTimeout)
 	return err
 }
 
 // Kill terminates a debuggee process.
 func (c *Client) Kill(pid int64) error {
-	s, err := c.session(pid)
-	if err != nil {
-		return err
-	}
-	_, err = s.Request(&protocol.Msg{Cmd: protocol.CmdKill}, defaultTimeout)
+	_, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdKill}, defaultTimeout)
 	return err
 }
 
@@ -768,11 +874,7 @@ func (c *Client) Kill(pid int64) error {
 // session pid belongs to; every process of that kernel records from here
 // on. Returns the current trace sequence number.
 func (c *Client) TraceStart(pid int64) (uint64, error) {
-	s, err := c.session(pid)
-	if err != nil {
-		return 0, err
-	}
-	resp, err := s.Request(&protocol.Msg{Cmd: protocol.CmdTraceStart}, defaultTimeout)
+	resp, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdTraceStart}, defaultTimeout)
 	if err != nil {
 		return 0, err
 	}
@@ -781,11 +883,7 @@ func (c *Client) TraceStart(pid int64) (uint64, error) {
 
 // TraceStop pauses recording (already-collected events are kept).
 func (c *Client) TraceStop(pid int64) (uint64, error) {
-	s, err := c.session(pid)
-	if err != nil {
-		return 0, err
-	}
-	resp, err := s.Request(&protocol.Msg{Cmd: protocol.CmdTraceStop}, defaultTimeout)
+	resp, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdTraceStop}, defaultTimeout)
 	if err != nil {
 		return 0, err
 	}
@@ -796,11 +894,7 @@ func (c *Client) TraceStop(pid int64) (uint64, error) {
 // trace to path on the server's filesystem, for offline analysis with
 // pinttrace. Returns the number of events sequenced so far.
 func (c *Client) TraceDump(pid int64, path string) (uint64, error) {
-	s, err := c.session(pid)
-	if err != nil {
-		return 0, err
-	}
-	resp, err := s.Request(&protocol.Msg{Cmd: protocol.CmdTraceDump, Text: path}, defaultTimeout)
+	resp, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdTraceDump, Text: path}, defaultTimeout)
 	if err != nil {
 		return 0, err
 	}
@@ -812,11 +906,7 @@ func (c *Client) TraceDump(pid int64, path string) (uint64, error) {
 // The dump quiesces each process like a fork would, so allow it the
 // server-side per-process timeout.
 func (c *Client) CoreDump(pid int64) (string, error) {
-	s, err := c.session(pid)
-	if err != nil {
-		return "", err
-	}
-	resp, err := s.Request(&protocol.Msg{Cmd: protocol.CmdCoreDump}, 15*time.Second)
+	resp, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdCoreDump}, 15*time.Second)
 	if err != nil {
 		return "", err
 	}

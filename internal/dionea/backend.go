@@ -1,0 +1,340 @@
+// Backend mode: a dioneas process that, instead of waiting for one
+// dioneac, registers with a dioneabroker and hosts debug sessions on
+// demand (DESIGN §8). Each hosted session is a fresh in-process kernel
+// running the backend's compiled program, debugged through the normal
+// per-process Servers by an internal client; the backend bridges that
+// client to the broker: forwarded requests go down through Client.Raw,
+// events come back up stamped with the session name.
+//
+// The broker link is self-healing: if it drops, the backend keeps
+// re-dialing with backoff and re-registers with the list of sessions it
+// still hosts, so the broker rebinds them instead of declaring them
+// lost.
+
+package dionea
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dionea/internal/bytecode"
+	"dionea/internal/chaos"
+	"dionea/internal/client"
+	"dionea/internal/kernel"
+	"dionea/internal/protocol"
+)
+
+// BackendOptions configures StartBackend.
+type BackendOptions struct {
+	// Name identifies this backend in the fabric (must be unique; a
+	// re-registration under the same name replaces the old link).
+	Name string
+	// Proto is the compiled program every hosted session runs an
+	// instance of; Sources feeds the clients' source view.
+	Proto   *bytecode.FuncProto
+	Sources map[string]string
+	// CheckEvery / Setup / Preludes are passed through to each hosted
+	// kernel's StartProgram (ipc.Install and the pint preludes go here).
+	CheckEvery int
+	Setup      []func(*kernel.Process)
+	Preludes   []*bytecode.FuncProto
+	// Out mirrors hosted programs' output; nil discards (it still
+	// reaches clients as output events).
+	Out io.Writer
+	// Chaos, when non-nil, wraps the broker link so backend-side writes
+	// are a fault surface too.
+	Chaos *chaos.Injector
+	// Client tunes the internal per-session clients.
+	Client client.Options
+	// RedialFloor / RedialCap bound the broker re-dial backoff
+	// (defaults 50ms / 1s).
+	RedialFloor time.Duration
+	RedialCap   time.Duration
+	// Logf receives one line per link state change; nil discards.
+	Logf func(format string, a ...any)
+}
+
+// Backend is one registered dioneas in a broker fabric.
+type Backend struct {
+	addr string
+	opts BackendOptions
+
+	mu     sync.Mutex
+	conn   *protocol.Conn
+	hosted map[string]*hostedSession
+	closed bool
+
+	closeCh chan struct{}
+}
+
+// hostedSession is one session instance: its own kernel, program, and
+// internal debug client.
+type hostedSession struct {
+	name string
+	k    *kernel.Kernel
+	c    *client.Client
+	root int64
+}
+
+// StartBackend dials the broker at addr and keeps this backend
+// registered until Close. It returns immediately; registration (and
+// re-registration after link loss) happens in the background.
+func StartBackend(addr string, opts BackendOptions) *Backend {
+	if opts.RedialFloor == 0 {
+		opts.RedialFloor = 50 * time.Millisecond
+	}
+	if opts.RedialCap == 0 {
+		opts.RedialCap = time.Second
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	b := &Backend{
+		addr:    addr,
+		opts:    opts,
+		hosted:  make(map[string]*hostedSession),
+		closeCh: make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// Close tears the broker link down and kills every hosted session.
+func (b *Backend) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	conn := b.conn
+	hosted := make([]*hostedSession, 0, len(b.hosted))
+	for _, hs := range b.hosted {
+		hosted = append(hosted, hs)
+	}
+	b.mu.Unlock()
+	close(b.closeCh)
+	if conn != nil {
+		_ = conn.Close()
+	}
+	for _, hs := range hosted {
+		_ = hs.c.Kill(hs.root)
+	}
+}
+
+// Hosted returns how many session instances this backend currently
+// hosts.
+func (b *Backend) Hosted() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.hosted)
+}
+
+func (b *Backend) isClosed() bool {
+	select {
+	case <-b.closeCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// run is the registration loop: dial, register, serve the link until it
+// breaks, back off, repeat.
+func (b *Backend) run() {
+	backoff := b.opts.RedialFloor
+	for !b.isClosed() {
+		err := b.serveLink()
+		if b.isClosed() {
+			return
+		}
+		if err != nil {
+			b.opts.Logf("backend %s: broker link: %v (retrying in %v)", b.opts.Name, err, backoff)
+		}
+		select {
+		case <-b.closeCh:
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > b.opts.RedialCap {
+			backoff = b.opts.RedialCap
+		}
+	}
+}
+
+// serveLink runs one broker connection: register (listing sessions
+// still hosted, so a reconnect rebinds them), then serve requests until
+// the link errors.
+func (b *Backend) serveLink() error {
+	nc, err := net.Dial("tcp", b.addr)
+	if err != nil {
+		return err
+	}
+	conn := protocol.NewConn(chaos.WrapConn(nc, b.opts.Chaos, nil))
+	conn.SetWriteTimeout(5 * time.Second)
+
+	b.mu.Lock()
+	names := make([]string, 0, len(b.hosted))
+	for n := range b.hosted {
+		names = append(names, n)
+	}
+	b.mu.Unlock()
+	if err := conn.Send(&protocol.Msg{
+		Kind: "req", Cmd: protocol.CmdRegisterBackend,
+		Text: b.opts.Name, On: true, Sessions: names,
+	}); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	conn.SetReadTimeout(10 * time.Second)
+	resp, err := conn.Recv()
+	conn.SetReadTimeout(0)
+	if err != nil {
+		_ = conn.Close()
+		return err
+	}
+	if resp.Err != "" {
+		_ = conn.Close()
+		return fmt.Errorf("broker rejected registration: %s", resp.Err)
+	}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		_ = conn.Close()
+		return nil
+	}
+	b.conn = conn
+	b.mu.Unlock()
+	b.opts.Logf("backend %s: registered with broker %s (%d sessions)", b.opts.Name, b.addr, len(names))
+
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			b.mu.Lock()
+			if b.conn == conn {
+				b.conn = nil
+			}
+			b.mu.Unlock()
+			_ = conn.Close()
+			return err
+		}
+		if m.Kind != "req" {
+			continue
+		}
+		switch m.Cmd {
+		case protocol.CmdPing:
+			_ = conn.Send(&protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd, OK: true})
+		case protocol.CmdHostSession:
+			go b.handleHost(conn, m)
+		default:
+			go b.handleForward(conn, m)
+		}
+	}
+}
+
+// send pushes one event up the current broker link; events during a
+// link outage are dropped (the broker's replay covers structure, and
+// transient state is re-queried by clients).
+func (b *Backend) send(m *protocol.Msg) {
+	b.mu.Lock()
+	conn := b.conn
+	b.mu.Unlock()
+	if conn == nil {
+		return
+	}
+	_ = conn.Send(m)
+}
+
+func (b *Backend) handleHost(conn *protocol.Conn, m *protocol.Msg) {
+	hs, err := b.host(m.Session)
+	if err != nil {
+		_ = conn.Send(&protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd, Session: m.Session, Err: err.Error()})
+		return
+	}
+	_ = conn.Send(&protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd, Session: m.Session, OK: true, PID: hs.root})
+}
+
+// host starts (or returns) the session instance: a fresh kernel running
+// the backend's program with a debug server attached, plus the internal
+// client the broker's forwarded requests go through. The instance
+// starts parked at entry (WaitForClient) — the controller's continue
+// releases it, exactly like a direct dioneas.
+func (b *Backend) host(name string) (*hostedSession, error) {
+	if name == "" {
+		return nil, fmt.Errorf("backend %s: empty session name", b.opts.Name)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, fmt.Errorf("backend %s: closed", b.opts.Name)
+	}
+	if hs := b.hosted[name]; hs != nil {
+		return hs, nil
+	}
+	k := kernel.New()
+	var attachErr error
+	setup := append(append([]func(*kernel.Process){}, b.opts.Setup...), func(proc *kernel.Process) {
+		_, attachErr = Attach(k, proc, Options{
+			SessionID:     name,
+			Sources:       b.opts.Sources,
+			WaitForClient: true,
+			Program:       b.opts.Proto,
+		})
+	})
+	p := k.StartProgram(b.opts.Proto, kernel.Options{
+		Out:        b.opts.Out,
+		CheckEvery: b.opts.CheckEvery,
+		Setup:      setup,
+		Preludes:   b.opts.Preludes,
+	})
+	if attachErr != nil {
+		return nil, fmt.Errorf("backend %s: attach %s: %w", b.opts.Name, name, attachErr)
+	}
+	c := client.NewWith(k, name, b.opts.Client)
+	if _, err := c.ConnectRoot(p.PID, 10*time.Second); err != nil {
+		_ = c.Kill(p.PID)
+		return nil, fmt.Errorf("backend %s: connect %s: %w", b.opts.Name, name, err)
+	}
+	hs := &hostedSession{name: name, k: k, c: c, root: p.PID}
+	b.hosted[name] = hs
+	go b.pumpEvents(hs)
+	return hs, nil
+}
+
+// pumpEvents relays the internal client's events to the broker, each
+// stamped with the session so the broker can fan it out.
+func (b *Backend) pumpEvents(hs *hostedSession) {
+	for e := range hs.c.Events() {
+		m := *e.Msg
+		m.Session = hs.name
+		if m.Cmd == "process_exited" || m.Cmd == "session_closed" {
+		}
+		b.send(&m)
+	}
+}
+
+// handleForward relays one client request (routed here by the broker)
+// into the session's internal client and sends the response back with
+// the broker's correlation ID restored.
+func (b *Backend) handleForward(conn *protocol.Conn, m *protocol.Msg) {
+	b.mu.Lock()
+	hs := b.hosted[m.Session]
+	b.mu.Unlock()
+	if hs == nil {
+		_ = conn.Send(&protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd, Session: m.Session, Err: "backend: unknown session " + m.Session})
+		return
+	}
+	origID, session := m.ID, m.Session
+	pid := m.PID
+	resp, err := hs.c.Raw(pid, m, 8*time.Second)
+	if err != nil {
+		resp = &protocol.Msg{Kind: "resp", Cmd: m.Cmd, Err: err.Error()}
+	}
+	resp.ID = origID
+	resp.Session = session
+	_ = conn.Send(resp)
+}

@@ -1,0 +1,39 @@
+// Port-handoff hygiene. The handoff temp files (dionea-<session>-port-<pid>)
+// are removed by each server's exit hook on the happy path, but a
+// crashed run, a kill -9, or a child whose handler C failed before any
+// exit hook existed leaves them behind — and a stale file from a
+// previous run can hand a fresh client a dead (or worse, recycled)
+// port. dioneas sweeps the session's files at startup and again at
+// exit.
+
+package dionea
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// CleanupSessionFiles removes every port-handoff file of sessionID from
+// dir, returning the names removed. Missing dir or files are not
+// errors: the sweep is best-effort hygiene, never a failure path.
+func CleanupSessionFiles(dir, sessionID string) []string {
+	if dir == "" {
+		return nil
+	}
+	prefix := "dionea-" + sessionID + "-port-"
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var removed []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), prefix) {
+			continue
+		}
+		if os.Remove(filepath.Join(dir, e.Name())) == nil {
+			removed = append(removed, e.Name())
+		}
+	}
+	return removed
+}

@@ -1,0 +1,47 @@
+package dionea
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// The sweep must remove exactly the session's port-handoff files:
+// other sessions' files, unrelated files, and directories stay.
+func TestCleanupSessionFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{
+		"dionea-app-port-1",
+		"dionea-app-port-42",
+		"dionea-other-port-1", // different session
+		"dionea-app-portless", // prefix requires the trailing dash
+		"unrelated.txt",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("12345"), 0o600); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.Mkdir(filepath.Join(dir, "dionea-app-port-dir"), 0o700); err != nil {
+		t.Fatal(err)
+	}
+
+	removed := CleanupSessionFiles(dir, "app")
+	sort.Strings(removed)
+	if len(removed) != 2 || removed[0] != "dionea-app-port-1" || removed[1] != "dionea-app-port-42" {
+		t.Fatalf("removed = %v; want the two app port files", removed)
+	}
+	for _, name := range []string{"dionea-other-port-1", "dionea-app-portless", "unrelated.txt", "dionea-app-port-dir"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("%s should have survived the sweep: %v", name, err)
+		}
+	}
+
+	// Best-effort contract: a missing dir is silently nothing.
+	if got := CleanupSessionFiles(filepath.Join(dir, "nope"), "app"); got != nil {
+		t.Fatalf("missing dir returned %v", got)
+	}
+	if got := CleanupSessionFiles("", "app"); got != nil {
+		t.Fatalf("empty dir returned %v", got)
+	}
+}

@@ -120,8 +120,11 @@ func (s *Server) handleChildAtFork(t *kernel.TCtx) {
 		// Without sockets the child runs undebugged (trace stays off),
 		// mirroring a real handler that must not crash the debuggee. The
 		// failure is propagated through the handoff file so the adopting
-		// client fails fast with a typed error instead of timing out.
+		// client fails fast with a typed error instead of timing out —
+		// and the error file must not outlive the child, or it shadows
+		// the session's namespace for a recycled pid in a later run.
 		childServer.writePortError(err)
+		child.OnExit(func(int) { childServer.removePortFile() })
 		return
 	}
 	childServer.ln = ln

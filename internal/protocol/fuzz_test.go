@@ -1,0 +1,131 @@
+// Fuzzing the wire layer. Two properties carry the whole debug plane:
+//
+//  1. Round-trip stability: any Msg that decodes re-encodes to the exact
+//     same bytes, and decoding those bytes yields the same Msg. The
+//     broker relies on this — observer fan-out is byte-for-byte
+//     identical only because marshaling is deterministic.
+//  2. Malformed input never panics: a torn frame, a corrupt handoff
+//     file, or a hostile peer must surface as an error, not a crash in
+//     the listener thread.
+package protocol
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+)
+
+// FuzzMsgRoundTrip checks encode→decode→encode byte-identity for any
+// input that decodes at all, and that no input panics the decoder.
+func FuzzMsgRoundTrip(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"kind":"req","id":7,"cmd":"set_break","file":"a.pint","line":3,"cond":"i == 3"}`,
+		`{"kind":"resp","id":7,"cmd":"threads","ok":true,"threads":[{"tid":1,"name":"main","main":true,"state":"suspended","line":9}]}`,
+		`{"kind":"event","cmd":"stopped","pid":2,"tid":4,"reason":"breakpoint","seq":99}`,
+		`{"kind":"req","cmd":"attach","session":"s1","role":"observer","channel":"source","text":"obs-1"}`,
+		`{"kind":"req","cmd":"register_backend","text":"be0","on":true,"sessions":["a","b"]}`,
+		`{"kind":"event","cmd":"events_dropped","session":"s1","seq":12}`,
+		`{"kind":"event","cmd":"static_hint","rule":"fork-while-lock-held","chain":["f@a.pint:3"]}`,
+		`{"cmd":"vars","vars":[{"name":"x","type":"int","value":"1"}],"frames":[{"func":"main","file":"a","line":1}],"lines":[1,2]}`,
+		"\x00\xff garbage",
+		`{"id":"not-a-number"}`,
+		`{"cmd":` + string(make([]byte, 64)) + `}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Msg
+		if err := json.Unmarshal(data, &m); err != nil {
+			return // malformed input: rejected, and it didn't panic
+		}
+		b1, err := json.Marshal(&m)
+		if err != nil {
+			t.Fatalf("re-encode failed for decodable input %q: %v", data, err)
+		}
+		var m2 Msg
+		if err := json.Unmarshal(b1, &m2); err != nil {
+			t.Fatalf("decode of re-encoded %q failed: %v", b1, err)
+		}
+		b2, err := json.Marshal(&m2)
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("round trip not byte-identical:\n b1=%s\n b2=%s", b1, b2)
+		}
+	})
+}
+
+// FuzzConnRecv feeds arbitrary bytes through the framed reader: a
+// hostile or torn stream must produce errors, never a panic, and any
+// message that does decode must re-encode stably.
+func FuzzConnRecv(f *testing.F) {
+	f.Add([]byte("{\"cmd\":\"ping\"}\n{\"cmd\":\"ping\",\"id\":2}\n"))
+	f.Add([]byte("not json\n"))
+	f.Add([]byte("{\"kind\":\"event\"\n"))
+	f.Add([]byte{0, '\n', 0xff, '\n'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		client, server := net.Pipe()
+		defer client.Close()
+		go func() {
+			defer server.Close()
+			_, _ = server.Write(data)
+		}()
+		conn := NewConn(client)
+		conn.SetReadTimeout(time.Second)
+		for i := 0; i < 64; i++ {
+			m, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			b1, err := json.Marshal(m)
+			if err != nil {
+				t.Fatalf("received message does not re-encode: %v", err)
+			}
+			var m2 Msg
+			if err := json.Unmarshal(b1, &m2); err != nil {
+				t.Fatalf("re-encoded message does not decode: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzParsePort hammers the handoff payload decoder: no input panics,
+// and whatever it accepts is a canonical in-range TCP port that
+// EncodePort round-trips.
+func FuzzParsePort(f *testing.F) {
+	f.Add([]byte("8080"))
+	f.Add([]byte("ERR listen: address in use"))
+	f.Add([]byte("-5"))
+	f.Add([]byte("+80"))
+	f.Add([]byte("0080"))
+	f.Add([]byte("999999999999999999999999"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		port, err := ParsePort(data)
+		if err != nil {
+			if port != "" {
+				t.Fatalf("error with non-empty port %q", port)
+			}
+			return
+		}
+		n := 0
+		for _, ch := range []byte(port) {
+			if ch < '0' || ch > '9' {
+				t.Fatalf("accepted non-decimal port %q from %q", port, data)
+			}
+			n = n*10 + int(ch-'0')
+		}
+		if n < 1 || n > 65535 {
+			t.Fatalf("accepted out-of-range port %q from %q", port, data)
+		}
+		back, err := ParsePort(EncodePort(n))
+		if err != nil || back != port {
+			t.Fatalf("EncodePort round trip: %q -> %q, %v", port, back, err)
+		}
+	})
+}

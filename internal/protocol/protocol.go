@@ -34,6 +34,13 @@ const (
 	ChannelSource  = "source"
 )
 
+// Attach roles on a brokered session: exactly one controller may drive a
+// session; any number of observers may watch it read-only.
+const (
+	RoleController = "controller"
+	RoleObserver   = "observer"
+)
+
 // Commands (client → server requests on the command channel).
 const (
 	CmdSetBreak   = "set_break"
@@ -73,6 +80,28 @@ const (
 	CmdCoreDump = "core_dump"
 )
 
+// Broker handshake commands. A dioneabroker multiplexes many client
+// connections over a small number of backend connections; sessions are
+// routed to backends by consistent hashing (DESIGN §8).
+const (
+	// CmdRegisterBackend is the first message a dioneas backend sends on
+	// its broker connection: Text carries the backend name, On whether it
+	// can host new session instances on demand, Sessions the sessions it
+	// already hosts (non-empty on re-register after a dropped link, so the
+	// broker can rebind them instead of declaring them lost).
+	CmdRegisterBackend = "register_backend"
+	// CmdHostSession (broker → backend) asks a backend to host a fresh
+	// instance of its program under Session; the response carries the
+	// instance's root PID.
+	CmdHostSession = "host_session"
+	// CmdAttach is the first message a client sends on each broker
+	// connection: Session names the debug session, Channel the channel
+	// (command/source), Role the desired role on the command channel, Text
+	// a client name pairing the two connections of one client. The
+	// response carries the session's root PID and the granted Role.
+	CmdAttach = "attach"
+)
+
 // Events (server → client, on the source channel).
 const (
 	EventHello         = "hello"          // first message on each channel
@@ -94,6 +123,30 @@ const (
 	// process's tree. Text carries the core path, Reason the trigger
 	// (deadlock / fatal / chaos-kill / watchdog / manual).
 	EventCoreDumped = "core_dumped"
+)
+
+// Session lifecycle events. The direct client has always synthesized
+// these locally; the broker also sends them on the wire (with Reason set
+// on session_closed, e.g. "backend lost").
+const (
+	EventSessionOpened      = "session_opened"
+	EventSessionClosed      = "session_closed"
+	EventSessionReconnected = "session_reconnected"
+)
+
+// Broker fan-out events.
+const (
+	// EventEventsDropped is the explicit drop marker of the backpressure
+	// contract: a slow observer's queue overflowed and Seq events were
+	// coalesced or dropped since the last marker. Slow observers lose
+	// events — loudly — rather than stalling the backend.
+	EventEventsDropped = "events_dropped"
+	// EventControllerGranted tells a standby client it now holds the
+	// controller role (the previous controller disconnected).
+	EventControllerGranted = "controller_granted"
+	// EventControllerLost tells a session's observers the controller
+	// disconnected and the slot is open.
+	EventControllerLost = "controller_lost"
 )
 
 // Stop reasons carried by EventStopped.
@@ -153,6 +206,15 @@ type Msg struct {
 	// when the hazard crosses function boundaries.
 	Rule  string   `json:"rule,omitempty"`
 	Chain []string `json:"chain,omitempty"`
+
+	// Broker routing (absent on the direct client↔server path, so direct
+	// wire bytes are unchanged). Session names the debug session an
+	// envelope belongs to; Role is the attach role (and the granted role
+	// in attach responses); Sessions lists hosted sessions in a backend
+	// (re-)registration.
+	Session  string   `json:"session,omitempty"`
+	Role     string   `json:"role,omitempty"`
+	Sessions []string `json:"sessions,omitempty"`
 
 	// Payloads.
 	Channel string       `json:"channel,omitempty"` // hello
@@ -268,14 +330,19 @@ func (e *HandoffError) Error() string {
 }
 
 // ParsePort decodes a handoff payload into a dialable port string, or a
-// *HandoffError when the writer reported failure.
+// *HandoffError when the writer reported failure. Only a real TCP port
+// (1–65535) is accepted: a corrupt or truncated file must not send the
+// client dialing "-5" or "999999".
 func ParsePort(b []byte) (string, error) {
 	s := string(b)
 	if strings.HasPrefix(s, portErrPrefix) {
 		return "", &HandoffError{Msg: strings.TrimPrefix(s, portErrPrefix)}
 	}
-	if _, err := strconv.Atoi(s); err != nil {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 || n > 65535 {
 		return "", fmt.Errorf("protocol: malformed port handoff payload %q", s)
 	}
-	return s, nil
+	// Canonical form: "+80" and "0080" parse, but the dial string is the
+	// plain decimal rendering.
+	return strconv.Itoa(n), nil
 }

@@ -38,8 +38,14 @@ go test -race ./...
 echo "== replay determinism under -race =="
 go test -race -count=1 -run 'TestRecordReplay' ./internal/trace
 
+echo "== protocol fuzz smoke =="
+go test -run=NONE -fuzz=FuzzMsgRoundTrip -fuzztime=5s ./internal/protocol
+
 echo "== chaos soak: 20 seeds under -race =="
 CHAOS_SOAK_SEEDS=20 go test -race -count=1 -run 'TestChaosSoak' ./e2e
+
+echo "== broker soak: 20 seeds, faults on both hops, under -race =="
+BROKER_SOAK_SEEDS=20 go test -race -count=1 -run 'TestBrokerChaosSoak' ./e2e
 
 echo "== golden core fixture round-trips byte-identically =="
 go test -count=1 -run 'TestGoldenCoreFixture' ./internal/core
