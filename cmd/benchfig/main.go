@@ -9,6 +9,7 @@
 //	benchfig -fig9 -reps 9
 //	benchfig -fig10 -scale 4          # closer to paper-scale runtimes
 //	benchfig -all -workers 8          # Figure 8's worker count
+//	benchfig -fanout -observers 16    # broker fan-out throughput
 package main
 
 import (
@@ -36,6 +37,9 @@ func checkAgainst(path string, reps int) int {
 	if err := json.Unmarshal(blob, &committed); err != nil {
 		fmt.Fprintf(os.Stderr, "benchfig: %s: %v\n", path, err)
 		return 1
+	}
+	if committed.Workload == bench.FanoutWorkload {
+		return checkFanoutAgainst(path, blob, reps)
 	}
 	e, ok := bench.ExperimentByID(committed.Workload)
 	if !ok {
@@ -68,6 +72,38 @@ func checkAgainst(path string, reps int) int {
 	return 0
 }
 
+// checkFanoutAgainst re-measures broker fan-out throughput against a
+// committed BENCH_fanout.json and fails if delivered events/sec fell
+// below half the committed figure — the throughput twin of the tracing
+// overhead gate.
+func checkFanoutAgainst(path string, blob []byte, reps int) int {
+	var committed bench.FanoutResult
+	if err := json.Unmarshal(blob, &committed); err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: %s: %v\n", path, err)
+		return 1
+	}
+	if reps <= 0 {
+		reps = committed.Reps
+	}
+	fmt.Printf("re-measuring broker fan-out against %s (committed %.0f events/sec)...\n",
+		path, committed.EventsPerSec)
+	now, err := bench.MeasureFanout(committed.Observers, committed.Events, reps)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+		return 1
+	}
+	fmt.Println(bench.FormatFanoutResult(now))
+	limit := committed.EventsPerSec / 2
+	if now.EventsPerSec < limit {
+		fmt.Fprintf(os.Stderr,
+			"benchfig: fan-out throughput regressed: %.0f events/sec now vs %.0f committed (floor %.0f)\n",
+			now.EventsPerSec, committed.EventsPerSec, limit)
+		return 1
+	}
+	fmt.Printf("ok: %.0f events/sec above floor %.0f\n", now.EventsPerSec, limit)
+	return 0
+}
+
 func main() {
 	var (
 		all     = flag.Bool("all", false, "run every experiment")
@@ -79,11 +115,41 @@ func main() {
 		scale   = flag.Int("scale", 1, "corpus scale multiplier (larger = closer to paper runtimes)")
 		workers = flag.Int("workers", 4, "worker processes in the MapReduce pool")
 		jsonDir = flag.String("json", "", "also measure event-tracing overhead for the selected figures and write BENCH_*.json artifacts into this directory")
-		against = flag.String("against", "", "regression check: re-measure the workload of this committed BENCH_*.json and fail if tracing overhead regressed >2x")
+		against = flag.String("against", "", "regression check: re-measure the workload of this committed BENCH_*.json and fail if it regressed (tracing overhead >2x, fan-out throughput <half)")
+
+		fanout    = flag.Bool("fanout", false, "measure broker fan-out throughput (events/sec through one broker)")
+		observers = flag.Int("observers", 8, "fan-out: number of attached observers")
+		events    = flag.Int("events", 5000, "fan-out: events flooded per repetition")
 	)
 	flag.Parse()
 	if *against != "" {
 		os.Exit(checkAgainst(*against, *reps))
+	}
+	if *fanout {
+		fmt.Printf("running broker fan-out (%d observers, %d events/rep, best of %d)...\n",
+			*observers, *events, *reps)
+		fr, err := bench.MeasureFanout(*observers, *events, *reps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.FormatFanoutResult(fr))
+		if *jsonDir != "" {
+			blob, err := json.MarshalIndent(fr, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*jsonDir, "BENCH_fanout.json")
+			if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "benchfig: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+		if !*all && !*table1 && !*fig9 && !*rust && !*fig10 {
+			return
+		}
 	}
 	if !*all && !*table1 && !*fig9 && !*rust && !*fig10 {
 		flag.Usage()

@@ -10,6 +10,15 @@
 //	dioneas -broker 127.0.0.1:7700 -name be1 program.pint
 //	dioneac -broker 127.0.0.1:7700 -session dev
 //	dioneac -broker 127.0.0.1:7700 -observe dev
+//
+// High availability — run a primary/standby pair; backends and clients
+// list both addresses and the standby promotes itself when the primary
+// dies (DESIGN §8):
+//
+//	dioneabroker -listen 127.0.0.1:7700 -name bk0
+//	dioneabroker -listen 127.0.0.1:7701 -name bk1 -standby 127.0.0.1:7700
+//	dioneas  -broker 127.0.0.1:7700,127.0.0.1:7701 -name be0 program.pint
+//	dioneac  -broker 127.0.0.1:7700,127.0.0.1:7701 -session dev
 package main
 
 import (
@@ -31,6 +40,9 @@ func main() {
 	ping := flag.Duration("ping", 500*time.Millisecond, "backend health-check interval")
 	grace := flag.Duration("grace", 2*time.Second, "how long a dead backend's sessions wait for it to re-register")
 	quiet := flag.Bool("quiet", false, "suppress per-event fabric logging")
+	name := flag.String("name", "broker", "this broker's name in the fabric (shown in broker_promoted events)")
+	standby := flag.String("standby", "", "run as standby: replicate from the primary broker at this address and promote when it dies")
+	promoteAfter := flag.Duration("promote-after", 2*time.Second, "standby only: how long the replication link must stay dead before promotion")
 	flag.Parse()
 
 	var inj *chaos.Injector
@@ -48,13 +60,20 @@ func main() {
 		QueueLen:     *queueLen,
 		PingInterval: *ping,
 		RehostGrace:  *grace,
+		Name:         *name,
+		Primary:      *standby,
+		PromoteAfter: *promoteAfter,
 		Logf:         logf,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dioneabroker: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "dioneabroker: listening on %s\n", bk.Addr())
+	mode := "primary"
+	if *standby != "" {
+		mode = fmt.Sprintf("standby of %s", *standby)
+	}
+	fmt.Fprintf(os.Stderr, "dioneabroker: %s listening on %s (%s)\n", *name, bk.Addr(), mode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -29,7 +29,15 @@
 //	dump [pid]                    write a core of the live process tree
 //	kill [pid]                    terminate a debuggee
 //	detach [pid]                  detach from a debuggee
+//	migrate [BACKEND]             move this session to another backend (broker mode)
+//	drain BACKEND                 migrate everything off a backend (broker mode)
+//	stuck                         fabric-wide health: which sessions are hung (broker mode)
 //	quit
+//
+// In broker mode `sessions` shows every session in the fabric with its
+// hosting backend; -broker accepts a comma-separated list of brokers
+// (primary first, standbys after) and the client fails over between
+// them transparently.
 package main
 
 import (
@@ -145,9 +153,17 @@ func (u *ui) printEvent(e client.Event) {
 			fmt.Printf("[pid %d] debug session closed\n", m.PID)
 		}
 	case "session_reconnected":
-		fmt.Printf("[pid %d] source channel reconnected\n", m.PID)
+		fmt.Printf("[pid %d] reconnected to broker; session continues\n", m.PID)
 	case protocol.EventEventsDropped:
-		fmt.Printf("[broker] %d event(s) dropped for this observer (slow consumer)\n", m.Seq)
+		n := m.Dropped
+		if n == 0 {
+			n = m.Seq // older brokers carried the count in Seq only
+		}
+		fmt.Printf("[broker] %d event(s) dropped for this observer (slow consumer)\n", n)
+	case protocol.EventBrokerPromoted:
+		fmt.Printf("[broker] standby broker %s promoted to primary; session continues\n", m.Text)
+	case protocol.EventSessionMigrated:
+		fmt.Printf("[broker] session migrated to backend %s (%s)\n", m.Text, m.Reason)
 	case protocol.EventControllerGranted:
 		fmt.Printf("[broker] this client now controls the session\n")
 	case protocol.EventControllerLost:
@@ -198,10 +214,64 @@ func (u *ui) exec(line string) {
 		fmt.Println("stack | vars | eval NAME | list | show | input TEXT | disturb on|off | kill [pid] | detach [pid] | quit")
 		fmt.Println("trace start|stop|dump PATH   record concurrency events; analyze the dump with pinttrace")
 		fmt.Println("dump                         write a PINTCORE1 core of the whole tree; open with dioneac -core PATH")
+		fmt.Println("migrate [BACKEND]            move this session to another backend (broker mode)")
+		fmt.Println("drain BACKEND                migrate everything off a backend (broker mode)")
+		fmt.Println("stuck                        fabric-wide health report (broker mode)")
 
 	case "sessions":
+		if u.c.Brokered() {
+			rows, err := u.c.SessionsAll(pid)
+			if err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			fmt.Printf("  %-16s %-12s %-8s %s\n", "SESSION", "BACKEND", "ROOT", "CLIENTS")
+			for _, r := range rows {
+				f := strings.SplitN(r, "|", 4)
+				if len(f) == 4 {
+					fmt.Printf("  %-16s %-12s %-8s %s\n", f[0], f[1], f[2], f[3])
+				}
+			}
+			return
+		}
 		for _, s := range u.c.Sessions() {
 			fmt.Printf("  pid %d\n", s)
+		}
+
+	case "migrate":
+		target := ""
+		if len(args) > 1 {
+			target = args[1]
+		}
+		be, err := u.c.Migrate(pid, target)
+		if err == nil {
+			fmt.Printf("session now hosted on backend %s\n", be)
+		}
+		u.report(err)
+
+	case "drain":
+		if len(args) != 2 {
+			fmt.Println("usage: drain BACKEND")
+			return
+		}
+		text, err := u.c.Drain(pid, args[1])
+		if err == nil {
+			fmt.Println(text)
+		}
+		u.report(err)
+
+	case "stuck":
+		rows, err := u.c.Stuck(pid)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("  %-12s %-16s %-12s %-8s %s\n", "BACKEND", "SESSION", "VERDICT", "GIL", "DETAIL")
+		for _, r := range rows {
+			f := strings.SplitN(r, "|", 5)
+			if len(f) == 5 {
+				fmt.Printf("  %-12s %-16s %-12s %-8s %s\n", f[0], f[1], f[2], f[4], f[3])
+			}
 		}
 
 	case "threads":

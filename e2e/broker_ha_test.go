@@ -1,0 +1,429 @@
+// Fabric HA end-to-end: the two failure modes the replication and
+// migration layers exist for, plus a seeded soak that mixes them.
+//
+//   - TestBrokerPromotion kills the primary broker mid-session. The
+//     standby must promote, the controller must fail over without
+//     losing the session, observers must be told (broker_promoted),
+//     and the debuggee must still be controllable to completion.
+//   - TestSessionMigration moves a stopped session to another backend
+//     (checkpoint + restore) and proves it resumes at the same
+//     breakpoint, with the fabric views (sessions/stuck) tracking it.
+//   - TestFabricHASoak alternates broker-kill and backend-drain across
+//     seeds; the contract is zero lost sessions and zero lost critical
+//     events — every run must end in the root's process_exited on
+//     both the controller and an observer.
+package e2e
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dionea/internal/broker"
+	"dionea/internal/chaos"
+	"dionea/internal/client"
+	"dionea/internal/compiler"
+	"dionea/internal/dionea"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+	"dionea/internal/protocol"
+)
+
+// haSrc forks once, reaps the child, then crosses line 8 — where the
+// tests put their breakpoint — before finishing.
+const haSrc = `print("start")
+pid = fork do
+    print("child")
+end
+if pid != -1 {
+    waitpid(pid)
+}
+print("after")
+print("done")
+`
+
+const haBreakLine = 8
+
+// haFabric is one HA fixture: a primary/standby broker pair and
+// host-capable backends registered with both.
+type haFabric struct {
+	prim, stby *broker.Broker
+	backends   []*dionea.Backend
+	addrs      string
+}
+
+func startHAFabric(t *testing.T, tag string, nBackends int) *haFabric {
+	t.Helper()
+	proto, err := compiler.CompileSource(haSrc, "ha.pint")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	prim, err := broker.Start("127.0.0.1:0", broker.Options{
+		Name:         tag + "-bk0",
+		PingInterval: 100 * time.Millisecond,
+		RehostGrace:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("primary start: %v", err)
+	}
+	stby, err := broker.Start("127.0.0.1:0", broker.Options{
+		Name:         tag + "-bk1",
+		Primary:      prim.Addr(),
+		PromoteAfter: 400 * time.Millisecond,
+		PingInterval: 100 * time.Millisecond,
+		RehostGrace:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("standby start: %v", err)
+	}
+	f := &haFabric{prim: prim, stby: stby, addrs: prim.Addr() + "," + stby.Addr()}
+	for i := 0; i < nBackends; i++ {
+		f.backends = append(f.backends, dionea.StartBackend(f.addrs, dionea.BackendOptions{
+			Name:        fmt.Sprintf("%s-be%d", tag, i),
+			Proto:       proto,
+			Sources:     map[string]string{"ha.pint": haSrc},
+			Setup:       []func(*kernel.Process){ipc.Install},
+			RedialFloor: 20 * time.Millisecond,
+		}))
+	}
+	return f
+}
+
+// teardown closes everything that is still alive, bounded: an HA bug
+// must fail the test, not wedge the suite.
+func (f *haFabric) teardown(t *testing.T, clients ...*client.Client) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		for _, c := range clients {
+			c.Close()
+		}
+		for _, be := range f.backends {
+			be.Close()
+		}
+		_ = f.prim.Close()
+		_ = f.stby.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatalf("fabric teardown hung")
+	}
+}
+
+func haClientOpts() client.Options {
+	return client.Options{
+		ReconnectWindow:  15 * time.Second,
+		HandshakeTimeout: 3 * time.Second,
+	}
+}
+
+// attachController attaches with control to the session and parks the
+// main thread at haBreakLine. Returns the client, root pid and the
+// stopped thread's tid.
+func attachController(t *testing.T, addrs, session string) (*client.Client, int64, int64) {
+	t.Helper()
+	c, err := client.NewBroker(addrs, session, protocol.RoleController, haClientOpts())
+	if err != nil {
+		t.Fatalf("controller attach: %v", err)
+	}
+	root := c.Sessions()[0]
+	if err := c.SetBreakIf(root, "ha.pint", haBreakLine, ""); err != nil {
+		t.Fatalf("set break: %v", err)
+	}
+	infos, err := c.Threads(root)
+	if err != nil {
+		t.Fatalf("threads: %v", err)
+	}
+	released := false
+	for _, ti := range infos {
+		if ti.Main {
+			if err := c.Continue(root, ti.TID); err != nil {
+				t.Fatalf("release main: %v", err)
+			}
+			released = true
+		}
+	}
+	if !released {
+		t.Fatalf("no main thread in %v", infos)
+	}
+	e, err := c.WaitEvent(func(e client.Event) bool {
+		return e.Msg.Cmd == protocol.EventStopped && e.Msg.PID == root && e.Msg.Line == haBreakLine
+	}, 15*time.Second)
+	if err != nil {
+		t.Fatalf("never stopped at line %d: %v", haBreakLine, err)
+	}
+	return c, root, e.Msg.TID
+}
+
+func TestBrokerPromotion(t *testing.T) {
+	f := startHAFabric(t, "promo", 1)
+	c, root, tid := attachController(t, f.addrs, "promo")
+
+	obs, err := client.NewBroker(f.addrs, "promo", protocol.RoleObserver, haClientOpts())
+	if err != nil {
+		t.Fatalf("observer attach: %v", err)
+	}
+	defer f.teardown(t, c, obs)
+
+	// The primary dies the hard way: no graceful session_closed fan-out,
+	// exactly like the process being killed.
+	f.prim.Kill()
+
+	if _, err := c.WaitEvent(func(e client.Event) bool {
+		return e.Msg.Cmd == protocol.EventSessionReconnected
+	}, 20*time.Second); err != nil {
+		t.Fatalf("controller never failed over: %v", err)
+	}
+	if got := c.Role(); got != protocol.RoleController {
+		t.Fatalf("controller lost its role across failover: %q", got)
+	}
+	if _, err := obs.WaitEvent(func(e client.Event) bool {
+		return e.Msg.Cmd == protocol.EventBrokerPromoted
+	}, 20*time.Second); err != nil {
+		t.Fatalf("observer never told about promotion: %v", err)
+	}
+
+	// The session must still be controllable through the promoted
+	// standby: resume from the breakpoint and run to completion.
+	if err := c.Continue(root, tid); err != nil {
+		t.Fatalf("continue after promotion: %v", err)
+	}
+	for name, cl := range map[string]*client.Client{"controller": c, "observer": obs} {
+		if _, err := cl.WaitEvent(func(e client.Event) bool {
+			return e.Msg.Cmd == protocol.EventProcessExited && e.Msg.PID == root
+		}, 20*time.Second); err != nil {
+			t.Fatalf("%s never saw process_exited after promotion: %v", name, err)
+		}
+	}
+}
+
+func TestSessionMigration(t *testing.T) {
+	// Migration needs no standby broker — one broker, two backends.
+	proto, err := compiler.CompileSource(haSrc, "ha.pint")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	bk, err := broker.Start("127.0.0.1:0", broker.Options{
+		Name:         "mig-bk",
+		PingInterval: 100 * time.Millisecond,
+		RehostGrace:  2 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("broker start: %v", err)
+	}
+	var bes []*dionea.Backend
+	for i := 0; i < 2; i++ {
+		bes = append(bes, dionea.StartBackend(bk.Addr(), dionea.BackendOptions{
+			Name:        fmt.Sprintf("mig-be%d", i),
+			Proto:       proto,
+			Sources:     map[string]string{"ha.pint": haSrc},
+			Setup:       []func(*kernel.Process){ipc.Install},
+			RedialFloor: 20 * time.Millisecond,
+		}))
+	}
+	c, root, _ := attachController(t, bk.Addr(), "mig")
+	defer func() {
+		done := make(chan struct{})
+		go func() {
+			c.Close()
+			for _, be := range bes {
+				be.Close()
+			}
+			_ = bk.Close()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(20 * time.Second):
+			t.Fatalf("teardown hung")
+		}
+	}()
+
+	hostOf := func() string {
+		rows, err := c.SessionsAll(root)
+		if err != nil {
+			t.Fatalf("sessions_all: %v", err)
+		}
+		for _, r := range rows {
+			fields := strings.Split(r, "|")
+			if len(fields) == 4 && fields[0] == "mig" {
+				return fields[1]
+			}
+		}
+		t.Fatalf("session missing from fabric view: %v", rows)
+		return ""
+	}
+	src := hostOf()
+
+	// Broker's choice must land on the other backend; the session is
+	// checkpointed at the breakpoint and restored there.
+	target, err := c.Migrate(root, "")
+	if err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	if target == src {
+		t.Fatalf("migrated onto the same backend %q", target)
+	}
+	// The restored tree re-parks at the same breakpoint and announces
+	// the stop again before the broker fans session_migrated, so watch
+	// for both in one pass — the order is not fixed.
+	var stopped *protocol.Msg
+	sawMigrated := false
+	if _, err := c.WaitEvent(func(e client.Event) bool {
+		switch {
+		case e.Msg.Cmd == protocol.EventSessionMigrated && e.Msg.Text == target:
+			sawMigrated = true
+		case e.Msg.Cmd == protocol.EventStopped && e.Msg.Line == haBreakLine:
+			stopped = e.Msg
+		}
+		return sawMigrated && stopped != nil
+	}, 15*time.Second); err != nil {
+		t.Fatalf("migrated=%v re-parked=%v after migrate: %v", sawMigrated, stopped != nil, err)
+	}
+	e := client.Event{Msg: stopped}
+	if got := hostOf(); got != target {
+		t.Fatalf("fabric view says %q, migrate said %q", got, target)
+	}
+
+	// Cross-session health must see the restored session as stopped.
+	rows, err := c.Stuck(root)
+	if err != nil {
+		t.Fatalf("stuck: %v", err)
+	}
+	verdict := ""
+	for _, r := range rows {
+		fields := strings.Split(r, "|")
+		if len(fields) == 5 && fields[0] == target && fields[1] == "mig" {
+			verdict = fields[2]
+		}
+	}
+	if verdict != "stopped" {
+		t.Fatalf("health verdict for migrated session = %q, want stopped (rows %v)", verdict, rows)
+	}
+
+	if err := c.Continue(e.Msg.PID, e.Msg.TID); err != nil {
+		t.Fatalf("continue after migration: %v", err)
+	}
+	if _, err := c.WaitEvent(func(e client.Event) bool {
+		return e.Msg.Cmd == protocol.EventProcessExited && e.Msg.PID == root
+	}, 20*time.Second); err != nil {
+		t.Fatalf("migrated session never finished: %v", err)
+	}
+}
+
+// haSoakSeeds mirrors the other soak knobs: BROKER_HA_SEEDS scales it.
+func haSoakSeeds(t *testing.T) []int64 {
+	n := 4
+	if env := os.Getenv("BROKER_HA_SEEDS"); env != "" {
+		v, err := strconv.Atoi(env)
+		if err != nil || v < 1 {
+			t.Fatalf("BROKER_HA_SEEDS=%q", env)
+		}
+		n = v
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+	return seeds
+}
+
+func fabricHAOnce(t *testing.T, seed int64) {
+	tag := "hasoak" + strconv.FormatInt(seed, 10)
+	f := startHAFabric(t, tag, 2)
+	c, root, tid := attachController(t, f.addrs, tag)
+	obs, err := client.NewBroker(f.addrs, tag, protocol.RoleObserver, haClientOpts())
+	if err != nil {
+		t.Fatalf("seed %d: observer attach: %v", seed, err)
+	}
+	defer f.teardown(t, c, obs)
+
+	if seed%2 == 0 {
+		// Backend drain: every session the hosting backend holds must
+		// move (checkpoint restore) and re-park at the breakpoint.
+		rows, err := c.SessionsAll(root)
+		if err != nil {
+			t.Fatalf("seed %d: sessions_all: %v", seed, err)
+		}
+		host := ""
+		for _, r := range rows {
+			if fields := strings.Split(r, "|"); len(fields) == 4 && fields[0] == tag {
+				host = fields[1]
+			}
+		}
+		if host == "" {
+			t.Fatalf("seed %d: session not in fabric view: %v", seed, rows)
+		}
+		if _, err := c.Drain(root, host); err != nil {
+			t.Fatalf("seed %d: drain: %v", seed, err)
+		}
+		e, err := c.WaitEvent(func(e client.Event) bool {
+			return e.Msg.Cmd == protocol.EventStopped && e.Msg.Line == haBreakLine
+		}, 20*time.Second)
+		if err != nil {
+			t.Fatalf("seed %d: drained session never re-parked: %v", seed, err)
+		}
+		if err := c.Continue(e.Msg.PID, e.Msg.TID); err != nil {
+			t.Fatalf("seed %d: continue after drain: %v", seed, err)
+		}
+		// The HA contract: the drained session survives and finishes.
+		for name, cl := range map[string]*client.Client{"controller": c, "observer": obs} {
+			if _, err := cl.WaitEvent(func(e client.Event) bool {
+				return e.Msg.Cmd == protocol.EventProcessExited && e.Msg.PID == root
+			}, 25*time.Second); err != nil {
+				t.Fatalf("seed %d: %s lost the exit event: %v", seed, name, err)
+			}
+		}
+		return
+	}
+
+	// Broker kill, racing the exit: resume first, then kill the primary
+	// a beat later — the exit event may be delivered live before the
+	// kill or be mid-flight when the broker dies, in which case it must
+	// still arrive through the promoted standby's critical-event replay.
+	// Either way both facts must reach the observer, in either order.
+	if err := c.Continue(root, tid); err != nil {
+		t.Fatalf("seed %d: continue: %v", seed, err)
+	}
+	// The kill time is seeded through the chaos injector's Param so the
+	// exit race lands differently per seed (chaos.BrokerKill is a
+	// whole-process fault: scheduled here, not fired per-operation).
+	inj := chaos.New(seed)
+	time.Sleep(time.Duration(inj.Param(chaos.BrokerKill, 0, 0, 50)) * time.Millisecond)
+	f.prim.Kill()
+	sawPromoted, sawExit := false, false
+	if _, err := obs.WaitEvent(func(e client.Event) bool {
+		switch {
+		case e.Msg.Cmd == protocol.EventBrokerPromoted:
+			sawPromoted = true
+		case e.Msg.Cmd == protocol.EventProcessExited && e.Msg.PID == root:
+			sawExit = true
+		}
+		return sawPromoted && sawExit
+	}, 25*time.Second); err != nil {
+		t.Fatalf("seed %d: observer after kill: promoted=%v exit=%v: %v", seed, sawPromoted, sawExit, err)
+	}
+	if _, err := c.WaitEvent(func(e client.Event) bool {
+		return e.Msg.Cmd == protocol.EventProcessExited && e.Msg.PID == root
+	}, 25*time.Second); err != nil {
+		t.Fatalf("seed %d: controller lost the exit event: %v", seed, err)
+	}
+}
+
+func TestFabricHASoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak is not short")
+	}
+	for _, seed := range haSoakSeeds(t) {
+		seed := seed
+		t.Run("seed"+strconv.FormatInt(seed, 10), func(t *testing.T) {
+			t.Parallel()
+			fabricHAOnce(t, seed)
+		})
+	}
+}

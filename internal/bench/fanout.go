@@ -1,0 +1,256 @@
+// Fan-out throughput: how many events per second one broker can push
+// through to N attached observers. This is the fabric's cost model —
+// every observer multiplies the broker's write load, and the shedding
+// policy (bounded per-client queues, events_dropped markers) is what
+// keeps a slow observer from stalling the rest. The measurement runs a
+// real broker with a synthetic backend (no interpreter: the debuggee is
+// a message generator), so it isolates the fabric from the kernel.
+
+package bench
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dionea/internal/broker"
+	"dionea/internal/protocol"
+)
+
+// FanoutResult is one fan-out measurement — the schema of the committed
+// BENCH_fanout.json artifact, which scripts/verify.sh guards against
+// regression (fail when throughput halves).
+type FanoutResult struct {
+	Workload     string  `json:"workload"` // always "fanout"
+	Observers    int     `json:"observers"`
+	Events       int     `json:"events"` // events offered per rep
+	EventsPerSec float64 `json:"events_per_sec"`
+	Drops        uint64  `json:"drops"` // shed events in the best rep
+	Reps         int     `json:"reps"`
+}
+
+// FanoutWorkload is the Workload tag distinguishing fan-out artifacts
+// from the trace-overhead ones in checkAgainst-style gates.
+const FanoutWorkload = "fanout"
+
+// fanoutAttachment is one raw broker client: the command channel that
+// claims the role plus the source channel events arrive on.
+type fanoutAttachment struct {
+	cmd, src *protocol.Conn
+}
+
+func fanoutAttach(addr, session, role, name string) (*fanoutAttachment, error) {
+	att := &fanoutAttachment{}
+	for _, ch := range []string{protocol.ChannelCommand, protocol.ChannelSource} {
+		nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+		if err != nil {
+			att.close()
+			return nil, err
+		}
+		conn := protocol.NewConn(nc)
+		conn.SetWriteTimeout(5 * time.Second)
+		if err := conn.Send(&protocol.Msg{
+			Kind: "req", Cmd: protocol.CmdAttach,
+			Channel: ch, Session: session, Role: role, Text: name,
+		}); err != nil {
+			_ = conn.Close()
+			att.close()
+			return nil, err
+		}
+		conn.SetReadTimeout(10 * time.Second)
+		resp, err := conn.Recv()
+		conn.SetReadTimeout(0)
+		if err != nil {
+			_ = conn.Close()
+			att.close()
+			return nil, err
+		}
+		if resp.Err != "" {
+			_ = conn.Close()
+			att.close()
+			return nil, fmt.Errorf("bench: attach %s rejected: %s", ch, resp.Err)
+		}
+		if ch == protocol.ChannelCommand {
+			att.cmd = conn
+		} else {
+			att.src = conn
+		}
+	}
+	return att, nil
+}
+
+func (a *fanoutAttachment) close() {
+	if a.cmd != nil {
+		_ = a.cmd.Close()
+	}
+	if a.src != nil {
+		_ = a.src.Close()
+	}
+}
+
+// fanoutBackend registers a synthetic backend with the broker: it hosts
+// any session instantly (root pid 1) and acknowledges every forwarded
+// request, so the fabric's own data path is the only thing measured.
+// The returned conn is the flood source; the returned stop func tears
+// the backend down.
+func fanoutBackend(addr string) (*protocol.Conn, func(), error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, nil, err
+	}
+	conn := protocol.NewConn(nc)
+	conn.SetWriteTimeout(10 * time.Second)
+	if err := conn.Send(&protocol.Msg{
+		Kind: "req", Cmd: protocol.CmdRegisterBackend,
+		Text: "bench-be", On: true,
+	}); err != nil {
+		_ = conn.Close()
+		return nil, nil, err
+	}
+	conn.SetReadTimeout(10 * time.Second)
+	resp, err := conn.Recv()
+	conn.SetReadTimeout(0)
+	if err != nil {
+		_ = conn.Close()
+		return nil, nil, fmt.Errorf("bench: backend register failed: %v", err)
+	}
+	if resp.Err != "" {
+		_ = conn.Close()
+		return nil, nil, fmt.Errorf("bench: backend register rejected: %s", resp.Err)
+	}
+	// Answer pings, host requests and forwarded commands; everything is
+	// OK by construction. Send is frame-atomic, so the responder and the
+	// flood may share the conn.
+	go func() {
+		for {
+			m, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			if m.Kind != "req" {
+				continue
+			}
+			r := &protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd, Session: m.Session, OK: true}
+			if m.Cmd == protocol.CmdHostSession {
+				r.PID = 1
+			}
+			_ = conn.Send(r)
+		}
+	}()
+	return conn, func() { _ = conn.Close() }, nil
+}
+
+// MeasureFanout floods events events through a real broker to observers
+// attached source channels, reps times, and reports the best rep's
+// delivered throughput. A final process_exited sentinel per rep — a
+// critical event the broker may never shed — bounds each rep exactly.
+func MeasureFanout(observers, events, reps int) (FanoutResult, error) {
+	if observers <= 0 {
+		observers = 8
+	}
+	if events <= 0 {
+		events = 5000
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+	bk, err := broker.Start("127.0.0.1:0", broker.Options{QueueLen: 256})
+	if err != nil {
+		return FanoutResult{}, err
+	}
+	defer bk.Close()
+	flood, stopBE, err := fanoutBackend(bk.Addr())
+	if err != nil {
+		return FanoutResult{}, err
+	}
+	defer stopBE()
+
+	const session = "bench-fanout"
+	ctrl, err := fanoutAttach(bk.Addr(), session, protocol.RoleController, "bench-ctrl")
+	if err != nil {
+		return FanoutResult{}, err
+	}
+	defer ctrl.close()
+	atts := make([]*fanoutAttachment, observers)
+	for i := range atts {
+		att, err := fanoutAttach(bk.Addr(), session, protocol.RoleObserver, fmt.Sprintf("bench-obs-%d", i))
+		if err != nil {
+			return FanoutResult{}, err
+		}
+		defer att.close()
+		atts[i] = att
+	}
+
+	best := FanoutResult{Workload: FanoutWorkload, Observers: observers, Events: events, Reps: reps}
+	for rep := 1; rep <= reps; rep++ {
+		var delivered, drops atomic.Uint64
+		var wg sync.WaitGroup
+		var firstErr atomic.Value
+		sentinel := int64(rep)
+		for _, att := range atts {
+			wg.Add(1)
+			go func(src *protocol.Conn) {
+				defer wg.Done()
+				src.SetReadTimeout(30 * time.Second)
+				defer src.SetReadTimeout(0)
+				for {
+					m, err := src.Recv()
+					if err != nil {
+						firstErr.Store(err)
+						return
+					}
+					switch m.Cmd {
+					case protocol.EventOutput:
+						delivered.Add(1)
+					case protocol.EventEventsDropped:
+						n := m.Dropped
+						if n == 0 {
+							n = m.Seq
+						}
+						drops.Add(n)
+					case protocol.EventProcessExited:
+						if m.PID == sentinel {
+							return
+						}
+					}
+				}
+			}(att.src)
+		}
+		start := time.Now()
+		for i := 0; i < events; i++ {
+			if err := flood.Send(&protocol.Msg{
+				Kind: "event", Cmd: protocol.EventOutput,
+				Session: session, PID: 1, Text: "bench\n",
+			}); err != nil {
+				return FanoutResult{}, fmt.Errorf("bench: flood: %w", err)
+			}
+		}
+		if err := flood.Send(&protocol.Msg{
+			Kind: "event", Cmd: protocol.EventProcessExited,
+			Session: session, PID: sentinel,
+		}); err != nil {
+			return FanoutResult{}, fmt.Errorf("bench: sentinel: %w", err)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		if err, ok := firstErr.Load().(error); ok && err != nil {
+			return FanoutResult{}, fmt.Errorf("bench: observer: %w", err)
+		}
+		eps := float64(delivered.Load()) / elapsed.Seconds()
+		if eps > best.EventsPerSec {
+			best.EventsPerSec = eps
+			best.Drops = drops.Load()
+		}
+	}
+	return best, nil
+}
+
+// FormatFanoutResult renders the fan-out text row.
+func FormatFanoutResult(r FanoutResult) string {
+	return fmt.Sprintf(
+		"broker fan-out — one broker, %d observers, %d events/rep\n"+
+			"  delivered %10.0f events/sec   (%d shed in best rep)   [best of %d]\n",
+		r.Observers, r.Events, r.EventsPerSec, r.Drops, r.Reps)
+}

@@ -1,0 +1,31 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"dionea/internal/bench"
+)
+
+func TestMeasureFanoutSmoke(t *testing.T) {
+	// A tiny flood through a real broker: the measurement must deliver
+	// every offered event (critical sentinel bounds each rep) and report
+	// positive throughput.
+	r, err := bench.MeasureFanout(3, 200, 1)
+	if err != nil {
+		t.Fatalf("MeasureFanout: %v", err)
+	}
+	if r.Workload != bench.FanoutWorkload {
+		t.Fatalf("workload = %q", r.Workload)
+	}
+	if r.EventsPerSec <= 0 {
+		t.Fatalf("events/sec = %v", r.EventsPerSec)
+	}
+	if r.Observers != 3 || r.Events != 200 || r.Reps != 1 {
+		t.Fatalf("params echoed wrong: %+v", r)
+	}
+	out := bench.FormatFanoutResult(r)
+	if !strings.Contains(out, "fan-out") || !strings.Contains(out, "3 observers") {
+		t.Fatalf("report: %q", out)
+	}
+}

@@ -56,6 +56,19 @@ type Options struct {
 	WriteTimeout time.Duration
 	// HostTimeout bounds a CmdHostSession round trip (default 15s).
 	HostTimeout time.Duration
+	// Name identifies this broker in promotion notices and replication
+	// handshakes (default "broker").
+	Name string
+	// Primary, when non-empty, starts this broker as a warm standby of
+	// the primary broker at that address: it accepts backend
+	// registrations (backends register with every broker) but rejects
+	// clients, and replicates session placements from the primary until
+	// the replication link dies for PromoteAfter — then it promotes
+	// itself and serves.
+	Primary string
+	// PromoteAfter is how long the standby's replication link must stay
+	// dead — redials failing — before the standby promotes (default 2s).
+	PromoteAfter time.Duration
 	// Logf receives one line per fabric state change; nil discards.
 	Logf func(format string, a ...any)
 }
@@ -79,6 +92,12 @@ func (o Options) withDefaults() Options {
 	if o.HostTimeout == 0 {
 		o.HostTimeout = 15 * time.Second
 	}
+	if o.Name == "" {
+		o.Name = "broker"
+	}
+	if o.PromoteAfter == 0 {
+		o.PromoteAfter = 2 * time.Second
+	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
 	}
@@ -95,6 +114,15 @@ type Broker struct {
 	sessions map[string]*session
 	ring     *ring
 	closed   bool
+
+	// HA state (replica.go): standby is true until promotion; promoted
+	// records that this broker was once a standby (clients are told with
+	// broker_promoted). placements is the standby's replicated view;
+	// repls are the replication subscribers of a primary.
+	standby    bool
+	promoted   bool
+	placements map[string]*placement
+	repls      map[*protocol.Conn]bool
 }
 
 // backend is one registered dioneas process: a single connection
@@ -129,7 +157,14 @@ type session struct {
 	// to every fresh source attachment so a late or reconnecting client
 	// learns the process tree. Transient events are not replayed.
 	replay []*protocol.Msg
-	closed bool
+	// critical holds terminal facts (process_exited, deadlock,
+	// session_migrated) replayed to fresh source attachments: a client
+	// that was mid-failover when its process died still learns about it.
+	critical []*protocol.Msg
+	// lastCkpt is the newest checkpoint event the hosting backend
+	// pushed — the restore source when the backend dies (migrate.go).
+	lastCkpt *protocol.Msg
+	closed   bool
 }
 
 // clientAtt pairs the two connections of one client, matched by the
@@ -154,11 +189,17 @@ func Start(addr string, opts Options) (*Broker, error) {
 		return nil, err
 	}
 	bk := &Broker{
-		opts:     opts.withDefaults(),
-		ln:       ln,
-		backends: make(map[string]*backend),
-		sessions: make(map[string]*session),
-		ring:     buildRing(nil),
+		opts:       opts.withDefaults(),
+		ln:         ln,
+		backends:   make(map[string]*backend),
+		sessions:   make(map[string]*session),
+		ring:       buildRing(nil),
+		placements: make(map[string]*placement),
+		repls:      make(map[*protocol.Conn]bool),
+	}
+	if bk.opts.Primary != "" {
+		bk.standby = true
+		go bk.runStandby()
 	}
 	go bk.acceptLoop()
 	return bk, nil
@@ -220,6 +261,8 @@ func (bk *Broker) serveConn(nc net.Conn) {
 	switch m.Cmd {
 	case protocol.CmdRegisterBackend:
 		bk.serveBackend(conn, m)
+	case protocol.CmdReplicate:
+		bk.serveRepl(conn, m)
 	case protocol.CmdAttach:
 		switch m.Channel {
 		case protocol.ChannelCommand:
@@ -271,9 +314,20 @@ func (bk *Broker) serveBackend(conn *protocol.Conn, reg *protocol.Msg) {
 	bk.opts.Logf("broker: backend %q registered (canHost=%v, sessions=%v)", be.name, be.canHost, reg.Sessions)
 
 	// Rebind sessions the backend still hosts from before its link
-	// dropped: they were orphaned, now they are live again.
+	// dropped: they were orphaned, now they are live again. A standby
+	// only records who hosts what, for promotion time.
 	for _, sn := range reg.Sessions {
 		bk.mu.Lock()
+		if bk.standby {
+			pl := bk.placements[sn]
+			if pl == nil {
+				pl = &placement{}
+				bk.placements[sn] = pl
+			}
+			pl.backend = be.name
+			bk.mu.Unlock()
+			continue
+		}
 		s := bk.sessions[sn]
 		bk.mu.Unlock()
 		if s == nil {
@@ -309,9 +363,24 @@ func (bk *Broker) serveBackend(conn *protocol.Conn, reg *protocol.Msg) {
 			}
 			bk.mu.Lock()
 			s := bk.sessions[m.Session]
+			standby := bk.standby
 			bk.mu.Unlock()
+			if m.Cmd == protocol.CmdCheckpoint {
+				// Checkpoint payloads are broker-internal migration
+				// material, never fanned to clients.
+				if s != nil {
+					s.mu.Lock()
+					s.lastCkpt = m
+					s.mu.Unlock()
+				} else if standby {
+					bk.standbyBuffer(be, m)
+				}
+				continue
+			}
 			if s != nil {
 				bk.fanout(s, m)
+			} else if standby {
+				bk.standbyBuffer(be, m)
 			}
 		}
 	}
@@ -361,16 +430,7 @@ func (bk *Broker) backendDown(be *backend) {
 	}
 	bk.mu.Unlock()
 	for _, s := range orphans {
-		bk.opts.Logf("broker: session %q orphaned by backend %q, grace %v", s.name, be.name, bk.opts.RehostGrace)
-		s := s
-		time.AfterFunc(bk.opts.RehostGrace, func() {
-			s.mu.Lock()
-			lost := !s.closed && s.backend == nil
-			s.mu.Unlock()
-			if lost {
-				bk.closeSession(s, fmt.Sprintf("backend %s lost", be.name))
-			}
-		})
+		bk.orphanGrace(s, be.name)
 	}
 }
 
@@ -461,6 +521,10 @@ func (bk *Broker) getOrHost(name string) (*session, error) {
 		bk.mu.Unlock()
 		return nil, errors.New("broker: shutting down")
 	}
+	if bk.standby {
+		bk.mu.Unlock()
+		return nil, errors.New("broker: standby, not serving clients")
+	}
 	if s := bk.sessions[name]; s != nil {
 		bk.mu.Unlock()
 		<-s.ready
@@ -512,6 +576,7 @@ func (bk *Broker) getOrHost(name string) (*session, error) {
 	s.mu.Unlock()
 	close(s.ready)
 	bk.opts.Logf("broker: session %q hosted on backend %q (root pid %d)", name, be.name, resp.PID)
+	bk.placementChanged(name, be.name, resp.PID, "hosted")
 	return s, nil
 }
 
@@ -525,6 +590,9 @@ func (bk *Broker) fanout(s *session, m *protocol.Msg) {
 	}
 	if m.Cmd == protocol.EventForked && m.Child != 0 {
 		s.replay = append(s.replay, m)
+	}
+	if replayCritical(m.Cmd) && len(s.critical) < maxPending {
+		s.critical = append(s.critical, m)
 	}
 	for _, att := range s.clients {
 		if att.q != nil {
@@ -562,6 +630,7 @@ func (bk *Broker) closeSession(s *session, reason string) {
 	}
 	s.mu.Unlock()
 	bk.opts.Logf("broker: session %q closed: %s", s.name, reason)
+	bk.placementChanged(s.name, "", final.PID, "closed")
 	for _, r := range refs {
 		if r.q != nil {
 			r.q.push(final)
@@ -582,7 +651,7 @@ func readonlyCmd(cmd string) bool {
 	switch cmd {
 	case protocol.CmdThreads, protocol.CmdStack, protocol.CmdVars,
 		protocol.CmdEval, protocol.CmdSource, protocol.CmdBreaks,
-		protocol.CmdPing:
+		protocol.CmdPing, protocol.CmdSessionsAll, protocol.CmdStuck:
 		return true
 	}
 	return false
@@ -641,6 +710,16 @@ func (bk *Broker) serveClientCmd(conn *protocol.Conn, at *protocol.Msg) {
 			_ = conn.Send(&protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd, OK: true})
 		case !att.isController() && !readonlyCmd(m.Cmd):
 			_ = conn.Send(&protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd, Err: "observer attachment is read-only"})
+		// Fabric-level commands are answered by the broker itself, not
+		// forwarded: only the broker sees every backend and session.
+		case m.Cmd == protocol.CmdMigrate:
+			go bk.handleMigrate(s, conn, m)
+		case m.Cmd == protocol.CmdDrain:
+			go bk.handleDrain(conn, m)
+		case m.Cmd == protocol.CmdSessionsAll:
+			go bk.handleSessionsAll(conn, m)
+		case m.Cmd == protocol.CmdStuck:
+			go bk.handleStuck(conn, m)
 		default:
 			// Forward concurrently: a slow backend round trip must not
 			// block this client's heartbeat pings.
@@ -748,6 +827,7 @@ func (bk *Broker) serveClientSrc(conn *protocol.Conn, at *protocol.Msg) {
 		return
 	}
 	<-s.ready
+	promoted := bk.wasPromoted()
 	s.mu.Lock()
 	if s.hostErr != nil || s.closed {
 		s.mu.Unlock()
@@ -773,6 +853,14 @@ func (bk *Broker) serveClientSrc(conn *protocol.Conn, at *protocol.Msg) {
 	att.src = conn
 	for _, m := range s.replay {
 		q.push(m)
+	}
+	// Terminal facts the client may have missed while detached (or
+	// failing over between brokers) come next, before any live event.
+	for _, m := range s.critical {
+		q.push(m)
+	}
+	if promoted {
+		q.push(&protocol.Msg{Kind: "event", Cmd: protocol.EventBrokerPromoted, Session: s.name, PID: s.root, Text: bk.opts.Name})
 	}
 	granted := protocol.RoleObserver
 	if att.controller {
@@ -837,6 +925,10 @@ type Stats struct {
 	// currently-attached clients.
 	QueueHighWater int
 	EventsDropped  uint64
+	// Standby is true while this broker replicates a primary and
+	// rejects clients; Promoted is true once a standby took over.
+	Standby  bool
+	Promoted bool
 }
 
 func (bk *Broker) Stats() Stats {
@@ -845,7 +937,7 @@ func (bk *Broker) Stats() Stats {
 	for _, s := range bk.sessions {
 		sessions = append(sessions, s)
 	}
-	st := Stats{Backends: len(bk.backends), Sessions: len(sessions)}
+	st := Stats{Backends: len(bk.backends), Sessions: len(sessions), Standby: bk.standby, Promoted: bk.promoted}
 	bk.mu.Unlock()
 	for _, s := range sessions {
 		s.mu.Lock()

@@ -1,0 +1,67 @@
+// Cross-session queries (DESIGN §8): the broker is the only vantage
+// point that sees every session in the fabric, so it answers
+// sessions_all (placement table) locally and stuck (health verdicts)
+// by fanning CmdHealth across its backends and aggregating the rows.
+// Both are observer-allowed: watching fleet health must not require
+// taking control of anything.
+
+package broker
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dionea/internal/protocol"
+)
+
+// handleSessionsAll renders the fabric's placement table. Rows:
+// "session|backend|root-pid|clients".
+func (bk *Broker) handleSessionsAll(conn *protocol.Conn, m *protocol.Msg) {
+	bk.mu.Lock()
+	sessions := make([]*session, 0, len(bk.sessions))
+	for _, s := range bk.sessions {
+		sessions = append(sessions, s)
+	}
+	bk.mu.Unlock()
+	rows := make([]string, 0, len(sessions))
+	for _, s := range sessions {
+		s.mu.Lock()
+		if !s.closed {
+			beName := "-"
+			if s.backend != nil {
+				beName = s.backend.name
+			}
+			rows = append(rows, fmt.Sprintf("%s|%s|%d|%d", s.name, beName, s.root, len(s.clients)))
+		}
+		s.mu.Unlock()
+	}
+	sort.Strings(rows)
+	_ = conn.Send(&protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd, OK: true, Rows: rows})
+}
+
+// handleStuck fans a health probe across every backend. Each backend
+// answers "session|verdict|detail|gil-switches" per hosted session;
+// the broker prefixes the backend name. A backend that cannot answer
+// is itself reported as a row, so silence never reads as health.
+func (bk *Broker) handleStuck(conn *protocol.Conn, m *protocol.Msg) {
+	bk.mu.Lock()
+	backends := make([]*backend, 0, len(bk.backends))
+	for _, be := range bk.backends {
+		backends = append(backends, be)
+	}
+	bk.mu.Unlock()
+	var rows []string
+	for _, be := range backends {
+		resp, err := be.request(&protocol.Msg{Kind: "req", Cmd: protocol.CmdHealth}, 5*time.Second)
+		if err != nil {
+			rows = append(rows, fmt.Sprintf("%s|-|unreachable|%v|0", be.name, err))
+			continue
+		}
+		for _, r := range resp.Rows {
+			rows = append(rows, be.name+"|"+r)
+		}
+	}
+	sort.Strings(rows)
+	_ = conn.Send(&protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd, OK: true, Rows: rows})
+}

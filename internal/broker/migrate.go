@@ -1,0 +1,224 @@
+// Live session migration (DESIGN §8): a hosted process tree moves
+// between backends as a PINTCORE1 checkpoint with a resume image.
+//
+// Three triggers share one path (restoreOnto):
+//
+//   - manual: a controller's `migrate` command checkpoints the session
+//     on its current backend right now and restores it elsewhere;
+//   - drain: `drain <backend>` stops placing sessions on a backend and
+//     migrates every session it hosts;
+//   - loss: when a backend dies and the rehost grace expires, the
+//     broker restores the session from the last checkpoint the backend
+//     pushed (backends checkpoint after every stop), instead of
+//     declaring it lost.
+//
+// The restored tree keeps its PIDs, breakpoints and parked threads, so
+// clients notice only a session_migrated event and resume where they
+// stopped. The stale source instance — if its backend still lives — is
+// torn down quietly with drop_session so its teardown cannot
+// masquerade as the live session dying.
+
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"dionea/internal/protocol"
+)
+
+// checkpointOf obtains the freshest migratable checkpoint for s: ask
+// the hosting backend for one now, falling back to the last checkpoint
+// it pushed if it cannot answer (it may be dead — that is often why we
+// are migrating).
+func (bk *Broker) checkpointOf(s *session) *protocol.Msg {
+	s.mu.Lock()
+	be := s.backend
+	last := s.lastCkpt
+	s.mu.Unlock()
+	if be != nil {
+		resp, err := be.request(&protocol.Msg{Kind: "req", Cmd: protocol.CmdCheckpoint, Session: s.name}, bk.opts.HostTimeout)
+		switch {
+		case err == nil && resp.Err == "" && len(resp.Data) > 0:
+			return resp
+		case err == nil && resp.Err != "":
+			bk.opts.Logf("broker: fresh checkpoint of %q failed (%s), using last pushed", s.name, resp.Err)
+		case err != nil:
+			bk.opts.Logf("broker: fresh checkpoint of %q failed (%v), using last pushed", s.name, err)
+		}
+	}
+	return last
+}
+
+// pickTarget returns the lowest-named host-capable backend other than
+// exclude, or nil. Lowest-name keeps the choice deterministic under a
+// seeded soak.
+func (bk *Broker) pickTarget(exclude string) *backend {
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	var best *backend
+	for name, be := range bk.backends {
+		if !be.canHost || name == exclude {
+			continue
+		}
+		if best == nil || name < best.name {
+			best = be
+		}
+	}
+	return best
+}
+
+// restoreOnto ships ckpt to the target backend (broker's choice when
+// targetName is empty), rebinds s there, announces session_migrated,
+// and quietly drops the stale source instance.
+func (bk *Broker) restoreOnto(s *session, targetName string, ckpt *protocol.Msg, reason string) error {
+	s.mu.Lock()
+	src := ""
+	if s.backend != nil {
+		src = s.backend.name
+	}
+	s.mu.Unlock()
+	var target *backend
+	if targetName == "" {
+		target = bk.pickTarget(src)
+	} else {
+		bk.mu.Lock()
+		if be := bk.backends[targetName]; be != nil && be.canHost {
+			target = be
+		}
+		bk.mu.Unlock()
+	}
+	if target == nil {
+		return fmt.Errorf("broker: no host-capable backend for %s (want %q)", s.name, targetName)
+	}
+	if target.name == src {
+		return fmt.Errorf("broker: session %s already runs on %s", s.name, src)
+	}
+	resp, err := target.request(&protocol.Msg{Kind: "req", Cmd: protocol.CmdHostRestored, Session: s.name, Data: ckpt.Data, Text: ckpt.Text}, bk.opts.HostTimeout)
+	if err != nil {
+		return err
+	}
+	if resp.Err != "" {
+		return errors.New(resp.Err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		go func() {
+			_, _ = target.request(&protocol.Msg{Kind: "req", Cmd: protocol.CmdDropSession, Session: s.name}, 5*time.Second)
+		}()
+		return fmt.Errorf("broker: session %s closed during migration", s.name)
+	}
+	old := s.backend
+	s.backend = target
+	s.root = resp.PID
+	s.mu.Unlock()
+	bk.opts.Logf("broker: session %q migrated %s -> %s (%s)", s.name, src, target.name, reason)
+	bk.placementChanged(s.name, target.name, resp.PID, "migrated")
+	bk.fanout(s, &protocol.Msg{Kind: "event", Cmd: protocol.EventSessionMigrated, Session: s.name, PID: resp.PID, Text: target.name, Reason: reason})
+	if old != nil && old != target {
+		go func() {
+			_, _ = old.request(&protocol.Msg{Kind: "req", Cmd: protocol.CmdDropSession, Session: s.name}, 5*time.Second)
+		}()
+	}
+	return nil
+}
+
+// migrateSession checkpoints s and restores it on targetName (empty =
+// broker's choice).
+func (bk *Broker) migrateSession(s *session, targetName, reason string) error {
+	ckpt := bk.checkpointOf(s)
+	if ckpt == nil || len(ckpt.Data) == 0 {
+		return fmt.Errorf("broker: no checkpoint available for %s", s.name)
+	}
+	return bk.restoreOnto(s, targetName, ckpt, reason)
+}
+
+// sessionLost runs when a session's backend stayed gone past the
+// rehost grace: restore from the last pushed checkpoint if there is
+// one, close the session (the pre-HA behavior) if not.
+func (bk *Broker) sessionLost(s *session, backendName string) {
+	reason := fmt.Sprintf("backend %s lost", backendName)
+	s.mu.Lock()
+	ckpt := s.lastCkpt
+	s.mu.Unlock()
+	if ckpt != nil && len(ckpt.Data) > 0 {
+		if err := bk.restoreOnto(s, "", ckpt, reason); err == nil {
+			return
+		} else {
+			bk.opts.Logf("broker: checkpoint restore of %q failed (%v), closing", s.name, err)
+		}
+	}
+	bk.closeSession(s, reason)
+}
+
+// drainBackend stops placing sessions on the named backend and
+// migrates every session it hosts. Returns how many sessions moved.
+func (bk *Broker) drainBackend(name string) (int, error) {
+	bk.mu.Lock()
+	be := bk.backends[name]
+	if be == nil {
+		bk.mu.Unlock()
+		return 0, fmt.Errorf("broker: unknown backend %q", name)
+	}
+	be.canHost = false
+	bk.rebuildRingLocked()
+	var victims []*session
+	for _, s := range bk.sessions {
+		s.mu.Lock()
+		if !s.closed && s.backend == be {
+			victims = append(victims, s)
+		}
+		s.mu.Unlock()
+	}
+	bk.mu.Unlock()
+	bk.opts.Logf("broker: draining backend %q (%d sessions)", name, len(victims))
+	moved := 0
+	var firstErr error
+	for _, s := range victims {
+		if err := bk.migrateSession(s, "", "drain"); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			bk.opts.Logf("broker: drain: migrating %q failed: %v", s.name, err)
+		} else {
+			moved++
+		}
+	}
+	if moved == 0 && firstErr != nil {
+		return 0, firstErr
+	}
+	return moved, nil
+}
+
+// handleMigrate answers a controller's migrate command.
+func (bk *Broker) handleMigrate(s *session, conn *protocol.Conn, m *protocol.Msg) {
+	resp := &protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd}
+	if err := bk.migrateSession(s, m.Text, "manual migrate"); err != nil {
+		resp.Err = err.Error()
+	} else {
+		s.mu.Lock()
+		resp.OK = true
+		resp.PID = s.root
+		if s.backend != nil {
+			resp.Text = s.backend.name
+		}
+		s.mu.Unlock()
+	}
+	_ = conn.Send(resp)
+}
+
+// handleDrain answers a controller's drain command.
+func (bk *Broker) handleDrain(conn *protocol.Conn, m *protocol.Msg) {
+	resp := &protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd}
+	moved, err := bk.drainBackend(m.Text)
+	if err != nil {
+		resp.Err = err.Error()
+	} else {
+		resp.OK = true
+		resp.Seq = uint64(moved)
+		resp.Text = fmt.Sprintf("%d session(s) migrated off %s", moved, m.Text)
+	}
+	_ = conn.Send(resp)
+}

@@ -53,7 +53,8 @@ func critical(cmd string) bool {
 	switch cmd {
 	case protocol.EventProcessExited, protocol.EventSessionClosed,
 		protocol.EventControllerGranted, protocol.EventControllerLost,
-		protocol.EventSessionReconnected:
+		protocol.EventSessionReconnected, protocol.EventBrokerPromoted,
+		protocol.EventSessionMigrated:
 		return true
 	}
 	return false
@@ -111,7 +112,9 @@ func (q *eventQueue) pop() (*protocol.Msg, bool) {
 			n := q.dropped
 			q.dropped = 0
 			q.mu.Unlock()
-			return &protocol.Msg{Kind: "event", Cmd: protocol.EventEventsDropped, Seq: n}, true
+			// Dropped is the dedicated count field; Seq mirrors it for
+			// clients that predate it.
+			return &protocol.Msg{Kind: "event", Cmd: protocol.EventEventsDropped, Seq: n, Dropped: n}, true
 		}
 		if len(q.buf) > 0 {
 			m := q.buf[0]

@@ -1,0 +1,404 @@
+// Broker replication: the HA half of the fabric (DESIGN §8).
+//
+// A standby broker starts with Options.Primary set. Backends register
+// with every broker in the fabric, so the standby already holds live
+// backend links and sees every session event; what it cannot derive on
+// its own is *placement* — which sessions exist and which backend hosts
+// them — so the primary streams that over a replication link
+// (CmdReplicate handshake, then CmdPlacement updates). While the
+// primary lives, the standby rejects clients. When the replication
+// link dies and stays dead for PromoteAfter, the standby promotes:
+// it materializes sessions from the replicated placements, re-binding
+// each to its (already registered) backend, and starts serving clients.
+// Sessions whose backend died with the primary get the usual rehost
+// grace, backed by the last replicated checkpoint (migrate.go).
+//
+// Events the standby sees for sessions it has not materialized yet are
+// not discarded wholesale: structural history (forked) and terminal
+// facts (process_exited, deadlock) are buffered per placement, so a
+// client that fails over to the just-promoted standby still learns its
+// process died even if it died during the failover window. That is the
+// "no critical event lost" half of the HA contract.
+
+package broker
+
+import (
+	"net"
+	"time"
+
+	"dionea/internal/protocol"
+)
+
+// placement is the standby's view of one session: enough to re-adopt
+// it at promotion time.
+type placement struct {
+	backend string
+	root    int64
+	// pending buffers structural and terminal events seen before the
+	// session exists here; split into replay/critical at promotion.
+	pending []*protocol.Msg
+	// ckpt is the newest checkpoint event the hosting backend pushed —
+	// the restore source if the backend dies with the primary.
+	ckpt *protocol.Msg
+}
+
+// maxPending bounds the per-placement pre-promotion buffer. Forked and
+// terminal events are rare (a handful per session); the cap only guards
+// against a pathological fork storm.
+const maxPending = 64
+
+// replayCritical picks the events worth replaying to a late or failed-
+// over source attachment: terminal facts a client must never miss.
+// Role-change events (controller_granted/lost) are deliberately
+// excluded — replaying a stale grant to a different client would hand
+// out phantom control.
+func replayCritical(cmd string) bool {
+	switch cmd {
+	case protocol.EventProcessExited, protocol.EventDeadlock,
+		protocol.EventSessionMigrated:
+		return true
+	}
+	return false
+}
+
+func (bk *Broker) isStandby() bool {
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	return bk.standby
+}
+
+func (bk *Broker) wasPromoted() bool {
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	return bk.promoted
+}
+
+// ---------------------------------------------------------------------------
+// Primary side
+
+// serveRepl handles a standby's replication subscription: dump the
+// current placements, then stream updates (placementChanged) and pings
+// until the link dies.
+func (bk *Broker) serveRepl(conn *protocol.Conn, m *protocol.Msg) {
+	bk.mu.Lock()
+	if bk.closed || bk.standby {
+		bk.mu.Unlock()
+		_ = conn.Send(&protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd, Err: "broker is not accepting replication"})
+		_ = conn.Close()
+		return
+	}
+	bk.repls[conn] = true
+	snap := make([]*protocol.Msg, 0, len(bk.sessions))
+	for name, s := range bk.sessions {
+		s.mu.Lock()
+		if !s.closed {
+			beName := ""
+			if s.backend != nil {
+				beName = s.backend.name
+			}
+			snap = append(snap, &protocol.Msg{Kind: "event", Cmd: protocol.CmdPlacement, Session: name, Text: beName, PID: s.root, Reason: "hosted"})
+		}
+		s.mu.Unlock()
+	}
+	bk.mu.Unlock()
+	if err := conn.Send(&protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd, OK: true, Text: bk.opts.Name}); err != nil {
+		bk.dropRepl(conn)
+		return
+	}
+	for _, p := range snap {
+		if err := conn.Send(p); err != nil {
+			bk.dropRepl(conn)
+			return
+		}
+	}
+	bk.opts.Logf("broker: standby %q subscribed to replication (%d placements)", m.Text, len(snap))
+	// Heartbeat writer: keeps the standby's reads moving so a silent
+	// link is indistinguishable from a dead one only for as long as the
+	// standby's read window.
+	stop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(bk.opts.PingInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+			if err := conn.Send(&protocol.Msg{Kind: "event", Cmd: protocol.CmdPing}); err != nil {
+				_ = conn.Close()
+				return
+			}
+		}
+	}()
+	for {
+		if _, err := conn.Recv(); err != nil {
+			break
+		}
+	}
+	close(stop)
+	bk.dropRepl(conn)
+}
+
+func (bk *Broker) dropRepl(conn *protocol.Conn) {
+	bk.mu.Lock()
+	delete(bk.repls, conn)
+	bk.mu.Unlock()
+	_ = conn.Close()
+}
+
+// placementChanged broadcasts one placement update to every replication
+// subscriber. reason is "hosted", "migrated" or "closed".
+func (bk *Broker) placementChanged(session, backendName string, root int64, reason string) {
+	bk.mu.Lock()
+	conns := make([]*protocol.Conn, 0, len(bk.repls))
+	for c := range bk.repls {
+		conns = append(conns, c)
+	}
+	bk.mu.Unlock()
+	if len(conns) == 0 {
+		return
+	}
+	m := &protocol.Msg{Kind: "event", Cmd: protocol.CmdPlacement, Session: session, Text: backendName, PID: root, Reason: reason}
+	for _, c := range conns {
+		if err := c.Send(m); err != nil {
+			// serveRepl's read loop notices the close and unsubscribes.
+			_ = c.Close()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Standby side
+
+// runStandby keeps the replication link up and promotes once it has
+// been down — redials included — for PromoteAfter.
+func (bk *Broker) runStandby() {
+	var downSince time.Time
+	for {
+		bk.mu.Lock()
+		closed, standby := bk.closed, bk.standby
+		bk.mu.Unlock()
+		if closed || !standby {
+			return
+		}
+		if bk.replicateOnce() {
+			// The link was up and then died; the promotion clock starts
+			// fresh — a healthy primary restart must not trigger promotion.
+			downSince = time.Time{}
+			continue
+		}
+		if downSince.IsZero() {
+			downSince = time.Now()
+		}
+		if time.Since(downSince) >= bk.opts.PromoteAfter {
+			bk.promote()
+			return
+		}
+		time.Sleep(bk.opts.PromoteAfter / 20)
+	}
+}
+
+// replicateOnce dials the primary, subscribes, and consumes placement
+// updates until the link dies. It returns true if the subscription
+// handshake succeeded (the primary was alive), false if the primary was
+// unreachable or rejected us.
+func (bk *Broker) replicateOnce() bool {
+	nc, err := net.DialTimeout("tcp", bk.opts.Primary, bk.opts.PromoteAfter/4+50*time.Millisecond)
+	if err != nil {
+		return false
+	}
+	conn := protocol.NewConn(nc)
+	conn.SetWriteTimeout(bk.opts.WriteTimeout)
+	conn.SetReadTimeout(bk.opts.PromoteAfter + time.Second)
+	if err := conn.Send(&protocol.Msg{Kind: "req", ID: 1, Cmd: protocol.CmdReplicate, Text: bk.opts.Name}); err != nil {
+		_ = conn.Close()
+		return false
+	}
+	resp, err := conn.Recv()
+	if err != nil || resp.Err != "" {
+		_ = conn.Close()
+		return false
+	}
+	bk.opts.Logf("broker: standby %q replicating from %s", bk.opts.Name, bk.opts.Primary)
+	// The primary pings every PingInterval; a link quiet for longer than
+	// the larger of the promotion window and a few ping periods is dead.
+	quiet := bk.opts.PromoteAfter
+	if min := 4 * bk.opts.PingInterval; quiet < min {
+		quiet = min
+	}
+	conn.SetReadTimeout(quiet)
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			_ = conn.Close()
+			return true
+		}
+		if m.Cmd == protocol.CmdPlacement {
+			bk.applyPlacement(m)
+		}
+	}
+}
+
+func (bk *Broker) applyPlacement(m *protocol.Msg) {
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	if !bk.standby {
+		return
+	}
+	if m.Reason == "closed" {
+		delete(bk.placements, m.Session)
+		return
+	}
+	pl := bk.placements[m.Session]
+	if pl == nil {
+		pl = &placement{}
+		bk.placements[m.Session] = pl
+	}
+	pl.backend = m.Text
+	if m.PID != 0 {
+		pl.root = m.PID
+	}
+}
+
+// standbyBuffer captures what a pre-promotion standby must remember
+// from a backend event for a session it has not materialized: forked
+// structure, terminal facts, and checkpoints.
+func (bk *Broker) standbyBuffer(be *backend, m *protocol.Msg) {
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	if !bk.standby {
+		return
+	}
+	pl := bk.placements[m.Session]
+	if pl == nil {
+		pl = &placement{}
+		bk.placements[m.Session] = pl
+	}
+	if pl.backend == "" {
+		// The event arrived over this backend's link: it hosts the
+		// session, whatever the (possibly lagging) placement stream says.
+		pl.backend = be.name
+	}
+	switch {
+	case m.Cmd == protocol.CmdCheckpoint:
+		pl.ckpt = m
+	case m.Cmd == protocol.EventForked && m.Child != 0,
+		replayCritical(m.Cmd):
+		if len(pl.pending) < maxPending {
+			pl.pending = append(pl.pending, m)
+		}
+	}
+}
+
+// promote turns the standby into the primary: materialize a session
+// per replicated placement, re-bind each to its registered backend, and
+// start the rehost grace for sessions whose backend is gone.
+func (bk *Broker) promote() {
+	bk.mu.Lock()
+	if bk.closed || !bk.standby {
+		bk.mu.Unlock()
+		return
+	}
+	bk.standby = false
+	bk.promoted = true
+	adopted := 0
+	var orphans []*session
+	var lostFrom []string
+	for name, pl := range bk.placements {
+		if bk.sessions[name] != nil {
+			continue
+		}
+		s := &session{
+			name:     name,
+			ready:    make(chan struct{}),
+			clients:  make(map[string]*clientAtt),
+			root:     pl.root,
+			backend:  bk.backends[pl.backend],
+			lastCkpt: pl.ckpt,
+		}
+		for _, m := range pl.pending {
+			if m.Cmd == protocol.EventForked {
+				s.replay = append(s.replay, m)
+			} else {
+				s.critical = append(s.critical, m)
+			}
+		}
+		close(s.ready)
+		bk.sessions[name] = s
+		adopted++
+		if s.backend == nil {
+			orphans = append(orphans, s)
+			lostFrom = append(lostFrom, pl.backend)
+		}
+	}
+	bk.placements = make(map[string]*placement)
+	bk.mu.Unlock()
+	bk.opts.Logf("broker: %q promoted to primary (%d sessions adopted, %d orphaned)", bk.opts.Name, adopted, len(orphans))
+	for i, s := range orphans {
+		bk.orphanGrace(s, lostFrom[i])
+	}
+}
+
+// orphanGrace gives a backend-less session RehostGrace for its backend
+// to re-register before the session is declared lost (at which point
+// migrate.go tries a checkpoint restore before giving up).
+func (bk *Broker) orphanGrace(s *session, backendName string) {
+	bk.opts.Logf("broker: session %q orphaned by backend %q, grace %v", s.name, backendName, bk.opts.RehostGrace)
+	time.AfterFunc(bk.opts.RehostGrace, func() {
+		s.mu.Lock()
+		lost := !s.closed && s.backend == nil
+		s.mu.Unlock()
+		if lost {
+			bk.sessionLost(s, backendName)
+		}
+	})
+}
+
+// Kill stops the broker the way a crash would: the listener and every
+// connection drop with no graceful session_closed fan-out. Tests and
+// the HA soak use it to stand in for the primary process dying.
+func (bk *Broker) Kill() {
+	bk.mu.Lock()
+	if bk.closed {
+		bk.mu.Unlock()
+		return
+	}
+	bk.closed = true
+	backends := make([]*backend, 0, len(bk.backends))
+	for _, be := range bk.backends {
+		backends = append(backends, be)
+	}
+	sessions := make([]*session, 0, len(bk.sessions))
+	for _, s := range bk.sessions {
+		sessions = append(sessions, s)
+	}
+	repls := make([]*protocol.Conn, 0, len(bk.repls))
+	for c := range bk.repls {
+		repls = append(repls, c)
+	}
+	bk.mu.Unlock()
+	_ = bk.ln.Close()
+	for _, be := range backends {
+		be.fail()
+	}
+	for _, c := range repls {
+		_ = c.Close()
+	}
+	for _, s := range sessions {
+		s.mu.Lock()
+		s.closed = true
+		for _, att := range s.clients {
+			if att.cmd != nil {
+				_ = att.cmd.Close()
+			}
+			if att.src != nil {
+				_ = att.src.Close()
+			}
+			if att.q != nil {
+				att.q.close()
+			}
+		}
+		s.mu.Unlock()
+	}
+}

@@ -48,6 +48,14 @@ const (
 	// ConnTear: a debug-plane connection is torn mid-message — half the
 	// bytes land, then the socket dies.
 	ConnTear
+	// BrokerKill: the fabric's primary broker process dies abruptly —
+	// listener and every connection drop with no graceful session_closed.
+	// The HA soak derives the kill time from Param; the standby must
+	// promote and re-adopt live sessions.
+	BrokerKill
+	// BackendDrain: a backend is drained mid-session — every hosted
+	// session must migrate to a surviving backend from its checkpoint.
+	BackendDrain
 
 	NumPoints
 )
@@ -61,6 +69,8 @@ var pointNames = [NumPoints]string{
 	ConnDrop:       "conn-drop",
 	ConnDelay:      "conn-delay",
 	ConnTear:       "conn-tear",
+	BrokerKill:     "broker-kill",
+	BackendDrain:   "backend-drain",
 }
 
 func (p Point) String() string {
@@ -89,6 +99,9 @@ func DefaultConfig() Config {
 	c.Rates[ConnDrop] = 0.03
 	c.Rates[ConnDelay] = 0.10
 	c.Rates[ConnTear] = 0.02
+	// BrokerKill and BackendDrain stay at 0 here: they are whole-process
+	// faults that the HA soak schedules explicitly (WouldFire/Param), not
+	// per-operation firings a wrapped connection could decide.
 	return c
 }
 

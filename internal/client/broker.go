@@ -11,12 +11,21 @@
 // broker. When the controller disconnects, the oldest standby that
 // asked for control is promoted and told so with a controller_granted
 // event.
+//
+// HA: the address may be a comma-separated list of brokers (primary
+// first, then standbys). Attaches rotate through the list — a broker
+// that is down or still in standby is skipped — and when an attached
+// broker dies mid-session, failoverBroker re-attaches both channels to
+// the next live broker within the reconnect window, keeping the
+// session (and, for a controller, the role claim) without the caller
+// noticing more than a session_reconnected event.
 
 package client
 
 import (
 	"fmt"
 	"os"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -25,15 +34,33 @@ import (
 
 var clientSeq atomic.Int64
 
+// brokerReconnectWindow is the default failover window for brokered
+// attaches. It must outlast standby promotion (PromoteAfter, 2s by
+// default, plus redial detection); the direct-mode source-channel
+// default of 750ms would give up before any standby can take over.
+const brokerReconnectWindow = 10 * time.Second
+
 // NewBroker attaches to the debug session named session through the
-// broker at addr (host:port), with the given role
-// (protocol.RoleController or protocol.RoleObserver). The returned
-// client exposes the same API as a direct one; the session's processes
-// appear in Sessions() as the backend announces them.
+// broker fabric at addr — one "host:port", or a comma-separated list
+// naming every broker — with the given role (protocol.RoleController
+// or protocol.RoleObserver). The returned client exposes the same API
+// as a direct one; the session's processes appear in Sessions() as the
+// backend announces them.
 func NewBroker(addr, session, role string, opts Options) (*Client, error) {
+	if opts.ReconnectWindow <= 0 {
+		opts.ReconnectWindow = brokerReconnectWindow
+	}
 	c := NewWith(nil, session, opts)
 	c.brokered = true
-	c.brokerAddr = addr
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			c.brokerAddrs = append(c.brokerAddrs, a)
+		}
+	}
+	if len(c.brokerAddrs) == 0 {
+		return nil, fmt.Errorf("client: no broker address")
+	}
+	c.brokerRole = role
 	c.brokerName = fmt.Sprintf("%s-%d-%d", role, os.Getpid(), clientSeq.Add(1))
 	c.role.Store(protocol.RoleObserver)
 
@@ -51,7 +78,7 @@ func NewBroker(addr, session, role string, opts Options) (*Client, error) {
 	c.role.Store(resp.Role)
 
 	s := &Session{
-		PID: resp.PID, cmd: cmd, src: src,
+		PID: resp.PID, cmd: cmd, src: src, gen: 1,
 		pending:  make(map[int64]chan *protocol.Msg),
 		closedCh: make(chan struct{}),
 	}
@@ -60,7 +87,7 @@ func NewBroker(addr, session, role string, opts Options) (*Client, error) {
 	c.mu.Unlock()
 
 	go c.brokerEventLoop(s)
-	go s.respLoop()
+	go c.brokerRespLoop(s, cmd, 1)
 	go c.heartbeat(s)
 	return c, nil
 }
@@ -78,10 +105,27 @@ func (c *Client) Role() string {
 // Brokered reports whether this client is attached through a broker.
 func (c *Client) Brokered() bool { return c.brokered }
 
-// attachBroker dials the broker and performs the attach handshake for
-// one channel.
+// attachBroker performs the attach handshake for one channel against
+// the fabric: it starts at the sticky address cursor and rotates past
+// brokers that are unreachable or reject the attach (a standby does,
+// until it promotes). The cursor only advances on failure, so the
+// command and source channels of one attachment land on one broker.
 func (c *Client) attachBroker(channel, role string) (*protocol.Conn, *protocol.Msg, error) {
-	conn, err := c.dialConn(c.brokerAddr)
+	var lastErr error
+	for range c.brokerAddrs {
+		addr := c.brokerAddrs[int(c.addrIdx.Load())%len(c.brokerAddrs)]
+		conn, resp, err := c.attachBrokerAddr(addr, channel, role)
+		if err == nil {
+			return conn, resp, nil
+		}
+		lastErr = err
+		c.addrIdx.Add(1)
+	}
+	return nil, nil, lastErr
+}
+
+func (c *Client) attachBrokerAddr(addr, channel, role string) (*protocol.Conn, *protocol.Msg, error) {
+	conn, err := c.dialConn(addr)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -110,15 +154,118 @@ func (c *Client) attachBroker(channel, role string) (*protocol.Conn, *protocol.M
 	return conn, resp, nil
 }
 
+// brokerRespLoop routes responses from one command-connection
+// generation. When the connection dies it hands off to failoverBroker;
+// a successful failover spawns the next generation's loop.
+func (c *Client) brokerRespLoop(s *Session, conn *protocol.Conn, gen int) {
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			if c.failoverBroker(s, gen) {
+				return
+			}
+			s.closeCmdSide()
+			return
+		}
+		s.route(m)
+	}
+}
+
+// failoverBroker re-attaches both channels of a brokered session after
+// its broker died (or went silent). Single-flight: concurrent callers
+// that saw the same dead generation wait, then observe the bumped
+// generation and report success without re-attaching. Returns false
+// only when the session is closed or no broker accepted us within the
+// reconnect window — PromoteAfter of a standby must fit inside it.
+func (c *Client) failoverBroker(s *Session, failedGen int) bool {
+	c.failMu.Lock()
+	defer c.failMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	if s.gen != failedGen {
+		// Someone already moved us to a live broker.
+		s.mu.Unlock()
+		return true
+	}
+	oldCmd, oldSrc := s.cmd, s.src
+	s.mu.Unlock()
+	_ = oldCmd.Close()
+	_ = oldSrc.Close()
+	// A promoted controller stays a controller across failover.
+	role := c.brokerRole
+	if c.Role() == protocol.RoleController {
+		role = protocol.RoleController
+	}
+	deadline := time.Now().Add(c.opts.ReconnectWindow)
+	backoff := c.opts.BackoffFloor
+	for time.Now().Before(deadline) {
+		cmd, resp, err := c.attachBroker(protocol.ChannelCommand, role)
+		if err == nil {
+			src, _, err2 := c.attachBroker(protocol.ChannelSource, role)
+			if err2 == nil {
+				s.mu.Lock()
+				if s.closed {
+					s.mu.Unlock()
+					_ = cmd.Close()
+					_ = src.Close()
+					return false
+				}
+				s.cmd, s.src = cmd, src
+				s.gen++
+				gen := s.gen
+				pending := s.pending
+				s.pending = make(map[int64]chan *protocol.Msg)
+				s.mu.Unlock()
+				// In-flight requests rode the dead connection; fail them
+				// with an error response (not a closed channel — the
+				// session lives, and the heartbeat must keep running).
+				for id, ch := range pending {
+					ch <- &protocol.Msg{Kind: "resp", ID: id, Err: "broker failover: request lost"}
+				}
+				c.role.Store(resp.Role)
+				go c.brokerRespLoop(s, cmd, gen)
+				c.emit(Event{PID: s.PID, Msg: &protocol.Msg{
+					Kind: "event", Cmd: protocol.EventSessionReconnected,
+					PID: s.PID, Session: c.sessionID,
+				}})
+				return true
+			}
+			_ = cmd.Close()
+		}
+		backoff = sleepBackoff(backoff, c.opts.BackoffCap, deadline)
+	}
+	return false
+}
+
 // brokerEventLoop pumps the multiplexed source channel. Unlike the
 // direct loop there is nothing to dial per child: forked processes are
 // adopted by the backend, announced here, and merely registered so the
-// per-PID request API routes to the shared session.
+// per-PID request API routes to the shared session. A dead source
+// connection routes through failoverBroker (both channels move
+// together); only a failed failover ends the session.
 func (c *Client) brokerEventLoop(s *Session) {
 	for {
-		m, err := s.srcConn().Recv()
+		s.mu.Lock()
+		conn, gen, closed := s.src, s.gen, s.closed
+		s.mu.Unlock()
+		if closed {
+			c.dropSession(s)
+			s.closeForDrain()
+			return
+		}
+		m, err := conn.Recv()
 		if err != nil {
-			if c.reconnectBrokerSrc(s) {
+			s.mu.Lock()
+			cur := s.gen
+			s.mu.Unlock()
+			if cur != gen {
+				// A failover already installed a fresh pair.
+				continue
+			}
+			if c.failoverBroker(s, gen) {
 				continue
 			}
 			c.dropSession(s)
@@ -174,35 +321,44 @@ func (c *Client) adoptBrokeredPID(s *Session, pid int64) {
 	}
 }
 
-// reconnectBrokerSrc re-attaches a dropped source channel within the
-// reconnect window. The broker replays the session's current state
-// (hints, stops, children) on the fresh attachment, exactly as a direct
-// server would.
-func (c *Client) reconnectBrokerSrc(s *Session) bool {
-	s.mu.Lock()
-	old, closed := s.src, s.closed
-	s.mu.Unlock()
-	if closed {
-		return false
+// ---- fabric commands (broker mode only) ----
+
+// Migrate asks the broker to move the session to the named backend
+// (empty = broker's choice). Returns the backend now hosting it.
+func (c *Client) Migrate(pid int64, target string) (string, error) {
+	resp, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdMigrate, Text: target}, 30*time.Second)
+	if err != nil {
+		return "", err
 	}
-	_ = old.Close()
-	deadline := time.Now().Add(c.opts.ReconnectWindow)
-	backoff := c.opts.BackoffFloor
-	for time.Now().Before(deadline) {
-		conn, _, err := c.attachBroker(protocol.ChannelSource, protocol.RoleObserver)
-		if err == nil {
-			s.mu.Lock()
-			if s.closed {
-				s.mu.Unlock()
-				_ = conn.Close()
-				return false
-			}
-			s.src = conn
-			s.mu.Unlock()
-			c.emit(Event{PID: s.PID, Msg: &protocol.Msg{Kind: "event", Cmd: protocol.EventSessionReconnected, PID: s.PID}})
-			return true
-		}
-		backoff = sleepBackoff(backoff, c.opts.BackoffCap, deadline)
+	return resp.Text, nil
+}
+
+// Drain asks the broker to migrate every session off the named backend
+// and stop placing new ones there. Returns the broker's summary.
+func (c *Client) Drain(pid int64, backend string) (string, error) {
+	resp, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdDrain, Text: backend}, 60*time.Second)
+	if err != nil {
+		return "", err
 	}
-	return false
+	return resp.Text, nil
+}
+
+// SessionsAll lists every session in the fabric; rows are
+// "session|backend|root-pid|clients".
+func (c *Client) SessionsAll(pid int64) ([]string, error) {
+	resp, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdSessionsAll}, defaultTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Rows, nil
+}
+
+// Stuck fans a health probe across every backend; rows are
+// "backend|session|verdict|detail|gil-switches".
+func (c *Client) Stuck(pid int64) ([]string, error) {
+	resp, err := c.request(pid, &protocol.Msg{Cmd: protocol.CmdStuck}, 30*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Rows, nil
 }

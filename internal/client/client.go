@@ -120,10 +120,13 @@ type Event struct {
 type Session struct {
 	PID int64
 
-	cmd *protocol.Conn
-
-	mu      sync.Mutex
-	src     *protocol.Conn // replaced on source-channel reconnect
+	mu  sync.Mutex
+	cmd *protocol.Conn // replaced on broker failover (brokered mode)
+	src *protocol.Conn // replaced on source-channel reconnect
+	// gen counts the connection pair's generation: broker failover swaps
+	// both conns and bumps it, so a loop that saw generation N error can
+	// tell whether someone else already failed over.
+	gen     int
 	pending map[int64]chan *protocol.Msg
 	nextID  atomic.Int64
 	closed  bool
@@ -152,12 +155,18 @@ type Client struct {
 	opts      Options
 
 	// Broker mode (NewBroker): every PID of the debug session shares one
-	// multiplexed Session whose requests carry Session/PID envelopes;
-	// brokerAddr/brokerName re-attach the source channel after a drop.
-	brokered   bool
-	brokerAddr string
-	brokerName string
-	role       atomic.Value // string; controller or observer
+	// multiplexed Session whose requests carry Session/PID envelopes.
+	// brokerAddrs lists every broker of the fabric (primary + standbys);
+	// addrIdx is the sticky cursor — it advances only when an attach
+	// fails, so both channels land on the same broker and a dead or
+	// still-standby broker is skipped. failMu single-flights failover.
+	brokered    bool
+	brokerAddrs []string
+	addrIdx     atomic.Int64
+	brokerRole  string // the role this client asked for at attach time
+	brokerName  string
+	role        atomic.Value // string; controller or observer
+	failMu      sync.Mutex
 
 	mu       sync.Mutex
 	sessions map[int64]*Session
@@ -463,23 +472,32 @@ func (c *Client) emit(e Event) {
 	}
 }
 
-// respLoop routes command responses to their waiters.
+// respLoop routes command responses to their waiters (direct mode; the
+// command connection never changes).
 func (s *Session) respLoop() {
+	s.mu.Lock()
+	conn := s.cmd
+	s.mu.Unlock()
 	for {
-		m, err := s.cmd.Recv()
+		m, err := conn.Recv()
 		if err != nil {
 			s.closeCmdSide()
 			return
 		}
-		s.mu.Lock()
-		ch, ok := s.pending[m.ID]
-		if ok {
-			delete(s.pending, m.ID)
-		}
-		s.mu.Unlock()
-		if ok {
-			ch <- m
-		}
+		s.route(m)
+	}
+}
+
+// route delivers one response to its pending waiter.
+func (s *Session) route(m *protocol.Msg) {
+	s.mu.Lock()
+	ch, ok := s.pending[m.ID]
+	if ok {
+		delete(s.pending, m.ID)
+	}
+	s.mu.Unlock()
+	if ok {
+		ch <- m
 	}
 }
 
@@ -516,13 +534,14 @@ func (s *Session) closeCmdSide() {
 	s.mu.Lock()
 	already := s.closed
 	s.closed = true
+	cmd := s.cmd
 	pending := s.pending
 	s.pending = make(map[int64]chan *protocol.Msg)
 	s.mu.Unlock()
 	if !already {
 		close(s.closedCh)
 	}
-	_ = s.cmd.Close()
+	_ = cmd.Close()
 	for _, ch := range pending {
 		close(ch)
 	}
@@ -534,14 +553,14 @@ func (s *Session) close() {
 	s.mu.Lock()
 	already := s.closed
 	s.closed = true
-	src := s.src
+	cmd, src := s.cmd, s.src
 	pending := s.pending
 	s.pending = make(map[int64]chan *protocol.Msg)
 	s.mu.Unlock()
 	if !already {
 		close(s.closedCh)
 	}
-	_ = s.cmd.Close()
+	_ = cmd.Close()
 	_ = src.Close()
 	for _, ch := range pending {
 		close(ch)
@@ -562,8 +581,12 @@ func (s *Session) Request(m *protocol.Msg, timeout time.Duration) (*protocol.Msg
 		return nil, ErrSessionClosed
 	}
 	s.pending[m.ID] = ch
+	conn := s.cmd
 	s.mu.Unlock()
-	if err := s.cmd.Send(m); err != nil {
+	if err := conn.Send(m); err != nil {
+		s.mu.Lock()
+		delete(s.pending, m.ID)
+		s.mu.Unlock()
 		return nil, err
 	}
 	select {
@@ -634,6 +657,18 @@ func (c *Client) heartbeat(s *Session) {
 		}
 		if misses++; misses < c.opts.heartbeatMisses() {
 			continue
+		}
+		if c.brokered {
+			// The broker stopped answering: before declaring the session
+			// dead, try the rest of the fabric — a standby may have
+			// promoted (or be about to, within the reconnect window).
+			s.mu.Lock()
+			gen := s.gen
+			s.mu.Unlock()
+			if c.failoverBroker(s, gen) {
+				misses = 0
+				continue
+			}
 		}
 		c.dropSession(s)
 		s.close()

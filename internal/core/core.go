@@ -32,6 +32,12 @@ type Core struct {
 	Seed    int64  // chaos seed active during the run (0 = chaos off)
 	Files   []string
 	Procs   []*ProcSnap
+	// Image, when non-empty, is the resume image a Checkpoint appends: the
+	// exact object graph, frame stacks and pending operations needed to
+	// Restore the tree to a runnable state on another backend (live session
+	// migration). Plain crash cores carry none; decode → re-encode of a
+	// file without one stays byte-identical.
+	Image []byte
 }
 
 // ProcSnap is one process's state.

@@ -39,6 +39,11 @@ import (
 
 var magic = []byte("PINTCORE1")
 
+// imgMagic introduces the optional trailing resume-image section (see
+// Core.Image). Files written before checkpoints existed simply end after
+// the process records, so its presence is detected by peeking for EOF.
+var imgMagic = []byte("PIMG")
+
 type coreWriter struct {
 	w   *bufio.Writer
 	err error
@@ -147,6 +152,11 @@ func Write(w io.Writer, c *Core) error {
 			e.Encode(eb[:])
 			cw.bytes(eb[:])
 		}
+	}
+	if len(c.Image) > 0 {
+		cw.bytes(imgMagic)
+		cw.u32(uint32(len(c.Image)))
+		cw.bytes(c.Image)
 	}
 	if cw.err != nil {
 		return cw.err
@@ -325,6 +335,14 @@ func Read(r io.Reader) (*Core, error) {
 			}
 		}
 		c.Procs = append(c.Procs, p)
+	}
+	if cr.err == nil {
+		if _, err := cr.r.Peek(1); err != io.EOF {
+			if got := cr.bytes(len(imgMagic)); cr.err == nil && string(got) != string(imgMagic) {
+				return nil, fmt.Errorf("core: bad image magic %q", got)
+			}
+			c.Image = cr.bytes(int(cr.u32()))
+		}
 	}
 	if cr.err != nil {
 		return nil, cr.err

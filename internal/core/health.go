@@ -1,0 +1,82 @@
+// Session health probe: the live-diagnosis twin of the hang watchdog,
+// answered on demand instead of on a stall. The broker's cross-session
+// `stuck` query fans it across backends (DESIGN §8): each hosted kernel
+// reports one verdict — running, stopped, waiting, deadlocked, hung or
+// exited — with the waiter graph as the detail when something is wrong.
+
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dionea/internal/kernel"
+)
+
+// Diagnose classifies the kernel's process tree right now.
+//
+//   - "exited": every process has exited (detail: exit codes).
+//   - "running": at least one thread can make progress on its own.
+//   - "stopped": nothing runs, but only because the debugger parked
+//     threads (it will resume them).
+//   - "waiting": blocked, but explicably — a timed sleep or a read from
+//     the user's stdin will end the wait.
+//   - "deadlocked": a process has a wait cycle (detail: the cycle).
+//   - "hung": no thread can ever run again and no cycle explains it
+//     (detail: the waiter graph, as the watchdog would render it).
+func Diagnose(k *kernel.Kernel) (verdict, detail string) {
+	var codes []string
+	live := false
+	suspended := false
+	benign := false
+	for _, p := range k.Processes() {
+		if p.Exited() || p.Exiting() {
+			codes = append(codes, fmt.Sprintf("pid %d: exit %d", p.PID, p.ExitCode()))
+			continue
+		}
+		live = true
+		for _, t := range p.Threads() {
+			st, reason := t.State()
+			switch st {
+			case kernel.StateRunning:
+				return "running", ""
+			case kernel.StateSuspended:
+				suspended = true
+			case kernel.StateBlockedExternal:
+				if benignReason(reason) {
+					benign = true
+				}
+			}
+		}
+		if ps := snapStates(p); true {
+			if cyc := ps.FindCycle(); cyc != "" {
+				return "deadlocked", fmt.Sprintf("pid %d cycle: %s", p.PID, cyc)
+			}
+		}
+	}
+	if !live {
+		return "exited", strings.Join(codes, ", ")
+	}
+	if suspended {
+		return "stopped", ""
+	}
+	if benign {
+		return "waiting", ""
+	}
+	// Nothing runs, nothing is parked by the debugger, no benign wait, no
+	// cycle: the tree is hung on cross-process waits (a pipe whose writer
+	// died, a waitpid on a wedged child). Render the waiter graph.
+	var b strings.Builder
+	for _, p := range k.Processes() {
+		if p.Exited() || p.Exiting() {
+			continue
+		}
+		for _, line := range snapStates(p).WaiterLines() {
+			if b.Len() > 0 {
+				b.WriteString("; ")
+			}
+			fmt.Fprintf(&b, "pid %d: %s", p.PID, line)
+		}
+	}
+	return "hung", b.String()
+}

@@ -1,0 +1,663 @@
+// The resume image: the live half of a checkpoint. The structural
+// PINTCORE1 sections render the tree for humans; the image section
+// (Core.Image) additionally encodes the exact object graph — every value
+// with aliasing preserved by ref-numbering, every frame with its operand
+// stack and instruction pointer, every pending blocked operation — so
+// Restore can rebuild a *runnable* kernel on another backend.
+//
+// Function code is not shipped: both ends compile the same program, and
+// the image references compiled functions by index into a deterministic
+// preorder walk of the proto tree (ProtoTable). A name/file fingerprint
+// per proto guards against restoring into a different program.
+//
+// Capture runs under a whole-kernel quiesce (every live process's GIL
+// held), the same invariant fork and Snapshot rely on. Threads blocked in
+// operations whose continuation cannot be reconstructed from kernel state
+// (a partially written pipe frame, a queue's internal lock mid-handoff)
+// make Checkpoint fail with ErrUnsupportedPending rather than produce an
+// image that would diverge — callers keep the last good checkpoint.
+
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"dionea/internal/bytecode"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+	"dionea/internal/value"
+	"dionea/internal/vm"
+)
+
+// imgVersion is the resume-image format version.
+const imgVersion = 1
+
+// ErrUnsupportedPending reports a thread blocked in an operation whose
+// continuation cannot be captured (pipe-write, mpq-put, queue-lock).
+var ErrUnsupportedPending = errors.New("core: thread blocked in an uncheckpointable operation")
+
+// Value tags of the image codec.
+const (
+	tagRef     = 0 // u32 id — back-reference to an already-decoded object
+	tagNil     = 1
+	tagBool    = 2
+	tagInt     = 3
+	tagFloat   = 4
+	tagStr     = 5
+	tagList    = 6
+	tagDict    = 7
+	tagRange   = 8
+	tagEnv     = 9
+	tagGlobals = 10 // the owning process's global environment
+	tagClosure = 11
+	tagBuiltin = 12 // by name, re-resolved against the restored globals
+	tagBound   = 13
+	tagIter    = 14
+	tagThread  = 15
+	tagSyncObj = 16 // u32 index into the process object table
+	tagPipeEnd = 17
+	tagSemVal  = 18
+	tagMPQueue = 19
+)
+
+// Thread pending kinds.
+const (
+	pendRunning  = 0
+	pendLocal    = 1 // blocked, in-process wait
+	pendExternal = 2 // blocked, externally wakeable wait
+	pendParked   = 3 // suspended (debugger stop); reason names the stop
+	pendFinished = 4
+)
+
+// ProtoTable is the deterministic enumeration of compiled function protos
+// both ends of a migration share: a preorder walk of each root's constant
+// pool (preludes first, main module last — the StartProgram order).
+type ProtoTable struct {
+	list []*bytecode.FuncProto
+	idx  map[*bytecode.FuncProto]int
+}
+
+// NewProtoTable enumerates roots and everything nested in their constant
+// pools.
+func NewProtoTable(roots ...*bytecode.FuncProto) *ProtoTable {
+	pt := &ProtoTable{idx: make(map[*bytecode.FuncProto]int)}
+	var walk func(f *bytecode.FuncProto)
+	walk = func(f *bytecode.FuncProto) {
+		if _, ok := pt.idx[f]; ok {
+			return
+		}
+		pt.idx[f] = len(pt.list)
+		pt.list = append(pt.list, f)
+		for _, sub := range f.SubProtos() {
+			walk(sub)
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	return pt
+}
+
+// Len returns the number of enumerated protos.
+func (pt *ProtoTable) Len() int { return len(pt.list) }
+
+// supportedPending reports whether a blocked thread's pending operation
+// can be replayed on a restored kernel.
+func supportedPending(reason string) bool {
+	switch reason {
+	case "lock", "pop", "sleep", "join", "waitpid", "wait", "stdin",
+		"pipe-read", "sem-acquire", "mpq-get":
+		return true
+	}
+	return false
+}
+
+// Checkpoint captures a migratable core: the structural snapshot plus the
+// resume image, under a whole-kernel quiesce. It fails — leaving the
+// kernel running untouched — if any process is mid-teardown, any live
+// process cannot be quiesced, any thread is blocked in an unsupported
+// operation, or any reachable value cannot be encoded.
+func Checkpoint(k *kernel.Kernel, trigger, reason string, pt *ProtoTable) (*Core, error) {
+	procs := k.Processes()
+	var held []*kernel.Process
+	release := func() {
+		for _, p := range held {
+			p.GIL().Release()
+		}
+	}
+	for _, p := range procs {
+		if p.Exited() {
+			continue
+		}
+		if p.Exiting() {
+			release()
+			return nil, fmt.Errorf("core: checkpoint: pid %d is mid-teardown", p.PID)
+		}
+		intr := make(chan struct{})
+		timer := time.AfterFunc(quiesceTimeout, func() { close(intr) })
+		err := p.GIL().Acquire(-2, intr)
+		timer.Stop()
+		if err != nil {
+			release()
+			return nil, fmt.Errorf("core: checkpoint: cannot quiesce pid %d", p.PID)
+		}
+		held = append(held, p)
+	}
+	defer release()
+
+	// Validate every pending operation before encoding anything.
+	for _, p := range procs {
+		if p.Exited() {
+			continue
+		}
+		for _, t := range p.Threads() {
+			st, r, _, _ := t.BlockInfo()
+			if (st == kernel.StateBlockedLocal || st == kernel.StateBlockedExternal) && !supportedPending(r) {
+				return nil, fmt.Errorf("%w: pid %d tid %d blocked on %q", ErrUnsupportedPending, p.PID, t.TID, r)
+			}
+		}
+	}
+
+	c := &Core{Trigger: trigger, Reason: reason, Seed: k.Chaos().Seed()}
+	if rec := k.Tracer(); rec != nil {
+		c.Files = rec.Files()
+	}
+	for _, p := range procs {
+		ps := snapStates(p)
+		ps.Quiesced = true
+		renderHeap(p, ps)
+		c.Procs = append(c.Procs, ps)
+	}
+
+	img, err := encodeImage(k, procs, pt)
+	if err != nil {
+		return nil, err
+	}
+	c.Image = img
+	return c, nil
+}
+
+// imgEnc is the per-image encoder state. refs and the per-process tables
+// reset for each process; pipes and semaphores are kernel-global.
+type imgEnc struct {
+	cw   *coreWriter
+	pt   *ProtoTable
+	fail error
+
+	refs   map[interface{}]uint32
+	nextID uint32
+	objIdx map[interface{}]uint32
+	proc   *kernel.Process
+}
+
+func (e *imgEnc) error(format string, args ...interface{}) {
+	if e.fail == nil {
+		e.fail = fmt.Errorf(format, args...)
+	}
+}
+
+func (e *imgEnc) assign(v interface{}) uint32 {
+	id := e.nextID
+	e.refs[v] = id
+	e.nextID++
+	return id
+}
+
+// ref emits a back-reference if v was already encoded.
+func (e *imgEnc) ref(v interface{}) bool {
+	if id, ok := e.refs[v]; ok {
+		e.cw.u8(tagRef)
+		e.cw.u32(id)
+		return true
+	}
+	return false
+}
+
+func (e *imgEnc) key(k value.Key) {
+	e.cw.u8(k.Kind)
+	switch k.Kind {
+	case 's':
+		e.cw.str(k.S)
+	case 'f':
+		e.cw.u64(math.Float64bits(k.F))
+	default: // 'i', 'b'
+		e.cw.i64(k.I)
+	}
+}
+
+func (e *imgEnc) env(env *value.Env) {
+	if env == nil {
+		e.cw.u8(tagNil)
+		return
+	}
+	if env == e.proc.Globals {
+		e.cw.u8(tagGlobals)
+		return
+	}
+	if e.ref(env) {
+		return
+	}
+	e.cw.u8(tagEnv)
+	e.assign(env)
+	e.env(env.Parent())
+	names := env.Names()
+	e.cw.u32(uint32(len(names)))
+	for _, n := range names {
+		v, _ := env.Get(n)
+		e.cw.str(n)
+		e.value(v)
+	}
+}
+
+func (e *imgEnc) value(v value.Value) {
+	if e.fail != nil {
+		return
+	}
+	switch x := v.(type) {
+	case nil, value.Nil:
+		e.cw.u8(tagNil)
+	case value.Bool:
+		e.cw.u8(tagBool)
+		if x {
+			e.cw.u8(1)
+		} else {
+			e.cw.u8(0)
+		}
+	case value.Int:
+		e.cw.u8(tagInt)
+		e.cw.i64(int64(x))
+	case value.Float:
+		e.cw.u8(tagFloat)
+		e.cw.u64(math.Float64bits(float64(x)))
+	case value.Str:
+		e.cw.u8(tagStr)
+		e.cw.str(string(x))
+	case *value.List:
+		if e.ref(x) {
+			return
+		}
+		e.cw.u8(tagList)
+		e.assign(x)
+		e.cw.u32(uint32(len(x.Elems)))
+		for _, el := range x.Elems {
+			e.value(el)
+		}
+	case *value.Dict:
+		if e.ref(x) {
+			return
+		}
+		e.cw.u8(tagDict)
+		e.assign(x)
+		keys := x.Keys()
+		e.cw.u32(uint32(len(keys)))
+		for _, k := range keys {
+			e.key(k)
+			dv, _ := x.Get(k)
+			e.value(dv)
+		}
+	case *value.Range:
+		if e.ref(x) {
+			return
+		}
+		e.cw.u8(tagRange)
+		e.assign(x)
+		e.cw.i64(x.Start)
+		e.cw.i64(x.Stop)
+		e.cw.i64(x.Step)
+	case *value.Closure:
+		if e.ref(x) {
+			return
+		}
+		e.cw.u8(tagClosure)
+		e.assign(x)
+		idx, ok := e.pt.idx[x.Proto]
+		if !ok {
+			e.error("core: closure %s not in proto table (different program?)", x.Proto.Name)
+			return
+		}
+		e.cw.u32(uint32(idx))
+		e.env(x.Env)
+	case *vm.Builtin:
+		e.cw.u8(tagBuiltin)
+		e.cw.str(x.Name)
+	case *vm.BoundMethod:
+		if e.ref(x) {
+			return
+		}
+		e.cw.u8(tagBound)
+		e.assign(x)
+		e.cw.str(x.Name)
+		e.value(x.Recv)
+	case *vm.Iterator:
+		elems, idx, rng, cur := x.IterState()
+		e.cw.u8(tagIter)
+		if rng != nil {
+			e.cw.u8(1)
+			e.value(rng)
+			e.cw.i64(cur)
+		} else {
+			e.cw.u8(0)
+			e.cw.u32(uint32(len(elems)))
+			for _, el := range elems {
+				e.value(el)
+			}
+			e.cw.i64(int64(idx))
+		}
+	case *kernel.ThreadVal:
+		e.cw.u8(tagThread)
+		e.cw.i64(x.TID)
+		e.cw.str(x.Name)
+		if x.T == nil {
+			e.cw.u8(1)
+		} else {
+			e.cw.u8(0)
+		}
+	case *ipc.Mutex, *ipc.TQueue:
+		idx, ok := e.objIdx[v]
+		if !ok {
+			e.error("core: %s not registered with its process", v.TypeName())
+			return
+		}
+		e.cw.u8(tagSyncObj)
+		e.cw.u32(idx)
+	case *ipc.PipeEnd:
+		e.cw.u8(tagPipeEnd)
+		e.cw.i64(x.FD)
+		if x.Write {
+			e.cw.u8(1)
+		} else {
+			e.cw.u8(0)
+		}
+	case *ipc.SemVal:
+		e.cw.u8(tagSemVal)
+		e.cw.u64(x.S.ID)
+	case *ipc.MPQueue:
+		if e.ref(x) {
+			return
+		}
+		e.cw.u8(tagMPQueue)
+		e.assign(x)
+		e.cw.u64(x.Items.ID)
+		e.cw.u64(x.RLock.ID)
+		e.cw.u64(x.WLock.ID)
+		e.cw.i64(x.RFD)
+		e.cw.i64(x.WFD)
+	default:
+		e.error("core: cannot checkpoint a %s value", v.TypeName())
+	}
+}
+
+// encodeImage writes the resume image for the quiesced kernel.
+func encodeImage(k *kernel.Kernel, procs []*kernel.Process, pt *ProtoTable) ([]byte, error) {
+	var buf bytes.Buffer
+	cw := &coreWriter{w: bufio.NewWriter(&buf)}
+	cw.u16(imgVersion)
+
+	// Proto fingerprint table.
+	cw.u32(uint32(len(pt.list)))
+	for _, p := range pt.list {
+		cw.str(p.Name)
+		cw.str(p.File)
+		cw.i64(int64(p.DefLine))
+	}
+
+	// Kernel-global pipes and semaphores, discovered from the processes'
+	// descriptor tables and reachable MPQueues. Collected first so the
+	// decoder can rebuild shared objects before any process references
+	// them.
+	pipes, sems := collectKernelObjects(procs)
+	cw.u32(uint32(len(pipes)))
+	for _, p := range pipes {
+		cw.u64(p.pipe.ID)
+		cw.i64(int64(p.capBytes))
+		cw.u32(uint32(len(p.buf)))
+		cw.bytes(p.buf)
+		cw.i64(int64(p.readers))
+		cw.i64(int64(p.writers))
+	}
+	cw.u32(uint32(len(sems)))
+	for _, s := range sems {
+		cw.u64(s.ID)
+		cw.i64(s.Value())
+	}
+
+	cw.u32(uint32(len(procs)))
+	for _, p := range procs {
+		if err := encodeProcImage(cw, p, pt); err != nil {
+			return nil, err
+		}
+	}
+	if cw.err != nil {
+		return nil, cw.err
+	}
+	if err := cw.w.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+type pipeState struct {
+	pipe     *kernel.Pipe
+	capBytes int
+	buf      []byte
+	readers  int
+	writers  int
+}
+
+// collectKernelObjects gathers every pipe and semaphore reachable from
+// descriptor tables and MPQueue handles, deduplicated by identity and
+// ordered by id for determinism.
+func collectKernelObjects(procs []*kernel.Process) ([]pipeState, []*kernel.Semaphore) {
+	pipeSeen := map[uint64]*kernel.Pipe{}
+	semSeen := map[uint64]*kernel.Semaphore{}
+	for _, p := range procs {
+		for _, e := range p.FDs.Entries() {
+			pipeSeen[e.Entry.Pipe.ID] = e.Entry.Pipe
+		}
+		// MPQueues reachable from the heap carry semaphores (and their
+		// data pipe is already in some fd table).
+		seen := map[*ipc.MPQueue]bool{}
+		var scan func(v value.Value)
+		scan = func(v value.Value) {
+			switch x := v.(type) {
+			case *ipc.MPQueue:
+				if seen[x] {
+					return
+				}
+				seen[x] = true
+				semSeen[x.Items.ID] = x.Items
+				semSeen[x.RLock.ID] = x.RLock
+				semSeen[x.WLock.ID] = x.WLock
+			case *ipc.SemVal:
+				semSeen[x.S.ID] = x.S
+			case *value.List:
+				for _, el := range x.Elems {
+					scan(el)
+				}
+			case *value.Dict:
+				for _, k := range x.Keys() {
+					dv, _ := x.Get(k)
+					scan(dv)
+				}
+			}
+		}
+		scanEnvShallow(p.Globals, scan)
+		for _, t := range p.Threads() {
+			for _, f := range t.VM.Frames() {
+				for e := f.Env; e != nil && e != p.Globals; e = e.Parent() {
+					scanEnvShallow(e, scan)
+				}
+				for _, sv := range f.Stack {
+					scan(sv)
+				}
+			}
+		}
+	}
+	var pipes []pipeState
+	for _, pipe := range pipeSeen {
+		r, w := pipe.Refs()
+		pipes = append(pipes, pipeState{
+			pipe:     pipe,
+			capBytes: pipe.Cap(),
+			buf:      pipe.PeekBuffered(),
+			readers:  r,
+			writers:  w,
+		})
+	}
+	sortByU64(len(pipes), func(i int) uint64 { return pipes[i].pipe.ID }, func(i, j int) { pipes[i], pipes[j] = pipes[j], pipes[i] })
+	var sems []*kernel.Semaphore
+	for _, s := range semSeen {
+		sems = append(sems, s)
+	}
+	sortByU64(len(sems), func(i int) uint64 { return sems[i].ID }, func(i, j int) { sems[i], sems[j] = sems[j], sems[i] })
+	return pipes, sems
+}
+
+func scanEnvShallow(e *value.Env, scan func(value.Value)) {
+	for _, n := range e.Names() {
+		v, _ := e.Get(n)
+		scan(v)
+	}
+}
+
+func encodeProcImage(cw *coreWriter, p *kernel.Process, pt *ProtoTable) error {
+	enc := &imgEnc{cw: cw, pt: pt, refs: map[interface{}]uint32{}, objIdx: map[interface{}]uint32{}, proc: p}
+
+	cw.i64(p.PID)
+	cw.i64(p.Seed())
+	cw.i64(int64(p.CheckEvery))
+
+	lines, closed := p.StdinState()
+	cw.u32(uint32(len(lines)))
+	for _, l := range lines {
+		cw.str(l)
+	}
+	if closed {
+		cw.u8(1)
+	} else {
+		cw.u8(0)
+	}
+
+	var childPIDs []int64
+	for _, c := range p.Children() {
+		childPIDs = append(childPIDs, c.PID)
+	}
+	sortByU64(len(childPIDs), func(i int) uint64 { return uint64(childPIDs[i]) }, func(i, j int) { childPIDs[i], childPIDs[j] = childPIDs[j], childPIDs[i] })
+	cw.u32(uint32(len(childPIDs)))
+	for _, pid := range childPIDs {
+		cw.i64(pid)
+	}
+
+	// Sync-object table, in registration order (the order Resnapshot's
+	// SyncObjects walk will see again).
+	objs := p.SyncObjects()
+	var entries []value.Value
+	for _, so := range objs {
+		switch o := so.(type) {
+		case *ipc.Mutex:
+			enc.objIdx[o] = uint32(len(entries))
+			entries = append(entries, o)
+		case *ipc.TQueue:
+			enc.objIdx[o] = uint32(len(entries))
+			entries = append(entries, o)
+		}
+	}
+	cw.u32(uint32(len(entries)))
+	for _, so := range entries {
+		switch o := so.(type) {
+		case *ipc.Mutex:
+			cw.u8(0)
+			cw.u64(o.ID)
+			cw.i64(o.Owner())
+		case *ipc.TQueue:
+			cw.u8(1)
+			cw.u64(o.ID)
+			cw.i64(o.LockOwner())
+		}
+	}
+
+	// Globals (every name, builtins included — they re-resolve by name).
+	names := p.Globals.Names()
+	cw.u32(uint32(len(names)))
+	for _, n := range names {
+		v, _ := p.Globals.Get(n)
+		cw.str(n)
+		enc.value(v)
+	}
+
+	// Threads: frames with operand stacks, plus the pending operation.
+	threads := p.Threads()
+	cw.u32(uint32(len(threads)))
+	for _, t := range threads {
+		cw.i64(t.TID)
+		st, reason, obj, aux := t.BlockInfo()
+		var kind uint8
+		switch st {
+		case kernel.StateRunning:
+			kind = pendRunning
+		case kernel.StateBlockedLocal:
+			kind = pendLocal
+		case kernel.StateBlockedExternal:
+			kind = pendExternal
+		case kernel.StateSuspended:
+			kind = pendParked
+		case kernel.StateFinished:
+			kind = pendFinished
+		}
+		cw.u8(kind)
+		cw.str(reason)
+		cw.u64(obj)
+		cw.i64(aux)
+		frames := t.VM.Frames()
+		cw.u32(uint32(len(frames)))
+		for _, f := range frames {
+			idx, ok := pt.idx[f.Proto]
+			if !ok {
+				return fmt.Errorf("core: frame proto %s not in proto table (different program?)", f.Proto.Name)
+			}
+			cw.u32(uint32(idx))
+			cw.i64(int64(f.IP))
+			cw.i64(int64(f.Line))
+			enc.env(f.Env)
+			cw.u32(uint32(len(f.Stack)))
+			for _, sv := range f.Stack {
+				enc.value(sv)
+			}
+		}
+	}
+
+	// Queue item fills, after the whole graph so aliases resolve.
+	var qIdx []uint32
+	var qs []*ipc.TQueue
+	for i, so := range entries {
+		if q, ok := so.(*ipc.TQueue); ok {
+			qIdx = append(qIdx, uint32(i))
+			qs = append(qs, q)
+		}
+	}
+	cw.u32(uint32(len(qs)))
+	for i, q := range qs {
+		cw.u32(qIdx[i])
+		items := q.Items()
+		cw.u32(uint32(len(items)))
+		for _, it := range items {
+			enc.value(it)
+		}
+	}
+	return enc.fail
+}
+
+// sortByU64 is a tiny insertion sort keyed by a uint64, avoiding a sort
+// import dance for two call sites.
+func sortByU64(n int, key func(int) uint64, swap func(int, int)) {
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && key(j) < key(j-1); j-- {
+			swap(j, j-1)
+		}
+	}
+}

@@ -1,0 +1,847 @@
+// Restoring a checkpoint: rebuild a runnable kernel from a core.
+//
+// Two modes, chosen by what the caller has:
+//
+//   - Inert (no resume image, or no compiled program): the structural
+//     sections rebuild an inspectable husk — same PIDs/TIDs/object ids,
+//     same rendered globals and frames — with no goroutines. Post-mortem
+//     tooling reads it; Resnapshot re-encodes it byte-identically.
+//
+//   - Live (resume image + the same compiled program): real values, real
+//     frames with operand stacks, and a resume trampoline per thread.
+//     Restore returns with every live process's GIL held by the restorer
+//     (tid -2, the dumper's id), trampolines parked in GIL acquisition;
+//     the caller can Resnapshot for a fidelity check, attach a debug
+//     server, and then Release() to let execution continue.
+//
+// The trampoline mirrors fork's child-resume trick: a thread that was
+// mid-blocking-call cannot be resumed from bytecode (the call's Go frame
+// is gone), so the trampoline re-enters the *same public operation* —
+// mutex.lock, queue.pop, pipe.read, waitpid — pushes its result where
+// OpCall would have, and hands the stack to VM.Resume. While replays
+// re-block one by one the process is in restore mode (SetRestoring), so
+// the blocker-side deadlock conviction stays quiet until real progress
+// proves the scheduler healthy; a genuinely deadlocked restored tree is
+// the watchdog's to diagnose.
+
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"dionea/internal/bytecode"
+	"dionea/internal/chaos"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+	"dionea/internal/value"
+	"dionea/internal/vm"
+)
+
+// RestoreOptions configures Restore.
+type RestoreOptions struct {
+	Out        io.Writer // mirror for process output (nil = none)
+	CheckEvery int       // VM preemption interval (0 = default)
+	// Protos is the compiled program's proto table. nil forces inert mode.
+	Protos *ProtoTable
+	// Setup runs on every live restored process after core and kernel
+	// builtins install, before the heap decodes — the same hook Options.
+	// Setup is for StartProgram (ipc.Install belongs here).
+	Setup []func(*kernel.Process)
+	// Chaos, when non-nil, is installed on the restored kernel.
+	Chaos *chaos.Injector
+}
+
+// Restored is a rebuilt kernel plus the handle to finish the restore.
+type Restored struct {
+	K    *kernel.Kernel
+	Core *Core
+
+	procs    []*kernel.Process // Core.Procs order
+	live     []*kernel.Process // GIL held by the restorer until Release
+	released bool
+}
+
+// Root returns the first (root) restored process.
+func (r *Restored) Root() *kernel.Process {
+	if len(r.procs) == 0 {
+		return nil
+	}
+	return r.procs[0]
+}
+
+// Procs returns all restored processes in core order.
+func (r *Restored) Procs() []*kernel.Process { return r.procs }
+
+// Live returns the restored processes that will run after Release.
+func (r *Restored) Live() []*kernel.Process { return r.live }
+
+// Release lets the restored tree run: every quiesce GIL the restorer
+// still holds is released and the parked trampolines start replaying.
+// No-op in inert mode and on second call.
+func (r *Restored) Release() {
+	if r.released {
+		return
+	}
+	r.released = true
+	for _, p := range r.live {
+		p.GIL().Release()
+	}
+}
+
+// Resnapshot re-captures the restored tree in the checkpoint's own terms:
+// identity fields come from the original core, each process honors its
+// stored Quiesced flag, and the image rides along verbatim. Safe any time
+// before Release (the restorer's GILs freeze live processes); after
+// Release it is a plain snapshot of whatever the tree has become and
+// byte-identity no longer holds.
+func (r *Restored) Resnapshot() *Core {
+	c := &Core{
+		Trigger: r.Core.Trigger,
+		Reason:  r.Core.Reason,
+		PID:     r.Core.PID,
+		Seed:    r.Core.Seed,
+		Files:   append([]string(nil), r.Core.Files...),
+		Image:   r.Core.Image,
+	}
+	for i, p := range r.procs {
+		stored := r.Core.Procs[i]
+		ps := snapStates(p)
+		if stored.Quiesced {
+			ps.Quiesced = true
+			renderHeap(p, ps)
+		}
+		c.Procs = append(c.Procs, ps)
+	}
+	return c
+}
+
+// Restore rebuilds a kernel from c. With opts.Protos and a resume image it
+// builds a runnable tree (call Release to start it); otherwise an inert,
+// inspection-only husk.
+func Restore(c *Core, opts RestoreOptions) (*Restored, error) {
+	k := kernel.New()
+	if opts.Chaos != nil {
+		k.SetChaos(opts.Chaos)
+	}
+	if opts.Protos == nil || len(c.Image) == 0 {
+		return restoreInert(k, c, opts)
+	}
+	return restoreLive(k, c, opts)
+}
+
+// ---- inert mode ----
+
+// restoredValue is an opaque stand-in for a value whose program is not
+// loaded: it renders exactly as the checkpoint rendered the original.
+type restoredValue struct {
+	typ  string
+	repr string
+}
+
+func (v *restoredValue) TypeName() string { return v.typ }
+func (v *restoredValue) Truthy() bool     { return true }
+func (v *restoredValue) String() string   { return v.repr }
+
+// restoredLock is an inert sync object carrying only the checkpointed
+// identity/ownership triple the waiter graph needs.
+type restoredLock struct {
+	id    uint64
+	kind  string
+	owner int64
+}
+
+func (l *restoredLock) AtforkAcquire(*kernel.TCtx) error { return nil }
+func (l *restoredLock) AtforkRelease(*kernel.TCtx)       {}
+func (l *restoredLock) LockID() uint64                   { return l.id }
+func (l *restoredLock) LockKind() string                 { return l.kind }
+func (l *restoredLock) LockOwner() int64                 { return l.owner }
+
+func restoreInert(k *kernel.Kernel, c *Core, opts RestoreOptions) (*Restored, error) {
+	r := &Restored{K: k, Core: c}
+	pipes := map[uint64]*kernel.Pipe{}
+	var maxObj uint64
+	for _, ps := range c.Procs {
+		p := k.RestoreProcess(ps.PID, ps.PPID, opts.Out, opts.CheckEvery, 0)
+		p.RestoreOutput(ps.Output)
+		p.RestoreRing(ps.Trace)
+		for _, g := range ps.Globals {
+			p.Globals.Define(g.Name, &restoredValue{typ: g.Type, repr: g.Value})
+		}
+		for _, l := range ps.Locks {
+			p.RegisterSyncObject(&restoredLock{id: l.ID, kind: l.Kind, owner: l.Owner})
+			if l.ID > maxObj {
+				maxObj = l.ID
+			}
+		}
+		for _, f := range ps.FDs {
+			pipe := pipes[f.Pipe]
+			if pipe == nil {
+				pipe = kernel.RestorePipe(f.Pipe, 0, make([]byte, f.Buffered), int(f.Readers), int(f.Writers))
+				pipes[f.Pipe] = pipe
+			}
+			kind := kernel.FDPipeRead
+			if f.Kind == "pipe-write" {
+				kind = kernel.FDPipeWrite
+			}
+			p.FDs.RestoreEntry(f.FD, kind, pipe)
+			if f.Pipe > maxObj {
+				maxObj = f.Pipe
+			}
+		}
+		for _, ts := range ps.Threads {
+			t := p.RestoreThread(ts.TID, ts.Name, ts.Main)
+			var frames []*vm.Frame
+			for _, fs := range ts.Frames {
+				env := value.NewEnv(p.Globals)
+				for _, lv := range fs.Locals {
+					env.Define(lv.Name, &restoredValue{typ: lv.Type, repr: lv.Value})
+				}
+				frames = append(frames, &vm.Frame{
+					Proto: &bytecode.FuncProto{Name: fs.Func, File: fs.File},
+					Env:   env,
+					Line:  int(fs.Line),
+				})
+			}
+			t.VM.RestoreFrames(frames)
+			if ts.State == "finished" {
+				t.ForceFinished()
+			} else if st, ok := kernel.ParseThreadState(ts.State); ok {
+				t.ForceBlockState(st, ts.Reason, ts.WaitObj, 0)
+			}
+		}
+		if ps.Exited {
+			p.MarkExitedRestored(int(ps.ExitCode))
+		}
+		r.procs = append(r.procs, p)
+	}
+	k.ForceObjIDFloor(maxObj + 1)
+	return r, nil
+}
+
+// ---- live mode ----
+
+// pendingOp is a thread's checkpointed scheduling state, replayed by the
+// trampoline.
+type pendingOp struct {
+	kind   uint8
+	reason string
+	obj    uint64
+	aux    int64
+}
+
+// procRT is the per-process decode state the trampolines keep using at
+// run time (object lookups for replay).
+type procRT struct {
+	p         *kernel.Process
+	threads   map[int64]*kernel.TCtx
+	pending   map[int64]pendingOp
+	objs      []value.Value // object table: *ipc.Mutex / *ipc.TQueue
+	mutexes   map[uint64]*ipc.Mutex
+	queues    map[uint64]*ipc.TQueue
+	sems      map[uint64]*kernel.Semaphore
+	mpqByPipe map[uint64]*ipc.MPQueue // data-pipe id -> handle
+	exited    bool
+}
+
+func restoreLive(k *kernel.Kernel, c *Core, opts RestoreOptions) (*Restored, error) {
+	cr := &coreReader{r: bufio.NewReader(bytes.NewReader(c.Image))}
+	if v := cr.u16(); cr.err == nil && v != imgVersion {
+		return nil, fmt.Errorf("core: unsupported image version %d (want %d)", v, imgVersion)
+	}
+
+	// Proto fingerprints: same program on both ends, or nothing works.
+	np := cr.count()
+	if cr.err == nil && np != opts.Protos.Len() {
+		return nil, fmt.Errorf("core: program mismatch: image has %d protos, compiled program has %d", np, opts.Protos.Len())
+	}
+	for i := 0; i < np && cr.err == nil; i++ {
+		name, file, defLine := cr.str(), cr.str(), cr.i64()
+		pp := opts.Protos.list[i]
+		if name != pp.Name || file != pp.File || defLine != int64(pp.DefLine) {
+			return nil, fmt.Errorf("core: program mismatch at proto %d: image %s@%s:%d, compiled %s@%s:%d",
+				i, name, file, defLine, pp.Name, pp.File, pp.DefLine)
+		}
+	}
+
+	// Kernel-global objects.
+	var maxObj uint64
+	bump := func(id uint64) {
+		if id > maxObj {
+			maxObj = id
+		}
+	}
+	pipes := map[uint64]*kernel.Pipe{}
+	npipes := cr.count()
+	for i := 0; i < npipes && cr.err == nil; i++ {
+		id := cr.u64()
+		capBytes := cr.i64()
+		buf := cr.bytes(int(cr.u32()))
+		readers, writers := cr.i64(), cr.i64()
+		pipes[id] = kernel.RestorePipe(id, int(capBytes), buf, int(readers), int(writers))
+		bump(id)
+	}
+	sems := map[uint64]*kernel.Semaphore{}
+	nsems := cr.count()
+	for i := 0; i < nsems && cr.err == nil; i++ {
+		id := cr.u64()
+		n := cr.i64()
+		sems[id] = kernel.RestoreSemaphore(id, n)
+		bump(id)
+	}
+
+	nprocs := cr.count()
+	if cr.err == nil && nprocs != len(c.Procs) {
+		return nil, fmt.Errorf("core: image has %d processes, structural core has %d", nprocs, len(c.Procs))
+	}
+
+	r := &Restored{K: k, Core: c}
+	type childEdge struct {
+		parent *kernel.Process
+		child  int64
+	}
+	var edges []childEdge
+	byPID := map[int64]*kernel.Process{}
+	var rts []*procRT
+
+	for i := 0; i < nprocs && cr.err == nil; i++ {
+		ps := c.Procs[i]
+		pid := cr.i64()
+		if cr.err == nil && pid != ps.PID {
+			return nil, fmt.Errorf("core: image pid %d does not match structural pid %d", pid, ps.PID)
+		}
+		seed := cr.i64()
+		checkEvery := int(cr.i64())
+
+		p := k.RestoreProcess(ps.PID, ps.PPID, opts.Out, checkEvery, seed)
+		vm.InstallCore(p.Globals)
+		kernel.InstallBuiltins(p)
+		for _, fn := range opts.Setup {
+			fn(p)
+		}
+		p.RestoreOutput(ps.Output)
+		p.RestoreRing(ps.Trace)
+
+		nlines := cr.count()
+		var lines []string
+		for j := 0; j < nlines && cr.err == nil; j++ {
+			lines = append(lines, cr.str())
+		}
+		p.RestoreStdin(lines, cr.u8() == 1)
+
+		nchild := cr.count()
+		for j := 0; j < nchild && cr.err == nil; j++ {
+			edges = append(edges, childEdge{parent: p, child: cr.i64()})
+		}
+
+		rt := &procRT{
+			p:         p,
+			threads:   map[int64]*kernel.TCtx{},
+			pending:   map[int64]pendingOp{},
+			mutexes:   map[uint64]*ipc.Mutex{},
+			queues:    map[uint64]*ipc.TQueue{},
+			sems:      sems,
+			mpqByPipe: map[uint64]*ipc.MPQueue{},
+			exited:    ps.Exited,
+		}
+
+		// Descriptors before the heap: MPQueue decode resolves its data
+		// pipe through the fd table.
+		for _, f := range ps.FDs {
+			pipe := pipes[f.Pipe]
+			if pipe == nil {
+				return nil, fmt.Errorf("core: fd %d of pid %d references unknown pipe %d", f.FD, ps.PID, f.Pipe)
+			}
+			kind := kernel.FDPipeRead
+			if f.Kind == "pipe-write" {
+				kind = kernel.FDPipeWrite
+			}
+			p.FDs.RestoreEntry(f.FD, kind, pipe)
+		}
+
+		// Sync-object table.
+		nobjs := cr.count()
+		for j := 0; j < nobjs && cr.err == nil; j++ {
+			okind := cr.u8()
+			id := cr.u64()
+			owner := cr.i64()
+			bump(id)
+			switch okind {
+			case 0:
+				m := ipc.RestoreMutex(p, id, owner)
+				rt.objs = append(rt.objs, m)
+				rt.mutexes[id] = m
+			case 1:
+				q := ipc.RestoreTQueue(p, id, nil, owner)
+				rt.objs = append(rt.objs, q)
+				rt.queues[id] = q
+			default:
+				return nil, fmt.Errorf("core: bad sync-object kind %d", okind)
+			}
+		}
+
+		// Thread shells before the heap: thread handles in globals rebind
+		// to them.
+		for _, ts := range ps.Threads {
+			rt.threads[ts.TID] = p.RestoreThread(ts.TID, ts.Name, ts.Main)
+		}
+
+		d := &imgDec{cr: cr, pt: opts.Protos, rt: rt}
+
+		nglobals := cr.count()
+		for j := 0; j < nglobals && cr.err == nil && d.fail == nil; j++ {
+			name := cr.str()
+			p.Globals.Define(name, d.value())
+		}
+
+		nthreads := cr.count()
+		for j := 0; j < nthreads && cr.err == nil && d.fail == nil; j++ {
+			tid := cr.i64()
+			t := rt.threads[tid]
+			if t == nil {
+				return nil, fmt.Errorf("core: image thread %d missing from structural core", tid)
+			}
+			pd := pendingOp{kind: cr.u8(), reason: cr.str(), obj: cr.u64(), aux: cr.i64()}
+			nframes := cr.count()
+			var frames []*vm.Frame
+			for f := 0; f < nframes && cr.err == nil && d.fail == nil; f++ {
+				idx := int(cr.u32())
+				if idx >= opts.Protos.Len() {
+					return nil, fmt.Errorf("core: frame proto index %d out of range", idx)
+				}
+				fr := &vm.Frame{Proto: opts.Protos.list[idx]}
+				fr.IP = int(cr.i64())
+				fr.Line = int(cr.i64())
+				fr.Env = d.envVal()
+				nstack := cr.count()
+				for s := 0; s < nstack && cr.err == nil && d.fail == nil; s++ {
+					fr.Stack = append(fr.Stack, d.value())
+				}
+				frames = append(frames, fr)
+			}
+			t.VM.RestoreFrames(frames)
+			if pd.kind == pendFinished {
+				t.ForceFinished()
+			} else {
+				st := kernel.StateRunning
+				switch pd.kind {
+				case pendLocal:
+					st = kernel.StateBlockedLocal
+				case pendExternal:
+					st = kernel.StateBlockedExternal
+				case pendParked:
+					st = kernel.StateSuspended
+				}
+				t.ForceBlockState(st, pd.reason, pd.obj, pd.aux)
+				rt.pending[tid] = pd
+			}
+		}
+
+		// Queue fills last, so items that alias heap values resolve.
+		nq := cr.count()
+		for j := 0; j < nq && cr.err == nil && d.fail == nil; j++ {
+			qi := int(cr.u32())
+			if qi >= len(rt.objs) {
+				return nil, fmt.Errorf("core: queue fill index %d out of range", qi)
+			}
+			q, ok := rt.objs[qi].(*ipc.TQueue)
+			if !ok {
+				return nil, fmt.Errorf("core: queue fill targets a non-queue object")
+			}
+			nitems := cr.count()
+			var items []value.Value
+			for n := 0; n < nitems && cr.err == nil && d.fail == nil; n++ {
+				items = append(items, d.value())
+			}
+			q.RestoreItems(items)
+		}
+		if d.fail != nil {
+			return nil, d.fail
+		}
+
+		if ps.Exited {
+			p.MarkExitedRestored(int(ps.ExitCode))
+		}
+		byPID[ps.PID] = p
+		r.procs = append(r.procs, p)
+		rts = append(rts, rt)
+	}
+	if cr.err != nil {
+		return nil, cr.err
+	}
+
+	for _, e := range edges {
+		child := byPID[e.child]
+		if child == nil {
+			return nil, fmt.Errorf("core: pid %d adopted unknown child %d", e.parent.PID, e.child)
+		}
+		k.AdoptChild(e.parent, child)
+	}
+	k.ForceObjIDFloor(maxObj + 1)
+
+	// Quiesce every live process with the restorer's id, flip restore
+	// mode on, then launch the trampolines: they park in GIL acquisition
+	// until Release.
+	for _, rt := range rts {
+		if rt.exited {
+			continue
+		}
+		if err := rt.p.GIL().Acquire(-2, nil); err != nil {
+			return nil, fmt.Errorf("core: restore quiesce of pid %d: %v", rt.p.PID, err)
+		}
+		rt.p.SetRestoring(true)
+		r.live = append(r.live, rt.p)
+	}
+	for _, rt := range rts {
+		if rt.exited {
+			continue
+		}
+		var tids []int64
+		for tid := range rt.pending {
+			tids = append(tids, tid)
+		}
+		sortByU64(len(tids), func(i int) uint64 { return uint64(tids[i]) }, func(i, j int) { tids[i], tids[j] = tids[j], tids[i] })
+		for _, tid := range tids {
+			t := rt.threads[tid]
+			pd := rt.pending[tid]
+			rtc := rt
+			t.StartRestored(func() (value.Value, error) { return trampoline(t, pd, rtc) })
+		}
+	}
+	return r, nil
+}
+
+// trampoline is a restored thread's entry: replay the checkpointed
+// pending operation (if any), push its result where the interrupted
+// OpCall would have, and resume the rebuilt frames.
+func trampoline(t *kernel.TCtx, pd pendingOp, rt *procRT) (value.Value, error) {
+	switch pd.kind {
+	case pendRunning:
+		return t.VM.Resume()
+	case pendParked:
+		if err := t.Park(pd.reason); err != nil {
+			return nil, err
+		}
+		return t.VM.Resume()
+	}
+	v, err := replayOp(t, pd, rt)
+	if err != nil {
+		return nil, err
+	}
+	if t.VM.Depth() > 0 {
+		t.VM.PushValue(v)
+	}
+	return t.VM.Resume()
+}
+
+// replayOp re-enters the blocking operation a thread was checkpointed
+// inside, through the same public method surface the program used, and
+// returns what the interrupted call would have returned.
+func replayOp(t *kernel.TCtx, pd pendingOp, rt *procRT) (value.Value, error) {
+	th := t.VM
+	switch pd.reason {
+	case "lock":
+		m := rt.mutexes[pd.obj]
+		if m == nil {
+			return nil, fmt.Errorf("restore: blocked on unknown mutex %d", pd.obj)
+		}
+		return m.CallMethod(th, "lock", nil, nil)
+	case "pop":
+		q := rt.queues[pd.obj]
+		if q == nil {
+			return nil, fmt.Errorf("restore: blocked on unknown queue %d", pd.obj)
+		}
+		return q.CallMethod(th, "pop", nil, nil)
+	case "sleep":
+		if pd.kind == pendLocal {
+			// Bare sleep: forever, deadlock-eligible.
+			err := t.Block(kernel.StateBlockedLocal, "sleep", nil, func(cancel <-chan struct{}) error {
+				<-cancel
+				return kernel.ErrKilled
+			})
+			return value.NilV, err
+		}
+		// Timed sleep restarts from zero: the checkpoint does not record
+		// elapsed time, and a full interval is the conservative resume.
+		d := time.Duration(pd.aux) * time.Millisecond
+		err := t.BlockOnAux(kernel.StateBlockedExternal, "sleep", 0, pd.aux, nil, func(cancel <-chan struct{}) error {
+			timer := time.NewTimer(d)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+				return nil
+			case <-cancel:
+				return kernel.ErrKilled
+			}
+		})
+		return value.NilV, err
+	case "join":
+		target := rt.threads[pd.aux]
+		if target == nil {
+			return value.NilV, nil
+		}
+		done := func() bool {
+			select {
+			case <-target.Done():
+				return true
+			default:
+				return false
+			}
+		}
+		err := t.BlockOnAux(kernel.StateBlockedLocal, "join", 0, pd.aux, done, func(cancel <-chan struct{}) error {
+			select {
+			case <-target.Done():
+				return nil
+			case <-cancel:
+				return kernel.ErrKilled
+			}
+		})
+		return value.NilV, err
+	case "waitpid":
+		return t.ReplayWaitPID(pd.aux)
+	case "wait":
+		return t.ReplayWaitAny()
+	case "stdin":
+		return t.ReplayInput()
+	case "sem-acquire":
+		s := rt.sems[pd.obj]
+		if s == nil {
+			return nil, fmt.Errorf("restore: blocked on unknown semaphore %d", pd.obj)
+		}
+		return (&ipc.SemVal{S: s}).CallMethod(th, "acquire", nil, nil)
+	case "mpq-get":
+		q := rt.mpqByPipe[pd.obj]
+		if q == nil {
+			return nil, fmt.Errorf("restore: blocked on unknown mp_queue (pipe %d)", pd.obj)
+		}
+		return q.CallMethod(th, "get", nil, nil)
+	case "pipe-read":
+		fd := int64(-1)
+		for _, e := range t.P.FDs.Entries() {
+			if e.Entry.Kind == kernel.FDPipeRead && e.Entry.Pipe.ID == pd.obj {
+				fd = e.FD
+				break
+			}
+		}
+		if fd < 0 {
+			return nil, fmt.Errorf("restore: blocked reading unknown pipe %d", pd.obj)
+		}
+		pe := &ipc.PipeEnd{FD: fd, Write: false}
+		if pd.aux > 0 {
+			return pe.CallMethod(th, "read_raw", []value.Value{value.Int(pd.aux)}, nil)
+		}
+		return pe.CallMethod(th, "read", nil, nil)
+	}
+	return nil, fmt.Errorf("restore: cannot replay pending operation %q", pd.reason)
+}
+
+// ---- image decoding ----
+
+type imgDec struct {
+	cr   *coreReader
+	pt   *ProtoTable
+	rt   *procRT
+	refs []interface{}
+	fail error
+}
+
+func (d *imgDec) error(format string, args ...interface{}) {
+	if d.fail == nil {
+		d.fail = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *imgDec) assign(v interface{}) { d.refs = append(d.refs, v) }
+
+func (d *imgDec) lookup(id uint32) interface{} {
+	if int(id) >= len(d.refs) {
+		d.error("core: image ref %d out of range", id)
+		return nil
+	}
+	return d.refs[id]
+}
+
+func (d *imgDec) key() value.Key {
+	k := value.Key{Kind: d.cr.u8()}
+	switch k.Kind {
+	case 's':
+		k.S = d.cr.str()
+	case 'f':
+		k.F = math.Float64frombits(d.cr.u64())
+	default:
+		k.I = d.cr.i64()
+	}
+	return k
+}
+
+// envVal decodes an environment reference (nil / globals / back-ref /
+// definition).
+func (d *imgDec) envVal() *value.Env {
+	if d.fail != nil || d.cr.err != nil {
+		return nil
+	}
+	switch tag := d.cr.u8(); tag {
+	case tagNil:
+		return nil
+	case tagGlobals:
+		return d.rt.p.Globals
+	case tagRef:
+		e, ok := d.lookup(d.cr.u32()).(*value.Env)
+		if !ok {
+			d.error("core: image env ref resolves to a non-env")
+			return nil
+		}
+		return e
+	case tagEnv:
+		e := value.RestoreEnv()
+		d.assign(e)
+		e.RestoreBindParent(d.envVal())
+		n := d.cr.count()
+		for i := 0; i < n && d.cr.err == nil && d.fail == nil; i++ {
+			name := d.cr.str()
+			e.Define(name, d.value())
+		}
+		return e
+	default:
+		d.error("core: bad env tag %d", tag)
+		return nil
+	}
+}
+
+func (d *imgDec) value() value.Value {
+	if d.fail != nil || d.cr.err != nil {
+		return value.NilV
+	}
+	switch tag := d.cr.u8(); tag {
+	case tagRef:
+		v, ok := d.lookup(d.cr.u32()).(value.Value)
+		if !ok {
+			d.error("core: image value ref resolves to a non-value")
+			return value.NilV
+		}
+		return v
+	case tagNil:
+		return value.NilV
+	case tagBool:
+		return value.Bool(d.cr.u8() == 1)
+	case tagInt:
+		return value.Int(d.cr.i64())
+	case tagFloat:
+		return value.Float(math.Float64frombits(d.cr.u64()))
+	case tagStr:
+		return value.Str(d.cr.str())
+	case tagList:
+		l := &value.List{}
+		d.assign(l)
+		n := d.cr.count()
+		for i := 0; i < n && d.cr.err == nil && d.fail == nil; i++ {
+			l.Elems = append(l.Elems, d.value())
+		}
+		return l
+	case tagDict:
+		dv := value.NewDict()
+		d.assign(dv)
+		n := d.cr.count()
+		for i := 0; i < n && d.cr.err == nil && d.fail == nil; i++ {
+			k := d.key()
+			dv.Set(k, d.value())
+		}
+		return dv
+	case tagRange:
+		rg := &value.Range{}
+		d.assign(rg)
+		rg.Start, rg.Stop, rg.Step = d.cr.i64(), d.cr.i64(), d.cr.i64()
+		return rg
+	case tagClosure:
+		cl := &value.Closure{}
+		d.assign(cl)
+		idx := int(d.cr.u32())
+		if idx >= d.pt.Len() {
+			d.error("core: closure proto index %d out of range", idx)
+			return value.NilV
+		}
+		cl.Proto = d.pt.list[idx]
+		cl.Env = d.envVal()
+		return cl
+	case tagBuiltin:
+		name := d.cr.str()
+		if v, ok := d.rt.p.Globals.Get(name); ok {
+			if b, isB := v.(*vm.Builtin); isB {
+				return b
+			}
+		}
+		return &vm.Builtin{Name: name, Fn: func(*vm.Thread, []value.Value, *value.Closure) (value.Value, error) {
+			return nil, fmt.Errorf("builtin %s unavailable after restore", name)
+		}}
+	case tagBound:
+		bm := &vm.BoundMethod{}
+		d.assign(bm)
+		bm.Name = d.cr.str()
+		bm.Recv = d.value()
+		return bm
+	case tagIter:
+		if d.cr.u8() == 1 {
+			rv := d.value()
+			cur := d.cr.i64()
+			rg, ok := rv.(*value.Range)
+			if !ok {
+				d.error("core: range iterator over a non-range")
+				return value.NilV
+			}
+			return vm.RestoreIterator(nil, 0, rg, cur)
+		}
+		n := d.cr.count()
+		var elems []value.Value
+		for i := 0; i < n && d.cr.err == nil && d.fail == nil; i++ {
+			elems = append(elems, d.value())
+		}
+		return vm.RestoreIterator(elems, int(d.cr.i64()), nil, 0)
+	case tagThread:
+		tid := d.cr.i64()
+		name := d.cr.str()
+		dead := d.cr.u8() == 1
+		if t := d.rt.threads[tid]; !dead && t != nil {
+			return &kernel.ThreadVal{T: t, TID: tid, Name: name}
+		}
+		return &kernel.ThreadVal{TID: tid, Name: name}
+	case tagSyncObj:
+		idx := int(d.cr.u32())
+		if idx >= len(d.rt.objs) {
+			d.error("core: sync-object index %d out of range", idx)
+			return value.NilV
+		}
+		return d.rt.objs[idx]
+	case tagPipeEnd:
+		fd := d.cr.i64()
+		return &ipc.PipeEnd{FD: fd, Write: d.cr.u8() == 1}
+	case tagSemVal:
+		id := d.cr.u64()
+		s := d.rt.sems[id]
+		if s == nil {
+			d.error("core: image references unknown semaphore %d", id)
+			return value.NilV
+		}
+		return &ipc.SemVal{S: s}
+	case tagMPQueue:
+		q := &ipc.MPQueue{}
+		d.assign(q)
+		itemsID, rID, wID := d.cr.u64(), d.cr.u64(), d.cr.u64()
+		q.RFD, q.WFD = d.cr.i64(), d.cr.i64()
+		q.Items, q.RLock, q.WLock = d.rt.sems[itemsID], d.rt.sems[rID], d.rt.sems[wID]
+		if q.Items == nil || q.RLock == nil || q.WLock == nil {
+			d.error("core: mp_queue references unknown semaphores")
+			return value.NilV
+		}
+		if e, ok := d.rt.p.FDs.Get(q.RFD); ok {
+			d.rt.mpqByPipe[e.Pipe.ID] = q
+		}
+		return q
+	default:
+		d.error("core: bad value tag %d", tag)
+		return value.NilV
+	}
+}

@@ -1,0 +1,210 @@
+// Restore round-trip tests: the two fidelity pins for live migration.
+//
+//  1. Inert: the committed golden core (no resume image) restores into an
+//     inspection husk whose Resnapshot re-encodes byte-identically — the
+//     structural capture loses nothing a core file records.
+//  2. Live: a forked tree with a held lock, blocked threads and an open
+//     pipe is Checkpointed, serialized, restored on a fresh kernel, and
+//     Resnapshot of the restored tree is byte-identical to the original
+//     checkpoint; then the restored tree Releases and runs to completion
+//     exactly as the original would have.
+
+package core_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"dionea/internal/core"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+	"dionea/internal/pinttest"
+)
+
+func encodeCore(t *testing.T, c *core.Core) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := core.Write(&buf, c); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestInertRestoreGoldenRoundTrip(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join(goldenDir, "chaos-kill.pintcore"))
+	if err != nil {
+		t.Fatalf("missing fixture: %v", err)
+	}
+	c, err := core.Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("decode fixture: %v", err)
+	}
+	r, err := core.Restore(c, core.RestoreOptions{})
+	if err != nil {
+		t.Fatalf("inert restore: %v", err)
+	}
+	if len(r.Live()) != 0 {
+		t.Fatalf("inert restore produced %d live processes", len(r.Live()))
+	}
+	again := encodeCore(t, r.Resnapshot())
+	if !bytes.Equal(raw, again) {
+		t.Fatalf("inert resnapshot differs from fixture: %d vs %d bytes", len(raw), len(again))
+	}
+	// The husk answers the same structural questions as the file.
+	root := r.K.Processes()[0]
+	if root.PID != c.Procs[0].PID {
+		t.Errorf("root pid = %d, want %d", root.PID, c.Procs[0].PID)
+	}
+}
+
+// migrationSrc builds every pending-operation class the checkpoint must
+// carry: a held mutex with a blocked waiter, a blocked queue consumer, a
+// forked child mid-pipe-read, aliased heap values, and a main thread
+// parked on input() so the quiesce point is deterministic.
+const migrationSrc = `
+m = mutex_new()
+q = queue_new()
+items = [1, 2.5, "alias", nil, true]
+box = {"k": items, "n": 7}
+ends = pipe_new()
+rd = ends[0]
+wr = ends[1]
+m.lock()
+pid = fork do
+    v = rd.read()
+    print("child got", v)
+end
+t1 = spawn do
+    m.lock()
+    m.unlock()
+    print("t1 done")
+end
+t2 = spawn do
+    v = q.pop()
+    print("t2 got", v)
+end
+line = input()
+q.push(box)
+m.unlock()
+wr.write(items)
+wr.close()
+code = waitpid(pid)
+t1.join()
+t2.join()
+print("done", line, code)
+`
+
+// waitForStates polls until the tree settles into the checkpointable
+// shape: root main on stdin, one waiter on the lock, one on the queue,
+// and the forked child reading the pipe.
+func waitForStates(t *testing.T, k *kernel.Kernel) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		var stdinW, lockW, popW, pipeW bool
+		procs := k.Processes()
+		for _, p := range procs {
+			for _, tc := range p.Threads() {
+				_, reason, _, _ := tc.BlockInfo()
+				switch reason {
+				case "stdin":
+					stdinW = true
+				case "lock":
+					lockW = true
+				case "pop":
+					popW = true
+				case "pipe-read":
+					pipeW = true
+				}
+			}
+		}
+		if stdinW && lockW && popW && pipeW && len(procs) == 2 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("tree never reached the checkpointable shape")
+}
+
+func TestCheckpointRestoreLiveRoundTrip(t *testing.T) {
+	proto := pinttest.Compile(t, migrationSrc, "migrate.pint")
+	k := kernel.New()
+	k.StartProgram(proto, kernel.Options{Setup: []func(*kernel.Process){ipc.Install}})
+	waitForStates(t, k)
+
+	pt := core.NewProtoTable(proto)
+	c, err := core.Checkpoint(k, "checkpoint", "test migration", pt)
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if len(c.Image) == 0 {
+		t.Fatal("checkpoint carries no resume image")
+	}
+	origBytes := encodeCore(t, c)
+
+	// The source kernel dies — the restored tree must be self-sufficient.
+	pinttest.Terminate(k)
+
+	// Ship the core through its serialized form, like a real migration,
+	// and restore against a fresh compile of the same program.
+	c2, err := core.Read(bytes.NewReader(origBytes))
+	if err != nil {
+		t.Fatalf("decode shipped core: %v", err)
+	}
+	pt2 := core.NewProtoTable(pinttest.Compile(t, migrationSrc, "migrate.pint"))
+	r, err := core.Restore(c2, core.RestoreOptions{
+		Protos: pt2,
+		Setup:  []func(*kernel.Process){ipc.Install},
+	})
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+
+	// Fidelity pin: re-snapshotting the restored (still quiesced) tree
+	// reproduces the checkpoint byte-for-byte.
+	resnap := encodeCore(t, r.Resnapshot())
+	if !bytes.Equal(origBytes, resnap) {
+		t.Fatalf("resnapshot differs from checkpoint: %d vs %d bytes", len(origBytes), len(resnap))
+	}
+
+	// Liveness pin: released, the tree picks up where it left off and
+	// runs to completion.
+	r.Release()
+	root := r.Root()
+	root.WriteStdin("go")
+	done := make(chan struct{})
+	go func() {
+		r.K.WaitAll()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(20 * time.Second):
+		t.Fatalf("restored tree did not finish; root output:\n%s", root.Output())
+	}
+	out := root.Output()
+	for _, want := range []string{"t1 done", "t2 got", "done go 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("root output missing %q:\n%s", want, out)
+		}
+	}
+	var child *kernel.Process
+	for _, p := range r.K.Processes() {
+		if p.PID != root.PID {
+			child = p
+		}
+	}
+	if child == nil {
+		t.Fatal("restored tree lost the forked child")
+	}
+	if !strings.Contains(child.Output(), "child got") {
+		t.Errorf("child output missing pipe payload:\n%s", child.Output())
+	}
+	if root.ExitCode() != 0 {
+		t.Errorf("root exit = %d", root.ExitCode())
+	}
+}

@@ -6,7 +6,21 @@
 // client to the broker: forwarded requests go down through Client.Raw,
 // events come back up stamped with the session name.
 //
-// The broker link is self-healing: if it drops, the backend keeps
+// HA duties (DESIGN §8):
+//
+//   - the address list may name several brokers (primary + standbys);
+//     the backend keeps one registration link per broker, so a standby
+//     is warm — it already has this backend and its events — when it
+//     promotes;
+//   - after every stop event the backend pushes a checkpoint (core
+//     bytes + breakpoint table) up each link, giving brokers a restore
+//     source should this backend die without warning;
+//   - host_restored rebuilds a migrated session from such a
+//     checkpoint: same PIDs, same parked threads, same breakpoints;
+//   - drop_session quietly kills a migrated-away stale instance so its
+//     teardown cannot masquerade as the live session dying.
+//
+// Each broker link is self-healing: if it drops, the backend keeps
 // re-dialing with backoff and re-registers with the list of sessions it
 // still hosts, so the broker rebinds them instead of declaring them
 // lost.
@@ -14,15 +28,21 @@
 package dionea
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"net"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dionea/internal/bytecode"
 	"dionea/internal/chaos"
 	"dionea/internal/client"
+	"dionea/internal/core"
 	"dionea/internal/kernel"
 	"dionea/internal/protocol"
 )
@@ -44,7 +64,7 @@ type BackendOptions struct {
 	// Out mirrors hosted programs' output; nil discards (it still
 	// reaches clients as output events).
 	Out io.Writer
-	// Chaos, when non-nil, wraps the broker link so backend-side writes
+	// Chaos, when non-nil, wraps the broker links so backend-side writes
 	// are a fault surface too.
 	Chaos *chaos.Injector
 	// Client tunes the internal per-session clients.
@@ -59,11 +79,12 @@ type BackendOptions struct {
 
 // Backend is one registered dioneas in a broker fabric.
 type Backend struct {
-	addr string
-	opts BackendOptions
+	addrs []string
+	opts  BackendOptions
+	pt    *core.ProtoTable
 
 	mu     sync.Mutex
-	conn   *protocol.Conn
+	conns  map[string]*protocol.Conn // live link per broker address
 	hosted map[string]*hostedSession
 	closed bool
 
@@ -77,11 +98,17 @@ type hostedSession struct {
 	k    *kernel.Kernel
 	c    *client.Client
 	root int64
+	// quiet is set by drop_session: the instance migrated away, so its
+	// teardown events must not reach brokers as the live session's.
+	quiet atomic.Bool
+	// ckptBusy debounces checkpoint-on-stop: one capture in flight.
+	ckptBusy atomic.Bool
 }
 
-// StartBackend dials the broker at addr and keeps this backend
-// registered until Close. It returns immediately; registration (and
-// re-registration after link loss) happens in the background.
+// StartBackend dials the broker(s) at addr — a comma-separated list
+// registers with each, primary and standbys alike — and keeps this
+// backend registered until Close. It returns immediately; registration
+// (and re-registration after link loss) happens in the background.
 func StartBackend(addr string, opts BackendOptions) *Backend {
 	if opts.RedialFloor == 0 {
 		opts.RedialFloor = 50 * time.Millisecond
@@ -92,17 +119,30 @@ func StartBackend(addr string, opts BackendOptions) *Backend {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
+	var addrs []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
 	b := &Backend{
-		addr:    addr,
+		addrs:   addrs,
 		opts:    opts,
+		conns:   make(map[string]*protocol.Conn),
 		hosted:  make(map[string]*hostedSession),
 		closeCh: make(chan struct{}),
 	}
-	go b.run()
+	if opts.Proto != nil {
+		roots := append([]*bytecode.FuncProto{opts.Proto}, opts.Preludes...)
+		b.pt = core.NewProtoTable(roots...)
+	}
+	for _, a := range addrs {
+		go b.run(a)
+	}
 	return b
 }
 
-// Close tears the broker link down and kills every hosted session.
+// Close tears every broker link down and kills every hosted session.
 func (b *Backend) Close() {
 	b.mu.Lock()
 	if b.closed {
@@ -110,15 +150,18 @@ func (b *Backend) Close() {
 		return
 	}
 	b.closed = true
-	conn := b.conn
+	conns := make([]*protocol.Conn, 0, len(b.conns))
+	for _, c := range b.conns {
+		conns = append(conns, c)
+	}
 	hosted := make([]*hostedSession, 0, len(b.hosted))
 	for _, hs := range b.hosted {
 		hosted = append(hosted, hs)
 	}
 	b.mu.Unlock()
 	close(b.closeCh)
-	if conn != nil {
-		_ = conn.Close()
+	for _, c := range conns {
+		_ = c.Close()
 	}
 	for _, hs := range hosted {
 		_ = hs.c.Kill(hs.root)
@@ -142,17 +185,17 @@ func (b *Backend) isClosed() bool {
 	}
 }
 
-// run is the registration loop: dial, register, serve the link until it
-// breaks, back off, repeat.
-func (b *Backend) run() {
+// run is the registration loop for one broker address: dial, register,
+// serve the link until it breaks, back off, repeat.
+func (b *Backend) run(addr string) {
 	backoff := b.opts.RedialFloor
 	for !b.isClosed() {
-		err := b.serveLink()
+		err := b.serveLink(addr)
 		if b.isClosed() {
 			return
 		}
 		if err != nil {
-			b.opts.Logf("backend %s: broker link: %v (retrying in %v)", b.opts.Name, err, backoff)
+			b.opts.Logf("backend %s: broker link %s: %v (retrying in %v)", b.opts.Name, addr, err, backoff)
 		}
 		select {
 		case <-b.closeCh:
@@ -168,8 +211,8 @@ func (b *Backend) run() {
 // serveLink runs one broker connection: register (listing sessions
 // still hosted, so a reconnect rebinds them), then serve requests until
 // the link errors.
-func (b *Backend) serveLink() error {
-	nc, err := net.Dial("tcp", b.addr)
+func (b *Backend) serveLink(addr string) error {
+	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return err
 	}
@@ -207,16 +250,16 @@ func (b *Backend) serveLink() error {
 		_ = conn.Close()
 		return nil
 	}
-	b.conn = conn
+	b.conns[addr] = conn
 	b.mu.Unlock()
-	b.opts.Logf("backend %s: registered with broker %s (%d sessions)", b.opts.Name, b.addr, len(names))
+	b.opts.Logf("backend %s: registered with broker %s (%d sessions)", b.opts.Name, addr, len(names))
 
 	for {
 		m, err := conn.Recv()
 		if err != nil {
 			b.mu.Lock()
-			if b.conn == conn {
-				b.conn = nil
+			if b.conns[addr] == conn {
+				delete(b.conns, addr)
 			}
 			b.mu.Unlock()
 			_ = conn.Close()
@@ -230,23 +273,33 @@ func (b *Backend) serveLink() error {
 			_ = conn.Send(&protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd, OK: true})
 		case protocol.CmdHostSession:
 			go b.handleHost(conn, m)
+		case protocol.CmdCheckpoint:
+			go b.handleCheckpoint(conn, m)
+		case protocol.CmdHostRestored:
+			go b.handleHostRestored(conn, m)
+		case protocol.CmdDropSession:
+			go b.handleDrop(conn, m)
+		case protocol.CmdHealth:
+			go b.handleHealth(conn, m)
 		default:
 			go b.handleForward(conn, m)
 		}
 	}
 }
 
-// send pushes one event up the current broker link; events during a
-// link outage are dropped (the broker's replay covers structure, and
-// transient state is re-queried by clients).
+// send pushes one event up every live broker link; a link in outage
+// misses it (the broker's replay covers structure, and transient state
+// is re-queried by clients).
 func (b *Backend) send(m *protocol.Msg) {
 	b.mu.Lock()
-	conn := b.conn
-	b.mu.Unlock()
-	if conn == nil {
-		return
+	conns := make([]*protocol.Conn, 0, len(b.conns))
+	for _, c := range b.conns {
+		conns = append(conns, c)
 	}
-	_ = conn.Send(m)
+	b.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Send(m)
+	}
 }
 
 func (b *Backend) handleHost(conn *protocol.Conn, m *protocol.Msg) {
@@ -305,16 +358,285 @@ func (b *Backend) host(name string) (*hostedSession, error) {
 	return hs, nil
 }
 
-// pumpEvents relays the internal client's events to the broker, each
-// stamped with the session so the broker can fan it out.
+// pumpEvents relays the internal client's events to the brokers, each
+// stamped with the session so they can fan it out. Every stop event
+// also triggers an asynchronous checkpoint push: the brokers keep the
+// newest one as the restore source should this backend die.
 func (b *Backend) pumpEvents(hs *hostedSession) {
 	for e := range hs.c.Events() {
+		if hs.quiet.Load() {
+			continue
+		}
 		m := *e.Msg
 		m.Session = hs.name
-		if m.Cmd == "process_exited" || m.Cmd == "session_closed" {
-		}
 		b.send(&m)
+		if m.Cmd == protocol.EventStopped && b.pt != nil && hs.ckptBusy.CompareAndSwap(false, true) {
+			go func() {
+				defer hs.ckptBusy.Store(false)
+				ev, err := b.checkpointMsg(hs, "stop")
+				if err != nil {
+					// Expected sometimes: another thread may sit in an
+					// uncheckpointable pending. The brokers keep the last
+					// good checkpoint.
+					b.opts.Logf("backend %s: checkpoint of %s skipped: %v", b.opts.Name, hs.name, err)
+					return
+				}
+				if !hs.quiet.Load() {
+					b.send(ev)
+				}
+			}()
+		}
 	}
+}
+
+// checkpointMsg quiesces the session's kernel into a migratable core
+// (with resume image) plus its breakpoint table, packaged as a
+// checkpoint message.
+func (b *Backend) checkpointMsg(hs *hostedSession, trigger string) (*protocol.Msg, error) {
+	if b.pt == nil {
+		return nil, fmt.Errorf("backend %s: no program table (no Proto)", b.opts.Name)
+	}
+	c, err := core.Checkpoint(hs.k, "migrate", trigger, b.pt)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := core.Write(&buf, c); err != nil {
+		return nil, err
+	}
+	return &protocol.Msg{
+		Kind: "event", Cmd: protocol.CmdCheckpoint, Session: hs.name,
+		PID: hs.root, Data: buf.Bytes(), Text: protocol.EncodeBreaks(b.collectBreaks(hs)),
+	}, nil
+}
+
+// collectBreaks exports every process's breakpoint table (file, line,
+// condition source) so a migrated instance can re-arm them.
+func (b *Backend) collectBreaks(hs *hostedSession) []protocol.BreakSpec {
+	var specs []protocol.BreakSpec
+	pids := hs.c.Sessions()
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		resp, err := hs.c.Raw(pid, &protocol.Msg{Kind: "req", Cmd: protocol.CmdBreaks}, 2*time.Second)
+		if err != nil || resp.Err != "" {
+			continue
+		}
+		for _, row := range resp.Rows {
+			parts := strings.SplitN(row, "|", 3)
+			if len(parts) < 2 {
+				continue
+			}
+			line, err := strconv.Atoi(parts[1])
+			if err != nil || line <= 0 {
+				continue
+			}
+			cond := ""
+			if len(parts) == 3 {
+				cond = parts[2]
+			}
+			specs = append(specs, protocol.BreakSpec{PID: pid, File: parts[0], Line: line, Cond: cond})
+		}
+	}
+	return specs
+}
+
+// handleCheckpoint answers a broker's on-demand checkpoint request
+// (the migration fast path: capture the session as it is right now).
+func (b *Backend) handleCheckpoint(conn *protocol.Conn, m *protocol.Msg) {
+	b.mu.Lock()
+	hs := b.hosted[m.Session]
+	b.mu.Unlock()
+	if hs == nil {
+		_ = conn.Send(&protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd, Session: m.Session, Err: "backend: unknown session " + m.Session})
+		return
+	}
+	ev, err := b.checkpointMsg(hs, "migrate")
+	if err != nil {
+		_ = conn.Send(&protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd, Session: m.Session, Err: err.Error()})
+		return
+	}
+	_ = conn.Send(&protocol.Msg{
+		Kind: "resp", ID: m.ID, Cmd: m.Cmd, Session: m.Session,
+		OK: true, PID: hs.root, Data: ev.Data, Text: ev.Text,
+	})
+}
+
+// handleHostRestored rebuilds a migrated session from a shipped
+// checkpoint and answers with the restored root PID (unchanged: the
+// restore keeps the tree's PIDs, so clients' references stay valid).
+func (b *Backend) handleHostRestored(conn *protocol.Conn, m *protocol.Msg) {
+	hs, err := b.hostRestored(m.Session, m.Data, m.Text)
+	if err != nil {
+		_ = conn.Send(&protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd, Session: m.Session, Err: err.Error()})
+		return
+	}
+	_ = conn.Send(&protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd, Session: m.Session, OK: true, PID: hs.root})
+}
+
+// hostRestored is the migration target path: decode the core, restore
+// it into a fresh kernel with a debug server attached to every process
+// (seeded with the tree's fork history so the client replay matches a
+// live tree), re-arm the breakpoint table, and only then release the
+// tree to run.
+func (b *Backend) hostRestored(name string, data []byte, breakJSON string) (*hostedSession, error) {
+	if name == "" {
+		return nil, fmt.Errorf("backend %s: empty session name", b.opts.Name)
+	}
+	if len(data) == 0 {
+		return nil, fmt.Errorf("backend %s: restore %s: empty checkpoint", b.opts.Name, name)
+	}
+	if b.pt == nil {
+		return nil, fmt.Errorf("backend %s: restore %s: no program table", b.opts.Name, name)
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("backend %s: closed", b.opts.Name)
+	}
+	if b.hosted[name] != nil {
+		b.mu.Unlock()
+		return nil, fmt.Errorf("backend %s: session %s already hosted here", b.opts.Name, name)
+	}
+	b.mu.Unlock()
+
+	cr, err := core.Read(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("backend %s: decode checkpoint for %s: %w", b.opts.Name, name, err)
+	}
+	// Attach a server per restored process. WaitForClient stays false:
+	// the restored threads are parked exactly where the source's were —
+	// an extra entry park would desynchronize the tree.
+	servers := make(map[int64]*Server)
+	var smu sync.Mutex
+	var attachErr error
+	setup := append(append([]func(*kernel.Process){}, b.opts.Setup...), func(proc *kernel.Process) {
+		srv, err := Attach(proc.K, proc, Options{
+			SessionID: name,
+			Sources:   b.opts.Sources,
+			Program:   b.opts.Proto,
+		})
+		smu.Lock()
+		if err != nil && attachErr == nil {
+			attachErr = err
+		}
+		servers[proc.PID] = srv
+		smu.Unlock()
+	})
+	r, err := core.Restore(cr, core.RestoreOptions{
+		Out:        b.opts.Out,
+		CheckEvery: b.opts.CheckEvery,
+		Protos:     b.pt,
+		Setup:      setup,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("backend %s: restore %s: %w", b.opts.Name, name, err)
+	}
+	if attachErr != nil {
+		return nil, fmt.Errorf("backend %s: attach restored %s: %w", b.opts.Name, name, attachErr)
+	}
+	root := r.Root()
+	if root == nil {
+		return nil, fmt.Errorf("backend %s: restore %s: empty tree", b.opts.Name, name)
+	}
+	// Seed each server's fork-replay with its process's restored
+	// children, so the client adopts the whole tree on connect.
+	smu.Lock()
+	for _, p := range r.Procs() {
+		srv := servers[p.PID]
+		if srv == nil {
+			continue
+		}
+		var kids []int64
+		for _, ch := range p.Children() {
+			kids = append(kids, ch.PID)
+		}
+		srv.SeedChildren(kids)
+	}
+	smu.Unlock()
+
+	c := client.NewWith(r.K, name, b.opts.Client)
+	if _, err := c.ConnectRoot(root.PID, 10*time.Second); err != nil {
+		_ = c.Kill(root.PID)
+		return nil, fmt.Errorf("backend %s: connect restored %s: %w", b.opts.Name, name, err)
+	}
+	// Wait for the fork replay to adopt every live process, then re-arm
+	// the shipped breakpoint table — before Release, so no thread can
+	// run past a breakpoint that is still being installed.
+	want := make(map[int64]bool)
+	for _, p := range r.Live() {
+		want[p.PID] = true
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(want) > 0 && time.Now().Before(deadline) {
+		for _, pid := range c.Sessions() {
+			delete(want, pid)
+		}
+		if len(want) > 0 {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	for _, spec := range protocol.DecodeBreaks(breakJSON) {
+		if err := c.SetBreakIf(spec.PID, spec.File, spec.Line, spec.Cond); err != nil {
+			b.opts.Logf("backend %s: restore %s: re-arming break %s:%d on pid %d: %v",
+				b.opts.Name, name, spec.File, spec.Line, spec.PID, err)
+		}
+	}
+
+	hs := &hostedSession{name: name, k: r.K, c: c, root: root.PID}
+	b.mu.Lock()
+	if b.closed || b.hosted[name] != nil {
+		dup := b.hosted[name] != nil
+		b.mu.Unlock()
+		_ = c.Kill(root.PID)
+		if dup {
+			return nil, fmt.Errorf("backend %s: session %s raced into existence", b.opts.Name, name)
+		}
+		return nil, fmt.Errorf("backend %s: closed", b.opts.Name)
+	}
+	b.hosted[name] = hs
+	b.mu.Unlock()
+	go b.pumpEvents(hs)
+	r.Release()
+	b.opts.Logf("backend %s: restored session %s (root pid %d, %d procs)", b.opts.Name, name, root.PID, len(r.Procs()))
+	return hs, nil
+}
+
+// handleDrop quietly kills a stale (migrated-away) session instance.
+func (b *Backend) handleDrop(conn *protocol.Conn, m *protocol.Msg) {
+	b.mu.Lock()
+	hs := b.hosted[m.Session]
+	if hs != nil {
+		delete(b.hosted, m.Session)
+	}
+	b.mu.Unlock()
+	if hs != nil {
+		hs.quiet.Store(true)
+		_ = hs.c.Kill(hs.root)
+		hs.c.Close()
+		b.opts.Logf("backend %s: dropped stale session %s", b.opts.Name, m.Session)
+	}
+	_ = conn.Send(&protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd, Session: m.Session, OK: true})
+}
+
+// handleHealth answers the broker's cross-session probe: one row per
+// hosted session, "session|verdict|detail|gil-switches".
+func (b *Backend) handleHealth(conn *protocol.Conn, m *protocol.Msg) {
+	b.mu.Lock()
+	hss := make([]*hostedSession, 0, len(b.hosted))
+	for _, hs := range b.hosted {
+		hss = append(hss, hs)
+	}
+	b.mu.Unlock()
+	rows := make([]string, 0, len(hss))
+	for _, hs := range hss {
+		verdict, detail := core.Diagnose(hs.k)
+		if detail == "" {
+			detail = "-"
+		}
+		rows = append(rows, fmt.Sprintf("%s|%s|%s|%d", hs.name, verdict, detail, hs.k.GILSwitches()))
+	}
+	sort.Strings(rows)
+	_ = conn.Send(&protocol.Msg{Kind: "resp", ID: m.ID, Cmd: m.Cmd, OK: true, Rows: rows})
 }
 
 // handleForward relays one client request (routed here by the broker)

@@ -15,6 +15,9 @@ import (
 // breakpoint is one user breakpoint.
 type breakpoint struct {
 	cond *condition
+	// src is the condition's source text, kept so the breakpoint set can
+	// be exported (CmdBreaks rows) and re-armed after a migration.
+	src  string
 	hits int64
 }
 

@@ -54,7 +54,7 @@ func (s *Server) dispatch(req *protocol.Msg) (*protocol.Msg, func()) {
 		if s.breaks[req.File] == nil {
 			s.breaks[req.File] = make(map[int]*breakpoint)
 		}
-		s.breaks[req.File][req.Line] = &breakpoint{cond: cond}
+		s.breaks[req.File][req.Line] = &breakpoint{cond: cond, src: req.Cond}
 		s.mu.Unlock()
 		return &protocol.Msg{OK: true}, nil
 
@@ -72,9 +72,19 @@ func (s *Server) dispatch(req *protocol.Msg) (*protocol.Msg, func()) {
 		for l := range s.breaks[req.File] {
 			lines = append(lines, l)
 		}
+		// Rows carry the full set across all files, "file|line|cond", so
+		// the whole breakpoint table can be exported and re-armed on a
+		// migrated instance.
+		var rows []string
+		for file, bps := range s.breaks {
+			for l, bp := range bps {
+				rows = append(rows, fmt.Sprintf("%s|%d|%s", file, l, bp.src))
+			}
+		}
 		s.mu.Unlock()
 		sort.Ints(lines)
-		return &protocol.Msg{OK: true, File: req.File, Lines: lines}, nil
+		sort.Strings(rows)
+		return &protocol.Msg{OK: true, File: req.File, Lines: lines, Rows: rows}, nil
 
 	case protocol.CmdContinue, protocol.CmdResume:
 		tc, errm := s.thread(req.TID)

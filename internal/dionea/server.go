@@ -176,6 +176,25 @@ func Attach(k *kernel.Kernel, p *kernel.Process, opt Options) (*Server, error) {
 	return s, nil
 }
 
+// SeedChildren pre-populates the forked-children replay list. A
+// restored (migrated) tree's forks happened in a previous life, so the
+// OnForked hook never fired here; seeding them before the client
+// connects makes the source-channel replay hand out the same forked
+// events a live tree would have, and the client adopts the children.
+func (s *Server) SeedChildren(pids []int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+seed:
+	for _, pid := range pids {
+		for _, have := range s.children {
+			if have == pid {
+				continue seed
+			}
+		}
+		s.children = append(s.children, pid)
+	}
+}
+
 func (s *Server) writePortFile() {
 	s.writeHandoff(protocol.EncodePort(s.port))
 }

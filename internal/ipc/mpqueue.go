@@ -100,7 +100,7 @@ func (q *MPQueue) Put(t *kernel.TCtx, v value.Value) error {
 	// An injected short write splits the frame; WLock is held across both
 	// halves, so concurrent writers never interleave mid-frame.
 	short := t.ChaosFire(chaos.PipeShortWrite)
-	return t.Block(kernel.StateBlockedExternal, "mpq-put", nil, func(cancel <-chan struct{}) error {
+	return t.BlockOn(kernel.StateBlockedExternal, "mpq-put", pipe.ID, nil, func(cancel <-chan struct{}) error {
 		if err := q.WLock.P(cancel); err != nil {
 			return err
 		}
@@ -124,7 +124,7 @@ func (q *MPQueue) Get(t *kernel.TCtx) (value.Value, error) {
 	}
 	var payload []byte
 	t.TraceEvent(trace.OpMPQueueGet, pipe.ID, 0)
-	err = t.Block(kernel.StateBlockedExternal, "mpq-get", nil, func(cancel <-chan struct{}) error {
+	err = t.BlockOn(kernel.StateBlockedExternal, "mpq-get", pipe.ID, nil, func(cancel <-chan struct{}) error {
 		if err := q.Items.P(cancel); err != nil {
 			return err
 		}
@@ -161,7 +161,7 @@ func (q *MPQueue) TryGet(t *kernel.TCtx) (value.Value, bool, error) {
 		return nil, false, err
 	}
 	var payload []byte
-	err = t.Block(kernel.StateBlockedExternal, "mpq-get", nil, func(cancel <-chan struct{}) error {
+	err = t.BlockOn(kernel.StateBlockedExternal, "mpq-get", pipe.ID, nil, func(cancel <-chan struct{}) error {
 		if err := q.RLock.P(cancel); err != nil {
 			return err
 		}

@@ -184,7 +184,9 @@ func (p *PipeEnd) CallMethod(th *vm.Thread, name string, args []value.Value, _ *
 		}
 		var out []byte
 		t.TraceEvent(trace.OpPipeRead, pipe.ID, 0)
-		err = t.BlockOn(kernel.StateBlockedExternal, "pipe-read", pipe.ID, nil, func(cancel <-chan struct{}) error {
+		// aux = the byte budget: distinguishes a raw read from a framed
+		// read (aux 0) when a checkpoint replays this wait.
+		err = t.BlockOnAux(kernel.StateBlockedExternal, "pipe-read", pipe.ID, int64(maxN), nil, func(cancel <-chan struct{}) error {
 			b, rerr := pipe.Read(maxN, cancel)
 			out = b
 			return rerr

@@ -1,0 +1,42 @@
+// Restore hooks: rebuild IPC objects from a checkpoint with their
+// original identities and ownership (see internal/core's restore path).
+
+package ipc
+
+import (
+	"dionea/internal/gil"
+	"dionea/internal/kernel"
+	"dionea/internal/value"
+)
+
+// RestoreMutex rebuilds a mutex with forced identity and owner and
+// registers it with the process's atfork set.
+func RestoreMutex(p *kernel.Process, id uint64, owner int64) *Mutex {
+	m := &Mutex{ID: id, owner: owner, bc: gil.NewBroadcast()}
+	p.RegisterSyncObject(m)
+	return m
+}
+
+// Items copies the queue's pending items for checkpointing (quiesced
+// kernel: the GIL holder is the only mutator).
+func (q *TQueue) Items() []value.Value {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return append([]value.Value(nil), q.items...)
+}
+
+// RestoreTQueue rebuilds an inter-thread queue with forced identity,
+// items and atfork lock owner, registered with the process.
+func RestoreTQueue(p *kernel.Process, id uint64, items []value.Value, lockOwner int64) *TQueue {
+	q := &TQueue{ID: id, items: items, lockOwner: lockOwner, bc: gil.NewBroadcast()}
+	p.RegisterSyncObject(q)
+	return q
+}
+
+// RestoreItems seeds the queue's items after the whole heap has decoded
+// (items may alias values the graph defines later than the queue itself).
+func (q *TQueue) RestoreItems(items []value.Value) {
+	q.mu.Lock()
+	q.items = append([]value.Value(nil), items...)
+	q.mu.Unlock()
+}

@@ -75,7 +75,7 @@ func (v *ThreadVal) CallMethod(th *vm.Thread, name string, args []value.Value, _
 				return false
 			}
 		}
-		err := t.Block(StateBlockedLocal, "join", done, func(cancel <-chan struct{}) error {
+		err := t.BlockOnAux(StateBlockedLocal, "join", 0, v.TID, done, func(cancel <-chan struct{}) error {
 			select {
 			case <-v.T.done:
 				return nil
@@ -188,7 +188,7 @@ func InstallBuiltins(p *Process) {
 			return nil, fmt.Errorf("sleep expects a number")
 		}
 		d := time.Duration(secs * float64(time.Second))
-		err := t.Block(StateBlockedExternal, "sleep", nil, func(cancel <-chan struct{}) error {
+		err := t.BlockOnAux(StateBlockedExternal, "sleep", 0, d.Milliseconds(), nil, func(cancel <-chan struct{}) error {
 			timer := time.NewTimer(d)
 			defer timer.Stop()
 			select {
@@ -277,7 +277,7 @@ func (t *TCtx) waitPID(pid int64) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("waitpid: no child with pid %d (ECHILD)", pid)
 	}
-	err := t.Block(StateBlockedExternal, "waitpid", nil, func(cancel <-chan struct{}) error {
+	err := t.BlockOnAux(StateBlockedExternal, "waitpid", 0, pid, nil, func(cancel <-chan struct{}) error {
 		select {
 		case <-child.exitCh:
 			return nil

@@ -111,6 +111,11 @@ type Process struct {
 	// chaosKillN is the firing's occurrence number for its OpFault event.
 	chaosKillIn atomic.Int64
 	chaosKillN  uint64
+
+	// restoring is set while internal/core rebuilds this process from a
+	// checkpoint: replayed blocking calls must not be convicted as
+	// deadlocks before every thread of the image is back.
+	restoring atomic.Bool
 }
 
 func (k *Kernel) newProcess(ppid int64, mirror io.Writer, checkEvery int, seed int64) *Process {
@@ -467,10 +472,10 @@ func (s ThreadState) String() string {
 // DeadlockError instead of blocking — t is the thread that "closes the
 // cycle", matching CRuby raising in the thread that performs the final
 // blocking call.
-func (p *Process) noteBlocked(t *TCtx, st ThreadState, reason string, obj uint64, poll func() bool) *DeadlockError {
+func (p *Process) noteBlocked(t *TCtx, st ThreadState, reason string, obj uint64, aux int64, poll func() bool) *DeadlockError {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if st == StateBlockedLocal && p.wouldDeadlockLocked(t) {
+	if st == StateBlockedLocal && !p.restoring.Load() && p.wouldDeadlockLocked(t) {
 		return &DeadlockError{
 			PID:    p.PID,
 			TID:    t.TID,
@@ -482,17 +487,19 @@ func (p *Process) noteBlocked(t *TCtx, st ThreadState, reason string, obj uint64
 	t.state = st
 	t.blockReason = reason
 	t.waitObj = obj
+	t.blockAux = aux
 	t.poll = poll
 	return nil
 }
 
 // forceBlocked records the blocked state unconditionally (after a poll
 // veto of the deadlock pre-check).
-func (p *Process) forceBlocked(t *TCtx, st ThreadState, reason string, obj uint64, poll func() bool) {
+func (p *Process) forceBlocked(t *TCtx, st ThreadState, reason string, obj uint64, aux int64, poll func() bool) {
 	p.mu.Lock()
 	t.state = st
 	t.blockReason = reason
 	t.waitObj = obj
+	t.blockAux = aux
 	t.poll = poll
 	p.mu.Unlock()
 }
@@ -502,8 +509,16 @@ func (p *Process) noteUnblocked(t *TCtx) {
 	t.state = StateRunning
 	t.blockReason = ""
 	t.waitObj = 0
+	t.blockAux = 0
 	t.poll = nil
 	p.mu.Unlock()
+	// First wake-up after a restore ends restore mode: from here on the
+	// process is making progress and deadlock conviction is sound again. A
+	// restored tree that really is deadlocked never wakes, never clears the
+	// flag, and is caught by the watchdog instead of the blocker-side check.
+	if p.restoring.Load() {
+		p.restoring.Store(false)
+	}
 }
 
 // wouldDeadlockLocked: with t about to block locally, is every other live

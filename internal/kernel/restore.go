@@ -1,0 +1,290 @@
+// Restore primitives: forced-identity constructors and state seeding for
+// internal/core's checkpoint/restore path (live session migration). A
+// restored kernel must present the same PIDs, TIDs and object ids as the
+// checkpointed one — debugger clients keep addressing the session by the
+// identities they saw before the migration — so these constructors take
+// identities instead of allocating them, and bump the kernel's allocation
+// floors so later allocations never collide with restored ones.
+
+package kernel
+
+import (
+	"io"
+	"math/rand"
+
+	"dionea/internal/atfork"
+	"dionea/internal/gil"
+	"dionea/internal/trace"
+	"dionea/internal/value"
+	"dionea/internal/vm"
+)
+
+// RestoreProcess builds a registered process with a forced PID. It is the
+// restore-side twin of newProcess: same wiring (atfork registry, stdin,
+// rng), but the identity comes from the checkpoint. The caller seeds
+// globals, threads, descriptors and output afterwards.
+func (k *Kernel) RestoreProcess(pid, ppid int64, mirror io.Writer, checkEvery int, seed int64) *Process {
+	if checkEvery <= 0 {
+		checkEvery = vm.DefaultCheckEvery
+	}
+	if seed == 0 {
+		seed = 42
+	}
+	k.mu.Lock()
+	if pid >= k.nextPID {
+		k.nextPID = pid + 1
+	}
+	k.mu.Unlock()
+	p := &Process{
+		K:          k,
+		PID:        pid,
+		PPID:       ppid,
+		gil:        gil.New(),
+		Globals:    value.NewEnv(nil),
+		FDs:        NewFDTable(),
+		Atfork:     atfork.NewRegistry(),
+		CheckEvery: checkEvery,
+		threads:    make(map[int64]*TCtx),
+		natives:    make(map[int64]*Native),
+		children:   make(map[int64]*Process),
+		exitCh:     make(chan struct{}),
+		mirror:     mirror,
+		rng:        rand.New(rand.NewSource(seed)),
+		seed:       seed,
+		stdin:      newStdinBuf(),
+	}
+	registerInterpreterAtfork(p)
+	k.register(p)
+	return p
+}
+
+// AdoptChild records the parent/child edge so a restored waitpid/wait can
+// still reap the child.
+func (k *Kernel) AdoptChild(parent, child *Process) {
+	parent.mu.Lock()
+	parent.children[child.PID] = child
+	parent.mu.Unlock()
+}
+
+// ForceObjIDFloor raises the kernel object-id allocator so NextObjID never
+// re-issues an id that a restored mutex, queue, pipe or semaphore already
+// carries.
+func (k *Kernel) ForceObjIDFloor(n uint64) {
+	for {
+		cur := k.nextObj.Load()
+		if cur >= n || k.nextObj.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// RestoreThread builds a thread context with a forced TID and no
+// goroutine. The caller rebuilds the VM frames, forces the scheduling
+// state, and — for a live restore — launches the resume trampoline with
+// StartRestored. Without StartRestored the thread is inert: present for
+// inspection (post-mortem restore) but never scheduled.
+func (p *Process) RestoreThread(tid int64, name string, main bool) *TCtx {
+	k := p.K
+	k.mu.Lock()
+	if tid >= k.nextTID {
+		k.nextTID = tid + 1
+	}
+	k.mu.Unlock()
+	t := &TCtx{
+		P:    p,
+		TID:  tid,
+		Main: main,
+		Name: name,
+		done: make(chan struct{}),
+	}
+	t.VM = vm.NewThread(t.TID, name, p)
+	t.VM.CheckEvery = p.CheckEvery
+	t.VM.Ctx = t
+	p.mu.Lock()
+	p.threads[t.TID] = t
+	if main {
+		p.mainTID = t.TID
+	}
+	p.mu.Unlock()
+	return t
+}
+
+// StartRestored launches the thread's goroutine with the given entry (the
+// restore trampoline: replay the checkpointed pending operation, then
+// resume the rebuilt frames). Lifecycle — GIL protocol, OnThreadStart
+// hook, exit dispatch — is identical to a normally started thread.
+func (t *TCtx) StartRestored(entry func() (value.Value, error)) {
+	t.start(entry)
+}
+
+// ForceBlockState stamps the checkpointed scheduling state onto a restored
+// thread so debugger views are truthful between restore and the moment the
+// trampoline actually re-blocks. The trampoline's own Block call then
+// re-records the same state through the normal path.
+func (t *TCtx) ForceBlockState(st ThreadState, reason string, obj uint64, aux int64) {
+	t.P.mu.Lock()
+	t.state = st
+	t.blockReason = reason
+	t.waitObj = obj
+	t.blockAux = aux
+	t.P.mu.Unlock()
+}
+
+// ForceFinished marks a restored thread as already finished (its done
+// channel closes; join on it succeeds immediately).
+func (t *TCtx) ForceFinished() {
+	t.P.mu.Lock()
+	already := t.state == StateFinished
+	t.state = StateFinished
+	t.blockReason = ""
+	t.waitObj = 0
+	t.blockAux = 0
+	t.P.mu.Unlock()
+	if !already {
+		close(t.done)
+	}
+}
+
+// ParseThreadState maps a core dump's state string back to the enum.
+func ParseThreadState(s string) (ThreadState, bool) {
+	switch s {
+	case "running":
+		return StateRunning, true
+	case "blocked":
+		return StateBlockedLocal, true
+	case "waiting":
+		return StateBlockedExternal, true
+	case "suspended":
+		return StateSuspended, true
+	case "finished":
+		return StateFinished, true
+	}
+	return StateRunning, false
+}
+
+// SetRestoring toggles restore mode: while set, replayed blocking calls
+// skip deadlock conviction (threads re-block one by one; mid-restore the
+// waker that disproves the "deadlock" may not be running yet).
+func (p *Process) SetRestoring(on bool) { p.restoring.Store(on) }
+
+// RestoreOutput seeds the captured output tail. It bypasses the mirror and
+// taps: the text was already delivered once, on the kernel that produced
+// it.
+func (p *Process) RestoreOutput(s string) {
+	p.outMu.Lock()
+	p.outBuf.WriteString(s)
+	p.outMu.Unlock()
+}
+
+// StdinState exposes the undelivered input lines for checkpointing.
+func (p *Process) StdinState() (lines []string, closed bool) {
+	s := p.stdin
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.lines...), s.closed
+}
+
+// RestoreStdin seeds the input stream from a checkpoint.
+func (p *Process) RestoreStdin(lines []string, closed bool) {
+	s := p.stdin
+	s.mu.Lock()
+	s.lines = append([]string(nil), lines...)
+	s.closed = closed
+	s.mu.Unlock()
+}
+
+// RestoreRing seeds the process's trace ring with the checkpointed event
+// tail so TraceTail answers match across a migration.
+func (p *Process) RestoreRing(evs []trace.Event) {
+	r := trace.NewRing()
+	for _, e := range evs {
+		r.Put(e)
+	}
+	p.ring.Store(r)
+}
+
+// Seed returns the process's deterministic random seed (checkpointed so
+// the restored process draws from the same sequence).
+func (p *Process) Seed() int64 {
+	p.randMu.Lock()
+	defer p.randMu.Unlock()
+	return p.seed
+}
+
+// MarkExitedRestored stamps an already-exited process from a checkpoint:
+// terminal state only, no teardown side effects (its descriptors were
+// never opened here, its threads never ran).
+func (p *Process) MarkExitedRestored(code int) {
+	p.exiting.Store(true)
+	p.traceStopped.Store(true)
+	p.exitCode.Store(int64(code))
+	p.exited.Store(true)
+	close(p.exitCh)
+}
+
+// Cap exposes the pipe's capacity (0 = unbounded) for checkpointing.
+func (p *Pipe) Cap() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cap
+}
+
+// PeekBuffered copies the pipe's undelivered bytes without consuming them.
+func (p *Pipe) PeekBuffered() []byte {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]byte(nil), p.buf...)
+}
+
+// ReplayWaitPID re-enters a checkpointed waitpid(pid) wait, returning what
+// the builtin would have returned.
+func (t *TCtx) ReplayWaitPID(pid int64) (value.Value, error) {
+	code, err := t.waitPID(pid)
+	if err != nil {
+		return nil, err
+	}
+	return value.Int(code), nil
+}
+
+// ReplayWaitAny re-enters a checkpointed wait() wait.
+func (t *TCtx) ReplayWaitAny() (value.Value, error) {
+	pid, code, err := t.waitAny()
+	if err != nil {
+		return nil, err
+	}
+	return value.NewList(value.Int(pid), value.Int(code)), nil
+}
+
+// ReplayInput re-enters a checkpointed input() wait.
+func (t *TCtx) ReplayInput() (value.Value, error) { return t.readStdinLine() }
+
+// RestorePipe rebuilds a pipe with forced identity, buffered bytes and
+// end refcounts. Restored FD-table entries reference it without touching
+// the counts (the checkpoint already aggregated them across processes).
+func RestorePipe(id uint64, capBytes int, buf []byte, readers, writers int) *Pipe {
+	return &Pipe{
+		ID:      id,
+		buf:     append([]byte(nil), buf...),
+		cap:     capBytes,
+		readers: readers,
+		writers: writers,
+		bc:      gil.NewBroadcast(),
+	}
+}
+
+// RestoreEntry installs a descriptor at a forced number without altering
+// pipe refcounts (see RestorePipe).
+func (t *FDTable) RestoreEntry(fd int64, kind FDKind, pipe *Pipe) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[fd] = &FDEntry{Kind: kind, Pipe: pipe}
+	if fd >= t.next {
+		t.next = fd + 1
+	}
+}
+
+// RestoreSemaphore rebuilds a kernel semaphore with forced identity and
+// count.
+func RestoreSemaphore(id uint64, n int64) *Semaphore {
+	return &Semaphore{ID: id, n: n, bc: gil.NewBroadcast()}
+}

@@ -71,40 +71,45 @@ func installStdinBuiltin(p *Process) {
 		if len(args) != 0 {
 			return nil, fmt.Errorf("input takes no arguments")
 		}
-		t := Ctx(th)
-		buf := t.P.stdin
-		// Fast path.
-		if line, ok, eof := buf.tryPop(); ok {
-			return value.Str(line), nil
-		} else if eof {
-			return value.NilV, nil
-		}
-		var out value.Value = value.NilV
-		err := t.Block(StateBlockedExternal, "stdin", nil, func(cancel <-chan struct{}) error {
-			for {
-				buf.mu.Lock()
-				if len(buf.lines) > 0 {
-					out = value.Str(buf.lines[0])
-					buf.lines = buf.lines[1:]
-					buf.mu.Unlock()
-					return nil
-				}
-				if buf.closed {
-					buf.mu.Unlock()
-					return nil
-				}
-				ch := buf.bc.WaitChan()
-				buf.mu.Unlock()
-				select {
-				case <-ch:
-				case <-cancel:
-					return ErrKilled
-				}
-			}
-		})
-		if err != nil {
-			return nil, err
-		}
-		return out, nil
+		return Ctx(th).readStdinLine()
 	}})
+}
+
+// readStdinLine is input()'s body, shared with the restore trampoline's
+// replay of a checkpointed "stdin" wait.
+func (t *TCtx) readStdinLine() (value.Value, error) {
+	buf := t.P.stdin
+	// Fast path.
+	if line, ok, eof := buf.tryPop(); ok {
+		return value.Str(line), nil
+	} else if eof {
+		return value.NilV, nil
+	}
+	var out value.Value = value.NilV
+	err := t.Block(StateBlockedExternal, "stdin", nil, func(cancel <-chan struct{}) error {
+		for {
+			buf.mu.Lock()
+			if len(buf.lines) > 0 {
+				out = value.Str(buf.lines[0])
+				buf.lines = buf.lines[1:]
+				buf.mu.Unlock()
+				return nil
+			}
+			if buf.closed {
+				buf.mu.Unlock()
+				return nil
+			}
+			ch := buf.bc.WaitChan()
+			buf.mu.Unlock()
+			select {
+			case <-ch:
+			case <-cancel:
+				return ErrKilled
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -32,6 +32,11 @@ type TCtx struct {
 	// thread is blocked on, 0 when none is identifiable. The core dumper's
 	// waiter graph joins it against lock owners to name deadlock cycles.
 	waitObj uint64
+	// blockAux carries operation detail a checkpoint needs to replay the
+	// blocked call on a restored kernel (waitpid's pid, join's tid, a
+	// timed sleep's milliseconds, read_raw's byte budget). 0 when the
+	// reason alone identifies the operation. Protected by P.mu.
+	blockAux int64
 
 	killed atomic.Bool
 
@@ -97,6 +102,16 @@ func (t *TCtx) BlockedOn() uint64 {
 	t.P.mu.Lock()
 	defer t.P.mu.Unlock()
 	return t.waitObj
+}
+
+// BlockInfo returns the full blocked-state record a checkpoint needs to
+// replay the pending operation on a restored kernel: scheduling state,
+// reason, awaited object id, and the operation detail recorded by
+// BlockOnAux (0 when the reason alone identifies the call).
+func (t *TCtx) BlockInfo() (st ThreadState, reason string, obj uint64, aux int64) {
+	t.P.mu.Lock()
+	defer t.P.mu.Unlock()
+	return t.state, t.blockReason, t.waitObj, t.blockAux
 }
 
 // Done is closed when the thread's goroutine has finished.
@@ -233,15 +248,22 @@ func (t *TCtx) Block(st ThreadState, reason string, poll func() bool, waitFn fun
 // blocked threads against lock owners. obj 0 means "no identifiable
 // object".
 func (t *TCtx) BlockOn(st ThreadState, reason string, obj uint64, poll func() bool, waitFn func(cancel <-chan struct{}) error) error {
-	if pre := t.P.noteBlocked(t, st, reason, obj, poll); pre != nil {
+	return t.BlockOnAux(st, reason, obj, 0, poll, waitFn)
+}
+
+// BlockOnAux is BlockOn with an extra operation detail (aux) recorded for
+// checkpoint/restore: enough for a migrated kernel to re-issue the blocked
+// call (see internal/core's restore path).
+func (t *TCtx) BlockOnAux(st ThreadState, reason string, obj uint64, aux int64, poll func() bool, waitFn func(cancel <-chan struct{}) error) error {
+	if pre := t.P.noteBlocked(t, st, reason, obj, aux, poll); pre != nil {
 		if poll == nil || !poll() {
 			// Record the wait edge the convict never got to take: the core
 			// dumped by handleDeadlock must show this thread blocked on obj,
 			// or the waiter graph cannot close the cycle.
-			t.P.forceBlocked(t, st, reason, obj, poll)
+			t.P.forceBlocked(t, st, reason, obj, aux, poll)
 			return t.handleDeadlock(pre)
 		}
-		t.P.forceBlocked(t, st, reason, obj, poll)
+		t.P.forceBlocked(t, st, reason, obj, aux, poll)
 	}
 	for {
 		cancel := t.armCancel()
@@ -262,7 +284,7 @@ func (t *TCtx) BlockOn(st ThreadState, reason string, obj uint64, poll func() bo
 			// Re-record the wait edge for the core (see the pre-check path);
 			// unblocking first keeps the GIL reacquisition out of the
 			// deadlock detector's sight.
-			t.P.forceBlocked(t, st, reason, obj, poll)
+			t.P.forceBlocked(t, st, reason, obj, aux, poll)
 			return t.handleDeadlock(d)
 		}
 		if t.killed.Load() {

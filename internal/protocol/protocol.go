@@ -102,6 +102,51 @@ const (
 	CmdAttach = "attach"
 )
 
+// Fabric HA commands (DESIGN §8: replication, migration, health).
+const (
+	// CmdReplicate is the first message a standby broker sends on its
+	// link to the primary; Text carries the standby's name. The primary
+	// streams placement updates (see CmdPlacement) until the link dies.
+	CmdReplicate = "replicate"
+	// CmdPlacement (primary → standby) carries one session placement
+	// update: Session, Text the backend name, PID the root, Reason
+	// "hosted"/"closed"/"migrated". Structural replay (forked) rides the
+	// same link as events with Session set.
+	CmdPlacement = "placement"
+	// CmdCheckpoint (broker → backend) asks for a migratable PINTCORE1
+	// checkpoint of Session; the response's Data carries the core bytes
+	// (with resume image) and Text the JSON-encoded breakpoint set.
+	// Backends also push unsolicited checkpoint events (Kind "event")
+	// with the same payload after every stop, so the broker holds a
+	// recent checkpoint should the backend die without warning.
+	CmdCheckpoint = "checkpoint"
+	// CmdHostRestored (broker → backend) asks a backend to restore a
+	// migrated session from Data (core bytes) + Text (breakpoint JSON);
+	// the response carries the restored root PID.
+	CmdHostRestored = "host_restored"
+	// CmdDropSession (broker → backend) tells the migration source to
+	// kill its now-stale instance of Session *quietly*: the checkpoint
+	// already moved, so the teardown's process_exited events must not
+	// reach clients as if the live (migrated) session had died.
+	CmdDropSession = "drop_session"
+	// CmdMigrate (client → broker, controller only) moves Session to the
+	// backend named in Text (empty = broker's choice).
+	CmdMigrate = "migrate"
+	// CmdDrain (client → broker, controller only) migrates every session
+	// off the backend named in Text and stops placing new ones there.
+	CmdDrain = "drain"
+	// CmdSessionsAll (client → broker, observer-allowed) lists every
+	// session in the fabric; the response's Rows carry one line each.
+	CmdSessionsAll = "sessions_all"
+	// CmdStuck (client → broker, observer-allowed) fans CmdHealth across
+	// the backends and aggregates which sessions are deadlocked or hung.
+	CmdStuck = "stuck"
+	// CmdHealth (broker → backend) probes every hosted session: GIL
+	// hand-off movement, thread-state mix, deadlock verdicts, last-event
+	// age. The response's Rows carry "session|verdict|detail" triples.
+	CmdHealth = "health"
+)
+
 // Events (server → client, on the source channel).
 const (
 	EventHello         = "hello"          // first message on each channel
@@ -147,6 +192,19 @@ const (
 	// EventControllerLost tells a session's observers the controller
 	// disconnected and the slot is open.
 	EventControllerLost = "controller_lost"
+)
+
+// Fabric HA events.
+const (
+	// EventBrokerPromoted tells a (re-)attaching client that the broker
+	// serving it is a standby that promoted itself after the primary
+	// died. Text carries the promoted broker's name.
+	EventBrokerPromoted = "broker_promoted"
+	// EventSessionMigrated announces that the session now runs on a
+	// different backend; Text carries the new backend's name, Reason why
+	// ("manual migrate", "drain", "backend lost"). Execution resumes
+	// from the shipped checkpoint.
+	EventSessionMigrated = "session_migrated"
 )
 
 // Stop reasons carried by EventStopped.
@@ -231,6 +289,15 @@ type Msg struct {
 	// a stop can be located in a dumped trace) or the number of events
 	// recorded so far in a trace_* response.
 	Seq uint64 `json:"seq,omitempty"`
+	// Dropped is the dedicated shed-event counter on events_dropped
+	// markers: how many events were coalesced or dropped since the last
+	// marker. (Older brokers carried the count in Seq; both are set.)
+	Dropped uint64 `json:"dropped,omitempty"`
+	// Data carries binary payloads (base64 on the wire): PINTCORE1
+	// checkpoint bytes on checkpoint/host_restored messages.
+	Data []byte `json:"data,omitempty"`
+	// Rows carries tabular text results (sessions_all, stuck, health).
+	Rows []string `json:"rows,omitempty"`
 
 	// Response status.
 	OK  bool   `json:"ok,omitempty"`
@@ -300,6 +367,42 @@ func (c *Conn) Recv() (*Msg, error) {
 
 // Close closes the underlying connection.
 func (c *Conn) Close() error { return c.c.Close() }
+
+// BreakSpec is one breakpoint in a migration payload: enough to re-arm
+// the breakpoint on the restored instance, conditions included.
+type BreakSpec struct {
+	PID  int64  `json:"pid"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Cond string `json:"cond,omitempty"`
+}
+
+// EncodeBreaks renders a breakpoint set for the Text field of
+// checkpoint / host_restored messages.
+func EncodeBreaks(specs []BreakSpec) string {
+	if len(specs) == 0 {
+		return ""
+	}
+	b, err := json.Marshal(specs)
+	if err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+// DecodeBreaks parses EncodeBreaks's output; empty or malformed input
+// yields an empty set (a migration without breakpoints is still a
+// migration).
+func DecodeBreaks(s string) []BreakSpec {
+	if s == "" {
+		return nil
+	}
+	var specs []BreakSpec
+	if err := json.Unmarshal([]byte(s), &specs); err != nil {
+		return nil
+	}
+	return specs
+}
 
 // PortFileName is the temp-file name that carries the debug-server port of
 // a process — the handoff mechanism of Figures 5/6: "Dionea's fork

@@ -433,6 +433,16 @@ func (e *Env) Snapshot() map[string]Value {
 	return out
 }
 
+// RestoreEnv returns an empty, parentless environment shell for checkpoint
+// restore, which must register an environment before decoding its contents:
+// closure graphs may reference it from inside its own parent's bindings.
+// Pair with RestoreBindParent once the parent exists.
+func RestoreEnv() *Env { return &Env{vars: make(map[string]Value)} }
+
+// RestoreBindParent attaches the parent of an environment built by
+// RestoreEnv.
+func (e *Env) RestoreBindParent(p *Env) { e.parent = p }
+
 // DeepCopyEnv copies an environment chain with memoization.
 func DeepCopyEnv(e *Env, m Memo) *Env {
 	if e == nil {

@@ -93,6 +93,18 @@ func (it *Iterator) DeepCopy(m value.Memo) value.Value {
 	return ni
 }
 
+// IterState exposes the iterator's position for checkpointing (see
+// internal/core's resume image): the materialized elements with the next
+// index, or the lazy range with its cursor.
+func (it *Iterator) IterState() (elems []value.Value, idx int, rng *value.Range, cur int64) {
+	return it.elems, it.idx, it.rng, it.cur
+}
+
+// RestoreIterator rebuilds an iterator from checkpointed state.
+func RestoreIterator(elems []value.Value, idx int, rng *value.Range, cur int64) *Iterator {
+	return &Iterator{elems: elems, idx: idx, rng: rng, cur: cur}
+}
+
 func (it *Iterator) next() (value.Value, bool) {
 	if it.rng != nil {
 		if it.rng.Step > 0 && it.cur >= it.rng.Stop ||

@@ -47,6 +47,9 @@ CHAOS_SOAK_SEEDS=20 go test -race -count=1 -run 'TestChaosSoak' ./e2e
 echo "== broker soak: 20 seeds, faults on both hops, under -race =="
 BROKER_SOAK_SEEDS=20 go test -race -count=1 -run 'TestBrokerChaosSoak' ./e2e
 
+echo "== fabric HA soak: 10 seeds, broker-kill and backend-drain, under -race =="
+BROKER_HA_SEEDS=10 go test -race -count=1 -run 'TestBrokerPromotion|TestSessionMigration|TestFabricHASoak' ./e2e
+
 echo "== golden core fixture round-trips byte-identically =="
 go test -count=1 -run 'TestGoldenCoreFixture' ./internal/core
 
@@ -58,5 +61,8 @@ go run ./cmd/benchfig -against BENCH_fig9.json -reps 3
 
 echo "== tracing overhead vs committed BENCH_fig10.json =="
 go run ./cmd/benchfig -against BENCH_fig10.json -reps 3
+
+echo "== broker fan-out throughput vs committed BENCH_fanout.json =="
+go run ./cmd/benchfig -against BENCH_fanout.json -reps 3
 
 echo "verify: OK"
