@@ -4,7 +4,11 @@
 //
 // Usage:
 //
-//	pint [-check N] [-vet] program.pint
+//	pint [-checkevery N] [-vet] [-check] program.pint
+//
+// -check switches from running the program to model-checking it: every
+// schedule is explored (see cmd/pintcheck, which exposes the search
+// knobs); convictions print to stderr and the exit status is 1.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"dionea/internal/analysis"
 	"dionea/internal/bytecode"
 	"dionea/internal/chaos"
+	"dionea/internal/check"
 	"dionea/internal/compiler"
 	"dionea/internal/core"
 	"dionea/internal/ipc"
@@ -27,7 +32,8 @@ import (
 )
 
 func main() {
-	check := flag.Int("check", 0, "GIL checkinterval in VM instructions (0 = default 100)")
+	checkEvery := flag.Int("checkevery", 0, "GIL checkinterval in VM instructions (0 = default 100)")
+	modelCheck := flag.Bool("check", false, "model-check the program (explore every schedule) instead of running it once")
 	disasm := flag.Bool("disasm", false, "print the compiled bytecode and exit")
 	vet := flag.Bool("vet", false, "run the pintvet static checks and warn on stderr before running")
 	traceOut := flag.String("trace", "", "record a concurrency event trace to this file (analyze with pinttrace)")
@@ -65,6 +71,33 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pint: vet: %s\n", d)
 		}
 	}
+	if *modelCheck {
+		rep, err := check.Explore(proto, check.Options{
+			PreemptBound: -1,
+			CheckEvery:   *checkEvery,
+			Seed:         *seed,
+			Setup:        []func(*kernel.Process){ipc.Install},
+			Preludes: []*bytecode.FuncProto{
+				mp.MustPrelude(),
+				parallelgem.MustPreludeBuggy(),
+				parallelgem.MustPreludeFixed(),
+			},
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pint: check: %v\n", err)
+			os.Exit(1)
+		}
+		for _, c := range rep.Convictions {
+			fmt.Fprintf(os.Stderr, "pint: check: %s\n", c)
+		}
+		if !rep.Exhausted {
+			fmt.Fprintf(os.Stderr, "pint: check: search not exhausted after %d runs; use pintcheck -budget for more\n", rep.Runs)
+		}
+		if len(rep.Convictions) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	k := kernel.New()
 
@@ -90,13 +123,13 @@ func main() {
 		recorded = tr
 		// The recorded schedule is only meaningful under the recorded
 		// checkinterval and seed; the header carries both.
-		*check = tr.CheckEvery
+		*checkEvery = tr.CheckEvery
 		*seed = tr.Seed
 		k.SetReplay(trace.NewCursor(tr.Events))
 	}
 	if *traceOut != "" {
 		rec := trace.NewRecorder()
-		rec.CheckEvery = *check
+		rec.CheckEvery = *checkEvery
 		rec.Seed = *seed
 		k.SetTracer(rec)
 		rec.Start()
@@ -116,7 +149,7 @@ func main() {
 
 	p := k.StartProgram(proto, kernel.Options{
 		Out:        os.Stdout,
-		CheckEvery: *check,
+		CheckEvery: *checkEvery,
 		Seed:       *seed,
 		Setup:      []func(*kernel.Process){ipc.Install},
 		Preludes: []*bytecode.FuncProto{

@@ -1,0 +1,128 @@
+// Command pintcheck model-checks a pint program: instead of running one
+// schedule (pint) or re-enacting a recorded one (pint -replay), it drives
+// every GIL handoff itself and explores the tree of scheduling choices —
+// stateless DFS with sleep-set partial-order reduction, visited-state
+// pruning, and optional iterative context bounding. Every execution is
+// judged by the pinttrace analyzer plus a global-wedge oracle, so the
+// three tools share one rule vocabulary; each conviction carries its
+// cheapest witness schedule as a standard trace file that `pint -replay`
+// reproduces byte-identically.
+//
+// Usage:
+//
+//	pintcheck [-budget N] [-preempt-bound K] [-checkevery N] [-seed N]
+//	          [-json] [-o dir] [-progress] program.pint
+//
+// Exit status: 0 when the search finishes with no convictions, 1 when any
+// bug is convicted, 2 on usage or setup errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dionea/internal/bytecode"
+	"dionea/internal/check"
+	"dionea/internal/compiler"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+	"dionea/internal/mp"
+	"dionea/internal/parallelgem"
+)
+
+func main() {
+	budget := flag.Int("budget", 0, "max executions to explore (0 = default)")
+	preempt := flag.Int("preempt-bound", -1, "max preemptions per schedule; -1 explores unbounded (exhaustive)")
+	checkEvery := flag.Int("checkevery", 0, "GIL checkinterval per run (0 = 1, a choice point at every instruction)")
+	seed := flag.Int64("seed", 0, "PRNG seed for every explored run's root process")
+	jsonOut := flag.Bool("json", false, "emit the full exploration report as JSON")
+	outDir := flag.String("o", "", "write each conviction's witness schedule to this directory (replay with `pint -replay`)")
+	progress := flag.Bool("progress", false, "print one line per explored execution to stderr")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pintcheck [flags] program.pint\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pintcheck: %v\n", err)
+		os.Exit(2)
+	}
+	proto, err := compiler.CompileSource(string(src), filepath.Base(file))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pintcheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	opt := check.Options{
+		Budget:       *budget,
+		PreemptBound: *preempt,
+		CheckEvery:   *checkEvery,
+		Seed:         *seed,
+		Setup:        []func(*kernel.Process){ipc.Install},
+		Preludes: []*bytecode.FuncProto{
+			mp.MustPrelude(),
+			parallelgem.MustPreludeBuggy(),
+			parallelgem.MustPreludeFixed(),
+		},
+	}
+	if *progress {
+		opt.Progress = os.Stderr
+	}
+	rep, err := check.Explore(proto, opt)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pintcheck: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "pintcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, c := range rep.Convictions {
+			path := filepath.Join(*outDir, c.WitnessName())
+			if err := os.WriteFile(path, c.Trace, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "pintcheck: witness: %v\n", err)
+				os.Exit(2)
+			}
+			if !*jsonOut {
+				note := ""
+				if c.Wedged {
+					note = " (wedged: replaying reproduces the hang)"
+				}
+				fmt.Printf("witness: %s%s\n", path, note)
+			}
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "pintcheck: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, c := range rep.Convictions {
+			fmt.Println(c)
+		}
+		verdict := "exhausted"
+		if !rep.Exhausted {
+			verdict = "NOT exhausted (raise -budget or lift -preempt-bound)"
+		}
+		fmt.Printf("pintcheck: %d runs, %d transitions, %d wedged, %d convictions — %s\n",
+			rep.Runs, rep.Transitions, rep.Wedges, len(rep.Convictions), verdict)
+	}
+	if len(rep.Convictions) > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,173 @@
+// End-to-end tests of the model checker across real OS processes: the
+// pintcheck binary exploring corpus kernels, its emitted witness files
+// replayed byte-identically by pint -replay, and pint's -check mode.
+package e2e
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"dionea/internal/corpus"
+)
+
+// writeKernel materializes a corpus kernel into dir and returns the
+// program path.
+func writeKernel(t *testing.T, dir, name string) string {
+	t.Helper()
+	for _, k := range corpus.Kernels() {
+		if k.Name == name {
+			path := filepath.Join(dir, k.File)
+			if err := os.WriteFile(path, []byte(k.Source), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			return path
+		}
+	}
+	t.Fatalf("no corpus kernel named %q", name)
+	return ""
+}
+
+// TestPintcheckRoundTrip is the check-side acceptance loop, mirroring the
+// §6.4 record→analyze→replay shape: pintcheck exhausts the queue-handshake
+// deadlock kernel, emits witness schedules, pinttrace convicts each
+// witness, and pint -replay re-records every witness byte-identically.
+func TestPintcheckRoundTrip(t *testing.T) {
+	bin := binaries(t)
+	dir := t.TempDir()
+	prog := writeKernel(t, dir, "queue-handshake-deadlock")
+	witDir := filepath.Join(dir, "witness")
+
+	out, err := exec.Command(filepath.Join(bin, "pintcheck"), "-o", witDir, prog).CombinedOutput()
+	ee, isExit := err.(*exec.ExitError)
+	if !isExit || ee.ExitCode() != 1 {
+		t.Fatalf("pintcheck = %v, want convictions (exit 1)\n%s", err, out)
+	}
+	for _, want := range []string{"[deadlock]", "exhausted", "witness:"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("pintcheck output missing %q:\n%s", want, out)
+		}
+	}
+
+	witnesses, err := filepath.Glob(filepath.Join(witDir, "*.trc"))
+	if err != nil || len(witnesses) == 0 {
+		t.Fatalf("no witness files in %s (err %v)", witDir, err)
+	}
+	for _, w := range witnesses {
+		w := w
+		t.Run(filepath.Base(w), func(t *testing.T) {
+			aout, err := exec.Command(filepath.Join(bin, "pinttrace"), w).CombinedOutput()
+			if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+				t.Fatalf("pinttrace = %v, want findings (exit 1)\n%s", err, aout)
+			}
+			if !strings.Contains(string(aout), "[deadlock]") {
+				t.Fatalf("witness trace does not convict:\n%s", aout)
+			}
+
+			// The witness reproduces the deadlock, so the replayed process
+			// exits nonzero — the fatal verdict is the point; only a
+			// divergence or a differing re-recorded trace is a failure.
+			second := w + ".rerecorded"
+			rout, err := exec.Command(filepath.Join(bin, "pint"),
+				"-replay", w, "-trace", second, prog).CombinedOutput()
+			if _, ok := err.(*exec.ExitError); err != nil && !ok {
+				t.Fatalf("pint -replay: %v\n%s", err, rout)
+			}
+			if strings.Contains(string(rout), "replay diverged") {
+				t.Fatalf("replay diverged:\n%s", rout)
+			}
+			a, err := os.ReadFile(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := os.ReadFile(second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(a, b) {
+				t.Fatalf("re-recorded witness differs from pintcheck's (%d vs %d bytes)", len(a), len(b))
+			}
+		})
+	}
+}
+
+// TestPintcheckCleanKernel: an ok-variant must come back clean with exit
+// status 0 and an exhausted search.
+func TestPintcheckCleanKernel(t *testing.T) {
+	bin := binaries(t)
+	prog := writeKernel(t, t.TempDir(), "queue-handshake-ok")
+	out, err := exec.Command(filepath.Join(bin, "pintcheck"), prog).CombinedOutput()
+	if err != nil {
+		t.Fatalf("pintcheck = %v, want clean exit\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "0 convictions") || !strings.Contains(string(out), "exhausted") {
+		t.Fatalf("output = %s", out)
+	}
+}
+
+// TestPintcheckJSON: the -json report parses and carries the exact
+// conviction keys the corpus promises for the kernel.
+func TestPintcheckJSON(t *testing.T) {
+	bin := binaries(t)
+	prog := writeKernel(t, t.TempDir(), "queue-handshake-deadlock")
+	out, err := exec.Command(filepath.Join(bin, "pintcheck"), "-json", prog).Output()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("pintcheck -json = %v\n%s", err, out)
+	}
+	var rep struct {
+		Runs        int  `json:"runs"`
+		Exhausted   bool `json:"exhausted"`
+		Convictions []struct {
+			Rule string `json:"rule"`
+			File string `json:"file"`
+			Line int    `json:"line"`
+		} `json:"convictions"`
+	}
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if !rep.Exhausted || rep.Runs == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	var got []string
+	for _, c := range rep.Convictions {
+		got = append(got, fmt.Sprintf("%s@%s:%d", c.Rule, c.File, c.Line))
+	}
+	sort.Strings(got)
+	want := []string{"deadlock@k_chandeadlock.pint:5", "deadlock@k_chandeadlock.pint:9"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("convictions = %v, want %v", got, want)
+	}
+}
+
+// TestPintCheckFlag: `pint -check` model-checks instead of running — exit
+// 1 with convictions on stderr for a buggy kernel, exit 0 for a clean
+// program.
+func TestPintCheckFlag(t *testing.T) {
+	bin := binaries(t)
+	dir := t.TempDir()
+
+	buggy := writeKernel(t, dir, "queue-handshake-deadlock")
+	out, err := exec.Command(filepath.Join(bin, "pint"), "-check", buggy).CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("pint -check = %v, want exit 1\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "pint: check:") || !strings.Contains(string(out), "[deadlock]") {
+		t.Fatalf("output = %s", out)
+	}
+
+	clean := filepath.Join(dir, "clean.pint")
+	if err := os.WriteFile(clean, []byte("n = 1\nputs(n)\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = exec.Command(filepath.Join(bin, "pint"), "-check", clean).CombinedOutput()
+	if err != nil {
+		t.Fatalf("pint -check clean = %v\n%s", err, out)
+	}
+}

@@ -1,0 +1,177 @@
+// Package check is the systematic model checker for pint programs: it
+// runs a program under a schedule-driving trace.ScheduleDriver (instead
+// of the replay cursor, which only re-enacts one recorded schedule) and
+// explores the tree of GIL-handoff choices with a stateless DFS, pruned
+// by sleep-set partial-order reduction and visited-state hashing, bounded
+// by a per-run step budget and an optional preemption bound (iterative
+// context bounding).
+//
+// Every execution is recorded with the ordinary trace recorder and judged
+// by the ordinary trace analyzer (internal/trace), plus a wedge oracle
+// for global deadlocks the in-process detector cannot see. A conviction's
+// cheapest witness schedule — fewest preemptions, then fewest events — is
+// emitted as a standard trace file that `pint -replay` reproduces
+// byte-identically.
+package check
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"dionea/internal/bytecode"
+	"dionea/internal/kernel"
+	"dionea/internal/trace"
+)
+
+// Options configures an exploration.
+type Options struct {
+	// Budget bounds the number of executions (0 = DefaultBudget).
+	Budget int
+	// MaxSteps bounds scheduling decisions per execution (0 = default).
+	MaxSteps int
+	// PreemptBound, when >= 0, limits explored schedules to at most that
+	// many preemptions (iterative context bounding); pass a negative
+	// value for unbounded, exhaustive exploration. Bounded exploration
+	// disables sleep-set reduction, whose pruning is unsound when
+	// subtrees are cut by a budget (a skipped sibling may only be covered
+	// by a schedule the bound excluded).
+	PreemptBound int
+	// CheckEvery is the GIL checkinterval for every run. The checker
+	// defaults it to 1 — a schedulable point at every instruction boundary
+	// — rather than the kernel's coarse default, because a coarse interval
+	// hides interleavings from the search. The value is recorded in every
+	// witness trace, so `pint -replay` reproduces it automatically.
+	// Seed seeds each run's root-process PRNG.
+	CheckEvery int
+	Seed       int64
+	// Setup and Preludes mirror kernel.Options: every explored execution
+	// starts the program identically.
+	Setup    []func(*kernel.Process)
+	Preludes []*bytecode.FuncProto
+	// Progress, when non-nil, receives one line per explored execution.
+	Progress io.Writer
+}
+
+// DefaultBudget is the execution cap when Options.Budget is zero. Sized
+// so every ≤4-thread corpus kernel exhausts with room to spare (the
+// largest needs ~10k executions at instruction granularity).
+const DefaultBudget = 65536
+
+// DefaultMaxSteps is the per-execution decision cap when MaxSteps is 0.
+const DefaultMaxSteps = 5000
+
+func (o Options) normalized() Options {
+	if o.Budget == 0 {
+		o.Budget = DefaultBudget
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = DefaultMaxSteps
+	}
+	if o.CheckEvery == 0 {
+		o.CheckEvery = 1
+	}
+	return o
+}
+
+// Conviction is one bug class the explorer proved reachable, with its
+// cheapest witness schedule.
+type Conviction struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	PID     uint32 `json:"pid"`
+	TID     uint32 `json:"tid"`
+	Message string `json:"message"`
+	// Wedged marks convictions from executions that ended in a global
+	// wedge (every live thread blocked): their traces end mid-flight, so
+	// `pint -replay` of the witness reproduces the hang, not an exit.
+	Wedged bool `json:"wedged,omitempty"`
+	// Preemptions and Events size the witness schedule.
+	Preemptions int `json:"preemptions"`
+	Events      int `json:"events"`
+	// Trace is the witness as a PINTTRC1 replay file.
+	Trace []byte `json:"-"`
+	// Schedule is the witness as the sequence of granted threads, for
+	// in-process re-execution.
+	Schedule []ThreadKey `json:"-"`
+	// Findings are every finding of the witness execution (the conviction
+	// itself plus any fellow travelers).
+	Findings []trace.Finding `json:"findings,omitempty"`
+	// Validated is true when a post-search re-execution of Schedule
+	// reproduced Trace byte-identically.
+	Validated bool `json:"validated"`
+}
+
+// Key identifies the conviction class: same rule at the same source
+// position.
+func (c *Conviction) Key() string {
+	return fmt.Sprintf("%s@%s:%d", c.Rule, c.File, c.Line)
+}
+
+// WitnessName flattens the conviction key into a filesystem-safe trace
+// file name: deadlock@prog.pint:7 -> deadlock-prog.pint-7.trc. It names
+// both `pintcheck -o` output and the committed testdata/check fixtures.
+func (c *Conviction) WitnessName() string {
+	key := strings.NewReplacer("@", "-", ":", "-", "/", "-").Replace(c.Key())
+	return key + ".trc"
+}
+
+func (c *Conviction) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s (pid %d thread %d; witness: %d preemptions, %d events)",
+		c.File, c.Line, c.Rule, c.Message, c.PID, c.TID, c.Preemptions, c.Events)
+}
+
+// Report is the result of one exploration.
+type Report struct {
+	Runs        int `json:"runs"`
+	Transitions int `json:"transitions"` // scheduling decisions across all runs
+
+	// Exhausted is true when the DFS ran to completion: every schedule
+	// not pruned as provably redundant was executed. False when the
+	// execution budget, a step budget, or a divergence cut the search.
+	Exhausted bool `json:"exhausted"`
+
+	// Prune/abort statistics.
+	SleepPruned  int `json:"sleep_pruned"`  // runs abandoned: all enabled threads asleep
+	VisitedHits  int `json:"visited_hits"`  // runs abandoned at an already-explored state
+	Truncated    int `json:"truncated"`     // runs cut by MaxSteps
+	Diverged     int `json:"diverged"`      // prefix replay mismatches (nondeterminism)
+	Wedges       int `json:"wedges"`        // runs that ended globally wedged
+	MaxEnabled   int `json:"max_enabled"`   // widest decision point seen
+	PreemptBound int `json:"preempt_bound"` // echo of the effective bound (-1 unbounded)
+
+	Convictions []*Conviction `json:"convictions"`
+}
+
+// Conviction returns the conviction with the given rule id, if present.
+func (r *Report) Conviction(rule string) *Conviction {
+	for _, c := range r.Convictions {
+		if c.Rule == rule {
+			return c
+		}
+	}
+	return nil
+}
+
+// Rules returns the sorted set of convicted rule ids.
+func (r *Report) Rules() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range r.Convictions {
+		if !seen[c.Rule] {
+			seen[c.Rule] = true
+			out = append(out, c.Rule)
+		}
+	}
+	return out
+}
+
+// Explore model-checks proto under opt and returns the exploration
+// report. It never returns a nil report; err is non-nil only for setup
+// failures (not for convictions — those are data, not errors).
+func Explore(proto *bytecode.FuncProto, opt Options) (*Report, error) {
+	x := newExplorer(proto, opt)
+	x.exploreAll()
+	return x.finish(), nil
+}

@@ -1,0 +1,95 @@
+package check
+
+import (
+	"testing"
+
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+	"dionea/internal/pinttest"
+	"dionea/internal/trace"
+)
+
+// explore compiles src and runs the explorer with the ipc builtins
+// installed (the same setup every pint entry point uses).
+func explore(t *testing.T, src string, opt Options) *Report {
+	t.Helper()
+	proto := pinttest.Compile(t, src, "check_test.pint")
+	opt.Setup = append([]func(*kernel.Process){ipc.Install}, opt.Setup...)
+	rep, err := Explore(proto, opt)
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	return rep
+}
+
+func TestExploreStraightLine(t *testing.T) {
+	rep := explore(t, `n = 1 + 2
+puts(n)
+`, Options{PreemptBound: -1})
+	if !rep.Exhausted {
+		t.Fatalf("not exhausted: %+v", rep)
+	}
+	if len(rep.Convictions) != 0 {
+		t.Fatalf("unexpected convictions: %v", rep.Convictions)
+	}
+	if rep.Runs < 1 {
+		t.Fatalf("no runs recorded")
+	}
+}
+
+func TestExploreTwoThreadsBenign(t *testing.T) {
+	rep := explore(t, `n = 0
+t = spawn do
+    n = n + 1
+end
+n = n + 10
+t.join()
+puts(n)
+`, Options{PreemptBound: -1})
+	if !rep.Exhausted {
+		t.Fatalf("not exhausted: runs=%d truncated=%d diverged=%d",
+			rep.Runs, rep.Truncated, rep.Diverged)
+	}
+	if len(rep.Convictions) != 0 {
+		t.Fatalf("unexpected convictions: %v", rep.Convictions)
+	}
+	if rep.Runs < 2 {
+		t.Fatalf("expected >1 interleaving, got %d runs", rep.Runs)
+	}
+}
+
+func TestExploreLockOrderDeadlock(t *testing.T) {
+	rep := explore(t, `a = mutex_new()
+b = mutex_new()
+
+t1 = spawn do
+    a.lock()
+    b.lock()
+    b.unlock()
+    a.unlock()
+end
+t2 = spawn do
+    b.lock()
+    a.lock()
+    a.unlock()
+    b.unlock()
+end
+t1.join()
+t2.join()
+`, Options{PreemptBound: -1})
+	if !rep.Exhausted {
+		t.Fatalf("not exhausted: runs=%d truncated=%d diverged=%d stuck-implied=%v",
+			rep.Runs, rep.Truncated, rep.Diverged, rep.Exhausted)
+	}
+	c := rep.Conviction(trace.RuleDeadlock)
+	if c == nil {
+		t.Fatalf("no deadlock conviction; rules=%v runs=%d wedges=%d",
+			rep.Rules(), rep.Runs, rep.Wedges)
+	}
+	if !c.Validated {
+		t.Fatalf("deadlock witness did not validate: %s", c)
+	}
+	if len(c.Trace) == 0 || len(c.Schedule) == 0 {
+		t.Fatalf("conviction missing witness: %s", c)
+	}
+}

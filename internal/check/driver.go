@@ -1,0 +1,159 @@
+// The check driver: a trace.ScheduleDriver that *chooses* GIL handoffs
+// instead of replaying them. Threads park at AwaitTurn until the explorer
+// grants them; every emitted event is captured as the running segment's
+// footprint, which feeds the dependence relation of the partial-order
+// reduction (see explore.go).
+
+package check
+
+import (
+	"sort"
+	"sync"
+
+	"dionea/internal/trace"
+)
+
+// ThreadKey identifies a schedulable thread kernel-wide. The ordering
+// (pid, then tid) is the tie-break order everywhere in the checker, so a
+// schedule is reproducible from the sequence of chosen keys alone.
+type ThreadKey struct {
+	PID, TID uint32
+}
+
+// Less orders keys by (pid, tid).
+func (k ThreadKey) Less(o ThreadKey) bool {
+	if k.PID != o.PID {
+		return k.PID < o.PID
+	}
+	return k.TID < o.TID
+}
+
+// Driver gates every GIL acquisition in the kernel and records every
+// emitted event. It implements trace.ScheduleDriver.
+type Driver struct {
+	mu      sync.Mutex
+	gates   map[ThreadKey]chan struct{}
+	seg     []trace.Event // footprint of the currently-granted segment
+	stopped bool
+
+	// solo, when non-nil, reports whether the thread is the only live
+	// unfinished thread in the kernel. A solo thread free-runs through
+	// AwaitTurn: with nothing to interleave against, every grant is forced,
+	// and parking it through a full settle round-trip per instruction
+	// would dominate the checker's runtime. The moment it spawns or forks,
+	// solo flips false and the gate discipline resumes.
+	solo func(k ThreadKey) bool
+}
+
+var _ trace.ScheduleDriver = (*Driver)(nil)
+
+// NewDriver returns a driver with no granted thread.
+func NewDriver() *Driver {
+	return &Driver{gates: make(map[ThreadKey]chan struct{})}
+}
+
+// AwaitTurn implements trace.ScheduleDriver: a thread about to contend
+// for its process GIL registers a gate and parks until the explorer
+// grants it (or its cancel fires — kill, deadlock verdict). Only the GIL
+// acquisition pre-gate is a choice point; every other op is reported
+// through Next while the thread already runs inside a granted segment.
+func (d *Driver) AwaitTurn(pid, tid uint32, op trace.Op, cancel <-chan struct{}) {
+	if op != trace.OpGILAcquire {
+		return
+	}
+	k := ThreadKey{pid, tid}
+	if s := d.solo; s != nil && s(k) {
+		return
+	}
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	g := make(chan struct{})
+	d.gates[k] = g
+	d.mu.Unlock()
+	select {
+	case <-g:
+	case <-cancel:
+		d.mu.Lock()
+		if d.gates[k] == g {
+			delete(d.gates, k)
+		}
+		d.mu.Unlock()
+	}
+}
+
+// Next implements trace.ScheduleDriver: it observes (never sequences)
+// the emission, recording it into the running segment's footprint. The
+// emitter always falls back to free-running sequence numbers, which under
+// one-thread-at-a-time granting equal the serialization order.
+func (d *Driver) Next(pid, tid uint32, op trace.Op, obj uint64, aux int64, _ func() bool) (uint64, bool) {
+	d.mu.Lock()
+	if !d.stopped {
+		d.seg = append(d.seg, trace.Event{PID: pid, TID: tid, Op: op, Obj: obj, Aux: aux})
+	}
+	d.mu.Unlock()
+	return 0, false
+}
+
+// Gated returns the keys of all threads currently parked at a gate, in
+// (pid, tid) order — the enabled set of the current decision point.
+func (d *Driver) Gated() []ThreadKey {
+	d.mu.Lock()
+	keys := make([]ThreadKey, 0, len(d.gates))
+	for k := range d.gates {
+		keys = append(keys, k)
+	}
+	d.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	return keys
+}
+
+// IsGated reports whether the thread is parked at a gate.
+func (d *Driver) IsGated(k ThreadKey) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.gates[k]
+	return ok
+}
+
+// Grant releases the thread's gate, letting it contend for (and, being
+// the only contender, win) its process GIL. Reports false if the thread
+// is not gated.
+func (d *Driver) Grant(k ThreadKey) bool {
+	d.mu.Lock()
+	g, ok := d.gates[k]
+	if ok {
+		delete(d.gates, k)
+	}
+	d.mu.Unlock()
+	if ok {
+		close(g)
+	}
+	return ok
+}
+
+// TakeSegment returns and clears the footprint accumulated since the last
+// call — the events of the most recently granted segment.
+func (d *Driver) TakeSegment() []trace.Event {
+	d.mu.Lock()
+	seg := d.seg
+	d.seg = nil
+	d.mu.Unlock()
+	return seg
+}
+
+// Stop disengages the driver: pending and future gates open immediately,
+// footprint recording ends. Called before tearing a wedged or
+// budget-exhausted run down, so teardown never deadlocks against a gate.
+func (d *Driver) Stop() {
+	d.mu.Lock()
+	d.stopped = true
+	gates := d.gates
+	d.gates = make(map[ThreadKey]chan struct{})
+	d.mu.Unlock()
+	for _, g := range gates {
+		close(g)
+	}
+}

@@ -1,0 +1,287 @@
+// The stateless DFS over schedule prefixes, with sleep-set partial-order
+// reduction (unbounded mode), visited-state pruning, and iterative
+// context bounding. The search owns no kernel state: every node is
+// revisited by re-executing its prefix on a fresh kernel, which is what
+// makes every discovered witness trivially replayable.
+
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"dionea/internal/bytecode"
+	"dionea/internal/trace"
+)
+
+type explorer struct {
+	r   runner
+	opt Options
+	rep Report
+
+	// sleepOn: sleep-set reduction is sound only when no preemption bound
+	// truncates subtrees (a skipped sibling's coverage may live in a
+	// schedule the bound excludes), so it is active only unbounded.
+	sleepOn bool
+
+	// visited maps a state hash to the sleep-key sets it was fully
+	// explored under; a re-visit with a superset sleep set explores a
+	// subset of the recorded continuations and can stop.
+	visited map[uint64][][]ThreadKey
+
+	convicts map[string]*Conviction
+
+	// complete stays true while nothing has cut the search (step budget,
+	// divergence, execution budget); only then are states marked visited
+	// and is the final report Exhausted.
+	complete bool
+	stopped  bool
+}
+
+func newExplorer(proto *bytecode.FuncProto, opt Options) *explorer {
+	opt = opt.normalized()
+	return &explorer{
+		r:        runner{proto: proto, opt: opt},
+		opt:      opt,
+		sleepOn:  opt.PreemptBound < 0,
+		visited:  make(map[uint64][][]ThreadKey),
+		convicts: make(map[string]*Conviction),
+		complete: true,
+	}
+}
+
+func (x *explorer) exploreAll() {
+	x.dfs(nil, nil)
+}
+
+// dfs executes the schedule starting with prefix (extended by the
+// default policy) and recursively explores every alternative at every
+// new decision point, deepest first. It returns the footprint of the
+// branch decision's segment (prefix's last element), which the caller
+// adds to the sleep set of the next sibling.
+func (x *explorer) dfs(prefix []ThreadKey, branchSleep []sleepEntry) []trace.Event {
+	if x.stopped {
+		return nil
+	}
+	if x.rep.Runs >= x.opt.Budget {
+		x.stopped = true
+		x.complete = false
+		return nil
+	}
+
+	res := x.r.execute(prefix, branchSleep, x.visitCheck)
+	x.rep.Runs++
+	x.rep.Transitions += len(res.decisions)
+	switch res.outcome {
+	case runSleepBlocked:
+		x.rep.SleepPruned++
+	case runVisited:
+		x.rep.VisitedHits++
+	case runTruncated:
+		x.rep.Truncated++
+		x.complete = false
+	case runDiverged:
+		x.rep.Diverged++
+		x.complete = false
+	case runStuck:
+		x.complete = false
+	case runWedged:
+		x.rep.Wedges++
+	}
+	for _, d := range res.decisions {
+		if len(d.Enabled) > x.rep.MaxEnabled {
+			x.rep.MaxEnabled = len(d.Enabled)
+		}
+	}
+	x.collect(res)
+	if x.opt.Progress != nil {
+		fmt.Fprintf(x.opt.Progress, "run %d: %d decisions, %d preemptions, outcome %d, %d findings\n",
+			x.rep.Runs, len(res.decisions), res.preemptions, res.outcome, len(res.findings))
+	}
+
+	var branchFoot []trace.Event
+	if n := len(prefix); n > 0 && len(res.decisions) >= n {
+		branchFoot = res.decisions[n-1].Footprint
+	}
+	if res.outcome == runDiverged || res.outcome == runStuck {
+		// The run did not faithfully realize its prefix; branching on its
+		// decisions would explore a tree we cannot reproduce.
+		return branchFoot
+	}
+
+	for i := len(res.decisions) - 1; i >= len(prefix); i-- {
+		d := res.decisions[i]
+		nodeSleep := cloneSleep(d.Sleep)
+		if x.sleepOn && len(d.Footprint) > 0 {
+			nodeSleep = append(nodeSleep, sleepEntry{Key: d.Chosen, Footprint: d.Footprint})
+		}
+		for _, alt := range d.Enabled {
+			if x.stopped {
+				x.complete = false
+				return branchFoot
+			}
+			if alt == d.Chosen {
+				continue
+			}
+			if x.sleepOn && sleepingContains(nodeSleep, alt) {
+				continue
+			}
+			if !x.preemptOK(res.decisions, i, alt) {
+				continue
+			}
+			altPrefix := make([]ThreadKey, i+1)
+			for j := 0; j < i; j++ {
+				altPrefix[j] = res.decisions[j].Chosen
+			}
+			altPrefix[i] = alt
+			var childSleep []sleepEntry
+			if x.sleepOn {
+				childSleep = cloneSleep(nodeSleep)
+			}
+			foot := x.dfs(altPrefix, childSleep)
+			if x.sleepOn && len(foot) > 0 {
+				nodeSleep = append(nodeSleep, sleepEntry{Key: alt, Footprint: foot})
+			}
+		}
+		if x.complete && !x.stopped {
+			x.markVisited(d.Hash, d.Sleep)
+		}
+	}
+	return branchFoot
+}
+
+// sleepingContains reports whether key is asleep in s.
+func sleepingContains(s []sleepEntry, key ThreadKey) bool {
+	for _, e := range s {
+		if e.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// preemptOK reports whether choosing alt at decision i stays within the
+// preemption bound: preemptions already spent on the path to i, plus one
+// if alt itself preempts a still-enabled previous thread.
+func (x *explorer) preemptOK(decisions []Decision, i int, alt ThreadKey) bool {
+	bound := x.opt.PreemptBound
+	if bound < 0 {
+		return true
+	}
+	spent := 0
+	for j := 0; j < i; j++ {
+		if decisions[j].Preempt {
+			spent++
+		}
+	}
+	d := decisions[i]
+	if d.HavePrev && alt != d.Prev && containsKey(d.Enabled, d.Prev) {
+		spent++
+	}
+	return spent <= bound
+}
+
+// visitCheck is the runner's pruning oracle: stop when the state was
+// fully explored under a sleep set no larger than the current one.
+// The hash already folds in preemptions spent, so a bounded search never
+// confuses states with different remaining budgets.
+func (x *explorer) visitCheck(h uint64, sleeping []ThreadKey, _ int) bool {
+	for _, rec := range x.visited[h] {
+		if subsetKeys(rec, sleeping) {
+			return true
+		}
+	}
+	return false
+}
+
+func (x *explorer) markVisited(h uint64, sleep []sleepEntry) {
+	x.visited[h] = append(x.visited[h], sleepKeys(sleep))
+}
+
+// subsetKeys reports whether every key of a occurs in b.
+func subsetKeys(a, b []ThreadKey) bool {
+	for _, k := range a {
+		if !containsKey(b, k) {
+			return false
+		}
+	}
+	return true
+}
+
+// collect folds one execution's findings into the conviction table,
+// keeping the cheapest witness per (rule, file, line): fewest
+// preemptions, then fewest events, then first found.
+func (x *explorer) collect(res *runResult) {
+	if len(res.findings) == 0 {
+		return
+	}
+	schedule := make([]ThreadKey, len(res.decisions))
+	for i, d := range res.decisions {
+		schedule[i] = d.Chosen
+	}
+	for _, f := range res.findings {
+		c := &Conviction{
+			Rule: f.Rule, File: f.File, Line: f.Line,
+			PID: f.PID, TID: f.TID, Message: f.Message,
+			Wedged:      res.outcome == runWedged,
+			Preemptions: res.preemptions,
+			Events:      len(res.events),
+			Trace:       res.traceBytes,
+			Schedule:    schedule,
+			Findings:    res.findings,
+		}
+		key := c.Key()
+		cur, ok := x.convicts[key]
+		if !ok || c.Preemptions < cur.Preemptions ||
+			(c.Preemptions == cur.Preemptions && c.Events < cur.Events) {
+			x.convicts[key] = c
+		}
+	}
+}
+
+// finish validates every conviction's witness by re-executing its exact
+// schedule and checking the re-run reproduces the identical trace bytes
+// — the in-process form of the `pint -replay` byte-identity guarantee —
+// then assembles the report.
+func (x *explorer) finish() *Report {
+	x.rep.Exhausted = x.complete && !x.stopped
+	x.rep.PreemptBound = x.opt.PreemptBound
+	keys := make([]string, 0, len(x.convicts))
+	for k := range x.convicts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		c := x.convicts[k]
+		c.Validated = x.validate(c)
+		x.rep.Convictions = append(x.rep.Convictions, c)
+	}
+	sort.Slice(x.rep.Convictions, func(i, j int) bool {
+		a, b := x.rep.Convictions[i], x.rep.Convictions[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return &x.rep
+}
+
+// validate re-executes the witness schedule and compares trace bytes.
+func (x *explorer) validate(c *Conviction) bool {
+	res := x.r.execute(c.Schedule, nil, nil)
+	if len(res.traceBytes) == 0 || len(c.Trace) == 0 {
+		return false
+	}
+	if len(res.traceBytes) != len(c.Trace) {
+		return false
+	}
+	for i := range c.Trace {
+		if res.traceBytes[i] != c.Trace[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,180 @@
+// Committed minimal-schedule fixtures: testdata/check/*.trc are the
+// cheapest witness schedules pintcheck emits for every self-terminating
+// corpus conviction (wedge witnesses are excluded — replaying one
+// reproduces a hang, which no fixture gate should do). Each fixture must
+// keep analyzing to its conviction and replay byte-identically on a fresh
+// kernel. Regenerate after intentional trace-format or corpus changes:
+//
+//	go test ./internal/check -run TestCheckFixtures -update
+package check
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"dionea/internal/compiler"
+	"dionea/internal/corpus"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+	"dionea/internal/trace"
+)
+
+var update = flag.Bool("update", false, "regenerate the committed witness fixtures")
+
+const fixtureDir = "../../testdata/check"
+
+// fixtureKernels returns the corpus kernels whose convictions are
+// committed as fixtures: convicted, and every witness self-terminating.
+func fixtureKernels() []corpus.BugKernel {
+	var out []corpus.BugKernel
+	for _, k := range corpus.Kernels() {
+		if len(k.CheckConvictions) > 0 && !k.CheckWedges {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func fixtureName(key string) string {
+	return strings.NewReplacer("@", "-", ":", "-", "/", "-").Replace(key) + ".trc"
+}
+
+func TestCheckFixtures(t *testing.T) {
+	if *update {
+		if err := os.MkdirAll(fixtureDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, old := range globFixtures(t) {
+			if err := os.Remove(old); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, k := range fixtureKernels() {
+			proto, err := compiler.CompileSource(k.Source, k.File)
+			if err != nil {
+				t.Fatalf("%s: compile: %v", k.Name, err)
+			}
+			rep, err := Explore(proto, Options{
+				PreemptBound: -1,
+				Setup:        []func(*kernel.Process){ipc.Install},
+			})
+			if err != nil {
+				t.Fatalf("%s: explore: %v", k.Name, err)
+			}
+			for _, c := range rep.Convictions {
+				path := filepath.Join(fixtureDir, c.WitnessName())
+				if err := os.WriteFile(path, c.Trace, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d events, %d preemptions)", path, c.Events, c.Preemptions)
+			}
+		}
+	}
+
+	// The committed set must be exactly the corpus's promised convictions
+	// — a stale or missing fixture is a drift between corpus and disk.
+	var want []string
+	for _, k := range fixtureKernels() {
+		for _, key := range k.CheckConvictions {
+			want = append(want, fixtureName(key))
+		}
+	}
+	var got []string
+	for _, p := range globFixtures(t) {
+		got = append(got, filepath.Base(p))
+	}
+	sort.Strings(want)
+	sort.Strings(got)
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("fixture set drift (rerun with -update):\non disk: %v\ncorpus:  %v", got, want)
+	}
+
+	for _, k := range fixtureKernels() {
+		k := k
+		for _, key := range k.CheckConvictions {
+			key := key
+			t.Run(fixtureName(key), func(t *testing.T) {
+				path := filepath.Join(fixtureDir, fixtureName(key))
+				tr, err := trace.ReadFile(path)
+				if err != nil {
+					t.Fatalf("read fixture (rerun with -update): %v", err)
+				}
+
+				// The witness must still convict its key.
+				rule, loc, _ := strings.Cut(key, "@")
+				convicts := false
+				for _, f := range trace.Analyze(tr) {
+					if string(f.Rule) == rule && loc == f.File+":"+strconv.Itoa(f.Line) {
+						convicts = true
+					}
+				}
+				if !convicts {
+					t.Fatalf("fixture no longer analyzes to %s", key)
+				}
+
+				// And replay byte-identically on a fresh kernel.
+				proto, err := compiler.CompileSource(k.Source, k.File)
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				kern := kernel.New()
+				cur := trace.NewCursor(tr.Events)
+				kern.SetReplay(cur)
+				rec := trace.NewRecorder()
+				rec.CheckEvery = tr.CheckEvery
+				rec.Seed = tr.Seed
+				rec.Start()
+				kern.SetTracer(rec)
+				kern.StartProgram(proto, kernel.Options{
+					CheckEvery: tr.CheckEvery,
+					Seed:       tr.Seed,
+					Setup:      []func(*kernel.Process){ipc.Install},
+				})
+				done := make(chan struct{})
+				go func() {
+					kern.WaitAll()
+					close(done)
+				}()
+				select {
+				case <-done:
+				case <-time.After(30 * time.Second):
+					t.Fatal("replay of a self-terminating witness hung")
+				}
+				if diverged, msg := cur.Diverged(); diverged {
+					t.Fatalf("replay diverged: %s", msg)
+				}
+				rerecorded := filepath.Join(t.TempDir(), "rerecorded.trc")
+				if err := kern.WriteTrace(rerecorded); err != nil {
+					t.Fatal(err)
+				}
+				a, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := os.ReadFile(rerecorded)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(a, b) {
+					t.Fatalf("re-recorded witness differs from fixture (%d vs %d bytes)", len(a), len(b))
+				}
+			})
+		}
+	}
+}
+
+func globFixtures(t *testing.T) []string {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(fixtureDir, "*.trc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}

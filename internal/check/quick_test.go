@@ -1,0 +1,159 @@
+// Property tests for the explorer's search lattice: iterative context
+// bounding is monotone (raising the preemption bound never loses a
+// conviction), and exploration is deterministic (same kernel, same
+// options, bit-identical report) — the guard CI relies on to trust a
+// single run of the corpus sweep.
+package check
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"dionea/internal/compiler"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+)
+
+// quickKernels are small programs whose bounded explorations finish in
+// milliseconds; the properties are checked over random (kernel, bound)
+// pairs drawn from them.
+var quickKernels = []string{
+	// Circular queue handshake: deadlocks on every schedule.
+	`a = queue_new()
+b = queue_new()
+t = spawn do
+    v = a.pop()
+    b.push(v)
+end
+w = b.pop()
+a.push(w)
+t.join()
+`,
+	// Benign racing increments: clean on every schedule.
+	`n = 0
+t = spawn do
+    n = n + 1
+end
+n = n + 10
+t.join()
+puts(n)
+`,
+	// Lock-order cycle: deadlocks only on preempting schedules, so the
+	// conviction set actually grows with the bound.
+	`a = mutex_new()
+b = mutex_new()
+t1 = spawn do
+    a.lock()
+    b.lock()
+    b.unlock()
+    a.unlock()
+end
+t2 = spawn do
+    b.lock()
+    a.lock()
+    a.unlock()
+    b.unlock()
+end
+t1.join()
+t2.join()
+`,
+	// Inherited pipe write end: wedges only when the child's read loses.
+	`ends = pipe_new()
+r = ends[0]
+w = ends[1]
+pid = fork do
+    v = r.read()
+    exit(0)
+end
+w.close()
+v = r.read()
+waitpid(pid)
+`,
+}
+
+func quickExplore(t *testing.T, src string, bound int) *Report {
+	t.Helper()
+	proto, err := compiler.CompileSource(src, "quick.pint")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	rep, err := Explore(proto, Options{
+		PreemptBound: bound,
+		Setup:        []func(*kernel.Process){ipc.Install},
+	})
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	return rep
+}
+
+func convictionKeys(rep *Report) []string {
+	var keys []string
+	for _, c := range rep.Convictions {
+		keys = append(keys, c.Key())
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestQuickPreemptBoundMonotone: for any kernel and bound k >= 1, the
+// convictions found with bound k are a superset of those found with
+// bound k-1 — context bounding prunes schedules, never verdicts.
+func TestQuickPreemptBoundMonotone(t *testing.T) {
+	prop := func(kernelPick, boundPick uint8) bool {
+		src := quickKernels[int(kernelPick)%len(quickKernels)]
+		k := 1 + int(boundPick)%3 // bounds 1..3
+		lower := convictionKeys(quickExplore(t, src, k-1))
+		higher := map[string]bool{}
+		for _, key := range convictionKeys(quickExplore(t, src, k)) {
+			higher[key] = true
+		}
+		for _, key := range lower {
+			if !higher[key] {
+				t.Logf("bound %d convicts %q but bound %d does not", k-1, key, k)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickExplorationDeterministic: two explorations of the same kernel
+// under the same options agree on every observable — run count,
+// transition count, prune statistics, and the exact conviction keys. The
+// visited-state hash is the mechanism under test: any instability there
+// shows up as differing run or hit counts.
+func TestQuickExplorationDeterministic(t *testing.T) {
+	prop := func(kernelPick, boundPick uint8) bool {
+		src := quickKernels[int(kernelPick)%len(quickKernels)]
+		bound := int(boundPick) % 3 // 0..2; unbounded runs are seconds-long
+		// and the conformance sweep already re-runs them every build
+		a := quickExplore(t, src, bound)
+		b := quickExplore(t, src, bound)
+		if a.Runs != b.Runs || a.Transitions != b.Transitions ||
+			a.SleepPruned != b.SleepPruned || a.VisitedHits != b.VisitedHits ||
+			a.Wedges != b.Wedges || a.Exhausted != b.Exhausted {
+			t.Logf("reports differ:\n  a: %+v\n  b: %+v", a, b)
+			return false
+		}
+		ka, kb := convictionKeys(a), convictionKeys(b)
+		if len(ka) != len(kb) {
+			t.Logf("conviction counts differ: %v vs %v", ka, kb)
+			return false
+		}
+		for i := range ka {
+			if ka[i] != kb[i] {
+				t.Logf("conviction keys differ: %v vs %v", ka, kb)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 6}); err != nil {
+		t.Fatal(err)
+	}
+}

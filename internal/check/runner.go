@@ -1,0 +1,568 @@
+// One driven execution: start a fresh kernel with the driver installed,
+// replay a decision prefix, extend it with the default (non-preempting)
+// policy, and capture the trace, the analyzer's findings, and the wedge
+// oracle's verdict.
+
+package check
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"sort"
+	"time"
+
+	"dionea/internal/bytecode"
+	"dionea/internal/kernel"
+	"dionea/internal/trace"
+)
+
+// Decision is one scheduling choice point of an execution: a settled
+// state with at least two enabled threads. Forced states (exactly one
+// enabled thread) are granted through without being recorded — they
+// cannot branch and cannot preempt.
+type Decision struct {
+	Enabled []ThreadKey // threads parked at gates, (pid, tid) order
+	Chosen  ThreadKey
+	// Prev is the thread granted immediately before this decision (choice
+	// or forced); HavePrev is false at the very first grant.
+	Prev     ThreadKey
+	HavePrev bool
+	// Preempt is true when Prev was still enabled here but a different
+	// thread was chosen.
+	Preempt bool
+	// Hash fingerprints the settled kernel state at this point.
+	Hash uint64
+	// Footprint holds the events the chosen segment emitted (filled in
+	// once the next decision point is reached).
+	Footprint []trace.Event
+	// Sleep snapshots the sleep set in force at this decision.
+	Sleep []sleepEntry
+}
+
+// sleepEntry is one sleeping choice: a thread whose subtree from the
+// branch point is already covered, together with the footprint of the
+// segment it would run — entries wake when a dependent segment executes.
+type sleepEntry struct {
+	Key       ThreadKey
+	Footprint []trace.Event
+}
+
+type runOutcome int
+
+const (
+	runCompleted    runOutcome = iota // every process exited
+	runWedged                         // settled with live blocked threads and nothing enabled
+	runSleepBlocked                   // every enabled thread asleep: redundant continuation
+	runVisited                        // reached an already-fully-explored state
+	runTruncated                      // MaxSteps exceeded
+	runDiverged                       // prefix choice not enabled (nondeterminism)
+	runStuck                          // settle never converged (backstop; should not happen)
+)
+
+// runResult is everything one execution produced.
+type runResult struct {
+	outcome     runOutcome
+	decisions   []Decision
+	preemptions int
+	findings    []trace.Finding
+	traceBytes  []byte
+	events      []trace.Event
+	output      string
+	exitCode    int
+	wedged      []wedgeInfo
+}
+
+// wedgeInfo describes one thread stuck in a global wedge.
+type wedgeInfo struct {
+	Key    ThreadKey
+	Reason string
+	Obj    uint64
+	File   string
+	Line   int
+}
+
+// visitedFn is consulted at every decision beyond the prefix; returning
+// true means the state's subtree is already covered and the run stops.
+type visitedFn func(hash uint64, sleeping []ThreadKey, preemptions int) bool
+
+// runner executes schedules for one program.
+type runner struct {
+	proto *bytecode.FuncProto
+	opt   Options
+}
+
+// settlePatience bounds how long one decision point may take to settle
+// before the run is abandoned as stuck. Generous: it only fires on bugs.
+var settlePatience = 10 * time.Second
+
+// pollGrace is how long a thread may stay blocked-but-satisfiable before
+// the settle loop accepts it as genuinely parked (e.g. a pipe reader
+// waiting for more bytes than are buffered).
+const pollGrace = 20 * time.Millisecond
+
+// execute runs one schedule: decisions 0..len(prefix)-1 follow prefix,
+// later ones follow the default policy (stay on the previous thread,
+// else lowest key) filtered by the sleep set.
+func (r *runner) execute(prefix []ThreadKey, sleep []sleepEntry, visited visitedFn) *runResult {
+	res := &runResult{}
+	k := kernel.New()
+	drv := NewDriver()
+	drv.solo = func(key ThreadKey) bool { return soloThread(k, key) }
+	rec := trace.NewRecorder()
+	rec.CheckEvery = r.opt.CheckEvery
+	rec.Seed = r.opt.Seed
+	rec.Start()
+	k.SetTracer(rec)
+	k.SetScheduleDriver(drv)
+	k.SetVirtualTime(true)
+
+	root := k.StartProgram(r.proto, kernel.Options{
+		CheckEvery: r.opt.CheckEvery,
+		Seed:       r.opt.Seed,
+		Setup:      r.opt.Setup,
+		Preludes:   r.opt.Preludes,
+	})
+
+	sleep = cloneSleep(sleep)
+	hist := map[ThreadKey]uint64{}
+	var prev ThreadKey
+	havePrev := false
+	grants := 0
+
+	finish := func(out runOutcome) *runResult {
+		res.outcome = out
+		r.teardown(k, drv, rec, res)
+		res.output = root.Output()
+		res.exitCode = root.ExitCode()
+		return res
+	}
+
+	for {
+		snap, ok := r.settle(k, drv)
+
+		// Attribute the events since the last choice point to its segment
+		// (forced grants in between extend the same corridor — an
+		// over-approximation that is conservative for the dependence
+		// relation), and wake any sleeping choice dependent with it. The
+		// sleep set is in force from the branch point (the last prefix
+		// decision) onward; segments replayed before it are that set's
+		// past and must not wake anything.
+		seg := drv.TakeSegment()
+		if len(seg) > 0 {
+			if n := len(res.decisions); n > 0 {
+				res.decisions[n-1].Footprint = append(res.decisions[n-1].Footprint, seg...)
+				if n >= len(prefix) {
+					sleep = wakeDependent(sleep, seg)
+				}
+			}
+			for _, e := range seg {
+				key := ThreadKey{e.PID, e.TID}
+				hist[key] = histMix(hist[key], e)
+			}
+		}
+
+		if !ok {
+			return finish(runStuck)
+		}
+		if snap.allExited {
+			return finish(runCompleted)
+		}
+
+		enabled := snap.enabled
+		if len(enabled) > 0 {
+			grants++
+			if grants > r.opt.MaxSteps {
+				return finish(runTruncated)
+			}
+
+			// Forced state: exactly one thread can run. No branch, no
+			// preemption — grant it without recording a decision (it still
+			// consumes a grant against MaxSteps). Beyond the prefix a
+			// sleeping sole thread is not forced — its continuation is
+			// provably redundant (runSleepBlocked below); inside the prefix
+			// corridor the sleep set is not yet in force and must not
+			// perturb which states count as choice points, or the prefix
+			// indices would shift against the run that recorded them.
+			if len(enabled) == 1 &&
+				(len(res.decisions) < len(prefix) || !sleepingContains(sleep, enabled[0])) {
+				prev, havePrev = enabled[0], true
+				drv.Grant(enabled[0])
+				continue
+			}
+
+			j := len(res.decisions)
+			var chosen ThreadKey
+			inPrefix := j < len(prefix)
+			if inPrefix {
+				chosen = prefix[j]
+				if !containsKey(enabled, chosen) {
+					return finish(runDiverged)
+				}
+			} else {
+				free := filterSleeping(enabled, sleep)
+				if len(free) == 0 {
+					return finish(runSleepBlocked)
+				}
+				chosen = free[0]
+				if havePrev && containsKey(free, prev) {
+					chosen = prev
+				}
+			}
+			preempt := havePrev && chosen != prev && containsKey(enabled, prev)
+			if preempt {
+				res.preemptions++
+			}
+			// Preemptions spent are part of the state key only under a
+			// bound: there they determine the remaining budget (and thus the
+			// continuation set), but unbounded they would just split states
+			// that differ only in how they were reached.
+			hashPre := 0
+			if r.opt.PreemptBound >= 0 {
+				hashPre = res.preemptions
+			}
+			h := stateHash(k, drv, hist, hashPre)
+			if !inPrefix && visited != nil && visited(h, sleepKeys(sleep), res.preemptions) {
+				return finish(runVisited)
+			}
+			res.decisions = append(res.decisions, Decision{
+				Enabled:  enabled,
+				Chosen:   chosen,
+				Prev:     prev,
+				HavePrev: havePrev,
+				Preempt:  preempt,
+				Hash:     h,
+				Sleep:    cloneSleep(sleep),
+			})
+			prev, havePrev = chosen, true
+			drv.Grant(chosen)
+			continue
+		}
+
+		// Nothing runnable, nothing exiting: the system is wedged. The
+		// in-process deadlock detector only sees local waits; this oracle
+		// also catches cross-process cycles (pipe reader vs. writer that
+		// never comes, waitpid on a wedged child, ...).
+		if len(snap.blocked) > 0 {
+			res.wedged = snap.blocked
+			return finish(runWedged)
+		}
+		// Live processes but no threads at all in a steady state — treat
+		// as stuck rather than spinning.
+		return finish(runStuck)
+	}
+}
+
+// teardown stops recording, releases every gate, terminates what is
+// still alive, and decodes + analyzes the recorded trace.
+func (r *runner) teardown(k *kernel.Kernel, drv *Driver, rec *trace.Recorder, res *runResult) {
+	rec.Stop()
+	drv.Stop()
+	for _, p := range k.Processes() {
+		if !p.Exited() {
+			p.Terminate(137)
+		}
+	}
+	done := make(chan struct{})
+	go func() { k.WaitAll(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(settlePatience):
+	}
+	k.SetScheduleDriver(nil)
+
+	// Only completed and wedged runs are judged; pruned or aborted runs
+	// contribute decisions to the search but never findings, so their
+	// trace is not worth serializing and re-parsing.
+	if res.outcome != runCompleted && res.outcome != runWedged {
+		return
+	}
+
+	k.FlushTrace()
+	var buf bytes.Buffer
+	if err := rec.Write(&buf); err != nil {
+		return
+	}
+	res.traceBytes = buf.Bytes()
+	tr, err := trace.Read(bytes.NewReader(res.traceBytes))
+	if err != nil {
+		return
+	}
+	res.events = tr.Events
+
+	switch res.outcome {
+	case runCompleted:
+		res.findings = trace.Analyze(tr)
+	case runWedged:
+		// A wedged trace is complete up to the wedge, so the analyzer's
+		// verdicts (a reader whose last event is a never-completed read,
+		// a queue raced across a fork, ...) apply — plus the wedge itself.
+		res.findings = append(trace.Analyze(tr), wedgeFinding(res.wedged, res.events))
+	}
+}
+
+// wedgeFinding synthesizes the deadlock verdict for a global wedge,
+// anchored at the first (lowest-key) wedged thread.
+func wedgeFinding(wedged []wedgeInfo, events []trace.Event) trace.Finding {
+	w := wedged[0]
+	var b bytes.Buffer
+	for i, x := range wedged {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "pid %d thread %d blocked in %s", x.Key.PID, x.Key.TID, x.Reason)
+		if x.Obj != 0 {
+			fmt.Fprintf(&b, " on #%d", x.Obj)
+		}
+	}
+	var seq uint64
+	if n := len(events); n > 0 {
+		seq = events[n-1].Seq
+	}
+	return trace.Finding{
+		Rule: trace.RuleDeadlock,
+		File: w.File, Line: w.Line,
+		PID: w.Key.PID, TID: w.Key.TID, Seq: seq, Obj: w.Obj,
+		Message: "wedged: every live thread is blocked — " + b.String(),
+	}
+}
+
+// settleSnap is the classification of a settled system.
+type settleSnap struct {
+	allExited bool
+	enabled   []ThreadKey
+	blocked   []wedgeInfo
+}
+
+// settle waits until no thread is in transit: every live thread is
+// parked at a gate, finished, or blocked with an unsatisfiable wait.
+// Threads that are running off-gate, have a pending kill or deadlock
+// verdict, or sit in an exiting-but-not-exited process are in transit —
+// they will move without any scheduling decision. A thread that stays
+// blocked-but-satisfiable for pollGrace (a reader waiting for bytes that
+// are not all there) is accepted as parked.
+func (r *runner) settle(k *kernel.Kernel, drv *Driver) (settleSnap, bool) {
+	deadline := time.Now().Add(settlePatience)
+	relaxAt := time.Now().Add(pollGrace)
+	stable := 0
+	lastSig := uint64(0)
+	for i := 0; ; i++ {
+		snap, transit, pollPending, sig := r.observe(k, drv)
+		// Gated and finished threads cannot move without a grant, so a
+		// single observation of an all-gated/finished system is already
+		// stable. The multi-round stability protocol only matters when
+		// blocked threads are in the picture (their wake transitions race
+		// with observation).
+		if !transit && len(snap.blocked) == 0 {
+			return snap, true
+		}
+		if sig != lastSig {
+			lastSig = sig
+			stable = 0
+			relaxAt = time.Now().Add(pollGrace)
+		} else {
+			stable++
+		}
+		settled := !transit && (!pollPending || time.Now().After(relaxAt))
+		if settled && stable >= 2 {
+			return snap, true
+		}
+		if time.Now().After(deadline) {
+			return snap, false
+		}
+		runtime.Gosched()
+		if i > 200 {
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+}
+
+// observe classifies every thread once. transit reports whether any
+// thread is between states; pollPending whether the only motion left is
+// blocked threads whose wait is satisfiable.
+func (r *runner) observe(k *kernel.Kernel, drv *Driver) (snap settleSnap, transit, pollPending bool, sig uint64) {
+	sig = fnvOffset
+	snap.allExited = true
+	for _, p := range k.Processes() {
+		if p.Exited() {
+			continue
+		}
+		snap.allExited = false
+		if p.Exiting() {
+			transit = true
+			sig = mixU64(mixByte(sig, 'E'), uint64(p.PID))
+			continue
+		}
+		for _, t := range p.Threads() {
+			st, reason, obj, _ := t.BlockInfo()
+			key := ThreadKey{uint32(p.PID), uint32(t.TID)}
+			var cls byte
+			switch {
+			case st == kernel.StateFinished:
+				cls = 'f'
+			case drv.IsGated(key):
+				if t.WakePending() {
+					cls = 'w'
+					transit = true
+				} else {
+					cls = 'g'
+					snap.enabled = append(snap.enabled, key)
+				}
+			case st == kernel.StateBlockedLocal || st == kernel.StateBlockedExternal:
+				switch {
+				case t.WakePending():
+					cls = 'w'
+					transit = true
+				case t.WaitSatisfiable():
+					cls = 'p'
+					pollPending = true
+					snap.blocked = append(snap.blocked, r.wedgeInfo(t, key, reason, obj))
+				default:
+					cls = 'b'
+					snap.blocked = append(snap.blocked, r.wedgeInfo(t, key, reason, obj))
+				}
+			default: // running off-gate, suspended
+				cls = 'r'
+				transit = true
+			}
+			sig = mixByte(mixU64(mixU64(sig, uint64(key.PID)), uint64(key.TID)), cls)
+		}
+	}
+	sort.Slice(snap.enabled, func(i, j int) bool { return snap.enabled[i].Less(snap.enabled[j]) })
+	return snap, transit, pollPending, sig
+}
+
+func (r *runner) wedgeInfo(t *kernel.TCtx, key ThreadKey, reason string, obj uint64) wedgeInfo {
+	w := wedgeInfo{Key: key, Reason: reason, Obj: obj}
+	// The thread is parked (its goroutine sits inside a wait), so its
+	// frame stack is quiescent and safe to read for the source anchor.
+	if fr := t.VM.StackTrace(); len(fr) > 0 {
+		w.File, w.Line = fr[len(fr)-1].File, fr[len(fr)-1].Line
+	}
+	return w
+}
+
+// soloThread reports whether key is the only live unfinished thread in
+// the kernel. Only the caller itself can change the thread population
+// (it is the sole runner when this returns true), so the answer cannot
+// be invalidated concurrently.
+func soloThread(k *kernel.Kernel, key ThreadKey) bool {
+	found := false
+	for _, p := range k.Processes() {
+		if p.Exited() {
+			continue
+		}
+		for _, t := range p.Threads() {
+			st, _, _, _ := t.BlockInfo()
+			if st == kernel.StateFinished {
+				continue
+			}
+			if uint32(p.PID) == key.PID && uint32(t.TID) == key.TID {
+				found = true
+				continue
+			}
+			return false
+		}
+	}
+	return found
+}
+
+// ---- small helpers ----
+
+func containsKey(keys []ThreadKey, k ThreadKey) bool {
+	for _, x := range keys {
+		if x == k {
+			return true
+		}
+	}
+	return false
+}
+
+func cloneSleep(s []sleepEntry) []sleepEntry {
+	return append([]sleepEntry(nil), s...)
+}
+
+func sleepKeys(s []sleepEntry) []ThreadKey {
+	out := make([]ThreadKey, 0, len(s))
+	for _, e := range s {
+		out = append(out, e.Key)
+	}
+	return out
+}
+
+func filterSleeping(enabled []ThreadKey, sleep []sleepEntry) []ThreadKey {
+	out := make([]ThreadKey, 0, len(enabled))
+	for _, k := range enabled {
+		asleep := false
+		for _, e := range sleep {
+			if e.Key == k {
+				asleep = true
+				break
+			}
+		}
+		if !asleep {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// wakeDependent removes sleep entries whose deferred segment does not
+// commute with the segment that just ran: executing a dependent segment
+// invalidates the equivalence that justified putting the entry to sleep.
+func wakeDependent(sleep []sleepEntry, seg []trace.Event) []sleepEntry {
+	out := sleep[:0]
+	for _, e := range sleep {
+		if dependent(e.Footprint, seg) {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// dependent reports whether two segment footprints must not be commuted.
+// Same-process segments always conflict (they share the GIL and the
+// process heap); cross-process segments conflict when they touch a
+// common kernel object through the data plane or when either contains a
+// lifecycle operation (fork phases, exits), which order the whole tree.
+func dependent(a, b []trace.Event) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	if a[0].PID == b[0].PID {
+		return true
+	}
+	for _, e := range a {
+		if trace.LifecycleOp(e.Op) {
+			return true
+		}
+	}
+	objs := map[uint64]bool{}
+	for _, e := range b {
+		if trace.LifecycleOp(e.Op) {
+			return true
+		}
+		if e.Obj != 0 && (trace.ProducerOp(e.Op) || trace.ConsumerOp(e.Op) || dataOp(e.Op)) {
+			objs[e.Obj] = true
+		}
+	}
+	for _, e := range a {
+		if e.Obj != 0 && objs[e.Obj] && (trace.ProducerOp(e.Op) || trace.ConsumerOp(e.Op) || dataOp(e.Op)) {
+			return true
+		}
+	}
+	return false
+}
+
+// dataOp covers object-touching ops outside the producer/consumer
+// vocabulary of hb.go: descriptor lifecycle and queue/mutex traffic.
+func dataOp(op trace.Op) bool {
+	switch op {
+	case trace.OpFDOpen, trace.OpFDClose, trace.OpPipeEOF,
+		trace.OpMutexLock, trace.OpMutexUnlock,
+		trace.OpQueuePush, trace.OpQueuePop:
+		return true
+	}
+	return false
+}

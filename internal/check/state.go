@@ -1,0 +1,101 @@
+// State fingerprinting for visited-set pruning. The hash folds together
+// everything the continuation of an execution can observe: per-process
+// exit state and globals, per-thread scheduling state and frame stacks,
+// and each thread's traced-operation history (which captures the state
+// of every kernel object the thread touched). Two decision points with
+// equal hashes have — up to the caveats in DESIGN §9 — identical
+// continuation behavior, so once one is fully explored the other can be
+// pruned. Preemptions already spent are part of the key: under a
+// preemption bound, the same state with less remaining budget has a
+// smaller continuation set, and pruning it against a richer exploration
+// would be unsound the other way around.
+
+package check
+
+import (
+	"sort"
+
+	"dionea/internal/kernel"
+	"dionea/internal/trace"
+)
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func mixByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime }
+
+func mixU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = mixByte(h, byte(v>>(8*i)))
+	}
+	return h
+}
+
+func mixStr(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = mixByte(h, s[i])
+	}
+	return mixByte(h, 0xff) // terminator: "ab"+"c" != "a"+"bc"
+}
+
+// histMix folds one emitted event into a thread's history hash.
+func histMix(h uint64, e trace.Event) uint64 {
+	if h == 0 {
+		h = fnvOffset
+	}
+	h = mixByte(h, byte(e.Op))
+	h = mixU64(h, e.Obj)
+	return mixU64(h, uint64(e.Aux))
+}
+
+// stateHash fingerprints the settled kernel at a decision point. Every
+// thread is parked (gated, blocked, or finished), so globals and frame
+// stacks are quiescent; the observation locks they are read under give
+// the necessary happens-before edges.
+func stateHash(k *kernel.Kernel, drv *Driver, hist map[ThreadKey]uint64, preemptions int) uint64 {
+	h := uint64(fnvOffset)
+	h = mixU64(h, uint64(preemptions))
+	for _, p := range k.Processes() {
+		h = mixU64(h, uint64(p.PID))
+		if p.Exited() {
+			h = mixByte(h, 'x')
+			h = mixU64(h, uint64(p.ExitCode()))
+			continue
+		}
+		names := p.Globals.Names()
+		sort.Strings(names)
+		for _, name := range names {
+			v, ok := p.Globals.Get(name)
+			if !ok || v == nil {
+				continue
+			}
+			h = mixStr(h, name)
+			h = mixStr(h, v.TypeName())
+			h = mixStr(h, v.String())
+		}
+		for _, t := range p.Threads() {
+			key := ThreadKey{uint32(p.PID), uint32(t.TID)}
+			st, reason, obj, aux := t.BlockInfo()
+			h = mixU64(h, uint64(t.TID))
+			h = mixByte(h, byte(st))
+			h = mixStr(h, reason)
+			h = mixU64(h, obj)
+			h = mixU64(h, uint64(aux))
+			h = mixU64(h, hist[key])
+			if st == kernel.StateFinished {
+				continue
+			}
+			if drv.IsGated(key) {
+				h = mixByte(h, 'g')
+			}
+			for _, fr := range t.VM.StackTrace() {
+				h = mixStr(h, fr.Func)
+				h = mixStr(h, fr.File)
+				h = mixU64(h, uint64(fr.Line))
+			}
+		}
+	}
+	return h
+}

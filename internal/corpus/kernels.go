@@ -1,13 +1,19 @@
 // Concurrency-bug kernels: minimal pint programs, each distilling one
 // of the fork-related bug classes to its smallest reproducer, with the
-// exact pintvet verdicts they must earn. They are the regression corpus
-// for the interprocedural analyzer — every kernel convicts at a known
-// line with a known call chain (asserted in kernels_test.go, which runs
-// the analyzer; this file deliberately does not import it).
+// exact verdicts every tool must earn on it. They are the regression
+// corpus for the whole toolchain — pintvet (static), pinttrace (one
+// recorded run), and pintcheck (every run) are held to the same kernels
+// in kernels_test.go, which this file deliberately does not import.
+//
+// Kernels are sized for exhaustive exploration: loops are bounded, and
+// no kernel ever has two threads waiting on the same kernel object at
+// once (multi-waiter wakeups consume inside the wait and are the one
+// scheduling-invisible nondeterminism the checker cannot drive; see
+// DESIGN §9).
 
 package corpus
 
-// BugKernel is one distilled concurrency bug and its expected verdict.
+// BugKernel is one distilled concurrency bug and its expected verdicts.
 type BugKernel struct {
 	// Name is a stable identifier for the kernel.
 	Name string
@@ -16,8 +22,19 @@ type BugKernel struct {
 	// Source is the pint program.
 	Source string
 	// Want holds the exact pintvet diagnostics (Diagnostic.String()
-	// form, sorted) the analyzer must report for Source.
+	// form, sorted) the static analyzer must report for Source.
 	Want []string
+	// CheckConvictions holds the exact sorted set of conviction keys
+	// (check.Conviction.Key() form, "rule@file:line") pintcheck must
+	// produce when it exhausts the kernel's schedules. Empty means the
+	// kernel must come back clean on every interleaving (the ok-variants
+	// and benign-race controls guard against false positives).
+	CheckConvictions []string
+	// CheckWedges is true when at least one explored schedule must end
+	// globally wedged (every live thread blocked). Wedge witnesses hang
+	// `pint -replay`, so these kernels round-trip in-process only and are
+	// excluded from the committed replay fixtures.
+	CheckWedges bool
 }
 
 // Kernels returns the bug-kernel corpus in a fixed order.
@@ -45,6 +62,10 @@ m.unlock()
 			Want: []string{
 				`k_forklock.pint:14: [fork-while-lock-held] call to middle() may fork while lock "m" may be held: the child inherits a lock whose owner thread does not exist in it (§5.3) [call chain: deep_fork@k_forklock.pint:9 -> fork@k_forklock.pint:2]`,
 			},
+			// Dynamically clean: the kernel's fork handlers implement the
+			// §5.3 mitigation the rule demands (prepare locks the mutex,
+			// the child reinitializes it), so no schedule wedges.
+			CheckConvictions: nil,
 		},
 		{
 			Name: "lock-order-cycle",
@@ -52,37 +73,38 @@ m.unlock()
 			Source: `a = mutex_new()
 b = mutex_new()
 
-func ab() {
+t1 = spawn do
     a.lock()
     b.lock()
     b.unlock()
     a.unlock()
-}
-
-func ba() {
+end
+t2 = spawn do
     b.lock()
     a.lock()
     a.unlock()
     b.unlock()
-}
-
-t1 = spawn do ab() end
-t2 = spawn do ba() end
+end
 t1.join()
 t2.join()
 `,
 			Want: []string{
-				`k_lockorder.pint:6: [lock-order-cycle] locks "a", "b" are acquired in inconsistent order ("a" -> "b" at k_lockorder.pint:6, "b" -> "a" at k_lockorder.pint:13): threads interleaving these paths deadlock — impose a single acquisition order`,
+				`k_lockorder.pint:6: [lock-order-cycle] locks "a", "b" are acquired in inconsistent order ("a" -> "b" at k_lockorder.pint:6, "b" -> "a" at k_lockorder.pint:12): threads interleaving these paths deadlock — impose a single acquisition order`,
+			},
+			CheckConvictions: []string{
+				"deadlock@k_lockorder.pint:12",
+				"deadlock@k_lockorder.pint:16",
+				"deadlock@k_lockorder.pint:6",
+				"lock-order-cycle@k_lockorder.pint:6",
 			},
 		},
 		{
 			Name: "stale-counter-after-fork",
 			File: "k_stale.pint",
 			Source: `n = 0
-done = false
 
 t = spawn do
-    while !done {
+    while n < 1 {
         n = n + 1
     }
 end
@@ -92,12 +114,14 @@ pid = fork do
     exit(0)
 end
 waitpid(pid)
-done = true
 t.join()
 `,
 			Want: []string{
-				`k_stale.pint:11: [stale-state-after-fork] "n" is read in a fork()ed child but updated by a spawned thread (k_stale.pint:6): that thread does not exist in the child, so the value is frozen at whatever it was at fork time (the box64 stale-counter pattern) — reset it in a fork handler`,
+				`k_stale.pint:10: [stale-state-after-fork] "n" is read in a fork()ed child but updated by a spawned thread (k_stale.pint:5): that thread does not exist in the child, so the value is frozen at whatever it was at fork time (the box64 stale-counter pattern) — reset it in a fork handler`,
 			},
+			// The staleness is a value bug, not a schedule bug: every
+			// interleaving terminates, so the dynamic tools stay silent.
+			CheckConvictions: nil,
 		},
 		{
 			Name: "pipe-end-double-close",
@@ -119,27 +143,186 @@ r.close()
 			File: "k_grandchild.pint",
 			Source: `q = queue_new()
 
-func feed() {
-    q.push(1)
-}
-
 spawn do
     sleep(0.1)
-    feed()
+    q.push(1)
 end
 
-pid = fork do
-    gpid = fork do
-        v = q.pop()
-        puts(v)
+fork do
+    fork do
+        q.pop()
     end
-    waitpid(gpid)
 end
-waitpid(pid)
 `,
 			Want: []string{
-				`k_grandchild.pint:14: [interthread-queue-across-fork] inter-thread queue "q" is used in code a fork()ed child runs; queue_new() queues are per-process, and the threads feeding this one exist only in the parent (the Listing 5 deadlock) — use mp_queue() across processes [call chain: fork@k_grandchild.pint:12 -> fork@k_grandchild.pint:13]`,
+				`k_grandchild.pint:10: [interthread-queue-across-fork] inter-thread queue "q" is used in code a fork()ed child runs; queue_new() queues are per-process, and the threads feeding this one exist only in the parent (the Listing 5 deadlock) — use mp_queue() across processes [call chain: fork@k_grandchild.pint:8 -> fork@k_grandchild.pint:9]`,
 			},
+			// Static and dynamic agree on the same rule at the same line:
+			// the grandchild's pop deadlocks because the pushing thread
+			// exists only in the parent.
+			CheckConvictions: []string{
+				"deadlock@k_grandchild.pint:10",
+				"interthread-queue-across-fork@k_grandchild.pint:10",
+			},
+		},
+		{
+			Name: "queue-handshake-deadlock",
+			File: "k_chandeadlock.pint",
+			Source: `a = queue_new()
+b = queue_new()
+
+t = spawn do
+    v = a.pop()
+    b.push(v)
+end
+
+w = b.pop()
+a.push(w)
+t.join()
+`,
+			// Invisible to the flow-insensitive static pass; pintcheck
+			// proves the circular wait on the very first schedule.
+			Want: []string{},
+			CheckConvictions: []string{
+				"deadlock@k_chandeadlock.pint:5",
+				"deadlock@k_chandeadlock.pint:9",
+			},
+		},
+		{
+			Name: "queue-handshake-ok",
+			File: "k_chan_ok.pint",
+			Source: `a = queue_new()
+b = queue_new()
+
+t = spawn do
+    v = a.pop()
+    b.push(v + 1)
+end
+
+a.push(41)
+w = b.pop()
+t.join()
+puts(w)
+`,
+			Want: []string{},
+		},
+		{
+			Name: "fork-storm-pipe-starvation",
+			File: "k_forkstorm.pint",
+			Source: `ends = pipe_new()
+r = ends[0]
+w = ends[1]
+
+i = 0
+while i < 2 {
+    fork do
+        w.write(i)
+    end
+    i += 1
+}
+r.read()
+r.read()
+r.read()
+`,
+			// The third read has no matching write: once both children have
+			// exited the parent wedges on a pipe whose write end it still
+			// holds itself.
+			Want: []string{},
+			CheckConvictions: []string{
+				"deadlock@k_forkstorm.pint:14",
+				"pipe-end-leak@k_forkstorm.pint:14",
+			},
+			CheckWedges: true,
+		},
+		{
+			Name: "grandchild-tree-lock-cycle",
+			File: "k_forktree.pint",
+			Source: `m = mutex_new()
+
+func hold_and_fork() {
+    m.lock()
+    pid = fork do
+        gpid = fork do
+            m.lock()
+            m.unlock()
+        end
+        waitpid(gpid)
+        exit(0)
+    end
+    m.unlock()
+    waitpid(pid)
+}
+
+hold_and_fork()
+`,
+			Want: []string{
+				`k_forktree.pint:5: [fork-while-lock-held] fork() while lock "m" may be held: the child inherits a lock whose owner thread does not exist in it (§5.3)`,
+			},
+			// Statically suspicious, dynamically clean: the kernel's fork
+			// handlers re-initialize the inherited mutex in each child, so
+			// the grandchild's lock() always succeeds. The conformance test
+			// keeps this divergence deliberate.
+			CheckConvictions: nil,
+		},
+		{
+			Name: "benign-race-control",
+			File: "k_benignrace.pint",
+			Source: `n = 0
+t = spawn do
+    n = n + 1
+end
+n = n + 1
+t.join()
+puts(n)
+`,
+			Want: []string{},
+		},
+		{
+			Name: "lock-order-ok",
+			File: "k_lockorder_ok.pint",
+			Source: `a = mutex_new()
+b = mutex_new()
+
+t = spawn do
+    a.lock()
+    b.lock()
+    b.unlock()
+    a.unlock()
+end
+a.lock()
+b.lock()
+b.unlock()
+a.unlock()
+t.join()
+`,
+			Want: []string{},
+		},
+		{
+			Name: "inherited-write-end-no-eof",
+			File: "k_pipeleak.pint",
+			Source: `ends = pipe_new()
+r = ends[0]
+w = ends[1]
+
+pid = fork do
+    v = r.read()
+    exit(0)
+end
+
+w.close()
+v = r.read()
+waitpid(pid)
+`,
+			// The child inherits the write end and never closes it, so on
+			// schedules where the child's read loses the race the parent's
+			// read never sees EOF.
+			Want: []string{},
+			CheckConvictions: []string{
+				"deadlock@k_pipeleak.pint:11",
+				"pipe-end-leak@k_pipeleak.pint:11",
+				"pipe-end-leak@k_pipeleak.pint:6",
+			},
+			CheckWedges: true,
 		},
 	}
 }

@@ -1,15 +1,27 @@
+// Cross-tool conformance: every kernel in the corpus is judged by all
+// three tools, and the verdicts must line up exactly — pintvet's static
+// diagnostics (Want), pintcheck's exhaustive convictions
+// (CheckConvictions), and pinttrace's single recorded run, whose findings
+// must be a subset of what exhaustive exploration proves reachable.
 package corpus_test
 
 import (
+	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"dionea/internal/analysis"
+	"dionea/internal/check"
 	"dionea/internal/corpus"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+	"dionea/internal/pinttest"
+	"dionea/internal/trace"
 )
 
-// Every bug kernel must convict at its exact line with its exact
-// message — call chain included — and nothing else.
+// Every bug kernel must convict statically at its exact line with its
+// exact message — call chain included — and nothing else.
 func TestKernelsConvictExactly(t *testing.T) {
 	opts := analysis.Options{Globals: analysis.RuntimeGlobals()}
 	seen := map[string]bool{}
@@ -39,8 +51,8 @@ func TestKernelsConvictExactly(t *testing.T) {
 			}
 		})
 	}
-	if len(seen) != 5 {
-		t.Fatalf("corpus has %d kernels, want 5", len(seen))
+	if len(seen) != 12 {
+		t.Fatalf("corpus has %d kernels, want 12", len(seen))
 	}
 }
 
@@ -58,4 +70,99 @@ func TestKernelChainsPresent(t *testing.T) {
 	if chains < 2 {
 		t.Fatalf("only %d kernel verdicts carry call chains; the corpus must exercise cross-call reporting", chains)
 	}
+}
+
+// Every kernel must exhaust under unbounded exploration and convict
+// exactly its CheckConvictions keys, with every witness validated by
+// byte-identical re-execution and the wedge expectation met.
+func TestKernelsCheckConformance(t *testing.T) {
+	for _, k := range corpus.Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			t.Parallel()
+			proto := pinttest.Compile(t, k.Source, k.File)
+			rep, err := check.Explore(proto, check.Options{
+				PreemptBound: -1,
+				Setup:        []func(*kernel.Process){ipc.Install},
+			})
+			if err != nil {
+				t.Fatalf("explore: %v", err)
+			}
+			if !rep.Exhausted {
+				t.Fatalf("exploration not exhausted after %d runs (truncated=%d diverged=%d)",
+					rep.Runs, rep.Truncated, rep.Diverged)
+			}
+			var got []string
+			for _, c := range rep.Convictions {
+				got = append(got, c.Key())
+				if !c.Validated {
+					t.Errorf("conviction %s not validated: witness re-execution did not reproduce the trace", c.Key())
+				}
+				if len(c.Trace) == 0 || len(c.Schedule) == 0 {
+					t.Errorf("conviction %s has an empty witness (trace %d bytes, schedule %d grants)",
+						c.Key(), len(c.Trace), len(c.Schedule))
+				}
+			}
+			sort.Strings(got)
+			want := append([]string(nil), k.CheckConvictions...)
+			sort.Strings(want)
+			if !equalStrings(got, want) {
+				t.Errorf("convictions mismatch:\ngot:  %q\nwant: %q", got, want)
+			}
+			if wedged := rep.Wedges > 0; wedged != k.CheckWedges {
+				t.Errorf("wedged schedules: got %d, want wedges=%v", rep.Wedges, k.CheckWedges)
+			}
+		})
+	}
+}
+
+// One natural recorded run must never find a bug class the exhaustive
+// checker misses: the rules pinttrace's analyzer reports on a live
+// recording are a subset of the rules pintcheck convicts.
+func TestKernelsTraceSubsetOfCheck(t *testing.T) {
+	for _, k := range corpus.Kernels() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			t.Parallel()
+			checkRules := map[string]bool{}
+			for _, key := range k.CheckConvictions {
+				rule, _, ok := strings.Cut(key, "@")
+				if !ok {
+					t.Fatalf("malformed conviction key %q", key)
+				}
+				checkRules[rule] = true
+			}
+
+			rec := trace.NewRecorder()
+			rec.Start()
+			res := pinttest.Run(t, k.Source, pinttest.Options{
+				Setup:      []func(*kernel.Process){func(p *kernel.Process) { p.K.SetTracer(rec) }},
+				Timeout:    3 * time.Second,
+				ExpectHang: true,
+			})
+			if res.Hung {
+				pinttest.Terminate(res.Kernel)
+			}
+			res.Kernel.FlushTrace()
+			tr := &trace.Trace{Files: rec.Files(), Chunks: rec.Chunks(), Events: rec.Events()}
+			for _, f := range trace.Analyze(tr) {
+				if !checkRules[string(f.Rule)] {
+					t.Errorf("live recording found [%s] %s, but exhaustive exploration never convicts that rule",
+						f.Rule, f.Message)
+				}
+			}
+		})
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

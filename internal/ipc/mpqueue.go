@@ -100,7 +100,10 @@ func (q *MPQueue) Put(t *kernel.TCtx, v value.Value) error {
 	// An injected short write splits the frame; WLock is held across both
 	// halves, so concurrent writers never interleave mid-frame.
 	short := t.ChaosFire(chaos.PipeShortWrite)
-	return t.BlockOn(kernel.StateBlockedExternal, "mpq-put", pipe.ID, nil, func(cancel <-chan struct{}) error {
+	// The data pipe is unbounded, so a put makes progress whenever the
+	// writer-serialization lock is free.
+	canPut := func() bool { return q.WLock.Value() > 0 }
+	return t.BlockOn(kernel.StateBlockedExternal, "mpq-put", pipe.ID, canPut, func(cancel <-chan struct{}) error {
 		if err := q.WLock.P(cancel); err != nil {
 			return err
 		}
@@ -124,7 +127,8 @@ func (q *MPQueue) Get(t *kernel.TCtx) (value.Value, error) {
 	}
 	var payload []byte
 	t.TraceEvent(trace.OpMPQueueGet, pipe.ID, 0)
-	err = t.BlockOn(kernel.StateBlockedExternal, "mpq-get", pipe.ID, nil, func(cancel <-chan struct{}) error {
+	canGet := func() bool { return q.Items.Value() > 0 }
+	err = t.BlockOn(kernel.StateBlockedExternal, "mpq-get", pipe.ID, canGet, func(cancel <-chan struct{}) error {
 		if err := q.Items.P(cancel); err != nil {
 			return err
 		}

@@ -73,7 +73,7 @@ func (p *PipeEnd) writeFrame(t *kernel.TCtx, v value.Value) error {
 		return kernel.ErrBrokenPipe
 	}
 	short := t.ChaosFire(chaos.PipeShortWrite)
-	return t.BlockOn(kernel.StateBlockedExternal, "pipe-write", pipe.ID, nil, func(cancel <-chan struct{}) error {
+	return t.BlockOn(kernel.StateBlockedExternal, "pipe-write", pipe.ID, pipe.PollWrite, func(cancel <-chan struct{}) error {
 		return writeAll(pipe, frame, short, cancel)
 	})
 }
@@ -104,7 +104,7 @@ func (p *PipeEnd) readFrame(t *kernel.TCtx) (value.Value, error) {
 	}
 	var payload []byte
 	t.TraceEvent(trace.OpPipeRead, pipe.ID, 0)
-	err = t.BlockOn(kernel.StateBlockedExternal, "pipe-read", pipe.ID, nil, func(cancel <-chan struct{}) error {
+	err = t.BlockOn(kernel.StateBlockedExternal, "pipe-read", pipe.ID, pipe.PollRead, func(cancel <-chan struct{}) error {
 		hdr, rerr := pipe.ReadFull(4, cancel)
 		if rerr != nil {
 			return rerr
@@ -162,7 +162,7 @@ func (p *PipeEnd) CallMethod(th *vm.Thread, name string, args []value.Value, _ *
 			return nil, kernel.ErrBrokenPipe
 		}
 		short := t.ChaosFire(chaos.PipeShortWrite)
-		err = t.BlockOn(kernel.StateBlockedExternal, "pipe-write", pipe.ID, nil, func(cancel <-chan struct{}) error {
+		err = t.BlockOn(kernel.StateBlockedExternal, "pipe-write", pipe.ID, pipe.PollWrite, func(cancel <-chan struct{}) error {
 			return writeAll(pipe, []byte(s), short, cancel)
 		})
 		return value.NilV, err
@@ -186,7 +186,7 @@ func (p *PipeEnd) CallMethod(th *vm.Thread, name string, args []value.Value, _ *
 		t.TraceEvent(trace.OpPipeRead, pipe.ID, 0)
 		// aux = the byte budget: distinguishes a raw read from a framed
 		// read (aux 0) when a checkpoint replays this wait.
-		err = t.BlockOnAux(kernel.StateBlockedExternal, "pipe-read", pipe.ID, int64(maxN), nil, func(cancel <-chan struct{}) error {
+		err = t.BlockOnAux(kernel.StateBlockedExternal, "pipe-read", pipe.ID, int64(maxN), pipe.PollRead, func(cancel <-chan struct{}) error {
 			b, rerr := pipe.Read(maxN, cancel)
 			out = b
 			return rerr
@@ -247,7 +247,8 @@ func (s *SemVal) CallMethod(th *vm.Thread, name string, _ []value.Value, _ *valu
 	switch name {
 	case "acquire", "p":
 		t.TraceEvent(trace.OpSemP, s.S.ID, 0)
-		err := t.BlockOn(kernel.StateBlockedExternal, "sem-acquire", s.S.ID, nil, func(cancel <-chan struct{}) error {
+		avail := func() bool { return s.S.Value() > 0 }
+		err := t.BlockOn(kernel.StateBlockedExternal, "sem-acquire", s.S.ID, avail, func(cancel <-chan struct{}) error {
 			return s.S.P(cancel)
 		})
 		return value.NilV, err

@@ -189,6 +189,12 @@ func InstallBuiltins(p *Process) {
 		}
 		d := time.Duration(secs * float64(time.Second))
 		err := t.BlockOnAux(StateBlockedExternal, "sleep", 0, d.Milliseconds(), nil, func(cancel <-chan struct{}) error {
+			// Under virtual time (model checking) the timer fires at once:
+			// the block/unblock protocol — and with it the event shape,
+			// GIL release + reacquire — is identical to a real wait.
+			if t.P.K.VirtualTime() {
+				return nil
+			}
 			timer := time.NewTimer(d)
 			defer timer.Stop()
 			select {
@@ -277,7 +283,10 @@ func (t *TCtx) waitPID(pid int64) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("waitpid: no child with pid %d (ECHILD)", pid)
 	}
-	err := t.BlockOnAux(StateBlockedExternal, "waitpid", 0, pid, nil, func(cancel <-chan struct{}) error {
+	// The poll lets the settle loop (and the deadlock detector's staleness
+	// check) see that the wait is already satisfiable; Exited is an atomic,
+	// so the poll is safe to run with or without P.mu held.
+	err := t.BlockOnAux(StateBlockedExternal, "waitpid", 0, pid, child.Exited, func(cancel <-chan struct{}) error {
 		select {
 		case <-child.exitCh:
 			return nil
@@ -315,10 +324,24 @@ func (t *TCtx) waitAny() (int64, int, error) {
 			p.mu.Unlock()
 			return exited.PID, exited.ExitCode(), nil
 		}
+		kids := make([]*Process, 0, len(p.children))
+		for _, c := range p.children {
+			kids = append(kids, c)
+		}
 		p.mu.Unlock()
 
 		wake := p.K.procExitChan()
-		err := t.Block(StateBlockedExternal, "wait", nil, func(cancel <-chan struct{}) error {
+		// Poll over the children snapshotted above: Exited is atomic, so no
+		// locks are taken (the deadlock detector calls polls under P.mu).
+		poll := func() bool {
+			for _, c := range kids {
+				if c.Exited() {
+					return true
+				}
+			}
+			return false
+		}
+		err := t.Block(StateBlockedExternal, "wait", poll, func(cancel <-chan struct{}) error {
 			select {
 			case <-wake:
 				return nil

@@ -62,6 +62,25 @@ func (p *Pipe) Buffered() int {
 	return len(p.buf)
 }
 
+// PollRead reports whether a read would make progress right now: data is
+// buffered, or every write end is closed (the read returns EOF). Used as
+// the blocked-reader poll for deadlock staleness checks and the model
+// checker's settle loop; takes only the pipe's own lock.
+func (p *Pipe) PollRead() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.buf) > 0 || p.writers == 0
+}
+
+// PollWrite reports whether a write would make progress right now: the
+// pipe is unbounded, has spare capacity, or has no readers left (the
+// write returns EPIPE). Counterpart of PollRead for blocked writers.
+func (p *Pipe) PollWrite() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.readers == 0 || p.cap <= 0 || len(p.buf) < p.cap
+}
+
 func (p *Pipe) incRef(write bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()

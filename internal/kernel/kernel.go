@@ -35,10 +35,18 @@ type Kernel struct {
 	procExit chan struct{}
 	exitMu   sync.Mutex
 
-	// tracer records concurrency events from every process; replay, when
-	// set, forces a recorded schedule back onto the run.
+	// tracer records concurrency events from every process; driver, when
+	// set, arbitrates the schedule: a replay cursor forces a recorded
+	// order back onto the run, the model checker's driver steers
+	// exploration. Boxed because atomic.Pointer needs a concrete type.
 	tracer atomic.Pointer[trace.Recorder]
-	replay atomic.Pointer[trace.Cursor]
+	driver atomic.Pointer[driverBox]
+
+	// virtualTime, when set, makes timed sleeps complete immediately (with
+	// the same event shape as a real wait). The model checker turns it on:
+	// wall-clock delays carry no scheduling information once the driver
+	// owns every handoff, and exhaustive exploration cannot afford them.
+	virtualTime atomic.Bool
 
 	// nextObj allocates trace identities for kernel objects created in
 	// this kernel. Kernel-scoped (not package-global) so a replayed run
@@ -69,6 +77,35 @@ type CoreDumper interface {
 }
 
 type coreDumperBox struct{ d CoreDumper }
+
+type driverBox struct{ d trace.ScheduleDriver }
+
+// SetScheduleDriver installs (or, with nil, removes) the schedule
+// arbiter. From now on every GIL acquisition pre-gates on it and every
+// traced operation reports through it.
+func (k *Kernel) SetScheduleDriver(d trace.ScheduleDriver) {
+	if d == nil {
+		k.driver.Store(nil)
+		return
+	}
+	k.driver.Store(&driverBox{d: d})
+}
+
+// ScheduleDriver returns the installed schedule arbiter, or nil when the
+// kernel runs free.
+func (k *Kernel) ScheduleDriver() trace.ScheduleDriver {
+	if b := k.driver.Load(); b != nil {
+		return b.d
+	}
+	return nil
+}
+
+// SetVirtualTime switches timed sleeps between wall-clock waits (default)
+// and immediate completion (model checking).
+func (k *Kernel) SetVirtualTime(on bool) { k.virtualTime.Store(on) }
+
+// VirtualTime reports whether timed sleeps complete immediately.
+func (k *Kernel) VirtualTime() bool { return k.virtualTime.Load() }
 
 // SetCoreDumper installs (or, with nil, removes) the core-dump subsystem.
 func (k *Kernel) SetCoreDumper(d CoreDumper) {

@@ -123,6 +123,35 @@ func (t *TCtx) Result() (value.Value, error) { return t.result, t.err }
 // Killed reports whether a kill was delivered.
 func (t *TCtx) Killed() bool { return t.killed.Load() }
 
+// WakePending reports whether a kill or an undelivered deadlock verdict
+// is about to cancel this thread's current (or next) wait. The model
+// checker's settle loop treats such a thread as in transit: it will wake
+// and run without any scheduling decision being made.
+func (t *TCtx) WakePending() bool {
+	if t.killed.Load() {
+		return true
+	}
+	t.cancelMu.Lock()
+	defer t.cancelMu.Unlock()
+	return t.dlErr != nil
+}
+
+// WaitSatisfiable reports whether a blocked thread's wake condition is
+// already satisfiable (its poll returns true): the thread is about to
+// wake on its own, so a settle loop must not classify it as parked.
+// Threads that are not blocked, or blocked without a poll, report false.
+// The poll itself runs outside P.mu; poll functions never take P.mu (the
+// deadlock detector already calls them with it held), so this is safe.
+func (t *TCtx) WaitSatisfiable() bool {
+	t.P.mu.Lock()
+	st, poll := t.state, t.poll
+	t.P.mu.Unlock()
+	if poll == nil || (st != StateBlockedLocal && st != StateBlockedExternal) {
+		return false
+	}
+	return poll()
+}
+
 // ---- cancel machinery ----
 
 // armCancel returns a channel that closes when the thread is killed or a
@@ -199,10 +228,11 @@ func (t *TCtx) takeDeadlock() *DeadlockError {
 
 func (t *TCtx) acquireGIL() error {
 	cancel := t.armCancel()
-	// Replay: wait for this thread's recorded turn before even contending
-	// for the lock — the recorded GIL handoff order IS the schedule.
-	if cur := t.P.K.replay.Load(); cur != nil && !t.P.traceStopped.Load() {
-		cur.AwaitTurn(uint32(t.P.PID), uint32(t.TID), trace.OpGILAcquire, cancel)
+	// Driven schedule (replay or model checking): wait for this thread's
+	// turn before even contending for the lock — the GIL handoff order IS
+	// the schedule.
+	if drv := t.P.K.ScheduleDriver(); drv != nil && !t.P.traceStopped.Load() {
+		drv.AwaitTurn(uint32(t.P.PID), uint32(t.TID), trace.OpGILAcquire, cancel)
 	}
 	err := t.P.gil.Acquire(t.TID, cancel)
 	t.disarmCancel()

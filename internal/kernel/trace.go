@@ -36,11 +36,22 @@ func (k *Kernel) EnableTrace() *trace.Recorder {
 }
 
 // SetReplay installs a cursor; from now on every traced operation waits
-// for its recorded turn.
-func (k *Kernel) SetReplay(c *trace.Cursor) { k.replay.Store(c) }
+// for its recorded turn. Convenience wrapper over SetScheduleDriver for
+// the replay driver.
+func (k *Kernel) SetReplay(c *trace.Cursor) {
+	if c == nil {
+		k.SetScheduleDriver(nil)
+		return
+	}
+	k.SetScheduleDriver(c)
+}
 
-// Replay returns the active replay cursor (nil in record/free mode).
-func (k *Kernel) Replay() *trace.Cursor { return k.replay.Load() }
+// Replay returns the active replay cursor (nil in record/free mode, and
+// nil when the installed driver is not a replay cursor).
+func (k *Kernel) Replay() *trace.Cursor {
+	c, _ := k.ScheduleDriver().(*trace.Cursor)
+	return c
+}
 
 // FlushTrace drains every process ring into the recorder.
 func (k *Kernel) FlushTrace() {
@@ -106,16 +117,16 @@ func (p *Process) ensureRing() *trace.Ring {
 func (t *TCtx) TraceEvent(op trace.Op, obj uint64, aux int64) {
 	p := t.P
 	rec := p.K.tracer.Load()
-	cur := p.K.replay.Load()
-	if rec == nil && cur == nil {
+	drv := p.K.ScheduleDriver()
+	if rec == nil && drv == nil {
 		return
 	}
 	if !t.holdsGIL || p.traceStopped.Load() {
 		return
 	}
 	var seq uint64
-	if cur != nil {
-		s, ok := cur.Next(uint32(p.PID), uint32(t.TID), op, func() bool {
+	if drv != nil {
+		s, ok := drv.Next(uint32(p.PID), uint32(t.TID), op, obj, aux, func() bool {
 			return t.killed.Load() || p.traceStopped.Load()
 		})
 		if ok {

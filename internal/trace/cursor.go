@@ -3,6 +3,11 @@
 // point in the kernel gates on it (and GIL acquisition pre-gates on it),
 // which forces the recorded GIL handoff sequence — and with it the whole
 // event order — onto the re-run.
+//
+// The cursor is one implementation of ScheduleDriver, the pluggable
+// arbiter the kernel consults at every schedulable operation. Replay
+// (this file) answers "whose turn is it?" from a recording; the model
+// checker (internal/check) answers it from a search strategy.
 
 package trace
 
@@ -12,14 +17,35 @@ import (
 	"time"
 )
 
+// ScheduleDriver arbitrates the schedule of a kernel run. The kernel
+// consults it at every schedulable operation: AwaitTurn pre-gates GIL
+// acquisition (the handoff choice point), and Next observes — and may
+// sequence — every emitted event (GIL transfer, fork phases, pipe/queue/
+// semaphore/mutex operations, yields, parks, exits).
+//
+// Implementations must be safe for concurrent use from every thread
+// goroutine of the kernel.
+type ScheduleDriver interface {
+	// AwaitTurn blocks the (pid, tid) thread until the driver schedules it
+	// to perform op, or until cancel fires or the driver disengages.
+	AwaitTurn(pid, tid uint32, op Op, cancel <-chan struct{})
+	// Next reports the emission of op by (pid, tid) on object obj with
+	// detail aux. A driver that dictates sequence numbers (replay) returns
+	// (seq, true); ok false means the emitter falls back to free-running
+	// sequence numbers. abort, when non-nil, lets a blocking driver bail
+	// out (thread killed, tracing stopped).
+	Next(pid, tid uint32, op Op, obj uint64, aux int64, abort func() bool) (uint64, bool)
+}
+
 // replayPatience bounds how long a thread waits for its recorded turn
 // before the cursor declares divergence and disengages, letting the run
-// continue free (with the divergence reported).
-const replayPatience = 10 * time.Second
+// continue free (with the divergence reported). A variable so tests can
+// shrink it to pin divergence behavior without multi-second waits.
+var replayPatience = 10 * time.Second
 
 const replayPoll = 2 * time.Millisecond
 
-// Cursor replays a recorded event order.
+// Cursor replays a recorded event order. It implements ScheduleDriver.
 type Cursor struct {
 	mu         sync.Mutex
 	events     []Event
@@ -28,6 +54,8 @@ type Cursor struct {
 	diverged   bool
 	divergeMsg string
 }
+
+var _ ScheduleDriver = (*Cursor)(nil)
 
 // NewCursor returns a cursor over events, which must be in global
 // sequence order (Trace.Events).
@@ -93,8 +121,8 @@ func (c *Cursor) AwaitTurn(pid, tid uint32, op Op, cancel <-chan struct{}) {
 			if time.Now().After(deadline) {
 				c.mu.Lock()
 				c.divergeLocked(fmt.Sprintf(
-					"replay: pid %d tid %d waited for its turn to %s but head stayed at seq %d (pid %d tid %d %s)",
-					pid, tid, op, h.Seq, h.PID, h.TID, h.Op))
+					"replay diverged at event %d: got (pid %d tid %d %s) awaiting its turn, want (pid %d tid %d %s) at seq %d",
+					c.pos, pid, tid, op, h.PID, h.TID, h.Op, h.Seq))
 				c.mu.Unlock()
 				return
 			}
@@ -106,8 +134,10 @@ func (c *Cursor) AwaitTurn(pid, tid uint32, op Op, cancel <-chan struct{}) {
 // returns the recorded sequence number. It blocks until it is this
 // event's turn. ok is false when the cursor no longer forces the schedule
 // (exhausted, diverged, or abort reported true) — the caller then falls
-// back to free-running sequence numbers.
-func (c *Cursor) Next(pid, tid uint32, op Op, abort func() bool) (uint64, bool) {
+// back to free-running sequence numbers. obj and aux describe the event
+// being emitted; the cursor matches only on (pid, tid, op), since object
+// identity is itself deterministic under a forced schedule.
+func (c *Cursor) Next(pid, tid uint32, op Op, obj uint64, aux int64, abort func() bool) (uint64, bool) {
 	deadline := time.Now().Add(replayPatience)
 	for {
 		c.mu.Lock()
@@ -119,8 +149,8 @@ func (c *Cursor) Next(pid, tid uint32, op Op, abort func() bool) (uint64, bool) 
 		if h.PID == pid && h.TID == tid {
 			if h.Op != op {
 				c.divergeLocked(fmt.Sprintf(
-					"replay: pid %d tid %d emitted %s but the recording has %s at seq %d",
-					pid, tid, op, h.Op, h.Seq))
+					"replay diverged at event %d: got (pid %d tid %d %s), want (pid %d tid %d %s) at seq %d",
+					c.pos, pid, tid, op, h.PID, h.TID, h.Op, h.Seq))
 				c.mu.Unlock()
 				return 0, false
 			}
@@ -142,8 +172,8 @@ func (c *Cursor) Next(pid, tid uint32, op Op, abort func() bool) (uint64, bool) 
 			if time.Now().After(deadline) {
 				c.mu.Lock()
 				c.divergeLocked(fmt.Sprintf(
-					"replay: pid %d tid %d stuck emitting %s while head is seq %d (pid %d tid %d %s)",
-					pid, tid, op, h.Seq, h.PID, h.TID, h.Op))
+					"replay diverged at event %d: got (pid %d tid %d %s) stuck emitting, want (pid %d tid %d %s) at seq %d",
+					c.pos, pid, tid, op, h.PID, h.TID, h.Op, h.Seq))
 				c.mu.Unlock()
 				return 0, false
 			}

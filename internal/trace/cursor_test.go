@@ -1,0 +1,85 @@
+// Divergence-message format tests: the minimizer (internal/check) and
+// humans debugging a failed replay both read these strings, so the exact
+// shape — expected vs. actual (pid, tid, op) triple plus the index of the
+// event being replayed — is pinned here.
+
+package trace
+
+import (
+	"testing"
+	"time"
+)
+
+// shortPatience shrinks the divergence timeout for the duration of a test.
+func shortPatience(t *testing.T) {
+	t.Helper()
+	old := replayPatience
+	replayPatience = 50 * time.Millisecond
+	t.Cleanup(func() { replayPatience = old })
+}
+
+func TestCursorDivergeWrongOp(t *testing.T) {
+	c := NewCursor([]Event{
+		{Seq: 1, PID: 1, TID: 1, Op: OpGILAcquire},
+		{Seq: 2, PID: 1, TID: 1, Op: OpPipeWrite},
+	})
+	if seq, ok := c.Next(1, 1, OpGILAcquire, 0, 0, nil); !ok || seq != 1 {
+		t.Fatalf("first Next = (%d, %v), want (1, true)", seq, ok)
+	}
+	// The recording wants pipe-write next; the run emits pipe-read.
+	if _, ok := c.Next(1, 1, OpPipeRead, 7, 0, nil); ok {
+		t.Fatalf("wrong-op Next unexpectedly ok")
+	}
+	div, msg := c.Diverged()
+	if !div {
+		t.Fatalf("cursor did not diverge")
+	}
+	want := "replay diverged at event 1: got (pid 1 tid 1 pipe-read), want (pid 1 tid 1 pipe-write) at seq 2"
+	if msg != want {
+		t.Fatalf("divergence message:\n got %q\nwant %q", msg, want)
+	}
+}
+
+func TestCursorDivergeStuckEmitter(t *testing.T) {
+	shortPatience(t)
+	c := NewCursor([]Event{{Seq: 9, PID: 2, TID: 5, Op: OpGILAcquire}})
+	// A thread the recording never scheduled here tries to emit and times
+	// out waiting for a turn that can never come.
+	if _, ok := c.Next(1, 3, OpMutexLock, 4, 0, nil); ok {
+		t.Fatalf("stuck Next unexpectedly ok")
+	}
+	div, msg := c.Diverged()
+	if !div {
+		t.Fatalf("cursor did not diverge")
+	}
+	want := "replay diverged at event 0: got (pid 1 tid 3 mutex-lock) stuck emitting, want (pid 2 tid 5 gil-acquire) at seq 9"
+	if msg != want {
+		t.Fatalf("divergence message:\n got %q\nwant %q", msg, want)
+	}
+}
+
+func TestCursorDivergeAwaitTurnTimeout(t *testing.T) {
+	shortPatience(t)
+	c := NewCursor([]Event{{Seq: 3, PID: 4, TID: 8, Op: OpGILAcquire}})
+	cancel := make(chan struct{})
+	c.AwaitTurn(1, 2, OpGILAcquire, cancel)
+	div, msg := c.Diverged()
+	if !div {
+		t.Fatalf("cursor did not diverge")
+	}
+	want := "replay diverged at event 0: got (pid 1 tid 2 gil-acquire) awaiting its turn, want (pid 4 tid 8 gil-acquire) at seq 3"
+	if msg != want {
+		t.Fatalf("divergence message:\n got %q\nwant %q", msg, want)
+	}
+}
+
+func TestCursorAwaitTurnCancelDoesNotDiverge(t *testing.T) {
+	shortPatience(t)
+	c := NewCursor([]Event{{Seq: 3, PID: 4, TID: 8, Op: OpGILAcquire}})
+	cancel := make(chan struct{})
+	close(cancel)
+	c.AwaitTurn(1, 2, OpGILAcquire, cancel)
+	if div, msg := c.Diverged(); div {
+		t.Fatalf("cancelled AwaitTurn diverged: %s", msg)
+	}
+}

@@ -7,9 +7,13 @@
 //	  'F'  file table:   u32 count | count × (u16 len | bytes)
 //	  '.'  end of trace
 //
-// Chunks appear in flush order (which, thanks to the fork phase-A flush,
-// never interleaves a parent's pre-fork events after its child's);
-// readers order events globally by their sequence numbers.
+// Chunks are written ordered by their first event's sequence number, not
+// raw flush order: final flushes race at teardown (whichever process
+// exits last flushes last), and a canonical order is what makes a
+// re-recorded replay byte-identical to its original. The phase-A
+// guarantee survives the sort — a parent's pre-fork chunks hold only
+// pre-fork sequence numbers, so they still precede every chunk of the
+// child. Readers order events globally by their sequence numbers.
 
 package trace
 
@@ -49,8 +53,15 @@ func (r *Recorder) Write(w io.Writer) error {
 	put32(uint32(r.CheckEvery))
 	put64(uint64(r.Seed))
 
+	chunks := append([]Chunk(nil), r.Chunks()...)
+	sort.SliceStable(chunks, func(i, j int) bool {
+		if len(chunks[i].Events) == 0 || len(chunks[j].Events) == 0 {
+			return len(chunks[i].Events) == 0 && len(chunks[j].Events) != 0
+		}
+		return chunks[i].Events[0].Seq < chunks[j].Events[0].Seq
+	})
 	var eb [EventSize]byte
-	for _, c := range r.Chunks() {
+	for _, c := range chunks {
 		bw.WriteByte(secEvents)
 		put32(c.PID)
 		put32(uint32(len(c.Events)))

@@ -58,6 +58,29 @@ func producer(op Op) bool {
 	return op == OpPipeWrite || op == OpMPQueuePut || op == OpSemV
 }
 
+// ConsumerOp reports whether op is a (potentially blocking) data-plane
+// consume: its effect depends on producers of the same object. Exported
+// for the model checker's dependence relation (internal/check), which
+// must agree with the happens-before edges reconstructed here.
+func ConsumerOp(op Op) bool { return preOpConsume(op) }
+
+// ProducerOp reports whether op's effect can satisfy a consume of the
+// same object in another thread or process. Counterpart of ConsumerOp.
+func ProducerOp(op Op) bool { return producer(op) }
+
+// LifecycleOp reports whether op is part of process/thread lifecycle
+// (fork phases, exits): such events are ordered against everything in
+// their process tree, so the model checker treats any two segments that
+// contain them as dependent.
+func LifecycleOp(op Op) bool {
+	switch op {
+	case OpForkPrepare, OpForkParent, OpForkChild, OpThreadSpawn,
+		OpThreadExit, OpProcExit, OpDeadlock:
+		return true
+	}
+	return false
+}
+
 // hbThread tracks one (pid, tid)'s pending pre-op, if any.
 type hbKey struct {
 	pid, tid uint32

@@ -222,25 +222,25 @@ func TestCursorConsumesInOrder(t *testing.T) {
 	done := make(chan uint64, 1)
 	go func() {
 		// Thread 2's turn is second; it must block until thread 1 goes.
-		seq, ok := c.Next(1, 2, OpGILAcquire, nil)
+		seq, ok := c.Next(1, 2, OpGILAcquire, 0, 0, nil)
 		if !ok {
 			seq = 0
 		}
 		done <- seq
 	}()
-	if seq, ok := c.Next(1, 1, OpGILAcquire, nil); !ok || seq != 1 {
+	if seq, ok := c.Next(1, 1, OpGILAcquire, 0, 0, nil); !ok || seq != 1 {
 		t.Fatalf("first Next = (%d, %v), want (1, true)", seq, ok)
 	}
 	if seq := <-done; seq != 2 {
 		t.Fatalf("second thread replayed seq %d, want 2", seq)
 	}
-	if seq, ok := c.Next(1, 1, OpGILRelease, nil); !ok || seq != 3 {
+	if seq, ok := c.Next(1, 1, OpGILRelease, 0, 0, nil); !ok || seq != 3 {
 		t.Fatalf("third Next = (%d, %v), want (3, true)", seq, ok)
 	}
 	if c.Active() {
 		t.Fatalf("cursor still active after exhausting events")
 	}
-	if _, ok := c.Next(1, 1, OpGILAcquire, nil); ok {
+	if _, ok := c.Next(1, 1, OpGILAcquire, 0, 0, nil); ok {
 		t.Fatalf("exhausted cursor still forcing the schedule")
 	}
 	if c.Replayed() != 3 {
@@ -250,7 +250,7 @@ func TestCursorConsumesInOrder(t *testing.T) {
 
 func TestCursorDivergesOnOpMismatch(t *testing.T) {
 	c := NewCursor([]Event{{Seq: 1, PID: 1, TID: 1, Op: OpGILAcquire}})
-	if _, ok := c.Next(1, 1, OpPipeRead, nil); ok {
+	if _, ok := c.Next(1, 1, OpPipeRead, 0, 0, nil); ok {
 		t.Fatalf("mismatched op replayed successfully")
 	}
 	diverged, msg := c.Diverged()
@@ -266,7 +266,7 @@ func TestCursorAbort(t *testing.T) {
 	// Head belongs to another thread forever; abort must release the
 	// caller without divergence.
 	c := NewCursor([]Event{{Seq: 1, PID: 2, TID: 9, Op: OpGILAcquire}})
-	if _, ok := c.Next(1, 1, OpGILAcquire, func() bool { return true }); ok {
+	if _, ok := c.Next(1, 1, OpGILAcquire, 0, 0, func() bool { return true }); ok {
 		t.Fatalf("aborted Next reported success")
 	}
 	if diverged, _ := c.Diverged(); diverged {

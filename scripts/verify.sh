@@ -50,6 +50,15 @@ BROKER_SOAK_SEEDS=20 go test -race -count=1 -run 'TestBrokerChaosSoak' ./e2e
 echo "== fabric HA soak: 10 seeds, broker-kill and backend-drain, under -race =="
 BROKER_HA_SEEDS=10 go test -race -count=1 -run 'TestBrokerPromotion|TestSessionMigration|TestFabricHASoak' ./e2e
 
+echo "== pintcheck corpus sweep under -race (wall-clock budget 10m) =="
+go test -race -count=1 -timeout 10m -run 'TestKernelsCheckConformance' ./internal/corpus
+
+echo "== committed minimal-schedule fixtures replay byte-identically =="
+go test -count=1 -run 'TestCheckFixtures' ./internal/check
+
+echo "== pintcheck witness round-trip through the real binaries =="
+go test -count=1 -run 'TestPintcheckRoundTrip' ./e2e
+
 echo "== golden core fixture round-trips byte-identically =="
 go test -count=1 -run 'TestGoldenCoreFixture' ./internal/core
 
