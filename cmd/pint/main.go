@@ -125,12 +125,30 @@ func main() {
 		// checkinterval and seed; the header carries both.
 		*checkEvery = tr.CheckEvery
 		*seed = tr.Seed
+		// A trace recorded under fault injection carries the injector's
+		// seed and rates ('C' section): rebuild it so the replayed run
+		// re-fires the same faults at the same occurrences. (An explicit
+		// -chaos flag stays refused above — only the recorded injector
+		// keeps the schedule consistent.)
+		if tr.HasChaos {
+			inj = chaos.NewWith(tr.ChaosSeed, chaos.ConfigFromRates(tr.ChaosRates))
+			k.SetChaos(inj)
+		}
 		k.SetReplay(trace.NewCursor(tr.Events))
 	}
 	if *traceOut != "" {
 		rec := trace.NewRecorder()
 		rec.CheckEvery = *checkEvery
 		rec.Seed = *seed
+		if inj != nil {
+			// Stamp the injector into the trace ('C' section) so replaying
+			// it re-fires the same faults — whether the injector came from
+			// -chaos or was itself rebuilt from a replayed trace. Without
+			// this, a re-recorded replay could not be byte-compared against
+			// the witness it replays.
+			rec.ChaosSeed = inj.Seed()
+			rec.ChaosRates = inj.Config().RatesSlice()
+		}
 		k.SetTracer(rec)
 		rec.Start()
 	}

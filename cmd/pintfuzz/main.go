@@ -1,0 +1,174 @@
+// Command pintfuzz hunts concurrency bugs by fuzzing the corpus kernels
+// over the deterministic triple (program, schedule seed, chaos seed):
+// random-walk and preemption-burst schedule drivers beside pintcheck's
+// DFS, fault-schedule perturbation through the chaos injector, and
+// structural source mutation (wrap a statement in a lock, run it in a
+// forked child, invert an acquire pair, duplicate a close). Every run is
+// judged by the oracles the toolchain already trusts — the pinttrace
+// happens-before analyzer and the wedge detector guarded by the core
+// watchdog's benign-wait rule — and every finding can be auto-shrunk
+// into a replayable regression artifact (program + seeds + PINTTRC1
+// witness) that `pint -replay` reproduces byte-identically.
+//
+// Usage:
+//
+//	pintfuzz [-budget N] [-dfs N] [-seed N] [-kernel a,b] [-chaos=false]
+//	         [-mutate=false] [-json] [-o dir] [-known-only]
+//	         [-witness-budget N] [-min-known N] [-list] [-verify dir]
+//
+// Exit status: 0 on success, 1 when -min-known is unmet or -verify finds
+// a stale regression, 2 on usage or setup errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dionea/internal/corpus"
+	"dionea/internal/fuzz"
+)
+
+func main() {
+	budget := flag.Int("budget", 0, "fuzz executions per kernel (0 = default)")
+	dfs := flag.Int("dfs", 0, "budget of the per-kernel DFS probe (0 = default, negative = skip)")
+	seed := flag.Int64("seed", 1, "master seed; the whole campaign is a pure function of it")
+	kernels := flag.String("kernel", "", "comma-separated kernel names to fuzz (default: whole corpus)")
+	chaosOn := flag.Bool("chaos", true, "fuzz the fault-injection axis")
+	mutate := flag.Bool("mutate", true, "fuzz the structural-mutation axis")
+	jsonOut := flag.Bool("json", false, "emit the campaign report as JSON")
+	outDir := flag.String("o", "", "minimize findings and write regression artifacts to this directory")
+	knownOnly := flag.Bool("known-only", false, "with -o, write artifacts only for rediscovered known convictions")
+	witnessBudget := flag.Int("witness-budget", 0, "execution budget of the minimizer's cheapest-witness search (0 = checker default)")
+	minKnown := flag.Int("min-known", 0, "exit 1 unless at least N known corpus convictions are rediscovered")
+	list := flag.Bool("list", false, "list the corpus kernels and their promised convictions, then exit")
+	verifyDir := flag.String("verify", "", "verify the regression artifacts in this directory, then exit")
+	progress := flag.Bool("progress", true, "print one line per finding to stderr")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: pintfuzz [flags]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *list {
+		for _, k := range corpus.Kernels() {
+			fmt.Printf("%-32s %s\n", k.Name, k.File)
+			for _, key := range k.CheckConvictions {
+				fmt.Printf("    %s\n", key)
+			}
+		}
+		return
+	}
+
+	opt := fuzz.Options{
+		Seed:      *seed,
+		Budget:    *budget,
+		DFSBudget: *dfs,
+		Chaos:     *chaosOn,
+		Mutate:    *mutate,
+	}
+	if *progress {
+		opt.Progress = os.Stderr
+	}
+	if *kernels != "" {
+		var sel []corpus.BugKernel
+		for _, name := range strings.Split(*kernels, ",") {
+			name = strings.TrimSpace(name)
+			found := false
+			for _, k := range corpus.Kernels() {
+				if k.Name == name {
+					sel = append(sel, k)
+					found = true
+				}
+			}
+			if !found {
+				fmt.Fprintf(os.Stderr, "pintfuzz: no corpus kernel named %q (try -list)\n", name)
+				os.Exit(2)
+			}
+		}
+		opt.Kernels = sel
+	}
+	eng := fuzz.New(opt)
+
+	if *verifyDir != "" {
+		regs, err := fuzz.LoadRegressions(*verifyDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pintfuzz: %v\n", err)
+			os.Exit(2)
+		}
+		stale := 0
+		for _, reg := range regs {
+			if err := eng.Verify(reg); err != nil {
+				fmt.Fprintf(os.Stderr, "pintfuzz: %s: %v\n", reg.Name, err)
+				stale++
+			} else if *progress {
+				fmt.Fprintf(os.Stderr, "pintfuzz: verified %s\n", reg.Name)
+			}
+		}
+		fmt.Printf("pintfuzz: %d regressions, %d stale\n", len(regs), stale)
+		if stale > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	rep, err := eng.Run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pintfuzz: %v\n", err)
+		os.Exit(2)
+	}
+
+	written := 0
+	if *outDir != "" {
+		for _, f := range rep.Findings {
+			if *knownOnly && !f.Known {
+				continue
+			}
+			reg, err := eng.Minimize(f, *witnessBudget)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pintfuzz: minimize %s: %v\n", f.Key, err)
+				continue
+			}
+			if err := fuzz.WriteRegression(*outDir, reg); err != nil {
+				fmt.Fprintf(os.Stderr, "pintfuzz: %v\n", err)
+				os.Exit(2)
+			}
+			written++
+			if *progress {
+				how := "fuzz witness"
+				if reg.CheckerWitness {
+					how = "checker witness"
+				}
+				fmt.Fprintf(os.Stderr, "pintfuzz: wrote %s (%d mutations dropped, %s)\n",
+					reg.Name, reg.DroppedMutations, how)
+			}
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(os.Stderr, "pintfuzz: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		fmt.Printf("pintfuzz: %d runs, %d mutants (%d rejected), %d states, %d findings (%d known, %d new)\n",
+			rep.Runs, rep.Mutants, rep.Rejected, rep.States,
+			len(rep.Findings), rep.KnownRediscovered, rep.NewFindings)
+		if *outDir != "" {
+			fmt.Printf("pintfuzz: %d regression artifacts in %s\n", written, *outDir)
+		}
+	}
+	if *minKnown > 0 && rep.KnownRediscovered < *minKnown {
+		fmt.Fprintf(os.Stderr, "pintfuzz: rediscovered %d known convictions, need %d\n",
+			rep.KnownRediscovered, *minKnown)
+		os.Exit(1)
+	}
+}

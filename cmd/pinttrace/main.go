@@ -73,8 +73,12 @@ func main() {
 }
 
 func dumpTrace(path string, tr *trace.Trace) {
-	fmt.Printf("# %s: %d events, checkinterval %d, seed %d\n",
-		path, len(tr.Events), tr.CheckEvery, tr.Seed)
+	chaosNote := ""
+	if tr.HasChaos {
+		chaosNote = fmt.Sprintf(", chaos seed %d", tr.ChaosSeed)
+	}
+	fmt.Printf("# %s: %d events, checkinterval %d, seed %d%s\n",
+		path, len(tr.Events), tr.CheckEvery, tr.Seed, chaosNote)
 	for _, e := range tr.Events {
 		fmt.Println(trace.FormatEvent(e, tr.FileName))
 	}

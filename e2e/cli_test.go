@@ -29,7 +29,7 @@ func binaries(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		for _, cmd := range []string{"pint", "pintvet", "pinttrace", "pintcheck", "dioneas", "dioneac", "benchfig"} {
+		for _, cmd := range []string{"pint", "pintvet", "pinttrace", "pintcheck", "pintfuzz", "dioneas", "dioneac", "benchfig"} {
 			out, err := exec.Command("go", "build", "-o", filepath.Join(binDir, cmd), "dionea/cmd/"+cmd).CombinedOutput()
 			if err != nil {
 				buildErr = err

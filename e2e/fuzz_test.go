@@ -1,0 +1,118 @@
+// End-to-end tests of the fuzzing side: every committed non-wedged
+// regression artifact replays byte-identically through the real pint
+// binary, and the pintfuzz binary's campaign, verify, and list modes
+// work against the real corpus.
+package e2e
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dionea/internal/fuzz"
+)
+
+// TestFuzzRegressionReplay is the replayability half of the regression
+// contract: for every committed artifact whose witness run completed,
+// `pint -replay` re-records the byte-identical trace from the artifact's
+// own program text. Wedged artifacts are skipped here — replaying one
+// reproduces the hang by design — and covered by the in-process sweep
+// (internal/fuzz TestCommittedRegressionsVerify).
+func TestFuzzRegressionReplay(t *testing.T) {
+	bin := binaries(t)
+	regs, err := fuzz.LoadRegressions(repoPath(t, "testdata/fuzz/regressions"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) == 0 {
+		t.Fatal("no committed fuzz regressions")
+	}
+	replayable := 0
+	for _, reg := range regs {
+		if reg.Wedged {
+			continue
+		}
+		replayable++
+		reg := reg
+		t.Run(reg.Name, func(t *testing.T) {
+			dir := t.TempDir()
+			// The program must carry the kernel's original file name: the
+			// witness trace's file table names it, and the byte compare
+			// covers the table.
+			prog := filepath.Join(dir, reg.Input.File)
+			if err := os.WriteFile(prog, []byte(reg.Source), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			witness := filepath.Join(dir, "witness.trc")
+			if err := os.WriteFile(witness, reg.Trace, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			second := filepath.Join(dir, "second.trc")
+			out, err := exec.Command(filepath.Join(bin, "pint"),
+				"-replay", witness, "-trace", second, prog).CombinedOutput()
+			if _, ok := err.(*exec.ExitError); err != nil && !ok {
+				t.Fatalf("pint -replay: %v\n%s", err, out)
+			}
+			if strings.Contains(string(out), "replay diverged") {
+				t.Fatalf("replay diverged:\n%s", out)
+			}
+			rerecorded, err := os.ReadFile(second)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(rerecorded, reg.Trace) {
+				t.Fatalf("re-recorded trace differs from committed witness (%d vs %d bytes)",
+					len(rerecorded), len(reg.Trace))
+			}
+		})
+	}
+	if replayable == 0 {
+		t.Fatal("every committed regression is wedged; the replay sweep covered nothing")
+	}
+}
+
+// TestPintfuzzSmoke: a bounded campaign through the real binary must
+// rediscover known corpus bugs and say so on stdout.
+func TestPintfuzzSmoke(t *testing.T) {
+	bin := binaries(t)
+	out, err := exec.Command(filepath.Join(bin, "pintfuzz"),
+		"-budget", "80", "-kernel", "lock-order-cycle,queue-handshake-deadlock,sem-cycle-deadlock",
+		"-min-known", "3", "-progress=false").CombinedOutput()
+	if err != nil {
+		t.Fatalf("pintfuzz = %v, want at least 3 known rediscoveries\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "known") {
+		t.Fatalf("pintfuzz output = %s", out)
+	}
+}
+
+// TestPintfuzzVerifyMode: the binary's -verify mode sweeps the committed
+// artifacts and reports zero stale.
+func TestPintfuzzVerifyMode(t *testing.T) {
+	bin := binaries(t)
+	out, err := exec.Command(filepath.Join(bin, "pintfuzz"),
+		"-verify", repoPath(t, "testdata/fuzz/regressions"), "-progress=false").CombinedOutput()
+	if err != nil {
+		t.Fatalf("pintfuzz -verify = %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "0 stale") {
+		t.Fatalf("pintfuzz -verify output = %s", out)
+	}
+}
+
+// TestPintfuzzList: -list names every corpus kernel.
+func TestPintfuzzList(t *testing.T) {
+	bin := binaries(t)
+	out, err := exec.Command(filepath.Join(bin, "pintfuzz"), "-list").Output()
+	if err != nil {
+		t.Fatalf("pintfuzz -list = %v", err)
+	}
+	for _, want := range []string{"lock-order-cycle", "deadlock@k_lockorder.pint:6", "sleeper-threads-ok"} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("pintfuzz -list missing %q:\n%s", want, out)
+		}
+	}
+}

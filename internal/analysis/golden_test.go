@@ -3,6 +3,7 @@ package analysis_test
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"dionea/internal/analysis"
@@ -119,6 +120,13 @@ func TestGoldenCoversAllFixtures(t *testing.T) {
 		}
 		rel, _ := filepath.Rel(root, path)
 		rel = filepath.ToSlash(rel)
+		// Fuzz regression artifacts are programs too, but their contract
+		// is replay byte-identity (internal/fuzz + e2e sweeps), not a
+		// pintvet verdict table — mutated sources would make the static
+		// table churn with every regenerated artifact.
+		if strings.HasPrefix(rel, "fuzz/") {
+			return nil
+		}
 		if _, ok := golden[rel]; !ok {
 			t.Errorf("testdata/%s has no golden entry", rel)
 		}

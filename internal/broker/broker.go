@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dionea/internal/chaos"
@@ -173,10 +174,14 @@ type clientAtt struct {
 	name         string
 	seq          int64
 	wantsControl bool
-	controller   bool
-	cmd          *protocol.Conn
-	src          *protocol.Conn
-	q            *eventQueue
+	// controller is written only under the session lock but read
+	// lock-free on the event fan-out path (isController), so it must be
+	// atomic: a torn read there would be a data race, and "benign" races
+	// are still undefined behavior under the Go memory model.
+	controller atomic.Bool
+	cmd        *protocol.Conn
+	src        *protocol.Conn
+	q          *eventQueue
 }
 
 var errNoBackend = errors.New("broker: no host-capable backend registered")
@@ -683,10 +688,10 @@ func (bk *Broker) serveClientCmd(conn *protocol.Conn, at *protocol.Msg) {
 	att.cmd = conn
 	att.wantsControl = at.Role == protocol.RoleController
 	if att.wantsControl && s.controllerLocked() == nil {
-		att.controller = true
+		att.controller.Store(true)
 	}
 	granted := protocol.RoleObserver
-	if att.controller {
+	if att.controller.Load() {
 		granted = protocol.RoleController
 	}
 	root := s.root
@@ -730,7 +735,7 @@ func (bk *Broker) serveClientCmd(conn *protocol.Conn, at *protocol.Msg) {
 
 func (s *session) controllerLocked() *clientAtt {
 	for _, att := range s.clients {
-		if att.controller {
+		if att.controller.Load() {
 			return att
 		}
 	}
@@ -738,10 +743,11 @@ func (s *session) controllerLocked() *clientAtt {
 }
 
 func (att *clientAtt) isController() bool {
-	// att.controller is only mutated under the session lock; reads here
-	// race only with promotion, which is benign (a just-promoted client
-	// retries).
-	return att.controller
+	// att.controller is only mutated under the session lock; this
+	// lock-free read can observe a concurrent promotion or detach either
+	// way, which is fine (a just-promoted client retries), but the read
+	// itself must be atomic to be defined at all.
+	return att.controller.Load()
 }
 
 // forward relays one client request to the session's backend, rewriting
@@ -775,8 +781,8 @@ func (bk *Broker) detachCmd(s *session, att *clientAtt, conn *protocol.Conn) {
 		return
 	}
 	att.cmd = nil
-	wasController := att.controller
-	att.controller = false
+	wasController := att.controller.Load()
+	att.controller.Store(false)
 	if att.q == nil {
 		delete(s.clients, att.name)
 	}
@@ -789,7 +795,7 @@ func (bk *Broker) detachCmd(s *session, att *clientAtt, conn *protocol.Conn) {
 			}
 		}
 		if promoted != nil {
-			promoted.controller = true
+			promoted.controller.Store(true)
 		}
 		for _, other := range s.clients {
 			if other != promoted && other.q != nil {
@@ -863,7 +869,7 @@ func (bk *Broker) serveClientSrc(conn *protocol.Conn, at *protocol.Msg) {
 		q.push(&protocol.Msg{Kind: "event", Cmd: protocol.EventBrokerPromoted, Session: s.name, PID: s.root, Text: bk.opts.Name})
 	}
 	granted := protocol.RoleObserver
-	if att.controller {
+	if att.controller.Load() {
 		granted = protocol.RoleController
 	}
 	root := s.root

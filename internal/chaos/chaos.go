@@ -105,6 +105,74 @@ func DefaultConfig() Config {
 	return c
 }
 
+// RatesSlice returns the per-point rates as a slice indexed by Point —
+// the serialized form trace files carry so a replay can rebuild the
+// injector that recorded them.
+func (c Config) RatesSlice() []float64 {
+	out := make([]float64, NumPoints)
+	copy(out, c.Rates[:])
+	return out
+}
+
+// ConfigFromRates rebuilds a Config from a serialized rate slice. Rates
+// beyond NumPoints (a newer writer) are dropped; missing ones are zero.
+func ConfigFromRates(rates []float64) Config {
+	var c Config
+	copy(c.Rates[:], rates)
+	return c
+}
+
+// Firing is one entry of a seed's fault schedule: the N-th occurrence of
+// Point fires.
+type Firing struct {
+	Point Point
+	N     uint64
+}
+
+// Plan enumerates the fault schedule implied by (seed, cfg): for every
+// point, which of its first horizon occurrences fire. The schedule is a
+// pure function of the seed — it is what actually happens in a run that
+// reaches at least horizon occurrences of each point — so a fuzzer can
+// pick seeds by the faults they will inject without executing anything.
+func Plan(seed int64, cfg Config, horizon uint64) []Firing {
+	in := NewWith(seed, cfg)
+	var out []Firing
+	for p := Point(0); p < NumPoints; p++ {
+		for n := uint64(1); n <= horizon; n++ {
+			if in.WouldFire(p, n) {
+				out = append(out, Firing{Point: p, N: n})
+			}
+		}
+	}
+	return out
+}
+
+// SeedFiringAt searches seeds start, start+1, ... (at most tries of
+// them) for one under which the n-th occurrence of point p fires and no
+// earlier occurrence of p does — the cheapest seed that aims a fault at
+// exactly one site. Mutation layers use it to perturb a run's fault
+// schedule one occurrence at a time instead of rerolling blindly.
+func SeedFiringAt(p Point, n uint64, cfg Config, start int64, tries int) (int64, bool) {
+	for i := 0; i < tries; i++ {
+		seed := start + int64(i)
+		in := NewWith(seed, cfg)
+		if !in.WouldFire(p, n) {
+			continue
+		}
+		earlier := false
+		for m := uint64(1); m < n; m++ {
+			if in.WouldFire(p, m) {
+				earlier = true
+				break
+			}
+		}
+		if !earlier {
+			return seed, true
+		}
+	}
+	return 0, false
+}
+
 // Injector decides fault firings. Safe for concurrent use; all methods
 // are nil-receiver-safe so call sites need no guard beyond loading the
 // pointer.
@@ -129,6 +197,14 @@ func (in *Injector) Seed() int64 {
 		return 0
 	}
 	return in.seed
+}
+
+// Config returns the injector's rates, for recording into trace metadata.
+func (in *Injector) Config() Config {
+	if in == nil {
+		return Config{}
+	}
+	return in.cfg
 }
 
 // Fire records one occurrence of point p and reports whether it fires.

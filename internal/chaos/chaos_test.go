@@ -194,3 +194,73 @@ func TestWrapConnNilInjectorPassthrough(t *testing.T) {
 		t.Fatal("nil injector should not wrap")
 	}
 }
+
+func TestPlanMatchesFire(t *testing.T) {
+	cfg := DefaultConfig()
+	const seed, horizon = 99, 40
+	plan := Plan(seed, cfg, horizon)
+	planned := map[Firing]bool{}
+	for _, f := range plan {
+		planned[f] = true
+	}
+	// Replaying horizon occurrences of every point through a live injector
+	// must fire exactly the planned set.
+	in := NewWith(seed, cfg)
+	for p := Point(0); p < NumPoints; p++ {
+		for i := 0; i < horizon; i++ {
+			n, ok := in.Fire(p)
+			if ok != planned[Firing{Point: p, N: n}] {
+				t.Fatalf("point %s occurrence %d: Fire=%v, Plan=%v", p, n, ok, planned[Firing{Point: p, N: n}])
+			}
+		}
+	}
+	// Sanity: the default rates must plan at least one firing in 40
+	// occurrences of the high-rate points.
+	if len(plan) == 0 {
+		t.Fatal("default config planned zero firings over the horizon")
+	}
+}
+
+func TestConfigRatesRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	got := ConfigFromRates(cfg.RatesSlice())
+	if got != cfg {
+		t.Fatalf("round trip changed config: %+v -> %+v", cfg, got)
+	}
+	// A shorter slice (older writer) zero-fills the tail instead of
+	// failing; a longer one (newer writer) drops the extras.
+	short := ConfigFromRates(cfg.RatesSlice()[:2])
+	if short.Rates[0] != cfg.Rates[0] || short.Rates[NumPoints-1] != 0 {
+		t.Fatalf("short slice mishandled: %+v", short)
+	}
+	long := ConfigFromRates(append(cfg.RatesSlice(), 0.5, 0.5))
+	if long != cfg {
+		t.Fatalf("long slice mishandled: %+v", long)
+	}
+}
+
+func TestSeedFiringAt(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, target := range []struct {
+		p Point
+		n uint64
+	}{{ForkEAGAIN, 1}, {ForkEAGAIN, 3}, {PipeShortWrite, 2}, {ChildKill, 1}} {
+		seed, ok := SeedFiringAt(target.p, target.n, cfg, 1, 4096)
+		if !ok {
+			t.Fatalf("no seed fires %s occurrence %d within 4096 tries", target.p, target.n)
+		}
+		in := NewWith(seed, cfg)
+		if !in.WouldFire(target.p, target.n) {
+			t.Fatalf("seed %d does not fire %s occurrence %d", seed, target.p, target.n)
+		}
+		for m := uint64(1); m < target.n; m++ {
+			if in.WouldFire(target.p, m) {
+				t.Fatalf("seed %d fires %s occurrence %d before the target %d", seed, target.p, m, target.n)
+			}
+		}
+	}
+	// A zero-rate point can never fire: the search must give up cleanly.
+	if _, ok := SeedFiringAt(BrokerKill, 1, cfg, 1, 64); ok {
+		t.Fatal("found a seed for a zero-rate point")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"dionea/internal/bytecode"
+	"dionea/internal/chaos"
 	"dionea/internal/kernel"
 	"dionea/internal/trace"
 )
@@ -49,8 +50,22 @@ type Options struct {
 	// starts the program identically.
 	Setup    []func(*kernel.Process)
 	Preludes []*bytecode.FuncProto
+	// Chaos, when non-nil, installs a fresh fault injector (same seed,
+	// same rates) into every driven execution. Occurrence counters start
+	// at zero each run, so the fault schedule is a pure function of
+	// (chaos seed, thread schedule) and identical prefixes re-fire
+	// identical faults — which is what keeps prefix replay, witness
+	// validation, and `pint -replay` of chaos witnesses deterministic.
+	// Witness traces carry the seed and rates in their 'C' section.
+	Chaos *ChaosOptions
 	// Progress, when non-nil, receives one line per explored execution.
 	Progress io.Writer
+}
+
+// ChaosOptions configures deterministic fault injection for driven runs.
+type ChaosOptions struct {
+	Seed   int64
+	Config chaos.Config
 }
 
 // DefaultBudget is the execution cap when Options.Budget is zero. Sized

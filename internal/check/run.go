@@ -1,0 +1,158 @@
+// Exported single-run API: one schedule-driven execution under a
+// pluggable scheduling policy, with the trace, the per-decision state
+// hashes, and the oracles' verdicts surfaced. This is the substrate the
+// fuzzer (internal/fuzz) drives: the DFS explorer owns systematic
+// search, RunSchedule owns one guided run.
+
+package check
+
+import (
+	"dionea/internal/bytecode"
+	"dionea/internal/kernel"
+	"dionea/internal/trace"
+)
+
+// SchedulePolicy decides which enabled thread runs at each choice point
+// beyond the replay prefix. Choose is consulted only at genuine choice
+// points (two or more schedulable threads); forced grants bypass it.
+// Returning a key not in enabled keeps the default choice (stay on prev,
+// else lowest key), so a policy may abstain by returning the zero key.
+type SchedulePolicy interface {
+	Choose(step int, enabled []ThreadKey, prev ThreadKey, havePrev bool) ThreadKey
+}
+
+// PolicyFunc adapts a function to SchedulePolicy.
+type PolicyFunc func(step int, enabled []ThreadKey, prev ThreadKey, havePrev bool) ThreadKey
+
+// Choose implements SchedulePolicy.
+func (f PolicyFunc) Choose(step int, enabled []ThreadKey, prev ThreadKey, havePrev bool) ThreadKey {
+	return f(step, enabled, prev, havePrev)
+}
+
+// Outcome classifies how a driven run ended.
+type Outcome int
+
+const (
+	// OutcomeCompleted: every process exited.
+	OutcomeCompleted Outcome = iota
+	// OutcomeWedged: live threads remain but none is schedulable — a
+	// global deadlock (possibly cross-process).
+	OutcomeWedged
+	// OutcomeTruncated: the per-run step budget (MaxSteps) was exceeded.
+	OutcomeTruncated
+	// OutcomeDiverged: a replayed schedule named a thread that was not
+	// enabled — the program did not follow the recorded schedule.
+	OutcomeDiverged
+	// OutcomeStuck: the kernel never settled (backstop; indicates a bug
+	// in the program under test or the harness, not a schedule property).
+	OutcomeStuck
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeCompleted:
+		return "completed"
+	case OutcomeWedged:
+		return "wedged"
+	case OutcomeTruncated:
+		return "truncated"
+	case OutcomeDiverged:
+		return "diverged"
+	case OutcomeStuck:
+		return "stuck"
+	}
+	return "unknown"
+}
+
+// WedgedThread describes one thread stuck in a global wedge.
+type WedgedThread struct {
+	Key ThreadKey
+	// State and Reason are the kernel's blocked-state record; together
+	// they feed core.BenignWait, which the fuzzer's wedge oracle uses to
+	// ignore quiet programs (every thread in a timed sleep or stdin read).
+	State  kernel.ThreadState
+	Reason string
+	Obj    uint64
+	File   string
+	Line   int
+}
+
+// RunReport is everything one driven execution produced.
+type RunReport struct {
+	Outcome Outcome
+	// Schedule is the sequence of threads granted at choice points, in
+	// order — replaying it through ReplaySchedule reproduces the run.
+	Schedule []ThreadKey
+	// Hashes are the per-decision settled-state fingerprints, aligned
+	// with Schedule. They are the fuzzer's coverage signal: a run that
+	// produces a hash never seen before reached a new state.
+	Hashes []uint64
+	// Preemptions counts choice points where an enabled previous thread
+	// was not rechosen.
+	Preemptions int
+	// Events is the decoded trace; Trace is the same run as a PINTTRC1
+	// file that `pint -replay` reproduces byte-identically.
+	Events []trace.Event
+	Trace  []byte
+	// Findings are the trace analyzer's verdicts (plus the synthesized
+	// deadlock finding when Outcome is OutcomeWedged).
+	Findings []trace.Finding
+	// Wedged lists the stuck threads of a wedged run.
+	Wedged []WedgedThread
+	// Output and ExitCode come from the root process.
+	Output   string
+	ExitCode int
+}
+
+// RunSchedule executes proto once under opt, consulting policy at every
+// choice point. A nil policy runs the default non-preempting schedule.
+// Pruning oracles (sleep sets, visited states) are not applied: this is
+// a single concrete run, not a search node.
+func RunSchedule(proto *bytecode.FuncProto, opt Options, policy SchedulePolicy) *RunReport {
+	r := &runner{proto: proto, opt: opt.normalized()}
+	return exportResult(r.executeWith(nil, nil, nil, policy))
+}
+
+// ReplaySchedule re-executes a previously recorded choice-point schedule.
+// OutcomeDiverged means the program no longer follows it (the schedule
+// was minimized too far, or the program is nondeterministic).
+func ReplaySchedule(proto *bytecode.FuncProto, opt Options, schedule []ThreadKey) *RunReport {
+	r := &runner{proto: proto, opt: opt.normalized()}
+	return exportResult(r.executeWith(schedule, nil, nil, nil))
+}
+
+func exportResult(res *runResult) *RunReport {
+	rep := &RunReport{
+		Preemptions: res.preemptions,
+		Events:      res.events,
+		Trace:       res.traceBytes,
+		Findings:    res.findings,
+		Output:      res.output,
+		ExitCode:    res.exitCode,
+	}
+	switch res.outcome {
+	case runCompleted:
+		rep.Outcome = OutcomeCompleted
+	case runWedged:
+		rep.Outcome = OutcomeWedged
+	case runTruncated:
+		rep.Outcome = OutcomeTruncated
+	case runDiverged:
+		rep.Outcome = OutcomeDiverged
+	default:
+		// runSleepBlocked/runVisited cannot occur without pruning oracles;
+		// anything else is the settle backstop.
+		rep.Outcome = OutcomeStuck
+	}
+	for _, d := range res.decisions {
+		rep.Schedule = append(rep.Schedule, d.Chosen)
+		rep.Hashes = append(rep.Hashes, d.Hash)
+	}
+	for _, w := range res.wedged {
+		rep.Wedged = append(rep.Wedged, WedgedThread{
+			Key: w.Key, State: w.State, Reason: w.Reason, Obj: w.Obj,
+			File: w.File, Line: w.Line,
+		})
+	}
+	return rep
+}

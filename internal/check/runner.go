@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"dionea/internal/bytecode"
+	"dionea/internal/chaos"
 	"dionea/internal/kernel"
 	"dionea/internal/trace"
 )
@@ -76,6 +77,7 @@ type runResult struct {
 // wedgeInfo describes one thread stuck in a global wedge.
 type wedgeInfo struct {
 	Key    ThreadKey
+	State  kernel.ThreadState
 	Reason string
 	Obj    uint64
 	File   string
@@ -105,6 +107,14 @@ const pollGrace = 20 * time.Millisecond
 // later ones follow the default policy (stay on the previous thread,
 // else lowest key) filtered by the sleep set.
 func (r *runner) execute(prefix []ThreadKey, sleep []sleepEntry, visited visitedFn) *runResult {
+	return r.executeWith(prefix, sleep, visited, nil)
+}
+
+// executeWith is execute with an optional schedule policy overriding the
+// default extension beyond the prefix: the fuzzing drivers (random walk,
+// preemption bursts) plug in here, while the DFS keeps its prefix+default
+// discipline.
+func (r *runner) executeWith(prefix []ThreadKey, sleep []sleepEntry, visited visitedFn, policy SchedulePolicy) *runResult {
 	res := &runResult{}
 	k := kernel.New()
 	drv := NewDriver()
@@ -112,6 +122,14 @@ func (r *runner) execute(prefix []ThreadKey, sleep []sleepEntry, visited visited
 	rec := trace.NewRecorder()
 	rec.CheckEvery = r.opt.CheckEvery
 	rec.Seed = r.opt.Seed
+	if c := r.opt.Chaos; c != nil {
+		// A fresh injector per execution: occurrence counters must start
+		// at zero for the fault schedule to be a pure function of the
+		// thread schedule (see Options.Chaos).
+		k.SetChaos(chaos.NewWith(c.Seed, c.Config))
+		rec.ChaosSeed = c.Seed
+		rec.ChaosRates = c.Config.RatesSlice()
+	}
 	rec.Start()
 	k.SetTracer(rec)
 	k.SetScheduleDriver(drv)
@@ -207,6 +225,11 @@ func (r *runner) execute(prefix []ThreadKey, sleep []sleepEntry, visited visited
 				chosen = free[0]
 				if havePrev && containsKey(free, prev) {
 					chosen = prev
+				}
+				if policy != nil {
+					if pick := policy.Choose(j, free, prev, havePrev); containsKey(free, pick) {
+						chosen = pick
+					}
 				}
 			}
 			preempt := havePrev && chosen != prev && containsKey(enabled, prev)
@@ -416,10 +439,10 @@ func (r *runner) observe(k *kernel.Kernel, drv *Driver) (snap settleSnap, transi
 				case t.WaitSatisfiable():
 					cls = 'p'
 					pollPending = true
-					snap.blocked = append(snap.blocked, r.wedgeInfo(t, key, reason, obj))
+					snap.blocked = append(snap.blocked, r.wedgeInfo(t, key, st, reason, obj))
 				default:
 					cls = 'b'
-					snap.blocked = append(snap.blocked, r.wedgeInfo(t, key, reason, obj))
+					snap.blocked = append(snap.blocked, r.wedgeInfo(t, key, st, reason, obj))
 				}
 			default: // running off-gate, suspended
 				cls = 'r'
@@ -432,13 +455,13 @@ func (r *runner) observe(k *kernel.Kernel, drv *Driver) (snap settleSnap, transi
 	return snap, transit, pollPending, sig
 }
 
-func (r *runner) wedgeInfo(t *kernel.TCtx, key ThreadKey, reason string, obj uint64) wedgeInfo {
-	w := wedgeInfo{Key: key, Reason: reason, Obj: obj}
-	// The thread is parked (its goroutine sits inside a wait), so its
-	// frame stack is quiescent and safe to read for the source anchor.
-	if fr := t.VM.StackTrace(); len(fr) > 0 {
-		w.File, w.Line = fr[len(fr)-1].File, fr[len(fr)-1].Line
-	}
+func (r *runner) wedgeInfo(t *kernel.TCtx, key ThreadKey, st kernel.ThreadState, reason string, obj uint64) wedgeInfo {
+	w := wedgeInfo{Key: key, State: st, Reason: reason, Obj: obj}
+	// The source anchor comes from the kernel's block-site record, written
+	// by the thread itself under the process mutex when it parked. Reading
+	// t.VM frames here instead would race: observe samples BlockInfo and
+	// the thread may wake and resume executing before the frame read.
+	w.File, w.Line = t.BlockSite()
 	return w
 }
 

@@ -42,8 +42,8 @@ func Diagnose(k *kernel.Kernel) (verdict, detail string) {
 				return "running", ""
 			case kernel.StateSuspended:
 				suspended = true
-			case kernel.StateBlockedExternal:
-				if benignReason(reason) {
+			case kernel.StateBlockedLocal, kernel.StateBlockedExternal:
+				if BenignWait(st, reason) {
 					benign = true
 				}
 			}

@@ -19,31 +19,45 @@ import (
 	"dionea/internal/kernel"
 )
 
-// benignReason reports waits that legitimately stop all GIL traffic:
-// a timed sleep will end by itself, and a thread reading the user's
-// stdin is waiting on the human, not on the program.
-func benignReason(reason string) bool {
-	return reason == "sleep" || reason == "stdin"
+// BenignWait reports waits that legitimately stop all GIL traffic and
+// must not be mistaken for a hang: a timed sleep (blocked external,
+// "sleep") ends by itself; a thread reading the user's stdin is waiting
+// on the human, not on the program; and a bare sleep() (blocked local,
+// "sleep") is an intentional indefinite park — the synchronous deadlock
+// detector is the authority on whether it completes a cycle, so a
+// watchdog core for it would only duplicate (or contradict) that
+// verdict. The fuzzer's wedge oracle uses the same predicate: a wedge
+// whose every thread is in a benign wait is a quiet program, not a bug.
+func BenignWait(st kernel.ThreadState, reason string) bool {
+	switch st {
+	case kernel.StateBlockedExternal:
+		return reason == "sleep" || reason == "stdin"
+	case kernel.StateBlockedLocal:
+		return reason == "sleep"
+	}
+	return false
 }
 
 // hangEligible reports whether a GIL-traffic stall should be treated as a
-// hang: at least one process is still live, no thread anywhere can run,
-// and no thread is in a benign external wait.
+// hang: at least one thread is stuck in a non-benign wait, no thread
+// anywhere can run, and no thread is in a benign wait. A live process
+// whose threads have all finished (exit bookkeeping in flight) is not
+// eligible — under an aggressive interval the watchdog used to catch
+// that window and dump a core for a program that was exiting cleanly.
 func hangEligible(k *kernel.Kernel) bool {
-	live := false
+	stuck := false
 	for _, p := range k.Processes() {
 		if p.Exited() || p.Exiting() {
 			continue
 		}
-		live = true
 		for _, t := range p.Threads() {
 			st, reason := t.State()
 			switch st {
-			case kernel.StateBlockedLocal:
-			case kernel.StateBlockedExternal:
-				if benignReason(reason) {
+			case kernel.StateBlockedLocal, kernel.StateBlockedExternal:
+				if BenignWait(st, reason) {
 					return false
 				}
+				stuck = true
 			case kernel.StateFinished:
 			default:
 				// Running or suspended: somebody can still make progress
@@ -54,7 +68,7 @@ func hangEligible(k *kernel.Kernel) bool {
 			}
 		}
 	}
-	return live
+	return stuck
 }
 
 // diagnoseHang renders the waiter graph of every stuck process into the

@@ -47,6 +47,58 @@ sleep(60)
 	}
 }
 
+// TestWatchdogIgnoresSleepHeavyThreads: a kernel whose every thread is
+// in a timed sleep — the shape sleep-heavy fuzzed kernels settle into —
+// must never dump, even under an interval far shorter than the sleeps.
+func TestWatchdogIgnoresSleepHeavyThreads(t *testing.T) {
+	r, get, cleanup := startWatched(t, `
+spawn do
+    i = 0
+    while i < 10 {
+        sleep(0.2)
+        i = i + 1
+    }
+end
+spawn do
+    i = 0
+    while i < 10 {
+        sleep(0.2)
+        i = i + 1
+    }
+end
+print("dozing")
+sleep(2)
+`, 40*time.Millisecond)
+	defer cleanup()
+	waitOutput(t, r, "dozing")
+	time.Sleep(800 * time.Millisecond)
+	if path := get().LastPath(); path != "" {
+		t.Fatalf("watchdog dumped a sleep-heavy kernel: %s", path)
+	}
+}
+
+// TestWatchdogIgnoresBareSleepPark: a worker parked in bare sleep()
+// (an intentional indefinite park) while main waits on a pipe must not
+// be convicted by the watchdog — the park is wakeable by the debugger
+// and only the synchronous detector may call it part of a deadlock.
+func TestWatchdogIgnoresBareSleepPark(t *testing.T) {
+	r, get, cleanup := startWatched(t, `
+ends = pipe_new()
+r = ends[0]
+spawn do
+    sleep()
+end
+print("parked")
+v = r.read()
+`, 100*time.Millisecond)
+	defer cleanup()
+	waitOutput(t, r, "parked")
+	time.Sleep(600 * time.Millisecond)
+	if path := get().LastPath(); path != "" {
+		t.Fatalf("watchdog dumped a bare-sleep park: %s", path)
+	}
+}
+
 func TestWatchdogIgnoresStdinWait(t *testing.T) {
 	r, get, cleanup := startWatched(t, `
 print("reading")

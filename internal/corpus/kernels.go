@@ -35,6 +35,10 @@ type BugKernel struct {
 	// `pint -replay`, so these kernels round-trip in-process only and are
 	// excluded from the committed replay fixtures.
 	CheckWedges bool
+	// UsesMP marks kernels whose Source calls the mp prelude
+	// (mp_process, mp_pool, ...); consumers must load mp.MustPrelude()
+	// ahead of the program. The corpus package itself stays import-free.
+	UsesMP bool
 }
 
 // Kernels returns the bug-kernel corpus in a fixed order.
@@ -323,6 +327,154 @@ waitpid(pid)
 				"pipe-end-leak@k_pipeleak.pint:6",
 			},
 			CheckWedges: true,
+		},
+		{
+			Name: "deep-fork-pipe-chain",
+			File: "k_deepchain.pint",
+			Source: `ends = pipe_new()
+r = ends[0]
+w = ends[1]
+
+pid = fork do
+    gpid = fork do
+        w.write("deep")
+        exit(0)
+    end
+    waitpid(gpid)
+    exit(0)
+end
+
+v = r.read()
+v = r.read()
+waitpid(pid)
+`,
+			// The write that feeds the first read comes from the grandchild,
+			// two fork levels down; the second read has no writer left — the
+			// parent wedges holding the write end itself (the forkstorm
+			// shape, one level deeper).
+			Want: []string{},
+			CheckConvictions: []string{
+				"deadlock@k_deepchain.pint:15",
+				"pipe-end-leak@k_deepchain.pint:15",
+			},
+			CheckWedges: true,
+		},
+		{
+			Name: "sem-cycle-deadlock",
+			File: "k_semcycle.pint",
+			Source: `a = semaphore_new(0)
+b = semaphore_new(0)
+
+t = spawn do
+    a.acquire()
+    b.release()
+end
+
+b.acquire()
+a.release()
+t.join()
+`,
+			// Each thread P()s the semaphore the other would V() only after
+			// its own P() returns: a circular wait on counters instead of
+			// locks. Semaphore waits are externally wakeable, so the
+			// in-process detector stays silent and only the wedge oracle
+			// convicts.
+			Want: []string{},
+			CheckConvictions: []string{
+				"deadlock@k_semcycle.pint:9",
+			},
+			CheckWedges: true,
+		},
+		{
+			Name: "sem-pipeline-ok",
+			File: "k_sem_ok.pint",
+			Source: `s = semaphore_new(0)
+done = semaphore_new(0)
+
+t = spawn do
+    s.acquire()
+    done.release()
+end
+
+s.release()
+done.acquire()
+t.join()
+puts("handshake ok")
+`,
+			// The release each side needs happens before its own acquire:
+			// the same shape as sem-cycle-deadlock with the arrows turned
+			// around, and clean on every interleaving.
+			Want: []string{},
+		},
+		{
+			Name: "mp-queue-workload",
+			File: "k_mpwork.pint",
+			Source: `q = mp_queue()
+
+func produce() {
+    q.put(21)
+    exit(0)
+}
+
+pid = mp_process(produce)
+v = q.get()
+waitpid(pid)
+puts(v + v)
+`,
+			// The sanctioned cross-process pattern: an mp_queue (semaphore +
+			// pipe + pickle) fed from a forked child via the mp prelude's
+			// mp_process. Every tool must stay silent — this is the fix the
+			// interthread-queue-across-fork diagnostics prescribe.
+			Want:   []string{},
+			UsesMP: true,
+		},
+		{
+			Name: "sleeper-threads-ok",
+			File: "k_sleepers.pint",
+			Source: `t = spawn do
+    i = 0
+    while i < 2 {
+        sleep(0.01)
+        i += 1
+    }
+end
+sleep(0.01)
+t.join()
+puts("rested")
+`,
+			// Every thread spends its life in timed sleeps — the shape
+			// sleep-heavy fuzzed kernels settle into. Clean everywhere, and
+			// the core watchdog must never dump it (BenignWait); virtual
+			// time makes it cheap to explore despite the waits.
+			Want: []string{},
+		},
+		{
+			Name: "grandchild-pipe-relay-ok",
+			File: "k_deepchain_ok.pint",
+			Source: `ends = pipe_new()
+r = ends[0]
+w = ends[1]
+
+pid = fork do
+    gpid = fork do
+        w.write("deep")
+        w.close()
+        exit(0)
+    end
+    waitpid(gpid)
+    exit(0)
+end
+
+w.close()
+v = r.read()
+puts(v)
+waitpid(pid)
+`,
+			// The fixed deep-fork-pipe-chain: the grandchild closes its
+			// write end after the payload, the parent closes its own before
+			// reading, and the read matches the single write on every
+			// schedule.
+			Want: []string{},
 		},
 	}
 }

@@ -12,10 +12,12 @@ import (
 	"time"
 
 	"dionea/internal/analysis"
+	"dionea/internal/bytecode"
 	"dionea/internal/check"
 	"dionea/internal/corpus"
 	"dionea/internal/ipc"
 	"dionea/internal/kernel"
+	"dionea/internal/mp"
 	"dionea/internal/pinttest"
 	"dionea/internal/trace"
 )
@@ -51,8 +53,8 @@ func TestKernelsConvictExactly(t *testing.T) {
 			}
 		})
 	}
-	if len(seen) != 12 {
-		t.Fatalf("corpus has %d kernels, want 12", len(seen))
+	if len(seen) != 18 {
+		t.Fatalf("corpus has %d kernels, want 18", len(seen))
 	}
 }
 
@@ -84,6 +86,7 @@ func TestKernelsCheckConformance(t *testing.T) {
 			rep, err := check.Explore(proto, check.Options{
 				PreemptBound: -1,
 				Setup:        []func(*kernel.Process){ipc.Install},
+				Preludes:     kernelPreludes(k),
 			})
 			if err != nil {
 				t.Fatalf("explore: %v", err)
@@ -137,6 +140,7 @@ func TestKernelsTraceSubsetOfCheck(t *testing.T) {
 			rec.Start()
 			res := pinttest.Run(t, k.Source, pinttest.Options{
 				Setup:      []func(*kernel.Process){func(p *kernel.Process) { p.K.SetTracer(rec) }},
+				Preludes:   kernelPreludes(k),
 				Timeout:    3 * time.Second,
 				ExpectHang: true,
 			})
@@ -153,6 +157,14 @@ func TestKernelsTraceSubsetOfCheck(t *testing.T) {
 			}
 		})
 	}
+}
+
+// kernelPreludes returns the library modules a kernel's Source needs.
+func kernelPreludes(k corpus.BugKernel) []*bytecode.FuncProto {
+	if k.UsesMP {
+		return []*bytecode.FuncProto{mp.MustPrelude()}
+	}
+	return nil
 }
 
 func equalStrings(a, b []string) bool {

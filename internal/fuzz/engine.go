@@ -1,0 +1,518 @@
+// The fuzzing engine. One fuzz input is the triple (program, schedule
+// seed, chaos seed); executing it is fully deterministic — the program
+// runs under the model checker's schedule driver with virtual time, the
+// schedule seed derives the driving policy, and the chaos seed derives a
+// fresh fault injector whose firings are a pure function of (seed,
+// point, occurrence). The engine mutates along all three axes, keeps
+// inputs that reach state hashes never seen before (the coverage
+// signal), and judges every run with the oracles the toolchain already
+// trusts: the trace analyzer's happens-before rules, the wedge detector
+// (guarded by core.BenignWait), and run divergence.
+
+package fuzz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dionea/internal/bytecode"
+	"dionea/internal/chaos"
+	"dionea/internal/check"
+	"dionea/internal/compiler"
+	"dionea/internal/core"
+	"dionea/internal/corpus"
+	"dionea/internal/ipc"
+	"dionea/internal/kernel"
+	"dionea/internal/mp"
+	"dionea/internal/parallelgem"
+	"dionea/internal/trace"
+)
+
+// Options configures a fuzzing campaign.
+type Options struct {
+	// Seed is the master seed; everything the engine does is a pure
+	// function of it (and the corpus).
+	Seed int64
+	// Budget is the number of fuzz executions per kernel (0 =
+	// DefaultBudget).
+	Budget int
+	// DFSBudget is the execution budget of the bounded DFS probe run
+	// once per kernel before seed fuzzing (0 = DefaultDFSBudget, < 0 =
+	// skip). The probe is pintcheck's search reused as one more driver:
+	// it contributes convictions and seeds the coverage map.
+	DFSBudget int
+	// MaxSteps bounds scheduling decisions per execution (0 = checker
+	// default).
+	MaxSteps int
+	// Chaos enables the fault-injection axis. ChaosConfig overrides the
+	// rates (zero value = DefaultChaosConfig()).
+	Chaos       bool
+	ChaosConfig chaos.Config
+	// Mutate enables structural program mutation.
+	Mutate bool
+	// MaxMutations caps a mutant's trail length (0 = 3).
+	MaxMutations int
+	// Kernels are the fuzz targets (nil = corpus.Kernels()).
+	Kernels []corpus.BugKernel
+	// Progress, when non-nil, receives one line per finding.
+	Progress io.Writer
+}
+
+// DefaultBudget is the per-kernel execution budget when Budget is 0 —
+// sized so the whole corpus fuzzes in roughly a minute and rediscovers
+// every known conviction (the conformance test holds it to that).
+const DefaultBudget = 400
+
+// DefaultDFSBudget is the per-kernel budget of the DFS probe.
+const DefaultDFSBudget = 64
+
+// DefaultChaosConfig returns the fault rates the fuzzer injects: only
+// the kernel-plane points — the debug-plane and fabric points need a
+// broker, which fuzz runs do not have.
+func DefaultChaosConfig() chaos.Config {
+	var c chaos.Config
+	c.Rates[chaos.ForkEAGAIN] = 0.10
+	c.Rates[chaos.ForkMidPrepare] = 0.10
+	c.Rates[chaos.PipeEPIPE] = 0.05
+	c.Rates[chaos.PipeShortWrite] = 0.15
+	c.Rates[chaos.ChildKill] = 0.10
+	return c
+}
+
+func (o Options) normalized() Options {
+	if o.Budget == 0 {
+		o.Budget = DefaultBudget
+	}
+	if o.DFSBudget == 0 {
+		o.DFSBudget = DefaultDFSBudget
+	}
+	if o.MaxMutations == 0 {
+		o.MaxMutations = 3
+	}
+	if o.Chaos && o.ChaosConfig == (chaos.Config{}) {
+		o.ChaosConfig = DefaultChaosConfig()
+	}
+	if o.Kernels == nil {
+		o.Kernels = corpus.Kernels()
+	}
+	return o
+}
+
+// Input is one fuzz input: the triple plus its provenance.
+type Input struct {
+	// Kernel and File name the corpus kernel the input descends from.
+	Kernel string `json:"kernel"`
+	File   string `json:"file"`
+	// Trail is the structural-mutation trail applied to the kernel's
+	// base source; empty for the unmutated kernel.
+	Trail []Mutation `json:"trail,omitempty"`
+	// SchedSeed derives the schedule policy (0 = default schedule);
+	// ChaosSeed derives the fault injector (0 = no faults).
+	SchedSeed int64 `json:"sched_seed"`
+	ChaosSeed int64 `json:"chaos_seed"`
+}
+
+// Finding is one conviction the fuzzer made: an oracle verdict plus the
+// exact input that reaches it and the witness of the convicting run.
+type Finding struct {
+	// Key is "rule@file:line", the same shape as check.Conviction.Key().
+	Key     string `json:"key"`
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Message string `json:"message"`
+	// Input reproduces the finding; Source is the input's materialized
+	// program text (base kernel + trail).
+	Input  Input  `json:"input"`
+	Source string `json:"-"`
+	// Known is true when the kernel's CheckConvictions list this key:
+	// a rediscovery rather than a new find.
+	Known bool `json:"known"`
+	// Wedged marks findings whose convicting run ended in a global
+	// wedge; their witnesses hang `pint -replay` and are excluded from
+	// the replayable regression artifacts.
+	Wedged bool `json:"wedged"`
+	// Schedule and Trace are the convicting run's witness (before
+	// minimization; see Minimize).
+	Schedule []check.ThreadKey `json:"-"`
+	Trace    []byte            `json:"-"`
+}
+
+// Report is the result of a campaign.
+type Report struct {
+	Runs     int `json:"runs"`
+	Mutants  int `json:"mutants"`  // distinct mutated programs executed
+	Rejected int `json:"rejected"` // mutants discarded (compile failure)
+	States   int `json:"states"`   // distinct state hashes reached
+	// Findings is one entry per distinct (kernel, key), in discovery
+	// order.
+	Findings []*Finding `json:"findings"`
+	// KnownRediscovered counts findings whose key the corpus already
+	// promises; NewFindings counts the rest.
+	KnownRediscovered int `json:"known_rediscovered"`
+	NewFindings       int `json:"new_findings"`
+}
+
+// Engine runs fuzzing campaigns.
+type Engine struct {
+	opt Options
+}
+
+// New returns an engine for opt.
+func New(opt Options) *Engine {
+	return &Engine{opt: opt.normalized()}
+}
+
+// kernelState is the engine's per-kernel fuzzing state.
+type kernelState struct {
+	k      corpus.BugKernel
+	known  map[string]bool
+	proto  *bytecode.FuncProto // compiled base source
+	queue  []Input             // interesting inputs (reached new states)
+	rng    *rng
+	states map[uint64]bool
+}
+
+// Run executes the campaign and returns its report.
+func (e *Engine) Run() (*Report, error) {
+	rep := &Report{}
+	master := newRng(e.opt.Seed)
+	for _, k := range e.opt.Kernels {
+		ks, err := e.newKernelState(k, master.seed())
+		if err != nil {
+			return nil, err
+		}
+		e.fuzzKernel(ks, rep)
+		rep.States += len(ks.states)
+	}
+	for _, f := range rep.Findings {
+		if f.Known {
+			rep.KnownRediscovered++
+		} else {
+			rep.NewFindings++
+		}
+	}
+	return rep, nil
+}
+
+func (e *Engine) newKernelState(k corpus.BugKernel, seed int64) (*kernelState, error) {
+	proto, err := compiler.CompileSource(k.Source, k.File)
+	if err != nil {
+		return nil, fmt.Errorf("compile corpus kernel %s: %w", k.Name, err)
+	}
+	known := map[string]bool{}
+	for _, key := range k.CheckConvictions {
+		known[key] = true
+	}
+	return &kernelState{
+		k: k, known: known, proto: proto,
+		rng:    newRng(seed),
+		states: map[uint64]bool{},
+		queue:  []Input{{Kernel: k.Name, File: k.File}},
+	}, nil
+}
+
+// runOptions builds the checker options for one input. The prelude set
+// matches what the pint and pintcheck binaries always install — the
+// witness traces must replay through `pint -replay`, and a different
+// prelude roster shifts the event stream enough to diverge.
+func (e *Engine) runOptions(ks *kernelState, in Input) check.Options {
+	opt := check.Options{
+		MaxSteps: e.opt.MaxSteps,
+		Setup:    []func(*kernel.Process){ipc.Install},
+		Preludes: []*bytecode.FuncProto{
+			mp.MustPrelude(),
+			parallelgem.MustPreludeBuggy(),
+			parallelgem.MustPreludeFixed(),
+		},
+	}
+	if in.ChaosSeed != 0 {
+		opt.Chaos = &check.ChaosOptions{Seed: in.ChaosSeed, Config: e.opt.ChaosConfig}
+	}
+	return opt
+}
+
+// Execute runs one input deterministically and returns its report.
+// Exported so tests (and the minimizer) can re-run exactly what the
+// engine ran.
+func (e *Engine) Execute(in Input) (*check.RunReport, string, error) {
+	ks, err := e.stateFor(in.Kernel)
+	if err != nil {
+		return nil, "", err
+	}
+	src := ks.k.Source
+	proto := ks.proto
+	if len(in.Trail) > 0 {
+		src, err = Apply(ks.k.Source, in.Trail)
+		if err != nil {
+			return nil, "", err
+		}
+		proto, err = compiler.CompileSource(src, ks.k.File)
+		if err != nil {
+			return nil, "", err
+		}
+	}
+	rep := check.RunSchedule(proto, e.runOptions(ks, in), derivePolicy(in.SchedSeed))
+	return rep, src, nil
+}
+
+func (e *Engine) stateFor(name string) (*kernelState, error) {
+	for _, k := range e.opt.Kernels {
+		if k.Name == name {
+			return e.newKernelState(k, 0)
+		}
+	}
+	return nil, fmt.Errorf("unknown corpus kernel %q", name)
+}
+
+// judge applies the oracles to one run and returns the findings that
+// survive them.
+func judge(rep *check.RunReport) []trace.Finding {
+	switch rep.Outcome {
+	case check.OutcomeCompleted:
+		return rep.Findings
+	case check.OutcomeWedged:
+		// Benign-wait guard: a "wedge" whose every thread is in a timed
+		// sleep or a stdin read is a quiet program, not a deadlock — the
+		// same predicate keeps the core watchdog from dumping sleep-heavy
+		// kernels. Drop the synthesized wedge verdict but keep anything
+		// the trace analyzer proved on the events themselves.
+		benign := len(rep.Wedged) > 0
+		for _, w := range rep.Wedged {
+			if !core.BenignWait(w.State, w.Reason) {
+				benign = false
+				break
+			}
+		}
+		if !benign {
+			return rep.Findings
+		}
+		out := make([]trace.Finding, 0, len(rep.Findings))
+		for _, f := range rep.Findings {
+			if f.Rule == trace.RuleDeadlock && isWedgeVerdict(f) {
+				continue
+			}
+			out = append(out, f)
+		}
+		return out
+	default:
+		// Truncated, diverged, stuck: not judged — a cut-off trace would
+		// produce half-finished-run artifacts (reads without their
+		// completion, ...) that the analyzer rightly flags on real runs.
+		return nil
+	}
+}
+
+func isWedgeVerdict(f trace.Finding) bool {
+	return len(f.Message) >= 7 && f.Message[:7] == "wedged:"
+}
+
+// fuzzKernel runs the campaign for one kernel.
+func (e *Engine) fuzzKernel(ks *kernelState, rep *Report) {
+	seen := map[string]bool{} // finding keys already recorded for this kernel
+	record := func(in Input, src string, run *check.RunReport, fs []trace.Finding) {
+		for _, f := range fs {
+			key := fmt.Sprintf("%s@%s:%d", f.Rule, f.File, f.Line)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			fd := &Finding{
+				Key: key, Rule: string(f.Rule), File: f.File, Line: f.Line,
+				Message: f.Message,
+				Input:   in, Source: src,
+				Known:  ks.known[key],
+				Wedged: run.Outcome == check.OutcomeWedged,
+				Trace:  run.Trace,
+			}
+			fd.Schedule = append(fd.Schedule, run.Schedule...)
+			rep.Findings = append(rep.Findings, fd)
+			if w := e.opt.Progress; w != nil {
+				tag := "NEW"
+				if fd.Known {
+					tag = "known"
+				}
+				fmt.Fprintf(w, "pintfuzz: [%s] %s %s (kernel %s, sched %d, chaos %d, %d mutations)\n",
+					tag, key, f.Message, in.Kernel, in.SchedSeed, in.ChaosSeed, len(in.Trail))
+			}
+		}
+	}
+
+	// Phase one: the DFS probe — pintcheck's own search, bounded, as a
+	// driver. Its convictions arrive pre-witnessed and its decisions seed
+	// the coverage map through the same state hashes.
+	if e.opt.DFSBudget > 0 {
+		opt := e.runOptions(ks, Input{Kernel: ks.k.Name})
+		opt.Budget = e.opt.DFSBudget
+		opt.PreemptBound = -1
+		crep, err := check.Explore(ks.proto, opt)
+		if err == nil {
+			rep.Runs += crep.Runs
+			base := Input{Kernel: ks.k.Name, File: ks.k.File}
+			for _, c := range crep.Convictions {
+				if seen[c.Key()] {
+					continue
+				}
+				seen[c.Key()] = true
+				fd := &Finding{
+					Key: c.Key(), Rule: c.Rule, File: c.File, Line: c.Line,
+					Message: c.Message,
+					Input:   base, Source: ks.k.Source,
+					Known:  ks.known[c.Key()],
+					Wedged: c.Wedged,
+					Trace:  c.Trace,
+				}
+				fd.Schedule = append(fd.Schedule, c.Schedule...)
+				rep.Findings = append(rep.Findings, fd)
+				if w := e.opt.Progress; w != nil {
+					tag := "NEW"
+					if fd.Known {
+						tag = "known"
+					}
+					fmt.Fprintf(w, "pintfuzz: [%s] %s %s (kernel %s, dfs probe)\n", tag, c.Key(), c.Message, ks.k.Name)
+				}
+			}
+		}
+	}
+
+	// Phase two: seed fuzzing. Draw an input from the queue, mutate one
+	// axis, execute, keep it if it reached a new state hash.
+	mutants := map[string]bool{}
+	for i := 0; i < e.opt.Budget; i++ {
+		base := ks.queue[ks.rng.intn(len(ks.queue))]
+		in := e.mutateInput(ks, base, rep, mutants)
+
+		src := ks.k.Source
+		proto := ks.proto
+		if len(in.Trail) > 0 {
+			var err error
+			src, err = Apply(ks.k.Source, in.Trail)
+			if err != nil {
+				rep.Rejected++
+				continue
+			}
+			proto, err = compiler.CompileSource(src, ks.k.File)
+			if err != nil {
+				rep.Rejected++
+				continue
+			}
+		}
+
+		run := check.RunSchedule(proto, e.runOptions(ks, in), derivePolicy(in.SchedSeed))
+		rep.Runs++
+		record(in, src, run, judge(run))
+
+		fresh := false
+		for _, h := range run.Hashes {
+			if !ks.states[h] {
+				ks.states[h] = true
+				fresh = true
+			}
+		}
+		if fresh {
+			ks.queue = append(ks.queue, in)
+		}
+	}
+}
+
+// mutateInput perturbs one axis of base: the schedule seed, the chaos
+// seed (blind reroll or aimed at a specific fault occurrence via
+// chaos.SeedFiringAt), or the program (one more structural mutation on
+// the trail).
+func (e *Engine) mutateInput(ks *kernelState, base Input, rep *Report, mutants map[string]bool) Input {
+	in := base
+	in.Trail = append([]Mutation(nil), base.Trail...)
+
+	axes := 1 // schedule
+	if e.opt.Chaos {
+		axes++
+	}
+	if e.opt.Mutate {
+		axes++
+	}
+	switch ks.rng.intn(axes) {
+	case 0: // schedule seed
+		in.SchedSeed = ks.rng.seed()
+	case 1:
+		if e.opt.Chaos {
+			e.mutateChaos(ks, &in)
+		} else {
+			e.mutateProgram(ks, &in, rep, mutants)
+		}
+	default:
+		e.mutateProgram(ks, &in, rep, mutants)
+	}
+	if in.SchedSeed == 0 && len(in.Trail) == 0 && in.ChaosSeed == 0 {
+		// Never re-run the untouched base input: spend the execution on a
+		// perturbed schedule at least.
+		in.SchedSeed = ks.rng.seed()
+	}
+	return in
+}
+
+func (e *Engine) mutateChaos(ks *kernelState, in *Input) {
+	// One in three chaos mutations aims a single fault at a chosen
+	// occurrence of a chosen point (the surgical perturbation); the rest
+	// reroll the whole fault schedule, occasionally back to fault-free.
+	switch ks.rng.intn(6) {
+	case 0:
+		in.ChaosSeed = 0
+	case 1, 2:
+		pts := activePoints(e.opt.ChaosConfig)
+		if len(pts) == 0 {
+			in.ChaosSeed = ks.rng.seed()
+			return
+		}
+		p := pts[ks.rng.intn(len(pts))]
+		n := uint64(1 + ks.rng.intn(4))
+		if seed, ok := chaos.SeedFiringAt(p, n, e.opt.ChaosConfig, int64(ks.rng.intn(1<<16)), 4096); ok {
+			in.ChaosSeed = seed
+		} else {
+			in.ChaosSeed = ks.rng.seed()
+		}
+	default:
+		in.ChaosSeed = ks.rng.seed()
+	}
+}
+
+func activePoints(cfg chaos.Config) []chaos.Point {
+	var out []chaos.Point
+	for p := chaos.Point(0); p < chaos.NumPoints; p++ {
+		if cfg.Rates[p] > 0 {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func (e *Engine) mutateProgram(ks *kernelState, in *Input, rep *Report, mutants map[string]bool) {
+	if len(in.Trail) >= e.opt.MaxMutations {
+		// Trail full: restart from the unmutated program instead of
+		// growing monsters.
+		in.Trail = nil
+	}
+	src, err := Apply(ks.k.Source, in.Trail)
+	if err != nil {
+		in.Trail = nil
+		src = ks.k.Source
+	}
+	m, ok := propose(src, ks.rng)
+	if !ok {
+		return
+	}
+	in.Trail = append(in.Trail, m)
+	if key := trailKey(in.Trail); !mutants[key] {
+		mutants[key] = true
+		rep.Mutants++
+	}
+}
+
+func trailKey(trail []Mutation) string {
+	parts := make([]string, len(trail))
+	for i, m := range trail {
+		parts[i] = m.String()
+	}
+	sort.Strings(parts)
+	return fmt.Sprint(parts)
+}

@@ -1,0 +1,189 @@
+package fuzz
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"dionea/internal/check"
+	"dionea/internal/corpus"
+	"dionea/internal/kernel"
+)
+
+// TestRediscoversKnownConvictions is the fuzzer's conformance bar: one
+// campaign at the default budget over the whole corpus must rediscover
+// every conviction key the corpus promises. This is what keeps the
+// mutation operators, the schedule drivers, and the oracles honest — a
+// regression in any of them shows up as a missed known bug.
+func TestRediscoversKnownConvictions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-corpus campaign; skipped with -short")
+	}
+	e := New(Options{Seed: 1, Chaos: true, Mutate: true})
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, f := range rep.Findings {
+		if f.Known {
+			found[f.Input.Kernel+"/"+f.Key] = true
+		}
+	}
+	want := 0
+	for _, k := range corpus.Kernels() {
+		for _, key := range k.CheckConvictions {
+			want++
+			if !found[k.Name+"/"+key] {
+				t.Errorf("known conviction not rediscovered: %s %s", k.Name, key)
+			}
+		}
+	}
+	if rep.KnownRediscovered < want {
+		t.Errorf("KnownRediscovered = %d, want %d", rep.KnownRediscovered, want)
+	}
+	if rep.Runs == 0 || rep.States == 0 {
+		t.Errorf("empty campaign: runs=%d states=%d", rep.Runs, rep.States)
+	}
+}
+
+// TestCampaignDeterministic: the whole campaign is a pure function of
+// the master seed — same seed, same findings in the same order.
+func TestCampaignDeterministic(t *testing.T) {
+	run := func() []string {
+		e := New(Options{Seed: 42, Budget: 60, Chaos: true, Mutate: true,
+			Kernels: kernelsNamed(t, "lock-order-cycle", "deep-fork-pipe-chain")})
+		rep, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var keys []string
+		for _, f := range rep.Findings {
+			keys = append(keys, f.Input.Kernel+"/"+f.Key)
+		}
+		return keys
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("campaign not deterministic: %d vs %d findings", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("finding %d differs: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestExecuteTripleDeterministic is the determinism contract as a
+// testing/quick property: executing the same (program, schedule seed,
+// chaos seed) triple twice yields the byte-identical witness trace and
+// the same outcome — on any seeds quick throws at it.
+func TestExecuteTripleDeterministic(t *testing.T) {
+	e := New(Options{Chaos: true, Mutate: true})
+	targets := []string{"lock-order-cycle", "queue-handshake-ok", "sem-cycle-deadlock"}
+	prop := func(sched, chaosSeed int64, ki uint8) bool {
+		in := Input{
+			Kernel:    targets[int(ki)%len(targets)],
+			SchedSeed: sched,
+			ChaosSeed: chaosSeed,
+		}
+		ra, _, err := e.Execute(in)
+		if err != nil {
+			return false
+		}
+		rb, _, err := e.Execute(in)
+		if err != nil {
+			return false
+		}
+		if ra.Outcome != rb.Outcome || len(ra.Schedule) != len(rb.Schedule) {
+			return false
+		}
+		for i := range ra.Schedule {
+			if ra.Schedule[i] != rb.Schedule[i] {
+				return false
+			}
+		}
+		return bytes.Equal(ra.Trace, rb.Trace)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 24}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBenignSleeperKernelStaysQuiet: the all-timed-sleep kernel must
+// survive an entire schedule+chaos campaign without a single conviction
+// — the wedge oracle's core.BenignWait guard treats a program whose
+// every thread is in a timed sleep as quiet, not deadlocked. (Structural
+// mutation is off: inserting locks and forks is *supposed* to be able to
+// break any kernel.)
+func TestBenignSleeperKernelStaysQuiet(t *testing.T) {
+	e := New(Options{Seed: 5, Budget: 200, Chaos: true,
+		Kernels: kernelsNamed(t, "sleeper-threads-ok")})
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings {
+		t.Errorf("sleeper kernel convicted: %s (sched %d chaos %d)", f.Key, f.Input.SchedSeed, f.Input.ChaosSeed)
+	}
+	if rep.Runs < 200 {
+		t.Errorf("campaign ran %d executions, want >= 200", rep.Runs)
+	}
+}
+
+// TestJudgeDropsBenignWedge: unit coverage for the oracle seam — a
+// wedge whose threads all sit in timed sleeps loses the synthesized
+// deadlock verdict but keeps analyzer findings; one non-benign thread
+// keeps everything.
+func TestJudgeDropsBenignWedge(t *testing.T) {
+	e := New(Options{})
+	// A real wedge: sem-cycle-deadlock under a schedule that convicts.
+	ks, err := e.stateFor("sem-cycle-deadlock")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wedged *check.RunReport
+	for seed := int64(1); seed < 64 && wedged == nil; seed++ {
+		rep := check.RunSchedule(ks.proto, e.runOptions(ks, Input{}), derivePolicy(seed))
+		if rep.Outcome == check.OutcomeWedged {
+			wedged = rep
+		}
+	}
+	if wedged == nil {
+		t.Fatal("no schedule wedged sem-cycle-deadlock in 64 walks")
+	}
+	if fs := judge(wedged); len(fs) == 0 {
+		t.Fatal("non-benign wedge judged clean")
+	}
+	// Rewrite the wedge roster as all-benign and the synthesized verdict
+	// must vanish.
+	benign := *wedged
+	benign.Wedged = append([]check.WedgedThread(nil), wedged.Wedged...)
+	for i := range benign.Wedged {
+		benign.Wedged[i].State = kernel.StateBlockedExternal
+		benign.Wedged[i].Reason = "sleep"
+	}
+	for _, f := range judge(&benign) {
+		if isWedgeVerdict(f) {
+			t.Fatalf("benign wedge kept the synthesized deadlock verdict: %s", f.Message)
+		}
+	}
+}
+
+func kernelsNamed(t *testing.T, names ...string) []corpus.BugKernel {
+	t.Helper()
+	var out []corpus.BugKernel
+	for _, n := range names {
+		found := false
+		for _, k := range corpus.Kernels() {
+			if k.Name == n {
+				out = append(out, k)
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("no corpus kernel named %q", n)
+		}
+	}
+	return out
+}

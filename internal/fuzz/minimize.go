@@ -1,0 +1,154 @@
+// The two-stage minimization pipeline. Stage one delta-debugs the
+// structural mutation trail: drop every mutation whose absence still
+// reproduces the oracle verdict, iterating to a fixpoint, so a
+// regression carries only the mutations that matter. Stage two hands
+// the surviving program to pintcheck's search, which already knows how
+// to find the cheapest witness schedule for a conviction key (fewest
+// preemptions, then fewest events) and to validate it by byte-identical
+// re-execution. When the search reproduces the key, its witness
+// replaces the fuzz run's own — a fuzz witness is whatever schedule
+// happened to convict; the checker's is the canonical shortest story.
+
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+
+	"dionea/internal/check"
+	"dionea/internal/compiler"
+)
+
+// Regression is a minimized, replayable finding — the artifact shape
+// committed under testdata/fuzz/regressions/.
+type Regression struct {
+	// Name is the artifact's file stem: kernel name + conviction key,
+	// filesystem-safe.
+	Name string `json:"name"`
+	// Finding identity (post-minimization source positions).
+	Key     string `json:"key"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	// Input is the minimized triple; Source its materialized program.
+	// ChaosRates pins the fault rates the chaos seed was drawn under, so
+	// the artifact replays identically even if the engine's default
+	// config changes.
+	Input      Input     `json:"input"`
+	Source     string    `json:"-"`
+	ChaosRates []float64 `json:"chaos_rates,omitempty"`
+	// Wedged regressions hang `pint -replay`; they are verified by
+	// in-process re-execution only and excluded from the replay sweep.
+	Wedged bool `json:"wedged"`
+	// MinimizedBy records what the pipeline did: mutations dropped by
+	// the delta stage and whether the witness came from the checker.
+	DroppedMutations int  `json:"dropped_mutations"`
+	CheckerWitness   bool `json:"checker_witness"`
+	// Schedule is the witness schedule; Trace the PINTTRC1 witness that
+	// replays byte-identically.
+	Schedule []check.ThreadKey `json:"schedule"`
+	Trace    []byte            `json:"-"`
+}
+
+// reproduces reports whether executing in still yields the finding key.
+func (e *Engine) reproduces(in Input, key string) bool {
+	rep, _, err := e.Execute(in)
+	if err != nil {
+		return false
+	}
+	for _, f := range judge(rep) {
+		if fmt.Sprintf("%s@%s:%d", f.Rule, f.File, f.Line) == key {
+			return true
+		}
+	}
+	return false
+}
+
+// Minimize shrinks a finding into a regression artifact. witnessBudget
+// bounds the checker's witness search (0 = check.DefaultBudget).
+func (e *Engine) Minimize(f *Finding, witnessBudget int) (*Regression, error) {
+	in := f.Input
+	in.Trail = append([]Mutation(nil), f.Input.Trail...)
+
+	// Stage one: delta-debug the mutation trail. Dropping a mutation
+	// shifts the lines later trail entries anchor to, so each attempt
+	// re-applies the shortened trail from the base source and simply
+	// rejects it if it no longer applies or compiles.
+	dropped := 0
+	for changed := true; changed && len(in.Trail) > 0; {
+		changed = false
+		for i := len(in.Trail) - 1; i >= 0; i-- {
+			cand := in
+			cand.Trail = append(append([]Mutation(nil), in.Trail[:i]...), in.Trail[i+1:]...)
+			if e.reproduces(cand, f.Key) {
+				in = cand
+				dropped++
+				changed = true
+			}
+		}
+	}
+
+	run, src, err := e.Execute(in)
+	if err != nil {
+		return nil, fmt.Errorf("minimized input does not execute: %w", err)
+	}
+	reg := &Regression{
+		Name:    regressionName(f.Input.Kernel, f.Key),
+		Key:     f.Key,
+		Rule:    f.Rule,
+		Message: f.Message,
+		Input:   in,
+		Source:  src,
+		Wedged:  run.Outcome == check.OutcomeWedged,
+
+		DroppedMutations: dropped,
+		Schedule:         run.Schedule,
+		Trace:            run.Trace,
+	}
+	if in.ChaosSeed != 0 {
+		reg.ChaosRates = e.opt.ChaosConfig.RatesSlice()
+	}
+
+	// Stage two: cheapest-witness search on the survivor. The search
+	// runs under the same chaos options as the input, so chaos-dependent
+	// findings keep their faults; its witness traces carry the 'C'
+	// section and validate by byte-identical re-execution.
+	ks, err := e.stateFor(in.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	proto, err := compiler.CompileSource(src, ks.k.File)
+	if err != nil {
+		return nil, err
+	}
+	opt := e.runOptions(ks, in)
+	opt.Budget = witnessBudget
+	opt.PreemptBound = -1
+	crep, err := check.Explore(proto, opt)
+	if err == nil {
+		for _, c := range crep.Convictions {
+			if c.Key() == reg.Key && c.Validated {
+				reg.Message = c.Message
+				reg.Wedged = c.Wedged
+				reg.CheckerWitness = true
+				reg.Schedule = c.Schedule
+				reg.Trace = c.Trace
+				// The checker found it without the schedule seed's help:
+				// the committed input drops to the canonical schedule.
+				reg.Input.SchedSeed = 0
+				break
+			}
+		}
+	}
+	if len(reg.Trace) == 0 {
+		return nil, fmt.Errorf("finding %s has no witness trace", f.Key)
+	}
+	return reg, nil
+}
+
+// regressionName flattens kernel + key into a file stem:
+// lock-order-cycle + deadlock@k_lockorder.pint:6 ->
+// lock-order-cycle--deadlock-k_lockorder.pint-6.
+func regressionName(kernel, key string) string {
+	flat := strings.NewReplacer("@", "-", ":", "-", "/", "-").Replace(key)
+	return kernel + "--" + flat
+}

@@ -1,0 +1,149 @@
+package fuzz
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dionea/internal/chaos"
+	"dionea/internal/check"
+	"dionea/internal/trace"
+)
+
+// findingFor executes in and returns the first oracle finding, as the
+// engine would record it.
+func findingFor(t *testing.T, e *Engine, in Input) *Finding {
+	t.Helper()
+	rep, src, err := e.Execute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := judge(rep)
+	if len(fs) == 0 {
+		t.Fatalf("input %+v produced no findings (outcome %s)", in, rep.Outcome)
+	}
+	f := fs[0]
+	return &Finding{
+		Key:  fmt.Sprintf("%s@%s:%d", f.Rule, f.File, f.Line),
+		Rule: string(f.Rule), File: f.File, Line: f.Line, Message: f.Message,
+		Input: in, Source: src,
+		Wedged:   rep.Outcome == check.OutcomeWedged,
+		Schedule: rep.Schedule,
+		Trace:    rep.Trace,
+	}
+}
+
+// TestMinimizeDropsUselessMutations: a finding reached through a mutant
+// whose mutation is dead code must shrink back to the unmutated kernel,
+// and stage two must replace the fuzz witness with the checker's
+// validated one.
+func TestMinimizeDropsUselessMutations(t *testing.T) {
+	e := New(Options{})
+	// deep-fork-pipe-chain wedges at line 15 on every schedule; a
+	// wrap-lock after the wedge point never runs and must be dropped.
+	in := Input{
+		Kernel: "deep-fork-pipe-chain",
+		File:   "k_deepchain.pint",
+		Trail:  []Mutation{{OpWrapLock, 16}},
+	}
+	f := findingFor(t, e, in)
+	if !strings.HasPrefix(f.Key, "deadlock@k_deepchain.pint:") &&
+		!strings.HasPrefix(f.Key, "pipe-end-leak@k_deepchain.pint:") {
+		t.Fatalf("unexpected finding %s", f.Key)
+	}
+
+	reg, err := e.Minimize(f, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.DroppedMutations != 1 || len(reg.Input.Trail) != 0 {
+		t.Fatalf("dropped=%d trail=%v, want the dead mutation gone", reg.DroppedMutations, reg.Input.Trail)
+	}
+	if !reg.Wedged {
+		t.Fatal("deep-chain regression must be marked wedged")
+	}
+	if !reg.CheckerWitness {
+		t.Fatal("stage two should have replaced the witness with the checker's")
+	}
+	if len(reg.Trace) == 0 || len(reg.Schedule) == 0 {
+		t.Fatal("regression carries no witness")
+	}
+	if err := e.Verify(reg); err != nil {
+		t.Fatalf("minimized regression does not verify: %v", err)
+	}
+}
+
+// TestMinimizeChaosFinding: a fault-induced wedge minimizes into a
+// self-contained regression whose witness trace renders the injected
+// fault symbolically — the `pinttrace -dump` view of a chaos witness
+// names the point and occurrence, not raw object ids.
+func TestMinimizeChaosFinding(t *testing.T) {
+	e := New(Options{Chaos: true})
+	// Walk the chaos-seed axis until a fault schedule wedges the mp
+	// worker (killing the queue feeder before its put leaves q.get()
+	// waiting forever). Firing is a pure function of (seed, point,
+	// occurrence), so the walk is deterministic.
+	var in Input
+	found := false
+	for seed := int64(1); seed <= 512 && !found; seed++ {
+		cand := Input{Kernel: "mp-queue-workload", File: "k_mpwork.pint", ChaosSeed: seed}
+		rep, _, err := e.Execute(cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(judge(rep)) > 0 {
+			in, found = cand, true
+		}
+	}
+	if !found {
+		t.Fatal("no chaos seed in 1..512 convicts mp-queue-workload")
+	}
+	f := findingFor(t, e, in)
+	seed := in.ChaosSeed
+
+	reg, err := e.Minimize(f, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Input.ChaosSeed != seed {
+		t.Fatalf("minimization changed the chaos seed: %d -> %d", seed, reg.Input.ChaosSeed)
+	}
+	if len(reg.ChaosRates) == 0 {
+		t.Fatal("chaos regression must pin its fault rates")
+	}
+	if err := e.Verify(reg); err != nil {
+		t.Fatalf("chaos regression does not verify: %v", err)
+	}
+
+	tr, err := trace.Read(bytes.NewReader(reg.Trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.HasChaos {
+		t.Fatal("witness trace lost its chaos section")
+	}
+	sawFault := false
+	for _, ev := range tr.Events {
+		if ev.Op != trace.OpFault {
+			continue
+		}
+		sawFault = true
+		line := trace.FormatEvent(ev, tr.FileName)
+		if !strings.Contains(line, "point="+chaos.Point(ev.Obj).String()) ||
+			!strings.Contains(line, " n=") {
+			t.Fatalf("fault event not symbolic: %q", line)
+		}
+	}
+	if !sawFault {
+		t.Fatal("witness trace carries no fault event")
+	}
+}
+
+func TestRegressionName(t *testing.T) {
+	got := regressionName("lock-order-cycle", "deadlock@k_lockorder.pint:6")
+	want := "lock-order-cycle--deadlock-k_lockorder.pint-6"
+	if got != want {
+		t.Fatalf("regressionName = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,192 @@
+// Structural program mutation. The mutators are deliberately small and
+// line-based: each one perturbs the kernel's source in a way that maps
+// onto a known fork/concurrency bug shape — wrap a statement in a fresh
+// lock (fork-while-lock-held material), run a statement in a forked
+// child (stale state, inherited descriptors), swap two adjacent lock
+// acquisitions (lock-order inversion), duplicate a pipe close
+// (double-close). A mutation that does not compile is discarded by the
+// engine, so the operators can be syntactically optimistic.
+//
+// Mutations record what they did, not the resulting text: re-applying
+// the trail to the base source reproduces the mutant exactly, which is
+// what lets the minimizer delta-debug the trail instead of diffing text.
+
+package fuzz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MutOp names one mutation operator.
+type MutOp string
+
+const (
+	// OpWrapLock wraps one top-level statement in a freshly created
+	// mutex's lock/unlock pair.
+	OpWrapLock MutOp = "wrap-lock"
+	// OpInsertFork runs one top-level statement inside a fork()ed child
+	// and waits for it.
+	OpInsertFork MutOp = "insert-fork"
+	// OpSwapLocks swaps two adjacent lock/acquire acquisitions at the
+	// same indentation.
+	OpSwapLocks MutOp = "swap-locks"
+	// OpDupClose duplicates a .close() call on the following line.
+	OpDupClose MutOp = "dup-close"
+)
+
+// Mutation is one applied operator, anchored by the 1-based line it
+// targeted in the source it was applied to (i.e. after any earlier
+// mutations in the trail).
+type Mutation struct {
+	Op   MutOp `json:"op"`
+	Line int   `json:"line"`
+}
+
+func (m Mutation) String() string { return fmt.Sprintf("%s@%d", m.Op, m.Line) }
+
+// mutOps is the operator order the engine draws from.
+var mutOps = []MutOp{OpWrapLock, OpInsertFork, OpSwapLocks, OpDupClose}
+
+// isSimpleStmt reports whether a line is a plain top-level statement a
+// wrapper can enclose: no indentation (top-level), not blank, not a
+// comment, and not a block opener/closer — wrapping those would tear the
+// block structure apart.
+func isSimpleStmt(line string) bool {
+	if line == "" || strings.HasPrefix(line, " ") || strings.HasPrefix(line, "\t") {
+		return false
+	}
+	t := strings.TrimSpace(line)
+	switch {
+	case t == "" || strings.HasPrefix(t, "#"):
+		return false
+	case strings.HasPrefix(t, "func "), t == "end", t == "}", t == "{":
+		return false
+	case strings.HasSuffix(t, "do"), strings.HasSuffix(t, "{"):
+		return false
+	case strings.HasPrefix(t, "return"), strings.HasPrefix(t, "break"), strings.HasPrefix(t, "continue"):
+		return false
+	}
+	return true
+}
+
+func isAcquire(line string) bool {
+	t := strings.TrimSpace(line)
+	return strings.HasSuffix(t, ".lock()") || strings.HasSuffix(t, ".acquire()") || strings.HasSuffix(t, ".p()")
+}
+
+func isClose(line string) bool {
+	return strings.HasSuffix(strings.TrimSpace(line), ".close()")
+}
+
+func indentOf(line string) string {
+	return line[:len(line)-len(strings.TrimLeft(line, " \t"))]
+}
+
+// candidates returns the 1-based lines op may target in src.
+func candidates(src string, op MutOp) []int {
+	lines := strings.Split(src, "\n")
+	var out []int
+	for i, ln := range lines {
+		switch op {
+		case OpWrapLock, OpInsertFork:
+			if isSimpleStmt(ln) {
+				out = append(out, i+1)
+			}
+		case OpSwapLocks:
+			if i+1 < len(lines) && isAcquire(ln) && isAcquire(lines[i+1]) &&
+				indentOf(ln) == indentOf(lines[i+1]) &&
+				strings.TrimSpace(ln) != strings.TrimSpace(lines[i+1]) {
+				out = append(out, i+1)
+			}
+		case OpDupClose:
+			if isClose(ln) {
+				out = append(out, i+1)
+			}
+		}
+	}
+	return out
+}
+
+// apply performs one mutation on src. The fresh names carry the current
+// mutation index so stacked mutations never collide.
+func apply(src string, m Mutation, idx int) (string, error) {
+	lines := strings.Split(src, "\n")
+	i := m.Line - 1
+	if i < 0 || i >= len(lines) {
+		return "", fmt.Errorf("mutation %s out of range (%d lines)", m, len(lines))
+	}
+	ln := lines[i]
+	switch m.Op {
+	case OpWrapLock:
+		if !isSimpleStmt(ln) {
+			return "", fmt.Errorf("%s: line %d is not a simple statement", m.Op, m.Line)
+		}
+		name := fmt.Sprintf("__fzm%d", idx)
+		repl := []string{
+			name + " = mutex_new()",
+			name + ".lock()",
+			ln,
+			name + ".unlock()",
+		}
+		lines = append(lines[:i], append(repl, lines[i+1:]...)...)
+	case OpInsertFork:
+		if !isSimpleStmt(ln) {
+			return "", fmt.Errorf("%s: line %d is not a simple statement", m.Op, m.Line)
+		}
+		name := fmt.Sprintf("__fzp%d", idx)
+		repl := []string{
+			name + " = fork do",
+			"    " + strings.TrimSpace(ln),
+			"    exit(0)",
+			"end",
+			"waitpid(" + name + ")",
+		}
+		lines = append(lines[:i], append(repl, lines[i+1:]...)...)
+	case OpSwapLocks:
+		if i+1 >= len(lines) || !isAcquire(ln) || !isAcquire(lines[i+1]) {
+			return "", fmt.Errorf("%s: lines %d-%d are not an acquire pair", m.Op, m.Line, m.Line+1)
+		}
+		lines[i], lines[i+1] = lines[i+1], lines[i]
+	case OpDupClose:
+		if !isClose(ln) {
+			return "", fmt.Errorf("%s: line %d is not a close", m.Op, m.Line)
+		}
+		lines = append(lines[:i+1], append([]string{ln}, lines[i+1:]...)...)
+	default:
+		return "", fmt.Errorf("unknown mutation op %q", m.Op)
+	}
+	return strings.Join(lines, "\n"), nil
+}
+
+// Apply replays a mutation trail over base and returns the mutant
+// source. It fails if any step no longer matches — the trail encodes
+// positions in the intermediate sources, so order matters.
+func Apply(base string, trail []Mutation) (string, error) {
+	src := base
+	for idx, m := range trail {
+		var err error
+		src, err = apply(src, m, idx)
+		if err != nil {
+			return "", err
+		}
+	}
+	return src, nil
+}
+
+// propose draws one applicable mutation for src from r, or ok=false when
+// no operator has a candidate site.
+func propose(src string, r *rng) (Mutation, bool) {
+	// Try operator families in a seeded rotation so every family gets a
+	// chance even when the first pick has no candidate lines.
+	start := r.intn(len(mutOps))
+	for off := 0; off < len(mutOps); off++ {
+		op := mutOps[(start+off)%len(mutOps)]
+		cand := candidates(src, op)
+		if len(cand) == 0 {
+			continue
+		}
+		return Mutation{Op: op, Line: cand[r.intn(len(cand))]}, true
+	}
+	return Mutation{}, false
+}

@@ -1,0 +1,144 @@
+package fuzz
+
+import (
+	"strings"
+	"testing"
+
+	"dionea/internal/compiler"
+	"dionea/internal/corpus"
+)
+
+const mutSample = `a = mutex_new()
+b = mutex_new()
+t = spawn do
+    a.lock()
+    b.lock()
+    b.unlock()
+    a.unlock()
+end
+r, w = pipe()
+w.write("x")
+w.close()
+t.join()
+`
+
+func TestCandidates(t *testing.T) {
+	cases := []struct {
+		op   MutOp
+		want []int
+	}{
+		// Top-level simple statements only: never the spawn opener, its
+		// indented body, or the bare "end".
+		{OpWrapLock, []int{1, 2, 9, 10, 11, 12}},
+		{OpInsertFork, []int{1, 2, 9, 10, 11, 12}},
+		// The only adjacent same-indent acquire pair is a.lock()/b.lock().
+		{OpSwapLocks, []int{4}},
+		{OpDupClose, []int{11}},
+	}
+	for _, c := range cases {
+		got := candidates(mutSample, c.op)
+		if len(got) != len(c.want) {
+			t.Fatalf("%s: candidates = %v, want %v", c.op, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("%s: candidates = %v, want %v", c.op, got, c.want)
+			}
+		}
+	}
+}
+
+func TestApplyShapes(t *testing.T) {
+	wrapped, err := Apply(mutSample, []Mutation{{OpWrapLock, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"__fzm0 = mutex_new()", "__fzm0.lock()", "__fzm0.unlock()"} {
+		if !strings.Contains(wrapped, want) {
+			t.Fatalf("wrap-lock mutant missing %q:\n%s", want, wrapped)
+		}
+	}
+
+	forked, err := Apply(mutSample, []Mutation{{OpInsertFork, 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"__fzp0 = fork do", "waitpid(__fzp0)"} {
+		if !strings.Contains(forked, want) {
+			t.Fatalf("insert-fork mutant missing %q:\n%s", want, forked)
+		}
+	}
+
+	swapped, err := Apply(mutSample, []Mutation{{OpSwapLocks, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(swapped, "b.lock()\n    a.lock()") {
+		t.Fatalf("swap-locks did not invert the pair:\n%s", swapped)
+	}
+
+	dup, err := Apply(mutSample, []Mutation{{OpDupClose, 11}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(dup, "w.close()") != 2 {
+		t.Fatalf("dup-close did not duplicate:\n%s", dup)
+	}
+}
+
+func TestApplyRejectsMismatchedSites(t *testing.T) {
+	cases := []Mutation{
+		{OpWrapLock, 3},   // spawn opener
+		{OpInsertFork, 4}, // indented body line
+		{OpSwapLocks, 5},  // b.lock()/b.unlock() is not an acquire pair
+		{OpDupClose, 1},   // not a close
+		{OpWrapLock, 999}, // out of range
+		{"bogus-op", 1},   // unknown operator
+	}
+	for _, m := range cases {
+		if _, err := Apply(mutSample, []Mutation{m}); err == nil {
+			t.Errorf("Apply(%s) succeeded, want error", m)
+		}
+	}
+}
+
+// TestApplyDeterministic: a trail is a pure function of the base source —
+// replaying it twice yields the identical mutant, which is what lets the
+// minimizer reason about trails instead of diffing program text.
+func TestApplyDeterministic(t *testing.T) {
+	trail := []Mutation{{OpWrapLock, 10}, {OpInsertFork, 1}, {OpDupClose, 18}}
+	a, err := Apply(mutSample, trail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Apply(mutSample, trail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("same trail produced different mutants")
+	}
+}
+
+// TestProposedMutantsCompile: every mutation propose() draws against the
+// real corpus must apply cleanly, and the huge majority must compile —
+// the engine tolerates compile failures (Rejected) but the operators are
+// designed to be syntactically safe on the corpus surface.
+func TestProposedMutantsCompile(t *testing.T) {
+	for _, k := range corpus.Kernels() {
+		r := newRng(7)
+		for i := 0; i < 40; i++ {
+			m, ok := propose(k.Source, r)
+			if !ok {
+				t.Fatalf("%s: no mutation proposable", k.Name)
+			}
+			src, err := Apply(k.Source, []Mutation{m})
+			if err != nil {
+				t.Fatalf("%s: proposed %s does not apply: %v", k.Name, m, err)
+			}
+			if _, err := compiler.CompileSource(src, k.File); err != nil {
+				t.Errorf("%s: mutant %s does not compile: %v", k.Name, m, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Schedule policies: the fuzzing counterparts of pintcheck's DFS. Both
+// plug into check.RunSchedule through the SchedulePolicy hook, so a
+// policy decides only at genuine choice points — forced grants and the
+// settle protocol stay the checker's business. A policy instance is
+// stateful per run; derivePolicy builds a fresh one from the schedule
+// seed so the same seed replays the same decisions.
+
+package fuzz
+
+import "dionea/internal/check"
+
+// randomWalk picks uniformly among the enabled threads at every choice
+// point. It is the exploration workhorse: on small kernels a few hundred
+// walks cover most of the interleaving tree without any of the DFS's
+// bookkeeping.
+type randomWalk struct {
+	r *rng
+}
+
+func (p *randomWalk) Choose(step int, enabled []check.ThreadKey, prev check.ThreadKey, havePrev bool) check.ThreadKey {
+	return enabled[p.r.intn(len(enabled))]
+}
+
+// preemptionBurst mostly follows the checker's default policy (stay on
+// the previous thread — few context switches), but every so often it
+// forces a burst of consecutive preemptions. Bugs that need K switches
+// in a tight window (lock-order inversions, fork between two writes) sit
+// exactly in the schedules this generates; a uniform walk dilutes them.
+type preemptionBurst struct {
+	r         *rng
+	burstLeft int
+	gap       int // choice points between bursts
+	sinceLast int
+}
+
+func newPreemptionBurst(r *rng) *preemptionBurst {
+	return &preemptionBurst{r: r, gap: 1 + r.intn(4)}
+}
+
+func (p *preemptionBurst) Choose(step int, enabled []check.ThreadKey, prev check.ThreadKey, havePrev bool) check.ThreadKey {
+	if p.burstLeft == 0 {
+		p.sinceLast++
+		if p.sinceLast >= p.gap {
+			p.burstLeft = 1 + p.r.intn(3)
+			p.gap = 1 + p.r.intn(4)
+			p.sinceLast = 0
+		}
+	}
+	if p.burstLeft > 0 {
+		p.burstLeft--
+		// Prefer a thread other than prev: that is what makes it a
+		// preemption. With only prev enabled this is a forced stay.
+		others := make([]check.ThreadKey, 0, len(enabled))
+		for _, k := range enabled {
+			if !havePrev || k != prev {
+				others = append(others, k)
+			}
+		}
+		if len(others) > 0 {
+			return others[p.r.intn(len(others))]
+		}
+	}
+	// Abstain: returning prev (or the zero key when there is none) keeps
+	// the checker's default choice.
+	if havePrev {
+		return prev
+	}
+	return enabled[0]
+}
+
+// derivePolicy builds the policy a schedule seed denotes: the low bit
+// selects the driver family, the rest seeds its generator. Seed 0 is the
+// checker's default non-preempting schedule (nil policy).
+func derivePolicy(schedSeed int64) check.SchedulePolicy {
+	if schedSeed == 0 {
+		return nil
+	}
+	r := newRng(schedSeed)
+	if schedSeed&1 == 0 {
+		return newPreemptionBurst(r)
+	}
+	return &randomWalk{r: r}
+}

@@ -1,0 +1,83 @@
+package fuzz
+
+import (
+	"testing"
+
+	"dionea/internal/check"
+)
+
+func keys(pairs ...uint32) []check.ThreadKey {
+	out := make([]check.ThreadKey, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, check.ThreadKey{PID: pairs[i], TID: pairs[i+1]})
+	}
+	return out
+}
+
+func TestDerivePolicyFamilies(t *testing.T) {
+	if derivePolicy(0) != nil {
+		t.Fatal("seed 0 must mean the checker's default schedule (nil policy)")
+	}
+	if _, ok := derivePolicy(3).(*randomWalk); !ok {
+		t.Fatal("odd seed must derive a random walk")
+	}
+	if _, ok := derivePolicy(4).(*preemptionBurst); !ok {
+		t.Fatal("even seed must derive a preemption burst")
+	}
+}
+
+func TestRandomWalkStaysEnabled(t *testing.T) {
+	p := derivePolicy(11)
+	enabled := keys(1, 0, 1, 2, 2, 0)
+	for step := 0; step < 200; step++ {
+		pick := p.Choose(step, enabled, enabled[0], true)
+		found := false
+		for _, k := range enabled {
+			if k == pick {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("step %d: pick %v not in enabled set", step, pick)
+		}
+	}
+}
+
+// TestPreemptionBurstPreempts: over enough choice points the burst driver
+// must both stay on prev (the gaps) and leave it (the bursts) — a driver
+// that only ever does one of the two is not generating burst schedules.
+func TestPreemptionBurstPreempts(t *testing.T) {
+	p := derivePolicy(8)
+	enabled := keys(1, 0, 1, 1)
+	prev := enabled[0]
+	stays, leaves := 0, 0
+	for step := 0; step < 300; step++ {
+		pick := p.Choose(step, enabled, prev, true)
+		if pick == prev {
+			stays++
+		} else {
+			leaves++
+		}
+	}
+	if stays == 0 || leaves == 0 {
+		t.Fatalf("burst driver degenerate: stays=%d leaves=%d", stays, leaves)
+	}
+}
+
+// TestPolicyDeterministic: the same seed replays the same decision
+// sequence — the schedule-seed half of the fuzzer's determinism contract.
+func TestPolicyDeterministic(t *testing.T) {
+	enabled := keys(1, 0, 1, 1, 1, 2, 2, 0)
+	for _, seed := range []int64{1, 2, 9, 10} {
+		a, b := derivePolicy(seed), derivePolicy(seed)
+		prev := enabled[1]
+		for step := 0; step < 256; step++ {
+			pa := a.Choose(step, enabled, prev, true)
+			pb := b.Choose(step, enabled, prev, true)
+			if pa != pb {
+				t.Fatalf("seed %d step %d: %v vs %v", seed, step, pa, pb)
+			}
+			prev = pa
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Regression artifacts on disk. Each regression is three files sharing
+// a stem under testdata/fuzz/regressions/:
+//
+//	<stem>.pint   the minimized program
+//	<stem>.json   the finding + the input triple + the witness schedule
+//	<stem>.trc    the PINTTRC1 witness
+//
+// The pairing-by-stem layout is what lets verify.sh sweep the replayable
+// ones with nothing but `pint -replay <stem>.trc <stem>.pint -trace …`
+// and a byte compare — no JSON parsing in shell. Wedged witnesses would
+// hang that command, so they are marked in the JSON and verified by
+// in-process re-execution instead (regress_test.go).
+
+package fuzz
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// WriteRegression writes reg's three files into dir.
+func WriteRegression(dir string, reg *Regression) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	stem := filepath.Join(dir, reg.Name)
+	meta, err := json.MarshalIndent(reg, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(stem+".json", append(meta, '\n'), 0o644); err != nil {
+		return err
+	}
+	if err := os.WriteFile(stem+".pint", []byte(reg.Source), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(stem+".trc", reg.Trace, 0o644)
+}
+
+// LoadRegressions reads every regression in dir, sorted by name.
+func LoadRegressions(dir string) ([]*Regression, error) {
+	metas, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(metas)
+	var out []*Regression
+	for _, path := range metas {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		reg := &Regression{}
+		if err := json.Unmarshal(raw, reg); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		stem := strings.TrimSuffix(path, ".json")
+		src, err := os.ReadFile(stem + ".pint")
+		if err != nil {
+			return nil, err
+		}
+		reg.Source = string(src)
+		trc, err := os.ReadFile(stem + ".trc")
+		if err != nil {
+			return nil, err
+		}
+		reg.Trace = trc
+		if base := filepath.Base(stem); reg.Name != base {
+			return nil, fmt.Errorf("%s: name %q does not match file stem", path, reg.Name)
+		}
+		out = append(out, reg)
+	}
+	return out, nil
+}

@@ -1,0 +1,114 @@
+package fuzz
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+// regressionsDir is the committed artifact corpus, shared with the e2e
+// `pint -replay` sweep.
+const regressionsDir = "../../testdata/fuzz/regressions"
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	e := New(Options{})
+	in := Input{
+		Kernel: "deep-fork-pipe-chain",
+		File:   "k_deepchain.pint",
+		Trail:  []Mutation{{OpWrapLock, 16}},
+	}
+	f := findingFor(t, e, in)
+	reg, err := e.Minimize(f, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	if err := WriteRegression(dir, reg); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRegressions(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 1 {
+		t.Fatalf("loaded %d regressions, want 1", len(loaded))
+	}
+	got := loaded[0]
+	if got.Name != reg.Name || got.Key != reg.Key || got.Source != reg.Source ||
+		got.Wedged != reg.Wedged || string(got.Trace) != string(reg.Trace) ||
+		len(got.Schedule) != len(reg.Schedule) {
+		t.Fatalf("round trip mangled the regression:\n got %+v\nwant %+v", got, reg)
+	}
+	if err := e.Verify(got); err != nil {
+		t.Fatalf("loaded regression does not verify: %v", err)
+	}
+}
+
+func TestLoadRejectsRenamedArtifact(t *testing.T) {
+	e := New(Options{})
+	f := findingFor(t, e, Input{Kernel: "deep-fork-pipe-chain", File: "k_deepchain.pint"})
+	reg, err := e.Minimize(f, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteRegression(dir, reg); err != nil {
+		t.Fatal(err)
+	}
+	for _, ext := range []string{".json", ".pint", ".trc"} {
+		if err := os.Rename(filepath.Join(dir, reg.Name+ext), filepath.Join(dir, "renamed"+ext)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := LoadRegressions(dir); err == nil {
+		t.Fatal("LoadRegressions accepted an artifact whose stem does not match its name")
+	}
+}
+
+// loadCommitted loads the committed regression corpus, failing the test
+// if it is absent — an empty corpus would silently skip the sweep.
+func loadCommitted(t *testing.T) []*Regression {
+	t.Helper()
+	regs, err := LoadRegressions(regressionsDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) == 0 {
+		t.Fatalf("no committed regressions under %s", regressionsDir)
+	}
+	return regs
+}
+
+// TestCommittedRegressionsVerify: every committed artifact — wedged ones
+// included — replays its witness schedule in-process to the
+// byte-identical trace and the same oracle verdict. This is the sweep
+// `pint -replay` cannot run for wedged witnesses (replaying one
+// reproduces the hang); the e2e side covers the non-wedged artifacts
+// through the real binaries.
+func TestCommittedRegressionsVerify(t *testing.T) {
+	e := New(Options{Chaos: true})
+	for _, reg := range loadCommitted(t) {
+		reg := reg
+		t.Run(reg.Name, func(t *testing.T) {
+			if err := e.Verify(reg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestCommittedRegressionVerdictStable is the re-run property as
+// testing/quick states it: whichever committed regression quick picks,
+// however many times, re-executing it yields the same oracle verdict.
+func TestCommittedRegressionVerdictStable(t *testing.T) {
+	e := New(Options{Chaos: true})
+	regs := loadCommitted(t)
+	prop := func(pick uint16) bool {
+		return e.Verify(regs[int(pick)%len(regs)]) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,39 @@
+// A tiny self-contained PRNG. The fuzzer's determinism contract — the
+// same (program, schedule seed, chaos seed) triple reproduces the same
+// run byte-for-byte, forever — must not depend on math/rand keeping its
+// stream stable across Go releases, so the engine rolls its own
+// splitmix64, the same generator internal/chaos uses for fault firings.
+
+package fuzz
+
+type rng struct {
+	s uint64
+}
+
+func newRng(seed int64) *rng {
+	// Zero state would be a fixed point of the raw mix; displace it the
+	// same way splitmix64 seeds itself.
+	return &rng{s: uint64(seed) + 0x9E3779B97F4A7C15}
+}
+
+func (r *rng) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	x := r.s
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// intn returns a value in [0, n); n must be positive.
+func (r *rng) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
+
+// seed derives a fresh independent seed for a child generator.
+func (r *rng) seed() int64 {
+	s := int64(r.next())
+	if s == 0 {
+		s = 1
+	}
+	return s
+}

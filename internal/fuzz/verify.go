@@ -1,0 +1,70 @@
+// Regression verification: re-execute a loaded artifact's witness
+// schedule in-process and demand the byte-identical trace and the same
+// oracle verdict. This is the sweep that covers every committed
+// regression, wedged ones included — the shell-level `pint -replay`
+// sweep (e2e) can only cover the non-wedged ones, because replaying a
+// wedged witness reproduces the hang.
+
+package fuzz
+
+import (
+	"bytes"
+	"fmt"
+
+	"dionea/internal/chaos"
+	"dionea/internal/check"
+	"dionea/internal/compiler"
+)
+
+// Verify re-executes reg's witness schedule and checks the contract a
+// committed regression promises: the trail still applies to the corpus
+// kernel and materializes reg.Source, the schedule replays without
+// divergence, the re-recorded trace is byte-identical, and the oracles
+// still return reg.Key.
+func (e *Engine) Verify(reg *Regression) error {
+	ks, err := e.stateFor(reg.Input.Kernel)
+	if err != nil {
+		return err
+	}
+	src := ks.k.Source
+	if len(reg.Input.Trail) > 0 {
+		src, err = Apply(ks.k.Source, reg.Input.Trail)
+		if err != nil {
+			return fmt.Errorf("trail no longer applies: %w", err)
+		}
+	}
+	if src != reg.Source {
+		return fmt.Errorf("trail materializes different source than the committed .pint")
+	}
+	proto, err := compiler.CompileSource(src, ks.k.File)
+	if err != nil {
+		return fmt.Errorf("source no longer compiles: %w", err)
+	}
+	opt := e.runOptions(ks, reg.Input)
+	if reg.Input.ChaosSeed != 0 && len(reg.ChaosRates) > 0 {
+		// The artifact is self-contained: it carries the fault rates it
+		// was found under, so a later change to the engine's default
+		// chaos config cannot silently invalidate it.
+		opt.Chaos = &check.ChaosOptions{
+			Seed:   reg.Input.ChaosSeed,
+			Config: chaos.ConfigFromRates(reg.ChaosRates),
+		}
+	}
+	rep := check.ReplaySchedule(proto, opt, reg.Schedule)
+	if rep.Outcome == check.OutcomeDiverged {
+		return fmt.Errorf("witness schedule diverged")
+	}
+	if wedged := rep.Outcome == check.OutcomeWedged; wedged != reg.Wedged {
+		return fmt.Errorf("outcome %s: wedged=%v, artifact says wedged=%v", rep.Outcome, wedged, reg.Wedged)
+	}
+	if !bytes.Equal(rep.Trace, reg.Trace) {
+		return fmt.Errorf("re-recorded trace differs from committed witness (%d vs %d bytes)",
+			len(rep.Trace), len(reg.Trace))
+	}
+	for _, f := range judge(rep) {
+		if fmt.Sprintf("%s@%s:%d", f.Rule, f.File, f.Line) == reg.Key {
+			return nil
+		}
+	}
+	return fmt.Errorf("oracles no longer return %s", reg.Key)
+}

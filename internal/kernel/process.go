@@ -489,6 +489,7 @@ func (p *Process) noteBlocked(t *TCtx, st ThreadState, reason string, obj uint64
 	t.waitObj = obj
 	t.blockAux = aux
 	t.poll = poll
+	t.blockFile, t.blockLine = blockSite(t)
 	return nil
 }
 
@@ -501,7 +502,19 @@ func (p *Process) forceBlocked(t *TCtx, st ThreadState, reason string, obj uint6
 	t.waitObj = obj
 	t.blockAux = aux
 	t.poll = poll
+	t.blockFile, t.blockLine = blockSite(t)
 	p.mu.Unlock()
+}
+
+// blockSite reads the innermost VM frame of t for the block-site anchor.
+// Only the blocking goroutine itself may call this (via noteBlocked or
+// forceBlocked, from inside the blocking builtin): at that point the
+// thread still owns its frames, so the read cannot race with execution.
+func blockSite(t *TCtx) (string, int) {
+	if fr := t.VM.CurrentFrame(); fr != nil {
+		return fr.Proto.File, fr.Line
+	}
+	return "", 0
 }
 
 func (p *Process) noteUnblocked(t *TCtx) {
@@ -511,6 +524,7 @@ func (p *Process) noteUnblocked(t *TCtx) {
 	t.waitObj = 0
 	t.blockAux = 0
 	t.poll = nil
+	t.blockFile, t.blockLine = "", 0
 	p.mu.Unlock()
 	// First wake-up after a restore ends restore mode: from here on the
 	// process is making progress and deadlock conviction is sound again. A

@@ -37,6 +37,15 @@ type TCtx struct {
 	// timed sleep's milliseconds, read_raw's byte budget). 0 when the
 	// reason alone identifies the operation. Protected by P.mu.
 	blockAux int64
+	// blockFile/blockLine anchor the blocking call in pint source. They
+	// are captured from the thread's own innermost VM frame at block time
+	// (the blocking goroutine still owns its frames there) so observers
+	// like the model checker's settle loop can report a source location
+	// without reading VM frames of a thread that may have woken — that
+	// read would race with the thread resuming execution. Protected by
+	// P.mu.
+	blockFile string
+	blockLine int
 
 	killed atomic.Bool
 
@@ -112,6 +121,17 @@ func (t *TCtx) BlockInfo() (st ThreadState, reason string, obj uint64, aux int64
 	t.P.mu.Lock()
 	defer t.P.mu.Unlock()
 	return t.state, t.blockReason, t.waitObj, t.blockAux
+}
+
+// BlockSite returns the source position of the blocking call, recorded by
+// the thread itself when it parked. Unlike reading t.VM frames from an
+// observer goroutine, this is safe against the thread having woken in the
+// meantime: the record is written under P.mu by the blocking goroutine.
+// Returns ("", 0) when the thread is not blocked.
+func (t *TCtx) BlockSite() (file string, line int) {
+	t.P.mu.Lock()
+	defer t.P.mu.Unlock()
+	return t.blockFile, t.blockLine
 }
 
 // Done is closed when the thread's goroutine has finished.

@@ -3,9 +3,16 @@
 //	header:  "PINTTRC1" | u16 version | u16 reserved | u32 checkEvery |
 //	         u64 seed
 //	then sections, each introduced by a kind byte:
+//	  'C'  chaos meta:   u64 seed | u16 count | count × u64 rate-bits
 //	  'E'  events chunk: u32 pid | u32 count | count × 40-byte events
 //	  'F'  file table:   u32 count | count × (u16 len | bytes)
 //	  '.'  end of trace
+//
+// The 'C' section is present only when the recorded run had a fault
+// injector installed: replaying a chaos-perturbed schedule requires
+// re-firing the same faults, so the witness must carry the injector's
+// seed and per-point rates (`pint -replay` rebuilds the injector from
+// them). Chaos-free traces are byte-identical to the pre-chaos format.
 //
 // Chunks are written ordered by their first event's sequence number, not
 // raw flush order: final flushes race at teardown (whichever process
@@ -22,6 +29,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 )
@@ -31,6 +39,7 @@ var fileMagic = [8]byte{'P', 'I', 'N', 'T', 'T', 'R', 'C', '1'}
 const fileVersion = 1
 
 const (
+	secChaos  = 'C'
 	secEvents = 'E'
 	secFiles  = 'F'
 	secEnd    = '.'
@@ -52,6 +61,15 @@ func (r *Recorder) Write(w io.Writer) error {
 	put16(0)
 	put32(uint32(r.CheckEvery))
 	put64(uint64(r.Seed))
+
+	if r.ChaosRates != nil {
+		bw.WriteByte(secChaos)
+		put64(uint64(r.ChaosSeed))
+		put16(uint16(len(r.ChaosRates)))
+		for _, rate := range r.ChaosRates {
+			put64(math.Float64bits(rate))
+		}
+	}
 
 	chunks := append([]Chunk(nil), r.Chunks()...)
 	sort.SliceStable(chunks, func(i, j int) bool {
@@ -98,6 +116,11 @@ func (r *Recorder) WriteFile(path string) error {
 type Trace struct {
 	CheckEvery int
 	Seed       int64
+	// HasChaos marks traces recorded with a fault injector installed;
+	// ChaosSeed and ChaosRates reconstruct it for replay.
+	HasChaos   bool
+	ChaosSeed  int64
+	ChaosRates []float64
 	Files      []string
 	Chunks     []Chunk // in file (flush) order
 	Events     []Event // globally ordered by sequence number
@@ -139,6 +162,22 @@ func Read(r io.Reader) (*Trace, error) {
 			return nil, fmt.Errorf("trace: truncated: %w", err)
 		}
 		switch kind {
+		case secChaos:
+			var ch [10]byte
+			if _, err := io.ReadFull(br, ch[:]); err != nil {
+				return nil, fmt.Errorf("trace: truncated chaos section: %w", err)
+			}
+			tr.HasChaos = true
+			tr.ChaosSeed = int64(binary.LittleEndian.Uint64(ch[0:]))
+			n := binary.LittleEndian.Uint16(ch[8:])
+			tr.ChaosRates = make([]float64, n)
+			for i := range tr.ChaosRates {
+				var rb [8]byte
+				if _, err := io.ReadFull(br, rb[:]); err != nil {
+					return nil, fmt.Errorf("trace: truncated chaos section: %w", err)
+				}
+				tr.ChaosRates[i] = math.Float64frombits(binary.LittleEndian.Uint64(rb[:]))
+			}
 		case secEvents:
 			var ch [8]byte
 			if _, err := io.ReadFull(br, ch[:]); err != nil {

@@ -34,6 +34,12 @@ type Recorder struct {
 	// the checkinterval for the schedule to line up.
 	CheckEvery int
 	Seed       int64
+	// ChaosSeed and ChaosRates, when ChaosRates is non-nil, describe the
+	// fault injector the recorded run had installed; they are written as
+	// the trace's 'C' section so replay can rebuild the injector and
+	// re-fire the same faults.
+	ChaosSeed  int64
+	ChaosRates []float64
 
 	mu        sync.Mutex
 	chunks    []Chunk

@@ -53,6 +53,20 @@ BROKER_HA_SEEDS=10 go test -race -count=1 -run 'TestBrokerPromotion|TestSessionM
 echo "== pintcheck corpus sweep under -race (wall-clock budget 10m) =="
 go test -race -count=1 -timeout 10m -run 'TestKernelsCheckConformance' ./internal/corpus
 
+echo "== pintfuzz bounded smoke: rediscover >= 3 known corpus bugs =="
+go run ./cmd/pintfuzz -budget "${PINTFUZZ_BUDGET:-80}" \
+    -kernel lock-order-cycle,queue-handshake-deadlock,sem-cycle-deadlock \
+    -min-known 3 -progress=false
+
+echo "== committed fuzz regressions verify in-process (wedged included) =="
+go test -count=1 -run 'TestCommittedRegressions' ./internal/fuzz
+
+echo "== fuzz regressions replay byte-identically through pint -replay =="
+go test -count=1 -run 'TestFuzzRegressionReplay' ./e2e
+
+echo "== fuzz determinism property under -race =="
+go test -race -count=1 -run 'TestExecuteTripleDeterministic|TestCampaignDeterministic' ./internal/fuzz
+
 echo "== committed minimal-schedule fixtures replay byte-identically =="
 go test -count=1 -run 'TestCheckFixtures' ./internal/check
 
